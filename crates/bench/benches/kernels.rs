@@ -1,0 +1,151 @@
+//! Criterion benchmarks for the numerical kernels underlying EigenMaps:
+//! the dense factorizations, the DCT basis build, the sparse CG solve and
+//! the PCA fit. These are the knobs that decide whether the method is
+//! usable inside a DTM loop, so we track them explicitly.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use eigenmaps_linalg::prelude::*;
+
+fn basis_like(n: usize, k: usize) -> Matrix {
+    // A deterministic dense matrix with smooth structure; the banded boost
+    // keeps every size well-conditioned (pure sinusoids go numerically
+    // rank deficient at square sizes).
+    Matrix::from_fn(n, k, |i, j| {
+        ((i as f64 + 1.0) * 0.37 + (j as f64 + 1.0) * 1.13).sin()
+            + 0.1 * ((i * j) as f64 * 0.01).cos()
+            + if i % k == j { 1.5 } else { 0.0 }
+    })
+}
+
+fn bench_qr_lstsq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qr_lstsq");
+    for &(m, k) in &[(16usize, 16usize), (32, 16), (64, 32)] {
+        let a = basis_like(m, k);
+        let b: Vec<f64> = (0..m).map(|i| (i as f64).cos()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("factor_and_solve", format!("{m}x{k}")),
+            &a,
+            |bch, a| {
+                bch.iter(|| {
+                    let qr = Qr::new(black_box(a)).unwrap();
+                    black_box(qr.solve_lstsq(&b).unwrap())
+                })
+            },
+        );
+        let qr = Qr::new(&a).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("solve_only", format!("{m}x{k}")),
+            &qr,
+            |bch, qr| bch.iter(|| black_box(qr.solve_lstsq(&b).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_svd_cond(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd_condition_number");
+    for &(m, k) in &[(16usize, 16usize), (32, 32), (64, 32)] {
+        let a = basis_like(m, k);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{k}")),
+            &a,
+            |bch, a| bch.iter(|| black_box(Svd::new(black_box(a)).unwrap().cond())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_sym_eig(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sym_eig");
+    for &n in &[16usize, 32, 64] {
+        let base = basis_like(n, n);
+        let sym = {
+            let mut s = base.tr_matmul(&base).unwrap();
+            s.scale_mut(1.0 / n as f64);
+            s
+        };
+        group.bench_with_input(BenchmarkId::new("jacobi", n), &sym, |bch, s| {
+            bch.iter(|| black_box(sym_eig(black_box(s)).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("ql_implicit", n), &sym, |bch, s| {
+            bch.iter(|| black_box(sym_eig_ql(black_box(s)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dct_basis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dct2_basis");
+    for &(h, w, k) in &[(28usize, 30usize, 16usize), (56, 60, 16), (56, 60, 32)] {
+        group.bench_function(BenchmarkId::from_parameter(format!("{h}x{w}_k{k}")), |bch| {
+            bch.iter(|| black_box(dct2_basis(h, w, k).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cg_poisson");
+    for &n in &[16usize, 32] {
+        // 2-D Laplacian with a Dirichlet-like shift (SPD), n×n grid.
+        let cells = n * n;
+        let mut tb = TripletBuilder::new(cells, cells);
+        for r in 0..n {
+            for cidx in 0..n {
+                let i = r * n + cidx;
+                tb.push(i, i, 4.1);
+                if r > 0 {
+                    tb.push(i, i - n, -1.0);
+                }
+                if r + 1 < n {
+                    tb.push(i, i + n, -1.0);
+                }
+                if cidx > 0 {
+                    tb.push(i, i - 1, -1.0);
+                }
+                if cidx + 1 < n {
+                    tb.push(i, i + 1, -1.0);
+                }
+            }
+        }
+        let a = tb.to_csr();
+        let b: Vec<f64> = (0..cells).map(|i| ((i % 13) as f64) - 6.0).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &a, |bch, a| {
+            bch.iter(|| black_box(cg_solve(a, &b, &CgOptions::default()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pca(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pca_fit");
+    group.sample_size(10);
+    // Moderate synthetic dataset: 300 samples of 840 dims (28×30 grid).
+    let data = Matrix::from_fn(300, 840, |t, j| {
+        let a = (t as f64 / 9.0).sin();
+        let b = (t as f64 / 4.0).cos();
+        a * ((j % 28) as f64 * 0.2).sin()
+            + b * ((j / 28) as f64 * 0.17).cos()
+            + 0.01 * ((t * j) as f64 * 0.001).sin()
+    });
+    group.bench_function("randomized_k16", |bch| {
+        bch.iter(|| black_box(Pca::fit(&data, 16, &PcaOptions::default()).unwrap()))
+    });
+    group.bench_function("exact_k16_n120", |bch| {
+        // Exact path only feasible on a smaller dimension.
+        let small = Matrix::from_fn(300, 120, |t, j| data[(t, j)]);
+        bch.iter(|| black_box(Pca::fit_exact(&small, 16).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_qr_lstsq,
+    bench_svd_cond,
+    bench_sym_eig,
+    bench_dct_basis,
+    bench_cg,
+    bench_pca
+);
+criterion_main!(kernels);

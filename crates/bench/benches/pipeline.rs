@@ -1,0 +1,154 @@
+//! Criterion benchmarks over the full EigenMaps pipeline on a reduced
+//! UltraSPARC T1 configuration: per-snapshot reconstruction latency (the
+//! cost a DTM loop pays at run time), sensor-allocation time (design-time
+//! cost), and thermal-simulator stepping throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use eigenmaps_core::prelude::*;
+use eigenmaps_floorplan::prelude::*;
+use eigenmaps_thermal::{GridSpec, ThermalModel, TransientSim};
+
+struct Setup {
+    ensemble: MapEnsemble,
+    basis: EigenBasis,
+    energy: Vec<f64>,
+}
+
+fn setup() -> Setup {
+    let dataset = DatasetBuilder::ultrasparc_t1()
+        .grid(28, 30)
+        .snapshots(300)
+        .settle_steps(20)
+        .seed(42)
+        .build()
+        .expect("dataset generation");
+    let ensemble = dataset.ensemble().clone();
+    let basis = EigenBasis::fit(&ensemble, 32).expect("PCA fit");
+    let energy = ensemble.cell_variance();
+    Setup {
+        ensemble,
+        basis,
+        energy,
+    }
+}
+
+fn bench_reconstruction_latency(c: &mut Criterion) {
+    let s = setup();
+    let mask = Mask::all_allowed(s.ensemble.rows(), s.ensemble.cols());
+    let mut group = c.benchmark_group("reconstruction_per_snapshot");
+    for &m in &[8usize, 16, 32] {
+        let basis = s.basis.truncated(m).unwrap();
+        let input = AllocationInput {
+            basis: basis.matrix(),
+            energy: &s.energy,
+            rows: s.ensemble.rows(),
+            cols: s.ensemble.cols(),
+            mask: &mask,
+        };
+        let sensors = GreedyAllocator::new().allocate(&input, m).unwrap();
+        let rec = Reconstructor::new(&basis, &sensors).unwrap();
+        let map = s.ensemble.map(100);
+        let readings = sensors.sample(&map);
+        group.bench_with_input(BenchmarkId::new("eigenmaps", m), &rec, |bch, rec| {
+            bch.iter(|| black_box(rec.reconstruct(black_box(&readings)).unwrap()))
+        });
+
+        let dct = DctBasis::new(s.ensemble.rows(), s.ensemble.cols(), m).unwrap();
+        let dinput = AllocationInput {
+            basis: dct.matrix(),
+            energy: &s.energy,
+            rows: s.ensemble.rows(),
+            cols: s.ensemble.cols(),
+            mask: &mask,
+        };
+        let dsensors = EnergyCenterAllocator::new().allocate(&dinput, m).unwrap();
+        // Symmetric energy-center layouts can alias low-order DCT atoms;
+        // step k down to the largest observable subspace, as the real
+        // k-LSE pipeline does.
+        let drec = (1..=m)
+            .rev()
+            .find_map(|k| {
+                let basis = DctBasis::new(s.ensemble.rows(), s.ensemble.cols(), k).ok()?;
+                Reconstructor::new(&basis, &dsensors).ok()
+            })
+            .expect("some DCT dimension is observable");
+        let dreadings = dsensors.sample(&map);
+        group.bench_with_input(BenchmarkId::new("klse", m), &drec, |bch, drec| {
+            bch.iter(|| black_box(drec.reconstruct(black_box(&dreadings)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let s = setup();
+    let mask = Mask::all_allowed(s.ensemble.rows(), s.ensemble.cols());
+    let mut group = c.benchmark_group("sensor_allocation");
+    group.sample_size(10);
+    let m = 16;
+    let basis = s.basis.truncated(m).unwrap();
+    let input = AllocationInput {
+        basis: basis.matrix(),
+        energy: &s.energy,
+        rows: s.ensemble.rows(),
+        cols: s.ensemble.cols(),
+        mask: &mask,
+    };
+    group.bench_function("greedy_840_cells_m16", |bch| {
+        bch.iter(|| black_box(GreedyAllocator::new().allocate(&input, m).unwrap()))
+    });
+    group.bench_function("energy_center_840_cells_m16", |bch| {
+        bch.iter(|| black_box(EnergyCenterAllocator::new().allocate(&input, m).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_thermal_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thermal_transient_step");
+    group.sample_size(20);
+    for &(rows, cols) in &[(28usize, 30usize), (56, 60)] {
+        let fp = Floorplan::ultrasparc_t1();
+        let grid = GridSpec::new(
+            rows,
+            cols,
+            fp.die_width() / cols as f64,
+            fp.die_height() / rows as f64,
+        );
+        let model = ThermalModel::with_default_stack(grid).unwrap();
+        let mut sim = TransientSim::new(model, 0.05).unwrap();
+        let rast = PowerRasterizer::new(&fp, grid).unwrap();
+        let trace = TraceGenerator::new(fp.clone(), 0.05, 1)
+            .unwrap()
+            .generate(Scenario::WebServer, 1);
+        let power = rast.rasterize(trace.step(0)).unwrap();
+        // Warm the state so the benched step is a typical mid-run step.
+        sim.run(&power, 20).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(format!("{rows}x{cols}")), |bch| {
+            bch.iter(|| {
+                black_box(sim.step(black_box(&power)).unwrap());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_basis_fit(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("eigenbasis_fit_840cells");
+    group.sample_size(10);
+    for &k in &[8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bch, &k| {
+            bch.iter(|| black_box(EigenBasis::fit(&s.ensemble, k).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    pipeline,
+    bench_reconstruction_latency,
+    bench_allocation,
+    bench_thermal_step,
+    bench_basis_fit
+);
+criterion_main!(pipeline);

@@ -1,0 +1,11 @@
+//! Runs the reproduction's own ablation experiments (DESIGN.md §5):
+//! processor spectra (T1 vs Athlon X2), temporal tracking, greedy endgame
+//! policy, randomized-vs-exact PCA.
+//! Run with `EIGENMAPS_QUICK=1` for a fast reduced-scale pass.
+
+use eigenmaps_bench::{ablations, Harness, RunScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let harness = Harness::new(RunScale::from_env())?;
+    ablations::all(&harness)
+}

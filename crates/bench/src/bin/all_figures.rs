@@ -1,0 +1,9 @@
+//! Regenerates every figure of the paper in one run (see DESIGN.md §4).
+//! Run with `EIGENMAPS_QUICK=1` for a fast reduced-scale pass.
+
+use eigenmaps_bench::{experiments, Harness, RunScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let harness = Harness::new(RunScale::from_env())?;
+    experiments::all(&harness)
+}

@@ -1,0 +1,377 @@
+//! Minimal SVG line-chart renderer for the figure binaries.
+//!
+//! The paper's figures are log-scale line plots; this module regenerates
+//! them as standalone SVG files next to the CSV series, with no plotting
+//! dependency. Deliberately small: axes, log/linear scales, polylines,
+//! markers and a legend — nothing more.
+
+use std::fmt::Write as _;
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` samples in data coordinates, in drawing order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Axis scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Base-10 logarithmic axis (positive finite values only; others are
+    /// dropped from the plot).
+    Log10,
+}
+
+/// A configured chart, rendered with [`Chart::to_svg`].
+#[derive(Debug, Clone)]
+pub struct Chart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    x_scale: Scale,
+    y_scale: Scale,
+    series: Vec<Series>,
+}
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 480.0;
+const MARGIN_L: f64 = 80.0;
+const MARGIN_R: f64 = 180.0;
+const MARGIN_T: f64 = 48.0;
+const MARGIN_B: f64 = 64.0;
+const PALETTE: [&str; 6] = [
+    "#1b6ca8", "#e07b39", "#2e8b57", "#b23a48", "#6a4c93", "#777777",
+];
+
+impl Chart {
+    /// Starts a chart with a title and axis labels.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Chart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Linear,
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets the x-axis scale.
+    pub fn x_scale(mut self, scale: Scale) -> Self {
+        self.x_scale = scale;
+        self
+    }
+
+    /// Sets the y-axis scale.
+    pub fn y_scale(mut self, scale: Scale) -> Self {
+        self.y_scale = scale;
+        self
+    }
+
+    /// Adds a series.
+    pub fn series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    fn usable(&self, v: f64, scale: Scale) -> Option<f64> {
+        match scale {
+            Scale::Linear => v.is_finite().then_some(v),
+            Scale::Log10 => (v.is_finite() && v > 0.0).then(|| v.log10()),
+        }
+    }
+
+    /// Renders the chart to an SVG document.
+    ///
+    /// Empty charts (no plottable points) render axes and a note instead
+    /// of failing.
+    pub fn to_svg(&self) -> String {
+        // Transform all points; find data bounds.
+        let mut txs: Vec<Vec<(f64, f64)>> = Vec::new();
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for s in &self.series {
+            let mut pts = Vec::with_capacity(s.points.len());
+            for &(x, y) in &s.points {
+                if let (Some(tx), Some(ty)) =
+                    (self.usable(x, self.x_scale), self.usable(y, self.y_scale))
+                {
+                    x0 = x0.min(tx);
+                    x1 = x1.max(tx);
+                    y0 = y0.min(ty);
+                    y1 = y1.max(ty);
+                    pts.push((tx, ty));
+                }
+            }
+            txs.push(pts);
+        }
+        let have_data = x0.is_finite() && y0.is_finite();
+        if !have_data {
+            (x0, x1, y0, y1) = (0.0, 1.0, 0.0, 1.0);
+        }
+        if (x1 - x0).abs() < 1e-12 {
+            x0 -= 0.5;
+            x1 += 0.5;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y0 -= 0.5;
+            y1 += 0.5;
+        }
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let px = |tx: f64| MARGIN_L + (tx - x0) / (x1 - x0) * plot_w;
+        let py = |ty: f64| MARGIN_T + plot_h - (ty - y0) / (y1 - y0) * plot_h;
+
+        let mut svg = String::with_capacity(8 * 1024);
+        let _ = write!(
+            svg,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{HEIGHT}\" \
+             viewBox=\"0 0 {WIDTH} {HEIGHT}\" font-family=\"sans-serif\" font-size=\"13\">\n"
+        );
+        let _ = write!(
+            svg,
+            "<rect width=\"{WIDTH}\" height=\"{HEIGHT}\" fill=\"white\"/>\n\
+             <text x=\"{:.1}\" y=\"26\" text-anchor=\"middle\" font-size=\"16\">{}</text>\n",
+            MARGIN_L + plot_w / 2.0,
+            xml_escape(&self.title)
+        );
+        // Axes box.
+        let _ = write!(
+            svg,
+            "<rect x=\"{MARGIN_L}\" y=\"{MARGIN_T}\" width=\"{plot_w:.1}\" height=\"{plot_h:.1}\" \
+             fill=\"none\" stroke=\"#333\"/>\n"
+        );
+
+        // Ticks.
+        for (t, label) in ticks(x0, x1, self.x_scale) {
+            let x = px(t);
+            let _ = write!(
+                svg,
+                "<line x1=\"{x:.1}\" y1=\"{:.1}\" x2=\"{x:.1}\" y2=\"{:.1}\" stroke=\"#bbb\" stroke-dasharray=\"3 4\"/>\n\
+                 <text x=\"{x:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{label}</text>\n",
+                MARGIN_T,
+                MARGIN_T + plot_h,
+                MARGIN_T + plot_h + 18.0,
+            );
+        }
+        for (t, label) in ticks(y0, y1, self.y_scale) {
+            let y = py(t);
+            let _ = write!(
+                svg,
+                "<line x1=\"{MARGIN_L}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\" stroke=\"#bbb\" stroke-dasharray=\"3 4\"/>\n\
+                 <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{label}</text>\n",
+                MARGIN_L + plot_w,
+                MARGIN_L - 8.0,
+                y + 4.0,
+            );
+        }
+        // Axis labels.
+        let _ = write!(
+            svg,
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>\n\
+             <text x=\"18\" y=\"{:.1}\" text-anchor=\"middle\" transform=\"rotate(-90 18 {:.1})\">{}</text>\n",
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 16.0,
+            xml_escape(&self.x_label),
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            xml_escape(&self.y_label),
+        );
+
+        if !have_data {
+            let _ = write!(
+                svg,
+                "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\" fill=\"#999\">no plottable data</text>\n",
+                MARGIN_L + plot_w / 2.0,
+                MARGIN_T + plot_h / 2.0
+            );
+        }
+
+        // Series polylines + markers + legend.
+        for (i, (s, pts)) in self.series.iter().zip(txs.iter()).enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            if !pts.is_empty() {
+                let mut path = String::new();
+                for &(tx, ty) in pts {
+                    let _ = write!(path, "{:.1},{:.1} ", px(tx), py(ty));
+                }
+                let _ = write!(
+                    svg,
+                    "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"/>\n",
+                    path.trim_end()
+                );
+                for &(tx, ty) in pts {
+                    let _ = write!(
+                        svg,
+                        "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"{color}\"/>\n",
+                        px(tx),
+                        py(ty)
+                    );
+                }
+            }
+            let ly = MARGIN_T + 10.0 + i as f64 * 20.0;
+            let _ = write!(
+                svg,
+                "<line x1=\"{:.1}\" y1=\"{ly:.1}\" x2=\"{:.1}\" y2=\"{ly:.1}\" stroke=\"{color}\" stroke-width=\"3\"/>\n\
+                 <text x=\"{:.1}\" y=\"{:.1}\">{}</text>\n",
+                WIDTH - MARGIN_R + 12.0,
+                WIDTH - MARGIN_R + 38.0,
+                WIDTH - MARGIN_R + 44.0,
+                ly + 4.0,
+                xml_escape(&s.label)
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+/// Tick positions (in transformed coordinates) and labels.
+fn ticks(t0: f64, t1: f64, scale: Scale) -> Vec<(f64, String)> {
+    match scale {
+        Scale::Log10 => {
+            // One tick per decade, capped to ~8 labelled decades.
+            let lo = t0.floor() as i64;
+            let hi = t1.ceil() as i64;
+            let span = (hi - lo).max(1);
+            let step = (span as f64 / 8.0).ceil() as i64;
+            (lo..=hi)
+                .step_by(step.max(1) as usize)
+                .map(|d| (d as f64, format!("1e{d}")))
+                .collect()
+        }
+        Scale::Linear => {
+            let span = t1 - t0;
+            let raw = span / 6.0;
+            let mag = 10f64.powf(raw.log10().floor());
+            let step = [1.0, 2.0, 5.0, 10.0]
+                .iter()
+                .map(|m| m * mag)
+                .find(|s| span / s <= 7.0)
+                .unwrap_or(mag * 10.0);
+            let first = (t0 / step).ceil() * step;
+            let mut out = Vec::new();
+            let mut t = first;
+            while t <= t1 + 1e-9 * span.abs() {
+                let label = if step >= 1.0 && t.fract().abs() < 1e-9 {
+                    format!("{t:.0}")
+                } else {
+                    format!("{t}")
+                };
+                out.push((t, label));
+                t += step;
+            }
+            out
+        }
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Writes a chart under `results/`.
+///
+/// # Errors
+///
+/// Returns I/O errors from writing the file.
+pub fn write_svg(name: &str, chart: &Chart) -> std::result::Result<std::path::PathBuf, std::io::Error> {
+    let dir = crate::results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, chart.to_svg())?;
+    eprintln!("[svg] wrote {}", path.display());
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chart() -> Chart {
+        Chart::new("test", "x", "y")
+            .series(Series::new("a", vec![(1.0, 1.0), (2.0, 4.0), (3.0, 9.0)]))
+            .series(Series::new("b", vec![(1.0, 2.0), (2.0, 3.0)]))
+    }
+
+    #[test]
+    fn svg_has_structure_and_labels() {
+        let svg = sample_chart().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+        assert!(svg.contains(">test</text>"));
+    }
+
+    #[test]
+    fn log_scale_drops_nonpositive_points() {
+        let chart = Chart::new("log", "x", "y")
+            .y_scale(Scale::Log10)
+            .series(Series::new("s", vec![(1.0, 1e-3), (2.0, 0.0), (3.0, 1e3)]));
+        let svg = chart.to_svg();
+        // Two valid points → two circles (plus none for the dropped one).
+        assert_eq!(svg.matches("<circle").count(), 2);
+        // Decade ticks appear.
+        assert!(svg.contains("1e-3") || svg.contains("1e-2"));
+    }
+
+    #[test]
+    fn empty_chart_renders_note() {
+        let chart = Chart::new("empty", "x", "y");
+        let svg = chart.to_svg();
+        assert!(svg.contains("no plottable data"));
+    }
+
+    #[test]
+    fn degenerate_single_point_is_padded() {
+        let chart =
+            Chart::new("one", "x", "y").series(Series::new("p", vec![(5.0, 5.0)]));
+        let svg = chart.to_svg();
+        assert_eq!(svg.matches("<circle").count(), 1);
+        // Coordinates must be finite numbers (no NaN in output).
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let chart = Chart::new("a<b & c", "x", "y");
+        let svg = chart.to_svg();
+        assert!(svg.contains("a&lt;b &amp; c"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn linear_ticks_cover_range() {
+        let t = ticks(0.0, 10.0, Scale::Linear);
+        assert!(t.len() >= 3 && t.len() <= 8);
+        assert!(t.first().unwrap().0 >= 0.0);
+        assert!(t.last().unwrap().0 <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn log_ticks_are_decades() {
+        let t = ticks(-3.0, 2.0, Scale::Log10);
+        assert!(t.iter().any(|(_, l)| l == "1e-3"));
+        assert!(t.iter().any(|(_, l)| l == "1e2"));
+    }
+}

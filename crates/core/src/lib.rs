@@ -1,0 +1,107 @@
+//! # eigenmaps-core
+//!
+//! The algorithms of *“EigenMaps: Algorithms for Optimal Thermal Maps
+//! Extraction and Sensor Placement on Multicore Processors”* (Ranieri,
+//! Vincenzi, Chebira, Atienza, Vetterli — DAC 2012), plus the baselines the
+//! paper compares against:
+//!
+//! * [`EigenBasis`] — the optimal `K`-dimensional approximation of thermal
+//!   maps (top-`K` covariance eigenvectors; Sec. 3.1, Prop. 1);
+//! * [`Reconstructor`] — least-squares recovery of the full map from `M`
+//!   noisy sensors (Sec. 3.2, Theorem 1), with the sensing-matrix condition
+//!   number exposed as the placement figure of merit;
+//! * [`GreedyAllocator`] — the polynomial near-optimal sensor allocation of
+//!   Algorithm 1 (correlation-driven row elimination with a rank guard),
+//!   with [`Mask`] support for forbidden regions (Fig. 6);
+//! * [`DctBasis`] + [`EnergyCenterAllocator`] — the k-LSE reconstruction
+//!   and energy-center placement baselines (Nowroz et al., DAC 2010);
+//! * [`metrics`] — the paper's `MSE`/`MAX` figures of merit and the
+//!   evaluation engine used by every experiment;
+//! * [`NoiseModel`] — exact-SNR measurement corruption (Fig. 3c);
+//! * [`tradeoff`] — the `K`-vs-`M` optimum search of Sec. 3.2.
+//!
+//! # Pipeline example
+//!
+//! ```
+//! use eigenmaps_core::prelude::*;
+//!
+//! # fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+//! // 1. Design-time ensemble (here: synthetic two-mode maps).
+//! let maps: Vec<ThermalMap> = (0..60)
+//!     .map(|t| {
+//!         let a = (t as f64 / 5.0).sin();
+//!         let b = (t as f64 / 3.0).cos();
+//!         ThermalMap::from_fn(8, 8, |r, c| 50.0 + a * r as f64 + b * c as f64)
+//!     })
+//!     .collect();
+//! let ensemble = MapEnsemble::from_maps(&maps)?;
+//!
+//! // 2. Fit the EigenMaps basis and place 4 sensors greedily.
+//! let basis = EigenBasis::fit(&ensemble, 2)?;
+//! let mask = Mask::all_allowed(8, 8);
+//! let energy = ensemble.cell_variance();
+//! let input = AllocationInput {
+//!     basis: basis.matrix(),
+//!     energy: &energy,
+//!     rows: 8,
+//!     cols: 8,
+//!     mask: &mask,
+//! };
+//! let sensors = GreedyAllocator::new().allocate(&input, 4)?;
+//!
+//! // 3. Reconstruct any map of the family from 4 readings.
+//! let reconstructor = Reconstructor::new(&basis, &sensors)?;
+//! let truth = ensemble.map(33);
+//! let estimate = reconstructor.reconstruct(&sensors.sample(&truth))?;
+//! assert!(truth.mse(&estimate) < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod allocate;
+pub mod basis;
+pub mod error;
+pub mod map;
+pub mod metrics;
+pub mod noise;
+pub mod reconstruct;
+pub mod sensors;
+pub mod tracking;
+pub mod tradeoff;
+
+pub use allocate::{
+    AllocationInput, Endgame, EnergyCenterAllocator, ExhaustiveAllocator, GreedyAllocator,
+    RandomAllocator, SensorAllocator, UniformGridAllocator,
+};
+pub use basis::{Basis, DctBasis, EigenBasis};
+pub use error::{CoreError, Result};
+pub use map::{MapEnsemble, ThermalMap};
+pub use metrics::{
+    evaluate_approximation, evaluate_hotspot_detection, evaluate_reconstruction, ErrorReport,
+    HotspotReport, NoiseSpec,
+};
+pub use noise::{db_to_snr, snr_to_db, NoiseModel};
+pub use reconstruct::Reconstructor;
+pub use sensors::{Mask, SensorSet};
+pub use tracking::TrackingReconstructor;
+pub use tradeoff::{optimal_k, TradeoffPoint, TradeoffSweep};
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::allocate::{
+        AllocationInput, Endgame, EnergyCenterAllocator, ExhaustiveAllocator, GreedyAllocator,
+        RandomAllocator, SensorAllocator, UniformGridAllocator,
+    };
+    pub use crate::basis::{Basis, DctBasis, EigenBasis};
+    pub use crate::error::{CoreError, Result};
+    pub use crate::map::{MapEnsemble, ThermalMap};
+    pub use crate::metrics::{
+        evaluate_approximation, evaluate_hotspot_detection, evaluate_reconstruction,
+        ErrorReport, HotspotReport, NoiseSpec,
+    };
+    pub use crate::noise::{db_to_snr, snr_to_db, NoiseModel};
+    pub use crate::reconstruct::Reconstructor;
+    pub use crate::sensors::{Mask, SensorSet};
+    pub use crate::tracking::TrackingReconstructor;
+    pub use crate::tradeoff::{optimal_k, TradeoffPoint, TradeoffSweep};
+}

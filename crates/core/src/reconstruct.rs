@@ -1,0 +1,330 @@
+//! Least-squares thermal-map reconstruction from sensor readings —
+//! Theorem 1 of the paper.
+
+use eigenmaps_linalg::{Matrix, Qr, Svd};
+
+use crate::basis::Basis;
+use crate::error::{CoreError, Result};
+use crate::map::ThermalMap;
+use crate::sensors::SensorSet;
+
+/// Reconstructs full thermal maps from `M` point measurements over a fixed
+/// basis and sensor layout.
+///
+/// Construction factorizes the sensing matrix `Ψ̃_K` (the sensor rows of
+/// `Ψ_K`) once with Householder QR; each [`Reconstructor::reconstruct`]
+/// call is then one `O(MK)` triangular solve plus an `O(NK)` synthesis —
+/// the runtime-relevant cost on a real DTM loop.
+///
+/// Theorem 1 requires `M ≥ K` and `rank(Ψ̃_K) = K`; both are enforced at
+/// construction, and the condition number `κ(Ψ̃_K)` that bounds the noise
+/// amplification (eq. 5) is exposed via
+/// [`Reconstructor::condition_number`].
+///
+/// # Examples
+///
+/// ```
+/// use eigenmaps_core::{Basis, DctBasis, Reconstructor, SensorSet, ThermalMap};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A smooth map is exactly representable in a small DCT basis...
+/// let basis = DctBasis::new(6, 6, 3)?;
+/// let alpha = [30.0, 2.0, -1.5];
+/// let cells = basis.matrix().matvec(&alpha)?;
+/// let map = ThermalMap::new(6, 6, cells)?;
+///
+/// // ...so 4 sensors recover it exactly.
+/// let sensors = SensorSet::from_positions(6, 6, &[(0, 0), (5, 0), (0, 5), (3, 3)])?;
+/// let rec = Reconstructor::new(&basis, &sensors)?;
+/// let estimate = rec.reconstruct(&sensors.sample(&map))?;
+/// assert!(map.mse(&estimate) < 1e-18);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reconstructor {
+    basis_matrix: Matrix,
+    mean: Vec<f64>,
+    mean_at_sensors: Vec<f64>,
+    qr: Qr,
+    condition_number: f64,
+    rows: usize,
+    cols: usize,
+    sensors: SensorSet,
+}
+
+impl Reconstructor {
+    /// Binds a basis to a sensor layout.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::ShapeMismatch`] if the sensor grid disagrees with the
+    ///   basis grid.
+    /// * [`CoreError::InsufficientSensors`] if `M < K`.
+    /// * [`CoreError::SensingRankDeficient`] if `rank(Ψ̃_K) < K`.
+    pub fn new(basis: &dyn Basis, sensors: &SensorSet) -> Result<Self> {
+        if sensors.rows() != basis.rows() || sensors.cols() != basis.cols() {
+            return Err(CoreError::ShapeMismatch {
+                context: "reconstructor grid",
+                expected: basis.cells(),
+                found: sensors.rows() * sensors.cols(),
+            });
+        }
+        let m = sensors.len();
+        let k = basis.k();
+        if m < k {
+            return Err(CoreError::InsufficientSensors {
+                sensors: m,
+                basis_dim: k,
+            });
+        }
+        let sensing = basis.matrix().select_rows(sensors.locations())?;
+        let svd = Svd::new(&sensing)?;
+        // Rank with an *absolute* tolerance anchored to the basis scale:
+        // the basis columns are orthonormal (entries ≤ 1), so singular
+        // values below N·ε mean the sensors genuinely cannot see that
+        // direction — even if the whole sensing matrix is uniformly tiny
+        // (all sensors in a dead zone), which a relative tolerance would
+        // miss.
+        let tol = basis.cells().max(m) as f64 * f64::EPSILON;
+        let rank = svd.s.iter().filter(|&&s| s > tol).count();
+        if rank < k {
+            return Err(CoreError::SensingRankDeficient { rank, required: k });
+        }
+        let condition_number = svd.cond();
+        let qr = Qr::new(&sensing)?;
+        let mean = basis.mean().to_vec();
+        let mean_at_sensors = sensors.locations().iter().map(|&i| mean[i]).collect();
+        Ok(Reconstructor {
+            basis_matrix: basis.matrix().clone(),
+            mean,
+            mean_at_sensors,
+            qr,
+            condition_number,
+            rows: basis.rows(),
+            cols: basis.cols(),
+            sensors: sensors.clone(),
+        })
+    }
+
+    /// The sensor layout this reconstructor was built for.
+    pub fn sensors(&self) -> &SensorSet {
+        &self.sensors
+    }
+
+    /// Subspace dimension `K`.
+    pub fn k(&self) -> usize {
+        self.basis_matrix.cols()
+    }
+
+    /// Condition number `κ(Ψ̃_K)` of the sensing matrix — the noise
+    /// amplification factor of eq. (5); the sensor-allocation algorithms
+    /// exist to make this small.
+    pub fn condition_number(&self) -> f64 {
+        self.condition_number
+    }
+
+    /// Estimates the subspace coefficients `α̂ = argmin ‖x_S − Ψ̃_K α‖₂`
+    /// from the `M` sensor readings.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::ShapeMismatch`] if `readings.len() != M`.
+    /// * Propagated solver failures (excluded by the rank check in
+    ///   [`Reconstructor::new`]).
+    pub fn coefficients(&self, readings: &[f64]) -> Result<Vec<f64>> {
+        if readings.len() != self.sensors.len() {
+            return Err(CoreError::ShapeMismatch {
+                context: "reconstruct readings",
+                expected: self.sensors.len(),
+                found: readings.len(),
+            });
+        }
+        let centered: Vec<f64> = readings
+            .iter()
+            .zip(self.mean_at_sensors.iter())
+            .map(|(x, m)| x - m)
+            .collect();
+        Ok(self.qr.solve_lstsq(&centered)?)
+    }
+
+    /// Synthesizes the full map `x̃ = Ψ_K α + mean` from given subspace
+    /// coefficients (used by temporal trackers that maintain their own
+    /// coefficient state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] if `alpha.len() != K`.
+    pub fn map_from_coefficients(&self, alpha: &[f64]) -> Result<ThermalMap> {
+        if alpha.len() != self.k() {
+            return Err(CoreError::ShapeMismatch {
+                context: "map_from_coefficients",
+                expected: self.k(),
+                found: alpha.len(),
+            });
+        }
+        let mut cells = self.basis_matrix.matvec(alpha)?;
+        for (v, m) in cells.iter_mut().zip(self.mean.iter()) {
+            *v += m;
+        }
+        ThermalMap::new(self.rows, self.cols, cells)
+    }
+
+    /// Reconstructs the full thermal map `x̃ = Ψ_K α̂ + mean` from sensor
+    /// readings (Theorem 1).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Reconstructor::coefficients`].
+    pub fn reconstruct(&self, readings: &[f64]) -> Result<ThermalMap> {
+        let alpha = self.coefficients(readings)?;
+        self.map_from_coefficients(&alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::{DctBasis, EigenBasis};
+    use crate::map::MapEnsemble;
+
+    fn smooth_ensemble(rows: usize, cols: usize, t: usize) -> MapEnsemble {
+        let maps: Vec<ThermalMap> = (0..t)
+            .map(|i| {
+                let a = (i as f64 / 4.0).sin();
+                let b = (i as f64 / 9.0).cos();
+                ThermalMap::from_fn(rows, cols, |r, c| {
+                    55.0 + 4.0 * a * (r as f64 / rows as f64)
+                        + 3.0 * b * ((c as f64 / cols as f64) * 2.2).sin()
+                })
+            })
+            .collect();
+        MapEnsemble::from_maps(&maps).unwrap()
+    }
+
+    #[test]
+    fn exact_recovery_in_subspace() {
+        let basis = DctBasis::new(5, 5, 3).unwrap();
+        let alpha = [10.0, -2.0, 0.7];
+        let cells = basis.matrix().matvec(&alpha).unwrap();
+        let map = ThermalMap::new(5, 5, cells).unwrap();
+        // NB: not the grid diagonal — on r = c the two first-order DCT
+        // atoms coincide and the sensing matrix would be rank deficient.
+        let sensors = SensorSet::new(5, 5, vec![0, 8, 11, 17, 24]).unwrap();
+        let rec = Reconstructor::new(&basis, &sensors).unwrap();
+        let est = rec.reconstruct(&sensors.sample(&map)).unwrap();
+        assert!(map.mse(&est) < 1e-20);
+        let coeffs = rec.coefficients(&sensors.sample(&map)).unwrap();
+        for (c, a) in coeffs.iter().zip(alpha.iter()) {
+            assert!((c - a).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn eigenbasis_reconstruction_on_training_family() {
+        let ens = smooth_ensemble(6, 6, 60);
+        let basis = EigenBasis::fit_exact(&ens, 2).unwrap();
+        let sensors = SensorSet::new(6, 6, vec![0, 7, 21, 35]).unwrap();
+        let rec = Reconstructor::new(&basis, &sensors).unwrap();
+        for t in [3, 25, 50] {
+            let map = ens.map(t);
+            let est = rec.reconstruct(&sensors.sample(&map)).unwrap();
+            // The family is essentially 2-dimensional, so 4 sensors suffice.
+            assert!(map.mse(&est) < 1e-3, "t={t} mse={}", map.mse(&est));
+        }
+    }
+
+    #[test]
+    fn insufficient_sensors_rejected() {
+        let basis = DctBasis::new(4, 4, 5).unwrap();
+        let sensors = SensorSet::new(4, 4, vec![0, 5, 10, 15]).unwrap(); // M=4 < K=5
+        assert!(matches!(
+            Reconstructor::new(&basis, &sensors),
+            Err(CoreError::InsufficientSensors { .. })
+        ));
+    }
+
+    #[test]
+    fn rank_deficient_layout_rejected() {
+        // A basis whose second atom vanishes on the chosen sensors:
+        // build from an ensemble that only varies along one column.
+        let maps: Vec<ThermalMap> = (0..30)
+            .map(|t| {
+                ThermalMap::from_fn(4, 4, |r, c| {
+                    if c == 0 {
+                        (t as f64 * 0.3).sin() * (r as f64 + 1.0)
+                    } else if c == 1 {
+                        (t as f64 * 0.7).cos() * (r as f64 + 0.5)
+                    } else {
+                        0.0
+                    }
+                })
+            })
+            .collect();
+        let ens = MapEnsemble::from_maps(&maps).unwrap();
+        let basis = EigenBasis::fit_exact(&ens, 2).unwrap();
+        // Sensors only in the constant region (columns 2..3): the sensing
+        // matrix is (near) zero → rank deficient.
+        let sensors = SensorSet::from_positions(4, 4, &[(0, 2), (1, 2), (2, 3), (3, 3)]).unwrap();
+        assert!(matches!(
+            Reconstructor::new(&basis, &sensors),
+            Err(CoreError::SensingRankDeficient { .. })
+        ));
+    }
+
+    #[test]
+    fn grid_mismatch_rejected() {
+        let basis = DctBasis::new(4, 4, 2).unwrap();
+        let sensors = SensorSet::new(5, 4, vec![0, 1, 2]).unwrap();
+        assert!(matches!(
+            Reconstructor::new(&basis, &sensors),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn readings_length_checked() {
+        let basis = DctBasis::new(4, 4, 2).unwrap();
+        let sensors = SensorSet::new(4, 4, vec![0, 5, 10]).unwrap();
+        let rec = Reconstructor::new(&basis, &sensors).unwrap();
+        assert!(rec.reconstruct(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn condition_number_is_exposed_and_finite() {
+        let basis = DctBasis::new(6, 6, 4).unwrap();
+        let sensors = SensorSet::new(6, 6, vec![0, 8, 16, 24, 32, 35]).unwrap();
+        let rec = Reconstructor::new(&basis, &sensors).unwrap();
+        let kappa = rec.condition_number();
+        assert!(kappa.is_finite() && kappa >= 1.0, "κ = {kappa}");
+    }
+
+    #[test]
+    fn better_conditioned_layout_is_more_noise_robust() {
+        // Compare noise amplification of a clustered vs spread layout.
+        let basis = DctBasis::new(8, 8, 4).unwrap();
+        let clustered = SensorSet::new(8, 8, vec![0, 1, 8, 9, 2, 10]).unwrap();
+        let spread = SensorSet::new(8, 8, vec![0, 7, 28, 35, 56, 63]).unwrap();
+        let rc = Reconstructor::new(&basis, &clustered).unwrap();
+        let rs = Reconstructor::new(&basis, &spread).unwrap();
+        assert!(
+            rs.condition_number() < rc.condition_number(),
+            "spread κ={} clustered κ={}",
+            rs.condition_number(),
+            rc.condition_number()
+        );
+    }
+
+    #[test]
+    fn mean_offset_restored() {
+        // EigenBasis subtracts the sample mean; reconstruction must add it
+        // back even when all readings equal the mean.
+        let ens = smooth_ensemble(5, 5, 40);
+        let basis = EigenBasis::fit_exact(&ens, 2).unwrap();
+        let sensors = SensorSet::new(5, 5, vec![0, 6, 12, 18]).unwrap();
+        let rec = Reconstructor::new(&basis, &sensors).unwrap();
+        let mean_map = ThermalMap::new(5, 5, basis.mean().to_vec()).unwrap();
+        let est = rec.reconstruct(&sensors.sample(&mean_map)).unwrap();
+        assert!(mean_map.mse(&est) < 1e-18);
+    }
+}

@@ -1,0 +1,225 @@
+//! Temporal thermal tracking: exploit the fact that consecutive thermal
+//! maps are heavily correlated in time.
+//!
+//! The paper reconstructs every snapshot independently; its related work
+//! (Zhang & Srivastava, DAC'10, ref. 19 of the paper) instead tracks temperature
+//! with a Kalman filter. This module provides the natural marriage of the
+//! two: a steady-state (fixed-gain) filter *in EigenMaps coefficient
+//! space*. Each interval the least-squares estimate `α_LS` of Theorem 1 is
+//! blended with the prediction from the previous state:
+//!
+//! `α̂_t = (1 − g)·α̂_{t−1} + g·α_LS,t`
+//!
+//! With `g = 1` this is exactly the paper's memoryless reconstruction; at
+//! smaller gains measurement noise is averaged down by ~`√(g/(2−g))` while
+//! slow thermal transients (time constants ≫ the sampling interval) are
+//! tracked with little lag. The `ablation_tracking` experiment quantifies
+//! the benefit.
+
+use crate::error::{CoreError, Result};
+use crate::map::ThermalMap;
+use crate::reconstruct::Reconstructor;
+
+/// A fixed-gain temporal tracker over a [`Reconstructor`].
+///
+/// # Examples
+///
+/// ```
+/// use eigenmaps_core::{DctBasis, Reconstructor, SensorSet, ThermalMap, TrackingReconstructor};
+///
+/// # fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+/// let basis = DctBasis::new(6, 6, 3)?;
+/// let sensors = SensorSet::from_positions(6, 6, &[(0, 0), (5, 1), (2, 4), (4, 5)])?;
+/// let rec = Reconstructor::new(&basis, &sensors)?;
+/// let mut tracker = TrackingReconstructor::new(rec, 0.5)?;
+/// let map = ThermalMap::from_fn(6, 6, |r, c| 50.0 + (r + c) as f64 * 0.1);
+/// // Feed the same readings twice: the state converges toward the map.
+/// let first = tracker.step(&sensors.sample(&map))?;
+/// let second = tracker.step(&sensors.sample(&map))?;
+/// assert!(map.mse(&second) <= map.mse(&first) + 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrackingReconstructor {
+    inner: Reconstructor,
+    gain: f64,
+    state: Option<Vec<f64>>,
+}
+
+impl TrackingReconstructor {
+    /// Wraps a reconstructor with blending gain `g ∈ (0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] if the gain leaves `(0, 1]`.
+    pub fn new(inner: Reconstructor, gain: f64) -> Result<Self> {
+        if !(gain > 0.0 && gain <= 1.0) {
+            return Err(CoreError::InvalidArgument {
+                context: "tracking gain must lie in (0, 1]",
+            });
+        }
+        Ok(TrackingReconstructor {
+            inner,
+            gain,
+            state: None,
+        })
+    }
+
+    /// The wrapped memoryless reconstructor.
+    pub fn reconstructor(&self) -> &Reconstructor {
+        &self.inner
+    }
+
+    /// The blending gain.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Current coefficient state, if any step has been taken.
+    pub fn state(&self) -> Option<&[f64]> {
+        self.state.as_deref()
+    }
+
+    /// Forgets the temporal state (e.g. after a power-gating event that
+    /// breaks temporal continuity).
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+
+    /// Ingests one interval's sensor readings and returns the tracked
+    /// full-map estimate. The first step initializes the state with the
+    /// memoryless estimate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Reconstructor::coefficients`] failures.
+    pub fn step(&mut self, readings: &[f64]) -> Result<ThermalMap> {
+        let alpha_ls = self.inner.coefficients(readings)?;
+        let state = match self.state.take() {
+            None => alpha_ls,
+            Some(mut prev) => {
+                for (p, a) in prev.iter_mut().zip(alpha_ls.iter()) {
+                    *p = (1.0 - self.gain) * *p + self.gain * a;
+                }
+                prev
+            }
+        };
+        let map = self.inner.map_from_coefficients(&state)?;
+        self.state = Some(state);
+        Ok(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::{Basis, DctBasis};
+    use crate::noise::NoiseModel;
+    use crate::sensors::SensorSet;
+
+    fn setup() -> (DctBasis, SensorSet, Reconstructor) {
+        let basis = DctBasis::new(8, 8, 4).unwrap();
+        let sensors =
+            SensorSet::from_positions(8, 8, &[(0, 0), (7, 1), (2, 5), (5, 3), (6, 7), (1, 6)])
+                .unwrap();
+        let rec = Reconstructor::new(&basis, &sensors).unwrap();
+        (basis, sensors, rec)
+    }
+
+    /// A slowly drifting in-subspace map sequence.
+    fn truth_at(basis: &DctBasis, t: usize) -> ThermalMap {
+        let alpha = [
+            40.0 + 0.02 * t as f64,
+            2.0 * (t as f64 / 200.0).sin(),
+            -1.0,
+            0.5,
+        ];
+        let cells = basis.matrix().matvec(&alpha).unwrap();
+        ThermalMap::new(8, 8, cells).unwrap()
+    }
+
+    #[test]
+    fn gain_validation() {
+        let (_, _, rec) = setup();
+        assert!(TrackingReconstructor::new(rec.clone(), 0.0).is_err());
+        assert!(TrackingReconstructor::new(rec.clone(), 1.5).is_err());
+        assert!(TrackingReconstructor::new(rec, 1.0).is_ok());
+    }
+
+    #[test]
+    fn gain_one_matches_memoryless() {
+        let (basis, sensors, rec) = setup();
+        let mut tracker = TrackingReconstructor::new(rec.clone(), 1.0).unwrap();
+        for t in 0..5 {
+            let map = truth_at(&basis, t);
+            let readings = sensors.sample(&map);
+            let tracked = tracker.step(&readings).unwrap();
+            let memoryless = rec.reconstruct(&readings).unwrap();
+            assert!(tracked.mse(&memoryless) < 1e-20);
+        }
+    }
+
+    #[test]
+    fn tracking_denoises_slow_sequences() {
+        let (basis, sensors, rec) = setup();
+        let mut tracker = TrackingReconstructor::new(rec.clone(), 0.25).unwrap();
+        let mut noise = NoiseModel::new(3);
+        let mut err_tracked = 0.0;
+        let mut err_memoryless = 0.0;
+        for t in 0..300 {
+            let map = truth_at(&basis, t);
+            let readings = noise.apply_sigma(&sensors.sample(&map), 0.5);
+            let tr = tracker.step(&readings).unwrap();
+            let ml = rec.reconstruct(&readings).unwrap();
+            if t >= 20 {
+                // Skip the burn-in where the state is still converging.
+                err_tracked += map.mse(&tr);
+                err_memoryless += map.mse(&ml);
+            }
+        }
+        assert!(
+            err_tracked < err_memoryless * 0.6,
+            "tracking {err_tracked} not clearly better than memoryless {err_memoryless}"
+        );
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let (basis, sensors, rec) = setup();
+        let mut tracker = TrackingReconstructor::new(rec, 0.1).unwrap();
+        let map = truth_at(&basis, 0);
+        tracker.step(&sensors.sample(&map)).unwrap();
+        assert!(tracker.state().is_some());
+        tracker.reset();
+        assert!(tracker.state().is_none());
+        // After reset the next step re-initializes from scratch (exact for
+        // in-subspace noiseless readings).
+        let est = tracker.step(&sensors.sample(&map)).unwrap();
+        assert!(map.mse(&est) < 1e-18);
+    }
+
+    #[test]
+    fn tracks_step_changes_with_bounded_lag() {
+        let (basis, sensors, rec) = setup();
+        let mut tracker = TrackingReconstructor::new(rec, 0.5).unwrap();
+        let cold = truth_at(&basis, 0);
+        let hot = {
+            let alpha = [60.0, 3.0, 1.0, -2.0];
+            let cells = basis.matrix().matvec(&alpha).unwrap();
+            ThermalMap::new(8, 8, cells).unwrap()
+        };
+        for _ in 0..10 {
+            tracker.step(&sensors.sample(&cold)).unwrap();
+        }
+        // Step change: with g = 0.5, error halves every interval.
+        let mut last = f64::INFINITY;
+        for i in 0..12 {
+            let est = tracker.step(&sensors.sample(&hot)).unwrap();
+            let e = hot.mse(&est);
+            assert!(e <= last + 1e-12, "error rose at step {i}");
+            last = e;
+        }
+        assert!(last < 1e-6, "tracker failed to converge after step: {last}");
+    }
+}

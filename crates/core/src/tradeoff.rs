@@ -1,0 +1,176 @@
+//! The K-vs-M trade-off of Sec. 3.2: with `M` sensors fixed, growing the
+//! subspace dimension `K` shrinks the approximation error `ε` but worsens
+//! the conditioning (hence the reconstruction error `ε_r`); the optimal `K`
+//! minimizes their sum.
+
+use crate::allocate::{AllocationInput, SensorAllocator};
+use crate::basis::{Basis, EigenBasis};
+use crate::error::Result;
+use crate::map::MapEnsemble;
+use crate::metrics::{evaluate_reconstruction, ErrorReport, NoiseSpec};
+use crate::reconstruct::Reconstructor;
+use crate::sensors::Mask;
+
+/// One row of a K-sweep: the measured reconstruction error and the
+/// conditioning at subspace dimension `k`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffPoint {
+    /// Subspace dimension evaluated.
+    pub k: usize,
+    /// Reconstruction error over the evaluation ensemble.
+    pub report: ErrorReport,
+    /// Condition number `κ(Ψ̃_K)` of the sensing matrix at this `k`.
+    pub condition_number: f64,
+}
+
+/// Result of [`optimal_k`]: the best point and the full sweep.
+#[derive(Debug, Clone)]
+pub struct TradeoffSweep {
+    /// The sweep, ascending in `k`.
+    pub points: Vec<TradeoffPoint>,
+    /// Index into `points` of the MSE-minimizing `k`.
+    pub best: usize,
+}
+
+impl TradeoffSweep {
+    /// The MSE-optimal point.
+    pub fn best_point(&self) -> &TradeoffPoint {
+        &self.points[self.best]
+    }
+}
+
+/// Sweeps `k = 1..=m` (re-allocating sensors for each `k` with the given
+/// allocator) and returns the measured trade-off, with the MSE-optimal `k`
+/// marked. `noise` is applied during evaluation, so the returned optimum
+/// is noise-level-specific, exactly as Sec. 3.2 prescribes.
+///
+/// The basis is fitted once at `k = m` and truncated downward, matching
+/// how a designer would actually run this search.
+///
+/// # Errors
+///
+/// Propagates fitting, allocation and evaluation failures. Individual `k`
+/// values whose sensing matrix goes rank-deficient are skipped (they can
+/// never be the optimum).
+pub fn optimal_k(
+    ensemble: &MapEnsemble,
+    allocator: &dyn SensorAllocator,
+    m: usize,
+    mask: &Mask,
+    noise: NoiseSpec,
+    noise_seed: u64,
+) -> Result<TradeoffSweep> {
+    let full = EigenBasis::fit(ensemble, m)?;
+    let energy = ensemble.cell_variance();
+    let mut points = Vec::with_capacity(m);
+    for k in 1..=m {
+        let basis = full.truncated(k)?;
+        let input = AllocationInput {
+            basis: basis.matrix(),
+            energy: &energy,
+            rows: ensemble.rows(),
+            cols: ensemble.cols(),
+            mask,
+        };
+        let sensors = allocator.allocate(&input, m)?;
+        let rec = match Reconstructor::new(&basis, &sensors) {
+            Ok(r) => r,
+            Err(crate::error::CoreError::SensingRankDeficient { .. }) => continue,
+            Err(e) => return Err(e),
+        };
+        let report = evaluate_reconstruction(&rec, &sensors, ensemble, noise, noise_seed)?;
+        points.push(TradeoffPoint {
+            k,
+            report,
+            condition_number: rec.condition_number(),
+        });
+    }
+    let best = points
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.report
+                .mse
+                .partial_cmp(&b.report.mse)
+                .expect("finite MSE")
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    Ok(TradeoffSweep { points, best })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocate::GreedyAllocator;
+    use crate::map::ThermalMap;
+
+    fn rich_ensemble() -> MapEnsemble {
+        // Several modes of decreasing amplitude → a genuine K trade-off.
+        let maps: Vec<ThermalMap> = (0..80)
+            .map(|t| {
+                let tf = t as f64;
+                ThermalMap::from_fn(8, 8, |r, c| {
+                    let (rf, cf) = (r as f64 / 7.0, c as f64 / 7.0);
+                    55.0 + 4.0 * (tf / 5.0).sin() * rf
+                        + 2.0 * (tf / 3.0).cos() * cf
+                        + 1.0 * (tf / 7.0).sin() * (rf * 6.0).sin()
+                        + 0.5 * (tf / 11.0).cos() * (cf * 5.0).cos()
+                })
+            })
+            .collect();
+        MapEnsemble::from_maps(&maps).unwrap()
+    }
+
+    #[test]
+    fn sweep_covers_k_range_and_marks_best() {
+        let ens = rich_ensemble();
+        let mask = Mask::all_allowed(8, 8);
+        let sweep = optimal_k(&ens, &GreedyAllocator::new(), 6, &mask, NoiseSpec::None, 5)
+            .unwrap();
+        assert!(!sweep.points.is_empty());
+        assert!(sweep.points.len() <= 6);
+        let best = sweep.best_point();
+        for p in &sweep.points {
+            assert!(best.report.mse <= p.report.mse + 1e-15);
+        }
+    }
+
+    #[test]
+    fn noiseless_optimum_prefers_larger_k_than_noisy() {
+        let ens = rich_ensemble();
+        let mask = Mask::all_allowed(8, 8);
+        let m = 8;
+        let clean = optimal_k(&ens, &GreedyAllocator::new(), m, &mask, NoiseSpec::None, 5)
+            .unwrap();
+        let noisy = optimal_k(
+            &ens,
+            &GreedyAllocator::new(),
+            m,
+            &mask,
+            NoiseSpec::SnrDb(10.0),
+            5,
+        )
+        .unwrap();
+        // With no noise, more basis vectors never hurt on the training
+        // family; with heavy noise the conditioning penalty bites. The
+        // noisy optimum must not exceed the clean one.
+        assert!(
+            noisy.best_point().k <= clean.best_point().k,
+            "noisy k*={} > clean k*={}",
+            noisy.best_point().k,
+            clean.best_point().k
+        );
+    }
+
+    #[test]
+    fn condition_number_grows_with_k() {
+        let ens = rich_ensemble();
+        let mask = Mask::all_allowed(8, 8);
+        let sweep = optimal_k(&ens, &GreedyAllocator::new(), 6, &mask, NoiseSpec::None, 5)
+            .unwrap();
+        let first = sweep.points.first().unwrap();
+        let last = sweep.points.last().unwrap();
+        assert!(last.condition_number >= first.condition_number - 1e-9);
+    }
+}

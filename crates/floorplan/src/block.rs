@@ -1,0 +1,423 @@
+//! Floorplan blocks and the UltraSPARC T1 (Niagara) model.
+//!
+//! The paper's evaluation platform is an 8-core UltraSPARC T1 (Fig. 1 of
+//! the paper; Leon et al., JSSC 2007). The floorplan here follows the
+//! simplified layout of the paper's figure — two rows of four SPARC cores
+//! at the top and bottom edges, L2 cache banks on the left and right
+//! flanks, and the crossbar (CCX), FPU, DRAM controllers and I/O bridge in
+//! the middle band — with per-block power budgets scaled to the chip's
+//! ~63 W envelope.
+
+use crate::error::{FloorplanError, Result};
+
+/// Functional unit category; drives both the workload model and the
+/// cache placement constraint of Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum BlockKind {
+    /// An in-order SPARC core (4 threads on the T1).
+    Core,
+    /// An L2 cache bank — sensors cannot be placed here in the
+    /// constrained experiment (regular structure).
+    L2Cache,
+    /// The CPX/PCX crossbar connecting cores to L2 banks.
+    Crossbar,
+    /// The shared floating-point unit.
+    Fpu,
+    /// A DRAM controller.
+    DramCtl,
+    /// The I/O bridge.
+    IoBridge,
+    /// Anything else (clock spine, misc glue).
+    Misc,
+}
+
+/// A rectangular floorplan block in normalized die coordinates.
+///
+/// `x` runs along columns (die width), `y` along rows (die height); all
+/// four of `x, y, width, height` are fractions of the die in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Instance name, unique within a floorplan (e.g. `"core3"`).
+    pub name: String,
+    /// Functional category.
+    pub kind: BlockKind,
+    /// Left edge, normalized.
+    pub x: f64,
+    /// Top edge, normalized.
+    pub y: f64,
+    /// Width, normalized.
+    pub width: f64,
+    /// Height, normalized.
+    pub height: f64,
+    /// Power draw when idle (W).
+    pub idle_power: f64,
+    /// Power draw at full utilization (W).
+    pub peak_power: f64,
+}
+
+impl Block {
+    /// Creates a block after validating geometry and power numbers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::InvalidConfig`] if the rectangle leaves
+    /// the unit square, has non-positive extent, or the power range is
+    /// inverted/negative.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        kind: BlockKind,
+        x: f64,
+        y: f64,
+        width: f64,
+        height: f64,
+        idle_power: f64,
+        peak_power: f64,
+    ) -> Result<Self> {
+        let name = name.into();
+        if !(width > 0.0 && height > 0.0) {
+            return Err(FloorplanError::InvalidConfig {
+                context: format!("block {name}: non-positive extent"),
+            });
+        }
+        if x < 0.0 || y < 0.0 || x + width > 1.0 + 1e-9 || y + height > 1.0 + 1e-9 {
+            return Err(FloorplanError::InvalidConfig {
+                context: format!("block {name}: rectangle outside the unit die"),
+            });
+        }
+        if idle_power < 0.0 || peak_power < idle_power {
+            return Err(FloorplanError::InvalidConfig {
+                context: format!("block {name}: power range invalid"),
+            });
+        }
+        Ok(Block {
+            name,
+            kind,
+            x,
+            y,
+            width,
+            height,
+            idle_power,
+            peak_power,
+        })
+    }
+
+    /// Normalized area of the block.
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Power at utilization `u ∈ [0, 1]`: linear between idle and peak
+    /// (the standard activity-factor model).
+    pub fn power(&self, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        self.idle_power + (self.peak_power - self.idle_power) * u
+    }
+
+    /// The block rectangle as `(x, y, w, h)` — the shape masks consume.
+    pub fn rect(&self) -> (f64, f64, f64, f64) {
+        (self.x, self.y, self.width, self.height)
+    }
+}
+
+/// A named collection of blocks plus physical die dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    name: String,
+    die_width: f64,
+    die_height: f64,
+    blocks: Vec<Block>,
+}
+
+impl Floorplan {
+    /// Creates a floorplan from parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::InvalidConfig`] for an empty block list,
+    /// non-positive die dimensions, or duplicate block names.
+    pub fn new(
+        name: impl Into<String>,
+        die_width: f64,
+        die_height: f64,
+        blocks: Vec<Block>,
+    ) -> Result<Self> {
+        let name = name.into();
+        if blocks.is_empty() {
+            return Err(FloorplanError::InvalidConfig {
+                context: format!("floorplan {name}: no blocks"),
+            });
+        }
+        if !(die_width > 0.0 && die_height > 0.0) {
+            return Err(FloorplanError::InvalidConfig {
+                context: format!("floorplan {name}: non-positive die dimensions"),
+            });
+        }
+        for i in 0..blocks.len() {
+            for j in (i + 1)..blocks.len() {
+                if blocks[i].name == blocks[j].name {
+                    return Err(FloorplanError::InvalidConfig {
+                        context: format!("duplicate block name {}", blocks[i].name),
+                    });
+                }
+            }
+        }
+        Ok(Floorplan {
+            name,
+            die_width,
+            die_height,
+            blocks,
+        })
+    }
+
+    /// The UltraSPARC T1 model used throughout the reproduction:
+    /// 8 cores, 4 L2 data banks, crossbar, FPU, 2 DRAM controllers, I/O
+    /// bridge and a misc/clock block — 18 blocks, ~63 W peak total on a
+    /// 19.2 mm × 18.0 mm die (90 nm generation).
+    pub fn ultrasparc_t1() -> Self {
+        // Helper keeps the table readable.
+        let b = |name: &str, kind, x, y, w, h, idle, peak| {
+            Block::new(name, kind, x, y, w, h, idle, peak).expect("static T1 table is valid")
+        };
+        let mut blocks = Vec::with_capacity(17);
+        // Two rows of four cores at the top and bottom edges.
+        for i in 0..4 {
+            blocks.push(b(
+                &format!("core{i}"),
+                BlockKind::Core,
+                i as f64 * 0.25,
+                0.0,
+                0.25,
+                0.22,
+                1.2,
+                5.2,
+            ));
+        }
+        for i in 4..8 {
+            blocks.push(b(
+                &format!("core{i}"),
+                BlockKind::Core,
+                (i - 4) as f64 * 0.25,
+                0.78,
+                0.25,
+                0.22,
+                1.2,
+                5.2,
+            ));
+        }
+        // L2 data banks on the flanks.
+        blocks.push(b("l2b0", BlockKind::L2Cache, 0.0, 0.22, 0.20, 0.28, 0.8, 1.9));
+        blocks.push(b("l2b1", BlockKind::L2Cache, 0.0, 0.50, 0.20, 0.28, 0.8, 1.9));
+        blocks.push(b("l2b2", BlockKind::L2Cache, 0.80, 0.22, 0.20, 0.28, 0.8, 1.9));
+        blocks.push(b("l2b3", BlockKind::L2Cache, 0.80, 0.50, 0.20, 0.28, 0.8, 1.9));
+        // Middle band: crossbar, FPU, DRAM controllers, IOB, misc.
+        blocks.push(b("ccx", BlockKind::Crossbar, 0.20, 0.42, 0.40, 0.16, 1.0, 3.6));
+        blocks.push(b("fpu", BlockKind::Fpu, 0.60, 0.42, 0.20, 0.16, 0.3, 1.8));
+        blocks.push(b("dram0", BlockKind::DramCtl, 0.20, 0.22, 0.30, 0.20, 0.7, 1.6));
+        blocks.push(b("dram1", BlockKind::DramCtl, 0.50, 0.22, 0.30, 0.20, 0.7, 1.6));
+        blocks.push(b("iob", BlockKind::IoBridge, 0.20, 0.58, 0.30, 0.20, 0.6, 1.4));
+        blocks.push(b("misc", BlockKind::Misc, 0.50, 0.58, 0.30, 0.20, 0.9, 1.5));
+        Floorplan::new("UltraSPARC T1", 19.2e-3, 18.0e-3, blocks).expect("static table is valid")
+    }
+
+    /// A dual-core Athlon 64 X2 model — the processor the k-LSE paper
+    /// (Nowroz et al.) evaluated on. The EigenMaps paper attributes part
+    /// of k-LSE's weakness on the T1 to the T1 "generating more high
+    /// frequency content" than the Athlon; this floorplan lets the
+    /// `ablation_processors` experiment test that claim: two big cores
+    /// and a large shared L2 produce smoother, lower-frequency maps than
+    /// the T1's eight small cores.
+    pub fn athlon64_x2() -> Self {
+        let b = |name: &str, kind, x, y, w, h, idle, peak| {
+            Block::new(name, kind, x, y, w, h, idle, peak).expect("static Athlon table is valid")
+        };
+        let blocks = vec![
+            // Two wide cores across the top half.
+            b("core0", BlockKind::Core, 0.0, 0.0, 0.5, 0.45, 6.0, 32.0),
+            b("core1", BlockKind::Core, 0.5, 0.0, 0.5, 0.45, 6.0, 32.0),
+            // Per-core L2 banks across the bottom.
+            b("l2c0", BlockKind::L2Cache, 0.0, 0.55, 0.5, 0.45, 1.5, 4.0),
+            b("l2c1", BlockKind::L2Cache, 0.5, 0.55, 0.5, 0.45, 1.5, 4.0),
+            // Northbridge / crossbar band between cores and caches.
+            b("xbar", BlockKind::Crossbar, 0.0, 0.45, 0.5, 0.10, 1.0, 3.0),
+            b("memctl", BlockKind::DramCtl, 0.5, 0.45, 0.3, 0.10, 1.0, 2.5),
+            b("ht", BlockKind::IoBridge, 0.8, 0.45, 0.2, 0.10, 0.5, 1.5),
+        ];
+        Floorplan::new("Athlon 64 X2", 14.7e-3, 12.8e-3, blocks).expect("static table is valid")
+    }
+
+    /// Floorplan name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Physical die width in meters.
+    pub fn die_width(&self) -> f64 {
+        self.die_width
+    }
+
+    /// Physical die height in meters.
+    pub fn die_height(&self) -> f64 {
+        self.die_height
+    }
+
+    /// The blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the floorplan has no blocks (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Looks a block up by name.
+    pub fn block(&self, name: &str) -> Option<&Block> {
+        self.blocks.iter().find(|b| b.name == name)
+    }
+
+    /// Indices of all blocks of a given kind.
+    pub fn blocks_of_kind(&self, kind: BlockKind) -> Vec<usize> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| (b.kind == kind).then_some(i))
+            .collect()
+    }
+
+    /// Total power with every block at the given utilization.
+    pub fn total_power(&self, utilization: f64) -> f64 {
+        self.blocks.iter().map(|b| b.power(utilization)).sum()
+    }
+
+    /// Rectangles of every block of `kind`, for building placement masks
+    /// (e.g. "no sensors in the caches", Fig. 6).
+    pub fn rects_of_kind(&self, kind: BlockKind) -> Vec<(f64, f64, f64, f64)> {
+        self.blocks
+            .iter()
+            .filter(|b| b.kind == kind)
+            .map(|b| b.rect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t1_shape() {
+        let fp = Floorplan::ultrasparc_t1();
+        assert_eq!(fp.len(), 18);
+        assert_eq!(fp.blocks_of_kind(BlockKind::Core).len(), 8);
+        assert_eq!(fp.blocks_of_kind(BlockKind::L2Cache).len(), 4);
+        assert!(fp.block("core0").is_some());
+        assert!(fp.block("ccx").is_some());
+        assert!(fp.block("nonexistent").is_none());
+    }
+
+    #[test]
+    fn t1_power_budget_plausible() {
+        let fp = Floorplan::ultrasparc_t1();
+        let peak = fp.total_power(1.0);
+        let idle = fp.total_power(0.0);
+        // Leon et al. report a ~63 W chip; allow the die-level budget to
+        // land in a plausible band (the remainder is I/O and leakage).
+        assert!((50.0..75.0).contains(&peak), "peak {peak} W");
+        assert!((5.0..25.0).contains(&idle), "idle {idle} W");
+    }
+
+    #[test]
+    fn t1_blocks_inside_die_and_disjoint() {
+        let fp = Floorplan::ultrasparc_t1();
+        for b in fp.blocks() {
+            assert!(b.x >= 0.0 && b.y >= 0.0);
+            assert!(b.x + b.width <= 1.0 + 1e-9);
+            assert!(b.y + b.height <= 1.0 + 1e-9);
+        }
+        // Pairwise overlap area must be zero.
+        for (i, a) in fp.blocks().iter().enumerate() {
+            for c in fp.blocks().iter().skip(i + 1) {
+                let ox = (a.x + a.width).min(c.x + c.width) - a.x.max(c.x);
+                let oy = (a.y + a.height).min(c.y + c.height) - a.y.max(c.y);
+                let overlap = ox.max(0.0) * oy.max(0.0);
+                assert!(
+                    overlap < 1e-12,
+                    "blocks {} and {} overlap by {overlap}",
+                    a.name,
+                    c.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn t1_covers_the_die() {
+        let fp = Floorplan::ultrasparc_t1();
+        let total: f64 = fp.blocks().iter().map(Block::area).sum();
+        assert!((total - 1.0).abs() < 1e-9, "covered {total}");
+    }
+
+    #[test]
+    fn block_power_is_linear_and_clamped() {
+        let b = Block::new("x", BlockKind::Core, 0.0, 0.0, 0.5, 0.5, 1.0, 5.0).unwrap();
+        assert_eq!(b.power(0.0), 1.0);
+        assert_eq!(b.power(1.0), 5.0);
+        assert_eq!(b.power(0.5), 3.0);
+        assert_eq!(b.power(-1.0), 1.0);
+        assert_eq!(b.power(2.0), 5.0);
+    }
+
+    #[test]
+    fn block_validation() {
+        assert!(Block::new("x", BlockKind::Misc, 0.0, 0.0, 0.0, 0.5, 0.0, 1.0).is_err());
+        assert!(Block::new("x", BlockKind::Misc, 0.8, 0.0, 0.5, 0.5, 0.0, 1.0).is_err());
+        assert!(Block::new("x", BlockKind::Misc, 0.0, 0.0, 0.5, 0.5, 2.0, 1.0).is_err());
+        assert!(Block::new("x", BlockKind::Misc, 0.0, 0.0, 0.5, 0.5, -1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn floorplan_validation() {
+        assert!(Floorplan::new("f", 0.01, 0.01, vec![]).is_err());
+        let b = Block::new("a", BlockKind::Misc, 0.0, 0.0, 0.5, 0.5, 0.0, 1.0).unwrap();
+        assert!(Floorplan::new("f", 0.0, 0.01, vec![b.clone()]).is_err());
+        assert!(Floorplan::new("f", 0.01, 0.01, vec![b.clone(), b]).is_err());
+    }
+
+    #[test]
+    fn athlon_shape_and_budget() {
+        let fp = Floorplan::athlon64_x2();
+        assert_eq!(fp.blocks_of_kind(BlockKind::Core).len(), 2);
+        assert_eq!(fp.blocks_of_kind(BlockKind::L2Cache).len(), 2);
+        // ~89 W TDP class part.
+        let peak = fp.total_power(1.0);
+        assert!((60.0..110.0).contains(&peak), "peak {peak} W");
+        // Blocks tile the die with no overlap.
+        let total: f64 = fp.blocks().iter().map(Block::area).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for (i, a) in fp.blocks().iter().enumerate() {
+            for c in fp.blocks().iter().skip(i + 1) {
+                let ox = (a.x + a.width).min(c.x + c.width) - a.x.max(c.x);
+                let oy = (a.y + a.height).min(c.y + c.height) - a.y.max(c.y);
+                assert!(ox.max(0.0) * oy.max(0.0) < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_rects_for_masking() {
+        let fp = Floorplan::ultrasparc_t1();
+        let rects = fp.rects_of_kind(BlockKind::L2Cache);
+        assert_eq!(rects.len(), 4);
+        // All cache banks hug the left or right edge.
+        for (x, _, w, _) in rects {
+            assert!(x < 1e-9 || (x + w) > 1.0 - 1e-9);
+        }
+    }
+}

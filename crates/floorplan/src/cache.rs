@@ -1,0 +1,189 @@
+//! Binary on-disk caching of map ensembles.
+//!
+//! Regenerating the full 2652-snapshot dataset takes a little while, so the
+//! figure binaries cache it. The format is a deliberately tiny hand-rolled
+//! little-endian layout (magic, version, dims, then raw `f64`s) rather than
+//! an extra serialization dependency — see DESIGN.md §6.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use eigenmaps_core::MapEnsemble;
+use eigenmaps_linalg::Matrix;
+
+use crate::error::{FloorplanError, Result};
+
+const MAGIC: &[u8; 8] = b"EIGMAPS1";
+
+/// Writes an ensemble to `path` (creating parent directories).
+///
+/// # Errors
+///
+/// Returns [`FloorplanError::Io`] on filesystem failures.
+pub fn save_ensemble(ensemble: &MapEnsemble, path: &Path) -> Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    for dim in [
+        ensemble.len() as u64,
+        ensemble.rows() as u64,
+        ensemble.cols() as u64,
+    ] {
+        w.write_all(&dim.to_le_bytes())?;
+    }
+    for t in 0..ensemble.len() {
+        for &v in ensemble.map_slice(t) {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads an ensemble previously written by [`save_ensemble`].
+///
+/// # Errors
+///
+/// * [`FloorplanError::Io`] on filesystem failures.
+/// * [`FloorplanError::CorruptCache`] on magic/size mismatches.
+pub fn load_ensemble(path: &Path) -> Result<MapEnsemble> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)
+        .map_err(|_| FloorplanError::CorruptCache {
+            context: "file shorter than header",
+        })?;
+    if &magic != MAGIC {
+        return Err(FloorplanError::CorruptCache {
+            context: "bad magic (not an ensemble cache)",
+        });
+    }
+    let mut u64buf = [0u8; 8];
+    let mut read_u64 = |r: &mut BufReader<File>| -> Result<u64> {
+        r.read_exact(&mut u64buf)
+            .map_err(|_| FloorplanError::CorruptCache {
+                context: "truncated header",
+            })?;
+        Ok(u64::from_le_bytes(u64buf))
+    };
+    let t = read_u64(&mut r)? as usize;
+    let rows = read_u64(&mut r)? as usize;
+    let cols = read_u64(&mut r)? as usize;
+    let n = rows
+        .checked_mul(cols)
+        .and_then(|n| n.checked_mul(t))
+        .ok_or(FloorplanError::CorruptCache {
+            context: "dimensions overflow",
+        })?;
+    // Hard cap to avoid allocating absurd amounts from a corrupt header
+    // (1 GiB of f64s).
+    if n > (1usize << 27) {
+        return Err(FloorplanError::CorruptCache {
+            context: "dimensions exceed sanity cap",
+        });
+    }
+    let mut data = Vec::with_capacity(n);
+    let mut f64buf = [0u8; 8];
+    for _ in 0..n {
+        r.read_exact(&mut f64buf)
+            .map_err(|_| FloorplanError::CorruptCache {
+                context: "truncated payload",
+            })?;
+        data.push(f64::from_le_bytes(f64buf));
+    }
+    // Reject trailing garbage.
+    if r.read(&mut f64buf)? != 0 {
+        return Err(FloorplanError::CorruptCache {
+            context: "trailing bytes after payload",
+        });
+    }
+    let matrix = Matrix::from_vec(t, rows * cols, data).map_err(|_| {
+        FloorplanError::CorruptCache {
+            context: "payload size inconsistent",
+        }
+    })?;
+    Ok(MapEnsemble::new(rows, cols, matrix)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eigenmaps_core::ThermalMap;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("eigenmaps-cache-test-{name}-{}", std::process::id()))
+    }
+
+    fn sample_ensemble() -> MapEnsemble {
+        let maps: Vec<ThermalMap> = (0..7)
+            .map(|t| ThermalMap::from_fn(4, 5, |r, c| t as f64 + r as f64 * 0.5 + c as f64 * 0.1))
+            .collect();
+        MapEnsemble::from_maps(&maps).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let path = tmp("roundtrip");
+        let ens = sample_ensemble();
+        save_ensemble(&ens, &path).unwrap();
+        let back = load_ensemble(&path).unwrap();
+        assert_eq!(back.len(), ens.len());
+        assert_eq!(back.rows(), ens.rows());
+        assert_eq!(back.cols(), ens.cols());
+        for t in 0..ens.len() {
+            assert_eq!(back.map_slice(t), ens.map_slice(t));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("badmagic");
+        std::fs::write(&path, b"NOTMAGIC0000000000000000").unwrap();
+        assert!(matches!(
+            load_ensemble(&path),
+            Err(FloorplanError::CorruptCache { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let path = tmp("truncated");
+        let ens = sample_ensemble();
+        save_ensemble(&ens, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+        assert!(matches!(
+            load_ensemble(&path),
+            Err(FloorplanError::CorruptCache { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let path = tmp("trailing");
+        let ens = sample_ensemble();
+        save_ensemble(&ens, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[1, 2, 3]);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_ensemble(&path),
+            Err(FloorplanError::CorruptCache { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            load_ensemble(Path::new("/nonexistent/definitely/not/here.bin")),
+            Err(FloorplanError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,206 @@
+//! Rasterization of per-block power onto the thermal grid.
+
+use eigenmaps_thermal::GridSpec;
+
+use crate::block::Floorplan;
+use crate::error::{FloorplanError, Result};
+
+/// Distributes block power over grid cells in proportion to geometric
+/// overlap.
+///
+/// The mapping is precomputed once per (floorplan, grid) pair: for every
+/// block, the fraction of its area covering each cell. A power vector of
+/// `B` block wattages then rasterizes to an `N`-cell power map with one
+/// sparse pass — this runs once per trace step, so it must be cheap.
+#[derive(Debug, Clone)]
+pub struct PowerRasterizer {
+    blocks: usize,
+    cells: usize,
+    /// Per block: `(cell index, fraction of block power landing there)`.
+    weights: Vec<Vec<(usize, f64)>>,
+}
+
+impl PowerRasterizer {
+    /// Precomputes the block→cell overlap weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::InvalidConfig`] for an empty grid.
+    pub fn new(floorplan: &Floorplan, grid: GridSpec) -> Result<Self> {
+        if grid.cells() == 0 {
+            return Err(FloorplanError::InvalidConfig {
+                context: "rasterizer: empty grid".into(),
+            });
+        }
+        let rows = grid.rows;
+        let cols = grid.cols;
+        let mut weights = Vec::with_capacity(floorplan.len());
+        for block in floorplan.blocks() {
+            let mut w: Vec<(usize, f64)> = Vec::new();
+            // Cell (r, c) spans [c/cols, (c+1)/cols) × [r/rows, (r+1)/rows)
+            // in normalized coordinates.
+            let c0 = (block.x * cols as f64).floor() as usize;
+            let c1 = ((block.x + block.width) * cols as f64).ceil() as usize;
+            let r0 = (block.y * rows as f64).floor() as usize;
+            let r1 = ((block.y + block.height) * rows as f64).ceil() as usize;
+            let mut total = 0.0;
+            for c in c0..c1.min(cols) {
+                let cx0 = c as f64 / cols as f64;
+                let cx1 = (c + 1) as f64 / cols as f64;
+                let ox = (block.x + block.width).min(cx1) - block.x.max(cx0);
+                if ox <= 0.0 {
+                    continue;
+                }
+                for r in r0..r1.min(rows) {
+                    let cy0 = r as f64 / rows as f64;
+                    let cy1 = (r + 1) as f64 / rows as f64;
+                    let oy = (block.y + block.height).min(cy1) - block.y.max(cy0);
+                    if oy <= 0.0 {
+                        continue;
+                    }
+                    let overlap = ox * oy;
+                    w.push((grid.index(r, c), overlap));
+                    total += overlap;
+                }
+            }
+            // Normalize so the block's wattage is conserved exactly.
+            if total > 0.0 {
+                for (_, f) in w.iter_mut() {
+                    *f /= total;
+                }
+            }
+            weights.push(w);
+        }
+        Ok(PowerRasterizer {
+            blocks: floorplan.len(),
+            cells: grid.cells(),
+            weights,
+        })
+    }
+
+    /// Number of floorplan blocks.
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Number of grid cells.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Rasterizes per-block wattages into a per-cell power map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::TraceShapeMismatch`] if
+    /// `block_power.len()` differs from the block count.
+    pub fn rasterize(&self, block_power: &[f64]) -> Result<Vec<f64>> {
+        if block_power.len() != self.blocks {
+            return Err(FloorplanError::TraceShapeMismatch {
+                expected: self.blocks,
+                found: block_power.len(),
+            });
+        }
+        let mut cells = vec![0.0; self.cells];
+        for (w, &p) in self.weights.iter().zip(block_power.iter()) {
+            for &(cell, frac) in w {
+                cells[cell] += p * frac;
+            }
+        }
+        Ok(cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, BlockKind};
+
+    fn half_and_half() -> Floorplan {
+        let left = Block::new("left", BlockKind::Core, 0.0, 0.0, 0.5, 1.0, 0.0, 10.0).unwrap();
+        let right = Block::new("right", BlockKind::Misc, 0.5, 0.0, 0.5, 1.0, 0.0, 10.0).unwrap();
+        Floorplan::new("half", 0.01, 0.01, vec![left, right]).unwrap()
+    }
+
+    #[test]
+    fn power_is_conserved() {
+        let fp = Floorplan::ultrasparc_t1();
+        let grid = GridSpec::new(14, 15, 1e-3, 1e-3);
+        let rast = PowerRasterizer::new(&fp, grid).unwrap();
+        let block_power: Vec<f64> = (0..fp.len()).map(|i| 0.5 + i as f64 * 0.1).collect();
+        let cells = rast.rasterize(&block_power).unwrap();
+        let total_in: f64 = block_power.iter().sum();
+        let total_out: f64 = cells.iter().sum();
+        assert!(
+            (total_in - total_out).abs() < 1e-9,
+            "in {total_in} out {total_out}"
+        );
+    }
+
+    #[test]
+    fn split_floorplan_maps_to_correct_halves() {
+        let fp = half_and_half();
+        let grid = GridSpec::new(4, 4, 1e-3, 1e-3);
+        let rast = PowerRasterizer::new(&fp, grid).unwrap();
+        let cells = rast.rasterize(&[8.0, 0.0]).unwrap();
+        // Left block covers columns 0..2: power only there.
+        for c in 0..4 {
+            for r in 0..4 {
+                let p = cells[grid.index(r, c)];
+                if c < 2 {
+                    assert!((p - 1.0).abs() < 1e-12, "({r},{c}) = {p}");
+                } else {
+                    assert_eq!(p, 0.0, "({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_cell_overlap_weighted() {
+        // One block covering 1.5 columns of a 2-col grid.
+        let b = Block::new("b", BlockKind::Core, 0.0, 0.0, 0.75, 1.0, 0.0, 1.0).unwrap();
+        let fp = Floorplan::new("f", 0.01, 0.01, vec![b]).unwrap();
+        let grid = GridSpec::new(1, 2, 1e-3, 1e-3);
+        let rast = PowerRasterizer::new(&fp, grid).unwrap();
+        let cells = rast.rasterize(&[3.0]).unwrap();
+        // 2/3 of the block sits in column 0, 1/3 in column 1.
+        assert!((cells[0] - 2.0).abs() < 1e-12);
+        assert!((cells[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_shape_checked() {
+        let fp = half_and_half();
+        let rast = PowerRasterizer::new(&fp, GridSpec::new(2, 2, 1e-3, 1e-3)).unwrap();
+        assert!(matches!(
+            rast.rasterize(&[1.0]),
+            Err(FloorplanError::TraceShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn t1_core_power_lands_on_core_cells() {
+        let fp = Floorplan::ultrasparc_t1();
+        let grid = GridSpec::new(14, 15, 1e-3, 1e-3);
+        let rast = PowerRasterizer::new(&fp, grid).unwrap();
+        // Only core0 powered: all wattage must land in its rectangle
+        // (top-left quadrant region, y in [0,0.22] → rows 0..=3).
+        let mut power = vec![0.0; fp.len()];
+        power[0] = 4.0;
+        let cells = rast.rasterize(&power).unwrap();
+        let mut outside = 0.0;
+        for c in 0..15 {
+            for r in 0..14 {
+                let p = cells[grid.index(r, c)];
+                let in_core0 = (c as f64) / 15.0 < 0.25 && (r as f64) / 14.0 < 0.22;
+                let touches_core0 =
+                    (c as f64) < 0.25 * 15.0 && (r as f64) < 0.22 * 14.0 + 1.0;
+                if !in_core0 && !touches_core0 {
+                    outside += p;
+                }
+            }
+        }
+        assert!(outside < 1e-9, "power leaked outside core0: {outside}");
+    }
+}

@@ -1,0 +1,243 @@
+//! Power-trace text I/O in the HotSpot `.ptrace` convention: a header line
+//! naming the blocks, then one whitespace/comma-separated row of wattages
+//! per time step.
+//!
+//! Lets users replace the synthetic workload generator with measured
+//! traces (the paper drove 3D-ICE from the Leon et al. measurements) and
+//! export generated traces for use with other tools.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::block::Floorplan;
+use crate::error::{FloorplanError, Result};
+use crate::workload::PowerTrace;
+
+/// Serializes a trace to `.ptrace` text: header of block names, one row
+/// per step.
+///
+/// # Errors
+///
+/// Returns [`FloorplanError::TraceShapeMismatch`] if the trace width
+/// disagrees with the floorplan.
+pub fn to_ptrace_string(floorplan: &Floorplan, trace: &PowerTrace) -> Result<String> {
+    if trace.blocks() != floorplan.len() {
+        return Err(FloorplanError::TraceShapeMismatch {
+            expected: floorplan.len(),
+            found: trace.blocks(),
+        });
+    }
+    let mut out = String::new();
+    let names: Vec<&str> = floorplan.blocks().iter().map(|b| b.name.as_str()).collect();
+    out.push_str(&names.join("\t"));
+    out.push('\n');
+    for step in trace.iter() {
+        let mut first = true;
+        for v in step {
+            if !first {
+                out.push('\t');
+            }
+            let _ = write!(out, "{v:.6}");
+            first = false;
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Writes a trace to a `.ptrace` file.
+///
+/// # Errors
+///
+/// Propagates [`to_ptrace_string`] and filesystem errors.
+pub fn save_ptrace(floorplan: &Floorplan, trace: &PowerTrace, path: &Path) -> Result<()> {
+    let body = to_ptrace_string(floorplan, trace)?;
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, body)?;
+    Ok(())
+}
+
+/// Parses `.ptrace` text against a floorplan. The header must contain
+/// exactly the floorplan's block names; columns are reordered to the
+/// floorplan's block order, so traces exported from tools with a different
+/// block ordering load correctly. `dt` is the step interval to stamp on
+/// the trace (the format itself carries no timing).
+///
+/// # Errors
+///
+/// * [`FloorplanError::InvalidConfig`] for missing/unknown header names,
+///   unparsable numbers, or inconsistent row widths.
+pub fn from_ptrace_string(floorplan: &Floorplan, text: &str, dt: f64) -> Result<PowerTrace> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let header = lines.next().ok_or_else(|| FloorplanError::InvalidConfig {
+        context: "ptrace: empty file".into(),
+    })?;
+    let names: Vec<&str> = header
+        .split(['\t', ',', ' '])
+        .filter(|s| !s.is_empty())
+        .collect();
+    if names.len() != floorplan.len() {
+        return Err(FloorplanError::InvalidConfig {
+            context: format!(
+                "ptrace: header has {} columns, floorplan has {} blocks",
+                names.len(),
+                floorplan.len()
+            ),
+        });
+    }
+    // Column i of the file feeds floorplan block `order[i]`.
+    let mut order = Vec::with_capacity(names.len());
+    for name in &names {
+        let idx = floorplan
+            .blocks()
+            .iter()
+            .position(|b| b.name == *name)
+            .ok_or_else(|| FloorplanError::InvalidConfig {
+                context: format!("ptrace: unknown block {name}"),
+            })?;
+        if order.contains(&idx) {
+            return Err(FloorplanError::InvalidConfig {
+                context: format!("ptrace: duplicate block {name}"),
+            });
+        }
+        order.push(idx);
+    }
+
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let vals: Vec<&str> = line
+            .split(['\t', ',', ' '])
+            .filter(|s| !s.is_empty())
+            .collect();
+        if vals.len() != names.len() {
+            return Err(FloorplanError::InvalidConfig {
+                context: format!(
+                    "ptrace: row {} has {} values, expected {}",
+                    lineno + 2,
+                    vals.len(),
+                    names.len()
+                ),
+            });
+        }
+        let mut row = vec![0.0; names.len()];
+        for (col, v) in vals.iter().enumerate() {
+            let w: f64 = v.parse().map_err(|_| FloorplanError::InvalidConfig {
+                context: format!("ptrace: bad number {v:?} at row {}", lineno + 2),
+            })?;
+            if !w.is_finite() || w < 0.0 {
+                return Err(FloorplanError::InvalidConfig {
+                    context: format!("ptrace: non-physical power {w} at row {}", lineno + 2),
+                });
+            }
+            row[order[col]] = w;
+        }
+        rows.push(row);
+    }
+    PowerTrace::from_rows(floorplan.len(), rows, dt)
+}
+
+/// Reads a trace from a `.ptrace` file.
+///
+/// # Errors
+///
+/// Propagates [`from_ptrace_string`] and filesystem errors.
+pub fn load_ptrace(floorplan: &Floorplan, path: &Path, dt: f64) -> Result<PowerTrace> {
+    let text = std::fs::read_to_string(path)?;
+    from_ptrace_string(floorplan, &text, dt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{Scenario, TraceGenerator};
+
+    fn fp_and_trace() -> (Floorplan, PowerTrace) {
+        let fp = Floorplan::ultrasparc_t1();
+        let trace = TraceGenerator::new(fp.clone(), 0.05, 4)
+            .unwrap()
+            .generate(Scenario::WebServer, 12);
+        (fp, trace)
+    }
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let (fp, trace) = fp_and_trace();
+        let text = to_ptrace_string(&fp, &trace).unwrap();
+        let back = from_ptrace_string(&fp, &text, trace.dt()).unwrap();
+        assert_eq!(back.len(), trace.len());
+        assert_eq!(back.blocks(), trace.blocks());
+        for t in 0..trace.len() {
+            for (a, b) in back.step(t).iter().zip(trace.step(t)) {
+                assert!((a - b).abs() < 1e-5, "step {t}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (fp, trace) = fp_and_trace();
+        let path = std::env::temp_dir().join(format!(
+            "eigenmaps-ptrace-test-{}.ptrace",
+            std::process::id()
+        ));
+        save_ptrace(&fp, &trace, &path).unwrap();
+        let back = load_ptrace(&fp, &path, trace.dt()).unwrap();
+        assert_eq!(back.len(), trace.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn column_reordering() {
+        let fp = Floorplan::ultrasparc_t1();
+        // Header in reverse block order; single row of distinct values.
+        let names: Vec<String> = fp.blocks().iter().rev().map(|b| b.name.clone()).collect();
+        let values: Vec<String> = (0..fp.len()).map(|i| format!("{}.0", i + 1)).collect();
+        let text = format!("{}\n{}\n", names.join("\t"), values.join("\t"));
+        let trace = from_ptrace_string(&fp, &text, 0.1).unwrap();
+        // File column 0 (= last block) carried 1.0.
+        let step = trace.step(0);
+        assert_eq!(step[fp.len() - 1], 1.0);
+        assert_eq!(step[0], fp.len() as f64);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        let fp = Floorplan::ultrasparc_t1();
+        assert!(from_ptrace_string(&fp, "", 0.1).is_err());
+        assert!(from_ptrace_string(&fp, "bogus\n1.0\n", 0.1).is_err());
+        // Right header, short row.
+        let names: Vec<String> = fp.blocks().iter().map(|b| b.name.clone()).collect();
+        let text = format!("{}\n1.0 2.0\n", names.join(" "));
+        assert!(from_ptrace_string(&fp, &text, 0.1).is_err());
+        // Negative power.
+        let row: Vec<String> = (0..fp.len()).map(|_| "-1.0".to_string()).collect();
+        let text = format!("{}\n{}\n", names.join(" "), row.join(" "));
+        assert!(from_ptrace_string(&fp, &text, 0.1).is_err());
+        // Duplicate column.
+        let mut dup = names.clone();
+        dup[1] = dup[0].clone();
+        let row: Vec<String> = (0..fp.len()).map(|_| "1.0".to_string()).collect();
+        let text = format!("{}\n{}\n", dup.join(" "), row.join(" "));
+        assert!(from_ptrace_string(&fp, &text, 0.1).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let fp = Floorplan::ultrasparc_t1();
+        let names: Vec<String> = fp.blocks().iter().map(|b| b.name.clone()).collect();
+        let row: Vec<String> = (0..fp.len()).map(|_| "2.5".to_string()).collect();
+        let text = format!(
+            "# exported by eigenmaps\n\n{}\n\n{}\n# trailing comment\n",
+            names.join("\t"),
+            row.join("\t")
+        );
+        let trace = from_ptrace_string(&fp, &text, 0.05).unwrap();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.step(0)[0], 2.5);
+    }
+}

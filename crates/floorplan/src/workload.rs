@@ -1,0 +1,455 @@
+//! Workload scenarios and power-trace generation.
+//!
+//! The paper drives 3D-ICE with the proprietary power traces of Leon et
+//! al. (ref. 7 of the paper), recorded while the chip ran "different scenarios/workload".
+//! Those traces are not available, so this module synthesizes statistically
+//! comparable ones: per-block utilization processes (first-order
+//! autoregressive, i.e. Markov, with scenario-specific targets and burst
+//! behaviour) mapped through each block's idle/peak power envelope.
+//! Derived activity couples the uncore realistically: an L2 bank follows
+//! the cores of its half of the die, the crossbar follows aggregate
+//! traffic, the FPU bursts with compute phases.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::block::{BlockKind, Floorplan};
+use crate::error::{FloorplanError, Result};
+
+/// A workload scenario shaping the utilization processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Scenario {
+    /// Everything near idle, small fluctuations.
+    Idle,
+    /// Throughput server load: all cores moderately busy with frequent
+    /// short bursts (the T1's design point).
+    WebServer,
+    /// Half the cores pinned hot (compute-bound batch job), FPU busy.
+    ComputeBound,
+    /// One hot task the OS migrates from core to core every few hundred
+    /// milliseconds — the "no clear spatio-temporal pattern" case from the
+    /// paper's introduction.
+    Migration,
+    /// Random mixture: every few hundred ms a new random subset of cores
+    /// becomes active.
+    Mixed,
+}
+
+impl Scenario {
+    /// All scenarios, in the order the default dataset schedule uses.
+    pub const ALL: [Scenario; 5] = [
+        Scenario::Idle,
+        Scenario::WebServer,
+        Scenario::ComputeBound,
+        Scenario::Migration,
+        Scenario::Mixed,
+    ];
+}
+
+/// A `T × B` matrix of per-block power (W), one row per time step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerTrace {
+    steps: usize,
+    blocks: usize,
+    /// Row-major `steps × blocks` wattages.
+    data: Vec<f64>,
+    /// Interval between rows, seconds.
+    dt: f64,
+}
+
+impl PowerTrace {
+    /// Builds a trace from explicit per-step rows (e.g. parsed from a
+    /// `.ptrace` file).
+    ///
+    /// # Errors
+    ///
+    /// * [`FloorplanError::TraceShapeMismatch`] if any row length differs
+    ///   from `blocks`.
+    /// * [`FloorplanError::InvalidConfig`] if `dt` is not positive.
+    pub fn from_rows(blocks: usize, rows: Vec<Vec<f64>>, dt: f64) -> Result<PowerTrace> {
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(FloorplanError::InvalidConfig {
+                context: "trace interval must be positive".into(),
+            });
+        }
+        let mut data = Vec::with_capacity(rows.len() * blocks);
+        for row in &rows {
+            if row.len() != blocks {
+                return Err(FloorplanError::TraceShapeMismatch {
+                    expected: blocks,
+                    found: row.len(),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(PowerTrace {
+            steps: rows.len(),
+            blocks,
+            data,
+            dt,
+        })
+    }
+
+    /// Number of time steps.
+    pub fn len(&self) -> usize {
+        self.steps
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps == 0
+    }
+
+    /// Number of blocks per step.
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Step interval in seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Block wattages at step `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn step(&self, t: usize) -> &[f64] {
+        assert!(t < self.steps, "step {t} out of range");
+        &self.data[t * self.blocks..(t + 1) * self.blocks]
+    }
+
+    /// Iterates over the steps.
+    pub fn iter(&self) -> impl Iterator<Item = &[f64]> + '_ {
+        (0..self.steps).map(move |t| self.step(t))
+    }
+
+    /// Concatenates two traces (must agree on blocks and dt).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::TraceShapeMismatch`] on disagreement.
+    pub fn concat(mut self, other: &PowerTrace) -> Result<PowerTrace> {
+        if other.blocks != self.blocks || (other.dt - self.dt).abs() > 1e-12 {
+            return Err(FloorplanError::TraceShapeMismatch {
+                expected: self.blocks,
+                found: other.blocks,
+            });
+        }
+        self.data.extend_from_slice(&other.data);
+        self.steps += other.steps;
+        Ok(self)
+    }
+}
+
+/// Synthesizes per-block power traces for a floorplan.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    floorplan: Floorplan,
+    dt: f64,
+    seed: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator with the trace interval `dt` (seconds) and a
+    /// deterministic seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::InvalidConfig`] if `dt` is not positive.
+    pub fn new(floorplan: Floorplan, dt: f64, seed: u64) -> Result<Self> {
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(FloorplanError::InvalidConfig {
+                context: "trace interval must be positive".into(),
+            });
+        }
+        Ok(TraceGenerator {
+            floorplan,
+            dt,
+            seed,
+        })
+    }
+
+    /// The floorplan being driven.
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.floorplan
+    }
+
+    /// Generates a `steps`-long trace for one scenario.
+    ///
+    /// Deterministic in `(seed, scenario, steps)`.
+    pub fn generate(&self, scenario: Scenario, steps: usize) -> PowerTrace {
+        let b = self.floorplan.len();
+        let cores = self.floorplan.blocks_of_kind(BlockKind::Core);
+        let n_cores = cores.len().max(1);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ scenario_salt(scenario));
+
+        // Per-core AR(1) utilization state.
+        let mut core_u = vec![0.1_f64; n_cores];
+        // Migration state: which core hosts the hot task.
+        let mut hot_core = 0usize;
+        // Mixed state: current active subset.
+        let mut active: Vec<bool> = (0..n_cores).map(|_| rng.gen_bool(0.5)).collect();
+        // Phase length in steps for regime switches (~300 ms at dt=50 ms).
+        let phase = ((0.3 / self.dt).round() as usize).max(1);
+
+        let mut data = Vec::with_capacity(steps * b);
+        for t in 0..steps {
+            if t % phase == 0 && t > 0 {
+                match scenario {
+                    Scenario::Migration => {
+                        hot_core = rng.gen_range(0..n_cores);
+                    }
+                    Scenario::Mixed => {
+                        for a in active.iter_mut() {
+                            *a = rng.gen_bool(0.45);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // Scenario-specific utilization targets.
+            for (ci, u) in core_u.iter_mut().enumerate() {
+                let target = match scenario {
+                    Scenario::Idle => 0.05,
+                    Scenario::WebServer => {
+                        if rng.gen_bool(0.08) {
+                            0.95 // short burst
+                        } else {
+                            0.45
+                        }
+                    }
+                    Scenario::ComputeBound => {
+                        if ci < n_cores / 2 {
+                            0.95
+                        } else {
+                            0.15
+                        }
+                    }
+                    Scenario::Migration => {
+                        if ci == hot_core {
+                            0.95
+                        } else {
+                            0.10
+                        }
+                    }
+                    Scenario::Mixed => {
+                        if active[ci] {
+                            0.85
+                        } else {
+                            0.10
+                        }
+                    }
+                };
+                // AR(1): u ← ρu + (1−ρ)target + σε, clamped to [0, 1].
+                let rho = 0.80;
+                let sigma = 0.06;
+                let eps: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+                *u = (rho * *u + (1.0 - rho) * target + sigma * eps).clamp(0.0, 1.0);
+            }
+
+            // Derived uncore activity.
+            let mean_u: f64 = core_u.iter().sum::<f64>() / n_cores as f64;
+            let left_u: f64 = core_u.iter().take(n_cores / 2).sum::<f64>()
+                / (n_cores / 2).max(1) as f64;
+            let right_u: f64 = core_u.iter().skip(n_cores / 2).sum::<f64>()
+                / (n_cores - n_cores / 2).max(1) as f64;
+            let fpu_u = match scenario {
+                Scenario::ComputeBound => (mean_u * 1.4).min(1.0),
+                Scenario::Idle => 0.02,
+                _ => mean_u * 0.5,
+            };
+
+            let mut core_cursor = 0usize;
+            for block in self.floorplan.blocks() {
+                let u = match block.kind {
+                    BlockKind::Core => {
+                        let u = core_u[core_cursor % n_cores];
+                        core_cursor += 1;
+                        u
+                    }
+                    // L2 banks: left banks follow the first half of the
+                    // cores, right banks the second (cache traffic locality).
+                    BlockKind::L2Cache => {
+                        if block.x < 0.5 {
+                            left_u * 0.9
+                        } else {
+                            right_u * 0.9
+                        }
+                    }
+                    BlockKind::Crossbar => mean_u,
+                    BlockKind::Fpu => fpu_u,
+                    BlockKind::DramCtl => (mean_u * 0.8).min(1.0),
+                    BlockKind::IoBridge => match scenario {
+                        Scenario::WebServer => (mean_u * 1.2).min(1.0),
+                        _ => mean_u * 0.4,
+                    },
+                    BlockKind::Misc => 0.5,
+                };
+                data.push(block.power(u));
+            }
+        }
+        PowerTrace {
+            steps,
+            blocks: b,
+            data,
+            dt: self.dt,
+        }
+    }
+
+    /// Generates the default multi-scenario schedule: `steps_per_scenario`
+    /// steps of every scenario in [`Scenario::ALL`] order, concatenated —
+    /// the reproduction's stand-in for the paper's scenario mix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PowerTrace::concat`] errors (cannot occur here).
+    pub fn generate_schedule(&self, steps_per_scenario: usize) -> Result<PowerTrace> {
+        let mut trace: Option<PowerTrace> = None;
+        for (i, &s) in Scenario::ALL.iter().enumerate() {
+            let gen = TraceGenerator {
+                floorplan: self.floorplan.clone(),
+                dt: self.dt,
+                seed: self.seed.wrapping_add(i as u64 * 0x9E37_79B9),
+            };
+            let part = gen.generate(s, steps_per_scenario);
+            trace = Some(match trace {
+                None => part,
+                Some(t) => t.concat(&part)?,
+            });
+        }
+        Ok(trace.expect("ALL is non-empty"))
+    }
+}
+
+fn scenario_salt(s: Scenario) -> u64 {
+    match s {
+        Scenario::Idle => 0x1D1E,
+        Scenario::WebServer => 0x3EB5,
+        Scenario::ComputeBound => 0xC0B0,
+        Scenario::Migration => 0x316A,
+        Scenario::Mixed => 0x317E,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator(seed: u64) -> TraceGenerator {
+        TraceGenerator::new(Floorplan::ultrasparc_t1(), 0.05, seed).unwrap()
+    }
+
+    #[test]
+    fn trace_dimensions() {
+        let g = generator(1);
+        let t = g.generate(Scenario::WebServer, 40);
+        assert_eq!(t.len(), 40);
+        assert_eq!(t.blocks(), 18);
+        assert_eq!(t.step(0).len(), 18);
+        assert_eq!(t.iter().count(), 40);
+        assert!((t.dt() - 0.05).abs() < 1e-15);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generator(7).generate(Scenario::Mixed, 30);
+        let b = generator(7).generate(Scenario::Mixed, 30);
+        let c = generator(8).generate(Scenario::Mixed, 30);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn power_within_block_envelopes() {
+        let g = generator(2);
+        let fp = g.floorplan().clone();
+        for scenario in Scenario::ALL {
+            let t = g.generate(scenario, 50);
+            for step in t.iter() {
+                for (p, b) in step.iter().zip(fp.blocks()) {
+                    assert!(
+                        *p >= b.idle_power - 1e-12 && *p <= b.peak_power + 1e-12,
+                        "{}: {} outside [{}, {}]",
+                        b.name,
+                        p,
+                        b.idle_power,
+                        b.peak_power
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn idle_is_cooler_than_compute() {
+        let g = generator(3);
+        let idle = g.generate(Scenario::Idle, 100);
+        let busy = g.generate(Scenario::ComputeBound, 100);
+        let total = |t: &PowerTrace| -> f64 { t.iter().map(|s| s.iter().sum::<f64>()).sum() };
+        assert!(total(&busy) > 1.5 * total(&idle));
+    }
+
+    #[test]
+    fn migration_moves_the_hot_core() {
+        let g = generator(4);
+        let t = g.generate(Scenario::Migration, 400);
+        let fp = g.floorplan();
+        let cores = fp.blocks_of_kind(crate::block::BlockKind::Core);
+        // Identify the hottest core at several well-separated times; over
+        // a long window the hot spot must move at least once.
+        let hottest = |step: &[f64]| -> usize {
+            cores
+                .iter()
+                .copied()
+                .max_by(|&a, &b| step[a].partial_cmp(&step[b]).unwrap())
+                .unwrap()
+        };
+        let marks: Vec<usize> = (0..8).map(|i| hottest(t.step(i * 50))).collect();
+        let first = marks[0];
+        assert!(
+            marks.iter().any(|&m| m != first),
+            "hot task never migrated: {marks:?}"
+        );
+    }
+
+    #[test]
+    fn compute_bound_is_spatially_asymmetric() {
+        let g = generator(5);
+        let t = g.generate(Scenario::ComputeBound, 60);
+        let fp = g.floorplan();
+        let cores = fp.blocks_of_kind(crate::block::BlockKind::Core);
+        let (first_half, second_half) = cores.split_at(cores.len() / 2);
+        let avg = |ids: &[usize]| -> f64 {
+            t.iter()
+                .map(|s| ids.iter().map(|&i| s[i]).sum::<f64>() / ids.len() as f64)
+                .sum::<f64>()
+                / t.len() as f64
+        };
+        assert!(avg(first_half) > 1.5 * avg(second_half));
+    }
+
+    #[test]
+    fn schedule_concatenates_all_scenarios() {
+        let g = generator(6);
+        let t = g.generate_schedule(20).unwrap();
+        assert_eq!(t.len(), 20 * Scenario::ALL.len());
+    }
+
+    #[test]
+    fn invalid_dt_rejected() {
+        assert!(TraceGenerator::new(Floorplan::ultrasparc_t1(), 0.0, 1).is_err());
+    }
+
+    #[test]
+    fn concat_validates_shape() {
+        let g = generator(1);
+        let a = g.generate(Scenario::Idle, 5);
+        let other = TraceGenerator::new(Floorplan::ultrasparc_t1(), 0.1, 1)
+            .unwrap()
+            .generate(Scenario::Idle, 5);
+        assert!(a.concat(&other).is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! Orthonormal DCT-II bases, including the zigzag-ordered 2-D low-pass
+//! subspace used by the k-LSE baseline (Nowroz et al., DAC 2010).
+//!
+//! k-LSE approximates a thermal map by its `K` lowest-frequency 2-D DCT
+//! coefficients; reconstruction solves the same least-squares problem as
+//! EigenMaps but over this fixed (data-independent) subspace. Reproducing it
+//! faithfully requires the exact orthonormal DCT-II convention below.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Orthonormal 1-D DCT-II matrix of size `n × n`.
+///
+/// `D[k][t] = c_k · cos(π (2t+1) k / (2n))` with `c_0 = √(1/n)` and
+/// `c_k = √(2/n)` for `k ≥ 1`. Rows are the basis functions; `D Dᵀ = I`.
+pub fn dct_matrix(n: usize) -> Matrix {
+    let nf = n as f64;
+    Matrix::from_fn(n, n, |k, t| {
+        let ck = if k == 0 {
+            (1.0 / nf).sqrt()
+        } else {
+            (2.0 / nf).sqrt()
+        };
+        ck * (std::f64::consts::PI * (2.0 * t as f64 + 1.0) * k as f64 / (2.0 * nf)).cos()
+    })
+}
+
+/// Enumerates 2-D frequency pairs `(p, q)` (`p` over rows/height, `q` over
+/// columns/width) in zigzag order: ascending `p + q`, alternating direction
+/// within each anti-diagonal — the classic JPEG-style low-frequency-first
+/// ordering that k-LSE uses to pick its `K` atoms.
+pub fn zigzag_order(h: usize, w: usize) -> Vec<(usize, usize)> {
+    let mut order = Vec::with_capacity(h * w);
+    if h == 0 || w == 0 {
+        return order;
+    }
+    for s in 0..(h + w - 1) {
+        if s % 2 == 0 {
+            // Walk up-right: p from high to low.
+            let p_start = s.min(h - 1);
+            let mut p = p_start as isize;
+            while p >= 0 {
+                let q = s - p as usize;
+                if q < w {
+                    order.push((p as usize, q));
+                }
+                p -= 1;
+            }
+        } else {
+            // Walk down-left: p from low to high.
+            for p in 0..=s.min(h - 1) {
+                let q = s - p;
+                if q < w {
+                    order.push((p, q));
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Builds the `N × K` matrix whose columns are the first `K` zigzag-ordered
+/// 2-D DCT atoms of an `h × w` grid, vectorized **column-major**
+/// (`i = row + col·h`, the paper's stacking convention).
+///
+/// Columns are orthonormal: the 2-D DCT is a tensor product of orthonormal
+/// 1-D transforms.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidArgument`] if `k > h·w`.
+///
+/// # Examples
+///
+/// ```
+/// use eigenmaps_linalg::dct::dct2_basis;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let basis = dct2_basis(4, 4, 6)?;
+/// assert_eq!(basis.shape(), (16, 6));
+/// // Columns are orthonormal.
+/// let gram = basis.tr_matmul(&basis)?;
+/// assert!((gram[(0, 0)] - 1.0).abs() < 1e-12);
+/// assert!(gram[(0, 1)].abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dct2_basis(h: usize, w: usize, k: usize) -> Result<Matrix> {
+    let n = h * w;
+    if k > n {
+        return Err(LinalgError::InvalidArgument {
+            context: "dct2_basis: k exceeds h*w",
+        });
+    }
+    let dh = dct_matrix(h);
+    let dw = dct_matrix(w);
+    let order = zigzag_order(h, w);
+    let mut basis = Matrix::zeros(n, k);
+    for (col, &(p, q)) in order.iter().take(k).enumerate() {
+        // Atom(p,q)[r, c] = Dh[p, r] * Dw[q, c]; vectorize column-major.
+        for c in 0..w {
+            let dwqc = dw[(q, c)];
+            for r in 0..h {
+                basis[(r + c * h, col)] = dh[(p, r)] * dwqc;
+            }
+        }
+    }
+    Ok(basis)
+}
+
+/// Projects a column-major vectorized `h × w` field onto the first `k`
+/// zigzag DCT atoms and reconstructs it — the k-LSE *approximation* (as
+/// opposed to reconstruction-from-sensors) used in Fig. 3(a) of the paper.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] if `x.len() != h·w`, and
+/// propagates [`dct2_basis`] errors.
+pub fn dct2_lowpass(x: &[f64], h: usize, w: usize, k: usize) -> Result<Vec<f64>> {
+    if x.len() != h * w {
+        return Err(LinalgError::ShapeMismatch {
+            context: "dct2_lowpass",
+            expected: (h * w, 1),
+            found: (x.len(), 1),
+        });
+    }
+    let basis = dct2_basis(h, w, k)?;
+    let coeffs = basis.tr_matvec(x)?;
+    basis.matvec(&coeffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dct_matrix_is_orthonormal() {
+        for n in [1, 2, 5, 8] {
+            let d = dct_matrix(n);
+            let ddt = d.matmul(&d.transpose()).unwrap();
+            let err = ddt.sub(&Matrix::identity(n)).unwrap().norm_max();
+            assert!(err < 1e-12, "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn dct_dc_row_is_constant() {
+        let d = dct_matrix(4);
+        let expect = 0.5; // √(1/4)
+        for t in 0..4 {
+            assert!((d[(0, t)] - expect).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn zigzag_small_grid() {
+        // 3x3 zigzag: the JPEG pattern.
+        let z = zigzag_order(3, 3);
+        assert_eq!(
+            z,
+            vec![
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (2, 0),
+                (1, 1),
+                (0, 2),
+                (1, 2),
+                (2, 1),
+                (2, 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn zigzag_covers_all_frequencies_once() {
+        let z = zigzag_order(5, 7);
+        assert_eq!(z.len(), 35);
+        let mut seen = std::collections::HashSet::new();
+        for &(p, q) in &z {
+            assert!(p < 5 && q < 7);
+            assert!(seen.insert((p, q)), "duplicate frequency ({p},{q})");
+        }
+        // Low frequencies come first: total frequency never decreases by
+        // more than within one anti-diagonal.
+        for win in z.windows(2) {
+            let s0 = win[0].0 + win[0].1;
+            let s1 = win[1].0 + win[1].1;
+            assert!(s1 >= s0, "zigzag went backwards: {win:?}");
+        }
+    }
+
+    #[test]
+    fn zigzag_rectangular_and_degenerate() {
+        assert_eq!(zigzag_order(1, 4), vec![(0, 0), (0, 1), (0, 2), (0, 3)]);
+        assert_eq!(zigzag_order(0, 4), Vec::<(usize, usize)>::new());
+        assert_eq!(zigzag_order(2, 1), vec![(0, 0), (1, 0)]);
+    }
+
+    #[test]
+    fn dct2_basis_columns_orthonormal() {
+        let b = dct2_basis(6, 5, 12).unwrap();
+        let gram = b.tr_matmul(&b).unwrap();
+        let err = gram.sub(&Matrix::identity(12)).unwrap().norm_max();
+        assert!(err < 1e-12, "gram error {err}");
+    }
+
+    #[test]
+    fn dct2_basis_full_is_complete() {
+        // With k = h*w, projection must be exact for any vector.
+        let (h, w) = (4, 3);
+        let b = dct2_basis(h, w, h * w).unwrap();
+        let x: Vec<f64> = (0..12).map(|i| ((i * i) as f64).sin()).collect();
+        let xr = b.matvec(&b.tr_matvec(&x).unwrap()).unwrap();
+        for (a, r) in x.iter().zip(xr.iter()) {
+            assert!((a - r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dct2_basis_k_too_large() {
+        assert!(dct2_basis(2, 2, 5).is_err());
+    }
+
+    #[test]
+    fn lowpass_preserves_constant_field() {
+        // A constant field is pure DC: k=1 must reproduce it exactly.
+        let x = vec![3.5; 20];
+        let y = dct2_lowpass(&x, 5, 4, 1).unwrap();
+        for v in y {
+            assert!((v - 3.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lowpass_error_decreases_with_k() {
+        let (h, w) = (8, 8);
+        let x: Vec<f64> = (0..64)
+            .map(|i| {
+                let r = (i % 8) as f64;
+                let c = (i / 8) as f64;
+                (r / 3.0).sin() + (c / 2.0).cos() + 0.1 * (r * c / 7.0).sin()
+            })
+            .collect();
+        let mut prev = f64::INFINITY;
+        for k in [1, 4, 16, 36, 64] {
+            let y = dct2_lowpass(&x, h, w, k).unwrap();
+            let err: f64 = x
+                .iter()
+                .zip(y.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            assert!(err <= prev + 1e-12, "k={k}: {err} > {prev}");
+            prev = err;
+        }
+        assert!(prev < 1e-20, "full basis must be exact, err={prev}");
+    }
+
+    #[test]
+    fn lowpass_length_checked() {
+        assert!(dct2_lowpass(&[1.0; 5], 2, 3, 2).is_err());
+    }
+}

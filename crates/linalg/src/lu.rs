@@ -1,0 +1,212 @@
+//! LU factorization with partial pivoting.
+//!
+//! Used for general square solves (e.g. inverting the small `K × K` normal
+//! matrix in diagnostics) and for determinants in tests.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// LU factorization with partial pivoting: `P A = L U`.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed `L` (unit lower, below diagonal) and `U` (upper incl. diagonal).
+    packed: Matrix,
+    /// Row permutation: `perm[i]` is the original row now at position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (`+1.0` or `-1.0`), for determinants.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] for rectangular input.
+    /// * [`LinalgError::Singular`] when a pivot is exactly zero in exact
+    ///   arithmetic terms (column of zeros below and at the pivot).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (n, m) = a.shape();
+        if n != m {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Find pivot.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best == 0.0 {
+                return Err(LinalgError::Singular { context: "lu" });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let l = lu[(i, k)] / pivot;
+                lu[(i, k)] = l;
+                if l != 0.0 {
+                    for j in (k + 1)..n {
+                        let ukj = lu[(k, j)];
+                        lu[(i, j)] -= l * ukj;
+                    }
+                }
+            }
+        }
+        Ok(Lu {
+            packed: lu,
+            perm,
+            sign,
+        })
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len()` differs from the
+    /// matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.packed.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                context: "lu solve",
+                expected: (n, 1),
+                found: (b.len(), 1),
+            });
+        }
+        // Forward substitution with permuted b (L has unit diagonal).
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[self.perm[i]];
+            for j in 0..i {
+                s -= self.packed[(i, j)] * y[j];
+            }
+            y[i] = s;
+        }
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.packed[(i, j)] * x[j];
+            }
+            x[i] = s / self.packed[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factorized matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.packed.rows();
+        let mut d = self.sign;
+        for i in 0..n {
+            d *= self.packed[(i, i)];
+        }
+        d
+    }
+
+    /// Computes the inverse matrix column by column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Lu::solve`] errors (cannot occur for a successfully
+    /// factorized matrix).
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.packed.rows();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let x = self.solve(&e)?;
+            inv.set_col(j, &x);
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+/// One-shot solve of `A x = b` via LU with partial pivoting.
+///
+/// # Errors
+///
+/// Propagates [`Lu::new`] and [`Lu::solve`] errors.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Lu::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
+        let x = solve(&a, &[8.0, -11.0, -3.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!((x[2] - -1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_and_sign() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+        let b = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]);
+        assert!((Lu::new(&b).unwrap().det() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(Lu::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rectangular_rejected() {
+        assert!(matches!(
+            Lu::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let inv = Lu::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.sub(&Matrix::identity(2)).unwrap().norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]);
+        let x = solve(&a, &[2.0, 2.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_shape_mismatch() {
+        let a = Matrix::identity(3);
+        let lu = Lu::new(&a).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+}

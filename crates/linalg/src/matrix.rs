@@ -1,0 +1,617 @@
+//! Dense row-major matrix type.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::error::{LinalgError, Result};
+use crate::vecops;
+
+/// A dense, row-major matrix of `f64`.
+///
+/// Row-major storage makes row extraction free, which matters because the
+/// EigenMaps sensing matrix `Ψ̃_K` is a *row selection* of the basis matrix
+/// (one row per sensor location).
+///
+/// # Examples
+///
+/// ```
+/// use eigenmaps_linalg::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// assert_eq!(a[(1, 0)], 3.0);
+/// assert_eq!(a.transpose()[(0, 1)], 3.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a generator function `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        if rows.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "from_rows: ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a matrix taking ownership of a row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if `data.len() != rows*cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidArgument {
+                context: "from_vec: data length must equal rows*cols",
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a column vector (an `n × 1` matrix) from a slice.
+    pub fn column_from(v: &[f64]) -> Self {
+        Matrix {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn diag(d: &[f64]) -> Self {
+        let mut m = Matrix::zeros(d.len(), d.len());
+        for (i, &v) in d.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether the matrix has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the `i`-th row as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows the `i`-th row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        let c = self.cols;
+        &mut self.data[i * c..(i + 1) * c]
+    }
+
+    /// Copies the `j`-th column into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Writes `v` into the `j`-th column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols` or `v.len() != rows`.
+    pub fn set_col(&mut self, j: usize, v: &[f64]) {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        assert_eq!(v.len(), self.rows, "set_col: length mismatch");
+        for (i, &x) in v.iter().enumerate() {
+            self[(i, j)] = x;
+        }
+    }
+
+    /// Borrows the underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the row-major buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                t[(j, i)] = v;
+            }
+        }
+        t
+    }
+
+    /// Matrix–matrix product `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                context: "matmul",
+                expected: (self.cols, rhs.cols),
+                found: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order: the innermost loop walks contiguous rows of both
+        // `rhs` and `out`, which is the cache-friendly order for row-major.
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for (k, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = rhs.row(k);
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                vecops::axpy(aik, brow, orow);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Product with the transpose of `self` on the left: `selfᵀ · rhs`.
+    ///
+    /// Computed without materialising the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.rows != rhs.rows`.
+    pub fn tr_matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                context: "tr_matmul",
+                expected: (self.rows, rhs.cols),
+                found: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for t in 0..self.rows {
+            let arow = self.row(t);
+            let brow = rhs.row(t);
+            for (i, &ati) in arow.iter().enumerate() {
+                if ati == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                vecops::axpy(ati, brow, orow);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self · x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                context: "matvec",
+                expected: (self.cols, 1),
+                found: (x.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| vecops::dot(self.row(i), x))
+            .collect())
+    }
+
+    /// Transposed matrix–vector product `selfᵀ · x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != rows`.
+    pub fn tr_matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                context: "tr_matvec",
+                expected: (self.rows, 1),
+                found: (x.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (t, &xt) in x.iter().enumerate() {
+            if xt != 0.0 {
+                vecops::axpy(xt, self.row(t), &mut out);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns a new matrix formed by the selected rows, in the given order.
+    ///
+    /// Duplicated indices are allowed (useful for bootstrap-style sampling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if any index is out of
+    /// bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Result<Matrix> {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            if src >= self.rows {
+                return Err(LinalgError::InvalidArgument {
+                    context: "select_rows: index out of bounds",
+                });
+            }
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        Ok(out)
+    }
+
+    /// Returns a new matrix formed by the first `k` columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if `k > cols`.
+    pub fn leading_cols(&self, k: usize) -> Result<Matrix> {
+        if k > self.cols {
+            return Err(LinalgError::InvalidArgument {
+                context: "leading_cols: k exceeds column count",
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, k);
+        for i in 0..self.rows {
+            out.row_mut(i).copy_from_slice(&self.row(i)[..k]);
+        }
+        Ok(out)
+    }
+
+    /// Element-wise sum `self + rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if shapes differ.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                context: "add",
+                expected: self.shape(),
+                found: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Element-wise difference `self − rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if shapes differ.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                context: "sub",
+                expected: self.shape(),
+                found: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Multiplies every element by `a`, in place.
+    pub fn scale_mut(&mut self, a: f64) {
+        vecops::scale(a, &mut self.data);
+    }
+
+    /// Frobenius norm `‖A‖_F`.
+    pub fn norm_fro(&self) -> f64 {
+        vecops::norm2(&self.data)
+    }
+
+    /// Largest absolute entry `max |a_ij|`.
+    pub fn norm_max(&self) -> f64 {
+        vecops::norm_inf(&self.data)
+    }
+
+    /// Checks symmetry up to an absolute tolerance.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8.min(self.rows);
+        for i in 0..max_rows {
+            write!(f, "  [")?;
+            let max_cols = 8.min(self.cols);
+            for j in 0..max_cols {
+                write!(f, "{:>10.4}", self[(i, j)])?;
+                if j + 1 < max_cols {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > max_cols {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Default for Matrix {
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn identity_and_diag() {
+        let i = Matrix::identity(3);
+        assert_eq!(i[(1, 1)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        let d = Matrix::diag(&[2.0, 3.0]);
+        assert_eq!(d[(0, 0)], 2.0);
+        assert_eq!(d[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i * 5 + j) as f64);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (5, 3));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::ShapeMismatch { context: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn tr_matmul_matches_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i + 2 * j) as f64);
+        let b = Matrix::from_fn(4, 2, |i, j| (i * j) as f64 + 1.0);
+        let fast = a.tr_matmul(&b).unwrap();
+        let slow = a.transpose().matmul(&b).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn matvec_and_tr_matvec() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0, 11.0]);
+        assert_eq!(a.tr_matvec(&[1.0, 1.0, 1.0]).unwrap(), vec![9.0, 12.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+        assert!(a.tr_matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn select_rows_and_leading_cols() {
+        let a = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let s = a.select_rows(&[3, 0, 3]).unwrap();
+        assert_eq!(s.row(0), a.row(3));
+        assert_eq!(s.row(1), a.row(0));
+        assert_eq!(s.row(2), a.row(3));
+        assert!(a.select_rows(&[4]).is_err());
+
+        let l = a.leading_cols(2).unwrap();
+        assert_eq!(l.shape(), (4, 2));
+        assert_eq!(l[(2, 1)], a[(2, 1)]);
+        assert!(a.leading_cols(5).is_err());
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 5.0]]);
+        assert_eq!(a.add(&b).unwrap(), Matrix::from_rows(&[&[4.0, 7.0]]));
+        assert_eq!(b.sub(&a).unwrap(), Matrix::from_rows(&[&[2.0, 3.0]]));
+        let mut c = a.clone();
+        c.scale_mut(3.0);
+        assert_eq!(c, Matrix::from_rows(&[&[3.0, 6.0]]));
+        assert!(a.add(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let s = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 5.0]]);
+        assert!(s.is_symmetric(0.0));
+        let ns = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 5.0]]);
+        assert!(!ns.is_symmetric(1e-12));
+        assert!(!Matrix::zeros(2, 3).is_symmetric(1.0));
+    }
+
+    #[test]
+    fn norms() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((a.norm_fro() - 5.0).abs() < 1e-15);
+        assert_eq!(a.norm_max(), 4.0);
+    }
+
+    #[test]
+    fn debug_truncates() {
+        let a = Matrix::zeros(20, 20);
+        let s = format!("{a:?}");
+        assert!(s.contains("Matrix 20x20"));
+        assert!(s.contains('…'));
+    }
+
+    #[test]
+    fn set_col_roundtrip() {
+        let mut a = Matrix::zeros(3, 2);
+        a.set_col(1, &[1.0, 2.0, 3.0]);
+        assert_eq!(a.col(1), vec![1.0, 2.0, 3.0]);
+        assert_eq!(a.col(0), vec![0.0, 0.0, 0.0]);
+    }
+}

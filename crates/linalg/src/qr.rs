@@ -1,0 +1,376 @@
+//! Householder QR factorization and least-squares solves.
+//!
+//! The reconstruction step of EigenMaps (Theorem 1) is the least-squares
+//! solve `min_α ‖x_S − Ψ̃_K α‖₂`; we solve it through a QR factorization of
+//! the sensing matrix, which is backward-stable (the normal equations would
+//! square the condition number that the sensor-allocation algorithm works so
+//! hard to keep small).
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Compact Householder QR factorization of an `m × n` matrix with `m ≥ n`.
+///
+/// Stores the reflectors and `R` factor; `Q` can be formed explicitly with
+/// [`Qr::thin_q`] or applied implicitly with [`Qr::apply_qt`].
+///
+/// # Examples
+///
+/// ```
+/// use eigenmaps_linalg::{Matrix, Qr};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+/// let qr = Qr::new(&a)?;
+/// let q = qr.thin_q();
+/// // Qᵀ Q = I
+/// let qtq = q.tr_matmul(&q)?;
+/// assert!((qtq[(0, 0)] - 1.0).abs() < 1e-12);
+/// assert!(qtq[(0, 1)].abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed factorization: upper triangle holds R, lower part holds the
+    /// essential parts of the Householder vectors.
+    packed: Matrix,
+    /// Scalar factors `tau` of the reflectors `H = I − τ v vᵀ`.
+    tau: Vec<f64>,
+}
+
+impl Qr {
+    /// Factorizes `a` (which must have at least as many rows as columns).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if `a.rows() < a.cols()`.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::InvalidArgument {
+                context: "qr: matrix must have rows >= cols",
+            });
+        }
+        let mut r = a.clone();
+        let mut tau = vec![0.0; n];
+
+        for k in 0..n {
+            // Build the Householder vector for column k from rows k..m.
+            let mut alpha = r[(k, k)];
+            let mut sigma = 0.0;
+            for i in (k + 1)..m {
+                sigma += r[(i, k)] * r[(i, k)];
+            }
+            if sigma == 0.0 && alpha >= 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            let beta = -(alpha.signum()) * (alpha * alpha + sigma).sqrt();
+            let tau_k = (beta - alpha) / beta;
+            let scale = 1.0 / (alpha - beta);
+            // v = [1, r[k+1..m, k] * scale]
+            for i in (k + 1)..m {
+                r[(i, k)] *= scale;
+            }
+            r[(k, k)] = beta;
+            tau[k] = tau_k;
+            alpha = beta;
+            let _ = alpha;
+
+            // Apply H = I − τ v vᵀ to the remaining columns.
+            for j in (k + 1)..n {
+                let mut w = r[(k, j)];
+                for i in (k + 1)..m {
+                    w += r[(i, k)] * r[(i, j)];
+                }
+                w *= tau_k;
+                r[(k, j)] -= w;
+                for i in (k + 1)..m {
+                    let vik = r[(i, k)];
+                    r[(i, j)] -= w * vik;
+                }
+            }
+        }
+        Ok(Qr { packed: r, tau })
+    }
+
+    /// Number of rows of the factorized matrix.
+    pub fn rows(&self) -> usize {
+        self.packed.rows()
+    }
+
+    /// Number of columns of the factorized matrix.
+    pub fn cols(&self) -> usize {
+        self.packed.cols()
+    }
+
+    /// Returns the `n × n` upper-triangular factor `R`.
+    pub fn r(&self) -> Matrix {
+        let n = self.cols();
+        Matrix::from_fn(n, n, |i, j| if j >= i { self.packed[(i, j)] } else { 0.0 })
+    }
+
+    /// Applies `Qᵀ` to a vector in place (`b ← Qᵀ b`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != rows`.
+    pub fn apply_qt(&self, b: &mut [f64]) -> Result<()> {
+        let (m, n) = self.packed.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                context: "qr apply_qt",
+                expected: (m, 1),
+                found: (b.len(), 1),
+            });
+        }
+        for k in 0..n {
+            let tau_k = self.tau[k];
+            if tau_k == 0.0 {
+                continue;
+            }
+            let mut w = b[k];
+            for i in (k + 1)..m {
+                w += self.packed[(i, k)] * b[i];
+            }
+            w *= tau_k;
+            b[k] -= w;
+            for i in (k + 1)..m {
+                b[i] -= w * self.packed[(i, k)];
+            }
+        }
+        Ok(())
+    }
+
+    /// Forms the thin orthonormal factor `Q` (`m × n`).
+    pub fn thin_q(&self) -> Matrix {
+        let (m, n) = self.packed.shape();
+        let mut q = Matrix::zeros(m, n);
+        // Apply the reflectors in reverse order to the first n columns of I.
+        for j in 0..n {
+            q[(j, j)] = 1.0;
+        }
+        for k in (0..n).rev() {
+            let tau_k = self.tau[k];
+            if tau_k == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let mut w = q[(k, j)];
+                for i in (k + 1)..m {
+                    w += self.packed[(i, k)] * q[(i, j)];
+                }
+                w *= tau_k;
+                q[(k, j)] -= w;
+                for i in (k + 1)..m {
+                    let vik = self.packed[(i, k)];
+                    q[(i, j)] -= w * vik;
+                }
+            }
+        }
+        q
+    }
+
+    /// Solves the least-squares problem `min_x ‖a x − b‖₂` using the stored
+    /// factorization.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] if `b.len() != rows`.
+    /// * [`LinalgError::Singular`] if `R` has a (numerically) zero diagonal
+    ///   entry, i.e. the matrix does not have full column rank.
+    pub fn solve_lstsq(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.packed.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                context: "qr solve_lstsq",
+                expected: (m, 1),
+                found: (b.len(), 1),
+            });
+        }
+        let mut qtb = b.to_vec();
+        self.apply_qt(&mut qtb)?;
+        // Back substitution on the leading n×n triangle.
+        let mut x = vec![0.0; n];
+        let tol = self.r_diag_tolerance();
+        for i in (0..n).rev() {
+            let mut s = qtb[i];
+            for j in (i + 1)..n {
+                s -= self.packed[(i, j)] * x[j];
+            }
+            let d = self.packed[(i, i)];
+            if d.abs() <= tol {
+                return Err(LinalgError::Singular {
+                    context: "qr solve_lstsq",
+                });
+            }
+            x[i] = s / d;
+        }
+        Ok(x)
+    }
+
+    /// Numerical rank of the factorized matrix estimated from the diagonal
+    /// of `R` (cheap; for a rigorous rank use the SVD).
+    pub fn rank_estimate(&self) -> usize {
+        let tol = self.r_diag_tolerance();
+        (0..self.cols())
+            .filter(|&i| self.packed[(i, i)].abs() > tol)
+            .count()
+    }
+
+    fn r_diag_tolerance(&self) -> f64 {
+        let n = self.cols();
+        let mut max = 0.0_f64;
+        for i in 0..n {
+            max = max.max(self.packed[(i, i)].abs());
+        }
+        max * (self.rows().max(1) as f64) * f64::EPSILON
+    }
+}
+
+/// One-shot least squares: solves `min_x ‖a x − b‖₂`.
+///
+/// Convenience wrapper over [`Qr::new`] + [`Qr::solve_lstsq`]; prefer keeping
+/// a [`Qr`] around when solving against many right-hand sides (as the
+/// EigenMaps reconstructor does — one factorization per sensor layout, one
+/// solve per thermal snapshot).
+///
+/// # Errors
+///
+/// Propagates the errors of [`Qr::new`] and [`Qr::solve_lstsq`].
+///
+/// # Examples
+///
+/// ```
+/// use eigenmaps_linalg::{lstsq, Matrix};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Fit a line y = c0 + c1 t through three points.
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+/// let x = lstsq(&a, &[1.0, 3.0, 5.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Qr::new(a)?.solve_lstsq(b)
+}
+
+/// Orthonormalizes the columns of `a` in place via QR, returning the thin-Q
+/// factor (`m × n`, `m ≥ n`).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidArgument`] if `a.rows() < a.cols()`.
+pub fn orthonormalize(a: &Matrix) -> Result<Matrix> {
+    Ok(Qr::new(a)?.thin_q())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecops;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn qr_reconstructs_a() {
+        let a = Matrix::from_rows(&[
+            &[2.0, -1.0, 0.5],
+            &[1.0, 3.0, -2.0],
+            &[0.0, 1.0, 1.0],
+            &[4.0, 0.0, 2.0],
+        ]);
+        let qr = Qr::new(&a).unwrap();
+        let q = qr.thin_q();
+        let r = qr.r();
+        let qr_prod = q.matmul(&r).unwrap();
+        assert!(qr_prod.sub(&a).unwrap().norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn thin_q_is_orthonormal() {
+        let a = Matrix::from_fn(6, 3, |i, j| ((i * 3 + j) as f64).sin() + 0.1);
+        let q = Qr::new(&a).unwrap().thin_q();
+        let qtq = q.tr_matmul(&q).unwrap();
+        let err = qtq.sub(&Matrix::identity(3)).unwrap().norm_max();
+        assert!(err < 1e-12, "QᵀQ deviates from I by {err}");
+    }
+
+    #[test]
+    fn apply_qt_matches_explicit_q() {
+        let a = Matrix::from_fn(5, 3, |i, j| (i as f64 - j as f64).cos());
+        let qr = Qr::new(&a).unwrap();
+        let q = qr.thin_q();
+        let b = [1.0, -2.0, 0.5, 3.0, 1.5];
+        let mut qtb = b.to_vec();
+        qr.apply_qt(&mut qtb).unwrap();
+        let explicit = q.tr_matvec(&b).unwrap();
+        for i in 0..3 {
+            assert_close(qtb[i], explicit[i], 1e-12);
+        }
+    }
+
+    #[test]
+    fn lstsq_exact_system() {
+        // Square, well-conditioned system: solution must be exact.
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
+        let x = lstsq(&a, &[9.0, 8.0]).unwrap();
+        assert_close(x[0], 2.0, 1e-12);
+        assert_close(x[1], 3.0, 1e-12);
+    }
+
+    #[test]
+    fn lstsq_residual_is_orthogonal_to_range() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
+        let b = [0.0, 1.0, 1.0, 3.0];
+        let x = lstsq(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let r = vecops::sub(&b, &ax);
+        let atr = a.tr_matvec(&r).unwrap();
+        assert!(vecops::norm_inf(&atr) < 1e-12, "Aᵀr = {atr:?}");
+    }
+
+    #[test]
+    fn lstsq_rank_deficient_errors() {
+        // Second column is a multiple of the first.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        assert!(matches!(
+            lstsq(&a, &[1.0, 2.0, 3.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Qr::new(&a).is_err());
+    }
+
+    #[test]
+    fn rank_estimate() {
+        let full = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        assert_eq!(Qr::new(&full).unwrap().rank_estimate(), 2);
+        let deficient = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        assert_eq!(Qr::new(&deficient).unwrap().rank_estimate(), 1);
+    }
+
+    #[test]
+    fn orthonormalize_identity_like() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0], &[0.0, 0.0]]);
+        let q = orthonormalize(&a).unwrap();
+        let qtq = q.tr_matmul(&q).unwrap();
+        assert!(qtq.sub(&Matrix::identity(2)).unwrap().norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn qr_on_column_of_zeros_then_identity() {
+        // First column zero: tau[0] = 0 path.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 2.0], &[0.0, 0.0]]);
+        let qr = Qr::new(&a).unwrap();
+        assert_eq!(qr.rank_estimate(), 1);
+    }
+}

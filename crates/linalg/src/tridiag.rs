@@ -1,0 +1,342 @@
+//! Symmetric eigendecomposition via Householder tridiagonalization followed
+//! by the implicit-shift QL iteration.
+//!
+//! This is the classic `tred2`/`tql2` pair (EISPACK lineage): `O(n³)` with
+//! a much smaller constant than cyclic Jacobi, making full spectra of
+//! mid-sized covariance matrices (hundreds to a few thousand cells)
+//! practical. The crate keeps both paths — Jacobi ([`crate::eig`]) for its
+//! simplicity and accuracy, QL for speed — and cross-validates them in
+//! tests; [`crate::pca::Pca::fit_exact`] sized problems are the intended
+//! consumer.
+
+use crate::eig::SymEig;
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Maximum QL iterations per eigenvalue before declaring failure.
+const MAX_ITER: usize = 50;
+
+/// Computes the full eigendecomposition of a symmetric matrix with the
+/// tridiagonalization + implicit-shift QL algorithm. Results follow the
+/// same convention as [`crate::eig::sym_eig`]: eigenvalues descending,
+/// eigenvectors in matching columns.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] for rectangular input.
+/// * [`LinalgError::InvalidArgument`] if `a` is not symmetric to a loose
+///   tolerance.
+/// * [`LinalgError::NotConverged`] if QL fails on some eigenvalue (not
+///   observed for finite symmetric input).
+///
+/// # Examples
+///
+/// ```
+/// use eigenmaps_linalg::{tridiag::sym_eig_ql, Matrix};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// let eig = sym_eig_ql(&a)?;
+/// assert!((eig.values[0] - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sym_eig_ql(a: &Matrix) -> Result<SymEig> {
+    let (n, m) = a.shape();
+    if n != m {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    let sym_tol = 1e-8 * a.norm_max().max(1e-300);
+    if !a.is_symmetric(sym_tol) {
+        return Err(LinalgError::InvalidArgument {
+            context: "sym_eig_ql: matrix is not symmetric",
+        });
+    }
+    if n == 0 {
+        return Ok(SymEig {
+            values: Vec::new(),
+            vectors: Matrix::zeros(0, 0),
+        });
+    }
+
+    // ---- Householder tridiagonalization (tred2) ---------------------------
+    // `z` accumulates the orthogonal transform; `d` diag, `e` sub-diag.
+    let mut z = a.clone();
+    // Exact symmetrization of the tolerated asymmetry.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let avg = 0.5 * (z[(i, j)] + z[(j, i)]);
+            z[(i, j)] = avg;
+            z[(j, i)] = avg;
+        }
+    }
+    let mut d = vec![0.0; n];
+    let mut e = vec![0.0; n];
+
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if i > 1 {
+            let mut scale = 0.0;
+            for k in 0..=l {
+                scale += z[(i, k)].abs();
+            }
+            if scale == 0.0 {
+                e[i] = z[(i, l)];
+            } else {
+                for k in 0..=l {
+                    z[(i, k)] /= scale;
+                    h += z[(i, k)] * z[(i, k)];
+                }
+                let mut f = z[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z[(i, l)] = f - g;
+                f = 0.0;
+                for j in 0..=l {
+                    z[(j, i)] = z[(i, j)] / h;
+                    let mut g = 0.0;
+                    for k in 0..=j {
+                        g += z[(j, k)] * z[(i, k)];
+                    }
+                    for k in (j + 1)..=l {
+                        g += z[(k, j)] * z[(i, k)];
+                    }
+                    e[j] = g / h;
+                    f += e[j] * z[(i, j)];
+                }
+                let hh = f / (h + h);
+                for j in 0..=l {
+                    let fj = z[(i, j)];
+                    let gj = e[j] - hh * fj;
+                    e[j] = gj;
+                    for k in 0..=j {
+                        let delta = fj * e[k] + gj * z[(i, k)];
+                        z[(j, k)] -= delta;
+                    }
+                }
+            }
+        } else {
+            e[i] = z[(i, l)];
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+    for i in 0..n {
+        if d[i] != 0.0 {
+            // Accumulate the transform.
+            for j in 0..i {
+                let mut g = 0.0;
+                for k in 0..i {
+                    g += z[(i, k)] * z[(k, j)];
+                }
+                for k in 0..i {
+                    let zkj = z[(k, i)];
+                    z[(k, j)] -= g * zkj;
+                }
+            }
+        }
+        d[i] = z[(i, i)];
+        z[(i, i)] = 1.0;
+        for j in 0..i {
+            z[(j, i)] = 0.0;
+            z[(i, j)] = 0.0;
+        }
+    }
+
+    // ---- implicit-shift QL (tql2) -----------------------------------------
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small sub-diagonal element to split at.
+            let mut msplit = l;
+            while msplit + 1 < n {
+                let dd = d[msplit].abs() + d[msplit + 1].abs();
+                if e[msplit].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                msplit += 1;
+            }
+            if msplit == l {
+                break;
+            }
+            iter += 1;
+            if iter > MAX_ITER {
+                return Err(LinalgError::NotConverged {
+                    context: "ql_implicit_shift",
+                    iterations: MAX_ITER,
+                });
+            }
+            // Form the implicit shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            let sign_r = if g >= 0.0 { r.abs() } else { -r.abs() };
+            g = d[msplit] - d[l] + e[l] / (g + sign_r);
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            for i in (l..msplit).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[msplit] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    f = z[(k, i + 1)];
+                    z[(k, i + 1)] = s * z[(k, i)] + c * f;
+                    z[(k, i)] = c * z[(k, i)] - s * f;
+                }
+            }
+            if r == 0.0 && msplit > l {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[msplit] = 0.0;
+        }
+    }
+
+    // ---- sort descending ---------------------------------------------------
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).expect("NaN eigenvalue"));
+    let values: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (dst, &src) in order.iter().enumerate() {
+        for k in 0..n {
+            vectors[(k, dst)] = z[(k, src)];
+        }
+    }
+    Ok(SymEig { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eig::sym_eig;
+
+    fn residual(a: &Matrix, eig: &SymEig) -> f64 {
+        let mut worst = 0.0_f64;
+        for (i, &lam) in eig.values.iter().enumerate() {
+            let v = eig.vectors.col(i);
+            let av = a.matvec(&v).unwrap();
+            for k in 0..v.len() {
+                worst = worst.max((av[k] - lam * v[k]).abs());
+            }
+        }
+        worst
+    }
+
+    fn random_symmetric(n: usize, seed: u64) -> Matrix {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let raw = Matrix::from_fn(n, n, |_, _| rng.gen::<f64>() * 2.0 - 1.0);
+        let mut s = raw.add(&raw.transpose()).unwrap();
+        s.scale_mut(0.5);
+        s
+    }
+
+    #[test]
+    fn ql_matches_known_2x2() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = sym_eig_ql(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        assert!(residual(&a, &e) < 1e-12);
+    }
+
+    #[test]
+    fn ql_matches_jacobi_spectra() {
+        for seed in 0..5 {
+            let a = random_symmetric(12, seed);
+            let ql = sym_eig_ql(&a).unwrap();
+            let ja = sym_eig(&a).unwrap();
+            for (q, j) in ql.values.iter().zip(ja.values.iter()) {
+                assert!((q - j).abs() < 1e-9, "seed {seed}: {q} vs {j}");
+            }
+            assert!(residual(&a, &ql) < 1e-9 * a.norm_fro().max(1.0));
+        }
+    }
+
+    #[test]
+    fn ql_eigenvectors_orthonormal() {
+        let a = random_symmetric(20, 99);
+        let e = sym_eig_ql(&a).unwrap();
+        let vtv = e.vectors.tr_matmul(&e.vectors).unwrap();
+        let err = vtv.sub(&Matrix::identity(20)).unwrap().norm_max();
+        assert!(err < 1e-10, "VᵀV error {err}");
+    }
+
+    #[test]
+    fn ql_diagonal_and_identity() {
+        let d = Matrix::diag(&[3.0, -1.0, 7.0, 0.0]);
+        let e = sym_eig_ql(&d).unwrap();
+        assert_eq!(e.values, vec![7.0, 3.0, 0.0, -1.0]);
+        let i = Matrix::identity(5);
+        let e = sym_eig_ql(&i).unwrap();
+        assert!(e.values.iter().all(|&v| (v - 1.0).abs() < 1e-14));
+    }
+
+    #[test]
+    fn ql_handles_already_tridiagonal() {
+        // Tridiagonal Toeplitz has known eigenvalues 2 − 2cos(kπ/(n+1)).
+        let n = 10;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                2.0
+            } else if i.abs_diff(j) == 1 {
+                -1.0
+            } else {
+                0.0
+            }
+        });
+        let e = sym_eig_ql(&a).unwrap();
+        let mut expect: Vec<f64> = (1..=n)
+            .map(|k| 2.0 - 2.0 * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos())
+            .collect();
+        expect.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        for (got, want) in e.values.iter().zip(expect.iter()) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn ql_rejects_bad_input() {
+        assert!(sym_eig_ql(&Matrix::zeros(2, 3)).is_err());
+        let asym = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        assert!(sym_eig_ql(&asym).is_err());
+    }
+
+    #[test]
+    fn ql_trace_preserved() {
+        let a = random_symmetric(15, 7);
+        let e = sym_eig_ql(&a).unwrap();
+        let trace: f64 = (0..15).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9 * trace.abs().max(1.0));
+    }
+
+    #[test]
+    fn ql_empty() {
+        let e = sym_eig_ql(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e.values.is_empty());
+    }
+}

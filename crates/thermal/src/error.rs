@@ -1,0 +1,82 @@
+//! Error type for the thermal simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use eigenmaps_linalg::LinalgError;
+
+/// Errors produced while building or running a thermal model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ThermalError {
+    /// A model parameter was physically or structurally invalid.
+    InvalidConfig {
+        /// Description of the violated constraint.
+        context: &'static str,
+    },
+    /// The supplied power map had the wrong number of cells.
+    PowerShapeMismatch {
+        /// Cells expected (`rows·cols` of the die layer).
+        expected: usize,
+        /// Cells received.
+        found: usize,
+    },
+    /// The inner linear solver failed.
+    Solver(LinalgError),
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThermalError::InvalidConfig { context } => {
+                write!(f, "invalid thermal model configuration: {context}")
+            }
+            ThermalError::PowerShapeMismatch { expected, found } => write!(
+                f,
+                "power map has {found} cells but the die layer has {expected}"
+            ),
+            ThermalError::Solver(e) => write!(f, "thermal solver failed: {e}"),
+        }
+    }
+}
+
+impl Error for ThermalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ThermalError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ThermalError {
+    fn from(e: LinalgError) -> Self {
+        ThermalError::Solver(e)
+    }
+}
+
+/// Convenience alias for thermal-simulation results.
+pub type Result<T> = std::result::Result<T, ThermalError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = ThermalError::PowerShapeMismatch {
+            expected: 100,
+            found: 99,
+        };
+        assert!(e.to_string().contains("99"));
+        let e = ThermalError::InvalidConfig { context: "no layers" };
+        assert!(e.to_string().contains("no layers"));
+    }
+
+    #[test]
+    fn source_chains_to_linalg() {
+        let e = ThermalError::from(LinalgError::Singular { context: "lu" });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("singular"));
+    }
+}

@@ -1,0 +1,319 @@
+//! Backward-Euler transient stepping of the compact thermal model.
+//!
+//! The design-time dataset of the paper is a sequence of *transient*
+//! snapshots (T = 2652 of them) produced while replaying power traces; this
+//! module provides the stepper that turns per-interval power maps into that
+//! sequence.
+
+use eigenmaps_linalg::sparse::{cg_solve, CgOptions, CsrMatrix, TripletBuilder};
+
+use crate::error::{Result, ThermalError};
+use crate::model::ThermalModel;
+
+/// A transient simulation over a [`ThermalModel`], advanced with the
+/// unconditionally-stable backward Euler scheme:
+///
+/// `(C/Δt + G) T⁺ = (C/Δt) T + P + G_amb·T_amb`
+///
+/// The system matrix is assembled once per `Δt` and reused across steps;
+/// each step warm-starts CG from the previous state so the per-step cost is
+/// a handful of sparse matvecs.
+///
+/// # Examples
+///
+/// ```
+/// use eigenmaps_thermal::{GridSpec, ThermalModel, TransientSim};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = ThermalModel::with_default_stack(GridSpec::new(4, 4, 1e-3, 1e-3))?;
+/// let mut sim = TransientSim::new(model, 1e-3)?;
+/// let power = vec![0.05; 16];
+/// for _ in 0..10 {
+///     sim.step(&power)?;
+/// }
+/// assert!(sim.die_temperatures()[0] > 45.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TransientSim {
+    model: ThermalModel,
+    dt: f64,
+    system: CsrMatrix,
+    state: Vec<f64>,
+    time: f64,
+}
+
+impl TransientSim {
+    /// Creates a transient simulation with time step `dt` (seconds),
+    /// initialized at the model's ambient temperature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidConfig`] if `dt` is not strictly
+    /// positive and finite.
+    pub fn new(model: ThermalModel, dt: f64) -> Result<Self> {
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(ThermalError::InvalidConfig {
+                context: "time step must be positive and finite",
+            });
+        }
+        let n = model.state_len();
+        // System matrix A = G + C/Δt.
+        let mut tb = TripletBuilder::new(n, n);
+        for (i, j, v) in model.conductance().entries() {
+            tb.push(i, j, v);
+        }
+        for (i, &c) in model.capacitance().iter().enumerate() {
+            tb.push(i, i, c / dt);
+        }
+        let system = tb.to_csr();
+        let ambient = model.environment().ambient;
+        let state = vec![ambient; n];
+        Ok(TransientSim {
+            model,
+            dt,
+            system,
+            state,
+            time: 0.0,
+        })
+    }
+
+    /// The underlying thermal model.
+    pub fn model(&self) -> &ThermalModel {
+        &self.model
+    }
+
+    /// The fixed time step in seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Current simulated time in seconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Full temperature state (all layers), °C.
+    pub fn state(&self) -> &[f64] {
+        &self.state
+    }
+
+    /// Die-layer temperatures (°C) — the vectorized thermal map of the
+    /// paper.
+    pub fn die_temperatures(&self) -> &[f64] {
+        self.model.die_temperatures(&self.state)
+    }
+
+    /// Resets the whole stack to a uniform temperature and rewinds time.
+    pub fn reset(&mut self, temperature: f64) {
+        self.state.fill(temperature);
+        self.time = 0.0;
+    }
+
+    /// Advances one time step with the given die power map (W per cell)
+    /// held constant over the interval; returns the new die temperatures.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::PowerShapeMismatch`] for a wrong-length power map.
+    /// * [`ThermalError::Solver`] if the inner CG solve fails.
+    pub fn step(&mut self, power: &[f64]) -> Result<&[f64]> {
+        // RHS = C/Δt·T + P + G_amb·T_amb.
+        let mut b = self.model.rhs(power)?;
+        for ((bi, &c), &t) in b
+            .iter_mut()
+            .zip(self.model.capacitance().iter())
+            .zip(self.state.iter())
+        {
+            *bi += c / self.dt * t;
+        }
+        let sol = cg_solve(
+            &self.system,
+            &b,
+            &CgOptions {
+                tolerance: 1e-10,
+                max_iterations: 40 * self.state.len(),
+                initial_guess: Some(self.state.clone()),
+            },
+        )?;
+        self.state = sol.x;
+        self.time += self.dt;
+        Ok(self.die_temperatures())
+    }
+
+    /// Advances `steps` steps under a constant power map, returning the die
+    /// temperatures after the last step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TransientSim::step`] errors.
+    pub fn run(&mut self, power: &[f64], steps: usize) -> Result<&[f64]> {
+        for _ in 0..steps {
+            self.step(power)?;
+        }
+        Ok(self.die_temperatures())
+    }
+
+    /// Verifies the discrete energy balance of the last computed state:
+    /// `C (T⁺ − T)/Δt = −G T⁺ + P + b_amb` must hold to solver tolerance.
+    /// Returns the maximum absolute residual (W); used by validation tests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from [`ThermalModel::rhs`].
+    pub fn energy_residual(&self, prev_state: &[f64], power: &[f64]) -> Result<f64> {
+        let b = self.model.rhs(power)?;
+        let gt = self.model.conductance().matvec(&self.state)?;
+        let mut worst = 0.0_f64;
+        for i in 0..self.state.len() {
+            let lhs = self.model.capacitance()[i] * (self.state[i] - prev_state[i]) / self.dt;
+            let rhs = -gt[i] + b[i];
+            worst = worst.max((lhs - rhs).abs());
+        }
+        Ok(worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Environment, GridSpec};
+    use crate::material::Layer;
+
+    fn sim(rows: usize, cols: usize, dt: f64) -> TransientSim {
+        let model = ThermalModel::with_default_stack(GridSpec::new(rows, cols, 1e-3, 1e-3)).unwrap();
+        TransientSim::new(model, dt).unwrap()
+    }
+
+    #[test]
+    fn invalid_dt_rejected() {
+        let model = ThermalModel::with_default_stack(GridSpec::new(2, 2, 1e-3, 1e-3)).unwrap();
+        assert!(TransientSim::new(model.clone(), 0.0).is_err());
+        assert!(TransientSim::new(model, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn starts_at_ambient_and_time_advances() {
+        let mut s = sim(3, 3, 1e-3);
+        assert!(s.state().iter().all(|&t| (t - 45.0).abs() < 1e-12));
+        assert_eq!(s.time(), 0.0);
+        s.step(&[0.0; 9]).unwrap();
+        assert!((s.time() - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_power_stays_at_ambient() {
+        let mut s = sim(3, 4, 1e-3);
+        s.run(&[0.0; 12], 20).unwrap();
+        for &t in s.state() {
+            assert!((t - 45.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn heating_is_monotone_under_constant_power() {
+        let mut s = sim(4, 4, 1e-3);
+        let power = vec![0.05; 16];
+        let mut prev = s.die_temperatures()[5];
+        for _ in 0..15 {
+            s.step(&power).unwrap();
+            let cur = s.die_temperatures()[5];
+            assert!(cur >= prev - 1e-12, "cooling under constant power");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn transient_converges_to_steady_state() {
+        let mut s = sim(4, 3, 0.2);
+        let power: Vec<f64> = (0..12).map(|i| 0.02 + 0.01 * (i % 3) as f64).collect();
+        // The sink-to-ambient time constant is ~11 s; run for ~15 of them.
+        // Backward Euler is unconditionally stable, so the large Δt only
+        // costs time accuracy, not the limit.
+        s.run(&power, 800).unwrap();
+        let direct = s.model().steady_state(&power).unwrap();
+        for (a, b) in s.state().iter().zip(direct.iter()) {
+            assert!((a - b).abs() < 1e-2, "transient {a} vs steady {b}");
+        }
+    }
+
+    #[test]
+    fn energy_balance_holds_per_step() {
+        let mut s = sim(5, 5, 1e-3);
+        let power = vec![0.03; 25];
+        let prev = s.state().to_vec();
+        s.step(&power).unwrap();
+        let residual = s.energy_residual(&prev, &power).unwrap();
+        // Residual is bounded by the CG tolerance times the matrix scale.
+        assert!(residual < 1e-4, "energy residual {residual} W");
+    }
+
+    #[test]
+    fn cooling_after_power_off() {
+        let mut s = sim(4, 4, 1e-3);
+        s.run(&[0.1; 16], 50).unwrap();
+        let hot = s.die_temperatures().to_vec();
+        s.run(&[0.0; 16], 50).unwrap();
+        let cooled = s.die_temperatures().to_vec();
+        for (h, c) in hot.iter().zip(cooled.iter()) {
+            assert!(c < h, "did not cool: {c} !< {h}");
+        }
+    }
+
+    #[test]
+    fn reset_restores_uniform_state() {
+        let mut s = sim(3, 3, 1e-3);
+        s.run(&[0.1; 9], 10).unwrap();
+        s.reset(50.0);
+        assert_eq!(s.time(), 0.0);
+        assert!(s.state().iter().all(|&t| t == 50.0));
+    }
+
+    #[test]
+    fn smaller_dt_converges_to_same_trajectory() {
+        // Backward Euler is first-order: halving dt should roughly halve
+        // the error against a fine-dt reference at a fixed physical time.
+        let power = vec![0.08; 16];
+        let horizon = 0.02; // seconds
+
+        let temp_at = |dt: f64| -> f64 {
+            let mut s = sim(4, 4, dt);
+            let steps = (horizon / dt).round() as usize;
+            s.run(&power, steps).unwrap();
+            s.die_temperatures()[5]
+        };
+        let fine = temp_at(2.5e-4);
+        let mid = temp_at(1e-3);
+        let coarse = temp_at(2e-3);
+        let err_mid = (mid - fine).abs();
+        let err_coarse = (coarse - fine).abs();
+        assert!(
+            err_coarse > err_mid,
+            "no first-order convergence: coarse {err_coarse} vs mid {err_mid}"
+        );
+    }
+
+    #[test]
+    fn liquid_cooling_style_high_h_runs() {
+        // 3D-ICE also supports liquid cooling; emulate its much higher
+        // effective heat-transfer coefficient and check the model stays
+        // well-behaved (cooler die, still above ambient).
+        let grid = GridSpec::new(4, 4, 1e-3, 1e-3);
+        let air = ThermalModel::new(grid, Layer::default_stack(), Environment::default()).unwrap();
+        let liquid = ThermalModel::new(
+            grid,
+            Layer::default_stack(),
+            Environment {
+                ambient: 45.0,
+                heat_transfer_coefficient: 2.0e4,
+            },
+        )
+        .unwrap();
+        let power = vec![0.2; 16];
+        let t_air = air.steady_state(&power).unwrap();
+        let t_liq = liquid.steady_state(&power).unwrap();
+        assert!(t_liq[0] < t_air[0]);
+        assert!(t_liq[0] > 45.0);
+    }
+}

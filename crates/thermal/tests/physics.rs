@@ -1,0 +1,129 @@
+//! Property-based physics tests for the compact thermal model.
+//!
+//! The model is a linear RC network, which buys us two powerful exact
+//! invariants to test against arbitrary inputs:
+//!
+//! * **superposition** — `T(αP₁ + βP₂) − T(0) = α(T(P₁) − T(0)) + β(T(P₂) − T(0))`;
+//! * **reciprocity** — with a symmetric conductance matrix, the
+//!   temperature rise at cell *i* due to unit power at cell *j* equals the
+//!   rise at *j* due to unit power at *i*.
+
+use eigenmaps_thermal::prelude::*;
+use proptest::prelude::*;
+
+fn model(rows: usize, cols: usize) -> ThermalModel {
+    ThermalModel::with_default_stack(GridSpec::new(rows, cols, 1e-3, 1e-3)).expect("valid model")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn steady_state_superposition(
+        seed in 0u64..500,
+        alpha in 0.1f64..3.0,
+        beta in 0.1f64..3.0,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = model(5, 6);
+        let n = m.die_cells();
+        let p1: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 0.2).collect();
+        let p2: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 0.2).collect();
+        let combo: Vec<f64> = p1.iter().zip(p2.iter()).map(|(a, b)| alpha * a + beta * b).collect();
+
+        let ambient = m.environment().ambient;
+        let t1 = m.steady_state(&p1).unwrap();
+        let t2 = m.steady_state(&p2).unwrap();
+        let tc = m.steady_state(&combo).unwrap();
+        for i in 0..tc.len() {
+            let lhs = tc[i] - ambient;
+            let rhs = alpha * (t1[i] - ambient) + beta * (t2[i] - ambient);
+            prop_assert!(
+                (lhs - rhs).abs() < 1e-6 * rhs.abs().max(1.0),
+                "superposition violated at {i}: {lhs} vs {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn steady_state_reciprocity(
+        src in 0usize..20,
+        dst in 0usize..20,
+    ) {
+        let m = model(4, 5);
+        let n = m.die_cells();
+        prop_assume!(src < n && dst < n && src != dst);
+        let ambient = m.environment().ambient;
+        let mut p = vec![0.0; n];
+        p[src] = 1.0;
+        let t_src = m.steady_state(&p).unwrap();
+        p[src] = 0.0;
+        p[dst] = 1.0;
+        let t_dst = m.steady_state(&p).unwrap();
+        let rise_at_dst = t_src[dst] - ambient;
+        let rise_at_src = t_dst[src] - ambient;
+        prop_assert!(
+            (rise_at_dst - rise_at_src).abs() < 1e-7 * rise_at_dst.abs().max(1e-6),
+            "reciprocity violated: {rise_at_dst} vs {rise_at_src}"
+        );
+    }
+
+    #[test]
+    fn transient_is_monotone_between_equilibria(steps in 5usize..30) {
+        // Starting at ambient with constant power, every cell's trajectory
+        // is monotone non-decreasing toward the warm steady state.
+        let m = model(4, 4);
+        let mut sim = TransientSim::new(m, 5e-3).unwrap();
+        let power = vec![0.08; 16];
+        let mut prev = sim.die_temperatures().to_vec();
+        for _ in 0..steps {
+            sim.step(&power).unwrap();
+            for (a, b) in prev.iter().zip(sim.die_temperatures()) {
+                prop_assert!(b + 1e-9 >= *a, "temperature dipped: {b} < {a}");
+            }
+            prev = sim.die_temperatures().to_vec();
+        }
+    }
+
+    #[test]
+    fn scaling_power_scales_temperature_rise(scale in 0.2f64..5.0) {
+        let m = model(4, 4);
+        let ambient = m.environment().ambient;
+        let base = vec![0.1; 16];
+        let scaled: Vec<f64> = base.iter().map(|p| p * scale).collect();
+        let t_base = m.steady_state(&base).unwrap();
+        let t_scaled = m.steady_state(&scaled).unwrap();
+        for (b, s) in t_base.iter().zip(t_scaled.iter()) {
+            let expect = ambient + scale * (b - ambient);
+            prop_assert!((s - expect).abs() < 1e-6 * expect.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn liquid_energy_balance_for_any_power(seed in 0u64..200) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let stack = LiquidCooledStack::new(
+            GridSpec::new(3, 6, 1e-3, 1e-3),
+            vec![Layer::new("die", Material::SILICON, 350e-6)],
+            vec![Layer::new("lid", Material::SILICON, 300e-6)],
+            100e-6,
+            Coolant::default(),
+        )
+        .unwrap();
+        let power: Vec<f64> = (0..18).map(|_| rng.gen::<f64>() * 0.3).collect();
+        let q_total: f64 = power.iter().sum();
+        prop_assume!(q_total > 1e-6);
+        let t = stack.steady_state(&power).unwrap();
+        let cool = stack.coolant_temperatures(&t);
+        let g_adv = stack.coolant().flow_rate * stack.coolant().volumetric_capacity;
+        let carried: f64 = (0..3)
+            .map(|r| g_adv * (cool[r + 5 * 3] - stack.coolant().inlet))
+            .sum();
+        prop_assert!(
+            (carried - q_total).abs() < 1e-5 * q_total,
+            "energy leak: coolant carries {carried} of {q_total} W"
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Quickstart: the whole EigenMaps pipeline in ~60 lines.
+//!
+//! 1. Simulate a design-time thermal dataset for the UltraSPARC T1.
+//! 2. Fit the EigenMaps basis (top-K covariance eigenvectors).
+//! 3. Place a handful of sensors with the greedy allocator.
+//! 4. Reconstruct full thermal maps from those few sensor readings.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use eigenmaps::core::prelude::*;
+use eigenmaps::floorplan::prelude::*;
+
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+    // 1. Design-time dataset: a coarse grid keeps this example fast.
+    let (rows, cols) = (28, 30);
+    println!("simulating design-time dataset ({rows}x{cols}, 300 snapshots)…");
+    let dataset = DatasetBuilder::ultrasparc_t1()
+        .grid(rows, cols)
+        .snapshots(300)
+        .seed(7)
+        .build()?;
+    let ensemble = dataset.ensemble();
+
+    // 2. The EigenMaps basis: 8 principal components of the map covariance.
+    let k = 8;
+    let basis = EigenBasis::fit(ensemble, k)?;
+    println!(
+        "fitted EigenMaps basis: K = {k}, leading eigenvalues {:?}",
+        &basis.eigenvalues()[..4.min(k)]
+    );
+    println!(
+        "Prop. 1 approximation error ξ(K) = {:.3e} (of total variance {:.3e})",
+        basis.approximation_error(k),
+        basis.total_variance()
+    );
+
+    // 3. Greedy sensor allocation (Algorithm 1): 8 sensors, no constraints.
+    let m = 8;
+    let mask = Mask::all_allowed(rows, cols);
+    let energy = ensemble.cell_variance();
+    let input = AllocationInput {
+        basis: basis.matrix(),
+        energy: &energy,
+        rows,
+        cols,
+        mask: &mask,
+    };
+    let sensors = GreedyAllocator::new().allocate(&input, m)?;
+    println!("placed {m} sensors at (row, col): {:?}", sensors.positions());
+
+    // 4. Reconstruct an unseen-ish snapshot from M readings.
+    let reconstructor = Reconstructor::new(&basis, &sensors)?;
+    println!(
+        "sensing matrix condition number κ(Ψ̃_K) = {:.2}",
+        reconstructor.condition_number()
+    );
+    let truth = ensemble.map(250);
+    let readings = sensors.sample(&truth);
+    let estimate = reconstructor.reconstruct(&readings)?;
+    println!(
+        "reconstructed {}x{} map from {m} readings: MSE = {:.3e} °C², worst cell error = {:.3} °C",
+        rows,
+        cols,
+        truth.mse(&estimate),
+        truth.max_sq_err(&estimate).sqrt()
+    );
+    let (hr, hc, hv) = truth.hotspot();
+    let (er, ec, ev) = estimate.hotspot();
+    println!("true hotspot  ({hr:2},{hc:2}) at {hv:.2} °C");
+    println!("est. hotspot  ({er:2},{ec:2}) at {ev:.2} °C");
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Sensor-placement studio: compares every allocation strategy on the
+//! UltraSPARC T1, with and without the "no sensors in the caches"
+//! constraint of the paper's Fig. 6, and prints the layouts as ASCII maps.
+//!
+//! ```text
+//! cargo run --release --example sensor_placement
+//! ```
+
+use eigenmaps::core::prelude::*;
+use eigenmaps::floorplan::prelude::*;
+use eigenmaps::linalg::Svd;
+
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+    let (rows, cols, m) = (28, 30, 16);
+    println!("simulating design-time dataset…");
+    let dataset = DatasetBuilder::ultrasparc_t1()
+        .grid(rows, cols)
+        .snapshots(300)
+        .seed(3)
+        .build()?;
+    let ensemble = dataset.ensemble();
+    let basis = EigenBasis::fit(ensemble, m)?;
+    let energy = ensemble.cell_variance();
+
+    let free = Mask::all_allowed(rows, cols);
+    // Fig. 6 constraint: L2 cache banks are regular structures where
+    // sensors cannot be embedded.
+    let cache_mask = Mask::all_allowed(rows, cols)
+        .forbid_rects(&dataset.floorplan().rects_of_kind(BlockKind::L2Cache));
+
+    let allocators: Vec<Box<dyn SensorAllocator>> = vec![
+        Box::new(GreedyAllocator::new()),
+        Box::new(EnergyCenterAllocator::new()),
+        Box::new(UniformGridAllocator::new()),
+        Box::new(RandomAllocator::new(2012)),
+    ];
+
+    for (label, mask) in [("unconstrained", &free), ("cache-constrained", &cache_mask)] {
+        println!("\n================ {label} ({m} sensors) ================");
+        for alloc in &allocators {
+            let input = AllocationInput {
+                basis: basis.matrix(),
+                energy: &energy,
+                rows,
+                cols,
+                mask,
+            };
+            let sensors = alloc.allocate(&input, m)?;
+            let sensing = basis.matrix().select_rows(sensors.locations())?;
+            let kappa = Svd::new(&sensing)?.cond();
+            // How well does this layout reconstruct the whole dataset?
+            let rec = Reconstructor::new(&basis, &sensors);
+            let mse = match rec {
+                Ok(rec) => {
+                    evaluate_reconstruction(&rec, &sensors, ensemble, NoiseSpec::None, 1)?.mse
+                }
+                Err(_) => f64::NAN,
+            };
+            println!(
+                "\n--- {:<10} κ(Ψ̃_K) = {kappa:9.2}   dataset MSE = {mse:.3e} °C²",
+                alloc.name()
+            );
+            print!("{}", sensors.render_ascii(Some(mask)));
+        }
+    }
+    println!(
+        "\nlegend: o = sensor, x = forbidden (L2 cache bank), . = free cell\n\
+         note how the greedy allocator keeps the condition number lowest,\n\
+         and how the constrained layouts route around the cache banks."
+    );
+    Ok(())
+}

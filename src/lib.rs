@@ -1,0 +1,60 @@
+//! # EigenMaps
+//!
+//! A reproduction of *“EigenMaps: Algorithms for Optimal Thermal Maps
+//! Extraction and Sensor Placement on Multicore Processors”* (Ranieri,
+//! Vincenzi, Chebira, Atienza, Vetterli — DAC 2012).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`linalg`] — dense and sparse linear algebra kernels (QR, SVD,
+//!   symmetric eigensolvers, randomized PCA, DCT bases, CG).
+//! * [`thermal`] — a 3D-ICE-style compact transient thermal simulator.
+//! * [`floorplan`] — the UltraSPARC T1 floorplan model and workload/power
+//!   trace generators used to produce the design-time thermal dataset.
+//! * [`core`] — the paper's algorithms: EigenMaps basis extraction,
+//!   least-squares thermal map reconstruction, greedy sensor allocation,
+//!   and the k-LSE / energy-center baselines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use eigenmaps::core::prelude::*;
+//! use eigenmaps::floorplan::prelude::*;
+//!
+//! # fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+//! // Generate a small design-time dataset (coarse grid, few snapshots).
+//! let dataset = DatasetBuilder::ultrasparc_t1()
+//!     .grid(14, 15)
+//!     .snapshots(120)
+//!     .settle_steps(30)
+//!     .seed(7)
+//!     .build()?;
+//! let ensemble = dataset.ensemble();
+//!
+//! // Extract the EigenMaps basis and place 8 sensors greedily.
+//! let basis = EigenBasis::fit(ensemble, 8)?;
+//! let mask = Mask::all_allowed(14, 15);
+//! let energy = ensemble.cell_variance();
+//! let input = AllocationInput {
+//!     basis: basis.matrix(),
+//!     energy: &energy,
+//!     rows: 14,
+//!     cols: 15,
+//!     mask: &mask,
+//! };
+//! let sensors = GreedyAllocator::new().allocate(&input, 8)?;
+//!
+//! // Reconstruct one thermal map from the 8 sensor readings.
+//! let reconstructor = Reconstructor::new(&basis, &sensors)?;
+//! let map = ensemble.map(100);
+//! let readings = sensors.sample(&map);
+//! let estimate = reconstructor.reconstruct(&readings)?;
+//! assert!(map.mse(&estimate) < 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use eigenmaps_core as core;
+pub use eigenmaps_floorplan as floorplan;
+pub use eigenmaps_linalg as linalg;
+pub use eigenmaps_thermal as thermal;

@@ -1,0 +1,176 @@
+//! Integration tests for the extension subsystems: liquid cooling,
+//! temporal tracking, and `.ptrace` interchange — each exercised through
+//! the same public API a downstream user would touch.
+
+use eigenmaps::core::prelude::*;
+use eigenmaps::floorplan::prelude::*;
+use eigenmaps::thermal::liquid::{Coolant, LiquidCooledStack};
+use eigenmaps::thermal::{GridSpec, Layer, Material};
+
+#[test]
+fn eigenmaps_pipeline_on_liquid_cooled_maps() {
+    // Build a small liquid-cooled ensemble from steady states driven by a
+    // real workload trace, then run the full estimation pipeline on it.
+    let (rows, cols) = (10, 12);
+    let fp = Floorplan::ultrasparc_t1();
+    let grid = GridSpec::new(
+        rows,
+        cols,
+        fp.die_width() / cols as f64,
+        fp.die_height() / rows as f64,
+    );
+    let stack = LiquidCooledStack::new(
+        grid,
+        vec![Layer::new("die", Material::SILICON, 350e-6)],
+        vec![Layer::new("lid", Material::SILICON, 300e-6)],
+        100e-6,
+        Coolant::default(),
+    )
+    .unwrap();
+    let rast = PowerRasterizer::new(&fp, grid).unwrap();
+    let trace = TraceGenerator::new(fp, 0.05, 77)
+        .unwrap()
+        .generate(Scenario::Mixed, 80);
+
+    let maps: Vec<ThermalMap> = trace
+        .iter()
+        .map(|bp| {
+            let p = rast.rasterize(bp).unwrap();
+            let t = stack.steady_state(&p).unwrap();
+            ThermalMap::new(rows, cols, stack.die_temperatures(&t).to_vec()).unwrap()
+        })
+        .collect();
+    let ens = MapEnsemble::from_maps(&maps).unwrap();
+
+    let basis = EigenBasis::fit(&ens, 10).unwrap();
+    let mask = Mask::all_allowed(rows, cols);
+    let energy = ens.cell_variance();
+    let sensors = GreedyAllocator::new()
+        .allocate(
+            &AllocationInput {
+                basis: basis.matrix(),
+                energy: &energy,
+                rows,
+                cols,
+                mask: &mask,
+            },
+            10,
+        )
+        .unwrap();
+    let rec = Reconstructor::new(&basis, &sensors).unwrap();
+    let rep = evaluate_reconstruction(&rec, &sensors, &ens, NoiseSpec::None, 1).unwrap();
+    assert!(rep.mse < 0.05, "liquid-cooled pipeline MSE {}", rep.mse);
+}
+
+#[test]
+fn tracking_beats_memoryless_on_simulated_transients() {
+    // Dataset with genuine temporal continuity (the transient simulator),
+    // noisy sensors: the tracker must beat per-snapshot reconstruction.
+    let dataset = DatasetBuilder::ultrasparc_t1()
+        .grid(12, 12)
+        .snapshots(220)
+        .settle_steps(60)
+        .seed(31)
+        .build()
+        .unwrap();
+    let ens = dataset.ensemble();
+    let basis = EigenBasis::fit(ens, 10).unwrap();
+    let mask = Mask::all_allowed(12, 12);
+    let energy = ens.cell_variance();
+    let sensors = GreedyAllocator::new()
+        .allocate(
+            &AllocationInput {
+                basis: basis.matrix(),
+                energy: &energy,
+                rows: 12,
+                cols: 12,
+                mask: &mask,
+            },
+            10,
+        )
+        .unwrap();
+    let rec = Reconstructor::new(&basis, &sensors).unwrap();
+    let mut tracker = TrackingReconstructor::new(rec.clone(), 0.3).unwrap();
+    let mut noise = NoiseModel::new(8);
+
+    let mut mse_tracked = 0.0;
+    let mut mse_memoryless = 0.0;
+    let burn_in = 15;
+    for t in 0..ens.len() {
+        let map = ens.map(t);
+        let readings = noise.apply_sigma(&sensors.sample(&map), 0.4);
+        let tr = tracker.step(&readings).unwrap();
+        let ml = rec.reconstruct(&readings).unwrap();
+        if t >= burn_in {
+            mse_tracked += map.mse(&tr);
+            mse_memoryless += map.mse(&ml);
+        }
+    }
+    assert!(
+        mse_tracked < mse_memoryless,
+        "tracked {mse_tracked} vs memoryless {mse_memoryless}"
+    );
+}
+
+#[test]
+fn ptrace_roundtrip_feeds_the_simulator() {
+    // Export a generated trace, reload it, and verify the thermal dataset
+    // built from the reloaded trace matches the original pipeline.
+    let fp = Floorplan::ultrasparc_t1();
+    let gen = TraceGenerator::new(fp.clone(), 0.05, 5).unwrap();
+    let trace = gen.generate(Scenario::WebServer, 30);
+
+    let path = std::env::temp_dir().join(format!(
+        "eigenmaps-integration-{}.ptrace",
+        std::process::id()
+    ));
+    save_ptrace(&fp, &trace, &path).unwrap();
+    let reloaded = load_ptrace(&fp, &path, trace.dt()).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let grid = GridSpec::new(8, 8, 1e-3, 1e-3);
+    let rast = PowerRasterizer::new(&fp, grid).unwrap();
+    // Same per-cell power maps (up to the 1e-6 W text precision).
+    for t in 0..trace.len() {
+        let a = rast.rasterize(trace.step(t)).unwrap();
+        let b = rast.rasterize(reloaded.step(t)).unwrap();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-4, "step {t}: {x} vs {y}");
+        }
+    }
+}
+
+#[test]
+fn athlon_floorplan_runs_the_full_pipeline() {
+    let dataset = DatasetBuilder::ultrasparc_t1()
+        .floorplan(Floorplan::athlon64_x2())
+        .grid(12, 14)
+        .snapshots(120)
+        .settle_steps(40)
+        .seed(9)
+        .build()
+        .unwrap();
+    let ens = dataset.ensemble();
+    let basis = EigenBasis::fit(ens, 6).unwrap();
+    let mask = Mask::all_allowed(12, 14);
+    let energy = ens.cell_variance();
+    let sensors = GreedyAllocator::new()
+        .allocate(
+            &AllocationInput {
+                basis: basis.matrix(),
+                energy: &energy,
+                rows: 12,
+                cols: 14,
+                mask: &mask,
+            },
+            6,
+        )
+        .unwrap();
+    let rec = Reconstructor::new(&basis, &sensors).unwrap();
+    let rep = evaluate_reconstruction(&rec, &sensors, ens, NoiseSpec::None, 1).unwrap();
+    assert!(rep.mse < 1.0, "Athlon pipeline MSE {}", rep.mse);
+    // The two-core chip concentrates power in two blocks; its spectrum
+    // should be dominated by very few modes.
+    let lam = basis.eigenvalues();
+    assert!(lam[0] / lam[4].max(1e-12) > 50.0, "spectrum too flat: {lam:?}");
+}

@@ -1,0 +1,223 @@
+//! End-to-end integration tests spanning every crate: floorplan → thermal
+//! simulation → PCA → sensor allocation → reconstruction → metrics.
+//!
+//! These run on reduced grids so the whole suite stays fast, but exercise
+//! the exact code paths of the paper-scale experiments.
+
+use eigenmaps::core::prelude::*;
+use eigenmaps::floorplan::prelude::*;
+
+/// Shared small dataset (generated once; the thermal sim is the slow part).
+fn dataset() -> &'static ThermalDataset {
+    use std::sync::OnceLock;
+    static DATA: OnceLock<ThermalDataset> = OnceLock::new();
+    DATA.get_or_init(|| {
+        DatasetBuilder::ultrasparc_t1()
+            .grid(14, 15)
+            .snapshots(240)
+            .settle_steps(60)
+            .seed(13)
+            .build()
+            .expect("dataset generation")
+    })
+}
+
+fn greedy_sensors(basis: &EigenBasis, ens: &MapEnsemble, m: usize, mask: &Mask) -> SensorSet {
+    let energy = ens.cell_variance();
+    GreedyAllocator::new()
+        .allocate(
+            &AllocationInput {
+                basis: basis.matrix(),
+                energy: &energy,
+                rows: ens.rows(),
+                cols: ens.cols(),
+                mask,
+            },
+            m,
+        )
+        .expect("allocation")
+}
+
+#[test]
+fn full_pipeline_reconstructs_below_one_degree_mse() {
+    let ens = dataset().ensemble();
+    let basis = EigenBasis::fit(ens, 8).unwrap();
+    let mask = Mask::all_allowed(ens.rows(), ens.cols());
+    let sensors = greedy_sensors(&basis, ens, 8, &mask);
+    let rec = Reconstructor::new(&basis, &sensors).unwrap();
+    let rep = evaluate_reconstruction(&rec, &sensors, ens, NoiseSpec::None, 1).unwrap();
+    assert!(rep.mse < 1.0, "pipeline MSE {} °C² too high", rep.mse);
+    assert!(rep.max < 25.0, "pipeline MAX {} °C² too high", rep.max);
+}
+
+#[test]
+fn reconstruction_error_tracks_approximation_error() {
+    // Sec. 5.1: "the reconstruction error is approximately decaying as
+    // fast as the approximation error". Check ordering + closeness in the
+    // noiseless case.
+    let ens = dataset().ensemble();
+    let basis_full = EigenBasis::fit(ens, 12).unwrap();
+    let mask = Mask::all_allowed(ens.rows(), ens.cols());
+    for k in [4usize, 8, 12] {
+        let basis = basis_full.truncated(k).unwrap();
+        let approx = evaluate_approximation(&basis, ens).unwrap();
+        let sensors = greedy_sensors(&basis, ens, k, &mask);
+        let rec = Reconstructor::new(&basis, &sensors).unwrap();
+        let recon = evaluate_reconstruction(&rec, &sensors, ens, NoiseSpec::None, 1).unwrap();
+        // Reconstruction can never beat the subspace it lives in...
+        assert!(recon.mse >= approx.mse * 0.99, "k={k}");
+        // ...but with well-conditioned sensing it stays within a small
+        // multiple of it.
+        assert!(
+            recon.mse <= approx.mse * 30.0 + 1e-12,
+            "k={k}: recon {} vs approx {}",
+            recon.mse,
+            approx.mse
+        );
+    }
+}
+
+#[test]
+fn eigenmaps_beats_klse_on_the_t1_dataset() {
+    // The paper's core comparative claim, end to end.
+    let ens = dataset().ensemble();
+    let m = 12;
+    let mask = Mask::all_allowed(ens.rows(), ens.cols());
+    let energy = ens.cell_variance();
+
+    let eig_basis = EigenBasis::fit(ens, m).unwrap();
+    let eig_sensors = greedy_sensors(&eig_basis, ens, m, &mask);
+    let eig_rec = Reconstructor::new(&eig_basis, &eig_sensors).unwrap();
+    let eig = evaluate_reconstruction(&eig_rec, &eig_sensors, ens, NoiseSpec::None, 1).unwrap();
+
+    // k-LSE: DCT basis + energy-center placement; pick its best k ≤ m.
+    let dct_sensors = EnergyCenterAllocator::new()
+        .allocate(
+            &AllocationInput {
+                basis: eig_basis.matrix(), // energy-center ignores the basis
+                energy: &energy,
+                rows: ens.rows(),
+                cols: ens.cols(),
+                mask: &mask,
+            },
+            m,
+        )
+        .unwrap();
+    let mut best_klse = f64::INFINITY;
+    for k in 1..=m {
+        let dct = DctBasis::new(ens.rows(), ens.cols(), k).unwrap();
+        if let Ok(rec) = Reconstructor::new(&dct, &dct_sensors) {
+            let rep =
+                evaluate_reconstruction(&rec, &dct_sensors, ens, NoiseSpec::None, 1).unwrap();
+            best_klse = best_klse.min(rep.mse);
+        }
+    }
+    assert!(
+        eig.mse < best_klse / 3.0,
+        "EigenMaps {} not clearly better than k-LSE {}",
+        eig.mse,
+        best_klse
+    );
+}
+
+#[test]
+fn noise_degrades_gracefully_not_catastrophically() {
+    // Theorem 1 stability: at decent SNR, error stays bounded by a modest
+    // multiple of the noiseless error.
+    let ens = dataset().ensemble();
+    let basis = EigenBasis::fit(ens, 6).unwrap();
+    let mask = Mask::all_allowed(ens.rows(), ens.cols());
+    let sensors = greedy_sensors(&basis, ens, 12, &mask);
+    let rec = Reconstructor::new(&basis, &sensors).unwrap();
+    let clean = evaluate_reconstruction(&rec, &sensors, ens, NoiseSpec::None, 1).unwrap();
+    let noisy =
+        evaluate_reconstruction(&rec, &sensors, ens, NoiseSpec::SnrDb(30.0), 1).unwrap();
+    assert!(noisy.mse > clean.mse);
+    assert!(
+        noisy.mse < clean.mse * 100.0 + 0.5,
+        "30 dB noise exploded the error: {} vs {}",
+        noisy.mse,
+        clean.mse
+    );
+    // κ of the greedy layout must be modest — that is the whole point.
+    assert!(rec.condition_number() < 50.0, "κ = {}", rec.condition_number());
+}
+
+#[test]
+fn constrained_allocation_degrades_only_slightly() {
+    // Fig. 6's claim, end to end: forbidding the cache banks should not
+    // blow up the error.
+    let ens = dataset().ensemble();
+    let basis = EigenBasis::fit(ens, 10).unwrap();
+    let free = Mask::all_allowed(ens.rows(), ens.cols());
+    let constrained = Mask::all_allowed(ens.rows(), ens.cols())
+        .forbid_rects(&dataset().floorplan().rects_of_kind(BlockKind::L2Cache));
+    assert!(constrained.allowed_count() < free.allowed_count());
+
+    let s_free = greedy_sensors(&basis, ens, 10, &free);
+    let s_con = greedy_sensors(&basis, ens, 10, &constrained);
+    assert!(s_con.respects(&constrained));
+
+    let r_free = Reconstructor::new(&basis, &s_free).unwrap();
+    let r_con = Reconstructor::new(&basis, &s_con).unwrap();
+    let e_free = evaluate_reconstruction(&r_free, &s_free, ens, NoiseSpec::None, 1).unwrap();
+    let e_con = evaluate_reconstruction(&r_con, &s_con, ens, NoiseSpec::None, 1).unwrap();
+    assert!(
+        e_con.mse < e_free.mse * 20.0 + 1e-9,
+        "constrained MSE {} vs free {}",
+        e_con.mse,
+        e_free.mse
+    );
+}
+
+#[test]
+fn dataset_cache_roundtrip_through_disk() {
+    let ens = dataset().ensemble();
+    let path = std::env::temp_dir().join(format!(
+        "eigenmaps-integration-cache-{}.bin",
+        std::process::id()
+    ));
+    save_ensemble(ens, &path).unwrap();
+    let back = load_ensemble(&path).unwrap();
+    assert_eq!(back.len(), ens.len());
+    assert_eq!(back.map_slice(10), ens.map_slice(10));
+    std::fs::remove_file(&path).ok();
+
+    // A basis fitted on the reloaded data must match exactly.
+    let a = EigenBasis::fit(ens, 4).unwrap();
+    let b = EigenBasis::fit(&back, 4).unwrap();
+    assert_eq!(a.eigenvalues(), b.eigenvalues());
+}
+
+#[test]
+fn tradeoff_search_runs_on_simulated_data() {
+    let ens = dataset().ensemble();
+    let mask = Mask::all_allowed(ens.rows(), ens.cols());
+    let sweep = optimal_k(
+        ens,
+        &GreedyAllocator::new(),
+        8,
+        &mask,
+        NoiseSpec::SnrDb(20.0),
+        3,
+    )
+    .unwrap();
+    assert!(!sweep.points.is_empty());
+    let best = sweep.best_point();
+    assert!(best.k >= 1 && best.k <= 8);
+    assert!(best.report.mse.is_finite());
+}
+
+#[test]
+fn facade_reexports_work_together() {
+    // The `eigenmaps` facade must expose a coherent API across crates.
+    use eigenmaps::linalg::Matrix;
+    let m = Matrix::identity(3);
+    assert_eq!(m.rows(), 3);
+    let map = eigenmaps::core::ThermalMap::from_fn(2, 2, |r, c| (r + c) as f64);
+    assert_eq!(map.len(), 4);
+    let fp = eigenmaps::floorplan::Floorplan::ultrasparc_t1();
+    assert_eq!(fp.blocks_of_kind(eigenmaps::floorplan::BlockKind::Core).len(), 8);
+    let grid = eigenmaps::thermal::GridSpec::new(4, 4, 1e-3, 1e-3);
+    assert_eq!(grid.cells(), 16);
+}

@@ -1,0 +1,177 @@
+//! Cross-crate property-based tests: invariants that must hold for *any*
+//! reasonable dataset/sensor configuration, checked with proptest over
+//! randomized synthetic ensembles (no thermal sim in the loop — these
+//! probe the algorithm stack, not the physics).
+
+use eigenmaps::core::prelude::*;
+use proptest::prelude::*;
+
+/// A synthetic ensemble with `modes` planted spatial modes + noise floor.
+fn ensemble_strategy() -> impl Strategy<Value = MapEnsemble> {
+    (4usize..=8, 4usize..=8, 2usize..=4, 0u64..1000).prop_map(|(rows, cols, modes, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let shapes: Vec<Vec<f64>> = (0..modes)
+            .map(|_| (0..rows * cols).map(|_| rng.gen::<f64>() - 0.5).collect())
+            .collect();
+        let maps: Vec<ThermalMap> = (0..60)
+            .map(|t| {
+                let weights: Vec<f64> = (0..modes)
+                    .map(|q| ((t as f64) / (3.0 + q as f64)).sin() * (modes - q) as f64)
+                    .collect();
+                ThermalMap::from_fn(rows, cols, |r, c| {
+                    let i = r + c * rows;
+                    60.0 + shapes
+                        .iter()
+                        .zip(weights.iter())
+                        .map(|(s, w)| s[i] * w)
+                        .sum::<f64>()
+                })
+            })
+            .collect();
+        MapEnsemble::from_maps(&maps).expect("consistent shapes")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn approximation_error_monotone_in_k(ens in ensemble_strategy()) {
+        let kmax = 6.min(ens.cells());
+        let basis = EigenBasis::fit_exact(&ens, kmax).unwrap();
+        let mut prev = f64::INFINITY;
+        for k in 1..=kmax {
+            let rep = evaluate_approximation(&basis.truncated(k).unwrap(), &ens).unwrap();
+            prop_assert!(rep.mse <= prev + 1e-9, "k={k}: {} > {prev}", rep.mse);
+            prev = rep.mse;
+        }
+    }
+
+    #[test]
+    fn greedy_layout_is_valid_and_well_conditioned(
+        ens in ensemble_strategy(),
+        m_extra in 0usize..4,
+    ) {
+        let k = 3.min(ens.cells());
+        let m = k + m_extra;
+        prop_assume!(m <= ens.cells());
+        let basis = EigenBasis::fit_exact(&ens, k).unwrap();
+        let mask = Mask::all_allowed(ens.rows(), ens.cols());
+        let energy = ens.cell_variance();
+        let sensors = GreedyAllocator::new()
+            .allocate(
+                &AllocationInput {
+                    basis: basis.matrix(),
+                    energy: &energy,
+                    rows: ens.rows(),
+                    cols: ens.cols(),
+                    mask: &mask,
+                },
+                m,
+            )
+            .unwrap();
+        prop_assert_eq!(sensors.len(), m);
+        // Layout must support reconstruction.
+        let rec = Reconstructor::new(&basis, &sensors).unwrap();
+        prop_assert!(rec.condition_number().is_finite());
+    }
+
+    #[test]
+    fn reconstruction_exact_for_in_subspace_maps(ens in ensemble_strategy()) {
+        // Any map of the form Ψ_K α + mean is recovered exactly from
+        // noiseless sensors (Theorem 1 uniqueness).
+        let k = 3.min(ens.cells());
+        let basis = EigenBasis::fit_exact(&ens, k).unwrap();
+        let mask = Mask::all_allowed(ens.rows(), ens.cols());
+        let energy = ens.cell_variance();
+        let sensors = GreedyAllocator::new()
+            .allocate(
+                &AllocationInput {
+                    basis: basis.matrix(),
+                    energy: &energy,
+                    rows: ens.rows(),
+                    cols: ens.cols(),
+                    mask: &mask,
+                },
+                (k + 2).min(ens.cells()),
+            )
+            .unwrap();
+        let rec = Reconstructor::new(&basis, &sensors).unwrap();
+
+        // Build an in-subspace map with arbitrary coefficients.
+        let alpha: Vec<f64> = (0..k).map(|i| (i as f64 + 1.0) * 0.7).collect();
+        let mut cells = basis.matrix().matvec(&alpha).unwrap();
+        for (v, m) in cells.iter_mut().zip(basis.mean()) {
+            *v += m;
+        }
+        let truth = ThermalMap::new(ens.rows(), ens.cols(), cells).unwrap();
+        let est = rec.reconstruct(&sensors.sample(&truth)).unwrap();
+        prop_assert!(truth.mse(&est) < 1e-16, "mse {}", truth.mse(&est));
+    }
+
+    #[test]
+    fn masked_allocation_respects_every_mask(
+        ens in ensemble_strategy(),
+        forbidden_frac in 0.1f64..0.5,
+    ) {
+        let k = 2.min(ens.cells());
+        let basis = EigenBasis::fit_exact(&ens, k).unwrap();
+        let mask = Mask::all_allowed(ens.rows(), ens.cols())
+            .forbid_rects(&[(0.0, 0.0, forbidden_frac, 1.0)]);
+        let m = 4;
+        prop_assume!(mask.allowed_count() >= m);
+        let energy = ens.cell_variance();
+        let input = AllocationInput {
+            basis: basis.matrix(),
+            energy: &energy,
+            rows: ens.rows(),
+            cols: ens.cols(),
+            mask: &mask,
+        };
+        for alloc in [
+            &GreedyAllocator::new() as &dyn SensorAllocator,
+            &EnergyCenterAllocator::new(),
+            &UniformGridAllocator::new(),
+            &RandomAllocator::new(5),
+        ] {
+            let s = alloc.allocate(&input, m).unwrap();
+            prop_assert!(s.respects(&mask), "{} violated mask", alloc.name());
+            prop_assert_eq!(s.len(), m);
+        }
+    }
+
+    #[test]
+    fn metrics_are_nonnegative_and_max_bounds_mse(ens in ensemble_strategy()) {
+        let k = 2.min(ens.cells());
+        let basis = EigenBasis::fit_exact(&ens, k).unwrap();
+        let rep = evaluate_approximation(&basis, &ens).unwrap();
+        prop_assert!(rep.mse >= 0.0);
+        prop_assert!(rep.max >= 0.0);
+        // MAX is a max of per-cell squared errors, MSE their mean: MAX >= MSE.
+        prop_assert!(rep.max + 1e-15 >= rep.mse);
+    }
+
+    #[test]
+    fn snr_noise_has_exact_energy_budget(
+        snr_db in 5.0f64..45.0,
+        seed in 0u64..500,
+    ) {
+        let signal: Vec<f64> = (0..24).map(|i| 50.0 + ((i * 7) as f64).sin()).collect();
+        let center = vec![50.0; 24];
+        let mut nm = NoiseModel::new(seed);
+        let noisy = nm.apply_snr_db_centered(&signal, &center, snr_db).unwrap();
+        let sig_energy: f64 = signal
+            .iter()
+            .zip(center.iter())
+            .map(|(s, c)| (s - c) * (s - c))
+            .sum();
+        let noise_energy: f64 = noisy
+            .iter()
+            .zip(signal.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        let measured_db = 10.0 * (sig_energy / noise_energy).log10();
+        prop_assert!((measured_db - snr_db).abs() < 1e-6);
+    }
+}
