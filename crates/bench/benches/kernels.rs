@@ -77,9 +77,10 @@ fn bench_sym_eig(c: &mut Criterion) {
 fn bench_dct_basis(c: &mut Criterion) {
     let mut group = c.benchmark_group("dct2_basis");
     for &(h, w, k) in &[(28usize, 30usize, 16usize), (56, 60, 16), (56, 60, 32)] {
-        group.bench_function(BenchmarkId::from_parameter(format!("{h}x{w}_k{k}")), |bch| {
-            bch.iter(|| black_box(dct2_basis(h, w, k).unwrap()))
-        });
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{h}x{w}_k{k}")),
+            |bch| bch.iter(|| black_box(dct2_basis(h, w, k).unwrap())),
+        );
     }
     group.finish();
 }

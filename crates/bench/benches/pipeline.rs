@@ -11,7 +11,6 @@ use eigenmaps_thermal::{GridSpec, ThermalModel, TransientSim};
 struct Setup {
     ensemble: MapEnsemble,
     basis: EigenBasis,
-    energy: Vec<f64>,
 }
 
 fn setup() -> Setup {
@@ -24,81 +23,79 @@ fn setup() -> Setup {
         .expect("dataset generation");
     let ensemble = dataset.ensemble().clone();
     let basis = EigenBasis::fit(&ensemble, 32).expect("PCA fit");
-    let energy = ensemble.cell_variance();
-    Setup {
-        ensemble,
-        basis,
-        energy,
-    }
+    Setup { ensemble, basis }
 }
 
 fn bench_reconstruction_latency(c: &mut Criterion) {
     let s = setup();
-    let mask = Mask::all_allowed(s.ensemble.rows(), s.ensemble.cols());
     let mut group = c.benchmark_group("reconstruction_per_snapshot");
     for &m in &[8usize, 16, 32] {
         let basis = s.basis.truncated(m).unwrap();
-        let input = AllocationInput {
-            basis: basis.matrix(),
-            energy: &s.energy,
-            rows: s.ensemble.rows(),
-            cols: s.ensemble.cols(),
-            mask: &mask,
-        };
-        let sensors = GreedyAllocator::new().allocate(&input, m).unwrap();
-        let rec = Reconstructor::new(&basis, &sensors).unwrap();
+        let d = Pipeline::new(&s.ensemble)
+            .fitted_basis(basis)
+            .sensors(m)
+            .design()
+            .unwrap();
         let map = s.ensemble.map(100);
-        let readings = sensors.sample(&map);
-        group.bench_with_input(BenchmarkId::new("eigenmaps", m), &rec, |bch, rec| {
-            bch.iter(|| black_box(rec.reconstruct(black_box(&readings)).unwrap()))
+        let readings = d.sensors().sample(&map);
+        group.bench_with_input(BenchmarkId::new("eigenmaps", m), &d, |bch, d| {
+            bch.iter(|| black_box(d.reconstruct(black_box(&readings)).unwrap()))
         });
 
-        let dct = DctBasis::new(s.ensemble.rows(), s.ensemble.cols(), m).unwrap();
-        let dinput = AllocationInput {
-            basis: dct.matrix(),
-            energy: &s.energy,
-            rows: s.ensemble.rows(),
-            cols: s.ensemble.cols(),
-            mask: &mask,
-        };
-        let dsensors = EnergyCenterAllocator::new().allocate(&dinput, m).unwrap();
         // Symmetric energy-center layouts can alias low-order DCT atoms;
-        // step k down to the largest observable subspace, as the real
-        // k-LSE pipeline does.
-        let drec = (1..=m)
+        // step the design k down to the largest observable subspace, as
+        // the real k-LSE pipeline does (the allocator ignores the basis,
+        // so the sensors are unchanged).
+        let dd = (1..=m)
             .rev()
             .find_map(|k| {
-                let basis = DctBasis::new(s.ensemble.rows(), s.ensemble.cols(), k).ok()?;
-                Reconstructor::new(&basis, &dsensors).ok()
+                Pipeline::new(&s.ensemble)
+                    .basis(BasisSpec::Dct { k })
+                    .allocator(AllocatorSpec::EnergyCenter)
+                    .sensors(m)
+                    .design()
+                    .ok()
             })
             .expect("some DCT dimension is observable");
-        let dreadings = dsensors.sample(&map);
-        group.bench_with_input(BenchmarkId::new("klse", m), &drec, |bch, drec| {
-            bch.iter(|| black_box(drec.reconstruct(black_box(&dreadings)).unwrap()))
+        let dreadings = dd.sensors().sample(&map);
+        group.bench_with_input(BenchmarkId::new("klse", m), &dd, |bch, dd| {
+            bch.iter(|| black_box(dd.reconstruct(black_box(&dreadings)).unwrap()))
         });
     }
     group.finish();
 }
 
-fn bench_allocation(c: &mut Criterion) {
+fn bench_design(c: &mut Criterion) {
     let s = setup();
-    let mask = Mask::all_allowed(s.ensemble.rows(), s.ensemble.cols());
-    let mut group = c.benchmark_group("sensor_allocation");
+    let mut group = c.benchmark_group("pipeline_design");
     group.sample_size(10);
     let m = 16;
+    // Design-time cost for a fixed prefitted basis: activity map +
+    // allocation (the dominant term) + sensing-matrix SVD/QR.
     let basis = s.basis.truncated(m).unwrap();
-    let input = AllocationInput {
-        basis: basis.matrix(),
-        energy: &s.energy,
-        rows: s.ensemble.rows(),
-        cols: s.ensemble.cols(),
-        mask: &mask,
-    };
     group.bench_function("greedy_840_cells_m16", |bch| {
-        bch.iter(|| black_box(GreedyAllocator::new().allocate(&input, m).unwrap()))
+        bch.iter(|| {
+            black_box(
+                Pipeline::new(&s.ensemble)
+                    .fitted_basis(basis.clone())
+                    .allocator(AllocatorSpec::Greedy(GreedyAllocator::new()))
+                    .sensors(m)
+                    .design()
+                    .unwrap(),
+            )
+        })
     });
     group.bench_function("energy_center_840_cells_m16", |bch| {
-        bch.iter(|| black_box(EnergyCenterAllocator::new().allocate(&input, m).unwrap()))
+        bch.iter(|| {
+            black_box(
+                Pipeline::new(&s.ensemble)
+                    .fitted_basis(basis.clone())
+                    .allocator(AllocatorSpec::EnergyCenter)
+                    .sensors(m)
+                    .design()
+                    .unwrap(),
+            )
+        })
     });
     group.finish();
 }
@@ -123,11 +120,14 @@ fn bench_thermal_step(c: &mut Criterion) {
         let power = rast.rasterize(trace.step(0)).unwrap();
         // Warm the state so the benched step is a typical mid-run step.
         sim.run(&power, 20).unwrap();
-        group.bench_function(BenchmarkId::from_parameter(format!("{rows}x{cols}")), |bch| {
-            bch.iter(|| {
-                black_box(sim.step(black_box(&power)).unwrap());
-            })
-        });
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{rows}x{cols}")),
+            |bch| {
+                bch.iter(|| {
+                    black_box(sim.step(black_box(&power)).unwrap());
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -147,7 +147,7 @@ fn bench_basis_fit(c: &mut Criterion) {
 criterion_group!(
     pipeline,
     bench_reconstruction_latency,
-    bench_allocation,
+    bench_design,
     bench_thermal_step,
     bench_basis_fit
 );

@@ -1,0 +1,104 @@
+//! Serving-path benchmark: per-frame `Deployment::reconstruct` vs the
+//! batched `Deployment::reconstruct_batch` on ≥1k frames.
+//!
+//! The batch path reuses the factored QR's scratch buffers across frames
+//! and synthesizes maps in frame blocks (several frames' accumulator
+//! chains run per basis row, hiding floating-point add latency) while
+//! producing bitwise-identical maps — this benchmark documents the
+//! resulting throughput gap. A direct wall-clock comparison is also
+//! printed so the speedup shows up in plain text output.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use eigenmaps_core::prelude::*;
+use eigenmaps_floorplan::prelude::*;
+
+const FRAMES: usize = 1024;
+
+struct Serving {
+    deployment: Deployment,
+    frames: Vec<Vec<f64>>,
+}
+
+fn setup(k: usize, m: usize) -> Serving {
+    let dataset = DatasetBuilder::ultrasparc_t1()
+        .grid(28, 30)
+        .snapshots(300)
+        .settle_steps(20)
+        .seed(42)
+        .build()
+        .expect("dataset generation");
+    let ensemble = dataset.ensemble();
+    let deployment = Pipeline::new(ensemble)
+        .basis(BasisSpec::Eigen { k })
+        .sensors(m)
+        .design()
+        .expect("design");
+    let mut noise = NoiseModel::new(0x5E41);
+    let frames: Vec<Vec<f64>> = (0..FRAMES)
+        .map(|t| {
+            let map = ensemble.map(t % ensemble.len());
+            noise.apply_sigma(&deployment.sensors().sample(&map), 0.2)
+        })
+        .collect();
+    Serving { deployment, frames }
+}
+
+fn bench_batched_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving_1024_frames");
+    group.sample_size(20);
+    for &(k, m) in &[(8usize, 12usize), (16, 16), (32, 32)] {
+        let s = setup(k, m);
+
+        // Sanity: the batch path must match the per-frame path bitwise.
+        let batch = s.deployment.reconstruct_batch(&s.frames).expect("batch");
+        for (frame, map) in s.frames.iter().zip(batch.iter()) {
+            let single = s.deployment.reconstruct(frame).expect("single");
+            assert_eq!(single.as_slice(), map.as_slice(), "batch diverged");
+        }
+
+        group.bench_with_input(
+            BenchmarkId::new("per_frame_loop", format!("k{k}_m{m}")),
+            &s,
+            |bch, s| {
+                bch.iter(|| {
+                    for frame in &s.frames {
+                        black_box(s.deployment.reconstruct(black_box(frame)).unwrap());
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reconstruct_batch", format!("k{k}_m{m}")),
+            &s,
+            |bch, s| bch.iter(|| black_box(s.deployment.reconstruct_batch(&s.frames).unwrap())),
+        );
+
+        // Plain wall-clock comparison (averaged over a few rounds) so the
+        // speedup is visible without interpreting harness output.
+        let rounds = 5u32;
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            for frame in &s.frames {
+                black_box(s.deployment.reconstruct(frame).unwrap());
+            }
+        }
+        let single_time = t0.elapsed();
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            black_box(s.deployment.reconstruct_batch(&s.frames).unwrap());
+        }
+        let batch_time = t0.elapsed();
+        println!(
+            "serving_1024_frames/summary/k{k}_m{m}: per-frame {:?}, batch {:?} → {:.2}x speedup",
+            single_time / rounds,
+            batch_time / rounds,
+            single_time.as_secs_f64() / batch_time.as_secs_f64().max(1e-12)
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(serving, bench_batched_serving);
+criterion_main!(serving);

@@ -5,7 +5,7 @@ use std::time::Instant;
 
 use eigenmaps_core::prelude::*;
 use eigenmaps_floorplan::prelude::*;
-use eigenmaps_linalg::{Pca, PcaOptions, Svd};
+use eigenmaps_linalg::{Pca, PcaOptions};
 
 use crate::experiments::ExpResult;
 use crate::{write_csv, Harness};
@@ -81,13 +81,19 @@ pub fn tracking(h: &Harness) -> ExpResult {
     eprintln!("== Ablation: temporal tracking vs memoryless reconstruction ==");
     let m = 16;
     let mask = h.free_mask();
-    let (sensors, rec) =
-        crate::experiments::eigenmaps_stack(h, &GreedyAllocator::new(), m, &mask, NoiseSpec::None)?;
+    let deployment = crate::experiments::eigenmaps_stack(
+        h,
+        AllocatorSpec::Greedy(GreedyAllocator::new()),
+        m,
+        &mask,
+        NoiseSpec::None,
+    )?;
+    let sensors = deployment.sensors();
 
     let mut rows_out = Vec::new();
     for snr_db in [10.0, 15.0, 25.0, 40.0] {
         for gain in [1.0, 0.5, 0.25, 0.1] {
-            let mut tracker = TrackingReconstructor::new(rec.clone(), gain)?;
+            let mut tracker = deployment.tracker(gain)?;
             let mut noise = NoiseModel::new(0x7AC0);
             let mean_readings: Vec<f64> = {
                 let t = h.ensemble().len() as f64;
@@ -125,11 +131,7 @@ pub fn tracking(h: &Harness) -> ExpResult {
             ]);
         }
     }
-    write_csv(
-        "ablation_tracking.csv",
-        "snr_db,gain,mse,max",
-        &rows_out,
-    )?;
+    write_csv("ablation_tracking.csv", "snr_db,gain,mse,max", &rows_out)?;
     Ok(())
 }
 
@@ -141,16 +143,24 @@ pub fn endgame(h: &Harness) -> ExpResult {
     let mask = h.free_mask();
     let mut rows_out = Vec::new();
     for m in h.scale().m_sweep() {
-        let basis = h.basis().truncated(m.min(h.basis().k()))?;
-        let input = h.allocation_input(basis.matrix(), &mask);
+        // Timed quantity is the full design step (allocation dominates it;
+        // the basis truncation + sensing-matrix SVD/QR are O(MK²) noise).
         let record = |endgame: Endgame| -> ExpResult<(f64, f64, usize)> {
             let t0 = Instant::now();
-            let sensors = GreedyAllocator::new()
-                .with_endgame(endgame)
-                .allocate(&input, m)?;
+            let design = h.design_eigen(
+                m,
+                m,
+                &mask,
+                AllocatorSpec::Greedy(GreedyAllocator::new().with_endgame(endgame)),
+            );
             let secs = t0.elapsed().as_secs_f64();
-            let sensing = basis.matrix().select_rows(sensors.locations())?;
-            Ok((Svd::new(&sensing)?.cond(), secs, sensors.len()))
+            match design {
+                Ok(d) => Ok((d.condition_number(), secs, d.m())),
+                // The paper-literal rule can terminate in a layout that
+                // cannot observe the subspace; report it as κ = ∞.
+                Err(CoreError::SensingRankDeficient { .. }) => Ok((f64::INFINITY, secs, 0)),
+                Err(e) => Err(e.into()),
+            }
         };
         let (k_min, t_min, n_min) = record(Endgame::MinCondition)?;
         let (k_cor, t_cor, n_cor) = record(Endgame::CorrelationOnly)?;
@@ -221,23 +231,18 @@ pub fn generalization(h: &Harness) -> ExpResult {
     let ens = h.ensemble();
     let (train, test) = ens.split_at(ens.len() / 2)?;
     let mask = h.free_mask();
-    let greedy = GreedyAllocator::new();
-    let energy = train.cell_variance();
 
     let mut rows_out = Vec::new();
     for m in [8usize, 16, 32] {
-        let basis = EigenBasis::fit(&train, m)?;
-        let input = AllocationInput {
-            basis: basis.matrix(),
-            energy: &energy,
-            rows: ens.rows(),
-            cols: ens.cols(),
-            mask: &mask,
-        };
-        let sensors = greedy.allocate(&input, m)?;
-        let rec = Reconstructor::new(&basis, &sensors)?;
-        let on_train = evaluate_reconstruction(&rec, &sensors, &train, NoiseSpec::None, 1)?;
-        let on_test = evaluate_reconstruction(&rec, &sensors, &test, NoiseSpec::None, 1)?;
+        // Everything — basis fit, activity map, placement — sees the
+        // training half only.
+        let d = Pipeline::new(&train)
+            .basis(BasisSpec::Eigen { k: m })
+            .mask(mask.clone())
+            .sensors(m)
+            .design()?;
+        let on_train = d.evaluate_on(&train, NoiseSpec::None, 1)?;
+        let on_test = d.evaluate_on(&test, NoiseSpec::None, 1)?;
         rows_out.push(vec![
             m.to_string(),
             format!("{:.6e}", on_train.mse),

@@ -46,76 +46,83 @@ fn selection_subsample(h: &Harness) -> ExpResult<MapEnsemble> {
     )?)
 }
 
-/// Given a fixed sensor layout, sweeps the subspace dimension `k = 1..=m`
-/// over `make_basis(k)` and returns the reconstructor whose subsampled MSE
-/// under `noise` is smallest — the `ε + ε_r` optimum of Sec. 3.2.
-///
-/// Sensors are placed once (they are hardware); `K` is a free runtime
-/// parameter for *both* methods, which is how k-LSE's `k` is tuned in
-/// Nowroz et al. too. Rank-deficient `k` values are skipped.
-fn pick_k_star(
-    h: &Harness,
-    sensors: &SensorSet,
-    m: usize,
-    noise: NoiseSpec,
-    mut make_basis: impl FnMut(usize) -> ExpResult<Box<dyn Basis>>,
-) -> ExpResult<Reconstructor> {
+/// Given a designed deployment, sweeps the retained subspace dimension
+/// `k = 1..=deployment.k()` via [`Deployment::truncated`] (same sensors —
+/// they are hardware) and returns the deployment whose subsampled MSE
+/// under `noise` is smallest — the `ε + ε_r` optimum of Sec. 3.2. `K` is a
+/// free runtime parameter for *both* methods, which is how k-LSE's `k` is
+/// tuned in Nowroz et al. too. Rank-deficient `k` values are skipped.
+fn pick_k_star(h: &Harness, full: Deployment, noise: NoiseSpec) -> ExpResult<Deployment> {
     let sub = selection_subsample(h)?;
-    let mut best: Option<(f64, Reconstructor)> = None;
-    for k in 1..=m {
-        let basis = make_basis(k)?;
-        let rec = match Reconstructor::new(basis.as_ref(), sensors) {
-            Ok(r) => r,
+    let mut best: Option<(f64, Deployment)> = None;
+    for k in 1..=full.k() {
+        let cand = match full.truncated(k) {
+            Ok(d) => d,
             Err(CoreError::SensingRankDeficient { .. }) => continue,
             Err(e) => return Err(e.into()),
         };
-        let rep = evaluate_reconstruction(&rec, sensors, &sub, noise, 17)?;
+        let rep = cand.evaluate_on(&sub, noise, 17)?;
         if best.as_ref().is_none_or(|(b, _)| rep.mse < *b) {
-            best = Some((rep.mse, rec));
+            best = Some((rep.mse, cand));
         }
     }
-    best.map(|(_, rec)| rec)
+    best.map(|(_, d)| d)
         .ok_or_else(|| "no subspace dimension yields a full-rank sensing matrix".into())
 }
 
-/// Builds the EigenMaps reconstruction stack for a given `m`: sensors
-/// allocated by `allocator` on the `K = M` basis, then the runtime `K*`
-/// selected per `pick_k_star` (for noiseless evaluation this almost
-/// always lands on `K* = M`, the paper's policy).
+/// Designs the EigenMaps deployment for a given `m`: sensors allocated by
+/// `allocator` on the `K = M` basis, then the runtime `K*` selected per
+/// [`pick_k_star`] (for noiseless evaluation this almost always lands on
+/// `K* = M`, the paper's policy).
 pub fn eigenmaps_stack(
     h: &Harness,
-    allocator: &dyn SensorAllocator,
+    allocator: AllocatorSpec,
     m: usize,
     mask: &Mask,
     noise: NoiseSpec,
-) -> ExpResult<(SensorSet, Reconstructor)> {
+) -> ExpResult<Deployment> {
     let k_alloc = m.min(h.basis().k());
-    let basis = h.basis().truncated(k_alloc)?;
-    let input = h.allocation_input(basis.matrix(), mask);
-    let sensors = allocator.allocate(&input, m)?;
-    let rec = pick_k_star(h, &sensors, k_alloc, noise, |k| {
-        Ok(Box::new(h.basis().truncated(k)?))
-    })?;
-    Ok((sensors, rec))
+    let full = h.design_eigen(k_alloc, m, mask, allocator)?;
+    pick_k_star(h, full, noise)
 }
 
-/// Builds the k-LSE (DCT) reconstruction stack for a given `m`: sensors
-/// allocated by `allocator` on the `K = M` zigzag-DCT subspace, then the
-/// retained-coefficient count `k*` tuned exactly as in Nowroz et al.
+/// Designs the k-LSE (DCT) deployment for a given `m`: sensors allocated
+/// by `allocator` on the `K = M` zigzag-DCT subspace (stepping the design
+/// `k` down to the largest observable dimension, as the real k-LSE
+/// pipeline does), then the retained-coefficient count `k*` tuned exactly
+/// as in Nowroz et al.
+///
+/// Only rank deficiency triggers the step-down; every other design error
+/// propagates. With the basis-independent energy-center allocator the
+/// sensors are identical at every design `k`; a basis-dependent allocator
+/// (fig. 5 also runs greedy here) re-places them at the smaller dimension
+/// in the (rare) rank-deficient case.
 pub fn klse_stack(
     h: &Harness,
-    allocator: &dyn SensorAllocator,
+    allocator: AllocatorSpec,
     m: usize,
     mask: &Mask,
     noise: NoiseSpec,
-) -> ExpResult<(SensorSet, Reconstructor)> {
-    let basis = DctBasis::new(h.rows(), h.cols(), m)?;
-    let input = h.allocation_input(basis.matrix(), mask);
-    let sensors = allocator.allocate(&input, m)?;
-    let rec = pick_k_star(h, &sensors, m, noise, |k| {
-        Ok(Box::new(DctBasis::new(h.rows(), h.cols(), k)?))
-    })?;
-    Ok((sensors, rec))
+) -> ExpResult<Deployment> {
+    let mut full = None;
+    for k in (1..=m).rev() {
+        match Pipeline::new(h.ensemble())
+            .basis(BasisSpec::Dct { k })
+            .allocator(allocator.clone())
+            .mask(mask.clone())
+            .sensors(m)
+            .design()
+        {
+            Ok(d) => {
+                full = Some(d);
+                break;
+            }
+            Err(CoreError::SensingRankDeficient { .. }) => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let full = full.ok_or("no DCT dimension yields a full-rank sensing matrix")?;
+    pick_k_star(h, full, noise)
 }
 
 /// **Fig. 2** — the first EigenMaps as images plus the eigenvalue decay.
@@ -194,22 +201,21 @@ pub fn fig3a(h: &Harness) -> ExpResult {
 pub fn fig3b(h: &Harness) -> ExpResult {
     eprintln!("== Fig. 3(b): reconstruction error vs M ==");
     let mask = h.free_mask();
-    let greedy = GreedyAllocator::new();
-    let energy = EnergyCenterAllocator::new();
+    let greedy = || AllocatorSpec::Greedy(GreedyAllocator::new());
     let mut rows = Vec::new();
     for m in h.scale().m_sweep() {
-        let (es, er) = eigenmaps_stack(h, &greedy, m, &mask, NoiseSpec::None)?;
-        let eig_rep = evaluate_reconstruction(&er, &es, h.ensemble(), NoiseSpec::None, 1)?;
-        let (ks, kr) = klse_stack(h, &energy, m, &mask, NoiseSpec::None)?;
-        let klse_rep = evaluate_reconstruction(&kr, &ks, h.ensemble(), NoiseSpec::None, 1)?;
+        let ed = eigenmaps_stack(h, greedy(), m, &mask, NoiseSpec::None)?;
+        let eig_rep = ed.evaluate_on(h.ensemble(), NoiseSpec::None, 1)?;
+        let kd = klse_stack(h, AllocatorSpec::EnergyCenter, m, &mask, NoiseSpec::None)?;
+        let klse_rep = kd.evaluate_on(h.ensemble(), NoiseSpec::None, 1)?;
         rows.push(vec![
             m.to_string(),
             format!("{:.6e}", eig_rep.mse),
             format!("{:.6e}", eig_rep.max),
             format!("{:.6e}", klse_rep.mse),
             format!("{:.6e}", klse_rep.max),
-            format!("{:.3}", er.condition_number()),
-            format!("{:.3}", kr.condition_number()),
+            format!("{:.3}", ed.condition_number()),
+            format!("{:.3}", kd.condition_number()),
         ]);
     }
     write_csv(
@@ -242,20 +248,19 @@ pub fn fig3c(h: &Harness) -> ExpResult {
     eprintln!("== Fig. 3(c): reconstruction error vs SNR (M = 16) ==");
     let m = 16;
     let mask = h.free_mask();
-    let greedy = GreedyAllocator::new();
-    let energy = EnergyCenterAllocator::new();
 
     let mut rows = Vec::new();
     for snr_db in h.scale().snr_sweep() {
         let noise = NoiseSpec::SnrDb(snr_db);
-        let (es, er) = eigenmaps_stack(h, &greedy, m, &mask, noise)?;
-        let eig_rep = evaluate_reconstruction(&er, &es, h.ensemble(), noise, 3)?;
-        let (ks, kr) = klse_stack(h, &energy, m, &mask, noise)?;
-        let klse_rep = evaluate_reconstruction(&kr, &ks, h.ensemble(), noise, 3)?;
+        let greedy = AllocatorSpec::Greedy(GreedyAllocator::new());
+        let ed = eigenmaps_stack(h, greedy, m, &mask, noise)?;
+        let eig_rep = ed.evaluate_on(h.ensemble(), noise, 3)?;
+        let kd = klse_stack(h, AllocatorSpec::EnergyCenter, m, &mask, noise)?;
+        let klse_rep = kd.evaluate_on(h.ensemble(), noise, 3)?;
         rows.push(vec![
             format!("{snr_db}"),
-            er.k().to_string(),
-            kr.k().to_string(),
+            ed.k().to_string(),
+            kd.k().to_string(),
             format!("{:.6e}", eig_rep.mse),
             format!("{:.6e}", eig_rep.max),
             format!("{:.6e}", klse_rep.mse),
@@ -289,8 +294,9 @@ pub fn fig4(h: &Harness) -> ExpResult {
     eprintln!("== Fig. 4: visual comparison (16 sensors) ==");
     let m = 16;
     let mask = h.free_mask();
-    let (es, er) = eigenmaps_stack(h, &GreedyAllocator::new(), m, &mask, NoiseSpec::None)?;
-    let (ks, kr) = klse_stack(h, &EnergyCenterAllocator::new(), m, &mask, NoiseSpec::None)?;
+    let greedy = AllocatorSpec::Greedy(GreedyAllocator::new());
+    let ed = eigenmaps_stack(h, greedy, m, &mask, NoiseSpec::None)?;
+    let kd = klse_stack(h, AllocatorSpec::EnergyCenter, m, &mask, NoiseSpec::None)?;
 
     // Pick the globally hottest map and one mid-activity map.
     let mut hottest = (0usize, f64::NEG_INFINITY);
@@ -303,10 +309,13 @@ pub fn fig4(h: &Harness) -> ExpResult {
     let picks = [hottest.0, h.ensemble().len() / 2];
     for (row, &t) in picks.iter().enumerate() {
         let truth = h.ensemble().map(t);
-        let eig_est = er.reconstruct(&es.sample(&truth))?;
-        let klse_est = kr.reconstruct(&ks.sample(&truth))?;
+        let eig_est = ed.reconstruct(&ed.sensors().sample(&truth))?;
+        let klse_est = kd.reconstruct(&kd.sensors().sample(&truth))?;
         write_pgm(&format!("fig4_row{row}_original.pgm"), &truth.render_pgm())?;
-        write_pgm(&format!("fig4_row{row}_eigenmaps.pgm"), &eig_est.render_pgm())?;
+        write_pgm(
+            &format!("fig4_row{row}_eigenmaps.pgm"),
+            &eig_est.render_pgm(),
+        )?;
         write_pgm(&format!("fig4_row{row}_klse.pgm"), &klse_est.render_pgm())?;
         eprintln!(
             "map {t}: range [{:.1}, {:.1}] °C | EigenMaps MSE {:.3e} | k-LSE MSE {:.3e}",
@@ -327,18 +336,28 @@ pub fn fig4(h: &Harness) -> ExpResult {
 pub fn fig5(h: &Harness) -> ExpResult {
     eprintln!("== Fig. 5: allocation comparison ==");
     let mask = h.free_mask();
-    let greedy = GreedyAllocator::new();
-    let energy = EnergyCenterAllocator::new();
+    let greedy = || AllocatorSpec::Greedy(GreedyAllocator::new());
     let mut rows = Vec::new();
     for m in h.scale().m_sweep() {
-        let mse_of = |pair: ExpResult<(SensorSet, Reconstructor)>| -> ExpResult<f64> {
-            let (s, r) = pair?;
-            Ok(evaluate_reconstruction(&r, &s, h.ensemble(), NoiseSpec::None, 1)?.mse)
+        let mse_of = |d: ExpResult<Deployment>| -> ExpResult<f64> {
+            Ok(d?.evaluate_on(h.ensemble(), NoiseSpec::None, 1)?.mse)
         };
-        let eg = mse_of(eigenmaps_stack(h, &greedy, m, &mask, NoiseSpec::None))?;
-        let ee = mse_of(eigenmaps_stack(h, &energy, m, &mask, NoiseSpec::None))?;
-        let kg = mse_of(klse_stack(h, &greedy, m, &mask, NoiseSpec::None))?;
-        let ke = mse_of(klse_stack(h, &energy, m, &mask, NoiseSpec::None))?;
+        let eg = mse_of(eigenmaps_stack(h, greedy(), m, &mask, NoiseSpec::None))?;
+        let ee = mse_of(eigenmaps_stack(
+            h,
+            AllocatorSpec::EnergyCenter,
+            m,
+            &mask,
+            NoiseSpec::None,
+        ))?;
+        let kg = mse_of(klse_stack(h, greedy(), m, &mask, NoiseSpec::None))?;
+        let ke = mse_of(klse_stack(
+            h,
+            AllocatorSpec::EnergyCenter,
+            m,
+            &mask,
+            NoiseSpec::None,
+        ))?;
         rows.push(vec![
             m.to_string(),
             format!("{eg:.6e}"),
@@ -374,14 +393,14 @@ pub fn fig6(h: &Harness) -> ExpResult {
     eprintln!("== Fig. 6: constrained sensor allocation ==");
     let free = h.free_mask();
     let constrained = h.cache_mask();
-    let greedy = GreedyAllocator::new();
+    let greedy = || AllocatorSpec::Greedy(GreedyAllocator::new());
 
     let mut rows = Vec::new();
     for m in h.scale().m_sweep() {
-        let (fs, fr) = eigenmaps_stack(h, &greedy, m, &free, NoiseSpec::None)?;
-        let free_rep = evaluate_reconstruction(&fr, &fs, h.ensemble(), NoiseSpec::None, 1)?;
-        let (cs, cr) = eigenmaps_stack(h, &greedy, m, &constrained, NoiseSpec::None)?;
-        let con_rep = evaluate_reconstruction(&cr, &cs, h.ensemble(), NoiseSpec::None, 1)?;
+        let fd = eigenmaps_stack(h, greedy(), m, &free, NoiseSpec::None)?;
+        let free_rep = fd.evaluate_on(h.ensemble(), NoiseSpec::None, 1)?;
+        let cd = eigenmaps_stack(h, greedy(), m, &constrained, NoiseSpec::None)?;
+        let con_rep = cd.evaluate_on(h.ensemble(), NoiseSpec::None, 1)?;
         rows.push(vec![
             m.to_string(),
             format!("{:.6e}", free_rep.mse),
@@ -411,14 +430,22 @@ pub fn fig6(h: &Harness) -> ExpResult {
 
     // Panel (a)/(c): layouts at M = 32; panel (b): the mask itself.
     let m = 32;
-    let (fs, _) = eigenmaps_stack(h, &greedy, m, &free, NoiseSpec::None)?;
-    let (cs, _) = eigenmaps_stack(h, &greedy, m, &constrained, NoiseSpec::None)?;
-    eprintln!("(a) unconstrained layout, M = {m}:\n{}", fs.render_ascii(None));
+    let fs = eigenmaps_stack(h, greedy(), m, &free, NoiseSpec::None)?;
+    let cs = eigenmaps_stack(h, greedy(), m, &constrained, NoiseSpec::None)?;
+    let fs = fs.sensors();
+    let cs = cs.sensors();
+    eprintln!(
+        "(a) unconstrained layout, M = {m}:\n{}",
+        fs.render_ascii(None)
+    );
     eprintln!(
         "(c) constrained layout (x = forbidden cache cells), M = {m}:\n{}",
         cs.render_ascii(Some(&constrained))
     );
-    assert!(cs.respects(&constrained), "constrained layout violates mask");
+    assert!(
+        cs.respects(&constrained),
+        "constrained layout violates mask"
+    );
     std::fs::write(
         crate::results_dir().join("fig6_layouts.txt"),
         format!(
@@ -436,13 +463,13 @@ pub fn fig6(h: &Harness) -> ExpResult {
 pub fn headline(h: &Harness) -> ExpResult {
     eprintln!("== Headline claims ==");
     let mask = h.free_mask();
-    let greedy = GreedyAllocator::new();
+    let greedy = || AllocatorSpec::Greedy(GreedyAllocator::new());
 
     let mut min_m_mse = None;
     let mut min_m_max = None;
     for m in [3usize, 4, 5, 6, 8, 10, 12, 16] {
-        let (s, r) = eigenmaps_stack(h, &greedy, m, &mask, NoiseSpec::None)?;
-        let rep = evaluate_reconstruction(&r, &s, h.ensemble(), NoiseSpec::None, 1)?;
+        let d = eigenmaps_stack(h, greedy(), m, &mask, NoiseSpec::None)?;
+        let rep = d.evaluate_on(h.ensemble(), NoiseSpec::None, 1)?;
         eprintln!(
             "M = {m}: MSE = {:.4e} (°C² per cell), MAX = {:.4e} → max |err| = {:.3} °C",
             rep.mse,
@@ -461,15 +488,15 @@ pub fn headline(h: &Harness) -> ExpResult {
         None => println!("headline-1a: MSE < 1 °C² not reached by M = 16"),
     }
     match min_m_max {
-        Some(m) => println!(
-            "headline-1b: worst-case cell error < 1 °C from M = {m} sensors (paper: 4-5)"
-        ),
+        Some(m) => {
+            println!("headline-1b: worst-case cell error < 1 °C from M = {m} sensors (paper: 4-5)")
+        }
         None => println!("headline-1b: sub-1 °C worst-case not reached by M = 16"),
     }
 
     let m = 16;
-    let (s, r) = eigenmaps_stack(h, &greedy, m, &mask, NoiseSpec::SnrDb(15.0))?;
-    let rep = evaluate_reconstruction(&r, &s, h.ensemble(), NoiseSpec::SnrDb(15.0), 5)?;
+    let d = eigenmaps_stack(h, greedy(), m, &mask, NoiseSpec::SnrDb(15.0))?;
+    let rep = d.evaluate_on(h.ensemble(), NoiseSpec::SnrDb(15.0), 5)?;
     println!(
         "headline-2: M = 16 @ 15 dB SNR → MSE = {:.4e}, MAX = {:.4e} (max |err| = {:.3} °C; paper: ~1 °C)",
         rep.mse,

@@ -219,19 +219,27 @@ impl Harness {
             .forbid_rects(&self.floorplan.rects_of_kind(BlockKind::L2Cache))
     }
 
-    /// Allocation input over this harness for a given basis matrix & mask.
-    pub fn allocation_input<'a>(
-        &'a self,
-        basis: &'a eigenmaps_linalg::Matrix,
-        mask: &'a Mask,
-    ) -> AllocationInput<'a> {
-        AllocationInput {
-            basis,
-            energy: &self.energy,
-            rows: self.rows(),
-            cols: self.cols(),
-            mask,
-        }
+    /// Designs a deployment adopting the harness's prefitted EigenMaps
+    /// basis truncated to `k`, with `m` sensors placed by `allocator`
+    /// under `mask` — the standard design step every experiment shares.
+    ///
+    /// # Errors
+    ///
+    /// Propagates truncation, allocation and factorization failures.
+    pub fn design_eigen(
+        &self,
+        k: usize,
+        m: usize,
+        mask: &Mask,
+        allocator: AllocatorSpec,
+    ) -> eigenmaps_core::Result<Deployment> {
+        let basis = self.basis.truncated(k.min(self.basis.k()))?;
+        Pipeline::new(&self.ensemble)
+            .fitted_basis(basis)
+            .allocator(allocator)
+            .mask(mask.clone())
+            .sensors(m)
+            .design()
     }
 }
 

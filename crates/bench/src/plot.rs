@@ -141,10 +141,10 @@ impl Chart {
         let py = |ty: f64| MARGIN_T + plot_h - (ty - y0) / (y1 - y0) * plot_h;
 
         let mut svg = String::with_capacity(8 * 1024);
-        let _ = write!(
+        let _ = writeln!(
             svg,
             "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{HEIGHT}\" \
-             viewBox=\"0 0 {WIDTH} {HEIGHT}\" font-family=\"sans-serif\" font-size=\"13\">\n"
+             viewBox=\"0 0 {WIDTH} {HEIGHT}\" font-family=\"sans-serif\" font-size=\"13\">"
         );
         let _ = write!(
             svg,
@@ -154,10 +154,10 @@ impl Chart {
             xml_escape(&self.title)
         );
         // Axes box.
-        let _ = write!(
+        let _ = writeln!(
             svg,
             "<rect x=\"{MARGIN_L}\" y=\"{MARGIN_T}\" width=\"{plot_w:.1}\" height=\"{plot_h:.1}\" \
-             fill=\"none\" stroke=\"#333\"/>\n"
+             fill=\"none\" stroke=\"#333\"/>"
         );
 
         // Ticks.
@@ -197,9 +197,9 @@ impl Chart {
         );
 
         if !have_data {
-            let _ = write!(
+            let _ = writeln!(
                 svg,
-                "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\" fill=\"#999\">no plottable data</text>\n",
+                "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\" fill=\"#999\">no plottable data</text>",
                 MARGIN_L + plot_w / 2.0,
                 MARGIN_T + plot_h / 2.0
             );
@@ -213,15 +213,15 @@ impl Chart {
                 for &(tx, ty) in pts {
                     let _ = write!(path, "{:.1},{:.1} ", px(tx), py(ty));
                 }
-                let _ = write!(
+                let _ = writeln!(
                     svg,
-                    "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"/>\n",
+                    "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"/>",
                     path.trim_end()
                 );
                 for &(tx, ty) in pts {
-                    let _ = write!(
+                    let _ = writeln!(
                         svg,
-                        "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"{color}\"/>\n",
+                        "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"{color}\"/>",
                         px(tx),
                         py(ty)
                     );
@@ -285,7 +285,9 @@ fn ticks(t0: f64, t1: f64, scale: Scale) -> Vec<(f64, String)> {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Writes a chart under `results/`.
@@ -293,7 +295,10 @@ fn xml_escape(s: &str) -> String {
 /// # Errors
 ///
 /// Returns I/O errors from writing the file.
-pub fn write_svg(name: &str, chart: &Chart) -> std::result::Result<std::path::PathBuf, std::io::Error> {
+pub fn write_svg(
+    name: &str,
+    chart: &Chart,
+) -> std::result::Result<std::path::PathBuf, std::io::Error> {
     let dir = crate::results_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(name);
@@ -344,8 +349,7 @@ mod tests {
 
     #[test]
     fn degenerate_single_point_is_padded() {
-        let chart =
-            Chart::new("one", "x", "y").series(Series::new("p", vec![(5.0, 5.0)]));
+        let chart = Chart::new("one", "x", "y").series(Series::new("p", vec![(5.0, 5.0)]));
         let svg = chart.to_svg();
         assert_eq!(svg.matches("<circle").count(), 1);
         // Coordinates must be finite numbers (no NaN in output).

@@ -213,16 +213,12 @@ impl SensorAllocator for GreedyAllocator {
         }
 
         // Per-row maxima for fast argmax maintenance.
-        let mut row_max: Vec<(f64, usize)> = (0..nc)
-            .map(|i| row_abs_max(&g, &alive, i))
-            .collect();
+        let mut row_max: Vec<(f64, usize)> = (0..nc).map(|i| row_abs_max(&g, &alive, i)).collect();
 
         // Default endgame window: ~1.5 M candidates (at least M + 8). Small
         // enough that the O(window²) SVDs of the MinCondition endgame stay
         // negligible, large enough to always escape a degenerate tail.
-        let threshold = self
-            .endgame_threshold
-            .unwrap_or_else(|| m + (m / 2).max(8));
+        let threshold = self.endgame_threshold.unwrap_or_else(|| m + (m / 2).max(8));
         let mut remaining = nc;
         let mut banned: Vec<bool> = vec![false; nc]; // rows protected after failed removal
 
@@ -512,8 +508,16 @@ fn split_region(rg: &Region, cell_energy: &impl Fn(usize, usize) -> f64) -> (Reg
         let split = cum.iter().position(|&v| v >= half).unwrap_or(height / 2);
         let cut = (rg.r0 + split + 1).min(rg.r1 - 1).max(rg.r0 + 1);
         (
-            Region { r1: cut, energy: 0.0, ..*rg },
-            Region { r0: cut, energy: 0.0, ..*rg },
+            Region {
+                r1: cut,
+                energy: 0.0,
+                ..*rg
+            },
+            Region {
+                r0: cut,
+                energy: 0.0,
+                ..*rg
+            },
         )
     } else {
         let mut acc = 0.0;
@@ -528,8 +532,16 @@ fn split_region(rg: &Region, cell_energy: &impl Fn(usize, usize) -> f64) -> (Reg
         let split = cum.iter().position(|&v| v >= half).unwrap_or(width / 2);
         let cut = (rg.c0 + split + 1).min(rg.c1 - 1).max(rg.c0 + 1);
         (
-            Region { c1: cut, energy: 0.0, ..*rg },
-            Region { c0: cut, energy: 0.0, ..*rg },
+            Region {
+                c1: cut,
+                energy: 0.0,
+                ..*rg
+            },
+            Region {
+                c0: cut,
+                energy: 0.0,
+                ..*rg
+            },
         )
     }
 }
@@ -591,9 +603,14 @@ impl SensorAllocator for UniformGridAllocator {
             for b in 0..gc {
                 let r = ((a as f64 + 0.5) / gr as f64 * rows as f64).floor() as usize;
                 let c = ((b as f64 + 0.5) / gc as f64 * cols as f64).floor() as usize;
-                if let Some(cell) =
-                    nearest_allowed(input.mask, rows, cols, r.min(rows - 1), c.min(cols - 1), &chosen)
-                {
+                if let Some(cell) = nearest_allowed(
+                    input.mask,
+                    rows,
+                    cols,
+                    r.min(rows - 1),
+                    c.min(cols - 1),
+                    &chosen,
+                ) {
                     chosen.push(cell);
                     if chosen.len() == m {
                         break 'outer;
@@ -846,7 +863,10 @@ mod tests {
             .iter()
             .filter(|&&(r, c)| r < 5 && c < 5)
             .count();
-        assert!(in_hot >= 3, "only {in_hot}/4 sensors in the active quadrant");
+        assert!(
+            in_hot >= 3,
+            "only {in_hot}/4 sensors in the active quadrant"
+        );
     }
 
     #[test]
@@ -905,12 +925,7 @@ mod tests {
     #[test]
     fn exhaustive_matches_manual_on_trivial_case() {
         // Identity-like basis on a 2x2 grid, choose 2 of 4.
-        let basis = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[0.0, 1.0],
-            &[1.0, 1.0],
-            &[1.0, -1.0],
-        ]);
+        let basis = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[1.0, -1.0]]);
         let energy = vec![1.0; 4];
         let mask = Mask::all_allowed(2, 2);
         let input = test_input(&basis, &energy, 2, 2, &mask);

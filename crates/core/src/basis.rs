@@ -7,6 +7,30 @@ use eigenmaps_linalg::{Matrix, Pca, PcaOptions};
 use crate::error::{CoreError, Result};
 use crate::map::{MapEnsemble, ThermalMap};
 
+/// The family a [`Basis`] implementation belongs to. Carried by
+/// deployments through serialization (the eigen-specific diagnostics such
+/// as the eigenvalue spectrum are not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BasisKind {
+    /// Data-driven EigenMaps (PCA) basis.
+    Eigen,
+    /// Fixed zigzag-DCT basis (k-LSE).
+    Dct,
+    /// Any other [`Basis`] implementation.
+    Custom,
+}
+
+impl BasisKind {
+    /// Short human-readable family name.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            BasisKind::Eigen => "EigenMaps",
+            BasisKind::Dct => "k-LSE (DCT)",
+            BasisKind::Custom => "custom",
+        }
+    }
+}
+
 /// A `K`-dimensional affine approximation subspace for vectorized thermal
 /// maps: `x ≈ Ψ_K α + mean`.
 ///
@@ -30,6 +54,12 @@ pub trait Basis {
 
     /// Short human-readable name for tables and figures.
     fn name(&self) -> &'static str;
+
+    /// The family this basis belongs to (used to tag serialized
+    /// deployments; custom implementations may keep the default).
+    fn kind(&self) -> BasisKind {
+        BasisKind::Custom
+    }
 
     /// Subspace dimension `K`.
     fn k(&self) -> usize {
@@ -221,6 +251,10 @@ impl Basis for EigenBasis {
     fn name(&self) -> &'static str {
         "EigenMaps"
     }
+
+    fn kind(&self) -> BasisKind {
+        BasisKind::Eigen
+    }
 }
 
 /// The k-LSE approximation subspace: the `K` lowest-frequency 2-D DCT atoms
@@ -277,6 +311,10 @@ impl Basis for DctBasis {
     fn name(&self) -> &'static str {
         "k-LSE (DCT)"
     }
+
+    fn kind(&self) -> BasisKind {
+        BasisKind::Dct
+    }
 }
 
 #[cfg(test)]
@@ -312,9 +350,14 @@ mod tests {
         let b = EigenBasis::fit(&ens, 3).unwrap();
         for i in 0..2 {
             // Only the 2 planted modes are well-defined; compare those.
-            let rel = (a.eigenvalues()[i] - b.eigenvalues()[i]).abs()
-                / a.eigenvalues()[i].max(1e-12);
-            assert!(rel < 1e-6, "λ{i}: {} vs {}", a.eigenvalues()[i], b.eigenvalues()[i]);
+            let rel =
+                (a.eigenvalues()[i] - b.eigenvalues()[i]).abs() / a.eigenvalues()[i].max(1e-12);
+            assert!(
+                rel < 1e-6,
+                "λ{i}: {} vs {}",
+                a.eigenvalues()[i],
+                b.eigenvalues()[i]
+            );
         }
     }
 

@@ -48,6 +48,11 @@ pub enum CoreError {
         /// Sensors requested.
         requested: usize,
     },
+    /// A deployment artifact could not be written, read or parsed.
+    Persist {
+        /// What went wrong.
+        context: &'static str,
+    },
     /// An inner linear-algebra kernel failed.
     Linalg(LinalgError),
 }
@@ -60,7 +65,10 @@ impl fmt::Display for CoreError {
                 context,
                 expected,
                 found,
-            } => write!(f, "shape mismatch in {context}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "shape mismatch in {context}: expected {expected}, found {found}"
+            ),
             CoreError::InsufficientSensors { sensors, basis_dim } => write!(
                 f,
                 "reconstruction needs at least {basis_dim} sensors (M >= K), only {sensors} given"
@@ -73,6 +81,9 @@ impl fmt::Display for CoreError {
                 f,
                 "mask allows only {allowed} cells but {requested} sensors requested"
             ),
+            CoreError::Persist { context } => {
+                write!(f, "deployment persistence failure: {context}")
+            }
             CoreError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
         }
     }

@@ -5,6 +5,11 @@
 //! Vincenzi, Chebira, Atienza, Vetterli — DAC 2012), plus the baselines the
 //! paper compares against:
 //!
+//! * [`Pipeline`] / [`Deployment`] — the design-time → runtime lifecycle
+//!   API: a fluent builder that fits a basis, places sensors and prefactors
+//!   the solver, producing a serializable runtime artifact with single-frame
+//!   ([`Deployment::reconstruct`]) and batched
+//!   ([`Deployment::reconstruct_batch`]) serving paths;
 //! * [`EigenBasis`] — the optimal `K`-dimensional approximation of thermal
 //!   maps (top-`K` covariance eigenvectors; Sec. 3.1, Prop. 1);
 //! * [`Reconstructor`] — least-squares recovery of the full map from `M`
@@ -20,7 +25,7 @@
 //! * [`NoiseModel`] — exact-SNR measurement corruption (Fig. 3c);
 //! * [`tradeoff`] — the `K`-vs-`M` optimum search of Sec. 3.2.
 //!
-//! # Pipeline example
+//! # Quickstart: design → deploy → serve
 //!
 //! ```
 //! use eigenmaps_core::prelude::*;
@@ -36,27 +41,36 @@
 //!     .collect();
 //! let ensemble = MapEnsemble::from_maps(&maps)?;
 //!
-//! // 2. Fit the EigenMaps basis and place 4 sensors greedily.
-//! let basis = EigenBasis::fit(&ensemble, 2)?;
-//! let mask = Mask::all_allowed(8, 8);
-//! let energy = ensemble.cell_variance();
-//! let input = AllocationInput {
-//!     basis: basis.matrix(),
-//!     energy: &energy,
-//!     rows: 8,
-//!     cols: 8,
-//!     mask: &mask,
-//! };
-//! let sensors = GreedyAllocator::new().allocate(&input, 4)?;
+//! // 2. Design: fit 2 EigenMaps, place 4 sensors greedily, prefactor the
+//! //    solver. The `Deployment` can be serialized and shipped to a
+//! //    runtime fleet (`deployment.save(path)` / `Deployment::load`).
+//! let deployment = Pipeline::new(&ensemble)
+//!     .basis(BasisSpec::Eigen { k: 2 })
+//!     .allocator(AllocatorSpec::Greedy(GreedyAllocator::new()))
+//!     .sensors(4)
+//!     .noise(NoiseSpec::snr_db(40.0))
+//!     .design()?;
 //!
-//! // 3. Reconstruct any map of the family from 4 readings.
-//! let reconstructor = Reconstructor::new(&basis, &sensors)?;
+//! // 3. Serve: reconstruct any map of the family from 4 readings —
+//! //    per frame, or batched for throughput (bitwise-identical results).
 //! let truth = ensemble.map(33);
-//! let estimate = reconstructor.reconstruct(&sensors.sample(&truth))?;
+//! let estimate = deployment.reconstruct(&deployment.sensors().sample(&truth))?;
 //! assert!(truth.mse(&estimate) < 1e-6);
+//!
+//! let frames: Vec<Vec<f64>> = (0..8)
+//!     .map(|t| deployment.sensors().sample(&ensemble.map(t)))
+//!     .collect();
+//! let batch = deployment.reconstruct_batch(&frames)?;
+//! assert_eq!(batch.len(), 8);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The pre-`Pipeline` entry points remain available for callers that need
+//! to wire the phases manually ([`EigenBasis::fit`] →
+//! [`SensorAllocator::allocate`] → [`Reconstructor::new`]); the builder is
+//! the recommended path and the manual one is considered deprecated for
+//! application code.
 
 pub mod allocate;
 pub mod basis;
@@ -64,6 +78,7 @@ pub mod error;
 pub mod map;
 pub mod metrics;
 pub mod noise;
+pub mod pipeline;
 pub mod reconstruct;
 pub mod sensors;
 pub mod tracking;
@@ -73,7 +88,7 @@ pub use allocate::{
     AllocationInput, Endgame, EnergyCenterAllocator, ExhaustiveAllocator, GreedyAllocator,
     RandomAllocator, SensorAllocator, UniformGridAllocator,
 };
-pub use basis::{Basis, DctBasis, EigenBasis};
+pub use basis::{Basis, BasisKind, DctBasis, EigenBasis};
 pub use error::{CoreError, Result};
 pub use map::{MapEnsemble, ThermalMap};
 pub use metrics::{
@@ -81,6 +96,7 @@ pub use metrics::{
     HotspotReport, NoiseSpec,
 };
 pub use noise::{db_to_snr, snr_to_db, NoiseModel};
+pub use pipeline::{AllocatorSpec, BasisSpec, Deployment, Pipeline};
 pub use reconstruct::Reconstructor;
 pub use sensors::{Mask, SensorSet};
 pub use tracking::TrackingReconstructor;
@@ -92,14 +108,15 @@ pub mod prelude {
         AllocationInput, Endgame, EnergyCenterAllocator, ExhaustiveAllocator, GreedyAllocator,
         RandomAllocator, SensorAllocator, UniformGridAllocator,
     };
-    pub use crate::basis::{Basis, DctBasis, EigenBasis};
+    pub use crate::basis::{Basis, BasisKind, DctBasis, EigenBasis};
     pub use crate::error::{CoreError, Result};
     pub use crate::map::{MapEnsemble, ThermalMap};
     pub use crate::metrics::{
-        evaluate_approximation, evaluate_hotspot_detection, evaluate_reconstruction,
-        ErrorReport, HotspotReport, NoiseSpec,
+        evaluate_approximation, evaluate_hotspot_detection, evaluate_reconstruction, ErrorReport,
+        HotspotReport, NoiseSpec,
     };
     pub use crate::noise::{db_to_snr, snr_to_db, NoiseModel};
+    pub use crate::pipeline::{AllocatorSpec, BasisSpec, Deployment, Pipeline};
     pub use crate::reconstruct::Reconstructor;
     pub use crate::sensors::{Mask, SensorSet};
     pub use crate::tracking::TrackingReconstructor;

@@ -425,7 +425,9 @@ mod tests {
         let mut b = a.clone();
         assert_eq!(a.mse(&b), 0.0);
         assert_eq!(a.max_sq_err(&b), 0.0);
-        b = ThermalMap::from_fn(3, 3, |r, c| (r + c) as f64 + if r == 1 && c == 1 { 2.0 } else { 0.0 });
+        b = ThermalMap::from_fn(3, 3, |r, c| {
+            (r + c) as f64 + if r == 1 && c == 1 { 2.0 } else { 0.0 }
+        });
         assert!((a.max_sq_err(&b) - 4.0).abs() < 1e-12);
         assert!((a.mse(&b) - 4.0 / 9.0).abs() < 1e-12);
     }
@@ -463,7 +465,11 @@ mod tests {
 
     #[test]
     fn ensemble_roundtrip() {
-        let maps = vec![ramp(2, 2), ramp(2, 2), ThermalMap::from_fn(2, 2, |_, _| 1.0)];
+        let maps = vec![
+            ramp(2, 2),
+            ramp(2, 2),
+            ThermalMap::from_fn(2, 2, |_, _| 1.0),
+        ];
         let ens = MapEnsemble::from_maps(&maps).unwrap();
         assert_eq!(ens.len(), 3);
         assert_eq!(ens.cells(), 4);
@@ -486,7 +492,11 @@ mod tests {
             .map(|t| {
                 ThermalMap::from_fn(2, 2, |r, c| {
                     if (r, c) == (0, 0) {
-                        if t % 2 == 0 { 10.0 } else { 20.0 }
+                        if t % 2 == 0 {
+                            10.0
+                        } else {
+                            20.0
+                        }
                     } else {
                         5.0
                     }

@@ -47,6 +47,20 @@ pub enum NoiseSpec {
     Sigma(f64),
 }
 
+impl NoiseSpec {
+    /// White Gaussian noise at an exact SNR (dB) — fluent-builder sugar for
+    /// [`NoiseSpec::SnrDb`].
+    pub fn snr_db(db: f64) -> Self {
+        NoiseSpec::SnrDb(db)
+    }
+
+    /// Fixed per-sensor Gaussian error (°C) — fluent-builder sugar for
+    /// [`NoiseSpec::Sigma`].
+    pub fn sigma(sigma: f64) -> Self {
+        NoiseSpec::Sigma(sigma)
+    }
+}
+
 /// Evaluates *approximation* quality (no sensors): projects every map of
 /// the ensemble onto the basis and reports MSE/MAX — the Fig. 3(a)
 /// experiment.
@@ -96,7 +110,10 @@ pub fn evaluate_reconstruction(
         let t = ensemble.len().max(1) as f64;
         let mut acc = vec![0.0; sensors.len()];
         for i in 0..ensemble.len() {
-            for (a, v) in acc.iter_mut().zip(sensors.sample_slice(ensemble.map_slice(i))) {
+            for (a, v) in acc
+                .iter_mut()
+                .zip(sensors.sample_slice(ensemble.map_slice(i)))
+            {
                 *a += v;
             }
         }
@@ -159,7 +176,10 @@ pub fn evaluate_hotspot_detection(
         let t = ensemble.len().max(1) as f64;
         let mut acc = vec![0.0; sensors.len()];
         for i in 0..ensemble.len() {
-            for (a, v) in acc.iter_mut().zip(sensors.sample_slice(ensemble.map_slice(i))) {
+            for (a, v) in acc
+                .iter_mut()
+                .zip(sensors.sample_slice(ensemble.map_slice(i)))
+            {
                 *a += v;
             }
         }
@@ -256,8 +276,7 @@ mod tests {
         let basis = EigenBasis::fit_exact(&ens, 2).unwrap();
         let sensors = SensorSet::new(6, 6, vec![0, 10, 21, 32]).unwrap();
         let rec = Reconstructor::new(&basis, &sensors).unwrap();
-        let clean =
-            evaluate_reconstruction(&rec, &sensors, &ens, NoiseSpec::None, 7).unwrap();
+        let clean = evaluate_reconstruction(&rec, &sensors, &ens, NoiseSpec::None, 7).unwrap();
         let noisy =
             evaluate_reconstruction(&rec, &sensors, &ens, NoiseSpec::SnrDb(15.0), 7).unwrap();
         assert!(clean.mse < noisy.mse);
@@ -270,11 +289,15 @@ mod tests {
         let basis = EigenBasis::fit_exact(&ens, 2).unwrap();
         let sensors = SensorSet::new(6, 6, vec![0, 10, 21, 32, 5, 30]).unwrap();
         let rec = Reconstructor::new(&basis, &sensors).unwrap();
-        let low =
-            evaluate_reconstruction(&rec, &sensors, &ens, NoiseSpec::SnrDb(10.0), 3).unwrap();
+        let low = evaluate_reconstruction(&rec, &sensors, &ens, NoiseSpec::SnrDb(10.0), 3).unwrap();
         let high =
             evaluate_reconstruction(&rec, &sensors, &ens, NoiseSpec::SnrDb(40.0), 3).unwrap();
-        assert!(high.mse < low.mse, "high-SNR {} vs low-SNR {}", high.mse, low.mse);
+        assert!(
+            high.mse < low.mse,
+            "high-SNR {} vs low-SNR {}",
+            high.mse,
+            low.mse
+        );
     }
 
     #[test]
@@ -283,8 +306,7 @@ mod tests {
         let basis = EigenBasis::fit_exact(&ens, 2).unwrap();
         let sensors = SensorSet::new(6, 6, vec![1, 9, 20, 33]).unwrap();
         let rec = Reconstructor::new(&basis, &sensors).unwrap();
-        let rep =
-            evaluate_reconstruction(&rec, &sensors, &ens, NoiseSpec::Sigma(0.5), 11).unwrap();
+        let rep = evaluate_reconstruction(&rec, &sensors, &ens, NoiseSpec::Sigma(0.5), 11).unwrap();
         assert!(rep.mse > 0.0);
         assert!(rep.max >= rep.mse);
     }
@@ -308,8 +330,7 @@ mod tests {
         // weight crosses zero), making the argmax degenerate to roundoff —
         // so allow a small miss rate at radius 0, but demand the peak
         // *temperature* be exact everywhere.
-        let rep =
-            evaluate_hotspot_detection(&rec, &sensors, &ens, 0, NoiseSpec::None, 1).unwrap();
+        let rep = evaluate_hotspot_detection(&rec, &sensors, &ens, 0, NoiseSpec::None, 1).unwrap();
         assert!(rep.detection_rate > 0.95, "rate {}", rep.detection_rate);
         assert!(rep.mean_peak_error < 1e-9);
         assert!(rep.max_peak_error < 1e-9);
@@ -322,10 +343,8 @@ mod tests {
         let sensors = SensorSet::new(6, 6, vec![0, 10, 21, 32, 5, 30]).unwrap();
         let rec = Reconstructor::new(&basis, &sensors).unwrap();
         let noisy = NoiseSpec::SnrDb(15.0);
-        let strict =
-            evaluate_hotspot_detection(&rec, &sensors, &ens, 0, noisy, 4).unwrap();
-        let loose =
-            evaluate_hotspot_detection(&rec, &sensors, &ens, 2, noisy, 4).unwrap();
+        let strict = evaluate_hotspot_detection(&rec, &sensors, &ens, 0, noisy, 4).unwrap();
+        let loose = evaluate_hotspot_detection(&rec, &sensors, &ens, 2, noisy, 4).unwrap();
         assert!(loose.detection_rate >= strict.detection_rate);
         assert!(loose.mean_peak_error <= loose.max_peak_error + 1e-15);
     }

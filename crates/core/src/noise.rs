@@ -120,11 +120,7 @@ impl NoiseModel {
         for wi in w.iter_mut() {
             *wi *= scale;
         }
-        Ok(signal
-            .iter()
-            .zip(w.iter())
-            .map(|(s, n)| s + n)
-            .collect())
+        Ok(signal.iter().zip(w.iter()).map(|(s, n)| s + n).collect())
     }
 
     /// Returns `signal + w` with i.i.d. Gaussian noise of the given
@@ -183,8 +179,12 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = NoiseModel::new(9).apply_snr_db(&[1.0, 2.0, 3.0], 20.0).unwrap();
-        let b = NoiseModel::new(9).apply_snr_db(&[1.0, 2.0, 3.0], 20.0).unwrap();
+        let a = NoiseModel::new(9)
+            .apply_snr_db(&[1.0, 2.0, 3.0], 20.0)
+            .unwrap();
+        let b = NoiseModel::new(9)
+            .apply_snr_db(&[1.0, 2.0, 3.0], 20.0)
+            .unwrap();
         assert_eq!(a, b);
     }
 

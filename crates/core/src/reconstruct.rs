@@ -180,6 +180,111 @@ impl Reconstructor {
         let alpha = self.coefficients(readings)?;
         self.map_from_coefficients(&alpha)
     }
+
+    /// Reconstructs a batch of frames — the serving hot path.
+    ///
+    /// Compared with calling [`Reconstructor::reconstruct`] per frame this
+    /// reuses the factored QR's scratch buffers across frames (no per-frame
+    /// solver allocations) and synthesizes maps in frame blocks: each basis
+    /// row is loaded once per block and multiplied into several frames'
+    /// coefficient vectors at a time, whose independent accumulator chains
+    /// hide the floating-point add latency that bounds the one-dot-per-row
+    /// single-frame path. Each frame's accumulation still runs in the same
+    /// ascending-`k` order over the same operands, so the returned maps are
+    /// **bitwise identical** to per-frame reconstruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] if any frame's length differs
+    /// from `M`; propagates solver failures.
+    // The cell loop walks a matrix row and several output frames in
+    // lockstep; iterator chains would obscure the blocked-kernel shape.
+    #[allow(clippy::needless_range_loop)]
+    pub fn reconstruct_batch(&self, frames: &[Vec<f64>]) -> Result<Vec<ThermalMap>> {
+        let m = self.sensors.len();
+        let k = self.k();
+        let n = self.rows * self.cols;
+        for readings in frames {
+            if readings.len() != m {
+                return Err(CoreError::ShapeMismatch {
+                    context: "reconstruct_batch readings",
+                    expected: m,
+                    found: readings.len(),
+                });
+            }
+        }
+
+        // Phase 1: per-frame least-squares coefficients, frame-major.
+        let mut alphas = vec![0.0; frames.len() * k];
+        let mut scratch = vec![0.0; m];
+        for (f, readings) in frames.iter().enumerate() {
+            for ((s, x), mu) in scratch
+                .iter_mut()
+                .zip(readings.iter())
+                .zip(self.mean_at_sensors.iter())
+            {
+                *s = x - mu;
+            }
+            self.qr
+                .solve_lstsq_into(&mut scratch, &mut alphas[f * k..(f + 1) * k])?;
+        }
+
+        // Phase 2: blocked synthesis Ψ_K α + mean. Coefficients are
+        // transposed per frame block so the innermost loop runs *across
+        // frames* over contiguous memory — elementwise multiply-add the
+        // compiler vectorizes, with each frame's accumulation still
+        // performed in ascending-k order (one frame per SIMD lane), i.e.
+        // exactly the order the single-frame `matvec` dot product uses.
+        const FRAME_BLOCK: usize = 32;
+        let mut cells: Vec<Vec<f64>> = frames.iter().map(|_| vec![0.0; n]).collect();
+        let mut alpha_t = vec![0.0; FRAME_BLOCK * k];
+        for block_start in (0..frames.len()).step_by(FRAME_BLOCK) {
+            let bsz = (frames.len() - block_start).min(FRAME_BLOCK);
+            for f in 0..bsz {
+                for j in 0..k {
+                    alpha_t[j * bsz + f] = alphas[(block_start + f) * k + j];
+                }
+            }
+            let mut outs: Vec<&mut [f64]> = cells[block_start..block_start + bsz]
+                .iter_mut()
+                .map(|c| c.as_mut_slice())
+                .collect();
+            for i in 0..n {
+                let row = self.basis_matrix.row(i);
+                let mu = self.mean[i];
+                // Four frames at a time: four independent accumulator
+                // chains hide the floating-point add latency that bounds
+                // the one-chain-per-frame single path.
+                let mut f = 0;
+                while f + 4 <= bsz {
+                    let mut a = [0.0f64; 4];
+                    for (j, &rij) in row.iter().enumerate() {
+                        let col = &alpha_t[j * bsz + f..j * bsz + f + 4];
+                        a[0] += rij * col[0];
+                        a[1] += rij * col[1];
+                        a[2] += rij * col[2];
+                        a[3] += rij * col[3];
+                    }
+                    for (lane, &v) in a.iter().enumerate() {
+                        outs[f + lane][i] = v + mu;
+                    }
+                    f += 4;
+                }
+                while f < bsz {
+                    let mut a0 = 0.0;
+                    for (j, &rij) in row.iter().enumerate() {
+                        a0 += rij * alpha_t[j * bsz + f];
+                    }
+                    outs[f][i] = a0 + mu;
+                    f += 1;
+                }
+            }
+        }
+        cells
+            .into_iter()
+            .map(|c| ThermalMap::new(self.rows, self.cols, c))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -313,6 +418,28 @@ mod tests {
             rs.condition_number(),
             rc.condition_number()
         );
+    }
+
+    #[test]
+    fn batch_reconstruction_is_bitwise_identical_to_single() {
+        let ens = smooth_ensemble(6, 6, 50);
+        let basis = EigenBasis::fit_exact(&ens, 3).unwrap();
+        let sensors = SensorSet::new(6, 6, vec![0, 7, 14, 21, 28, 35]).unwrap();
+        let rec = Reconstructor::new(&basis, &sensors).unwrap();
+        // Enough frames to cross several synthesis blocks.
+        let frames: Vec<Vec<f64>> = (0..50).map(|t| sensors.sample(&ens.map(t))).collect();
+        let batch = rec.reconstruct_batch(&frames).unwrap();
+        assert_eq!(batch.len(), frames.len());
+        for (frame, map) in frames.iter().zip(batch.iter()) {
+            let single = rec.reconstruct(frame).unwrap();
+            assert_eq!(single.as_slice(), map.as_slice());
+        }
+        // Shape validation and the empty batch.
+        assert!(rec.reconstruct_batch(&[]).unwrap().is_empty());
+        assert!(matches!(
+            rec.reconstruct_batch(&[vec![0.0; 3]]),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

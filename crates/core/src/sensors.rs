@@ -89,7 +89,9 @@ impl Mask {
 
     /// Indices of all allowed cells, ascending.
     pub fn allowed_indices(&self) -> Vec<usize> {
-        (0..self.allowed.len()).filter(|&i| self.allowed[i]).collect()
+        (0..self.allowed.len())
+            .filter(|&i| self.allowed[i])
+            .collect()
     }
 }
 

@@ -88,12 +88,7 @@ pub fn optimal_k(
     let best = points
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| {
-            a.report
-                .mse
-                .partial_cmp(&b.report.mse)
-                .expect("finite MSE")
-        })
+        .min_by(|(_, a), (_, b)| a.report.mse.partial_cmp(&b.report.mse).expect("finite MSE"))
         .map(|(i, _)| i)
         .unwrap_or(0);
     Ok(TradeoffSweep { points, best })
@@ -126,8 +121,7 @@ mod tests {
     fn sweep_covers_k_range_and_marks_best() {
         let ens = rich_ensemble();
         let mask = Mask::all_allowed(8, 8);
-        let sweep = optimal_k(&ens, &GreedyAllocator::new(), 6, &mask, NoiseSpec::None, 5)
-            .unwrap();
+        let sweep = optimal_k(&ens, &GreedyAllocator::new(), 6, &mask, NoiseSpec::None, 5).unwrap();
         assert!(!sweep.points.is_empty());
         assert!(sweep.points.len() <= 6);
         let best = sweep.best_point();
@@ -141,8 +135,7 @@ mod tests {
         let ens = rich_ensemble();
         let mask = Mask::all_allowed(8, 8);
         let m = 8;
-        let clean = optimal_k(&ens, &GreedyAllocator::new(), m, &mask, NoiseSpec::None, 5)
-            .unwrap();
+        let clean = optimal_k(&ens, &GreedyAllocator::new(), m, &mask, NoiseSpec::None, 5).unwrap();
         let noisy = optimal_k(
             &ens,
             &GreedyAllocator::new(),
@@ -167,8 +160,7 @@ mod tests {
     fn condition_number_grows_with_k() {
         let ens = rich_ensemble();
         let mask = Mask::all_allowed(8, 8);
-        let sweep = optimal_k(&ens, &GreedyAllocator::new(), 6, &mask, NoiseSpec::None, 5)
-            .unwrap();
+        let sweep = optimal_k(&ens, &GreedyAllocator::new(), 6, &mask, NoiseSpec::None, 5).unwrap();
         let first = sweep.points.first().unwrap();
         let last = sweep.points.last().unwrap();
         assert!(last.condition_number >= first.condition_number - 1e-9);

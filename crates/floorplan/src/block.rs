@@ -207,16 +207,88 @@ impl Floorplan {
             ));
         }
         // L2 data banks on the flanks.
-        blocks.push(b("l2b0", BlockKind::L2Cache, 0.0, 0.22, 0.20, 0.28, 0.8, 1.9));
-        blocks.push(b("l2b1", BlockKind::L2Cache, 0.0, 0.50, 0.20, 0.28, 0.8, 1.9));
-        blocks.push(b("l2b2", BlockKind::L2Cache, 0.80, 0.22, 0.20, 0.28, 0.8, 1.9));
-        blocks.push(b("l2b3", BlockKind::L2Cache, 0.80, 0.50, 0.20, 0.28, 0.8, 1.9));
+        blocks.push(b(
+            "l2b0",
+            BlockKind::L2Cache,
+            0.0,
+            0.22,
+            0.20,
+            0.28,
+            0.8,
+            1.9,
+        ));
+        blocks.push(b(
+            "l2b1",
+            BlockKind::L2Cache,
+            0.0,
+            0.50,
+            0.20,
+            0.28,
+            0.8,
+            1.9,
+        ));
+        blocks.push(b(
+            "l2b2",
+            BlockKind::L2Cache,
+            0.80,
+            0.22,
+            0.20,
+            0.28,
+            0.8,
+            1.9,
+        ));
+        blocks.push(b(
+            "l2b3",
+            BlockKind::L2Cache,
+            0.80,
+            0.50,
+            0.20,
+            0.28,
+            0.8,
+            1.9,
+        ));
         // Middle band: crossbar, FPU, DRAM controllers, IOB, misc.
-        blocks.push(b("ccx", BlockKind::Crossbar, 0.20, 0.42, 0.40, 0.16, 1.0, 3.6));
+        blocks.push(b(
+            "ccx",
+            BlockKind::Crossbar,
+            0.20,
+            0.42,
+            0.40,
+            0.16,
+            1.0,
+            3.6,
+        ));
         blocks.push(b("fpu", BlockKind::Fpu, 0.60, 0.42, 0.20, 0.16, 0.3, 1.8));
-        blocks.push(b("dram0", BlockKind::DramCtl, 0.20, 0.22, 0.30, 0.20, 0.7, 1.6));
-        blocks.push(b("dram1", BlockKind::DramCtl, 0.50, 0.22, 0.30, 0.20, 0.7, 1.6));
-        blocks.push(b("iob", BlockKind::IoBridge, 0.20, 0.58, 0.30, 0.20, 0.6, 1.4));
+        blocks.push(b(
+            "dram0",
+            BlockKind::DramCtl,
+            0.20,
+            0.22,
+            0.30,
+            0.20,
+            0.7,
+            1.6,
+        ));
+        blocks.push(b(
+            "dram1",
+            BlockKind::DramCtl,
+            0.50,
+            0.22,
+            0.30,
+            0.20,
+            0.7,
+            1.6,
+        ));
+        blocks.push(b(
+            "iob",
+            BlockKind::IoBridge,
+            0.20,
+            0.58,
+            0.30,
+            0.20,
+            0.6,
+            1.4,
+        ));
         blocks.push(b("misc", BlockKind::Misc, 0.50, 0.58, 0.30, 0.20, 0.9, 1.5));
         Floorplan::new("UltraSPARC T1", 19.2e-3, 18.0e-3, blocks).expect("static table is valid")
     }

@@ -100,11 +100,10 @@ pub fn load_ensemble(path: &Path) -> Result<MapEnsemble> {
             context: "trailing bytes after payload",
         });
     }
-    let matrix = Matrix::from_vec(t, rows * cols, data).map_err(|_| {
-        FloorplanError::CorruptCache {
+    let matrix =
+        Matrix::from_vec(t, rows * cols, data).map_err(|_| FloorplanError::CorruptCache {
             context: "payload size inconsistent",
-        }
-    })?;
+        })?;
     Ok(MapEnsemble::new(rows, cols, matrix)?)
 }
 
@@ -114,7 +113,10 @@ mod tests {
     use eigenmaps_core::ThermalMap;
 
     fn tmp(name: &str) -> std::path::PathBuf {
-        std::env::temp_dir().join(format!("eigenmaps-cache-test-{name}-{}", std::process::id()))
+        std::env::temp_dir().join(format!(
+            "eigenmaps-cache-test-{name}-{}",
+            std::process::id()
+        ))
     }
 
     fn sample_ensemble() -> MapEnsemble {

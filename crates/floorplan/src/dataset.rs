@@ -208,8 +208,7 @@ impl DatasetBuilder {
 
         // Workload schedule covering all scenarios, padded to T snapshots.
         let generator = TraceGenerator::new(self.floorplan.clone(), self.dt, self.seed)?;
-        let per_scenario =
-            (self.snapshots + self.settle_steps).div_ceil(Scenario::ALL.len());
+        let per_scenario = (self.snapshots + self.settle_steps).div_ceil(Scenario::ALL.len());
         let trace: PowerTrace = generator.generate_schedule(per_scenario)?;
 
         // Warm-up: run the first `settle_steps` without recording.
@@ -309,10 +308,7 @@ mod tests {
 
     #[test]
     fn builder_validation() {
-        assert!(DatasetBuilder::ultrasparc_t1()
-            .grid(0, 5)
-            .build()
-            .is_err());
+        assert!(DatasetBuilder::ultrasparc_t1().grid(0, 5).build().is_err());
         assert!(DatasetBuilder::ultrasparc_t1()
             .grid(4, 4)
             .snapshots(0)

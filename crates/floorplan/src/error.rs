@@ -43,7 +43,10 @@ impl fmt::Display for FloorplanError {
                 write!(f, "invalid floorplan configuration: {context}")
             }
             FloorplanError::TraceShapeMismatch { expected, found } => {
-                write!(f, "power trace has {found} entries, floorplan has {expected} blocks")
+                write!(
+                    f,
+                    "power trace has {found} entries, floorplan has {expected} blocks"
+                )
             }
             FloorplanError::Thermal(e) => write!(f, "thermal simulation failed: {e}"),
             FloorplanError::Core(e) => write!(f, "map ensemble construction failed: {e}"),

@@ -194,8 +194,7 @@ mod tests {
             for r in 0..14 {
                 let p = cells[grid.index(r, c)];
                 let in_core0 = (c as f64) / 15.0 < 0.25 && (r as f64) / 14.0 < 0.22;
-                let touches_core0 =
-                    (c as f64) < 0.25 * 15.0 && (r as f64) < 0.22 * 14.0 + 1.0;
+                let touches_core0 = (c as f64) < 0.25 * 15.0 && (r as f64) < 0.22 * 14.0 + 1.0;
                 if !in_core0 && !touches_core0 {
                     outside += p;
                 }

@@ -252,8 +252,8 @@ impl TraceGenerator {
 
             // Derived uncore activity.
             let mean_u: f64 = core_u.iter().sum::<f64>() / n_cores as f64;
-            let left_u: f64 = core_u.iter().take(n_cores / 2).sum::<f64>()
-                / (n_cores / 2).max(1) as f64;
+            let left_u: f64 =
+                core_u.iter().take(n_cores / 2).sum::<f64>() / (n_cores / 2).max(1) as f64;
             let right_u: f64 = core_u.iter().skip(n_cores / 2).sum::<f64>()
                 / (n_cores - n_cores / 2).max(1) as f64;
             let fpu_u = match scenario {

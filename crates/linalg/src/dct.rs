@@ -245,11 +245,7 @@ mod tests {
         let mut prev = f64::INFINITY;
         for k in [1, 4, 16, 36, 64] {
             let y = dct2_lowpass(&x, h, w, k).unwrap();
-            let err: f64 = x
-                .iter()
-                .zip(y.iter())
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let err: f64 = x.iter().zip(y.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
             assert!(err <= prev + 1e-12, "k={k}: {err} > {prev}");
             prev = err;
         }

@@ -81,7 +81,10 @@ impl fmt::Display for LinalgError {
             LinalgError::NotConverged {
                 context,
                 iterations,
-            } => write!(f, "{context} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{context} did not converge after {iterations} iterations"
+            ),
             LinalgError::RankDeficient { rank, required } => {
                 write!(f, "rank deficient: rank {rank} but {required} required")
             }
@@ -128,6 +131,9 @@ mod tests {
             context: "jacobi_eig",
             iterations: 42,
         };
-        assert_eq!(e.to_string(), "jacobi_eig did not converge after 42 iterations");
+        assert_eq!(
+            e.to_string(),
+            "jacobi_eig did not converge after 42 iterations"
+        );
     }
 }

@@ -438,7 +438,10 @@ impl Index<(usize, usize)> for Matrix {
 
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
@@ -446,7 +449,10 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -534,7 +540,10 @@ mod tests {
         let b = Matrix::zeros(2, 3);
         assert!(matches!(
             a.matmul(&b),
-            Err(LinalgError::ShapeMismatch { context: "matmul", .. })
+            Err(LinalgError::ShapeMismatch {
+                context: "matmul",
+                ..
+            })
         ));
     }
 

@@ -213,7 +213,11 @@ impl Pca {
     ///
     /// Panics if `keep > k()`.
     pub fn approximation_error(&self, keep: usize) -> f64 {
-        assert!(keep <= self.k(), "keep={keep} exceeds fitted k={}", self.k());
+        assert!(
+            keep <= self.k(),
+            "keep={keep} exceeds fitted k={}",
+            self.k()
+        );
         let explained: f64 = self.eigenvalues[..keep].iter().sum();
         (self.total_variance - explained).max(0.0)
     }
@@ -282,7 +286,11 @@ impl Pca {
     ///
     /// Panics if `keep > k()`.
     pub fn approximate(&self, x: &[f64], keep: usize) -> Result<Vec<f64>> {
-        assert!(keep <= self.k(), "keep={keep} exceeds fitted k={}", self.k());
+        assert!(
+            keep <= self.k(),
+            "keep={keep} exceeds fitted k={}",
+            self.k()
+        );
         let mut coeffs = self.project(x)?;
         for c in coeffs[keep..].iter_mut() {
             *c = 0.0;

@@ -181,6 +181,25 @@ impl Qr {
     /// * [`LinalgError::Singular`] if `R` has a (numerically) zero diagonal
     ///   entry, i.e. the matrix does not have full column rank.
     pub fn solve_lstsq(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut qtb = b.to_vec();
+        let mut x = vec![0.0; self.cols()];
+        self.solve_lstsq_into(&mut qtb, &mut x)?;
+        Ok(x)
+    }
+
+    /// Allocation-free variant of [`Qr::solve_lstsq`] for hot loops that
+    /// solve against many right-hand sides: `b` is consumed as scratch
+    /// (overwritten with `Qᵀb`) and the solution is written into `x`. The
+    /// arithmetic is identical to [`Qr::solve_lstsq`], so results match it
+    /// bitwise.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] if `b.len() != rows` or
+    ///   `x.len() != cols`.
+    /// * [`LinalgError::Singular`] if `R` has a (numerically) zero diagonal
+    ///   entry, i.e. the matrix does not have full column rank.
+    pub fn solve_lstsq_into(&self, b: &mut [f64], x: &mut [f64]) -> Result<()> {
         let (m, n) = self.packed.shape();
         if b.len() != m {
             return Err(LinalgError::ShapeMismatch {
@@ -189,13 +208,20 @@ impl Qr {
                 found: (b.len(), 1),
             });
         }
-        let mut qtb = b.to_vec();
-        self.apply_qt(&mut qtb)?;
-        // Back substitution on the leading n×n triangle.
-        let mut x = vec![0.0; n];
+        if x.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                context: "qr solve_lstsq solution",
+                expected: (n, 1),
+                found: (x.len(), 1),
+            });
+        }
+        self.apply_qt(b)?;
+        // Back substitution on the leading n×n triangle. Entries x[j] for
+        // j > i are always written before they are read, so a dirty `x`
+        // buffer is fine.
         let tol = self.r_diag_tolerance();
         for i in (0..n).rev() {
-            let mut s = qtb[i];
+            let mut s = b[i];
             for j in (i + 1)..n {
                 s -= self.packed[(i, j)] * x[j];
             }
@@ -207,7 +233,7 @@ impl Qr {
             }
             x[i] = s / d;
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Numerical rank of the factorized matrix estimated from the diagonal
@@ -332,6 +358,21 @@ mod tests {
         let r = vecops::sub(&b, &ax);
         let atr = a.tr_matvec(&r).unwrap();
         assert!(vecops::norm_inf(&atr) < 1e-12, "Aᵀr = {atr:?}");
+    }
+
+    #[test]
+    fn solve_into_matches_allocating_solve_bitwise() {
+        let a = Matrix::from_fn(7, 3, |i, j| ((i * 5 + j * 3) as f64 * 0.31).sin() + 0.2);
+        let qr = Qr::new(&a).unwrap();
+        let b: Vec<f64> = (0..7).map(|i| (i as f64 * 1.7).cos()).collect();
+        let x_alloc = qr.solve_lstsq(&b).unwrap();
+        let mut scratch = b.clone();
+        let mut x = vec![123.0; 3]; // dirty buffer must not matter
+        qr.solve_lstsq_into(&mut scratch, &mut x).unwrap();
+        assert_eq!(x, x_alloc);
+        // Shape checks.
+        assert!(qr.solve_lstsq_into(&mut [0.0; 2], &mut [0.0; 3]).is_err());
+        assert!(qr.solve_lstsq_into(&mut b.clone(), &mut [0.0; 2]).is_err());
     }
 
     #[test]

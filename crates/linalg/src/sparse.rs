@@ -289,7 +289,9 @@ impl Default for CgOptions {
 pub fn cg_solve(a: &CsrMatrix, b: &[f64], opts: &CgOptions) -> Result<CgSolution> {
     let n = a.rows();
     if a.cols() != n {
-        return Err(LinalgError::NotSquare { shape: (a.rows(), a.cols()) });
+        return Err(LinalgError::NotSquare {
+            shape: (a.rows(), a.cols()),
+        });
     }
     if b.len() != n {
         return Err(LinalgError::ShapeMismatch {
@@ -340,7 +342,11 @@ pub fn cg_solve(a: &CsrMatrix, b: &[f64], opts: &CgOptions) -> Result<CgSolution
     let mut ax = vec![0.0; n];
     a.matvec_into(&x, &mut ax);
     let mut r: Vec<f64> = b.iter().zip(ax.iter()).map(|(bi, ai)| bi - ai).collect();
-    let mut z: Vec<f64> = r.iter().zip(inv_diag.iter()).map(|(ri, mi)| ri * mi).collect();
+    let mut z: Vec<f64> = r
+        .iter()
+        .zip(inv_diag.iter())
+        .map(|(ri, mi)| ri * mi)
+        .collect();
     let mut p = z.clone();
     let mut rz = vecops::dot(&r, &z);
     let mut ap = vec![0.0; n];
@@ -423,7 +429,9 @@ pub fn cg_solve(a: &CsrMatrix, b: &[f64], opts: &CgOptions) -> Result<CgSolution
 pub fn bicgstab_solve(a: &CsrMatrix, b: &[f64], opts: &CgOptions) -> Result<CgSolution> {
     let n = a.rows();
     if a.cols() != n {
-        return Err(LinalgError::NotSquare { shape: (a.rows(), a.cols()) });
+        return Err(LinalgError::NotSquare {
+            shape: (a.rows(), a.cols()),
+        });
     }
     if b.len() != n {
         return Err(LinalgError::ShapeMismatch {
@@ -509,7 +517,11 @@ pub fn bicgstab_solve(a: &CsrMatrix, b: &[f64], opts: &CgOptions) -> Result<CgSo
         }
         a.matvec_into(&phat, &mut v);
         alpha = rho / vecops::dot(&r0, &v);
-        let s: Vec<f64> = r.iter().zip(v.iter()).map(|(ri, vi)| ri - alpha * vi).collect();
+        let s: Vec<f64> = r
+            .iter()
+            .zip(v.iter())
+            .map(|(ri, vi)| ri - alpha * vi)
+            .collect();
         if vecops::norm2(&s) / bnorm <= opts.tolerance {
             vecops::axpy(alpha, &phat, &mut x);
             let res = vecops::norm2(&s) / bnorm;

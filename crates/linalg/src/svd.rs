@@ -158,9 +158,7 @@ impl Svd {
         }
 
         // Column norms are the singular values.
-        let mut pairs: Vec<(f64, usize)> = (0..n)
-            .map(|j| (vecops::norm2(&w.col(j)), j))
-            .collect();
+        let mut pairs: Vec<(f64, usize)> = (0..n).map(|j| (vecops::norm2(&w.col(j)), j)).collect();
         pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN singular value"));
 
         let mut u = Matrix::zeros(m, n);

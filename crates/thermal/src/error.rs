@@ -69,7 +69,9 @@ mod tests {
             found: 99,
         };
         assert!(e.to_string().contains("99"));
-        let e = ThermalError::InvalidConfig { context: "no layers" };
+        let e = ThermalError::InvalidConfig {
+            context: "no layers",
+        };
         assert!(e.to_string().contains("no layers"));
     }
 

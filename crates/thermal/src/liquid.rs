@@ -107,9 +107,13 @@ impl LiquidCooledStack {
                 context: "channel height must be positive",
             });
         }
-        if [coolant.flow_rate, coolant.wall_htc, coolant.volumetric_capacity]
-            .iter()
-            .any(|v| !(v.is_finite() && *v > 0.0))
+        if [
+            coolant.flow_rate,
+            coolant.wall_htc,
+            coolant.volumetric_capacity,
+        ]
+        .iter()
+        .any(|v| !(v.is_finite() && *v > 0.0))
         {
             return Err(ThermalError::InvalidConfig {
                 context: "coolant parameters must be positive",
@@ -195,8 +199,7 @@ impl LiquidCooledStack {
             / ((top_of_below.thickness / 2.0) / (top_of_below.material.conductivity * area)
                 + 1.0 / (coolant.wall_htc * area));
         let g_wall_above = 1.0
-            / ((bottom_of_above.thickness / 2.0)
-                / (bottom_of_above.material.conductivity * area)
+            / ((bottom_of_above.thickness / 2.0) / (bottom_of_above.material.conductivity * area)
                 + 1.0 / (coolant.wall_htc * area));
         let below_top_base = layer_base(below.len() - 1);
         let above_bot_base = layer_base(below.len());
@@ -623,10 +626,12 @@ mod tests {
         let grid = GridSpec::new(2, 2, 1e-3, 1e-3);
         let die = vec![Layer::new("die", Material::SILICON, 350e-6)];
         let lid = vec![Layer::new("lid", Material::SILICON, 300e-6)];
-        assert!(LiquidCooledStack::new(grid, vec![], lid.clone(), 1e-4, Coolant::default())
-            .is_err());
-        assert!(LiquidCooledStack::new(grid, die.clone(), vec![], 1e-4, Coolant::default())
-            .is_err());
+        assert!(
+            LiquidCooledStack::new(grid, vec![], lid.clone(), 1e-4, Coolant::default()).is_err()
+        );
+        assert!(
+            LiquidCooledStack::new(grid, die.clone(), vec![], 1e-4, Coolant::default()).is_err()
+        );
         assert!(
             LiquidCooledStack::new(grid, die.clone(), lid.clone(), 0.0, Coolant::default())
                 .is_err()

@@ -205,8 +205,8 @@ impl ThermalModel {
             // resistances in series through the cell area.
             if l + 1 < layers.len() {
                 let up = &layers[l + 1];
-                let r_series =
-                    (t / 2.0) / (k * area) + (up.thickness / 2.0) / (up.material.conductivity * area);
+                let r_series = (t / 2.0) / (k * area)
+                    + (up.thickness / 2.0) / (up.material.conductivity * area);
                 let gz = 1.0 / r_series;
                 for r in 0..grid.rows {
                     for c in 0..grid.cols {
@@ -476,7 +476,10 @@ mod tests {
         let center = die[g.index(4, 4)];
         let near = die[g.index(4, 5)];
         let far = die[g.index(4, 8)];
-        assert!(center > near && near > far, "{center} > {near} > {far} violated");
+        assert!(
+            center > near && near > far,
+            "{center} > {near} > {far} violated"
+        );
     }
 
     #[test]
@@ -502,7 +505,11 @@ mod tests {
 
     #[test]
     fn empty_stack_rejected() {
-        let r = ThermalModel::new(GridSpec::new(2, 2, 1e-3, 1e-3), vec![], Environment::default());
+        let r = ThermalModel::new(
+            GridSpec::new(2, 2, 1e-3, 1e-3),
+            vec![],
+            Environment::default(),
+        );
         assert!(matches!(r, Err(ThermalError::InvalidConfig { .. })));
     }
 
@@ -512,11 +519,7 @@ mod tests {
             ambient: 45.0,
             heat_transfer_coefficient: 0.0,
         };
-        let r = ThermalModel::new(
-            GridSpec::new(2, 2, 1e-3, 1e-3),
-            Layer::default_stack(),
-            env,
-        );
+        let r = ThermalModel::new(GridSpec::new(2, 2, 1e-3, 1e-3), Layer::default_stack(), env);
         assert!(r.is_err());
     }
 

@@ -178,11 +178,12 @@ impl TransientSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{Environment, GridSpec};
     use crate::material::Layer;
+    use crate::model::{Environment, GridSpec};
 
     fn sim(rows: usize, cols: usize, dt: f64) -> TransientSim {
-        let model = ThermalModel::with_default_stack(GridSpec::new(rows, cols, 1e-3, 1e-3)).unwrap();
+        let model =
+            ThermalModel::with_default_stack(GridSpec::new(rows, cols, 1e-3, 1e-3)).unwrap();
         TransientSim::new(model, dt).unwrap()
     }
 

@@ -36,15 +36,36 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
             NoiseSpec::Sigma(s) => format!("σ = {s} °C"),
         };
         println!("\n==== M = {m}, {label} ====");
-        println!("{:>3} {:>12} {:>12} {:>10}", "K", "MSE (°C²)", "MAX (°C²)", "κ(Ψ̃_K)");
+        println!(
+            "{:>3} {:>12} {:>12} {:>10}",
+            "K", "MSE (°C²)", "MAX (°C²)", "κ(Ψ̃_K)"
+        );
         let sweep = optimal_k(ensemble, &greedy, m, &mask, noise, 11)?;
         for p in &sweep.points {
-            let star = if p.k == sweep.best_point().k { "  ← optimal" } else { "" };
+            let star = if p.k == sweep.best_point().k {
+                "  ← optimal"
+            } else {
+                ""
+            };
             println!(
                 "{:>3} {:>12.4e} {:>12.4e} {:>10.2}{star}",
                 p.k, p.report.mse, p.report.max, p.condition_number
             );
         }
+        // Freeze the sweep's optimum into a shippable runtime artifact.
+        let deployment = Pipeline::new(ensemble)
+            .basis(BasisSpec::Eigen {
+                k: sweep.best_point().k,
+            })
+            .sensors(m)
+            .noise(noise)
+            .design()?;
+        println!(
+            "→ deployment at K* = {}: κ = {:.2}, artifact = {} bytes",
+            deployment.k(),
+            deployment.condition_number(),
+            deployment.to_bytes().len()
+        );
     }
     println!(
         "\ntakeaway: without noise the optimum sits at K = M (use every basis\n\

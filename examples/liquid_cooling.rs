@@ -26,8 +26,7 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         fp.die_height() / rows as f64,
     );
     let rasterizer = PowerRasterizer::new(&fp, grid)?;
-    let trace = TraceGenerator::new(fp.clone(), 0.05, 0x11D)?
-        .generate(Scenario::ComputeBound, 120);
+    let trace = TraceGenerator::new(fp.clone(), 0.05, 0x11D)?.generate(Scenario::ComputeBound, 120);
 
     // ---- air vs liquid at the same (hot) operating point -----------------
     let hot_power = rasterizer.rasterize(trace.step(60))?;
@@ -48,8 +47,14 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         "compute-bound operating point ({:.1} W total):",
         hot_power.iter().sum::<f64>()
     );
-    println!("  air-cooled peak die temperature    : {:.2} °C", peak(air.die_temperatures(&t_air)));
-    println!("  liquid-cooled peak die temperature : {:.2} °C", peak(stack.die_temperatures(&t_liq)));
+    println!(
+        "  air-cooled peak die temperature    : {:.2} °C",
+        peak(air.die_temperatures(&t_air))
+    );
+    println!(
+        "  liquid-cooled peak die temperature : {:.2} °C",
+        peak(stack.die_temperatures(&t_liq))
+    );
     let cool = stack.coolant_temperatures(&t_liq);
     println!(
         "  coolant inlet → outlet              : {:.2} °C → {:.2} °C",
@@ -61,34 +66,30 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     println!("\nbuilding a liquid-cooled design-time ensemble (steady states)…");
     let maps: Vec<ThermalMap> = (0..trace.len())
         .step_by(2)
-        .map(|i| -> std::result::Result<ThermalMap, Box<dyn std::error::Error>> {
-            let p = rasterizer.rasterize(trace.step(i))?;
-            let t = stack.steady_state(&p)?;
-            Ok(ThermalMap::new(rows, cols, stack.die_temperatures(&t).to_vec())?)
-        })
+        .map(
+            |i| -> std::result::Result<ThermalMap, Box<dyn std::error::Error>> {
+                let p = rasterizer.rasterize(trace.step(i))?;
+                let t = stack.steady_state(&p)?;
+                Ok(ThermalMap::new(
+                    rows,
+                    cols,
+                    stack.die_temperatures(&t).to_vec(),
+                )?)
+            },
+        )
         .collect::<std::result::Result<_, _>>()?;
     let ensemble = MapEnsemble::from_maps(&maps)?;
 
     let k = 8;
-    let basis = EigenBasis::fit(&ensemble, k)?;
-    let mask = Mask::all_allowed(rows, cols);
-    let energy = ensemble.cell_variance();
-    let sensors = GreedyAllocator::new().allocate(
-        &AllocationInput {
-            basis: basis.matrix(),
-            energy: &energy,
-            rows,
-            cols,
-            mask: &mask,
-        },
-        k,
-    )?;
-    let rec = Reconstructor::new(&basis, &sensors)?;
-    let rep = evaluate_reconstruction(&rec, &sensors, &ensemble, NoiseSpec::None, 1)?;
+    let deployment = Pipeline::new(&ensemble)
+        .basis(BasisSpec::Eigen { k })
+        .sensors(k)
+        .design()?;
+    let rep = deployment.evaluate_on(&ensemble, NoiseSpec::None, 1)?;
     println!(
         "EigenMaps on the liquid-cooled die: {k} sensors, κ = {:.2}, \
          MSE = {:.3e} °C², worst cell = {:.3} °C",
-        rec.condition_number(),
+        deployment.condition_number(),
         rep.mse,
         rep.max_abs()
     );

@@ -1,9 +1,10 @@
-//! Quickstart: the whole EigenMaps pipeline in ~60 lines.
+//! Quickstart: the whole EigenMaps pipeline in ~50 lines.
 //!
 //! 1. Simulate a design-time thermal dataset for the UltraSPARC T1.
-//! 2. Fit the EigenMaps basis (top-K covariance eigenvectors).
-//! 3. Place a handful of sensors with the greedy allocator.
-//! 4. Reconstruct full thermal maps from those few sensor readings.
+//! 2. Design a deployment with the fluent `Pipeline` builder: EigenMaps
+//!    basis (top-K covariance eigenvectors), greedy sensor placement,
+//!    prefactored runtime solver.
+//! 3. Reconstruct full thermal maps from those few sensor readings.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -23,42 +24,29 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         .build()?;
     let ensemble = dataset.ensemble();
 
-    // 2. The EigenMaps basis: 8 principal components of the map covariance.
-    let k = 8;
-    let basis = EigenBasis::fit(ensemble, k)?;
+    // 2. Design: 8 EigenMaps, 8 greedily placed sensors, factored solver —
+    //    one fluent expression from ensemble to runtime artifact.
+    let (k, m) = (8, 8);
+    let deployment = Pipeline::new(ensemble)
+        .basis(BasisSpec::Eigen { k })
+        .allocator(AllocatorSpec::Greedy(GreedyAllocator::new()))
+        .sensors(m)
+        .design()?;
     println!(
-        "fitted EigenMaps basis: K = {k}, leading eigenvalues {:?}",
-        &basis.eigenvalues()[..4.min(k)]
+        "designed deployment: K = {}, M = {}, κ(Ψ̃_K) = {:.2}",
+        deployment.k(),
+        deployment.m(),
+        deployment.condition_number()
     );
     println!(
-        "Prop. 1 approximation error ξ(K) = {:.3e} (of total variance {:.3e})",
-        basis.approximation_error(k),
-        basis.total_variance()
+        "placed {m} sensors at (row, col): {:?}",
+        deployment.sensors().positions()
     );
 
-    // 3. Greedy sensor allocation (Algorithm 1): 8 sensors, no constraints.
-    let m = 8;
-    let mask = Mask::all_allowed(rows, cols);
-    let energy = ensemble.cell_variance();
-    let input = AllocationInput {
-        basis: basis.matrix(),
-        energy: &energy,
-        rows,
-        cols,
-        mask: &mask,
-    };
-    let sensors = GreedyAllocator::new().allocate(&input, m)?;
-    println!("placed {m} sensors at (row, col): {:?}", sensors.positions());
-
-    // 4. Reconstruct an unseen-ish snapshot from M readings.
-    let reconstructor = Reconstructor::new(&basis, &sensors)?;
-    println!(
-        "sensing matrix condition number κ(Ψ̃_K) = {:.2}",
-        reconstructor.condition_number()
-    );
+    // 3. Reconstruct an unseen-ish snapshot from M readings.
     let truth = ensemble.map(250);
-    let readings = sensors.sample(&truth);
-    let estimate = reconstructor.reconstruct(&readings)?;
+    let readings = deployment.sensors().sample(&truth);
+    let estimate = deployment.reconstruct(&readings)?;
     println!(
         "reconstructed {}x{} map from {m} readings: MSE = {:.3e} °C², worst cell error = {:.3} °C",
         rows,
@@ -70,5 +58,16 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let (er, ec, ev) = estimate.hotspot();
     println!("true hotspot  ({hr:2},{hc:2}) at {hv:.2} °C");
     println!("est. hotspot  ({er:2},{ec:2}) at {ev:.2} °C");
+
+    // Bonus: the deployment is a serializable design artifact.
+    let path = std::env::temp_dir().join("eigenmaps-quickstart.emd");
+    deployment.save(&path)?;
+    let reloaded = Deployment::load(&path)?;
+    std::fs::remove_file(&path).ok();
+    println!(
+        "artifact round trip: {} bytes on disk, identical reconstruction: {}",
+        deployment.to_bytes().len(),
+        reloaded.reconstruct(&readings)?.as_slice() == estimate.as_slice()
+    );
     Ok(())
 }

@@ -8,7 +8,6 @@
 
 use eigenmaps::core::prelude::*;
 use eigenmaps::floorplan::prelude::*;
-use eigenmaps::linalg::Svd;
 
 fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let (rows, cols, m) = (28, 30, 16);
@@ -19,8 +18,8 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         .seed(3)
         .build()?;
     let ensemble = dataset.ensemble();
+    // Fit once; every design below adopts the same basis.
     let basis = EigenBasis::fit(ensemble, m)?;
-    let energy = ensemble.cell_variance();
 
     let free = Mask::all_allowed(rows, cols);
     // Fig. 6 constraint: L2 cache banks are regular structures where
@@ -28,39 +27,37 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let cache_mask = Mask::all_allowed(rows, cols)
         .forbid_rects(&dataset.floorplan().rects_of_kind(BlockKind::L2Cache));
 
-    let allocators: Vec<Box<dyn SensorAllocator>> = vec![
-        Box::new(GreedyAllocator::new()),
-        Box::new(EnergyCenterAllocator::new()),
-        Box::new(UniformGridAllocator::new()),
-        Box::new(RandomAllocator::new(2012)),
+    type SpecFn = fn() -> AllocatorSpec;
+    let allocators: Vec<(&str, SpecFn)> = vec![
+        ("greedy", || AllocatorSpec::Greedy(GreedyAllocator::new())),
+        ("energy", || AllocatorSpec::EnergyCenter),
+        ("uniform", || AllocatorSpec::UniformGrid),
+        ("random", || AllocatorSpec::Random { seed: 2012 }),
     ];
 
     for (label, mask) in [("unconstrained", &free), ("cache-constrained", &cache_mask)] {
         println!("\n================ {label} ({m} sensors) ================");
-        for alloc in &allocators {
-            let input = AllocationInput {
-                basis: basis.matrix(),
-                energy: &energy,
-                rows,
-                cols,
-                mask,
-            };
-            let sensors = alloc.allocate(&input, m)?;
-            let sensing = basis.matrix().select_rows(sensors.locations())?;
-            let kappa = Svd::new(&sensing)?.cond();
-            // How well does this layout reconstruct the whole dataset?
-            let rec = Reconstructor::new(&basis, &sensors);
-            let mse = match rec {
-                Ok(rec) => {
-                    evaluate_reconstruction(&rec, &sensors, ensemble, NoiseSpec::None, 1)?.mse
+        for (name, spec) in &allocators {
+            // Design with this allocator; some layouts cannot observe the
+            // full subspace, which the pipeline reports as a typed error.
+            let design = Pipeline::new(ensemble)
+                .fitted_basis(basis.clone())
+                .allocator(spec())
+                .mask(mask.clone())
+                .sensors(m)
+                .design();
+            match design {
+                Ok(d) => {
+                    let mse = d.evaluate_on(ensemble, NoiseSpec::None, 1)?.mse;
+                    println!(
+                        "\n--- {:<10} κ(Ψ̃_K) = {:9.2}   dataset MSE = {mse:.3e} °C²",
+                        name,
+                        d.condition_number()
+                    );
+                    print!("{}", d.sensors().render_ascii(Some(mask)));
                 }
-                Err(_) => f64::NAN,
-            };
-            println!(
-                "\n--- {:<10} κ(Ψ̃_K) = {kappa:9.2}   dataset MSE = {mse:.3e} °C²",
-                alloc.name()
-            );
-            print!("{}", sensors.render_ascii(Some(mask)));
+                Err(e) => println!("\n--- {name:<10} design failed: {e}"),
+            }
         }
     }
     println!(

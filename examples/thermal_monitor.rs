@@ -4,8 +4,8 @@
 //! sensors, but must detect hot spots and temperature gradients anywhere on
 //! the die. This example closes that loop:
 //!
-//! * design time — simulate workloads, fit the EigenMaps basis, place
-//!   sensors;
+//! * design time — simulate workloads, design a `Deployment` (EigenMaps
+//!   basis + greedy sensor placement + prefactored solver);
 //! * run time — replay a *different* workload, corrupt the sensor readings
 //!   with calibration noise, reconstruct the full map every interval, and
 //!   raise DTM events when the estimated hotspot crosses a threshold.
@@ -31,24 +31,14 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         .snapshots(400)
         .seed(21)
         .build()?;
-    let ensemble = dataset.ensemble();
-    let basis = EigenBasis::fit(ensemble, SENSORS)?;
-    let mask = Mask::all_allowed(ROWS, COLS);
-    let energy = ensemble.cell_variance();
-    let sensors = GreedyAllocator::new().allocate(
-        &AllocationInput {
-            basis: basis.matrix(),
-            energy: &energy,
-            rows: ROWS,
-            cols: COLS,
-            mask: &mask,
-        },
-        SENSORS,
-    )?;
-    let reconstructor = Reconstructor::new(&basis, &sensors)?;
+    let deployment = Pipeline::new(dataset.ensemble())
+        .basis(BasisSpec::Eigen { k: SENSORS })
+        .sensors(SENSORS)
+        .noise(NoiseSpec::sigma(0.3))
+        .design()?;
     println!(
         "[design] {SENSORS} sensors placed, κ(Ψ̃_K) = {:.2}",
-        reconstructor.condition_number()
+        deployment.condition_number()
     );
 
     // ---- run time ---------------------------------------------------------
@@ -63,8 +53,7 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let model = ThermalModel::with_default_stack(grid)?;
     let mut sim = TransientSim::new(model, 0.05)?;
     let rasterizer = PowerRasterizer::new(&fp, grid)?;
-    let trace = TraceGenerator::new(fp.clone(), 0.05, 0xBEEF)?
-        .generate(Scenario::Migration, 260);
+    let trace = TraceGenerator::new(fp.clone(), 0.05, 0xBEEF)?.generate(Scenario::Migration, 260);
 
     let mut noise = NoiseModel::new(99);
     let mut worst_estimate_err: f64 = 0.0;
@@ -77,8 +66,8 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         let truth = ThermalMap::new(ROWS, COLS, die.to_vec())?;
 
         // The DTM loop sees only noisy sensors (±0.3 °C calibration).
-        let readings = noise.apply_sigma(&sensors.sample(&truth), 0.3);
-        let estimate = reconstructor.reconstruct(&readings)?;
+        let readings = noise.apply_sigma(&deployment.sensors().sample(&truth), 0.3);
+        let estimate = deployment.reconstruct(&readings)?;
         worst_estimate_err = worst_estimate_err.max(truth.max_sq_err(&estimate).sqrt());
 
         let (er, ec, ev) = estimate.hotspot();

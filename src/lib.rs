@@ -11,48 +11,58 @@
 //! * [`thermal`] — a 3D-ICE-style compact transient thermal simulator.
 //! * [`floorplan`] — the UltraSPARC T1 floorplan model and workload/power
 //!   trace generators used to produce the design-time thermal dataset.
-//! * [`core`] — the paper's algorithms: EigenMaps basis extraction,
+//! * [`core`] — the paper's algorithms behind the [`core::Pipeline`] /
+//!   [`core::Deployment`] lifecycle API: EigenMaps basis extraction,
 //!   least-squares thermal map reconstruction, greedy sensor allocation,
 //!   and the k-LSE / energy-center baselines.
 //!
 //! ## Quickstart
+//!
+//! The workflow is a two-phase contract. At **design time**,
+//! [`core::Pipeline`] turns an ensemble of simulated thermal maps into a
+//! [`core::Deployment`] — basis, sensor placement and prefactored solver in
+//! one serializable artifact. At **run time** the deployment turns each
+//! interval's sensor readings into a full thermal map, one frame at a time
+//! or batched for serving throughput.
 //!
 //! ```
 //! use eigenmaps::core::prelude::*;
 //! use eigenmaps::floorplan::prelude::*;
 //!
 //! # fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
-//! // Generate a small design-time dataset (coarse grid, few snapshots).
+//! // Design time: simulate a small dataset and design the deployment.
 //! let dataset = DatasetBuilder::ultrasparc_t1()
 //!     .grid(14, 15)
 //!     .snapshots(120)
 //!     .settle_steps(30)
 //!     .seed(7)
 //!     .build()?;
-//! let ensemble = dataset.ensemble();
+//! let deployment = Pipeline::new(dataset.ensemble())
+//!     .basis(BasisSpec::Eigen { k: 8 })
+//!     .allocator(AllocatorSpec::Greedy(GreedyAllocator::new()))
+//!     .sensors(8)
+//!     .design()?;
+//! assert!(deployment.condition_number().is_finite());
 //!
-//! // Extract the EigenMaps basis and place 8 sensors greedily.
-//! let basis = EigenBasis::fit(ensemble, 8)?;
-//! let mask = Mask::all_allowed(14, 15);
-//! let energy = ensemble.cell_variance();
-//! let input = AllocationInput {
-//!     basis: basis.matrix(),
-//!     energy: &energy,
-//!     rows: 14,
-//!     cols: 15,
-//!     mask: &mask,
-//! };
-//! let sensors = GreedyAllocator::new().allocate(&input, 8)?;
-//!
-//! // Reconstruct one thermal map from the 8 sensor readings.
-//! let reconstructor = Reconstructor::new(&basis, &sensors)?;
-//! let map = ensemble.map(100);
-//! let readings = sensors.sample(&map);
-//! let estimate = reconstructor.reconstruct(&readings)?;
+//! // Run time: reconstruct thermal maps from the 8 sensor readings.
+//! let map = dataset.ensemble().map(100);
+//! let readings = deployment.sensors().sample(&map);
+//! let estimate = deployment.reconstruct(&readings)?;
 //! assert!(map.mse(&estimate) < 1.0);
+//!
+//! // Batched serving path (bitwise-identical, faster for many frames).
+//! let frames: Vec<Vec<f64>> = (0..32)
+//!     .map(|t| deployment.sensors().sample(&dataset.ensemble().map(t)))
+//!     .collect();
+//! let maps = deployment.reconstruct_batch(&frames)?;
+//! assert_eq!(maps.len(), 32);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The pre-`Pipeline` entry points (`EigenBasis::fit` → `allocate` →
+//! `Reconstructor::new`) remain available for manual wiring but are
+//! deprecated for application code; see `eigenmaps::core` for details.
 
 pub use eigenmaps_core as core;
 pub use eigenmaps_floorplan as floorplan;

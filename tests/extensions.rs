@@ -42,23 +42,12 @@ fn eigenmaps_pipeline_on_liquid_cooled_maps() {
         .collect();
     let ens = MapEnsemble::from_maps(&maps).unwrap();
 
-    let basis = EigenBasis::fit(&ens, 10).unwrap();
-    let mask = Mask::all_allowed(rows, cols);
-    let energy = ens.cell_variance();
-    let sensors = GreedyAllocator::new()
-        .allocate(
-            &AllocationInput {
-                basis: basis.matrix(),
-                energy: &energy,
-                rows,
-                cols,
-                mask: &mask,
-            },
-            10,
-        )
+    let deployment = Pipeline::new(&ens)
+        .basis(BasisSpec::Eigen { k: 10 })
+        .sensors(10)
+        .design()
         .unwrap();
-    let rec = Reconstructor::new(&basis, &sensors).unwrap();
-    let rep = evaluate_reconstruction(&rec, &sensors, &ens, NoiseSpec::None, 1).unwrap();
+    let rep = deployment.evaluate_on(&ens, NoiseSpec::None, 1).unwrap();
     assert!(rep.mse < 0.05, "liquid-cooled pipeline MSE {}", rep.mse);
 }
 
@@ -74,23 +63,12 @@ fn tracking_beats_memoryless_on_simulated_transients() {
         .build()
         .unwrap();
     let ens = dataset.ensemble();
-    let basis = EigenBasis::fit(ens, 10).unwrap();
-    let mask = Mask::all_allowed(12, 12);
-    let energy = ens.cell_variance();
-    let sensors = GreedyAllocator::new()
-        .allocate(
-            &AllocationInput {
-                basis: basis.matrix(),
-                energy: &energy,
-                rows: 12,
-                cols: 12,
-                mask: &mask,
-            },
-            10,
-        )
+    let deployment = Pipeline::new(ens)
+        .basis(BasisSpec::Eigen { k: 10 })
+        .sensors(10)
+        .design()
         .unwrap();
-    let rec = Reconstructor::new(&basis, &sensors).unwrap();
-    let mut tracker = TrackingReconstructor::new(rec.clone(), 0.3).unwrap();
+    let mut tracker = deployment.tracker(0.3).unwrap();
     let mut noise = NoiseModel::new(8);
 
     let mut mse_tracked = 0.0;
@@ -98,9 +76,9 @@ fn tracking_beats_memoryless_on_simulated_transients() {
     let burn_in = 15;
     for t in 0..ens.len() {
         let map = ens.map(t);
-        let readings = noise.apply_sigma(&sensors.sample(&map), 0.4);
+        let readings = noise.apply_sigma(&deployment.sensors().sample(&map), 0.4);
         let tr = tracker.step(&readings).unwrap();
-        let ml = rec.reconstruct(&readings).unwrap();
+        let ml = deployment.reconstruct(&readings).unwrap();
         if t >= burn_in {
             mse_tracked += map.mse(&tr);
             mse_memoryless += map.mse(&ml);
@@ -152,25 +130,18 @@ fn athlon_floorplan_runs_the_full_pipeline() {
         .unwrap();
     let ens = dataset.ensemble();
     let basis = EigenBasis::fit(ens, 6).unwrap();
-    let mask = Mask::all_allowed(12, 14);
-    let energy = ens.cell_variance();
-    let sensors = GreedyAllocator::new()
-        .allocate(
-            &AllocationInput {
-                basis: basis.matrix(),
-                energy: &energy,
-                rows: 12,
-                cols: 14,
-                mask: &mask,
-            },
-            6,
-        )
+    let deployment = Pipeline::new(ens)
+        .fitted_basis(basis.clone())
+        .sensors(6)
+        .design()
         .unwrap();
-    let rec = Reconstructor::new(&basis, &sensors).unwrap();
-    let rep = evaluate_reconstruction(&rec, &sensors, ens, NoiseSpec::None, 1).unwrap();
+    let rep = deployment.evaluate_on(ens, NoiseSpec::None, 1).unwrap();
     assert!(rep.mse < 1.0, "Athlon pipeline MSE {}", rep.mse);
     // The two-core chip concentrates power in two blocks; its spectrum
     // should be dominated by very few modes.
     let lam = basis.eigenvalues();
-    assert!(lam[0] / lam[4].max(1e-12) > 50.0, "spectrum too flat: {lam:?}");
+    assert!(
+        lam[0] / lam[4].max(1e-12) > 50.0,
+        "spectrum too flat: {lam:?}"
+    );
 }

@@ -1,5 +1,6 @@
 //! End-to-end integration tests spanning every crate: floorplan → thermal
-//! simulation → PCA → sensor allocation → reconstruction → metrics.
+//! simulation → PCA → sensor allocation → reconstruction → metrics, all
+//! through the `Pipeline`/`Deployment` lifecycle API.
 //!
 //! These run on reduced grids so the whole suite stays fast, but exercise
 //! the exact code paths of the paper-scale experiments.
@@ -22,30 +23,26 @@ fn dataset() -> &'static ThermalDataset {
     })
 }
 
-fn greedy_sensors(basis: &EigenBasis, ens: &MapEnsemble, m: usize, mask: &Mask) -> SensorSet {
-    let energy = ens.cell_variance();
-    GreedyAllocator::new()
-        .allocate(
-            &AllocationInput {
-                basis: basis.matrix(),
-                energy: &energy,
-                rows: ens.rows(),
-                cols: ens.cols(),
-                mask,
-            },
-            m,
-        )
-        .expect("allocation")
+/// Designs a greedy EigenMaps deployment over a prefitted (truncated) basis.
+fn deploy(basis: &EigenBasis, ens: &MapEnsemble, m: usize, mask: &Mask) -> Deployment {
+    Pipeline::new(ens)
+        .fitted_basis(basis.clone())
+        .allocator(AllocatorSpec::Greedy(GreedyAllocator::new()))
+        .mask(mask.clone())
+        .sensors(m)
+        .design()
+        .expect("design")
 }
 
 #[test]
 fn full_pipeline_reconstructs_below_one_degree_mse() {
     let ens = dataset().ensemble();
-    let basis = EigenBasis::fit(ens, 8).unwrap();
-    let mask = Mask::all_allowed(ens.rows(), ens.cols());
-    let sensors = greedy_sensors(&basis, ens, 8, &mask);
-    let rec = Reconstructor::new(&basis, &sensors).unwrap();
-    let rep = evaluate_reconstruction(&rec, &sensors, ens, NoiseSpec::None, 1).unwrap();
+    let d = Pipeline::new(ens)
+        .basis(BasisSpec::Eigen { k: 8 })
+        .sensors(8)
+        .design()
+        .unwrap();
+    let rep = d.evaluate_on(ens, NoiseSpec::None, 1).unwrap();
     assert!(rep.mse < 1.0, "pipeline MSE {} °C² too high", rep.mse);
     assert!(rep.max < 25.0, "pipeline MAX {} °C² too high", rep.max);
 }
@@ -61,9 +58,8 @@ fn reconstruction_error_tracks_approximation_error() {
     for k in [4usize, 8, 12] {
         let basis = basis_full.truncated(k).unwrap();
         let approx = evaluate_approximation(&basis, ens).unwrap();
-        let sensors = greedy_sensors(&basis, ens, k, &mask);
-        let rec = Reconstructor::new(&basis, &sensors).unwrap();
-        let recon = evaluate_reconstruction(&rec, &sensors, ens, NoiseSpec::None, 1).unwrap();
+        let d = deploy(&basis, ens, k, &mask);
+        let recon = d.evaluate_on(ens, NoiseSpec::None, 1).unwrap();
         // Reconstruction can never beat the subspace it lives in...
         assert!(recon.mse >= approx.mse * 0.99, "k={k}");
         // ...but with well-conditioned sensing it stays within a small
@@ -83,34 +79,39 @@ fn eigenmaps_beats_klse_on_the_t1_dataset() {
     let ens = dataset().ensemble();
     let m = 12;
     let mask = Mask::all_allowed(ens.rows(), ens.cols());
-    let energy = ens.cell_variance();
 
-    let eig_basis = EigenBasis::fit(ens, m).unwrap();
-    let eig_sensors = greedy_sensors(&eig_basis, ens, m, &mask);
-    let eig_rec = Reconstructor::new(&eig_basis, &eig_sensors).unwrap();
-    let eig = evaluate_reconstruction(&eig_rec, &eig_sensors, ens, NoiseSpec::None, 1).unwrap();
-
-    // k-LSE: DCT basis + energy-center placement; pick its best k ≤ m.
-    let dct_sensors = EnergyCenterAllocator::new()
-        .allocate(
-            &AllocationInput {
-                basis: eig_basis.matrix(), // energy-center ignores the basis
-                energy: &energy,
-                rows: ens.rows(),
-                cols: ens.cols(),
-                mask: &mask,
-            },
-            m,
-        )
+    let eig = Pipeline::new(ens)
+        .basis(BasisSpec::Eigen { k: m })
+        .mask(mask.clone())
+        .sensors(m)
+        .design()
+        .unwrap()
+        .evaluate_on(ens, NoiseSpec::None, 1)
         .unwrap();
+
+    // k-LSE: DCT basis + energy-center placement; pick its best k ≤ m by
+    // truncating one DCT deployment (the allocator ignores the basis, so
+    // the sensors are the same whichever design k is observable).
+    let dct_full = (1..=m)
+        .rev()
+        .find_map(|k| {
+            Pipeline::new(ens)
+                .basis(BasisSpec::Dct { k })
+                .allocator(AllocatorSpec::EnergyCenter)
+                .mask(mask.clone())
+                .sensors(m)
+                .design()
+                .ok()
+        })
+        .expect("some DCT dimension is observable");
     let mut best_klse = f64::INFINITY;
-    for k in 1..=m {
-        let dct = DctBasis::new(ens.rows(), ens.cols(), k).unwrap();
-        if let Ok(rec) = Reconstructor::new(&dct, &dct_sensors) {
-            let rep =
-                evaluate_reconstruction(&rec, &dct_sensors, ens, NoiseSpec::None, 1).unwrap();
-            best_klse = best_klse.min(rep.mse);
-        }
+    for k in 1..=dct_full.k() {
+        let d = match dct_full.truncated(k) {
+            Ok(d) => d,
+            Err(_) => continue,
+        };
+        let rep = d.evaluate_on(ens, NoiseSpec::None, 1).unwrap();
+        best_klse = best_klse.min(rep.mse);
     }
     assert!(
         eig.mse < best_klse / 3.0,
@@ -127,11 +128,9 @@ fn noise_degrades_gracefully_not_catastrophically() {
     let ens = dataset().ensemble();
     let basis = EigenBasis::fit(ens, 6).unwrap();
     let mask = Mask::all_allowed(ens.rows(), ens.cols());
-    let sensors = greedy_sensors(&basis, ens, 12, &mask);
-    let rec = Reconstructor::new(&basis, &sensors).unwrap();
-    let clean = evaluate_reconstruction(&rec, &sensors, ens, NoiseSpec::None, 1).unwrap();
-    let noisy =
-        evaluate_reconstruction(&rec, &sensors, ens, NoiseSpec::SnrDb(30.0), 1).unwrap();
+    let d = deploy(&basis, ens, 12, &mask);
+    let clean = d.evaluate_on(ens, NoiseSpec::None, 1).unwrap();
+    let noisy = d.evaluate_on(ens, NoiseSpec::SnrDb(30.0), 1).unwrap();
     assert!(noisy.mse > clean.mse);
     assert!(
         noisy.mse < clean.mse * 100.0 + 0.5,
@@ -140,7 +139,7 @@ fn noise_degrades_gracefully_not_catastrophically() {
         clean.mse
     );
     // κ of the greedy layout must be modest — that is the whole point.
-    assert!(rec.condition_number() < 50.0, "κ = {}", rec.condition_number());
+    assert!(d.condition_number() < 50.0, "κ = {}", d.condition_number());
 }
 
 #[test]
@@ -154,20 +153,104 @@ fn constrained_allocation_degrades_only_slightly() {
         .forbid_rects(&dataset().floorplan().rects_of_kind(BlockKind::L2Cache));
     assert!(constrained.allowed_count() < free.allowed_count());
 
-    let s_free = greedy_sensors(&basis, ens, 10, &free);
-    let s_con = greedy_sensors(&basis, ens, 10, &constrained);
-    assert!(s_con.respects(&constrained));
+    let d_free = deploy(&basis, ens, 10, &free);
+    let d_con = deploy(&basis, ens, 10, &constrained);
+    assert!(d_con.sensors().respects(&constrained));
 
-    let r_free = Reconstructor::new(&basis, &s_free).unwrap();
-    let r_con = Reconstructor::new(&basis, &s_con).unwrap();
-    let e_free = evaluate_reconstruction(&r_free, &s_free, ens, NoiseSpec::None, 1).unwrap();
-    let e_con = evaluate_reconstruction(&r_con, &s_con, ens, NoiseSpec::None, 1).unwrap();
+    let e_free = d_free.evaluate_on(ens, NoiseSpec::None, 1).unwrap();
+    let e_con = d_con.evaluate_on(ens, NoiseSpec::None, 1).unwrap();
     assert!(
         e_con.mse < e_free.mse * 20.0 + 1e-9,
         "constrained MSE {} vs free {}",
         e_con.mse,
         e_free.mse
     );
+}
+
+#[test]
+fn deployment_artifact_roundtrip_through_disk() {
+    // Design on simulated data, ship the artifact, reload it: identical
+    // sensors and bitwise-identical reconstruction.
+    let ens = dataset().ensemble();
+    let d = Pipeline::new(ens)
+        .basis(BasisSpec::Eigen { k: 6 })
+        .sensors(8)
+        .noise(NoiseSpec::snr_db(30.0))
+        .design()
+        .unwrap();
+    let path = std::env::temp_dir().join(format!(
+        "eigenmaps-integration-deployment-{}.emd",
+        std::process::id()
+    ));
+    d.save(&path).unwrap();
+    let back = Deployment::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(back.sensors(), d.sensors());
+    assert_eq!(back.k(), d.k());
+    assert_eq!(back.noise(), NoiseSpec::SnrDb(30.0));
+    for t in [0, 100, 200] {
+        let readings = d.sensors().sample(&ens.map(t));
+        assert_eq!(
+            d.reconstruct(&readings).unwrap().as_slice(),
+            back.reconstruct(&readings).unwrap().as_slice(),
+            "t = {t}"
+        );
+    }
+}
+
+#[test]
+fn batched_serving_matches_per_frame_bitwise_on_1k_frames() {
+    // The serving hot path: ≥1k frames through reconstruct_batch must be
+    // bitwise-identical to the per-frame path.
+    let ens = dataset().ensemble();
+    let d = Pipeline::new(ens)
+        .basis(BasisSpec::Eigen { k: 8 })
+        .sensors(10)
+        .design()
+        .unwrap();
+    let mut noise = NoiseModel::new(0xBA7C);
+    let frames: Vec<Vec<f64>> = (0..1024)
+        .map(|t| {
+            let map = ens.map(t % ens.len());
+            noise.apply_sigma(&d.sensors().sample(&map), 0.2)
+        })
+        .collect();
+    let batch = d.reconstruct_batch(&frames).unwrap();
+    assert_eq!(batch.len(), frames.len());
+    for (frame, map) in frames.iter().zip(batch.iter()) {
+        let single = d.reconstruct(frame).unwrap();
+        assert_eq!(single.as_slice(), map.as_slice());
+    }
+}
+
+#[test]
+fn pipeline_rejects_invalid_specs_with_typed_errors() {
+    let ens = dataset().ensemble();
+    // k > cells.
+    assert!(matches!(
+        Pipeline::new(ens)
+            .basis(BasisSpec::Eigen { k: ens.cells() + 1 })
+            .sensors(ens.cells() + 1)
+            .design(),
+        Err(CoreError::InvalidArgument { .. })
+    ));
+    // m < k.
+    assert!(matches!(
+        Pipeline::new(ens)
+            .basis(BasisSpec::Eigen { k: 8 })
+            .sensors(4)
+            .design(),
+        Err(CoreError::InsufficientSensors { .. })
+    ));
+    // Mask tighter than the budget.
+    assert!(matches!(
+        Pipeline::new(ens)
+            .sensors(4)
+            .mask(Mask::all_allowed(ens.rows(), ens.cols()).forbid_rects(&[(0.0, 0.0, 1.0, 1.0)]))
+            .design(),
+        Err(CoreError::MaskTooRestrictive { .. })
+    ));
 }
 
 #[test]
@@ -217,7 +300,11 @@ fn facade_reexports_work_together() {
     let map = eigenmaps::core::ThermalMap::from_fn(2, 2, |r, c| (r + c) as f64);
     assert_eq!(map.len(), 4);
     let fp = eigenmaps::floorplan::Floorplan::ultrasparc_t1();
-    assert_eq!(fp.blocks_of_kind(eigenmaps::floorplan::BlockKind::Core).len(), 8);
+    assert_eq!(
+        fp.blocks_of_kind(eigenmaps::floorplan::BlockKind::Core)
+            .len(),
+        8
+    );
     let grid = eigenmaps::thermal::GridSpec::new(4, 4, 1e-3, 1e-3);
     assert_eq!(grid.cells(), 16);
 }

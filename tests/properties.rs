@@ -57,24 +57,15 @@ proptest! {
         let m = k + m_extra;
         prop_assume!(m <= ens.cells());
         let basis = EigenBasis::fit_exact(&ens, k).unwrap();
-        let mask = Mask::all_allowed(ens.rows(), ens.cols());
-        let energy = ens.cell_variance();
-        let sensors = GreedyAllocator::new()
-            .allocate(
-                &AllocationInput {
-                    basis: basis.matrix(),
-                    energy: &energy,
-                    rows: ens.rows(),
-                    cols: ens.cols(),
-                    mask: &mask,
-                },
-                m,
-            )
+        let deployment = Pipeline::new(&ens)
+            .fitted_basis(basis)
+            .allocator(AllocatorSpec::Greedy(GreedyAllocator::new()))
+            .sensors(m)
+            .design()
             .unwrap();
-        prop_assert_eq!(sensors.len(), m);
+        prop_assert_eq!(deployment.m(), m);
         // Layout must support reconstruction.
-        let rec = Reconstructor::new(&basis, &sensors).unwrap();
-        prop_assert!(rec.condition_number().is_finite());
+        prop_assert!(deployment.condition_number().is_finite());
     }
 
     #[test]
@@ -83,21 +74,11 @@ proptest! {
         // noiseless sensors (Theorem 1 uniqueness).
         let k = 3.min(ens.cells());
         let basis = EigenBasis::fit_exact(&ens, k).unwrap();
-        let mask = Mask::all_allowed(ens.rows(), ens.cols());
-        let energy = ens.cell_variance();
-        let sensors = GreedyAllocator::new()
-            .allocate(
-                &AllocationInput {
-                    basis: basis.matrix(),
-                    energy: &energy,
-                    rows: ens.rows(),
-                    cols: ens.cols(),
-                    mask: &mask,
-                },
-                (k + 2).min(ens.cells()),
-            )
+        let deployment = Pipeline::new(&ens)
+            .fitted_basis(basis.clone())
+            .sensors((k + 2).min(ens.cells()))
+            .design()
             .unwrap();
-        let rec = Reconstructor::new(&basis, &sensors).unwrap();
 
         // Build an in-subspace map with arbitrary coefficients.
         let alpha: Vec<f64> = (0..k).map(|i| (i as f64 + 1.0) * 0.7).collect();
@@ -106,7 +87,9 @@ proptest! {
             *v += m;
         }
         let truth = ThermalMap::new(ens.rows(), ens.cols(), cells).unwrap();
-        let est = rec.reconstruct(&sensors.sample(&truth)).unwrap();
+        let est = deployment
+            .reconstruct(&deployment.sensors().sample(&truth))
+            .unwrap();
         prop_assert!(truth.mse(&est) < 1e-16, "mse {}", truth.mse(&est));
     }
 
@@ -115,29 +98,28 @@ proptest! {
         ens in ensemble_strategy(),
         forbidden_frac in 0.1f64..0.5,
     ) {
-        let k = 2.min(ens.cells());
-        let basis = EigenBasis::fit_exact(&ens, k).unwrap();
+        // A 1-dimensional basis keeps every layout observable, so the
+        // mask property is asserted unconditionally for all allocators.
+        let basis = EigenBasis::fit_exact(&ens, 1).unwrap();
         let mask = Mask::all_allowed(ens.rows(), ens.cols())
             .forbid_rects(&[(0.0, 0.0, forbidden_frac, 1.0)]);
         let m = 4;
         prop_assume!(mask.allowed_count() >= m);
-        let energy = ens.cell_variance();
-        let input = AllocationInput {
-            basis: basis.matrix(),
-            energy: &energy,
-            rows: ens.rows(),
-            cols: ens.cols(),
-            mask: &mask,
-        };
-        for alloc in [
-            &GreedyAllocator::new() as &dyn SensorAllocator,
-            &EnergyCenterAllocator::new(),
-            &UniformGridAllocator::new(),
-            &RandomAllocator::new(5),
+        for (name, spec) in [
+            ("greedy", AllocatorSpec::Greedy(GreedyAllocator::new())),
+            ("energy", AllocatorSpec::EnergyCenter),
+            ("uniform", AllocatorSpec::UniformGrid),
+            ("random", AllocatorSpec::Random { seed: 5 }),
         ] {
-            let s = alloc.allocate(&input, m).unwrap();
-            prop_assert!(s.respects(&mask), "{} violated mask", alloc.name());
-            prop_assert_eq!(s.len(), m);
+            let d = Pipeline::new(&ens)
+                .fitted_basis(basis.clone())
+                .allocator(spec)
+                .mask(mask.clone())
+                .sensors(m)
+                .design()
+                .unwrap();
+            prop_assert!(d.sensors().respects(&mask), "{} violated mask", name);
+            prop_assert_eq!(d.m(), m);
         }
     }
 
