@@ -1,0 +1,140 @@
+//! Sharded serving benchmark: `ShardedExecutor` at 1/2/4/8 shards vs the
+//! single-threaded `Deployment::reconstruct_batch` on a 1024-frame
+//! workload.
+//!
+//! Every configuration first proves the bitwise-identity contract (the
+//! sharded output must equal the sequential batch bit for bit), then
+//! measures throughput. A plain wall-clock summary with speedups is
+//! printed alongside the harness numbers; on a machine with ≥ 4 hardware
+//! threads the 4-shard configuration is asserted to reach ≥ 2× the
+//! single-threaded batch throughput (on smaller machines the assertion is
+//! skipped and the speedups are only reported — thread parallelism cannot
+//! beat the sequential path without cores to run on).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use eigenmaps_core::prelude::*;
+use eigenmaps_floorplan::prelude::*;
+use eigenmaps_serve::ShardedExecutor;
+
+const FRAMES: usize = 1024;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Workload {
+    deployment: Arc<Deployment>,
+    frames: Arc<Vec<Vec<f64>>>,
+}
+
+fn setup(k: usize, m: usize) -> Workload {
+    let dataset = DatasetBuilder::ultrasparc_t1()
+        .grid(28, 30)
+        .snapshots(300)
+        .settle_steps(20)
+        .seed(42)
+        .build()
+        .expect("dataset generation");
+    let ensemble = dataset.ensemble();
+    let deployment = Pipeline::new(ensemble)
+        .basis(BasisSpec::Eigen { k })
+        .sensors(m)
+        .design()
+        .expect("design");
+    let mut noise = NoiseModel::new(0x5E41);
+    let frames: Vec<Vec<f64>> = (0..FRAMES)
+        .map(|t| {
+            let map = ensemble.map(t % ensemble.len());
+            noise.apply_sigma(&deployment.sensors().sample(&map), 0.2)
+        })
+        .collect();
+    Workload {
+        deployment: Arc::new(deployment),
+        frames: Arc::new(frames),
+    }
+}
+
+fn wall_clock(rounds: u32, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / rounds as f64
+}
+
+fn bench_sharded_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_serving_1024_frames");
+    group.sample_size(20);
+
+    let w = setup(16, 16);
+    let sequential = w
+        .deployment
+        .reconstruct_batch(&w.frames)
+        .expect("sequential batch");
+
+    group.bench_function("single_thread_batch", |bch| {
+        bch.iter(|| black_box(w.deployment.reconstruct_batch(&w.frames).unwrap()))
+    });
+
+    let rounds = 5u32;
+    let single_time = wall_clock(rounds, || {
+        black_box(w.deployment.reconstruct_batch(&w.frames).unwrap());
+    });
+
+    let parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut speedup_at_4 = None;
+    for shards in SHARD_COUNTS {
+        let executor = ShardedExecutor::new(shards);
+
+        // Bitwise-identity gate: sharding must never change an answer.
+        let sharded = executor
+            .execute(&w.deployment, &w.frames)
+            .expect("sharded batch");
+        assert_eq!(sharded.len(), sequential.len());
+        for (i, (a, b)) in sequential.iter().zip(sharded.iter()).enumerate() {
+            assert_eq!(
+                a.as_slice(),
+                b.as_slice(),
+                "shard output diverged from sequential batch at frame {i} ({shards} shards)"
+            );
+        }
+
+        group.bench_with_input(
+            BenchmarkId::new("sharded", format!("{shards}_shards")),
+            &executor,
+            |bch, ex| bch.iter(|| black_box(ex.execute(&w.deployment, &w.frames).unwrap())),
+        );
+
+        let shard_time = wall_clock(rounds, || {
+            black_box(executor.execute(&w.deployment, &w.frames).unwrap());
+        });
+        let speedup = single_time / shard_time.max(1e-12);
+        if shards == 4 {
+            speedup_at_4 = Some(speedup);
+        }
+        println!(
+            "sharded_serving_1024_frames/summary: {shards} shards {:.2} ms vs single-thread \
+             {:.2} ms → {speedup:.2}x",
+            shard_time * 1e3,
+            single_time * 1e3
+        );
+    }
+
+    let speedup_at_4 = speedup_at_4.expect("4-shard configuration ran");
+    if parallelism >= 4 {
+        assert!(
+            speedup_at_4 >= 2.0,
+            "4 shards reached only {speedup_at_4:.2}x over the single-threaded batch path \
+             on {parallelism} hardware threads (>= 2x required)"
+        );
+    } else {
+        println!(
+            "sharded_serving_1024_frames/summary: only {parallelism} hardware thread(s) — \
+             skipping the >= 2x @ 4 shards assertion"
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(sharded_serving, bench_sharded_serving);
+criterion_main!(sharded_serving);

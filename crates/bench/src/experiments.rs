@@ -72,7 +72,7 @@ fn pick_k_star(h: &Harness, full: Deployment, noise: NoiseSpec) -> ExpResult<Dep
 
 /// Designs the EigenMaps deployment for a given `m`: sensors allocated by
 /// `allocator` on the `K = M` basis, then the runtime `K*` selected per
-/// [`pick_k_star`] (for noiseless evaluation this almost always lands on
+/// `pick_k_star` (for noiseless evaluation this almost always lands on
 /// `K* = M`, the paper's policy).
 pub fn eigenmaps_stack(
     h: &Harness,

@@ -1,0 +1,325 @@
+//! Shared little-endian byte codec for the hand-rolled binary artifact
+//! formats.
+//!
+//! Two on-disk formats live in this workspace — the `EMDEPLOY` deployment
+//! artifact ([`crate::pipeline`]) and the `EIGMAPS1` ensemble cache
+//! (`eigenmaps-floorplan`). Both are deliberately tiny little-endian
+//! layouts (magic, dims, raw scalars) rather than an extra serialization
+//! dependency, and both need the same defensive plumbing: bounds-checked
+//! reads, magic/version validation, overflow-safe lengths and a
+//! trailing-bytes check. This module is that plumbing, written once.
+//!
+//! [`Encoder`] builds a byte buffer; [`Decoder`] walks one. Decoder
+//! methods fail with a [`CodecError`] carrying a static description, which
+//! each consumer maps onto its own error type (`CoreError::Persist` here,
+//! `FloorplanError::CorruptCache` in the floorplan crate).
+
+use crate::error::CoreError;
+
+/// A malformed or truncated byte stream.
+///
+/// Carries only a static description; the consuming crate wraps it in its
+/// own error enum (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodecError {
+    /// What was wrong with the bytes.
+    pub context: &'static str,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed byte stream: {}", self.context)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<CodecError> for CoreError {
+    fn from(e: CodecError) -> Self {
+        CoreError::Persist { context: e.context }
+    }
+}
+
+/// Result alias for decoder methods.
+pub type CodecResult<T> = std::result::Result<T, CodecError>;
+
+/// Builds a little-endian byte buffer.
+///
+/// The encoder is infallible: every scalar has a fixed-width encoding and
+/// the buffer grows as needed. `usize` values are widened to `u64` so the
+/// format is identical across platforms.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder with capacity for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a raw byte string (magic numbers).
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(bytes);
+        self
+    }
+
+    /// Appends one byte (tags).
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a `u32` (format versions).
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `usize` widened to `u64` (dimensions, indices).
+    pub fn put_len(&mut self, v: usize) -> &mut Self {
+        self.buf.extend_from_slice(&(v as u64).to_le_bytes());
+        self
+    }
+
+    /// Appends one `f64`.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a slice of `f64`s (payload arrays), without a length prefix.
+    pub fn f64_slice(&mut self, vs: &[f64]) -> &mut Self {
+        self.buf.reserve(vs.len() * 8);
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self
+    }
+
+    /// The finished buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked reader over a little-endian byte buffer.
+///
+/// Every read validates that enough bytes remain *before* allocating or
+/// interpreting anything, so a corrupt length field can never trigger an
+/// absurd allocation. [`Decoder::finish`] rejects trailing bytes, making
+/// "decodes cleanly" mean "this exact byte string".
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder positioned at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Decoder { bytes, pos: 0 }
+    }
+
+    /// Takes the next `len` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] if fewer than `len` bytes remain.
+    pub fn take(&mut self, len: usize) -> CodecResult<&'a [u8]> {
+        let end = self.pos.checked_add(len).ok_or(CodecError {
+            context: "length overflow",
+        })?;
+        if end > self.bytes.len() {
+            return Err(CodecError {
+                context: "truncated input",
+            });
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Consumes and validates a magic byte string.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or mismatch.
+    pub fn magic(&mut self, expected: &[u8]) -> CodecResult<()> {
+        if self.take(expected.len())? != expected {
+            return Err(CodecError {
+                context: "bad magic",
+            });
+        }
+        Ok(())
+    }
+
+    /// Consumes a `u32` version field and checks it equals `supported`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or an unsupported version.
+    pub fn version(&mut self, supported: u32) -> CodecResult<u32> {
+        let v = self.u32()?;
+        if v != supported {
+            return Err(CodecError {
+                context: "unsupported format version",
+            });
+        }
+        Ok(v)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation.
+    pub fn u8(&mut self) -> CodecResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation.
+    pub fn u32(&mut self) -> CodecResult<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a `u64` written by [`Encoder::put_len`] back as a `usize`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or a value exceeding `usize` (32-bit
+    /// targets).
+    pub fn take_len(&mut self) -> CodecResult<usize> {
+        let v = u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes"));
+        usize::try_from(v).map_err(|_| CodecError {
+            context: "length exceeds addressable size",
+        })
+    }
+
+    /// Reads one `f64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation.
+    pub fn f64(&mut self) -> CodecResult<f64> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads `len` `f64`s. The byte count is validated before the output
+    /// vector is allocated.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or length overflow.
+    pub fn f64_vec(&mut self, len: usize) -> CodecResult<Vec<f64>> {
+        let raw = self.take(len.checked_mul(8).ok_or(CodecError {
+            context: "length overflow",
+        })?)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Asserts the buffer was consumed exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] if trailing bytes remain.
+    pub fn finish(&self) -> CodecResult<()> {
+        if self.pos != self.bytes.len() {
+            return Err(CodecError {
+                context: "trailing bytes",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_scalar_kinds() {
+        let mut enc = Encoder::with_capacity(64);
+        enc.bytes(b"TESTMAG1")
+            .u32(3)
+            .u8(7)
+            .put_len(1_000_000)
+            .f64(-2.5)
+            .f64_slice(&[1.0, 0.5, -0.25]);
+        let bytes = enc.finish();
+
+        let mut dec = Decoder::new(&bytes);
+        dec.magic(b"TESTMAG1").unwrap();
+        assert_eq!(dec.version(3).unwrap(), 3);
+        assert_eq!(dec.u8().unwrap(), 7);
+        assert_eq!(dec.take_len().unwrap(), 1_000_000);
+        assert_eq!(dec.f64().unwrap(), -2.5);
+        assert_eq!(dec.f64_vec(3).unwrap(), vec![1.0, 0.5, -0.25]);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut dec = Decoder::new(b"WRONGMAG123");
+        assert!(dec.magic(b"TESTMAG1").is_err());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let bytes = {
+            let mut enc = Encoder::default();
+            enc.u32(2);
+            enc.finish()
+        };
+        assert!(Decoder::new(&bytes).version(1).is_err());
+    }
+
+    #[test]
+    fn truncation_detected_before_allocation() {
+        // A tiny buffer claiming a huge f64 payload must fail in take(),
+        // never allocating the claimed length.
+        let mut dec = Decoder::new(&[0u8; 16]);
+        assert!(dec.f64_vec(usize::MAX / 16).is_err());
+        assert!(dec.f64_vec(usize::MAX).is_err()); // length overflow path
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let bytes = {
+            let mut enc = Encoder::default();
+            enc.u8(1).u8(2);
+            enc.finish()
+        };
+        let mut dec = Decoder::new(&bytes);
+        dec.u8().unwrap();
+        assert!(dec.finish().is_err());
+        assert_eq!(dec.remaining(), 1);
+        dec.u8().unwrap();
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn maps_into_core_error() {
+        let e: CoreError = CodecError { context: "x" }.into();
+        assert!(matches!(e, CoreError::Persist { context: "x" }));
+    }
+}

@@ -74,6 +74,7 @@
 
 pub mod allocate;
 pub mod basis;
+pub mod codec;
 pub mod error;
 pub mod map;
 pub mod metrics;
@@ -89,6 +90,7 @@ pub use allocate::{
     RandomAllocator, SensorAllocator, UniformGridAllocator,
 };
 pub use basis::{Basis, BasisKind, DctBasis, EigenBasis};
+pub use codec::{CodecError, CodecResult, Decoder, Encoder};
 pub use error::{CoreError, Result};
 pub use map::{MapEnsemble, ThermalMap};
 pub use metrics::{
@@ -97,7 +99,7 @@ pub use metrics::{
 };
 pub use noise::{db_to_snr, snr_to_db, NoiseModel};
 pub use pipeline::{AllocatorSpec, BasisSpec, Deployment, Pipeline};
-pub use reconstruct::Reconstructor;
+pub use reconstruct::{shard_spans, BatchScratch, Reconstructor};
 pub use sensors::{Mask, SensorSet};
 pub use tracking::TrackingReconstructor;
 pub use tradeoff::{optimal_k, TradeoffPoint, TradeoffSweep};
@@ -117,7 +119,7 @@ pub mod prelude {
     };
     pub use crate::noise::{db_to_snr, snr_to_db, NoiseModel};
     pub use crate::pipeline::{AllocatorSpec, BasisSpec, Deployment, Pipeline};
-    pub use crate::reconstruct::Reconstructor;
+    pub use crate::reconstruct::{shard_spans, BatchScratch, Reconstructor};
     pub use crate::sensors::{Mask, SensorSet};
     pub use crate::tracking::TrackingReconstructor;
     pub use crate::tradeoff::{optimal_k, TradeoffPoint, TradeoffSweep};

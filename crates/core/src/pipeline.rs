@@ -55,10 +55,11 @@ use crate::allocate::{
     SensorAllocator, UniformGridAllocator,
 };
 use crate::basis::{Basis, BasisKind, DctBasis, EigenBasis};
+use crate::codec::{Decoder, Encoder};
 use crate::error::{CoreError, Result};
 use crate::map::{MapEnsemble, ThermalMap};
 use crate::metrics::{evaluate_reconstruction, ErrorReport, NoiseSpec};
-use crate::reconstruct::Reconstructor;
+use crate::reconstruct::{BatchScratch, Reconstructor};
 use crate::sensors::{Mask, SensorSet};
 use crate::tracking::TrackingReconstructor;
 
@@ -453,6 +454,22 @@ impl Deployment {
         self.rec.reconstruct_batch(frames)
     }
 
+    /// [`Deployment::reconstruct_batch`] with caller-owned scratch, for
+    /// serving loops that process many batches and want zero per-batch
+    /// coefficient-buffer allocations (see
+    /// [`Reconstructor::reconstruct_batch_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Deployment::reconstruct_batch`].
+    pub fn reconstruct_batch_with(
+        &self,
+        frames: &[Vec<f64>],
+        scratch: &mut BatchScratch,
+    ) -> Result<Vec<ThermalMap>> {
+        self.rec.reconstruct_batch_with(frames, scratch)
+    }
+
     /// Estimates the subspace coefficients `α̂` for one frame.
     ///
     /// # Errors
@@ -581,35 +598,25 @@ impl Deployment {
     pub fn to_bytes(&self) -> Vec<u8> {
         let n = self.raw.rows * self.raw.cols;
         let k = self.k();
-        let mut out = Vec::with_capacity(64 + 8 * (n + n * k + self.m()));
-        out.extend_from_slice(DEPLOY_MAGIC);
-        out.extend_from_slice(&DEPLOY_VERSION.to_le_bytes());
-        out.push(self.raw.kind.tag());
+        let mut enc = Encoder::with_capacity(64 + 8 * (n + n * k + self.m()));
+        enc.bytes(DEPLOY_MAGIC)
+            .u32(DEPLOY_VERSION)
+            .u8(self.raw.kind.tag());
         let (noise_tag, noise_value) = match self.noise {
             NoiseSpec::None => (0u8, 0.0),
             NoiseSpec::SnrDb(db) => (1u8, db),
             NoiseSpec::Sigma(s) => (2u8, s),
         };
-        out.push(noise_tag);
-        out.extend_from_slice(&noise_value.to_le_bytes());
-        for dim in [
-            self.raw.rows as u64,
-            self.raw.cols as u64,
-            k as u64,
-            self.m() as u64,
-        ] {
-            out.extend_from_slice(&dim.to_le_bytes());
+        enc.u8(noise_tag).f64(noise_value);
+        for dim in [self.raw.rows, self.raw.cols, k, self.m()] {
+            enc.put_len(dim);
         }
-        for &v in &self.raw.mean {
-            out.extend_from_slice(&v.to_le_bytes());
-        }
-        for &v in self.raw.matrix.as_slice() {
-            out.extend_from_slice(&v.to_le_bytes());
-        }
+        enc.f64_slice(&self.raw.mean)
+            .f64_slice(self.raw.matrix.as_slice());
         for &loc in self.sensors.locations() {
-            out.extend_from_slice(&(loc as u64).to_le_bytes());
+            enc.put_len(loc);
         }
-        out
+        enc.finish()
     }
 
     /// Deserializes a deployment previously written by
@@ -623,22 +630,12 @@ impl Deployment {
     /// * Propagated [`Reconstructor::new`] failures for corrupted
     ///   contents.
     pub fn from_bytes(bytes: &[u8]) -> Result<Deployment> {
-        let mut cursor = Cursor::new(bytes);
-        let magic = cursor.take(8)?;
-        if magic != DEPLOY_MAGIC {
-            return Err(CoreError::Persist {
-                context: "deployment: bad magic",
-            });
-        }
-        let version = u32::from_le_bytes(cursor.take(4)?.try_into().expect("4 bytes"));
-        if version != DEPLOY_VERSION {
-            return Err(CoreError::Persist {
-                context: "deployment: unsupported format version",
-            });
-        }
-        let kind = BasisKind::from_tag(cursor.u8()?)?;
-        let noise_tag = cursor.u8()?;
-        let noise_value = cursor.f64()?;
+        let mut dec = Decoder::new(bytes);
+        dec.magic(DEPLOY_MAGIC)?;
+        dec.version(DEPLOY_VERSION)?;
+        let kind = BasisKind::from_tag(dec.u8()?)?;
+        let noise_tag = dec.u8()?;
+        let noise_value = dec.f64()?;
         let noise = match noise_tag {
             0 => NoiseSpec::None,
             1 => NoiseSpec::SnrDb(noise_value),
@@ -649,10 +646,10 @@ impl Deployment {
                 })
             }
         };
-        let rows = cursor.u64()? as usize;
-        let cols = cursor.u64()? as usize;
-        let k = cursor.u64()? as usize;
-        let m = cursor.u64()? as usize;
+        let rows = dec.take_len()?;
+        let cols = dec.take_len()?;
+        let k = dec.take_len()?;
+        let m = dec.take_len()?;
         let n = rows.checked_mul(cols).ok_or(CoreError::Persist {
             context: "deployment: grid dimensions overflow",
         })?;
@@ -661,17 +658,13 @@ impl Deployment {
                 context: "deployment: dimensions out of range",
             });
         }
-        let mean = cursor.f64_vec(n)?;
-        let flat = cursor.f64_vec(n * k)?;
+        let mean = dec.f64_vec(n)?;
+        let flat = dec.f64_vec(n * k)?;
         let mut locations = Vec::with_capacity(m);
         for _ in 0..m {
-            locations.push(cursor.u64()? as usize);
+            locations.push(dec.take_len()?);
         }
-        if !cursor.at_end() {
-            return Err(CoreError::Persist {
-                context: "deployment: trailing bytes",
-            });
-        }
+        dec.finish()?;
         let mut matrix = Matrix::zeros(n, k);
         matrix.as_mut_slice().copy_from_slice(&flat);
         let raw = RawBasis {
@@ -712,62 +705,6 @@ impl Deployment {
             context: "deployment load: read failed",
         })?;
         Deployment::from_bytes(&bytes)
-    }
-}
-
-/// Minimal byte-cursor for the hand-rolled artifact format.
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
-        Cursor { bytes, pos: 0 }
-    }
-
-    fn take(&mut self, len: usize) -> Result<&'a [u8]> {
-        let end = self.pos.checked_add(len).ok_or(CoreError::Persist {
-            context: "deployment: length overflow",
-        })?;
-        if end > self.bytes.len() {
-            return Err(CoreError::Persist {
-                context: "deployment: truncated artifact",
-            });
-        }
-        let out = &self.bytes[self.pos..end];
-        self.pos = end;
-        Ok(out)
-    }
-
-    fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
-    }
-
-    fn f64(&mut self) -> Result<f64> {
-        Ok(f64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
-    }
-
-    fn f64_vec(&mut self, len: usize) -> Result<Vec<f64>> {
-        let raw = self.take(len.checked_mul(8).ok_or(CoreError::Persist {
-            context: "deployment: length overflow",
-        })?)?;
-        Ok(raw
-            .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
-            .collect())
-    }
-
-    fn at_end(&self) -> bool {
-        self.pos == self.bytes.len()
     }
 }
 

@@ -1,12 +1,63 @@
 //! Least-squares thermal-map reconstruction from sensor readings —
 //! Theorem 1 of the paper.
 
+use std::ops::Range;
+
 use eigenmaps_linalg::{Matrix, Qr, Svd};
 
 use crate::basis::Basis;
 use crate::error::{CoreError, Result};
 use crate::map::ThermalMap;
 use crate::sensors::SensorSet;
+
+/// Splits `frames` frames into at most `shards` contiguous, near-equal
+/// spans (the first `frames % shards` spans get one extra frame; empty
+/// spans are omitted). Because [`Reconstructor::reconstruct_batch`] is
+/// bitwise-identical to per-frame reconstruction, running each span as its
+/// own batch and concatenating the outputs in span order reproduces the
+/// sequential batch output bitwise — this is the shard-boundary contract
+/// the `eigenmaps-serve` execution engine is built on.
+///
+/// `shards = 0` is treated as 1.
+pub fn shard_spans(frames: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.max(1).min(frames.max(1));
+    let base = frames / shards;
+    let extra = frames % shards;
+    let mut spans = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        if len == 0 {
+            break;
+        }
+        spans.push(start..start + len);
+        start += len;
+    }
+    spans
+}
+
+/// Reusable scratch buffers for [`Reconstructor::reconstruct_batch_with`].
+///
+/// Holds the per-batch coefficient and transpose buffers so a serving loop
+/// (or a sharded worker thread) pays the allocations once and reuses them
+/// across every batch it processes. The default value is an empty scratch
+/// that grows to fit the first batch.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    /// Frame-major least-squares coefficients (`frames × K`).
+    alphas: Vec<f64>,
+    /// Mean-centered readings for the solve (`M`).
+    centered: Vec<f64>,
+    /// Per-block frame-transposed coefficients (`FRAME_BLOCK × K`).
+    alpha_t: Vec<f64>,
+}
+
+impl BatchScratch {
+    /// An empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        BatchScratch::default()
+    }
+}
 
 /// Reconstructs full thermal maps from `M` point measurements over a fixed
 /// basis and sensor layout.
@@ -197,10 +248,30 @@ impl Reconstructor {
     ///
     /// Returns [`CoreError::ShapeMismatch`] if any frame's length differs
     /// from `M`; propagates solver failures.
+    pub fn reconstruct_batch(&self, frames: &[Vec<f64>]) -> Result<Vec<ThermalMap>> {
+        self.reconstruct_batch_with(frames, &mut BatchScratch::new())
+    }
+
+    /// [`Reconstructor::reconstruct_batch`] with caller-owned scratch.
+    ///
+    /// Long-running serving loops (and the per-shard workers of
+    /// `eigenmaps-serve`) keep one [`BatchScratch`] per thread and reuse it
+    /// across batches, eliminating the per-call coefficient-buffer
+    /// allocations. Results are bitwise-identical to
+    /// [`Reconstructor::reconstruct_batch`] regardless of the scratch's
+    /// history.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Reconstructor::reconstruct_batch`].
     // The cell loop walks a matrix row and several output frames in
     // lockstep; iterator chains would obscure the blocked-kernel shape.
     #[allow(clippy::needless_range_loop)]
-    pub fn reconstruct_batch(&self, frames: &[Vec<f64>]) -> Result<Vec<ThermalMap>> {
+    pub fn reconstruct_batch_with(
+        &self,
+        frames: &[Vec<f64>],
+        scratch: &mut BatchScratch,
+    ) -> Result<Vec<ThermalMap>> {
         let m = self.sensors.len();
         let k = self.k();
         let n = self.rows * self.cols;
@@ -214,11 +285,15 @@ impl Reconstructor {
             }
         }
 
-        // Phase 1: per-frame least-squares coefficients, frame-major.
-        let mut alphas = vec![0.0; frames.len() * k];
-        let mut scratch = vec![0.0; m];
+        // Phase 1: per-frame least-squares coefficients, frame-major. The
+        // solver fully overwrites each frame's coefficient slice and the
+        // centered-readings buffer, so stale scratch contents are inert.
+        scratch.alphas.resize(frames.len() * k, 0.0);
+        scratch.centered.resize(m, 0.0);
+        let alphas = &mut scratch.alphas;
+        let centered = &mut scratch.centered;
         for (f, readings) in frames.iter().enumerate() {
-            for ((s, x), mu) in scratch
+            for ((s, x), mu) in centered
                 .iter_mut()
                 .zip(readings.iter())
                 .zip(self.mean_at_sensors.iter())
@@ -226,7 +301,7 @@ impl Reconstructor {
                 *s = x - mu;
             }
             self.qr
-                .solve_lstsq_into(&mut scratch, &mut alphas[f * k..(f + 1) * k])?;
+                .solve_lstsq_into(centered, &mut alphas[f * k..(f + 1) * k])?;
         }
 
         // Phase 2: blocked synthesis Ψ_K α + mean. Coefficients are
@@ -237,7 +312,8 @@ impl Reconstructor {
         // exactly the order the single-frame `matvec` dot product uses.
         const FRAME_BLOCK: usize = 32;
         let mut cells: Vec<Vec<f64>> = frames.iter().map(|_| vec![0.0; n]).collect();
-        let mut alpha_t = vec![0.0; FRAME_BLOCK * k];
+        scratch.alpha_t.resize(FRAME_BLOCK * k, 0.0);
+        let alpha_t = &mut scratch.alpha_t;
         for block_start in (0..frames.len()).step_by(FRAME_BLOCK) {
             let bsz = (frames.len() - block_start).min(FRAME_BLOCK);
             for f in 0..bsz {
@@ -440,6 +516,74 @@ mod tests {
             rec.reconstruct_batch(&[vec![0.0; 3]]),
             Err(CoreError::ShapeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn shard_spans_partition_contiguously() {
+        for (frames, shards) in [
+            (0usize, 4usize),
+            (1, 4),
+            (3, 4),
+            (4, 4),
+            (5, 4),
+            (1000, 7),
+            (1024, 1),
+            (10, 0),
+        ] {
+            let spans = shard_spans(frames, shards);
+            assert!(spans.len() <= shards.max(1));
+            let mut next = 0;
+            for span in &spans {
+                assert_eq!(span.start, next, "gap before {span:?}");
+                assert!(!span.is_empty());
+                next = span.end;
+            }
+            assert_eq!(next, frames, "spans must cover all frames");
+            if frames > 0 {
+                let lens: Vec<usize> = spans.iter().map(|s| s.len()).collect();
+                let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(max - min <= 1, "near-equal split violated: {lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reused_scratch_is_bitwise_inert() {
+        let ens = smooth_ensemble(6, 6, 50);
+        let basis = EigenBasis::fit_exact(&ens, 3).unwrap();
+        let sensors = SensorSet::new(6, 6, vec![0, 7, 14, 21, 28, 35]).unwrap();
+        let rec = Reconstructor::new(&basis, &sensors).unwrap();
+        let frames: Vec<Vec<f64>> = (0..50).map(|t| sensors.sample(&ens.map(t))).collect();
+        let fresh = rec.reconstruct_batch(&frames).unwrap();
+        let mut scratch = BatchScratch::new();
+        // Dirty the scratch with a differently-shaped batch first, then
+        // shrink: outputs must not depend on the scratch's history.
+        rec.reconstruct_batch_with(&frames[..37], &mut scratch)
+            .unwrap();
+        let reused = rec.reconstruct_batch_with(&frames, &mut scratch).unwrap();
+        for (a, b) in fresh.iter().zip(reused.iter()) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn sharded_spans_concatenate_to_sequential_batch() {
+        let ens = smooth_ensemble(6, 6, 50);
+        let basis = EigenBasis::fit_exact(&ens, 3).unwrap();
+        let sensors = SensorSet::new(6, 6, vec![0, 7, 14, 21, 28, 35]).unwrap();
+        let rec = Reconstructor::new(&basis, &sensors).unwrap();
+        let frames: Vec<Vec<f64>> = (0..50).map(|t| sensors.sample(&ens.map(t))).collect();
+        let sequential = rec.reconstruct_batch(&frames).unwrap();
+        for shards in [1, 2, 3, 4, 7] {
+            let mut sharded = Vec::new();
+            for span in shard_spans(frames.len(), shards) {
+                sharded.extend(rec.reconstruct_batch(&frames[span]).unwrap());
+            }
+            assert_eq!(sharded.len(), sequential.len());
+            for (a, b) in sequential.iter().zip(sharded.iter()) {
+                assert_eq!(a.as_slice(), b.as_slice(), "shards = {shards}");
+            }
+        }
     }
 
     #[test]

@@ -2,19 +2,24 @@
 //!
 //! Regenerating the full 2652-snapshot dataset takes a little while, so the
 //! figure binaries cache it. The format is a deliberately tiny hand-rolled
-//! little-endian layout (magic, version, dims, then raw `f64`s) rather than
-//! an extra serialization dependency — see DESIGN.md §6.
+//! little-endian layout (magic, dims, then raw `f64`s) encoded with the
+//! shared workspace byte codec ([`eigenmaps_core::codec`]) rather than an
+//! extra serialization dependency — see DESIGN.md §6.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 
+use eigenmaps_core::codec::{Decoder, Encoder};
 use eigenmaps_core::MapEnsemble;
 use eigenmaps_linalg::Matrix;
 
 use crate::error::{FloorplanError, Result};
 
 const MAGIC: &[u8; 8] = b"EIGMAPS1";
+
+/// Magic + three `u64` dimensions.
+const HEADER_LEN: usize = 32;
 
 /// Writes an ensemble to `path` (creating parent directories).
 ///
@@ -25,19 +30,18 @@ pub fn save_ensemble(ensemble: &MapEnsemble, path: &Path) -> Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
+    let mut header = Encoder::with_capacity(HEADER_LEN);
+    header
+        .bytes(MAGIC)
+        .put_len(ensemble.len())
+        .put_len(ensemble.rows())
+        .put_len(ensemble.cols());
+    // Stream the payload instead of materializing one flat buffer — full
+    // datasets are tens of MiB.
     let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(MAGIC)?;
-    for dim in [
-        ensemble.len() as u64,
-        ensemble.rows() as u64,
-        ensemble.cols() as u64,
-    ] {
-        w.write_all(&dim.to_le_bytes())?;
-    }
-    for t in 0..ensemble.len() {
-        for &v in ensemble.map_slice(t) {
-            w.write_all(&v.to_le_bytes())?;
-        }
+    w.write_all(&header.finish())?;
+    for &v in ensemble.data().as_slice() {
+        w.write_all(&v.to_le_bytes())?;
     }
     w.flush()?;
     Ok(())
@@ -45,33 +49,27 @@ pub fn save_ensemble(ensemble: &MapEnsemble, path: &Path) -> Result<()> {
 
 /// Reads an ensemble previously written by [`save_ensemble`].
 ///
+/// The header is read and validated *before* the payload is allocated, so
+/// a corrupt header (or a file that merely isn't an ensemble cache) costs
+/// a 32-byte read, never a payload-sized allocation.
+///
 /// # Errors
 ///
 /// * [`FloorplanError::Io`] on filesystem failures.
 /// * [`FloorplanError::CorruptCache`] on magic/size mismatches.
 pub fn load_ensemble(path: &Path) -> Result<MapEnsemble> {
-    let mut r = BufReader::new(File::open(path)?);
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)
+    let mut file = File::open(path)?;
+    let mut header = [0u8; HEADER_LEN];
+    file.read_exact(&mut header)
         .map_err(|_| FloorplanError::CorruptCache {
             context: "file shorter than header",
         })?;
-    if &magic != MAGIC {
-        return Err(FloorplanError::CorruptCache {
-            context: "bad magic (not an ensemble cache)",
-        });
-    }
-    let mut u64buf = [0u8; 8];
-    let mut read_u64 = |r: &mut BufReader<File>| -> Result<u64> {
-        r.read_exact(&mut u64buf)
-            .map_err(|_| FloorplanError::CorruptCache {
-                context: "truncated header",
-            })?;
-        Ok(u64::from_le_bytes(u64buf))
-    };
-    let t = read_u64(&mut r)? as usize;
-    let rows = read_u64(&mut r)? as usize;
-    let cols = read_u64(&mut r)? as usize;
+    let mut dec = Decoder::new(&header);
+    dec.magic(MAGIC)?;
+    let t = dec.take_len()?;
+    let rows = dec.take_len()?;
+    let cols = dec.take_len()?;
+    dec.finish()?;
     let n = rows
         .checked_mul(cols)
         .and_then(|n| n.checked_mul(t))
@@ -85,17 +83,24 @@ pub fn load_ensemble(path: &Path) -> Result<MapEnsemble> {
             context: "dimensions exceed sanity cap",
         });
     }
-    let mut data = Vec::with_capacity(n);
-    let mut f64buf = [0u8; 8];
-    for _ in 0..n {
-        r.read_exact(&mut f64buf)
+    // Decode the payload through a small fixed buffer straight into the
+    // f64 vec: one payload-sized allocation, not bytes + floats.
+    let mut data = vec![0.0f64; n];
+    let mut buf = [0u8; 8 * 1024];
+    let mut idx = 0usize;
+    while idx < n {
+        let take = ((n - idx) * 8).min(buf.len());
+        file.read_exact(&mut buf[..take])
             .map_err(|_| FloorplanError::CorruptCache {
                 context: "truncated payload",
             })?;
-        data.push(f64::from_le_bytes(f64buf));
+        for chunk in buf[..take].chunks_exact(8) {
+            data[idx] = f64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+            idx += 1;
+        }
     }
     // Reject trailing garbage.
-    if r.read(&mut f64buf)? != 0 {
+    if file.read(&mut [0u8; 1])? != 0 {
         return Err(FloorplanError::CorruptCache {
             context: "trailing bytes after payload",
         });
@@ -174,6 +179,23 @@ mod tests {
         let mut bytes = std::fs::read(&path).unwrap();
         bytes.extend_from_slice(&[1, 2, 3]);
         std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_ensemble(&path),
+            Err(FloorplanError::CorruptCache { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_header_rejected_by_sanity_cap() {
+        let path = tmp("oversized");
+        let mut enc = Encoder::with_capacity(32);
+        enc.bytes(MAGIC)
+            .put_len(1 << 20)
+            .put_len(1 << 20)
+            .put_len(1 << 20)
+            .f64(0.0);
+        std::fs::write(&path, enc.finish()).unwrap();
         assert!(matches!(
             load_ensemble(&path),
             Err(FloorplanError::CorruptCache { .. })

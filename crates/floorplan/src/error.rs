@@ -87,6 +87,12 @@ impl From<std::io::Error> for FloorplanError {
     }
 }
 
+impl From<eigenmaps_core::CodecError> for FloorplanError {
+    fn from(e: eigenmaps_core::CodecError) -> Self {
+        FloorplanError::CorruptCache { context: e.context }
+    }
+}
+
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, FloorplanError>;
 

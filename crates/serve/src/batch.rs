@@ -1,0 +1,523 @@
+//! The request/batching front end: [`ServeRequest`] → queue →
+//! micro-batcher → [`ShardedExecutor`].
+//!
+//! Real monitoring traffic arrives as many small requests (a handful of
+//! telemetry frames per chip per interval), but the execution engine is at
+//! its best on large batches. The [`Server`] bridges the two: requests are
+//! queued, and a batcher thread coalesces consecutive requests pinned to
+//! the *same deployment artifact* into one shard-parallel batch, flushing
+//! when the batch reaches a frame budget ([`BatchPolicy::max_batch_frames`]),
+//! a request budget ([`BatchPolicy::max_batch_requests`]) or when the
+//! oldest queued request has waited [`BatchPolicy::max_delay`].
+//!
+//! Each request pins the deployment version it resolved at submit time, so
+//! hot-swapping a tenant's deployment in the registry never changes the
+//! artifact a queued request is served with.
+//!
+//! Coalescing is strictly FIFO: a request pinned to a *different* artifact
+//! than the pending batch flushes it. Heavily interleaved multi-tenant
+//! traffic therefore degrades toward one request per batch (correctness
+//! and ordering are unaffected; only the batching win shrinks) — per-tenant
+//! pending queues with independent deadlines are the planned next step for
+//! that traffic shape (see ROADMAP).
+
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use eigenmaps_core::{CoreError, Deployment, ThermalMap};
+
+use crate::error::{Result, ServeError};
+use crate::metrics::ServeMetrics;
+use crate::registry::DeploymentRegistry;
+use crate::session::TrackerSession;
+use crate::shard::ShardedExecutor;
+
+/// When the micro-batcher flushes a coalesced batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Flush once the coalesced batch holds at least this many frames.
+    pub max_batch_frames: usize,
+    /// Flush once this many requests are coalesced.
+    pub max_batch_requests: usize,
+    /// Flush once the oldest queued request has waited this long — the
+    /// latency budget a small lone request pays at worst.
+    pub max_delay: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch_frames: 256,
+            max_batch_requests: 64,
+            max_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+/// One reconstruction request: a named deployment and the sensor-reading
+/// frames to reconstruct.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Registry name of the deployment to serve against.
+    pub deployment: String,
+    /// Sensor readings, one `M`-length vector per frame.
+    pub frames: Vec<Vec<f64>>,
+}
+
+impl ServeRequest {
+    /// A request against the named deployment.
+    pub fn new(deployment: impl Into<String>, frames: Vec<Vec<f64>>) -> Self {
+        ServeRequest {
+            deployment: deployment.into(),
+            frames,
+        }
+    }
+}
+
+/// A pending response handle returned by [`Server::submit`].
+#[derive(Debug)]
+pub struct Ticket {
+    version: u32,
+    rx: Receiver<Result<Vec<ThermalMap>>>,
+}
+
+impl Ticket {
+    /// The deployment version this request was pinned to at submit time.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Blocks until the batcher serves the request.
+    ///
+    /// # Errors
+    ///
+    /// * The request's own failure ([`ServeError::Core`]), or
+    /// * [`ServeError::Terminated`] if the server shut down before
+    ///   responding.
+    pub fn wait(self) -> Result<Vec<ThermalMap>> {
+        self.rx.recv().map_err(|_| ServeError::Terminated {
+            context: "server dropped before responding",
+        })?
+    }
+}
+
+/// A queued request with its artifact pinned and its reply channel.
+struct QueuedRequest {
+    deployment: Arc<Deployment>,
+    frames: Vec<Vec<f64>>,
+    enqueued: Instant,
+    reply: Sender<Result<Vec<ThermalMap>>>,
+}
+
+/// The serving front end: registry + micro-batcher + sharded execution
+/// engine + metrics, one per fleet process.
+///
+/// `Server` is `Send + Sync`; submit from any thread. Dropping it flushes
+/// queued requests and joins the batcher and worker threads.
+#[derive(Debug)]
+pub struct Server {
+    registry: Arc<DeploymentRegistry>,
+    executor: Arc<ShardedExecutor>,
+    metrics: Arc<ServeMetrics>,
+    queue: Sender<QueuedRequest>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// A server over `registry` with `shards` execution workers and the
+    /// default [`BatchPolicy`].
+    pub fn new(registry: Arc<DeploymentRegistry>, shards: usize) -> Self {
+        Self::with_policy(registry, shards, BatchPolicy::default())
+    }
+
+    /// A server with an explicit batching policy.
+    pub fn with_policy(
+        registry: Arc<DeploymentRegistry>,
+        shards: usize,
+        policy: BatchPolicy,
+    ) -> Self {
+        let shards = shards.max(1);
+        let metrics = Arc::new(ServeMetrics::new(shards));
+        let executor = Arc::new(ShardedExecutor::with_metrics(shards, Arc::clone(&metrics)));
+        let (queue, rx) = mpsc::channel();
+        let batcher = {
+            let executor = Arc::clone(&executor);
+            let metrics = Arc::clone(&metrics);
+            std::thread::Builder::new()
+                .name("eigenmaps-batcher".into())
+                .spawn(move || batcher_loop(&rx, &executor, &metrics, policy))
+                .expect("spawn batcher")
+        };
+        Server {
+            registry,
+            executor,
+            metrics,
+            queue,
+            batcher: Some(batcher),
+        }
+    }
+
+    /// The deployment registry this server resolves names against.
+    pub fn registry(&self) -> &Arc<DeploymentRegistry> {
+        &self.registry
+    }
+
+    /// The execution engine (e.g. for direct, unbatched batches).
+    pub fn executor(&self) -> &Arc<ShardedExecutor> {
+        &self.executor
+    }
+
+    /// A point-in-time copy of the serving metrics.
+    pub fn metrics(&self) -> crate::metrics::MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Enqueues a request, returning a [`Ticket`] for the response. The
+    /// deployment name is resolved (and its current version pinned) now;
+    /// frame lengths are validated now so malformed requests fail fast
+    /// instead of poisoning a coalesced batch.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::UnknownDeployment`] for an unresolved name.
+    /// * [`ServeError::Core`] for frames with the wrong reading count.
+    /// * [`ServeError::Terminated`] if the server is shutting down.
+    pub fn submit(&self, request: ServeRequest) -> Result<Ticket> {
+        let (version, deployment) = self.registry.latest_versioned(&request.deployment)?;
+        let m = deployment.m();
+        for readings in &request.frames {
+            if readings.len() != m {
+                return Err(ServeError::Core(CoreError::ShapeMismatch {
+                    context: "serve request readings",
+                    expected: m,
+                    found: readings.len(),
+                }));
+            }
+        }
+        let (reply, rx) = mpsc::channel();
+        let frames = request.frames.len();
+        self.queue
+            .send(QueuedRequest {
+                deployment,
+                frames: request.frames,
+                enqueued: Instant::now(),
+                reply,
+            })
+            .map_err(|_| ServeError::Terminated {
+                context: "request queue closed",
+            })?;
+        self.metrics.record_request(frames);
+        Ok(Ticket { version, rx })
+    }
+
+    /// Submits and blocks for the response — the synchronous convenience
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Union of [`Server::submit`] and [`Ticket::wait`].
+    pub fn serve(&self, deployment: &str, frames: Vec<Vec<f64>>) -> Result<Vec<ThermalMap>> {
+        self.submit(ServeRequest::new(deployment, frames))?.wait()
+    }
+
+    /// Opens a streaming tracker session against the named deployment's
+    /// current version (pinned for the session's lifetime). See
+    /// [`TrackerSession`].
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::UnknownDeployment`] for an unresolved name.
+    /// * [`ServeError::Core`] for a gain outside `(0, 1]`.
+    pub fn open_session(&self, deployment: &str, gain: f64) -> Result<TrackerSession> {
+        TrackerSession::open_with_metrics(
+            &self.registry,
+            deployment,
+            gain,
+            Some(Arc::clone(&self.metrics)),
+        )
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Closing the queue lets the batcher flush what's pending and
+        // exit; then reap it before the executor is torn down.
+        let (dead, _) = mpsc::channel();
+        drop(std::mem::replace(&mut self.queue, dead));
+        if let Some(batcher) = self.batcher.take() {
+            let _ = batcher.join();
+        }
+    }
+}
+
+/// The micro-batcher: coalesce → flush loop. Runs until the request queue
+/// closes, then flushes the remainder.
+fn batcher_loop(
+    rx: &Receiver<QueuedRequest>,
+    executor: &ShardedExecutor,
+    metrics: &ServeMetrics,
+    policy: BatchPolicy,
+) {
+    let mut pending: Vec<QueuedRequest> = Vec::new();
+    let mut pending_frames = 0usize;
+    loop {
+        let next = if pending.is_empty() {
+            match rx.recv() {
+                Ok(req) => req,
+                Err(_) => break,
+            }
+        } else {
+            // An unrepresentable deadline (huge `max_delay` = "flush by
+            // size only") waits without a timeout.
+            let remaining = pending[0]
+                .enqueued
+                .checked_add(policy.max_delay)
+                .map(|deadline| deadline.saturating_duration_since(Instant::now()));
+            match remaining {
+                None => match rx.recv() {
+                    Ok(req) => req,
+                    Err(_) => break,
+                },
+                Some(remaining) if remaining.is_zero() => {
+                    flush(&mut pending, &mut pending_frames, executor, metrics);
+                    continue;
+                }
+                Some(remaining) => match rx.recv_timeout(remaining) {
+                    Ok(req) => req,
+                    Err(RecvTimeoutError::Timeout) => {
+                        flush(&mut pending, &mut pending_frames, executor, metrics);
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                },
+            }
+        };
+        // Coalescing is only valid within one artifact: a request pinned
+        // to a different deployment (other tenant, or a hot-swapped
+        // version) flushes what came before it.
+        if let Some(head) = pending.first() {
+            if !Arc::ptr_eq(&head.deployment, &next.deployment) {
+                flush(&mut pending, &mut pending_frames, executor, metrics);
+            }
+        }
+        pending_frames += next.frames.len();
+        pending.push(next);
+        if pending_frames >= policy.max_batch_frames || pending.len() >= policy.max_batch_requests {
+            flush(&mut pending, &mut pending_frames, executor, metrics);
+        }
+    }
+    flush(&mut pending, &mut pending_frames, executor, metrics);
+}
+
+/// Runs one coalesced batch and distributes results (or the shared error)
+/// back to each request's reply channel.
+fn flush(
+    pending: &mut Vec<QueuedRequest>,
+    pending_frames: &mut usize,
+    executor: &ShardedExecutor,
+    metrics: &ServeMetrics,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    metrics.record_batch();
+    let deployment = Arc::clone(&pending[0].deployment);
+    let mut combined: Vec<Vec<f64>> = Vec::with_capacity(*pending_frames);
+    let mut counts = Vec::with_capacity(pending.len());
+    for req in pending.iter_mut() {
+        counts.push(req.frames.len());
+        combined.append(&mut req.frames); // moves the inner Vecs, no copy
+    }
+    let outcome = executor.execute(&deployment, &Arc::new(combined));
+    match outcome {
+        Ok(mut maps) => {
+            for (req, count) in pending.drain(..).zip(counts) {
+                let rest = maps.split_off(count);
+                let chunk = std::mem::replace(&mut maps, rest);
+                metrics.record_latency(req.enqueued.elapsed());
+                let _ = req.reply.send(Ok(chunk));
+            }
+        }
+        Err(e) => {
+            for req in pending.drain(..) {
+                metrics.record_latency(req.enqueued.elapsed());
+                metrics.record_error();
+                let _ = req.reply.send(Err(e.clone()));
+            }
+        }
+    }
+    *pending_frames = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eigenmaps_core::prelude::*;
+
+    fn fixture(frames: usize) -> (Arc<DeploymentRegistry>, MapEnsemble, Vec<Vec<f64>>) {
+        let (d, ens) = crate::testutil::two_mode_deployment(8, 8, 2, 5);
+        let frames: Vec<Vec<f64>> = (0..frames)
+            .map(|t| d.sensors().sample(&ens.map(t % ens.len())))
+            .collect();
+        let registry = Arc::new(DeploymentRegistry::new());
+        registry.publish("chip", d);
+        (registry, ens, frames)
+    }
+
+    #[test]
+    fn serve_matches_direct_reconstruction() {
+        let (registry, _, frames) = fixture(12);
+        let server = Server::new(Arc::clone(&registry), 2);
+        let maps = server.serve("chip", frames.clone()).unwrap();
+        let deployment = registry.latest("chip").unwrap();
+        let direct = deployment.reconstruct_batch(&frames).unwrap();
+        assert_eq!(maps.len(), direct.len());
+        for (a, b) in direct.iter().zip(maps.iter()) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn many_small_requests_coalesce_into_fewer_batches() {
+        let (registry, _, frames) = fixture(40);
+        let policy = BatchPolicy {
+            max_batch_frames: 64,
+            max_batch_requests: 64,
+            max_delay: Duration::from_millis(50),
+        };
+        let server = Server::with_policy(registry, 2, policy);
+        let tickets: Vec<Ticket> = frames
+            .chunks(2)
+            .map(|chunk| {
+                server
+                    .submit(ServeRequest::new("chip", chunk.to_vec()))
+                    .unwrap()
+            })
+            .collect();
+        for (ticket, chunk) in tickets.into_iter().zip(frames.chunks(2)) {
+            assert_eq!(ticket.version(), 1);
+            let maps = ticket.wait().unwrap();
+            assert_eq!(maps.len(), chunk.len());
+        }
+        let snap = server.metrics();
+        assert_eq!(snap.requests, 20);
+        assert_eq!(snap.frames, 40);
+        assert!(
+            snap.batches < 20,
+            "coalescing produced {} batches for 20 requests",
+            snap.batches
+        );
+        assert!(snap.latency_p50 > Duration::ZERO);
+    }
+
+    #[test]
+    fn unknown_deployment_rejected_at_submit() {
+        let (registry, _, frames) = fixture(1);
+        let server = Server::new(registry, 1);
+        assert!(matches!(
+            server.serve("nope", frames),
+            Err(ServeError::UnknownDeployment { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_frames_rejected_at_submit() {
+        let (registry, _, _) = fixture(0);
+        let server = Server::new(registry, 1);
+        assert!(matches!(
+            server.serve("chip", vec![vec![1.0, 2.0]]),
+            Err(ServeError::Core(CoreError::ShapeMismatch { .. }))
+        ));
+        // The rejected request never entered the queue.
+        assert_eq!(server.metrics().requests, 0);
+    }
+
+    #[test]
+    fn empty_request_serves_empty() {
+        let (registry, _, _) = fixture(0);
+        let server = Server::new(registry, 2);
+        assert!(server.serve("chip", Vec::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn hot_swap_mid_queue_pins_versions() {
+        let (registry, ens, frames) = fixture(6);
+        // A long flush delay so both requests sit in the same queue window.
+        let policy = BatchPolicy {
+            max_batch_frames: 1 << 20,
+            max_batch_requests: 1 << 10,
+            max_delay: Duration::from_millis(40),
+        };
+        let server = Server::with_policy(Arc::clone(&registry), 2, policy);
+        let before = server
+            .submit(ServeRequest::new("chip", frames.clone()))
+            .unwrap();
+        // Hot-swap to a different artifact (more sensors) mid-queue.
+        let retrained = Pipeline::new(&ens)
+            .basis(BasisSpec::EigenExact { k: 3 })
+            .sensors(7)
+            .design()
+            .unwrap();
+        registry.publish("chip", retrained);
+        let after_frames: Vec<Vec<f64>> = (0..4)
+            .map(|t| {
+                registry
+                    .latest("chip")
+                    .unwrap()
+                    .sensors()
+                    .sample(&ens.map(t))
+            })
+            .collect();
+        let after = server
+            .submit(ServeRequest::new("chip", after_frames))
+            .unwrap();
+        assert_eq!(before.version(), 1);
+        assert_eq!(after.version(), 2);
+        assert_eq!(before.wait().unwrap().len(), 6);
+        assert_eq!(after.wait().unwrap().len(), 4);
+        // Mixed-artifact queue cannot coalesce: at least two batches ran.
+        assert!(server.metrics().batches >= 2);
+    }
+
+    #[test]
+    fn unbounded_delay_flushes_by_size_only() {
+        let (registry, _, frames) = fixture(8);
+        // `Duration::MAX` makes the deadline unrepresentable: the batcher
+        // must fall back to blocking recv (no panic) and flush on the
+        // frame budget alone.
+        let policy = BatchPolicy {
+            max_batch_frames: 4,
+            max_batch_requests: 1 << 10,
+            max_delay: Duration::MAX,
+        };
+        let server = Server::with_policy(registry, 2, policy);
+        let tickets: Vec<Ticket> = frames
+            .chunks(2)
+            .map(|c| {
+                server
+                    .submit(ServeRequest::new("chip", c.to_vec()))
+                    .unwrap()
+            })
+            .collect();
+        for (ticket, chunk) in tickets.into_iter().zip(frames.chunks(2)) {
+            assert_eq!(ticket.wait().unwrap().len(), chunk.len());
+        }
+        assert_eq!(server.metrics().batches, 2);
+    }
+
+    #[test]
+    fn drop_flushes_pending_requests() {
+        let (registry, _, frames) = fixture(5);
+        let policy = BatchPolicy {
+            max_batch_frames: 1 << 20,
+            max_batch_requests: 1 << 10,
+            max_delay: Duration::from_secs(30), // would wait half a minute
+        };
+        let server = Server::with_policy(registry, 2, policy);
+        let ticket = server.submit(ServeRequest::new("chip", frames)).unwrap();
+        drop(server); // shutdown must flush, not abandon
+        assert_eq!(ticket.wait().unwrap().len(), 5);
+    }
+}

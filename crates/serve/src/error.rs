@@ -1,0 +1,99 @@
+//! Error type for the serving runtime.
+
+use std::error::Error;
+use std::fmt;
+
+use eigenmaps_core::CoreError;
+
+/// Errors produced by the deployment registry, the sharded execution
+/// engine and the batching front end.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// No deployment is published under the requested name.
+    UnknownDeployment {
+        /// The requested name.
+        name: String,
+    },
+    /// The named deployment exists but not at the requested version (it
+    /// may have been retired).
+    UnknownVersion {
+        /// The requested name.
+        name: String,
+        /// The requested version.
+        version: u32,
+    },
+    /// The runtime is shutting down (or a worker thread died) and the
+    /// request cannot be served.
+    Terminated {
+        /// Which channel or component went away.
+        context: &'static str,
+    },
+    /// Reconstruction itself failed.
+    Core(CoreError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownDeployment { name } => {
+                write!(f, "no deployment published under {name:?}")
+            }
+            ServeError::UnknownVersion { name, version } => {
+                write!(f, "deployment {name:?} has no version {version}")
+            }
+            ServeError::Terminated { context } => {
+                write!(f, "serving runtime terminated: {context}")
+            }
+            ServeError::Core(e) => write!(f, "reconstruction failed: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_tenant() {
+        let e = ServeError::UnknownDeployment {
+            name: "us-east".into(),
+        };
+        assert!(e.to_string().contains("us-east"));
+        let e = ServeError::UnknownVersion {
+            name: "us-east".into(),
+            version: 3,
+        };
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn core_source_preserved() {
+        let e = ServeError::from(CoreError::Persist { context: "x" });
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync_clone() {
+        fn assert_bounds<T: Send + Sync + Clone>() {}
+        assert_bounds::<ServeError>();
+    }
+}

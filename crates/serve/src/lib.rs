@@ -1,0 +1,136 @@
+//! # eigenmaps-serve
+//!
+//! The sharded, multi-threaded serving runtime for EigenMaps deployments —
+//! the layer that turns the fitted
+//! [`Deployment`](eigenmaps_core::Deployment) artifact of
+//! [`eigenmaps_core::Pipeline`] into a concurrent, many-tenant service:
+//!
+//! * [`DeploymentRegistry`] — named, versioned deployments loaded from
+//!   `EMDEPLOY` bytes or published directly; hot-swappable under `Arc`
+//!   without stalling in-flight requests;
+//! * [`ShardedExecutor`] — a fixed pool of worker threads that splits each
+//!   batch into contiguous frame shards, runs the batched reconstruction
+//!   path per shard with per-worker reused scratch, and reassembles
+//!   results **bitwise-identical** to the sequential path;
+//! * [`Server`] / [`ServeRequest`] — the request front end: a queue and a
+//!   micro-batcher that coalesces small requests up to a size/latency
+//!   budget ([`BatchPolicy`]) before handing them to the executor;
+//! * [`TrackerSession`] — streaming per-tenant telemetry sessions with
+//!   temporal filtering, pinned to the deployment version they opened;
+//! * [`ServeMetrics`] / [`MetricsSnapshot`] — request/frame counters,
+//!   fixed-bucket latency histogram (p50/p99) and shard utilization.
+//!
+//! # Quickstart: design time → artifact → serving fleet
+//!
+//! At design time, fit a deployment once and ship its bytes; at serving
+//! time, publish those bytes into a registry, start a [`Server`], and
+//! point traffic at it by name:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use eigenmaps_core::prelude::*;
+//! use eigenmaps_serve::{DeploymentRegistry, ServeRequest, Server};
+//!
+//! # fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+//! // Design time (typically a separate process; artifact shipped as bytes).
+//! let maps: Vec<ThermalMap> = (0..60)
+//!     .map(|t| {
+//!         let a = (t as f64 / 5.0).sin();
+//!         let b = (t as f64 / 3.0).cos();
+//!         ThermalMap::from_fn(8, 8, |r, c| 50.0 + a * r as f64 + b * c as f64)
+//!     })
+//!     .collect();
+//! let ensemble = MapEnsemble::from_maps(&maps)?;
+//! let artifact = Pipeline::new(&ensemble)
+//!     .basis(BasisSpec::Eigen { k: 2 })
+//!     .sensors(4)
+//!     .design()?
+//!     .to_bytes();
+//!
+//! // Serving fleet: registry + sharded server.
+//! let registry = Arc::new(DeploymentRegistry::new());
+//! registry.publish_bytes("chip-a", &artifact)?;
+//! let server = Server::new(Arc::clone(&registry), 4);
+//!
+//! // Traffic: requests resolve deployments by name and are micro-batched.
+//! let deployment = registry.latest("chip-a")?;
+//! let frames: Vec<Vec<f64>> = (0..16)
+//!     .map(|t| deployment.sensors().sample(&ensemble.map(t)))
+//!     .collect();
+//! let maps = server.submit(ServeRequest::new("chip-a", frames))?.wait()?;
+//! assert_eq!(maps.len(), 16);
+//!
+//! // Telemetry: open a streaming, temporally filtered session.
+//! let mut session = server.open_session("chip-a", 0.8)?;
+//! let estimate = session.step(&deployment.sensors().sample(&ensemble.map(17)))?;
+//! assert_eq!(estimate.rows(), 8);
+//!
+//! println!("{:?}", server.metrics());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Bitwise-identity contract
+//!
+//! Every parallel path in this crate reproduces the single-threaded
+//! [`Deployment::reconstruct_batch`](eigenmaps_core::Deployment::reconstruct_batch)
+//! output bit for bit: shard boundaries are placed between frames
+//! ([`eigenmaps_core::shard_spans`]), each frame's arithmetic is unchanged,
+//! and outputs are reassembled in frame order. Scaling out never changes
+//! an answer.
+
+pub mod batch;
+pub mod error;
+pub mod metrics;
+pub mod registry;
+pub mod session;
+pub mod shard;
+
+pub use batch::{BatchPolicy, ServeRequest, Server, Ticket};
+pub use error::{Result, ServeError};
+pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics};
+pub use registry::DeploymentRegistry;
+pub use session::TrackerSession;
+pub use shard::ShardedExecutor;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared test fixture: a deployment designed over a synthetic
+    //! two-mode map family, used by every module's unit tests.
+
+    use eigenmaps_core::prelude::*;
+
+    /// Designs a `k`/`m` deployment on a `rows × cols` two-mode ensemble
+    /// (60 maps), returning both.
+    pub fn two_mode_deployment(
+        rows: usize,
+        cols: usize,
+        k: usize,
+        m: usize,
+    ) -> (Deployment, MapEnsemble) {
+        let maps: Vec<ThermalMap> = (0..60)
+            .map(|t| {
+                let a = (t as f64 / 5.0).sin();
+                let b = (t as f64 / 3.0).cos();
+                ThermalMap::from_fn(rows, cols, |r, c| 50.0 + a * r as f64 - b * c as f64)
+            })
+            .collect();
+        let ens = MapEnsemble::from_maps(&maps).unwrap();
+        let deployment = Pipeline::new(&ens)
+            .basis(BasisSpec::EigenExact { k })
+            .sensors(m)
+            .design()
+            .unwrap();
+        (deployment, ens)
+    }
+}
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::batch::{BatchPolicy, ServeRequest, Server, Ticket};
+    pub use crate::error::{Result, ServeError};
+    pub use crate::metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics};
+    pub use crate::registry::DeploymentRegistry;
+    pub use crate::session::TrackerSession;
+    pub use crate::shard::ShardedExecutor;
+}

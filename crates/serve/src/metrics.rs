@@ -1,0 +1,313 @@
+//! Lightweight serving metrics: request/frame counters, a fixed-bucket
+//! latency histogram and per-shard utilization counters.
+//!
+//! Everything is a relaxed atomic — recording from worker threads and the
+//! batcher costs a handful of uncontended atomic increments per request,
+//! never a lock. [`ServeMetrics::snapshot`] folds the counters into a
+//! plain [`MetricsSnapshot`] for reporting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds (nanoseconds) of the latency histogram buckets — a 1-2-5
+/// log ladder from 1 µs to 10 s. Latencies above the last bound land in a
+/// final overflow bucket.
+const BUCKET_BOUNDS_NS: [u64; 22] = [
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+    200_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_000_000_000,
+    5_000_000_000,
+    10_000_000_000,
+];
+
+/// Fixed-bucket latency histogram with lock-free recording.
+///
+/// Quantile estimates are upper bounds of the containing bucket: for
+/// samples within the bucket ladder they are conservative (never
+/// under-report) and within one 1-2-5 step of the true quantile. Samples
+/// beyond the last bound land in an overflow bucket and are clamped to
+/// the 10 s bound — a serving latency that far out is an outage, not a
+/// percentile to resolve.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS_NS.len() + 1],
+    count: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        let idx = BUCKET_BOUNDS_NS.partition_point(|&bound| bound < ns);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean recorded latency ([`Duration::ZERO`] when empty).
+    pub fn mean(&self) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.total_ns.load(Ordering::Relaxed) / count)
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) as the upper bound of the bucket
+    /// containing it; [`Duration::ZERO`] when empty. Values in the
+    /// overflow bucket report the last bound (10 s).
+    pub fn quantile(&self, q: f64) -> Duration {
+        let total: u64 = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= target {
+                let bound = BUCKET_BOUNDS_NS
+                    .get(i)
+                    .copied()
+                    .unwrap_or(BUCKET_BOUNDS_NS[BUCKET_BOUNDS_NS.len() - 1]);
+                return Duration::from_nanos(bound);
+            }
+        }
+        Duration::from_nanos(BUCKET_BOUNDS_NS[BUCKET_BOUNDS_NS.len() - 1])
+    }
+}
+
+/// Counter hub shared by the front end, the execution engine and any
+/// sessions. Cheap to record into from any thread.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    requests: AtomicU64,
+    frames: AtomicU64,
+    batches: AtomicU64,
+    errors: AtomicU64,
+    session_steps: AtomicU64,
+    latency: LatencyHistogram,
+    shard_frames: Vec<AtomicU64>,
+    shard_batches: Vec<AtomicU64>,
+}
+
+impl ServeMetrics {
+    /// Metrics for a runtime with `shards` execution shards.
+    pub fn new(shards: usize) -> Self {
+        ServeMetrics {
+            requests: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            session_steps: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+            shard_frames: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            shard_batches: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Records a request entering the front end with `frames` frames.
+    pub fn record_request(&self, frames: usize) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.frames.fetch_add(frames as u64, Ordering::Relaxed);
+    }
+
+    /// Records one flushed micro-batch.
+    pub fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request that completed with an error.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one streaming tracker-session step.
+    pub fn record_session_step(&self) {
+        self.session_steps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request's queue-to-response latency.
+    pub fn record_latency(&self, latency: Duration) {
+        self.latency.record(latency);
+    }
+
+    /// Records `frames` frames executed by shard `shard` (ignored for
+    /// out-of-range shard indices).
+    pub fn record_shard(&self, shard: usize, frames: usize) {
+        if let Some(counter) = self.shard_frames.get(shard) {
+            counter.fetch_add(frames as u64, Ordering::Relaxed);
+        }
+        if let Some(counter) = self.shard_batches.get(shard) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The latency histogram (e.g. for custom quantiles).
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// Folds all counters into a plain snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            session_steps: self.session_steps.load(Ordering::Relaxed),
+            latency_mean: self.latency.mean(),
+            latency_p50: self.latency.quantile(0.50),
+            latency_p99: self.latency.quantile(0.99),
+            shard_frames: self
+                .shard_frames
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            shard_batches: self
+                .shard_batches
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServeMetrics`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests accepted by the front end.
+    pub requests: u64,
+    /// Frames across all accepted requests.
+    pub frames: u64,
+    /// Micro-batches flushed to the execution engine.
+    pub batches: u64,
+    /// Requests that completed with an error.
+    pub errors: u64,
+    /// Streaming tracker-session steps served.
+    pub session_steps: u64,
+    /// Mean queue-to-response latency.
+    pub latency_mean: Duration,
+    /// Median queue-to-response latency (bucket upper bound).
+    pub latency_p50: Duration,
+    /// 99th-percentile queue-to-response latency (bucket upper bound).
+    pub latency_p99: Duration,
+    /// Frames executed per shard.
+    pub shard_frames: Vec<u64>,
+    /// Shard batches executed per shard.
+    pub shard_batches: Vec<u64>,
+}
+
+impl MetricsSnapshot {
+    /// Each shard's share of all executed frames (empty when no frames
+    /// have been executed) — the shard-utilization figure.
+    pub fn shard_utilization(&self) -> Vec<f64> {
+        let total: u64 = self.shard_frames.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.shard_frames.len()];
+        }
+        self.shard_frames
+            .iter()
+            .map(|&f| f as f64 / total as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        for us in [3u64, 30, 300, 3_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 4);
+        // p50 falls in the 2nd sample's bucket (30 µs → 50 µs bound).
+        assert_eq!(h.quantile(0.5), Duration::from_micros(50));
+        // p99 falls in the last sample's bucket (3 ms → 5 ms bound).
+        assert_eq!(h.quantile(0.99), Duration::from_millis(5));
+        // Quantiles are monotone in q.
+        assert!(h.quantile(0.25) <= h.quantile(0.75));
+        assert!(h.mean() > Duration::ZERO);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_reports_last_bound() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_secs(100));
+        assert_eq!(h.quantile(1.0), Duration::from_secs(10));
+    }
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = ServeMetrics::new(2);
+        m.record_request(10);
+        m.record_request(6);
+        m.record_batch();
+        m.record_shard(0, 12);
+        m.record_shard(1, 4);
+        m.record_shard(9, 1); // out of range: ignored
+        m.record_latency(Duration::from_micros(40));
+        m.record_error();
+        m.record_session_step();
+        let s = m.snapshot();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.frames, 16);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.session_steps, 1);
+        assert_eq!(s.shard_frames, vec![12, 4]);
+        assert_eq!(s.shard_batches, vec![1, 1]);
+        let util = s.shard_utilization();
+        assert!((util[0] - 0.75).abs() < 1e-12);
+        assert!((util.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(s.latency_p50, Duration::from_micros(50));
+    }
+
+    #[test]
+    fn zero_utilization_is_well_defined() {
+        let s = ServeMetrics::new(3).snapshot();
+        assert_eq!(s.shard_utilization(), vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,293 @@
+//! The deployment registry: named, versioned deployments with lock-light
+//! hot swap.
+//!
+//! A serving fleet hosts many tenants (chips, dies, product SKUs), each
+//! with its own fitted [`Deployment`] that gets re-trained and re-published
+//! over time. [`DeploymentRegistry`] owns those artifacts behind `Arc`s:
+//! resolving a deployment clones an `Arc` under a briefly-held read lock,
+//! so publishing a new version never stalls in-flight requests — they keep
+//! serving from the version they resolved at submit time, and the old
+//! artifact is freed when its last in-flight holder drops.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use eigenmaps_core::Deployment;
+
+use crate::error::{Result, ServeError};
+
+/// One tenant's published versions, newest last.
+#[derive(Debug, Default)]
+struct Tenant {
+    /// Monotonic version counter; never reused, even after retirement.
+    next_version: u32,
+    /// Live `(version, artifact)` pairs, ascending by version.
+    versions: Vec<(u32, Arc<Deployment>)>,
+}
+
+/// A named, versioned store of serving [`Deployment`]s.
+///
+/// See the [module docs](self) for the concurrency contract. All methods
+/// take `&self`; share the registry between threads as an
+/// `Arc<DeploymentRegistry>`.
+#[derive(Debug, Default)]
+pub struct DeploymentRegistry {
+    tenants: RwLock<HashMap<String, Tenant>>,
+}
+
+impl DeploymentRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        DeploymentRegistry::default()
+    }
+
+    /// Publishes `deployment` as the newest version of `name`, returning
+    /// the version number (1 for a new name, monotonically increasing
+    /// thereafter). Existing versions stay resolvable until retired.
+    pub fn publish(&self, name: &str, deployment: Deployment) -> u32 {
+        let mut tenants = self.tenants.write().expect("registry lock poisoned");
+        let tenant = tenants.entry(name.to_string()).or_default();
+        tenant.next_version += 1;
+        let version = tenant.next_version;
+        tenant.versions.push((version, Arc::new(deployment)));
+        version
+    }
+
+    /// Publishes a deployment from its serialized `EMDEPLOY` bytes (the
+    /// design-time artifact shipped to the fleet), re-factoring the solver
+    /// on load.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Deployment::from_bytes`] failures for malformed bytes.
+    pub fn publish_bytes(&self, name: &str, bytes: &[u8]) -> Result<u32> {
+        let deployment = Deployment::from_bytes(bytes)?;
+        Ok(self.publish(name, deployment))
+    }
+
+    /// Resolves the newest live version of `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownDeployment`] if the name has no live versions.
+    pub fn latest(&self, name: &str) -> Result<Arc<Deployment>> {
+        self.resolve(name, None).map(|(_, d)| d)
+    }
+
+    /// Resolves the newest live version of `name` together with its
+    /// version number (what a request pins at submit time).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownDeployment`] if the name has no live versions.
+    pub fn latest_versioned(&self, name: &str) -> Result<(u32, Arc<Deployment>)> {
+        self.resolve(name, None)
+    }
+
+    /// Resolves a specific live version of `name`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::UnknownDeployment`] for an unknown name.
+    /// * [`ServeError::UnknownVersion`] if that version is retired or was
+    ///   never published.
+    pub fn version(&self, name: &str, version: u32) -> Result<Arc<Deployment>> {
+        self.resolve(name, Some(version)).map(|(_, d)| d)
+    }
+
+    fn resolve(&self, name: &str, version: Option<u32>) -> Result<(u32, Arc<Deployment>)> {
+        let tenants = self.tenants.read().expect("registry lock poisoned");
+        let tenant = tenants
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownDeployment {
+                name: name.to_string(),
+            })?;
+        match version {
+            None => tenant
+                .versions
+                .last()
+                .map(|(v, d)| (*v, Arc::clone(d)))
+                .ok_or_else(|| ServeError::UnknownDeployment {
+                    name: name.to_string(),
+                }),
+            Some(wanted) => tenant
+                .versions
+                .iter()
+                .find(|(v, _)| *v == wanted)
+                .map(|(v, d)| (*v, Arc::clone(d)))
+                .ok_or_else(|| ServeError::UnknownVersion {
+                    name: name.to_string(),
+                    version: wanted,
+                }),
+        }
+    }
+
+    /// Retires one version of `name`. In-flight requests that already
+    /// resolved it keep their `Arc`; the artifact is freed when the last
+    /// holder drops. Retiring the final version makes the name
+    /// unresolvable, but its version counter survives — a later
+    /// re-publish continues the sequence, so a version number never
+    /// refers to two different artifacts within a registry's lifetime.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::UnknownDeployment`] for an unknown name.
+    /// * [`ServeError::UnknownVersion`] for a version not currently live.
+    pub fn retire(&self, name: &str, version: u32) -> Result<()> {
+        let mut tenants = self.tenants.write().expect("registry lock poisoned");
+        let tenant = tenants
+            .get_mut(name)
+            .ok_or_else(|| ServeError::UnknownDeployment {
+                name: name.to_string(),
+            })?;
+        let idx = tenant
+            .versions
+            .iter()
+            .position(|(v, _)| *v == version)
+            .ok_or_else(|| ServeError::UnknownVersion {
+                name: name.to_string(),
+                version,
+            })?;
+        tenant.versions.remove(idx);
+        // The (now possibly version-less) tenant is kept: it holds the
+        // monotonic version counter.
+        Ok(())
+    }
+
+    /// All names with at least one live version, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let tenants = self.tenants.read().expect("registry lock poisoned");
+        let mut names: Vec<String> = tenants
+            .iter()
+            .filter(|(_, t)| !t.versions.is_empty())
+            .map(|(name, _)| name.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Live version numbers of `name`, ascending.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownDeployment`] for a name with no live versions.
+    pub fn versions(&self, name: &str) -> Result<Vec<u32>> {
+        let tenants = self.tenants.read().expect("registry lock poisoned");
+        tenants
+            .get(name)
+            .filter(|t| !t.versions.is_empty())
+            .map(|t| t.versions.iter().map(|(v, _)| *v).collect())
+            .ok_or_else(|| ServeError::UnknownDeployment {
+                name: name.to_string(),
+            })
+    }
+
+    /// Number of names with at least one live version.
+    pub fn len(&self) -> usize {
+        self.tenants
+            .read()
+            .expect("registry lock poisoned")
+            .values()
+            .filter(|t| !t.versions.is_empty())
+            .count()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_deployment(k: usize, m: usize) -> Deployment {
+        crate::testutil::two_mode_deployment(6, 6, k, m).0
+    }
+
+    #[test]
+    fn publish_resolve_retire_lifecycle() {
+        let reg = DeploymentRegistry::new();
+        assert!(reg.is_empty());
+        assert!(matches!(
+            reg.latest("chip-a"),
+            Err(ServeError::UnknownDeployment { .. })
+        ));
+
+        let v1 = reg.publish("chip-a", small_deployment(2, 4));
+        let v2 = reg.publish("chip-a", small_deployment(2, 5));
+        assert_eq!((v1, v2), (1, 2));
+        assert_eq!(reg.versions("chip-a").unwrap(), vec![1, 2]);
+        assert_eq!(reg.latest("chip-a").unwrap().m(), 5);
+        assert_eq!(reg.version("chip-a", 1).unwrap().m(), 4);
+        assert_eq!(reg.latest_versioned("chip-a").unwrap().0, 2);
+
+        reg.retire("chip-a", 2).unwrap();
+        assert_eq!(reg.latest("chip-a").unwrap().m(), 4);
+        assert!(matches!(
+            reg.version("chip-a", 2),
+            Err(ServeError::UnknownVersion { version: 2, .. })
+        ));
+        reg.retire("chip-a", 1).unwrap();
+        assert!(reg.is_empty());
+        assert!(reg.names().is_empty());
+        assert!(matches!(
+            reg.latest("chip-a"),
+            Err(ServeError::UnknownDeployment { .. })
+        ));
+        assert!(matches!(
+            reg.versions("chip-a"),
+            Err(ServeError::UnknownDeployment { .. })
+        ));
+        // Version numbers are never reused, even across full retirement:
+        // a re-publish continues the sequence instead of restarting at 1,
+        // so a pinned `version()` always identifies one artifact.
+        assert_eq!(reg.publish("chip-a", small_deployment(2, 4)), 3);
+        assert_eq!(reg.versions("chip-a").unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn hot_swap_does_not_invalidate_in_flight_arcs() {
+        let reg = DeploymentRegistry::new();
+        reg.publish("chip", small_deployment(2, 4));
+        let pinned = reg.latest("chip").unwrap();
+        let readings = vec![50.0; pinned.m()];
+
+        reg.publish("chip", small_deployment(3, 6));
+        reg.retire("chip", 1).unwrap();
+
+        // The pinned artifact still serves, even though it was retired.
+        assert!(pinned.reconstruct(&readings).is_ok());
+        // New resolutions see the new version.
+        assert_eq!(reg.latest("chip").unwrap().m(), 6);
+    }
+
+    #[test]
+    fn publish_bytes_roundtrips_the_artifact() {
+        let reg = DeploymentRegistry::new();
+        let d = small_deployment(2, 4);
+        let bytes = d.to_bytes();
+        reg.publish_bytes("shipped", &bytes).unwrap();
+        let served = reg.latest("shipped").unwrap();
+        assert_eq!(served.m(), d.m());
+        assert_eq!(served.sensors(), d.sensors());
+        assert!(matches!(
+            reg.publish_bytes("bad", b"NOTDEPLOY"),
+            Err(ServeError::Core(_))
+        ));
+        assert!(matches!(
+            reg.latest("bad"),
+            Err(ServeError::UnknownDeployment { .. })
+        ));
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let reg = DeploymentRegistry::new();
+        reg.publish("zeta", small_deployment(2, 4));
+        reg.publish("alpha", small_deployment(2, 4));
+        assert_eq!(reg.names(), vec!["alpha".to_string(), "zeta".to_string()]);
+        assert_eq!(reg.len(), 2);
+    }
+}

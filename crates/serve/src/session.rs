@@ -1,0 +1,174 @@
+//! Streaming tracker sessions: stateful per-tenant telemetry feeds.
+//!
+//! Batch serving treats frames as independent; a DTM loop streaming one
+//! reading vector per control interval wants temporal filtering instead.
+//! A [`TrackerSession`] wraps the deployment's
+//! [`eigenmaps_core::TrackingReconstructor`] with
+//! fleet bookkeeping: the session pins the deployment version it was
+//! opened against (hot swaps don't disturb a live feed), counts the frames
+//! it has served, and reports steps into the shared serving metrics.
+
+use std::sync::Arc;
+
+use eigenmaps_core::{Deployment, ThermalMap, TrackingReconstructor};
+
+use crate::error::Result;
+use crate::metrics::ServeMetrics;
+use crate::registry::DeploymentRegistry;
+
+/// A stateful streaming session over one pinned deployment version.
+///
+/// Open one per sensor-telemetry feed via
+/// [`Server::open_session`](crate::Server::open_session) (or directly with
+/// [`TrackerSession::open`]); feed each interval's readings to
+/// [`TrackerSession::step`].
+#[derive(Debug)]
+pub struct TrackerSession {
+    deployment: Arc<Deployment>,
+    tracker: TrackingReconstructor,
+    name: String,
+    version: u32,
+    frames: u64,
+    metrics: Option<Arc<ServeMetrics>>,
+}
+
+impl TrackerSession {
+    /// Opens a session against the current version of `name` in
+    /// `registry`, with temporal gain `g ∈ (0, 1]` (`g = 1` is the
+    /// memoryless paper behavior).
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::UnknownDeployment`](crate::ServeError::UnknownDeployment)
+    ///   for an unresolved name.
+    /// * [`ServeError::Core`](crate::ServeError::Core) for a gain outside
+    ///   `(0, 1]`.
+    pub fn open(registry: &DeploymentRegistry, name: &str, gain: f64) -> Result<Self> {
+        Self::open_with_metrics(registry, name, gain, None)
+    }
+
+    pub(crate) fn open_with_metrics(
+        registry: &DeploymentRegistry,
+        name: &str,
+        gain: f64,
+        metrics: Option<Arc<ServeMetrics>>,
+    ) -> Result<Self> {
+        let (version, deployment) = registry.latest_versioned(name)?;
+        let tracker = deployment.tracker(gain)?;
+        Ok(TrackerSession {
+            deployment,
+            tracker,
+            name: name.to_string(),
+            version,
+            frames: 0,
+            metrics,
+        })
+    }
+
+    /// Feeds one interval's `M` sensor readings, returning the temporally
+    /// filtered full-map estimate.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Core`](crate::ServeError::Core) for a wrong-length
+    /// readings vector.
+    pub fn step(&mut self, readings: &[f64]) -> Result<ThermalMap> {
+        let map = self.tracker.step(readings)?;
+        self.frames += 1;
+        if let Some(metrics) = &self.metrics {
+            metrics.record_session_step();
+        }
+        Ok(map)
+    }
+
+    /// Forgets the temporal state (e.g. after a telemetry gap), keeping
+    /// the pinned deployment.
+    pub fn reset(&mut self) {
+        self.tracker.reset();
+    }
+
+    /// The deployment artifact this session is pinned to.
+    pub fn deployment(&self) -> &Arc<Deployment> {
+        &self.deployment
+    }
+
+    /// The registry name the session was opened under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The pinned deployment version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Frames served so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ServeError;
+    use eigenmaps_core::prelude::*;
+
+    fn fixture() -> (Arc<DeploymentRegistry>, MapEnsemble) {
+        let (d, ens) = crate::testutil::two_mode_deployment(6, 6, 2, 4);
+        let registry = Arc::new(DeploymentRegistry::new());
+        registry.publish("chip", d);
+        (registry, ens)
+    }
+
+    #[test]
+    fn unit_gain_matches_memoryless_reconstruction() {
+        let (registry, ens) = fixture();
+        let mut session = TrackerSession::open(&registry, "chip", 1.0).unwrap();
+        let deployment = registry.latest("chip").unwrap();
+        for t in [0, 7, 21] {
+            let readings = deployment.sensors().sample(&ens.map(t));
+            let tracked = session.step(&readings).unwrap();
+            let memoryless = deployment.reconstruct(&readings).unwrap();
+            assert_eq!(tracked.as_slice(), memoryless.as_slice());
+        }
+        assert_eq!(session.frames(), 3);
+        assert_eq!(session.version(), 1);
+        assert_eq!(session.name(), "chip");
+    }
+
+    #[test]
+    fn session_survives_hot_swap() {
+        let (registry, ens) = fixture();
+        let mut session = TrackerSession::open(&registry, "chip", 0.5).unwrap();
+        let readings = session.deployment().sensors().sample(&ens.map(3)).to_vec();
+        session.step(&readings).unwrap();
+        // Swap + retire the version the session is pinned to.
+        let retrained = Pipeline::new(&ens)
+            .basis(BasisSpec::EigenExact { k: 3 })
+            .sensors(6)
+            .design()
+            .unwrap();
+        registry.publish("chip", retrained);
+        registry.retire("chip", 1).unwrap();
+        // The live feed keeps serving with its pinned artifact.
+        session.step(&readings).unwrap();
+        assert_eq!(session.version(), 1);
+        assert_eq!(session.frames(), 2);
+        session.reset();
+        assert_eq!(session.frames(), 2);
+    }
+
+    #[test]
+    fn invalid_gain_rejected() {
+        let (registry, _) = fixture();
+        assert!(matches!(
+            TrackerSession::open(&registry, "chip", 0.0),
+            Err(ServeError::Core(_))
+        ));
+        assert!(matches!(
+            TrackerSession::open(&registry, "ghost", 1.0),
+            Err(ServeError::UnknownDeployment { .. })
+        ));
+    }
+}

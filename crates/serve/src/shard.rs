@@ -1,0 +1,286 @@
+//! The sharded execution engine: a fixed pool of worker threads that
+//! splits large reconstruction batches into contiguous frame shards.
+//!
+//! Workers are plain `std::thread`s fed over an mpsc channel (a shared
+//! injector queue — idle workers pull the next shard, so load balances
+//! itself even when shards run at different speeds). Each worker owns a
+//! [`BatchScratch`] reused across every shard it ever processes, so
+//! steady-state serving does no per-batch coefficient-buffer allocation.
+//!
+//! Shard boundaries come from [`eigenmaps_core::shard_spans`]; because the
+//! batch path is bitwise-identical to per-frame reconstruction, stitching
+//! the shard outputs back together in span order reproduces the
+//! single-threaded [`Deployment::reconstruct_batch`] output **bitwise** —
+//! parallelism is free of numerical drift by construction, and the
+//! integration tests assert it.
+
+use std::ops::Range;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use eigenmaps_core::{shard_spans, BatchScratch, CoreError, Deployment, ThermalMap};
+
+use crate::error::{Result, ServeError};
+use crate::metrics::ServeMetrics;
+
+/// One shard of one batch, dispatched to whichever worker is idle.
+struct ShardTask {
+    deployment: Arc<Deployment>,
+    frames: Arc<Vec<Vec<f64>>>,
+    span: Range<usize>,
+    slot: usize,
+    reply: Sender<(usize, std::result::Result<Vec<ThermalMap>, CoreError>)>,
+}
+
+/// A fixed pool of reconstruction workers executing batches as frame
+/// shards. See the [module docs](self) for the design.
+///
+/// The executor is `Send + Sync`; submit from any thread through `&self`.
+/// Dropping it shuts the pool down (workers finish their current shard
+/// and exit).
+#[derive(Debug)]
+pub struct ShardedExecutor {
+    injector: Sender<ShardTask>,
+    workers: Vec<JoinHandle<()>>,
+    metrics: Arc<ServeMetrics>,
+    shards: usize,
+}
+
+impl ShardedExecutor {
+    /// A pool of `shards` workers (`0` is treated as 1) with its own
+    /// metrics hub.
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self::with_metrics(shards, Arc::new(ServeMetrics::new(shards)))
+    }
+
+    /// A pool of `shards` workers recording into a shared metrics hub
+    /// (size its shard counters with `ServeMetrics::new(shards)`).
+    pub fn with_metrics(shards: usize, metrics: Arc<ServeMetrics>) -> Self {
+        let shards = shards.max(1);
+        let (injector, queue) = mpsc::channel::<ShardTask>();
+        let queue = Arc::new(Mutex::new(queue));
+        let workers = (0..shards)
+            .map(|worker| {
+                let queue = Arc::clone(&queue);
+                let metrics = Arc::clone(&metrics);
+                std::thread::Builder::new()
+                    .name(format!("eigenmaps-shard-{worker}"))
+                    .spawn(move || worker_loop(worker, &queue, &metrics))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        ShardedExecutor {
+            injector,
+            workers,
+            metrics,
+            shards,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The metrics hub this executor records shard utilization into.
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
+    }
+
+    /// Reconstructs `frames` against `deployment` across the worker pool,
+    /// returning maps in frame order, **bitwise identical** to
+    /// [`Deployment::reconstruct_batch`] run sequentially.
+    ///
+    /// The frames are shared with the workers via `Arc` (no copying); the
+    /// batch is split into at most [`ShardedExecutor::shards`] contiguous
+    /// spans and reassembled in span order.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Core`] if any frame has the wrong reading count
+    ///   (checked up front) or reconstruction fails; the lowest-numbered
+    ///   failing shard's error is reported.
+    /// * [`ServeError::Terminated`] if the worker pool has died.
+    pub fn execute(
+        &self,
+        deployment: &Arc<Deployment>,
+        frames: &Arc<Vec<Vec<f64>>>,
+    ) -> Result<Vec<ThermalMap>> {
+        let m = deployment.m();
+        for readings in frames.iter() {
+            if readings.len() != m {
+                return Err(ServeError::Core(CoreError::ShapeMismatch {
+                    context: "sharded execute readings",
+                    expected: m,
+                    found: readings.len(),
+                }));
+            }
+        }
+        if frames.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        let spans = shard_spans(frames.len(), self.shards);
+        let (reply, results) = mpsc::channel();
+        for (slot, span) in spans.iter().cloned().enumerate() {
+            let task = ShardTask {
+                deployment: Arc::clone(deployment),
+                frames: Arc::clone(frames),
+                span,
+                slot,
+                reply: reply.clone(),
+            };
+            self.injector
+                .send(task)
+                .map_err(|_| ServeError::Terminated {
+                    context: "shard queue closed",
+                })?;
+        }
+        drop(reply);
+
+        let mut slots: Vec<Option<std::result::Result<Vec<ThermalMap>, CoreError>>> =
+            (0..spans.len()).map(|_| None).collect();
+        for _ in 0..spans.len() {
+            let (slot, outcome) = results.recv().map_err(|_| ServeError::Terminated {
+                context: "shard worker died mid-batch",
+            })?;
+            slots[slot] = Some(outcome);
+        }
+
+        let mut maps = Vec::with_capacity(frames.len());
+        for outcome in slots {
+            let shard_maps = outcome
+                .expect("every slot replied")
+                .map_err(ServeError::Core)?;
+            maps.extend(shard_maps);
+        }
+        Ok(maps)
+    }
+
+    /// [`ShardedExecutor::execute`] for caller-owned frames (wraps them in
+    /// an `Arc` for the workers).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ShardedExecutor::execute`].
+    pub fn execute_owned(
+        &self,
+        deployment: &Arc<Deployment>,
+        frames: Vec<Vec<f64>>,
+    ) -> Result<Vec<ThermalMap>> {
+        self.execute(deployment, &Arc::new(frames))
+    }
+}
+
+impl Drop for ShardedExecutor {
+    fn drop(&mut self) {
+        // Replace the injector with a dead channel so workers' recv fails
+        // once the queue drains, then reap them.
+        let (dead, _) = mpsc::channel();
+        drop(std::mem::replace(&mut self.injector, dead));
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(worker: usize, queue: &Mutex<Receiver<ShardTask>>, metrics: &ServeMetrics) {
+    // One scratch per worker, reused across every shard this thread ever
+    // runs — the steady-state serving path allocates only output maps.
+    let mut scratch = BatchScratch::new();
+    loop {
+        // The guard spans the blocking recv() — idle workers take turns
+        // waiting on the mutex — but it drops before the reconstruction
+        // below, so work never serializes. Don't add work inside this
+        // match scrutinee: it would run under the queue lock.
+        let task = match queue.lock() {
+            Ok(rx) => match rx.recv() {
+                Ok(task) => task,
+                Err(_) => return, // executor dropped: drain finished
+            },
+            Err(_) => return, // poisoned: another worker panicked
+        };
+        let outcome = task
+            .deployment
+            .reconstruct_batch_with(&task.frames[task.span.clone()], &mut scratch);
+        metrics.record_shard(worker, task.span.len());
+        // The submitter may have given up (executor error path); a closed
+        // reply channel is not the worker's problem.
+        let _ = task.reply.send((task.slot, outcome));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deployment_and_frames(frames: usize) -> (Arc<Deployment>, Arc<Vec<Vec<f64>>>) {
+        let (d, ens) = crate::testutil::two_mode_deployment(8, 8, 2, 5);
+        let frames: Vec<Vec<f64>> = (0..frames)
+            .map(|t| d.sensors().sample(&ens.map(t % ens.len())))
+            .collect();
+        (Arc::new(d), Arc::new(frames))
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let (d, _) = deployment_and_frames(0);
+        let ex = ShardedExecutor::new(3);
+        assert!(ex.execute(&d, &Arc::new(Vec::new())).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_frame_length_rejected_up_front() {
+        let (d, _) = deployment_and_frames(0);
+        let ex = ShardedExecutor::new(2);
+        let frames = Arc::new(vec![vec![1.0, 2.0]]);
+        assert!(matches!(
+            ex.execute(&d, &frames),
+            Err(ServeError::Core(CoreError::ShapeMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let ex = ShardedExecutor::new(0);
+        assert_eq!(ex.shards(), 1);
+        let (d, frames) = deployment_and_frames(7);
+        assert_eq!(ex.execute(&d, &frames).unwrap().len(), 7);
+    }
+
+    #[test]
+    fn utilization_spreads_across_workers() {
+        let ex = ShardedExecutor::new(4);
+        let (d, frames) = deployment_and_frames(64);
+        for _ in 0..8 {
+            ex.execute(&d, &frames).unwrap();
+        }
+        let snap = ex.metrics().snapshot();
+        assert_eq!(snap.shard_frames.iter().sum::<u64>(), 8 * 64);
+        // The shared injector queue lets any worker pull any shard, so no
+        // per-worker guarantee exists — but all frames are accounted for
+        // and the batch counter ticks once per executed shard.
+        assert_eq!(snap.shard_batches.iter().sum::<u64>(), 8 * 4);
+    }
+
+    #[test]
+    fn concurrent_submitters_share_the_pool() {
+        let ex = Arc::new(ShardedExecutor::new(3));
+        let (d, frames) = deployment_and_frames(41);
+        let sequential = d.reconstruct_batch(&frames).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (ex, d, frames) = (Arc::clone(&ex), Arc::clone(&d), Arc::clone(&frames));
+                std::thread::spawn(move || ex.execute(&d, &frames).unwrap())
+            })
+            .collect();
+        for h in handles {
+            let maps = h.join().unwrap();
+            for (a, b) in sequential.iter().zip(maps.iter()) {
+                assert_eq!(a.as_slice(), b.as_slice());
+            }
+        }
+    }
+}

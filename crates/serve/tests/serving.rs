@@ -1,0 +1,156 @@
+//! Integration tests for the serving runtime, centered on the
+//! bitwise-identity contract: no matter how a batch is sharded, batched or
+//! micro-batched, the output must equal the single-threaded
+//! `Deployment::reconstruct_batch` (itself bitwise-identical to per-frame
+//! reconstruction) bit for bit.
+
+use std::sync::Arc;
+
+use eigenmaps_core::prelude::*;
+use eigenmaps_serve::prelude::*;
+
+/// A deployment over a synthetic three-mode family plus `frames` noisy
+/// reading vectors (deterministic, irrational-period modes so frames are
+/// all distinct).
+fn fixture(frames: usize) -> (Arc<Deployment>, Arc<Vec<Vec<f64>>>) {
+    let maps: Vec<ThermalMap> = (0..80)
+        .map(|t| {
+            let a = (t as f64 / 5.0).sin();
+            let b = (t as f64 / 3.0).cos();
+            let c2 = (t as f64 / 7.3).sin();
+            ThermalMap::from_fn(9, 7, |r, c| {
+                55.0 + a * r as f64 - b * c as f64 + 0.3 * c2 * ((r * c) as f64).sqrt()
+            })
+        })
+        .collect();
+    let ens = MapEnsemble::from_maps(&maps).unwrap();
+    let deployment = Pipeline::new(&ens)
+        .basis(BasisSpec::EigenExact { k: 3 })
+        .sensors(6)
+        .design()
+        .unwrap();
+    let frames: Vec<Vec<f64>> = (0..frames)
+        .map(|t| {
+            let mut readings = deployment.sensors().sample(&ens.map(t % ens.len()));
+            // Deterministic per-frame perturbation so no two frames match.
+            for (i, x) in readings.iter_mut().enumerate() {
+                *x += ((t * 31 + i * 7) as f64 * 0.618).sin() * 0.05;
+            }
+            readings
+        })
+        .collect();
+    (Arc::new(deployment), Arc::new(frames))
+}
+
+#[test]
+fn sharded_execution_is_bitwise_identical_across_odd_batch_sizes() {
+    for shard_count in [1usize, 2, 3, 4, 8] {
+        let executor = ShardedExecutor::new(shard_count);
+        // The ISSUE-mandated awkward sizes: 1, shard_count−1,
+        // shard_count+1, and a 1000+ batch, plus boundary-stressing
+        // neighbors.
+        let sizes = [
+            1,
+            shard_count.saturating_sub(1),
+            shard_count + 1,
+            2 * shard_count + 1,
+            37,
+            1031,
+        ];
+        for &size in &sizes {
+            let (deployment, frames) = fixture(size);
+            let sequential = deployment.reconstruct_batch(&frames).unwrap();
+            let sharded = executor.execute(&deployment, &frames).unwrap();
+            assert_eq!(
+                sharded.len(),
+                sequential.len(),
+                "shards={shard_count} size={size}"
+            );
+            for (i, (a, b)) in sequential.iter().zip(sharded.iter()).enumerate() {
+                assert_eq!(
+                    a.as_slice(),
+                    b.as_slice(),
+                    "bitwise divergence at frame {i} (shards={shard_count}, size={size})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_execution_matches_per_frame_reconstruction() {
+    let executor = ShardedExecutor::new(4);
+    let (deployment, frames) = fixture(129);
+    let sharded = executor.execute(&deployment, &frames).unwrap();
+    for (frame, map) in frames.iter().zip(sharded.iter()) {
+        let single = deployment.reconstruct(frame).unwrap();
+        assert_eq!(single.as_slice(), map.as_slice());
+    }
+}
+
+#[test]
+fn full_stack_registry_server_roundtrip() {
+    let (deployment, frames) = fixture(200);
+    let registry = Arc::new(DeploymentRegistry::new());
+    registry
+        .publish_bytes("t1", &deployment.to_bytes())
+        .unwrap();
+    let server = Server::new(Arc::clone(&registry), 3);
+
+    // Split the traffic into uneven requests; answers must equal the
+    // sequential batch over the concatenation.
+    let sequential = deployment.reconstruct_batch(&frames).unwrap();
+    let mut tickets = Vec::new();
+    let mut offsets = Vec::new();
+    let mut start = 0usize;
+    for chunk in [1usize, 9, 3, 57, 30, 100] {
+        let end = (start + chunk).min(frames.len());
+        tickets.push(
+            server
+                .submit(ServeRequest::new("t1", frames[start..end].to_vec()))
+                .unwrap(),
+        );
+        offsets.push(start..end);
+        start = end;
+    }
+    for (ticket, span) in tickets.into_iter().zip(offsets) {
+        let maps = ticket.wait().unwrap();
+        for (map, truth) in maps.iter().zip(&sequential[span]) {
+            assert_eq!(map.as_slice(), truth.as_slice());
+        }
+    }
+
+    let snapshot = server.metrics();
+    assert_eq!(snapshot.requests, 6);
+    assert_eq!(snapshot.frames, 200);
+    assert!(snapshot.batches >= 1);
+    assert_eq!(snapshot.errors, 0);
+    assert_eq!(snapshot.shard_frames.iter().sum::<u64>(), 200);
+}
+
+#[test]
+fn registry_hot_swap_under_concurrent_serving() {
+    let (deployment, frames) = fixture(64);
+    let registry = Arc::new(DeploymentRegistry::new());
+    registry.publish("t1", (*deployment).clone());
+    let server = Arc::new(Server::new(Arc::clone(&registry), 2));
+
+    let serving = {
+        let (server, frames) = (Arc::clone(&server), Arc::clone(&frames));
+        std::thread::spawn(move || {
+            for _ in 0..20 {
+                // Versions are pinned at submit: every response has the
+                // frame count of the request even while swaps happen.
+                let maps = server.serve("t1", frames.to_vec()).unwrap();
+                assert_eq!(maps.len(), 64);
+            }
+        })
+    };
+    for _ in 0..10 {
+        let v = registry.publish("t1", (*deployment).clone());
+        if v > 2 {
+            registry.retire("t1", v - 2).unwrap();
+        }
+    }
+    serving.join().unwrap();
+}

@@ -2,7 +2,7 @@
 //!
 //! The build environment has no registry access, so the property tests link
 //! against this minimal implementation instead of the real `proptest`. It
-//! supports range strategies, tuple strategies, [`Strategy::prop_map`], the
+//! supports range strategies, tuple strategies, [`strategy::Strategy::prop_map`], the
 //! `proptest!` macro with an optional `#![proptest_config(..)]` header, and
 //! the `prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros. Cases are
 //! generated from a deterministic per-test seed; there is **no shrinking** —
@@ -131,7 +131,7 @@ pub mod strategy {
         )*};
     }
 
-    impl_int_ranges!(usize, u64, u32, i64);
+    impl_int_ranges!(usize, u64, u32, u8, i64);
 
     impl Strategy for core::ops::Range<f64> {
         type Value = f64;

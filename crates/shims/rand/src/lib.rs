@@ -90,7 +90,7 @@ macro_rules! impl_int_range {
     )*};
 }
 
-impl_int_range!(usize, u64, u32, i64);
+impl_int_range!(usize, u64, u32, u8, i64);
 
 impl SampleRange for core::ops::Range<f64> {
     type Output = f64;

@@ -1,0 +1,161 @@
+//! A miniature serving fleet: registry, hot swap, micro-batched traffic
+//! and streaming telemetry sessions on the sharded runtime.
+//!
+//! The scenario: one design-time process fits deployments for two chip
+//! SKUs and ships the `EMDEPLOY` artifacts; a serving process publishes
+//! them in a [`DeploymentRegistry`], starts a sharded [`Server`], and
+//! handles concurrent client traffic — including a mid-traffic hot swap to
+//! a retrained deployment, which never disturbs in-flight requests or open
+//! sessions.
+//!
+//! ```text
+//! cargo run --release --example serving_fleet
+//! ```
+
+use std::sync::Arc;
+
+use eigenmaps::core::prelude::*;
+use eigenmaps::floorplan::prelude::*;
+use eigenmaps::serve::{DeploymentRegistry, ServeRequest, Server};
+
+const ROWS: usize = 14;
+const COLS: usize = 15;
+
+type AnyResult<T> = std::result::Result<T, Box<dyn std::error::Error>>;
+
+fn design(sensors: usize, seed: u64) -> AnyResult<(Deployment, MapEnsemble)> {
+    let dataset = DatasetBuilder::ultrasparc_t1()
+        .grid(ROWS, COLS)
+        .snapshots(160)
+        .settle_steps(30)
+        .seed(seed)
+        .build()?;
+    let deployment = Pipeline::new(dataset.ensemble())
+        .basis(BasisSpec::Eigen { k: sensors })
+        .sensors(sensors)
+        .noise(NoiseSpec::sigma(0.2))
+        .design()?;
+    Ok((deployment, dataset.ensemble().clone()))
+}
+
+fn main() -> AnyResult<()> {
+    // ---- design time: two SKUs, artifacts shipped as bytes ---------------
+    println!("[design] fitting deployments for two chip SKUs…");
+    let (alpha_v1, alpha_maps) = design(8, 21)?;
+    let (beta_v1, beta_maps) = design(10, 77)?;
+    println!(
+        "[design] sku-alpha: {} sensors, κ = {:.2}; sku-beta: {} sensors, κ = {:.2}",
+        alpha_v1.m(),
+        alpha_v1.condition_number(),
+        beta_v1.m(),
+        beta_v1.condition_number()
+    );
+
+    // ---- serving fleet ---------------------------------------------------
+    let shards = std::thread::available_parallelism().map_or(2, |p| p.get());
+    let registry = Arc::new(DeploymentRegistry::new());
+    registry.publish_bytes("sku-alpha", &alpha_v1.to_bytes())?;
+    registry.publish_bytes("sku-beta", &beta_v1.to_bytes())?;
+    let server = Arc::new(Server::new(Arc::clone(&registry), shards));
+    println!(
+        "[serve] fleet up: {} tenants, {shards} shards",
+        registry.len()
+    );
+
+    // ---- concurrent client traffic ---------------------------------------
+    let mut noise = NoiseModel::new(0xF1EE7);
+    let alpha_frames: Vec<Vec<f64>> = (0..alpha_maps.len())
+        .map(|t| noise.apply_sigma(&alpha_v1.sensors().sample(&alpha_maps.map(t)), 0.2))
+        .collect();
+    let beta_frames: Vec<Vec<f64>> = (0..beta_maps.len())
+        .map(|t| noise.apply_sigma(&beta_v1.sensors().sample(&beta_maps.map(t)), 0.2))
+        .collect();
+
+    let clients: Vec<_> = [("sku-alpha", alpha_frames), ("sku-beta", beta_frames)]
+        .into_iter()
+        .map(|(name, frames)| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                // Many small requests, submitted in windows before waiting
+                // so several sit in the queue at once — that's what the
+                // micro-batcher coalesces (submit-then-wait one at a time
+                // would leave it nothing to merge).
+                let mut served = 0usize;
+                let chunks: Vec<&[Vec<f64>]> = frames.chunks(4).collect();
+                for window in chunks.chunks(10) {
+                    let tickets: Vec<_> = window
+                        .iter()
+                        .map(|chunk| {
+                            server
+                                .submit(ServeRequest::new(name, chunk.to_vec()))
+                                .expect("submit")
+                        })
+                        .collect();
+                    served += tickets
+                        .into_iter()
+                        .map(|t| t.wait().expect("serve").len())
+                        .sum::<usize>();
+                }
+                (name, served)
+            })
+        })
+        .collect();
+
+    // Mid-traffic hot swap: refit sku-alpha's basis on a fresh dataset and
+    // retire v1. The chip is taped out, so the retrain keeps the physical
+    // sensor layout (`AllocatorSpec::Fixed`) — in-flight readings stay
+    // valid — and queued requests finish on the version they pinned at
+    // submit.
+    let retrain = DatasetBuilder::ultrasparc_t1()
+        .grid(ROWS, COLS)
+        .snapshots(160)
+        .settle_steps(30)
+        .seed(22)
+        .build()?;
+    let alpha_v2 = Pipeline::new(retrain.ensemble())
+        .basis(BasisSpec::Eigen { k: 8 })
+        .allocator(AllocatorSpec::Fixed(alpha_v1.sensors().clone()))
+        .noise(NoiseSpec::sigma(0.2))
+        .design()?;
+    let v2 = registry.publish("sku-alpha", alpha_v2);
+    registry.retire("sku-alpha", 1)?;
+    println!("[serve] hot-swapped sku-alpha → v{v2} (v1 retired) while traffic was in flight");
+
+    for client in clients {
+        let (name, served) = client.join().expect("client thread");
+        println!("[serve] {name}: {served} frames reconstructed");
+    }
+
+    // ---- streaming telemetry session --------------------------------------
+    let mut session = server.open_session("sku-alpha", 0.85)?;
+    let live = registry.latest("sku-alpha")?;
+    for t in 0..40 {
+        let readings = noise.apply_sigma(&live.sensors().sample(&alpha_maps.map(t)), 0.2);
+        let estimate = session.step(&readings)?;
+        if t % 10 == 0 {
+            let (r, c, peak) = estimate.hotspot();
+            println!("[session] t={t:>2} hotspot {peak:6.2} °C at ({r}, {c})");
+        }
+    }
+    println!(
+        "[session] {} frames served on {}@v{}",
+        session.frames(),
+        session.name(),
+        session.version()
+    );
+
+    // ---- metrics ----------------------------------------------------------
+    let snap = server.metrics();
+    println!(
+        "[metrics] {} requests / {} frames in {} micro-batches; p50 {:?}, p99 {:?}",
+        snap.requests, snap.frames, snap.batches, snap.latency_p50, snap.latency_p99
+    );
+    println!(
+        "[metrics] shard utilization: {:?}",
+        snap.shard_utilization()
+            .iter()
+            .map(|u| format!("{:.0}%", u * 100.0))
+            .collect::<Vec<_>>()
+    );
+    Ok(())
+}

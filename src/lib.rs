@@ -2,7 +2,8 @@
 //!
 //! A reproduction of *“EigenMaps: Algorithms for Optimal Thermal Maps
 //! Extraction and Sensor Placement on Multicore Processors”* (Ranieri,
-//! Vincenzi, Chebira, Atienza, Vetterli — DAC 2012).
+//! Vincenzi, Chebira, Atienza, Vetterli — DAC 2012), grown into a
+//! production-shaped serving stack.
 //!
 //! This facade crate re-exports the workspace members:
 //!
@@ -15,22 +16,36 @@
 //!   [`core::Deployment`] lifecycle API: EigenMaps basis extraction,
 //!   least-squares thermal map reconstruction, greedy sensor allocation,
 //!   and the k-LSE / energy-center baselines.
+//! * [`serve`] — the serving runtime on top of `Deployment`: a versioned
+//!   [`serve::DeploymentRegistry`] with hot swap, the sharded
+//!   multi-threaded [`serve::ShardedExecutor`], the micro-batching
+//!   [`serve::Server`] front end, streaming [`serve::TrackerSession`]s and
+//!   serving metrics.
 //!
-//! ## Quickstart
+//! ## The lifecycle: design time → artifact → serving fleet
 //!
-//! The workflow is a two-phase contract. At **design time**,
-//! [`core::Pipeline`] turns an ensemble of simulated thermal maps into a
-//! [`core::Deployment`] — basis, sensor placement and prefactored solver in
-//! one serializable artifact. At **run time** the deployment turns each
-//! interval's sensor readings into a full thermal map, one frame at a time
-//! or batched for serving throughput.
+//! The workflow is a three-stage contract:
+//!
+//! 1. **Design time** — [`core::Pipeline`] turns an ensemble of simulated
+//!    thermal maps into a [`core::Deployment`]: fitted basis, sensor
+//!    placement and prefactored solver in one artifact.
+//! 2. **Artifact** — `Deployment::to_bytes`/`save` serializes it to the
+//!    versioned `EMDEPLOY` format (shared byte codec in
+//!    [`core::codec`]), shipped to every runtime monitor.
+//! 3. **Serving fleet** — [`serve::DeploymentRegistry`] hosts the
+//!    artifacts by name and version; a [`serve::Server`] micro-batches
+//!    incoming requests and fans each batch out across the
+//!    [`serve::ShardedExecutor`] worker pool, bitwise-identical to the
+//!    sequential path no matter the shard count.
 //!
 //! ```
+//! use std::sync::Arc;
 //! use eigenmaps::core::prelude::*;
 //! use eigenmaps::floorplan::prelude::*;
+//! use eigenmaps::serve::{DeploymentRegistry, ServeRequest, Server};
 //!
 //! # fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
-//! // Design time: simulate a small dataset and design the deployment.
+//! // 1. Design time: simulate a small dataset and design the deployment.
 //! let dataset = DatasetBuilder::ultrasparc_t1()
 //!     .grid(14, 15)
 //!     .snapshots(120)
@@ -42,29 +57,39 @@
 //!     .allocator(AllocatorSpec::Greedy(GreedyAllocator::new()))
 //!     .sensors(8)
 //!     .design()?;
-//! assert!(deployment.condition_number().is_finite());
 //!
-//! // Run time: reconstruct thermal maps from the 8 sensor readings.
-//! let map = dataset.ensemble().map(100);
-//! let readings = deployment.sensors().sample(&map);
-//! let estimate = deployment.reconstruct(&readings)?;
-//! assert!(map.mse(&estimate) < 1.0);
+//! // 2. Artifact: serialize for the fleet (or `deployment.save(path)`).
+//! let artifact = deployment.to_bytes();
 //!
-//! // Batched serving path (bitwise-identical, faster for many frames).
+//! // 3. Serving fleet: registry + sharded, micro-batching server.
+//! let registry = Arc::new(DeploymentRegistry::new());
+//! registry.publish_bytes("t1-chip", &artifact)?;
+//! let server = Server::new(Arc::clone(&registry), 4);
+//!
 //! let frames: Vec<Vec<f64>> = (0..32)
 //!     .map(|t| deployment.sensors().sample(&dataset.ensemble().map(t)))
 //!     .collect();
-//! let maps = deployment.reconstruct_batch(&frames)?;
+//! let maps = server.submit(ServeRequest::new("t1-chip", frames))?.wait()?;
 //! assert_eq!(maps.len(), 32);
+//!
+//! // Streaming telemetry gets a stateful, temporally filtered session.
+//! let mut session = server.open_session("t1-chip", 0.9)?;
+//! let map = session.step(&deployment.sensors().sample(&dataset.ensemble().map(100)))?;
+//! assert!(map.max() > 0.0);
+//! println!("p99 = {:?}", server.metrics().latency_p99);
 //! # Ok(())
 //! # }
 //! ```
 //!
-//! The pre-`Pipeline` entry points (`EigenBasis::fit` → `allocate` →
-//! `Reconstructor::new`) remain available for manual wiring but are
-//! deprecated for application code; see `eigenmaps::core` for details.
+//! Single-process callers that don't need the fleet layer can stay on
+//! [`core::Deployment::reconstruct`] /
+//! [`core::Deployment::reconstruct_batch`] directly. The pre-`Pipeline`
+//! entry points (`EigenBasis::fit` → `allocate` → `Reconstructor::new`)
+//! remain available for manual wiring but are deprecated for application
+//! code; see `eigenmaps::core` for details.
 
 pub use eigenmaps_core as core;
 pub use eigenmaps_floorplan as floorplan;
 pub use eigenmaps_linalg as linalg;
+pub use eigenmaps_serve as serve;
 pub use eigenmaps_thermal as thermal;

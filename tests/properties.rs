@@ -135,6 +135,92 @@ proptest! {
     }
 
     #[test]
+    fn emdeploy_roundtrips_bitwise_through_the_codec(
+        ens in ensemble_strategy(),
+        m_extra in 0usize..3,
+        noise_db in 10.0f64..40.0,
+    ) {
+        let k = 2.min(ens.cells());
+        let m = k + m_extra;
+        prop_assume!(m <= ens.cells());
+        let deployment = Pipeline::new(&ens)
+            .basis(BasisSpec::EigenExact { k })
+            .sensors(m)
+            .noise(NoiseSpec::snr_db(noise_db))
+            .design()
+            .unwrap();
+        let bytes = deployment.to_bytes();
+        let back = Deployment::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.k(), deployment.k());
+        prop_assert_eq!(back.m(), deployment.m());
+        prop_assert_eq!(back.noise(), deployment.noise());
+        prop_assert_eq!(back.sensors(), deployment.sensors());
+        prop_assert_eq!(back.basis().matrix().as_slice(), deployment.basis().matrix().as_slice());
+        // Round-tripped deployments reconstruct bitwise-identically.
+        for t in [0usize, 31, 59] {
+            let readings = deployment.sensors().sample(&ens.map(t));
+            let a = deployment.reconstruct(&readings).unwrap();
+            let b = back.reconstruct(&readings).unwrap();
+            prop_assert_eq!(a.as_slice(), b.as_slice());
+        }
+        // Serialization is deterministic.
+        prop_assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn truncated_emdeploy_bytes_always_rejected(
+        ens in ensemble_strategy(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let k = 2.min(ens.cells());
+        let deployment = Pipeline::new(&ens)
+            .basis(BasisSpec::EigenExact { k })
+            .sensors(k)
+            .design()
+            .unwrap();
+        let bytes = deployment.to_bytes();
+        // Any strict prefix must fail to parse — the codec bounds-checks
+        // every read and rejects leftover bytes, so there is no length at
+        // which a truncation silently decodes.
+        let cut = ((bytes.len() as f64 * cut_frac) as usize).min(bytes.len() - 1);
+        prop_assert!(matches!(
+            Deployment::from_bytes(&bytes[..cut]),
+            Err(CoreError::Persist { .. })
+        ));
+        // And so must trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0xAB);
+        prop_assert!(matches!(
+            Deployment::from_bytes(&long),
+            Err(CoreError::Persist { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_emdeploy_header_always_rejected(
+        ens in ensemble_strategy(),
+        byte in 0usize..12,
+        flip in 1u8..=255,
+    ) {
+        // Bytes 0..12 are magic (8) and version (4): flipping any bit
+        // pattern there must be caught. (Tag and payload bytes can
+        // legitimately decode to a different valid artifact, so only the
+        // self-describing prefix is asserted unconditionally.)
+        let k = 2.min(ens.cells());
+        let deployment = Pipeline::new(&ens)
+            .basis(BasisSpec::EigenExact { k })
+            .sensors(k)
+            .design()
+            .unwrap();
+        let mut bytes = deployment.to_bytes();
+        bytes[byte] ^= flip;
+        prop_assert!(matches!(
+            Deployment::from_bytes(&bytes),
+            Err(CoreError::Persist { .. })
+        ));
+    }
+
+    #[test]
     fn snr_noise_has_exact_energy_budget(
         snr_db in 5.0f64..45.0,
         seed in 0u64..500,
