@@ -1,0 +1,191 @@
+//! Synthesis-kernel benchmark: the scalar oracle vs the portable lanes
+//! path vs the runtime-dispatched SIMD backend on a 1024-frame workload
+//! (the `sharded_serving` deployment: 28×30 grid, K = M = 16).
+//!
+//! Two levels are measured per backend:
+//!
+//! * `synthesize` — the raw frame-blocked kernel
+//!   (`SynthesisKernel::synthesize_block` over pre-transposed
+//!   coefficient tiles), i.e. exactly the phase-2 work of
+//!   `reconstruct_batch`;
+//! * `reconstruct_batch` — end to end through a forced-backend
+//!   `Deployment`, including the per-frame least-squares solves.
+//!
+//! Before timing, every backend's output is checked against the scalar
+//! oracle (`1e-10` relative; the lanes path bitwise). On hosts where
+//! dispatch selects AVX2, the dispatched raw kernel is asserted to be
+//! ≥ 1.5× faster than the scalar backend; elsewhere the speedup is only
+//! reported.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use eigenmaps_core::kernel::{KernelKind, FRAME_BLOCK};
+use eigenmaps_core::prelude::*;
+use eigenmaps_floorplan::prelude::*;
+
+const FRAMES: usize = 1024;
+
+struct Workload {
+    deployment: Deployment,
+    frames: Vec<Vec<f64>>,
+    /// Per-block transposed coefficient tiles `(alpha_t, bsz)`, exactly
+    /// what `reconstruct_batch` hands the kernel.
+    blocks: Vec<(Vec<f64>, usize)>,
+}
+
+fn setup() -> Workload {
+    let dataset = DatasetBuilder::ultrasparc_t1()
+        .grid(28, 30)
+        .snapshots(300)
+        .settle_steps(20)
+        .seed(42)
+        .build()
+        .expect("dataset generation");
+    let ensemble = dataset.ensemble();
+    let deployment = Pipeline::new(ensemble)
+        .basis(BasisSpec::Eigen { k: 16 })
+        .sensors(16)
+        .design()
+        .expect("design");
+    let mut noise = NoiseModel::new(0x5E41);
+    let frames: Vec<Vec<f64>> = (0..FRAMES)
+        .map(|t| {
+            let map = ensemble.map(t % ensemble.len());
+            noise.apply_sigma(&deployment.sensors().sample(&map), 0.2)
+        })
+        .collect();
+    let k = deployment.k();
+    let blocks = frames
+        .chunks(FRAME_BLOCK)
+        .map(|chunk| {
+            let bsz = chunk.len();
+            let mut alpha_t = vec![0.0; k * bsz];
+            for (f, readings) in chunk.iter().enumerate() {
+                let alpha = deployment.coefficients(readings).expect("solve");
+                for (j, &a) in alpha.iter().enumerate() {
+                    alpha_t[j * bsz + f] = a;
+                }
+            }
+            (alpha_t, bsz)
+        })
+        .collect();
+    Workload {
+        deployment,
+        frames,
+        blocks,
+    }
+}
+
+/// Runs the raw kernel over every block, writing into `cells` (one
+/// `FRAME_BLOCK`-frame scratch tile, reused per block like the batch
+/// path reuses its outputs' cache residency).
+fn run_kernel(w: &Workload, kind: KernelKind, cells: &mut [Vec<f64>]) {
+    let basis = w.deployment.basis().matrix();
+    let mean = w.deployment.basis().mean();
+    let backend = kind.backend();
+    for (alpha_t, bsz) in &w.blocks {
+        let mut outs: Vec<&mut [f64]> =
+            cells[..*bsz].iter_mut().map(|c| c.as_mut_slice()).collect();
+        backend.synthesize_block(basis, mean, alpha_t, *bsz, &mut outs);
+    }
+}
+
+/// Full-batch kernel outputs, frame-major, for the agreement gate.
+fn kernel_outputs(w: &Workload, kind: KernelKind) -> Vec<Vec<f64>> {
+    let n = w.deployment.rows() * w.deployment.cols();
+    let basis = w.deployment.basis().matrix();
+    let mean = w.deployment.basis().mean();
+    let backend = kind.backend();
+    let mut all: Vec<Vec<f64>> = (0..FRAMES).map(|_| vec![0.0; n]).collect();
+    let mut start = 0;
+    for (alpha_t, bsz) in &w.blocks {
+        let mut outs: Vec<&mut [f64]> = all[start..start + bsz]
+            .iter_mut()
+            .map(|c| c.as_mut_slice())
+            .collect();
+        backend.synthesize_block(basis, mean, alpha_t, *bsz, &mut outs);
+        start += bsz;
+    }
+    all
+}
+
+fn wall_clock(rounds: u32, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / rounds as f64
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let w = setup();
+    let n = w.deployment.rows() * w.deployment.cols();
+    let dispatched = KernelKind::detect();
+
+    // Agreement gate before any timing: SIMD must match the oracle.
+    let oracle = kernel_outputs(&w, KernelKind::Scalar);
+    for kind in KernelKind::available() {
+        let got = kernel_outputs(&w, kind);
+        let mut worst = 0.0f64;
+        for (a, b) in oracle.iter().zip(got.iter()) {
+            for (&x, &y) in a.iter().zip(b.iter()) {
+                worst = worst.max((x - y).abs() / x.abs().max(y.abs()).max(1.0));
+            }
+        }
+        assert!(
+            worst <= 1e-10,
+            "{kind} kernel diverged from scalar by {worst:e} relative"
+        );
+        if kind == KernelKind::Lanes {
+            assert_eq!(oracle, got, "lanes must be bitwise identical to scalar");
+        }
+    }
+
+    let mut group = c.benchmark_group("kernel_1024_frames");
+    group.sample_size(20);
+
+    let mut cells: Vec<Vec<f64>> = (0..FRAME_BLOCK).map(|_| vec![0.0; n]).collect();
+    for kind in KernelKind::available() {
+        group.bench_with_input(
+            BenchmarkId::new("synthesize", kind.name()),
+            &kind,
+            |bch, &kind| bch.iter(|| run_kernel(&w, kind, black_box(&mut cells))),
+        );
+    }
+    for kind in KernelKind::available() {
+        let forced = w.deployment.clone().with_kernel(kind).expect("available");
+        group.bench_with_input(
+            BenchmarkId::new("reconstruct_batch", kind.name()),
+            &forced,
+            |bch, d| bch.iter(|| black_box(d.reconstruct_batch(&w.frames).unwrap())),
+        );
+    }
+
+    // Wall-clock summary + the dispatch speedup gate.
+    let rounds = 20u32;
+    let t_scalar = wall_clock(rounds, || run_kernel(&w, KernelKind::Scalar, &mut cells));
+    let t_dispatched = wall_clock(rounds, || run_kernel(&w, dispatched, &mut cells));
+    let speedup = t_scalar / t_dispatched.max(1e-12);
+    println!(
+        "kernel_1024_frames/summary: dispatched={dispatched} {:.3} ms vs scalar {:.3} ms \
+         → {speedup:.2}x",
+        t_dispatched * 1e3,
+        t_scalar * 1e3
+    );
+    if dispatched == KernelKind::Avx2 {
+        assert!(
+            speedup >= 1.5,
+            "dispatched AVX2 kernel reached only {speedup:.2}x over scalar (>= 1.5x required)"
+        );
+    } else {
+        println!(
+            "kernel_1024_frames/summary: dispatch selected {dispatched} (no AVX2) — \
+             skipping the >= 1.5x assertion"
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(kernel, bench_kernel);
+criterion_main!(kernel);

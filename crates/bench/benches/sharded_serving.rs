@@ -1,15 +1,19 @@
 //! Sharded serving benchmark: `ShardedExecutor` at 1/2/4/8 shards vs the
 //! single-threaded `Deployment::reconstruct_batch` on a 1024-frame
-//! workload.
+//! workload, along a scalar-vs-SIMD kernel axis — every configuration
+//! runs once with the scalar synthesis oracle and once with the
+//! runtime-dispatched SIMD backend, showing how thread sharding and
+//! per-shard SIMD compose.
 //!
-//! Every configuration first proves the bitwise-identity contract (the
-//! sharded output must equal the sequential batch bit for bit), then
-//! measures throughput. A plain wall-clock summary with speedups is
-//! printed alongside the harness numbers; on a machine with ≥ 4 hardware
-//! threads the 4-shard configuration is asserted to reach ≥ 2× the
-//! single-threaded batch throughput (on smaller machines the assertion is
-//! skipped and the speedups are only reported — thread parallelism cannot
-//! beat the sequential path without cores to run on).
+//! Every configuration first proves the per-backend bitwise-identity
+//! contract (the sharded output must equal that backend's sequential
+//! batch bit for bit), then measures throughput. A plain wall-clock
+//! summary with speedups is printed alongside the harness numbers; on a
+//! machine with ≥ 4 hardware threads the 4-shard dispatched
+//! configuration is asserted to reach ≥ 2× its single-threaded batch
+//! throughput (on smaller machines the assertion is skipped and the
+//! speedups are only reported — thread parallelism cannot beat the
+//! sequential path without cores to run on).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -67,60 +71,86 @@ fn bench_sharded_serving(c: &mut Criterion) {
     group.sample_size(20);
 
     let w = setup(16, 16);
-    let sequential = w
-        .deployment
-        .reconstruct_batch(&w.frames)
-        .expect("sequential batch");
-
-    group.bench_function("single_thread_batch", |bch| {
-        bch.iter(|| black_box(w.deployment.reconstruct_batch(&w.frames).unwrap()))
-    });
+    let dispatched_kind = w.deployment.kernel_kind();
+    // The kernel axis: the scalar oracle vs whatever dispatch selected
+    // (on hosts where dispatch itself lands on scalar-equivalent lanes,
+    // the axis still shows the blocked-lanes-vs-scalar gap).
+    let backends: Vec<(&str, Arc<Deployment>)> = vec![
+        (
+            "scalar",
+            Arc::new(
+                (*w.deployment)
+                    .clone()
+                    .with_kernel(KernelKind::Scalar)
+                    .expect("scalar is always available"),
+            ),
+        ),
+        ("dispatched", Arc::clone(&w.deployment)),
+    ];
 
     let rounds = 5u32;
-    let single_time = wall_clock(rounds, || {
-        black_box(w.deployment.reconstruct_batch(&w.frames).unwrap());
-    });
-
     let parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let mut speedup_at_4 = None;
-    for shards in SHARD_COUNTS {
-        let executor = ShardedExecutor::new(shards);
+    let mut speedup_at_4_dispatched = None;
+    for (kernel_label, deployment) in &backends {
+        let sequential = deployment
+            .reconstruct_batch(&w.frames)
+            .expect("sequential batch");
 
-        // Bitwise-identity gate: sharding must never change an answer.
-        let sharded = executor
-            .execute(&w.deployment, &w.frames)
-            .expect("sharded batch");
-        assert_eq!(sharded.len(), sequential.len());
-        for (i, (a, b)) in sequential.iter().zip(sharded.iter()).enumerate() {
-            assert_eq!(
-                a.as_slice(),
-                b.as_slice(),
-                "shard output diverged from sequential batch at frame {i} ({shards} shards)"
+        group.bench_function(format!("single_thread_batch/{kernel_label}"), |bch| {
+            bch.iter(|| black_box(deployment.reconstruct_batch(&w.frames).unwrap()))
+        });
+        let single_time = wall_clock(rounds, || {
+            black_box(deployment.reconstruct_batch(&w.frames).unwrap());
+        });
+
+        for shards in SHARD_COUNTS {
+            let executor = ShardedExecutor::new(shards);
+
+            // Per-backend bitwise-identity gate: sharding must never
+            // change an answer produced by the same kernel.
+            let sharded = executor
+                .execute(deployment, &w.frames)
+                .expect("sharded batch");
+            assert_eq!(sharded.len(), sequential.len());
+            for (i, (a, b)) in sequential.iter().zip(sharded.iter()).enumerate() {
+                assert_eq!(
+                    a.as_slice(),
+                    b.as_slice(),
+                    "{kernel_label}: shard output diverged from sequential batch at frame {i} \
+                     ({shards} shards)"
+                );
+            }
+
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("sharded/{kernel_label}"),
+                    format!("{shards}_shards"),
+                ),
+                &executor,
+                |bch, ex| bch.iter(|| black_box(ex.execute(deployment, &w.frames).unwrap())),
+            );
+
+            let shard_time = wall_clock(rounds, || {
+                black_box(executor.execute(deployment, &w.frames).unwrap());
+            });
+            let speedup = single_time / shard_time.max(1e-12);
+            if shards == 4 && *kernel_label == "dispatched" {
+                speedup_at_4_dispatched = Some(speedup);
+            }
+            println!(
+                "sharded_serving_1024_frames/summary[{kernel_label}]: {shards} shards \
+                 {:.2} ms vs single-thread {:.2} ms → {speedup:.2}x",
+                shard_time * 1e3,
+                single_time * 1e3
             );
         }
-
-        group.bench_with_input(
-            BenchmarkId::new("sharded", format!("{shards}_shards")),
-            &executor,
-            |bch, ex| bch.iter(|| black_box(ex.execute(&w.deployment, &w.frames).unwrap())),
-        );
-
-        let shard_time = wall_clock(rounds, || {
-            black_box(executor.execute(&w.deployment, &w.frames).unwrap());
-        });
-        let speedup = single_time / shard_time.max(1e-12);
-        if shards == 4 {
-            speedup_at_4 = Some(speedup);
-        }
-        println!(
-            "sharded_serving_1024_frames/summary: {shards} shards {:.2} ms vs single-thread \
-             {:.2} ms → {speedup:.2}x",
-            shard_time * 1e3,
-            single_time * 1e3
-        );
     }
+    println!(
+        "sharded_serving_1024_frames/summary: dispatched kernel = {dispatched_kind} \
+         ({parallelism} hardware thread(s))"
+    );
 
-    let speedup_at_4 = speedup_at_4.expect("4-shard configuration ran");
+    let speedup_at_4 = speedup_at_4_dispatched.expect("4-shard dispatched configuration ran");
     if parallelism >= 4 {
         assert!(
             speedup_at_4 >= 2.0,

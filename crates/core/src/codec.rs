@@ -1,5 +1,5 @@
 //! Shared little-endian byte codec for the hand-rolled binary artifact
-//! formats.
+//! formats, and the specification of those formats.
 //!
 //! Two on-disk formats live in this workspace — the `EMDEPLOY` deployment
 //! artifact ([`crate::pipeline`]) and the `EIGMAPS1` ensemble cache
@@ -13,6 +13,67 @@
 //! methods fail with a [`CodecError`] carrying a static description, which
 //! each consumer maps onto its own error type (`CoreError::Persist` here,
 //! `FloorplanError::CorruptCache` in the floorplan crate).
+//!
+//! # Wire conventions
+//!
+//! Every multi-byte scalar is **little-endian**. Sizes and indices are
+//! written as `u64` regardless of the producing platform's pointer width
+//! ([`Encoder::put_len`] / [`Decoder::take_len`]); floats are IEEE-754
+//! `binary64` in their raw LE byte order. There is no alignment and no
+//! padding — fields are packed back to back. Arrays carry **no length
+//! prefix**; their element counts are derived from the header dimensions,
+//! which is why headers are fully validated before any payload is read.
+//!
+//! # `EMDEPLOY` — deployment artifact, version 1
+//!
+//! Written by `Deployment::to_bytes`, read by `Deployment::from_bytes`.
+//! With `n = rows · cols` (grid cells), `k` (basis columns), `m`
+//! (sensors):
+//!
+//! | # | field        | type / size       | meaning                                        |
+//! |---|--------------|-------------------|------------------------------------------------|
+//! | 0 | magic        | 8 bytes           | ASCII `EMDEPLOY`                               |
+//! | 1 | version      | `u32`             | format version; this spec is `1`               |
+//! | 2 | basis kind   | `u8`              | `0` eigen, `1` DCT, `2` custom                 |
+//! | 3 | noise tag    | `u8`              | `0` none, `1` SNR (dB), `2` sigma              |
+//! | 4 | noise value  | `f64`             | dB or sigma per tag; `0.0` when tag is `0`     |
+//! | 5 | rows         | `u64`             | grid height                                    |
+//! | 6 | cols         | `u64`             | grid width                                     |
+//! | 7 | k            | `u64`             | basis columns                                  |
+//! | 8 | m            | `u64`             | sensor count                                   |
+//! | 9 | mean         | `f64 × n`         | per-cell mean, row-major                       |
+//! | 10| basis matrix | `f64 × (n·k)`     | `Ψ_K`, row-major (`n` rows of `k` entries)     |
+//! | 11| sensors      | `u64 × m`         | cell indices (`row · cols + col`), in layout order |
+//!
+//! Validation on read, in order: magic and version must match exactly;
+//! tags must be known; `rows · cols` must not overflow; `n`, `k`, `m`
+//! must be nonzero with `k ≤ n` and `m ≤ n`; every payload read is
+//! bounds-checked against the remaining bytes *before* allocating; and
+//! after field 11 the buffer must be exactly exhausted
+//! ([`Decoder::finish`]) — trailing bytes are corruption, not padding.
+//! The runtime solver (QR factorization, condition number) and the
+//! synthesis-kernel choice are **not** stored: both are recomputed on
+//! load, which keeps the artifact portable across hosts with different
+//! CPU features.
+//!
+//! # `EIGMAPS1` — floorplan ensemble cache
+//!
+//! Written by `eigenmaps_floorplan::cache::save_ensemble`. A 32-byte
+//! header followed by a raw payload:
+//!
+//! | # | field   | type / size         | meaning                          |
+//! |---|---------|---------------------|----------------------------------|
+//! | 0 | magic   | 8 bytes             | ASCII `EIGMAPS1` (version is the magic's trailing digit) |
+//! | 1 | t       | `u64`               | number of snapshots              |
+//! | 2 | rows    | `u64`               | grid height                      |
+//! | 3 | cols    | `u64`               | grid width                       |
+//! | 4 | payload | `f64 × (t·rows·cols)` | snapshot-major: snapshot `s` occupies entries `[s·rows·cols, (s+1)·rows·cols)`, cells row-major |
+//!
+//! Validation on read: magic must match; `t · rows · cols` must not
+//! overflow and is capped at `2^27` elements (1 GiB of `f64`s) so a
+//! corrupt header can never trigger an absurd allocation; the payload is
+//! streamed through a fixed buffer; and the file must end exactly at the
+//! payload's last byte.
 
 use crate::error::CoreError;
 

@@ -53,6 +53,12 @@ pub enum CoreError {
         /// What went wrong.
         context: &'static str,
     },
+    /// A forced synthesis-kernel backend cannot run on this host (see
+    /// [`crate::kernel::KernelKind::is_available`]).
+    KernelUnavailable {
+        /// Name of the requested backend (`"avx2"`, ...).
+        kernel: &'static str,
+    },
     /// An inner linear-algebra kernel failed.
     Linalg(LinalgError),
 }
@@ -83,6 +89,12 @@ impl fmt::Display for CoreError {
             ),
             CoreError::Persist { context } => {
                 write!(f, "deployment persistence failure: {context}")
+            }
+            CoreError::KernelUnavailable { kernel } => {
+                write!(
+                    f,
+                    "synthesis kernel '{kernel}' is not available on this host"
+                )
             }
             CoreError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
         }

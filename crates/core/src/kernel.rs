@@ -1,0 +1,591 @@
+//! The frame-blocked synthesis kernel `x̃ = Ψ_K α + mean` behind every
+//! serving path, with interchangeable SIMD backends and runtime dispatch.
+//!
+//! Reconstruction cost at run time is dominated by the dense synthesis
+//! step: for every output cell `i`, accumulate `Σ_j Ψ[i,j]·α_j` and add
+//! the mean (Sec. 4 of the paper; `O(NK)` per frame vs the `O(MK)`
+//! triangular solve). This module owns that loop. [`Reconstructor`] blocks
+//! batches into [`FRAME_BLOCK`]-frame groups, transposes the coefficients
+//! so frames are contiguous, and hands each block to one
+//! [`SynthesisKernel`] backend:
+//!
+//! * [`KernelKind::Scalar`] — one accumulator chain per frame, plain
+//!   multiply-then-add. The **reference oracle**: slow (bounded by the
+//!   floating-point add latency of its single chain) but the baseline
+//!   every other backend is tested against.
+//! * [`KernelKind::Lanes`] — portable 4-wide manually-unrolled path: four
+//!   frames advance per basis element, giving four independent
+//!   accumulator chains that hide the add latency. Uses the same
+//!   multiply-then-add operations per frame as the scalar path, so its
+//!   output is **bitwise identical** to [`KernelKind::Scalar`] on every
+//!   host.
+//! * [`KernelKind::Avx2`] — `x86_64` AVX2 + FMA intrinsics path
+//!   (8 frames in flight as two 4-lane fused-multiply-add chains),
+//!   selected by `is_x86_feature_detected!` at run time. Fusing the
+//!   multiply and add rounds once instead of twice, so outputs differ
+//!   from the scalar oracle by rounding only — the cross-backend property
+//!   tests bound the divergence at `1e-10` relative.
+//!
+//! # The position-independence contract
+//!
+//! Every backend must produce, for each frame, a rounding sequence that
+//! does not depend on the frame's position inside a block, the block
+//! size, or its lane assignment. Concretely: a backend fixes one
+//! per-frame recurrence (multiply-then-add for `Scalar`/`Lanes`, fused
+//! multiply-add for `Avx2`) and applies it in ascending-`j` order to
+//! every frame, whether the frame sits in a full SIMD group, in the
+//! scalar remainder of a block, or alone in a single-frame call.
+//!
+//! This is what keeps the workspace-wide bitwise guarantees *per
+//! backend*: [`Reconstructor::reconstruct`],
+//! [`Reconstructor::reconstruct_batch`] and the sharded executor of
+//! `eigenmaps-serve` all route through the same deployment-selected
+//! backend, so batching and sharding never change an answer — only
+//! *changing the backend* does, and then only within the documented
+//! tolerance.
+//!
+//! # Dispatch
+//!
+//! [`KernelKind::detect`] picks the fastest available backend (AVX2+FMA
+//! where the CPU has it, the portable lanes path elsewhere); it honors
+//! the `EIGENMAPS_KERNEL` environment variable (`"scalar"`, `"lanes"`,
+//! `"avx2"`) as a forced override for testing, ignoring values naming a
+//! backend the host cannot run. Programmatic forcing goes through
+//! [`Reconstructor::set_kernel`] /
+//! [`crate::Deployment::set_kernel`], which *reject* unavailable
+//! backends with [`CoreError::KernelUnavailable`].
+//!
+//! [`Reconstructor`]: crate::Reconstructor
+//! [`Reconstructor::reconstruct`]: crate::Reconstructor::reconstruct
+//! [`Reconstructor::reconstruct_batch`]: crate::Reconstructor::reconstruct_batch
+//! [`Reconstructor::set_kernel`]: crate::Reconstructor::set_kernel
+//! [`CoreError::KernelUnavailable`]: crate::CoreError::KernelUnavailable
+
+use std::fmt;
+
+use eigenmaps_linalg::Matrix;
+
+use crate::error::{CoreError, Result};
+
+/// Frames per synthesis block: [`crate::Reconstructor`] transposes
+/// coefficients and calls the kernel in groups of at most this many
+/// frames, so the per-block coefficient tile stays cache resident.
+pub const FRAME_BLOCK: usize = 32;
+
+/// Width of the SIMD-friendly inner loops (frames advanced per basis
+/// element by the lanes and AVX2 paths).
+pub const LANES: usize = 4;
+
+/// Identifies one synthesis backend. See the [module docs](self) for what
+/// each backend computes and how they relate numerically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum KernelKind {
+    /// Reference scalar path — one multiply-then-add chain per frame.
+    Scalar,
+    /// Portable 4-wide manually-unrolled path; bitwise identical to
+    /// `Scalar`.
+    Lanes,
+    /// `x86_64` AVX2 + FMA intrinsics path; equals `Scalar` within
+    /// rounding (`1e-10` relative in the property tests).
+    Avx2,
+}
+
+impl KernelKind {
+    /// Every backend kind, in oracle-first order.
+    pub const ALL: [KernelKind; 3] = [KernelKind::Scalar, KernelKind::Lanes, KernelKind::Avx2];
+
+    /// The fastest backend available on this host: `Avx2` when the CPU
+    /// reports AVX2 *and* FMA, `Lanes` otherwise.
+    ///
+    /// The `EIGENMAPS_KERNEL` environment variable (`"scalar"`,
+    /// `"lanes"`, `"avx2"`) overrides the choice for testing; values that
+    /// are unknown or name an unavailable backend are ignored and
+    /// auto-detection proceeds.
+    pub fn detect() -> KernelKind {
+        if let Ok(name) = std::env::var("EIGENMAPS_KERNEL") {
+            if let Some(kind) = KernelKind::from_name(&name) {
+                if kind.is_available() {
+                    return kind;
+                }
+            }
+        }
+        if avx2_available() {
+            KernelKind::Avx2
+        } else {
+            KernelKind::Lanes
+        }
+    }
+
+    /// Whether this backend can run on the current host. `Scalar` and
+    /// `Lanes` always can; `Avx2` requires a runtime AVX2 + FMA check.
+    pub fn is_available(self) -> bool {
+        match self {
+            KernelKind::Scalar | KernelKind::Lanes => true,
+            KernelKind::Avx2 => avx2_available(),
+        }
+    }
+
+    /// Backends available on this host, in [`KernelKind::ALL`] order.
+    pub fn available() -> Vec<KernelKind> {
+        KernelKind::ALL
+            .into_iter()
+            .filter(|k| k.is_available())
+            .collect()
+    }
+
+    /// Stable lower-case name (`"scalar"`, `"lanes"`, `"avx2"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Lanes => "lanes",
+            KernelKind::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses a [`KernelKind::name`] back to its kind.
+    pub fn from_name(name: &str) -> Option<KernelKind> {
+        KernelKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// The backend implementation for this kind.
+    ///
+    /// For an unavailable kind (forced `Avx2` on a host without it —
+    /// unreachable through [`crate::Reconstructor::set_kernel`], which
+    /// validates availability) this degrades safely to the portable
+    /// lanes path rather than executing unsupported instructions.
+    pub fn backend(self) -> &'static dyn SynthesisKernel {
+        match self {
+            KernelKind::Scalar => &ScalarKernel,
+            KernelKind::Lanes => &LanesKernel,
+            #[cfg(target_arch = "x86_64")]
+            KernelKind::Avx2 if avx2_available() => &Avx2Kernel,
+            KernelKind::Avx2 => &LanesKernel,
+        }
+    }
+
+    /// Validates that this backend is runnable here.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::KernelUnavailable`] if the host lacks the required
+    /// CPU features.
+    pub fn require_available(self) -> Result<()> {
+        if self.is_available() {
+            Ok(())
+        } else {
+            Err(CoreError::KernelUnavailable {
+                kernel: self.name(),
+            })
+        }
+    }
+}
+
+impl fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_available() -> bool {
+    false
+}
+
+/// One interchangeable synthesis backend.
+///
+/// [`SynthesisKernel::synthesize_block`] computes, for a block of `bsz`
+/// frames,
+///
+/// ```text
+/// outs[f][i] = Σ_j basis[i, j] · alpha_t[j · bsz + f]  +  mean[i]
+/// ```
+///
+/// where `alpha_t` holds the block's coefficients transposed
+/// frame-contiguous (`j`-major with stride `bsz`), so the innermost SIMD
+/// axis runs across frames over contiguous memory.
+///
+/// Implementations must uphold the position-independence contract of the
+/// [module docs](self): a frame's rounding sequence may depend only on
+/// the backend, never on `bsz` or the frame's index within the block.
+pub trait SynthesisKernel: fmt::Debug + Send + Sync {
+    /// Which [`KernelKind`] this backend implements.
+    fn kind(&self) -> KernelKind;
+
+    /// Synthesizes one block of `bsz` frames; see the trait docs for the
+    /// exact computation and data layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes disagree: `mean.len() != basis.rows()`,
+    /// `alpha_t.len() < basis.cols() * bsz`, `outs.len() < bsz`, or any
+    /// `outs[f].len() != basis.rows()`. Every backend validates these up
+    /// front (the AVX2 path reads through raw pointers, so the checks are
+    /// what make this a safe API).
+    fn synthesize_block(
+        &self,
+        basis: &Matrix,
+        mean: &[f64],
+        alpha_t: &[f64],
+        bsz: usize,
+        outs: &mut [&mut [f64]],
+    );
+}
+
+/// Shape validation shared by the backends, so a mis-sized call fails
+/// loudly at the kernel boundary. These are hard asserts, not debug
+/// asserts: the AVX2 backend reads `alpha_t` through raw pointers, so
+/// the bounds established here are load-bearing for memory safety. Cost
+/// is one pass per [`FRAME_BLOCK`]-frame block — noise next to the
+/// `O(N·K·bsz)` synthesis it guards.
+#[inline]
+fn check_shapes(basis: &Matrix, mean: &[f64], alpha_t: &[f64], bsz: usize, outs: &[&mut [f64]]) {
+    assert_eq!(mean.len(), basis.rows(), "kernel: mean length");
+    assert!(
+        alpha_t.len() >= basis.cols() * bsz,
+        "kernel: alpha_t too short"
+    );
+    assert!(outs.len() >= bsz, "kernel: too few output frames");
+    assert!(
+        outs.iter().take(bsz).all(|o| o.len() == basis.rows()),
+        "kernel: output frame length"
+    );
+}
+
+/// The reference scalar backend ([`KernelKind::Scalar`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarKernel;
+
+impl SynthesisKernel for ScalarKernel {
+    fn kind(&self) -> KernelKind {
+        KernelKind::Scalar
+    }
+
+    fn synthesize_block(
+        &self,
+        basis: &Matrix,
+        mean: &[f64],
+        alpha_t: &[f64],
+        bsz: usize,
+        outs: &mut [&mut [f64]],
+    ) {
+        check_shapes(basis, mean, alpha_t, bsz, outs);
+        for i in 0..basis.rows() {
+            let row = basis.row(i);
+            let mu = mean[i];
+            for (f, out) in outs.iter_mut().enumerate().take(bsz) {
+                let mut acc = 0.0;
+                for (j, &rij) in row.iter().enumerate() {
+                    acc += rij * alpha_t[j * bsz + f];
+                }
+                out[i] = acc + mu;
+            }
+        }
+    }
+}
+
+/// The portable 4-wide manually-unrolled backend ([`KernelKind::Lanes`]).
+///
+/// Four frames advance together per basis element — four independent
+/// accumulator chains that hide the floating-point add latency bounding
+/// the scalar path, over memory the autovectorizer can turn into packed
+/// multiply/add. Each lane performs exactly the scalar recurrence, so
+/// the output is bitwise identical to [`ScalarKernel`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LanesKernel;
+
+impl SynthesisKernel for LanesKernel {
+    fn kind(&self) -> KernelKind {
+        KernelKind::Lanes
+    }
+
+    fn synthesize_block(
+        &self,
+        basis: &Matrix,
+        mean: &[f64],
+        alpha_t: &[f64],
+        bsz: usize,
+        outs: &mut [&mut [f64]],
+    ) {
+        check_shapes(basis, mean, alpha_t, bsz, outs);
+        for i in 0..basis.rows() {
+            let row = basis.row(i);
+            let mu = mean[i];
+            let mut f = 0;
+            while f + LANES <= bsz {
+                let mut a = [0.0f64; LANES];
+                for (j, &rij) in row.iter().enumerate() {
+                    let col = &alpha_t[j * bsz + f..j * bsz + f + LANES];
+                    a[0] += rij * col[0];
+                    a[1] += rij * col[1];
+                    a[2] += rij * col[2];
+                    a[3] += rij * col[3];
+                }
+                for (lane, &v) in a.iter().enumerate() {
+                    outs[f + lane][i] = v + mu;
+                }
+                f += LANES;
+            }
+            while f < bsz {
+                let mut acc = 0.0;
+                for (j, &rij) in row.iter().enumerate() {
+                    acc += rij * alpha_t[j * bsz + f];
+                }
+                outs[f][i] = acc + mu;
+                f += 1;
+            }
+        }
+    }
+}
+
+/// The `x86_64` AVX2 + FMA backend ([`KernelKind::Avx2`]).
+///
+/// Eight frames stay in flight as two 4-lane `vfmadd` accumulator
+/// chains; remainders drop to one 4-lane chain, then to scalar
+/// [`f64::mul_add`] — the *same* fused recurrence per frame in every
+/// case, preserving the position-independence contract. Only selectable
+/// when `is_x86_feature_detected!` reports both `avx2` and `fma`.
+#[cfg(target_arch = "x86_64")]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Avx2Kernel;
+
+#[cfg(target_arch = "x86_64")]
+impl SynthesisKernel for Avx2Kernel {
+    fn kind(&self) -> KernelKind {
+        KernelKind::Avx2
+    }
+
+    fn synthesize_block(
+        &self,
+        basis: &Matrix,
+        mean: &[f64],
+        alpha_t: &[f64],
+        bsz: usize,
+        outs: &mut [&mut [f64]],
+    ) {
+        check_shapes(basis, mean, alpha_t, bsz, outs);
+        // SAFETY: `KernelKind::backend` only hands out this backend after
+        // `avx2_available()` confirmed the `avx2` and `fma` CPU features
+        // at run time.
+        unsafe { synthesize_avx2(basis, mean, alpha_t, bsz, outs) }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn synthesize_avx2(
+    basis: &Matrix,
+    mean: &[f64],
+    alpha_t: &[f64],
+    bsz: usize,
+    outs: &mut [&mut [f64]],
+) {
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_set1_pd, _mm256_setzero_pd,
+        _mm256_storeu_pd,
+    };
+
+    let alpha = alpha_t.as_ptr();
+    for i in 0..basis.rows() {
+        let row = basis.row(i);
+        let mu = _mm256_set1_pd(mean[i]);
+        let mut f = 0;
+        // Two 4-lane chains: vfmadd latency is ~4-5 cycles at 2/cycle
+        // throughput, so one chain per group would leave the FMA units
+        // mostly idle.
+        while f + 2 * LANES <= bsz {
+            let mut acc0 = _mm256_setzero_pd();
+            let mut acc1 = _mm256_setzero_pd();
+            for (j, &rij) in row.iter().enumerate() {
+                let r = _mm256_set1_pd(rij);
+                let x0 = _mm256_loadu_pd(alpha.add(j * bsz + f));
+                let x1 = _mm256_loadu_pd(alpha.add(j * bsz + f + LANES));
+                acc0 = _mm256_fmadd_pd(r, x0, acc0);
+                acc1 = _mm256_fmadd_pd(r, x1, acc1);
+            }
+            let mut tmp = [0.0f64; 2 * LANES];
+            _mm256_storeu_pd(tmp.as_mut_ptr(), _mm256_add_pd(acc0, mu));
+            _mm256_storeu_pd(tmp.as_mut_ptr().add(LANES), _mm256_add_pd(acc1, mu));
+            for (lane, &v) in tmp.iter().enumerate() {
+                outs[f + lane][i] = v;
+            }
+            f += 2 * LANES;
+        }
+        while f + LANES <= bsz {
+            let mut acc = _mm256_setzero_pd();
+            for (j, &rij) in row.iter().enumerate() {
+                let r = _mm256_set1_pd(rij);
+                let x = _mm256_loadu_pd(alpha.add(j * bsz + f));
+                acc = _mm256_fmadd_pd(r, x, acc);
+            }
+            let mut tmp = [0.0f64; LANES];
+            _mm256_storeu_pd(tmp.as_mut_ptr(), _mm256_add_pd(acc, mu));
+            for (lane, &v) in tmp.iter().enumerate() {
+                outs[f + lane][i] = v;
+            }
+            f += LANES;
+        }
+        let mu_scalar = mean[i];
+        while f < bsz {
+            let mut acc = 0.0f64;
+            for (j, &rij) in row.iter().enumerate() {
+                // Scalar fused multiply-add: lane-for-lane the same
+                // rounding as `_mm256_fmadd_pd` above, keeping frames in
+                // the remainder bitwise consistent with full lanes.
+                acc = rij.mul_add(alpha_t[j * bsz + f], acc);
+            }
+            outs[f][i] = acc + mu_scalar;
+            f += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic dense test operands for an `n × k` synthesis over
+    /// `bsz` frames.
+    fn operands(n: usize, k: usize, bsz: usize) -> (Matrix, Vec<f64>, Vec<f64>) {
+        let basis = Matrix::from_fn(n, k, |i, j| {
+            ((i as f64 + 1.3) * 0.7 + (j as f64 + 0.4) * 1.9).sin() * 0.8
+        });
+        let mean: Vec<f64> = (0..n).map(|i| 50.0 + (i as f64 * 0.31).cos()).collect();
+        let alpha_t: Vec<f64> = (0..k * bsz)
+            .map(|x| ((x as f64) * 0.123).sin() * 3.0)
+            .collect();
+        (basis, mean, alpha_t)
+    }
+
+    fn run(kind: KernelKind, n: usize, k: usize, bsz: usize) -> Vec<Vec<f64>> {
+        let (basis, mean, alpha_t) = operands(n, k, bsz);
+        let mut cells: Vec<Vec<f64>> = (0..bsz).map(|_| vec![0.0; n]).collect();
+        let mut outs: Vec<&mut [f64]> = cells.iter_mut().map(|c| c.as_mut_slice()).collect();
+        kind.backend()
+            .synthesize_block(&basis, &mean, &alpha_t, bsz, &mut outs);
+        cells
+    }
+
+    /// Odd shapes crossing every lane/remainder boundary.
+    const SHAPES: [(usize, usize, usize); 10] = [
+        (1, 1, 1),
+        (5, 1, 7),
+        (9, 3, 1),
+        (9, 3, 2),
+        (9, 3, 3),
+        (9, 3, 4),
+        (9, 3, 5),
+        (12, 7, 8),
+        (12, 7, 31),
+        (12, 7, 33),
+    ];
+
+    #[test]
+    fn lanes_is_bitwise_identical_to_scalar() {
+        for (n, k, bsz) in SHAPES {
+            let scalar = run(KernelKind::Scalar, n, k, bsz);
+            let lanes = run(KernelKind::Lanes, n, k, bsz);
+            assert_eq!(scalar, lanes, "shape n={n} k={k} bsz={bsz}");
+        }
+    }
+
+    #[test]
+    fn avx2_matches_scalar_to_tolerance() {
+        if !KernelKind::Avx2.is_available() {
+            eprintln!("skipping: avx2 unavailable on this host");
+            return;
+        }
+        for (n, k, bsz) in SHAPES {
+            let scalar = run(KernelKind::Scalar, n, k, bsz);
+            let avx2 = run(KernelKind::Avx2, n, k, bsz);
+            for (fs, fa) in scalar.iter().zip(avx2.iter()) {
+                for (&a, &b) in fs.iter().zip(fa.iter()) {
+                    let rel = (a - b).abs() / a.abs().max(b.abs()).max(1.0);
+                    assert!(rel <= 1e-10, "n={n} k={k} bsz={bsz}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frames_are_position_independent_in_every_backend() {
+        // The contract that makes batch == single == sharded bitwise per
+        // backend: frame `f` of a block must equal the same coefficients
+        // synthesized alone (bsz = 1).
+        let (n, k, bsz) = (11, 5, 13);
+        for kind in KernelKind::available() {
+            let blocked = run(kind, n, k, bsz);
+            let (basis, mean, alpha_t) = operands(n, k, bsz);
+            for f in 0..bsz {
+                let alpha_f: Vec<f64> = (0..k).map(|j| alpha_t[j * bsz + f]).collect();
+                let mut single = vec![0.0; n];
+                {
+                    let mut outs = [single.as_mut_slice()];
+                    kind.backend()
+                        .synthesize_block(&basis, &mean, &alpha_f, 1, &mut outs);
+                }
+                assert_eq!(blocked[f], single, "kind={kind} frame={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_smaller_than_lane_width_are_exact() {
+        // Regression guard for the kernel-blocking boundary: every batch
+        // smaller than LANES (and FRAME_BLOCK) must still produce each
+        // frame's reference values.
+        for bsz in 1..LANES + 2 {
+            for kind in KernelKind::available() {
+                let got = run(kind, 6, 3, bsz);
+                assert_eq!(got.len(), bsz);
+                let scalar = run(KernelKind::Scalar, 6, 3, bsz);
+                for (g, s) in got.iter().zip(scalar.iter()) {
+                    for (&a, &b) in g.iter().zip(s.iter()) {
+                        assert!((a - b).abs() / a.abs().max(1.0) <= 1e-10);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_roundtrip_and_detection_is_sane() {
+        for kind in KernelKind::ALL {
+            assert_eq!(KernelKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(KernelKind::from_name("neon"), None);
+        // The detected backend is always available, and scalar/lanes are
+        // available everywhere.
+        assert!(KernelKind::detect().is_available());
+        assert!(KernelKind::Scalar.is_available());
+        assert!(KernelKind::Lanes.is_available());
+        assert!(KernelKind::available().contains(&KernelKind::Scalar));
+        // require_available errors exactly on unavailable kinds.
+        for kind in KernelKind::ALL {
+            let res = kind.require_available();
+            if kind.is_available() {
+                assert!(res.is_ok());
+            } else {
+                assert!(matches!(res, Err(CoreError::KernelUnavailable { .. })));
+            }
+        }
+    }
+
+    #[test]
+    fn unavailable_backend_degrades_to_a_safe_path() {
+        // backend() must never hand out unexecutable code; on hosts
+        // without AVX2 the Avx2 kind maps to the portable lanes path.
+        let b = KernelKind::Avx2.backend();
+        if KernelKind::Avx2.is_available() {
+            assert_eq!(b.kind(), KernelKind::Avx2);
+        } else {
+            assert_eq!(b.kind(), KernelKind::Lanes);
+        }
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`Reconstructor`] — least-squares recovery of the full map from `M`
 //!   noisy sensors (Sec. 3.2, Theorem 1), with the sensing-matrix condition
 //!   number exposed as the placement figure of merit;
+//! * [`kernel`] — the frame-blocked synthesis kernel behind every serving
+//!   path, with scalar / portable-4-wide / AVX2+FMA backends selected by
+//!   runtime dispatch ([`KernelKind`]);
 //! * [`GreedyAllocator`] — the polynomial near-optimal sensor allocation of
 //!   Algorithm 1 (correlation-driven row elimination with a rank guard),
 //!   with [`Mask`] support for forbidden regions (Fig. 6);
@@ -76,6 +79,7 @@ pub mod allocate;
 pub mod basis;
 pub mod codec;
 pub mod error;
+pub mod kernel;
 pub mod map;
 pub mod metrics;
 pub mod noise;
@@ -92,6 +96,7 @@ pub use allocate::{
 pub use basis::{Basis, BasisKind, DctBasis, EigenBasis};
 pub use codec::{CodecError, CodecResult, Decoder, Encoder};
 pub use error::{CoreError, Result};
+pub use kernel::{KernelKind, SynthesisKernel};
 pub use map::{MapEnsemble, ThermalMap};
 pub use metrics::{
     evaluate_approximation, evaluate_hotspot_detection, evaluate_reconstruction, ErrorReport,
@@ -112,6 +117,7 @@ pub mod prelude {
     };
     pub use crate::basis::{Basis, BasisKind, DctBasis, EigenBasis};
     pub use crate::error::{CoreError, Result};
+    pub use crate::kernel::{KernelKind, SynthesisKernel};
     pub use crate::map::{MapEnsemble, ThermalMap};
     pub use crate::metrics::{
         evaluate_approximation, evaluate_hotspot_detection, evaluate_reconstruction, ErrorReport,

@@ -57,6 +57,7 @@ use crate::allocate::{
 use crate::basis::{Basis, BasisKind, DctBasis, EigenBasis};
 use crate::codec::{Decoder, Encoder};
 use crate::error::{CoreError, Result};
+use crate::kernel::KernelKind;
 use crate::map::{MapEnsemble, ThermalMap};
 use crate::metrics::{evaluate_reconstruction, ErrorReport, NoiseSpec};
 use crate::reconstruct::{BatchScratch, Reconstructor};
@@ -520,6 +521,10 @@ impl Deployment {
     /// eigenvalue order for EigenMaps, zigzag order for DCT — and the
     /// engine behind runtime `K*` tuning.
     ///
+    /// The truncated deployment keeps the parent's synthesis backend: a
+    /// [`Deployment::set_kernel`] override survives truncation, so a
+    /// forced-backend A/B comparison can sweep `K` without re-forcing.
+    ///
     /// # Errors
     ///
     /// * [`CoreError::InvalidArgument`] unless `1 ≤ keep ≤ k()`.
@@ -538,7 +543,9 @@ impl Deployment {
             cols: self.raw.cols,
             kind: self.raw.kind,
         };
-        Deployment::assemble(raw, self.sensors.clone(), self.noise)
+        let mut d = Deployment::assemble(raw, self.sensors.clone(), self.noise)?;
+        d.set_kernel(self.kernel_kind())?;
+        Ok(d)
     }
 
     /// The deployed basis (matrix + mean view; eigen-specific diagnostics
@@ -567,12 +574,51 @@ impl Deployment {
         self.noise
     }
 
-    /// Subspace dimension `K`.
+    /// Which synthesis-kernel backend every serving path of this
+    /// deployment runs ([`crate::kernel`] module docs describe the
+    /// backends) — a diagnostic for "what is this host actually
+    /// executing". Chosen by [`KernelKind::detect`] when the deployment
+    /// is designed, loaded ([`Deployment::load`] / `from_bytes` —
+    /// the artifact never stores a backend, it is a per-host property) or
+    /// cloned, unless overridden with [`Deployment::set_kernel`].
+    pub fn kernel_kind(&self) -> KernelKind {
+        self.rec.kernel_kind()
+    }
+
+    /// Forces a specific synthesis backend on every serving path of this
+    /// deployment — single-frame, batch and (through `eigenmaps-serve`)
+    /// sharded execution switch together. Intended for tests and
+    /// benchmarks comparing backends; production callers should keep the
+    /// [`KernelKind::detect`] choice.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::KernelUnavailable`] if this host cannot run `kind`
+    /// (the current backend is left unchanged).
+    pub fn set_kernel(&mut self, kind: KernelKind) -> Result<()> {
+        self.rec.set_kernel(kind)
+    }
+
+    /// Builder-style [`Deployment::set_kernel`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Deployment::set_kernel`].
+    pub fn with_kernel(mut self, kind: KernelKind) -> Result<Self> {
+        self.set_kernel(kind)?;
+        Ok(self)
+    }
+
+    /// Subspace dimension `K` — the number of basis vectors (columns of
+    /// `Ψ_K`) the deployment reconstructs in, fixed at design time (or by
+    /// [`Deployment::truncated`]). Theorem 1 requires `K ≤ M`.
     pub fn k(&self) -> usize {
         self.rec.k()
     }
 
-    /// Sensor count `M`.
+    /// Sensor count `M` — how many readings every
+    /// [`Deployment::reconstruct`] call (and each batch frame) must
+    /// supply, in the exact order of [`Deployment::sensors`].
     pub fn m(&self) -> usize {
         self.sensors.len()
     }
@@ -587,8 +633,13 @@ impl Deployment {
         self.raw.cols
     }
 
-    /// Condition number `κ(Ψ̃_K)` of the deployed sensing matrix — the
-    /// noise-amplification bound of eq. (5).
+    /// Condition number `κ(Ψ̃_K)` of the deployed sensing matrix (ratio
+    /// of its extreme singular values, computed once at design/load
+    /// time) — the noise-amplification bound of eq. (5): sensor noise of
+    /// energy `ε` can grow to at most `κ·ε` in the reconstructed
+    /// coefficients. The sensor-placement algorithms exist to make this
+    /// small; values near 1 are ideal, and a large `κ` means the layout
+    /// barely observes some basis direction.
     pub fn condition_number(&self) -> f64 {
         self.rec.condition_number()
     }
@@ -1018,6 +1069,34 @@ mod tests {
             d.reconstruct_batch(&[vec![1.0, 2.0]]),
             Err(CoreError::ShapeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn kernel_diagnostic_and_forcing() {
+        let ens = two_mode_ensemble(6, 6, 40);
+        let d = Pipeline::new(&ens).sensors(4).design().unwrap();
+        // The detected backend is always runnable, and round-trips through
+        // the artifact as a per-host (not persisted) property.
+        assert!(d.kernel_kind().is_available());
+        let back = Deployment::from_bytes(&d.to_bytes()).unwrap();
+        assert!(back.kernel_kind().is_available());
+        for kind in KernelKind::available() {
+            let forced = d.clone().with_kernel(kind).unwrap();
+            assert_eq!(forced.kernel_kind(), kind);
+            // A forced backend survives K-truncation.
+            assert_eq!(forced.truncated(2).unwrap().kernel_kind(), kind);
+            // And every backend serves.
+            let readings = forced.sensors().sample(&ens.map(3));
+            assert!(forced.reconstruct(&readings).is_ok());
+        }
+        for kind in KernelKind::ALL {
+            if !kind.is_available() {
+                assert!(matches!(
+                    d.clone().with_kernel(kind),
+                    Err(CoreError::KernelUnavailable { .. })
+                ));
+            }
+        }
     }
 
     #[test]

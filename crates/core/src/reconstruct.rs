@@ -7,6 +7,7 @@ use eigenmaps_linalg::{Matrix, Qr, Svd};
 
 use crate::basis::Basis;
 use crate::error::{CoreError, Result};
+use crate::kernel::{KernelKind, FRAME_BLOCK};
 use crate::map::ThermalMap;
 use crate::sensors::SensorSet;
 
@@ -48,7 +49,8 @@ pub struct BatchScratch {
     alphas: Vec<f64>,
     /// Mean-centered readings for the solve (`M`).
     centered: Vec<f64>,
-    /// Per-block frame-transposed coefficients (`FRAME_BLOCK × K`).
+    /// Per-block frame-transposed coefficients
+    /// ([`FRAME_BLOCK`] `× K`).
     alpha_t: Vec<f64>,
 }
 
@@ -102,6 +104,9 @@ pub struct Reconstructor {
     rows: usize,
     cols: usize,
     sensors: SensorSet,
+    /// Synthesis backend; [`KernelKind::detect`]ed at construction,
+    /// forcible via [`Reconstructor::set_kernel`].
+    kernel: KernelKind,
 }
 
 impl Reconstructor {
@@ -155,12 +160,45 @@ impl Reconstructor {
             rows: basis.rows(),
             cols: basis.cols(),
             sensors: sensors.clone(),
+            kernel: KernelKind::detect(),
         })
     }
 
     /// The sensor layout this reconstructor was built for.
     pub fn sensors(&self) -> &SensorSet {
         &self.sensors
+    }
+
+    /// Which synthesis backend this reconstructor runs (the
+    /// [`KernelKind::detect`] choice unless forced).
+    pub fn kernel_kind(&self) -> KernelKind {
+        self.kernel
+    }
+
+    /// Forces a specific synthesis backend — the testing/benchmarking
+    /// override behind every scalar-vs-SIMD comparison. All serving paths
+    /// ([`Reconstructor::reconstruct`], the batch paths and
+    /// [`Reconstructor::map_from_coefficients`]) switch together, so the
+    /// per-backend bitwise guarantees are preserved.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::KernelUnavailable`] if the host cannot run `kind`
+    /// (e.g. forcing [`KernelKind::Avx2`] on a CPU without AVX2 + FMA).
+    pub fn set_kernel(&mut self, kind: KernelKind) -> Result<()> {
+        kind.require_available()?;
+        self.kernel = kind;
+        Ok(())
+    }
+
+    /// Builder-style [`Reconstructor::set_kernel`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Reconstructor::set_kernel`].
+    pub fn with_kernel(mut self, kind: KernelKind) -> Result<Self> {
+        self.set_kernel(kind)?;
+        Ok(self)
     }
 
     /// Subspace dimension `K`.
@@ -203,6 +241,12 @@ impl Reconstructor {
     /// coefficients (used by temporal trackers that maintain their own
     /// coefficient state).
     ///
+    /// Runs the same dispatched [`crate::kernel`] backend as the batch
+    /// paths (as a one-frame block), which is what keeps
+    /// [`Reconstructor::reconstruct_batch`] bitwise identical to
+    /// per-frame reconstruction under *every* backend — including the
+    /// FMA-fused AVX2 one.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::ShapeMismatch`] if `alpha.len() != K`.
@@ -214,9 +258,17 @@ impl Reconstructor {
                 found: alpha.len(),
             });
         }
-        let mut cells = self.basis_matrix.matvec(alpha)?;
-        for (v, m) in cells.iter_mut().zip(self.mean.iter()) {
-            *v += m;
+        let mut cells = vec![0.0; self.rows * self.cols];
+        {
+            // A one-frame block: `alpha` transposed at bsz = 1 is itself.
+            let mut outs = [cells.as_mut_slice()];
+            self.kernel.backend().synthesize_block(
+                &self.basis_matrix,
+                &self.mean,
+                alpha,
+                1,
+                &mut outs,
+            );
         }
         ThermalMap::new(self.rows, self.cols, cells)
     }
@@ -236,13 +288,17 @@ impl Reconstructor {
     ///
     /// Compared with calling [`Reconstructor::reconstruct`] per frame this
     /// reuses the factored QR's scratch buffers across frames (no per-frame
-    /// solver allocations) and synthesizes maps in frame blocks: each basis
-    /// row is loaded once per block and multiplied into several frames'
-    /// coefficient vectors at a time, whose independent accumulator chains
-    /// hide the floating-point add latency that bounds the one-dot-per-row
-    /// single-frame path. Each frame's accumulation still runs in the same
-    /// ascending-`k` order over the same operands, so the returned maps are
-    /// **bitwise identical** to per-frame reconstruction.
+    /// solver allocations) and synthesizes maps in
+    /// [`FRAME_BLOCK`]-frame blocks through the
+    /// dispatched [`crate::kernel`] backend: each basis row is loaded once
+    /// per block and multiplied into several frames' coefficient vectors
+    /// at a time (SIMD lanes across frames), whose independent accumulator
+    /// chains hide the floating-point latency that bounds the
+    /// one-dot-per-row single-frame path. Every backend applies one fixed
+    /// per-frame recurrence in ascending-`k` order regardless of block
+    /// position, so the returned maps are **bitwise identical** to
+    /// per-frame reconstruction under the same
+    /// [`Reconstructor::kernel_kind`].
     ///
     /// # Errors
     ///
@@ -264,9 +320,6 @@ impl Reconstructor {
     /// # Errors
     ///
     /// Same contract as [`Reconstructor::reconstruct_batch`].
-    // The cell loop walks a matrix row and several output frames in
-    // lockstep; iterator chains would obscure the blocked-kernel shape.
-    #[allow(clippy::needless_range_loop)]
     pub fn reconstruct_batch_with(
         &self,
         frames: &[Vec<f64>],
@@ -304,57 +357,37 @@ impl Reconstructor {
                 .solve_lstsq_into(centered, &mut alphas[f * k..(f + 1) * k])?;
         }
 
-        // Phase 2: blocked synthesis Ψ_K α + mean. Coefficients are
-        // transposed per frame block so the innermost loop runs *across
-        // frames* over contiguous memory — elementwise multiply-add the
-        // compiler vectorizes, with each frame's accumulation still
-        // performed in ascending-k order (one frame per SIMD lane), i.e.
-        // exactly the order the single-frame `matvec` dot product uses.
-        const FRAME_BLOCK: usize = 32;
+        // Phase 2: blocked synthesis Ψ_K α + mean through the dispatched
+        // kernel backend. Coefficients are transposed per frame block so
+        // the kernel's innermost loop runs *across frames* over contiguous
+        // memory (one frame per SIMD lane); the backend's
+        // position-independence contract keeps every frame's rounding
+        // identical to a single-frame synthesis.
+        let backend = self.kernel.backend();
         let mut cells: Vec<Vec<f64>> = frames.iter().map(|_| vec![0.0; n]).collect();
         scratch.alpha_t.resize(FRAME_BLOCK * k, 0.0);
         let alpha_t = &mut scratch.alpha_t;
         for block_start in (0..frames.len()).step_by(FRAME_BLOCK) {
             let bsz = (frames.len() - block_start).min(FRAME_BLOCK);
             for f in 0..bsz {
-                for j in 0..k {
-                    alpha_t[j * bsz + f] = alphas[(block_start + f) * k + j];
+                for (j, &a) in alphas[(block_start + f) * k..(block_start + f + 1) * k]
+                    .iter()
+                    .enumerate()
+                {
+                    alpha_t[j * bsz + f] = a;
                 }
             }
             let mut outs: Vec<&mut [f64]> = cells[block_start..block_start + bsz]
                 .iter_mut()
                 .map(|c| c.as_mut_slice())
                 .collect();
-            for i in 0..n {
-                let row = self.basis_matrix.row(i);
-                let mu = self.mean[i];
-                // Four frames at a time: four independent accumulator
-                // chains hide the floating-point add latency that bounds
-                // the one-chain-per-frame single path.
-                let mut f = 0;
-                while f + 4 <= bsz {
-                    let mut a = [0.0f64; 4];
-                    for (j, &rij) in row.iter().enumerate() {
-                        let col = &alpha_t[j * bsz + f..j * bsz + f + 4];
-                        a[0] += rij * col[0];
-                        a[1] += rij * col[1];
-                        a[2] += rij * col[2];
-                        a[3] += rij * col[3];
-                    }
-                    for (lane, &v) in a.iter().enumerate() {
-                        outs[f + lane][i] = v + mu;
-                    }
-                    f += 4;
-                }
-                while f < bsz {
-                    let mut a0 = 0.0;
-                    for (j, &rij) in row.iter().enumerate() {
-                        a0 += rij * alpha_t[j * bsz + f];
-                    }
-                    outs[f][i] = a0 + mu;
-                    f += 1;
-                }
-            }
+            backend.synthesize_block(
+                &self.basis_matrix,
+                &self.mean,
+                &alpha_t[..k * bsz],
+                bsz,
+                &mut outs,
+            );
         }
         cells
             .into_iter()
@@ -582,6 +615,86 @@ mod tests {
             assert_eq!(sharded.len(), sequential.len());
             for (a, b) in sequential.iter().zip(sharded.iter()) {
                 assert_eq!(a.as_slice(), b.as_slice(), "shards = {shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_backend_keeps_batch_bitwise_identical_to_single() {
+        // The per-backend bitwise contract: under a forced kernel, the
+        // batch path must reproduce the per-frame path bit for bit —
+        // including the FMA-fused AVX2 backend, whose per-frame rounding
+        // is position-independent by construction.
+        let ens = smooth_ensemble(6, 6, 50);
+        let basis = EigenBasis::fit_exact(&ens, 3).unwrap();
+        let sensors = SensorSet::new(6, 6, vec![0, 7, 14, 21, 28, 35]).unwrap();
+        let frames: Vec<Vec<f64>> = (0..50).map(|t| sensors.sample(&ens.map(t))).collect();
+        for kind in KernelKind::available() {
+            let rec = Reconstructor::new(&basis, &sensors)
+                .unwrap()
+                .with_kernel(kind)
+                .unwrap();
+            assert_eq!(rec.kernel_kind(), kind);
+            // Batch sizes below the lane width, below FRAME_BLOCK, and
+            // spanning several blocks.
+            for take in [1usize, 3, 7, 50] {
+                let batch = rec.reconstruct_batch(&frames[..take]).unwrap();
+                for (frame, map) in frames[..take].iter().zip(batch.iter()) {
+                    let single = rec.reconstruct(frame).unwrap();
+                    assert_eq!(
+                        single.as_slice(),
+                        map.as_slice(),
+                        "kernel={kind} take={take}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_backends_match_scalar_within_tolerance() {
+        let ens = smooth_ensemble(7, 6, 60);
+        let basis = EigenBasis::fit_exact(&ens, 3).unwrap();
+        let sensors = SensorSet::new(7, 6, vec![0, 8, 15, 22, 29, 41]).unwrap();
+        let frames: Vec<Vec<f64>> = (0..60).map(|t| sensors.sample(&ens.map(t))).collect();
+        let scalar = Reconstructor::new(&basis, &sensors)
+            .unwrap()
+            .with_kernel(KernelKind::Scalar)
+            .unwrap()
+            .reconstruct_batch(&frames)
+            .unwrap();
+        for kind in KernelKind::available() {
+            let rec = Reconstructor::new(&basis, &sensors)
+                .unwrap()
+                .with_kernel(kind)
+                .unwrap();
+            let maps = rec.reconstruct_batch(&frames).unwrap();
+            for (a, b) in scalar.iter().zip(maps.iter()) {
+                for (&x, &y) in a.as_slice().iter().zip(b.as_slice().iter()) {
+                    let rel = (x - y).abs() / x.abs().max(y.abs()).max(1.0);
+                    assert!(rel <= 1e-10, "kernel={kind}: {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unavailable_kernel_is_rejected_with_diagnostic() {
+        let basis = DctBasis::new(4, 4, 2).unwrap();
+        let sensors = SensorSet::new(4, 4, vec![0, 5, 10]).unwrap();
+        let mut rec = Reconstructor::new(&basis, &sensors).unwrap();
+        assert!(rec.kernel_kind().is_available());
+        for kind in KernelKind::ALL {
+            if kind.is_available() {
+                rec.set_kernel(kind).unwrap();
+                assert_eq!(rec.kernel_kind(), kind);
+            } else {
+                let before = rec.kernel_kind();
+                assert!(matches!(
+                    rec.set_kernel(kind),
+                    Err(CoreError::KernelUnavailable { .. })
+                ));
+                assert_eq!(rec.kernel_kind(), before, "failed force must not stick");
             }
         }
     }

@@ -52,8 +52,10 @@
 //! registry.publish_bytes("chip-a", &artifact)?;
 //! let server = Server::new(Arc::clone(&registry), 4);
 //!
-//! // Traffic: requests resolve deployments by name and are micro-batched.
+//! // Traffic: requests resolve deployments by name and are micro-batched;
+//! // every worker runs the host-dispatched SIMD synthesis kernel.
 //! let deployment = registry.latest("chip-a")?;
+//! assert!(deployment.kernel_kind().is_available());
 //! let frames: Vec<Vec<f64>> = (0..16)
 //!     .map(|t| deployment.sensors().sample(&ensemble.map(t)))
 //!     .collect();
@@ -78,6 +80,15 @@
 //! ([`eigenmaps_core::shard_spans`]), each frame's arithmetic is unchanged,
 //! and outputs are reassembled in frame order. Scaling out never changes
 //! an answer.
+//!
+//! The guarantee is *per synthesis backend*: each worker runs the
+//! deployment's runtime-dispatched SIMD kernel
+//! ([`eigenmaps_core::kernel`], AVX2+FMA where the CPU has it), whose
+//! per-frame rounding is independent of batching and shard position.
+//! Changing the backend (e.g. forcing the scalar oracle with
+//! [`Deployment::set_kernel`](eigenmaps_core::Deployment::set_kernel))
+//! may change outputs within documented rounding tolerance (`1e-10`
+//! relative); sharding and batching under any one backend never do.
 
 pub mod batch;
 pub mod error;

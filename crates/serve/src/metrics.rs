@@ -5,6 +5,20 @@
 //! batcher costs a handful of uncontended atomic increments per request,
 //! never a lock. [`ServeMetrics::snapshot`] folds the counters into a
 //! plain [`MetricsSnapshot`] for reporting.
+//!
+//! # Histogram semantics
+//!
+//! The latency histogram uses **fixed bucket edges** — a 1-2-5
+//! logarithmic ladder from 1 µs to 10 s (22 bounds plus one overflow
+//! bucket), identical in every process, so histograms from different
+//! serving replicas can be merged bucket-by-bucket without resampling.
+//! Quantiles (the `latency_p50` / `latency_p99` snapshot fields) are
+//! resolved to the **upper edge of the containing bucket**, not
+//! interpolated within it: a reported p99 of 5 ms means "99% of requests
+//! completed in at most 5 ms". Estimates are therefore conservative
+//! (never under-report) and within one 1-2-5 ladder step of the true
+//! quantile. See [`LatencyHistogram::quantile`] for the exact rule,
+//! including the overflow clamp.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -94,6 +108,12 @@ impl LatencyHistogram {
     /// The `q`-quantile (`0 < q ≤ 1`) as the upper bound of the bucket
     /// containing it; [`Duration::ZERO`] when empty. Values in the
     /// overflow bucket report the last bound (10 s).
+    ///
+    /// The rank is `ceil(q · count)` over the cumulative bucket counts
+    /// (so `q = 0.5` with two samples resolves to the first), and the
+    /// result is always one of the fixed bucket edges — no within-bucket
+    /// interpolation; see the [module docs](self) for why. Quantiles are
+    /// monotone in `q` and never below any recorded sample's bucket.
     pub fn quantile(&self, q: f64) -> Duration {
         let total: u64 = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum();
         if total == 0 {

@@ -8,6 +8,28 @@
 //! so publishing a new version never stalls in-flight requests — they keep
 //! serving from the version they resolved at submit time, and the old
 //! artifact is freed when its last in-flight holder drops.
+//!
+//! # Hot-swap ordering guarantees
+//!
+//! * **Version numbers are per-name, monotonic and never reused** — not
+//!   even after every version of a name is retired. A version number
+//!   therefore identifies exactly one artifact for the registry's entire
+//!   lifetime, so a request that pinned `(name, version)` at submit time
+//!   can always be attributed to the bytes it actually served from.
+//! * **Publishes are atomic and totally ordered per name** (they
+//!   serialize on the registry's write lock): once
+//!   [`DeploymentRegistry::publish`] returns version `v`, every
+//!   subsequent [`DeploymentRegistry::latest`] resolves to `v` or newer —
+//!   never an older version. Expensive work (decoding `EMDEPLOY` bytes,
+//!   re-factoring the solver) happens *before* the lock is taken, so a
+//!   publish stalls readers only for a map insert.
+//! * **Resolution pins, retirement doesn't revoke**: resolving hands out
+//!   an `Arc` snapshot. [`DeploymentRegistry::retire`] only removes the
+//!   version from future resolutions; requests already holding the `Arc`
+//!   finish on it, and the artifact is dropped when the last holder
+//!   drops. There is no way to observe a half-swapped state.
+//! * **No cross-name ordering** is promised: publishes to different
+//!   names are independent.
 
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};

@@ -7,12 +7,20 @@
 //! [`BatchScratch`] reused across every shard it ever processes, so
 //! steady-state serving does no per-batch coefficient-buffer allocation.
 //!
+//! Inside each shard, the worker runs the deployment's dispatched SIMD
+//! synthesis kernel ([`eigenmaps_core::kernel`]) on its own scratch: the
+//! two levels of parallelism compose — threads across frame shards,
+//! SIMD lanes across the frames within each shard's blocks — and a
+//! forced backend ([`Deployment::set_kernel`]) set before publishing is
+//! what every worker executes.
+//!
 //! Shard boundaries come from [`eigenmaps_core::shard_spans`]; because the
-//! batch path is bitwise-identical to per-frame reconstruction, stitching
-//! the shard outputs back together in span order reproduces the
-//! single-threaded [`Deployment::reconstruct_batch`] output **bitwise** —
-//! parallelism is free of numerical drift by construction, and the
-//! integration tests assert it.
+//! batch path is bitwise-identical to per-frame reconstruction *under the
+//! deployment's kernel backend* (the kernel's position-independence
+//! contract), stitching the shard outputs back together in span order
+//! reproduces the single-threaded [`Deployment::reconstruct_batch`]
+//! output **bitwise** — parallelism is free of numerical drift by
+//! construction, for every backend, and the integration tests assert it.
 
 use std::ops::Range;
 use std::sync::mpsc::{self, Receiver, Sender};

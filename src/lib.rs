@@ -15,7 +15,10 @@
 //! * [`core`] — the paper's algorithms behind the [`core::Pipeline`] /
 //!   [`core::Deployment`] lifecycle API: EigenMaps basis extraction,
 //!   least-squares thermal map reconstruction, greedy sensor allocation,
-//!   and the k-LSE / energy-center baselines.
+//!   and the k-LSE / energy-center baselines — with the hot synthesis
+//!   loop in [`core::kernel`], a runtime-dispatched SIMD kernel
+//!   (AVX2+FMA where the CPU has it, a portable 4-wide path elsewhere,
+//!   and a scalar oracle every backend is tested against).
 //! * [`serve`] — the serving runtime on top of `Deployment`: a versioned
 //!   [`serve::DeploymentRegistry`] with hot swap, the sharded
 //!   multi-threaded [`serve::ShardedExecutor`], the micro-batching
@@ -35,7 +38,9 @@
 //! 3. **Serving fleet** — [`serve::DeploymentRegistry`] hosts the
 //!    artifacts by name and version; a [`serve::Server`] micro-batches
 //!    incoming requests and fans each batch out across the
-//!    [`serve::ShardedExecutor`] worker pool, bitwise-identical to the
+//!    [`serve::ShardedExecutor`] worker pool, where every worker runs the
+//!    deployment's dispatched SIMD synthesis kernel
+//!    ([`core::Deployment::kernel_kind`]) — bitwise-identical to the
 //!    sequential path no matter the shard count.
 //!
 //! ```
@@ -76,6 +81,8 @@
 //! let mut session = server.open_session("t1-chip", 0.9)?;
 //! let map = session.step(&deployment.sensors().sample(&dataset.ensemble().map(100)))?;
 //! assert!(map.max() > 0.0);
+//! // Which SIMD synthesis backend is this host actually running?
+//! println!("kernel = {}", deployment.kernel_kind());
 //! println!("p99 = {:?}", server.metrics().latency_p99);
 //! # Ok(())
 //! # }

@@ -221,6 +221,63 @@ proptest! {
     }
 
     #[test]
+    fn simd_kernel_backends_match_scalar_on_odd_shapes(ens in ensemble_strategy()) {
+        // The synthesis kernel contract: every runnable backend agrees
+        // with the scalar oracle within 1e-10 relative, on shapes chosen
+        // to cross every lane/remainder/block boundary — K ∈ {1, 3, K*}
+        // and batch sizes {1, 7, 1031} (below the 4-lane width, below the
+        // 32-frame block, and spanning 33 blocks with a remainder).
+        let kstar = 5.min(ens.cells());
+        for k in [1usize, 3.min(kstar), kstar] {
+            let m = (k + 2).min(ens.cells());
+            let basis = EigenBasis::fit_exact(&ens, k).unwrap();
+            let d = Pipeline::new(&ens)
+                .fitted_basis(basis)
+                .sensors(m)
+                .design()
+                .unwrap();
+            let scalar = d.clone().with_kernel(KernelKind::Scalar).unwrap();
+            let frame_counts: &[usize] = if k == kstar { &[1, 7, 1031] } else { &[1, 7] };
+            for &fc in frame_counts {
+                let frames: Vec<Vec<f64>> = (0..fc)
+                    .map(|t| {
+                        let mut r = d.sensors().sample(&ens.map(t % ens.len()));
+                        // Deterministic perturbation so frames are distinct
+                        // and slightly off-subspace, like real readings.
+                        for (i, x) in r.iter_mut().enumerate() {
+                            *x += ((t * 13 + i * 7) as f64 * 0.37).sin() * 0.1;
+                        }
+                        r
+                    })
+                    .collect();
+                let oracle = scalar.reconstruct_batch(&frames).unwrap();
+                for kind in KernelKind::available() {
+                    let forced = d.clone().with_kernel(kind).unwrap();
+                    prop_assert_eq!(forced.kernel_kind(), kind);
+                    let maps = forced.reconstruct_batch(&frames).unwrap();
+                    for (f, (a, b)) in oracle.iter().zip(maps.iter()).enumerate() {
+                        for (&x, &y) in a.as_slice().iter().zip(b.as_slice().iter()) {
+                            let rel = (x - y).abs() / x.abs().max(y.abs()).max(1.0);
+                            prop_assert!(
+                                rel <= 1e-10,
+                                "kernel={} k={k} frames={fc} frame={f}: {x} vs {y}",
+                                kind
+                            );
+                        }
+                    }
+                    // The portable lanes path shares the scalar arithmetic
+                    // exactly — bitwise, not merely close.
+                    if kind == KernelKind::Lanes {
+                        for (a, b) in oracle.iter().zip(maps.iter()) {
+                            prop_assert_eq!(a.as_slice(), b.as_slice());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn snr_noise_has_exact_energy_budget(
         snr_db in 5.0f64..45.0,
         seed in 0u64..500,
