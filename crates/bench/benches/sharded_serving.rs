@@ -5,6 +5,13 @@
 //! runtime-dispatched SIMD backend, showing how thread sharding and
 //! per-shard SIMD compose.
 //!
+//! A second, interleaved-tenant axis drives the full `Server` front end
+//! with two tenants' strictly alternating small requests — the traffic
+//! shape that degraded the old FIFO coalescer to one-request batches —
+//! and asserts from the per-tenant metrics gauges (no log scraping) that
+//! the per-tenant scheduler recovers a mean coalesced batch size of at
+//! least 2× the FIFO baseline simulated on the same trace.
+//!
 //! Every configuration first proves the per-backend bitwise-identity
 //! contract (the sharded output must equal that backend's sequential
 //! batch bit for bit), then measures throughput. A plain wall-clock
@@ -16,12 +23,14 @@
 //! sequential path without cores to run on).
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use eigenmaps_core::prelude::*;
 use eigenmaps_floorplan::prelude::*;
-use eigenmaps_serve::ShardedExecutor;
+use eigenmaps_serve::{
+    BatchPolicy, DeploymentRegistry, ServeRequest, Server, ShardedExecutor, Ticket,
+};
 
 const FRAMES: usize = 1024;
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -166,5 +175,115 @@ fn bench_sharded_serving(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(sharded_serving, bench_sharded_serving);
+/// The pre-PR FIFO coalescing discipline replayed on a burst trace of
+/// tenant indices: one global pending run, flushed on every artifact
+/// switch or when the request budget fills (the latency budget never
+/// fires inside a burst). Returns the batch count.
+fn fifo_baseline_batches(trace: &[usize], max_batch_requests: usize) -> usize {
+    let mut batches = 0usize;
+    let mut head: Option<usize> = None;
+    let mut run_len = 0usize;
+    for &tenant in trace {
+        if head.is_some() && head != Some(tenant) {
+            batches += 1;
+            run_len = 0;
+        }
+        head = Some(tenant);
+        run_len += 1;
+        if run_len >= max_batch_requests {
+            batches += 1;
+            head = None;
+            run_len = 0;
+        }
+    }
+    if run_len > 0 {
+        batches += 1;
+    }
+    batches
+}
+
+fn bench_interleaved_tenants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interleaved_two_tenant_microbatching");
+    group.sample_size(10);
+
+    // Two tenants with distinct artifacts, strictly alternating
+    // two-frame requests — maximal interleave.
+    const REQUESTS: usize = 512;
+    const FRAMES_PER_REQUEST: usize = 2;
+    let tenants = [setup(12, 12), setup(10, 10)];
+    let names = ["tenant-a", "tenant-b"];
+    let registry = Arc::new(DeploymentRegistry::new());
+    for (name, w) in names.iter().zip(&tenants) {
+        registry.publish(name, (*w.deployment).clone());
+    }
+    let policy = BatchPolicy {
+        max_batch_frames: 256,
+        max_batch_requests: 32,
+        max_delay: Duration::from_millis(5),
+        ..BatchPolicy::default()
+    };
+    let trace: Vec<usize> = (0..REQUESTS).map(|i| i % 2).collect();
+    let run_trace = |server: &Server| {
+        let tickets: Vec<Ticket> = trace
+            .iter()
+            .enumerate()
+            .map(|(i, &tenant)| {
+                let frames = &tenants[tenant].frames;
+                let start = (i / 2 * FRAMES_PER_REQUEST) % (frames.len() - FRAMES_PER_REQUEST);
+                server
+                    .submit(ServeRequest::new(
+                        names[tenant],
+                        frames[start..start + FRAMES_PER_REQUEST].to_vec(),
+                    ))
+                    .expect("submit")
+            })
+            .collect();
+        for ticket in tickets {
+            black_box(ticket.wait().expect("serve"));
+        }
+    };
+
+    let server = Server::with_policy(Arc::clone(&registry), 4, policy);
+    run_trace(&server);
+
+    // Batch-size recovery gate, read from the per-tenant metrics gauges.
+    let snapshot = server.metrics();
+    let (batches, batch_requests) = snapshot.tenants.values().fold((0u64, 0u64), |acc, t| {
+        (acc.0 + t.batches, acc.1 + t.batch_requests)
+    });
+    assert_eq!(batch_requests as usize, REQUESTS, "every request flushed");
+    let mean_batch = batch_requests as f64 / batches.max(1) as f64;
+    let fifo_batches = fifo_baseline_batches(&trace, policy.max_batch_requests);
+    let fifo_mean = REQUESTS as f64 / fifo_batches as f64;
+    println!(
+        "interleaved_two_tenant_microbatching/summary: {mean_batch:.2} requests/batch \
+         with per-tenant queues vs {fifo_mean:.2} FIFO baseline \
+         ({batches} batches vs {fifo_batches})"
+    );
+    for (name, tenant) in &snapshot.tenants {
+        println!(
+            "interleaved_two_tenant_microbatching/summary[{name}]: \
+             mean batch {:.2} requests / {:.2} frames, max queue depth {}",
+            tenant.mean_batch_requests(),
+            tenant.mean_batch_frames(),
+            tenant.max_queue_depth
+        );
+    }
+    assert!(
+        mean_batch >= 2.0 * fifo_mean,
+        "per-tenant queues coalesced only {mean_batch:.2} requests/batch \
+         vs the {fifo_mean:.2} FIFO baseline (>= 2x required)"
+    );
+
+    group.bench_function("per_tenant_queues/alternating_512x2", |bch| {
+        bch.iter(|| run_trace(&server))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    sharded_serving,
+    bench_sharded_serving,
+    bench_interleaved_tenants
+);
 criterion_main!(sharded_serving);

@@ -1,60 +1,48 @@
-//! The request/batching front end: [`ServeRequest`] → queue →
-//! micro-batcher → [`ShardedExecutor`].
+//! The request/batching front end: [`ServeRequest`] → per-tenant pending
+//! queues → [`Scheduler`] → [`ShardedExecutor`].
 //!
 //! Real monitoring traffic arrives as many small requests (a handful of
 //! telemetry frames per chip per interval), but the execution engine is at
-//! its best on large batches. The [`Server`] bridges the two: requests are
-//! queued, and a batcher thread coalesces consecutive requests pinned to
-//! the *same deployment artifact* into one shard-parallel batch, flushing
-//! when the batch reaches a frame budget ([`BatchPolicy::max_batch_frames`]),
-//! a request budget ([`BatchPolicy::max_batch_requests`]) or when the
-//! oldest queued request has waited [`BatchPolicy::max_delay`].
+//! its best on large batches. The [`Server`] bridges the two: a request
+//! pins its deployment version at submit time, is queued under its
+//! [`TenantKey`] `(name, version)`, and a batcher thread drives the pure
+//! [`Scheduler`] state machine, which coalesces each tenant's requests
+//! independently and flushes a tenant when *its own* frame budget, request
+//! budget or latency budget ([`BatchPolicy`]) fills — so interleaved
+//! multi-tenant traffic no longer degrades to one-request batches, and a
+//! hot swap mid-queue never mixes artifacts (the new version is simply a
+//! new tenant key).
 //!
-//! Each request pins the deployment version it resolved at submit time, so
-//! hot-swapping a tenant's deployment in the registry never changes the
-//! artifact a queued request is served with.
+//! When several tenants are ready at once, flushes are decided round-robin
+//! (the scheduler's fairness rotation): a backlogged tenant's next batch
+//! is decided only after every other ready tenant got one, so it cannot
+//! starve the others, while per-tenant deadlines — anchored at the
+//! client's submit time — bound every request's queueing latency
+//! regardless of foreign traffic.
 //!
-//! Coalescing is strictly FIFO: a request pinned to a *different* artifact
-//! than the pending batch flushes it. Heavily interleaved multi-tenant
-//! traffic therefore degrades toward one request per batch (correctness
-//! and ordering are unaffected; only the batching win shrinks) — per-tenant
-//! pending queues with independent deadlines are the planned next step for
-//! that traffic shape (see ROADMAP).
+//! The front door is nonblocking end to end: [`Server::submit`] and
+//! [`Server::try_submit`] enqueue without waiting, and the returned
+//! [`Ticket`] can be consumed three ways — block ([`Ticket::wait`]), poll
+//! ([`Ticket::try_wait`]), or register a readiness callback
+//! ([`Ticket::on_ready`]) to bridge an event loop without a thread per
+//! request. Dropping a ticket abandons the response but never the request:
+//! the batch still executes and the batcher never wedges.
 
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use eigenmaps_core::{CoreError, Deployment, ThermalMap};
 
 use crate::error::{Result, ServeError};
 use crate::metrics::ServeMetrics;
 use crate::registry::DeploymentRegistry;
+use crate::scheduler::{FlushDecision, Scheduler, TenantKey};
 use crate::session::TrackerSession;
 use crate::shard::ShardedExecutor;
 
-/// When the micro-batcher flushes a coalesced batch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct BatchPolicy {
-    /// Flush once the coalesced batch holds at least this many frames.
-    pub max_batch_frames: usize,
-    /// Flush once this many requests are coalesced.
-    pub max_batch_requests: usize,
-    /// Flush once the oldest queued request has waited this long — the
-    /// latency budget a small lone request pays at worst.
-    pub max_delay: Duration,
-}
-
-impl Default for BatchPolicy {
-    fn default() -> Self {
-        BatchPolicy {
-            max_batch_frames: 256,
-            max_batch_requests: 64,
-            max_delay: Duration::from_millis(2),
-        }
-    }
-}
+pub use crate::scheduler::BatchPolicy;
 
 /// One reconstruction request: a named deployment and the sensor-reading
 /// frames to reconstruct.
@@ -76,11 +64,108 @@ impl ServeRequest {
     }
 }
 
-/// A pending response handle returned by [`Server::submit`].
-#[derive(Debug)]
+/// Where a response lands: shared between the [`Ticket`] and the batcher.
+struct ResponseSlot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+enum SlotState {
+    /// Response not produced yet; an optional readiness callback waits.
+    Pending {
+        callback: Option<Box<dyn FnOnce() + Send>>,
+    },
+    /// Response produced, not yet consumed.
+    Ready(Result<Vec<ThermalMap>>),
+    /// Response consumed (by `wait` or `try_wait`).
+    Taken,
+}
+
+impl ResponseSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(ResponseSlot {
+            state: Mutex::new(SlotState::Pending { callback: None }),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Stores the response, fires the readiness callback (outside the
+    /// lock), then wakes blocked waiters. Idempotent: only the first
+    /// completion wins.
+    fn complete(&self, result: Result<Vec<ThermalMap>>) {
+        let callback = {
+            let mut state = self.state.lock().expect("ticket lock poisoned");
+            match &mut *state {
+                SlotState::Pending { callback } => {
+                    let callback = callback.take();
+                    *state = SlotState::Ready(result);
+                    callback
+                }
+                _ => return,
+            }
+        };
+        if let Some(callback) = callback {
+            callback();
+        }
+        self.ready.notify_all();
+    }
+}
+
+/// Completes its [`ResponseSlot`] exactly once — on the happy path with
+/// the batch result, or with [`ServeError::Terminated`] if dropped
+/// unfulfilled (batcher teardown), so [`Ticket::wait`] can never hang.
+struct Responder {
+    slot: Arc<ResponseSlot>,
+    fulfilled: bool,
+}
+
+impl Responder {
+    fn new(slot: Arc<ResponseSlot>) -> Self {
+        Responder {
+            slot,
+            fulfilled: false,
+        }
+    }
+
+    fn send(mut self, result: Result<Vec<ThermalMap>>) {
+        self.fulfilled = true;
+        self.slot.complete(result);
+    }
+}
+
+impl Drop for Responder {
+    fn drop(&mut self) {
+        if !self.fulfilled {
+            self.slot.complete(Err(ServeError::Terminated {
+                context: "server dropped before responding",
+            }));
+        }
+    }
+}
+
+impl std::fmt::Debug for Responder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Responder")
+            .field("fulfilled", &self.fulfilled)
+            .finish()
+    }
+}
+
+/// A pending response handle returned by [`Server::submit`] /
+/// [`Server::try_submit`].
+///
+/// A ticket can be consumed exactly once, in any of three styles:
+///
+/// * **block** — [`Ticket::wait`];
+/// * **poll** — [`Ticket::try_wait`] from an event loop;
+/// * **callback** — [`Ticket::on_ready`] to get woken without a thread.
+///
+/// Dropping a ticket without consuming it is safe: the request still
+/// executes in its coalesced batch (its tenant's queue slot is released
+/// exactly as if it had been awaited), and the response is discarded.
 pub struct Ticket {
     version: u32,
-    rx: Receiver<Result<Vec<ThermalMap>>>,
+    slot: Arc<ResponseSlot>,
 }
 
 impl Ticket {
@@ -89,30 +174,95 @@ impl Ticket {
         self.version
     }
 
+    /// Whether a response is ready — [`Ticket::try_wait`] would return it.
+    pub fn is_ready(&self) -> bool {
+        matches!(
+            *self.slot.state.lock().expect("ticket lock poisoned"),
+            SlotState::Ready(_)
+        )
+    }
+
+    /// Nonblocking poll: the response if it is ready (returned exactly
+    /// once), `None` while it is still pending or after it was already
+    /// consumed.
+    pub fn try_wait(&mut self) -> Option<Result<Vec<ThermalMap>>> {
+        let mut state = self.slot.state.lock().expect("ticket lock poisoned");
+        match &*state {
+            SlotState::Ready(_) => match std::mem::replace(&mut *state, SlotState::Taken) {
+                SlotState::Ready(result) => Some(result),
+                _ => unreachable!("state was Ready under the lock"),
+            },
+            _ => None,
+        }
+    }
+
+    /// Registers `callback` to run as soon as the response is ready
+    /// (invoked on the batcher thread, before blocked waiters wake). If
+    /// the response is already ready, runs it immediately on the calling
+    /// thread. A second registration replaces the first. The callback
+    /// must not block — it is the readiness hook an event loop uses to
+    /// schedule a [`Ticket::try_wait`].
+    pub fn on_ready(&self, callback: impl FnOnce() + Send + 'static) {
+        {
+            let mut state = self.slot.state.lock().expect("ticket lock poisoned");
+            if let SlotState::Pending { callback: slot } = &mut *state {
+                *slot = Some(Box::new(callback));
+                return;
+            }
+        }
+        callback();
+    }
+
     /// Blocks until the batcher serves the request.
     ///
     /// # Errors
     ///
     /// * The request's own failure ([`ServeError::Core`]), or
     /// * [`ServeError::Terminated`] if the server shut down before
-    ///   responding.
+    ///   responding, or if the response was already consumed by
+    ///   [`Ticket::try_wait`].
     pub fn wait(self) -> Result<Vec<ThermalMap>> {
-        self.rx.recv().map_err(|_| ServeError::Terminated {
-            context: "server dropped before responding",
-        })?
+        let mut state = self.slot.state.lock().expect("ticket lock poisoned");
+        loop {
+            match &*state {
+                SlotState::Pending { .. } => {
+                    state = self.slot.ready.wait(state).expect("ticket lock poisoned");
+                }
+                SlotState::Ready(_) => match std::mem::replace(&mut *state, SlotState::Taken) {
+                    SlotState::Ready(result) => return result,
+                    _ => unreachable!("state was Ready under the lock"),
+                },
+                SlotState::Taken => {
+                    return Err(ServeError::Terminated {
+                        context: "response already consumed by try_wait",
+                    })
+                }
+            }
+        }
     }
 }
 
-/// A queued request with its artifact pinned and its reply channel.
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("version", &self.version)
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}
+
+/// A queued request with its artifact pinned and its response slot.
+#[derive(Debug)]
 struct QueuedRequest {
+    key: TenantKey,
     deployment: Arc<Deployment>,
     frames: Vec<Vec<f64>>,
     enqueued: Instant,
-    reply: Sender<Result<Vec<ThermalMap>>>,
+    responder: Responder,
 }
 
-/// The serving front end: registry + micro-batcher + sharded execution
-/// engine + metrics, one per fleet process.
+/// The serving front end: registry + per-tenant micro-batching scheduler +
+/// sharded execution engine + metrics, one per fleet process.
 ///
 /// `Server` is `Send + Sync`; submit from any thread. Dropping it flushes
 /// queued requests and joins the batcher and worker threads.
@@ -121,6 +271,7 @@ pub struct Server {
     registry: Arc<DeploymentRegistry>,
     executor: Arc<ShardedExecutor>,
     metrics: Arc<ServeMetrics>,
+    policy: BatchPolicy,
     queue: Sender<QueuedRequest>,
     batcher: Option<JoinHandle<()>>,
 }
@@ -142,18 +293,22 @@ impl Server {
         let metrics = Arc::new(ServeMetrics::new(shards));
         let executor = Arc::new(ShardedExecutor::with_metrics(shards, Arc::clone(&metrics)));
         let (queue, rx) = mpsc::channel();
+        // The scheduler-clock epoch predates every possible submit, so
+        // request timestamps always convert to a valid `Duration`.
+        let epoch = Instant::now();
         let batcher = {
             let executor = Arc::clone(&executor);
             let metrics = Arc::clone(&metrics);
             std::thread::Builder::new()
                 .name("eigenmaps-batcher".into())
-                .spawn(move || batcher_loop(&rx, &executor, &metrics, policy))
+                .spawn(move || batcher_loop(&rx, &executor, &metrics, policy, epoch))
                 .expect("spawn batcher")
         };
         Server {
             registry,
             executor,
             metrics,
+            policy,
             queue,
             batcher: Some(batcher),
         }
@@ -169,6 +324,11 @@ impl Server {
         &self.executor
     }
 
+    /// The batching policy this server's scheduler enforces.
+    pub fn policy(&self) -> &BatchPolicy {
+        &self.policy
+    }
+
     /// A point-in-time copy of the serving metrics.
     pub fn metrics(&self) -> crate::metrics::MetricsSnapshot {
         self.metrics.snapshot()
@@ -179,12 +339,112 @@ impl Server {
     /// frame lengths are validated now so malformed requests fail fast
     /// instead of poisoning a coalesced batch.
     ///
+    /// The request joins **its tenant's own pending queue** (keyed by the
+    /// pinned `(name, version)`): it coalesces only with other requests
+    /// for the same artifact, and flushes when that queue's frame count,
+    /// request count or oldest-request age crosses the [`BatchPolicy`]
+    /// budgets — interleaved traffic from other tenants neither flushes
+    /// nor delays it. This path never blocks and never rejects on load
+    /// (the queue is unbounded); use [`Server::try_submit`] for
+    /// admission-controlled submission.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use eigenmaps_core::prelude::*;
+    /// use eigenmaps_serve::{DeploymentRegistry, ServeRequest, Server};
+    ///
+    /// # fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+    /// let maps: Vec<ThermalMap> = (0..30)
+    ///     .map(|t| {
+    ///         let w = (t as f64 / 4.0).sin();
+    ///         ThermalMap::from_fn(6, 6, |r, c| 40.0 + w * (r + 2 * c) as f64)
+    ///     })
+    ///     .collect();
+    /// let ensemble = MapEnsemble::from_maps(&maps)?;
+    /// let registry = Arc::new(DeploymentRegistry::new());
+    /// registry.publish(
+    ///     "chip",
+    ///     Pipeline::new(&ensemble)
+    ///         .basis(BasisSpec::EigenExact { k: 2 })
+    ///         .sensors(4)
+    ///         .design()?,
+    /// );
+    /// let server = Server::new(Arc::clone(&registry), 2);
+    ///
+    /// let frames = vec![registry.latest("chip")?.sensors().sample(&ensemble.map(0))];
+    /// let ticket = server.submit(ServeRequest::new("chip", frames))?;
+    /// assert_eq!(ticket.version(), 1); // pinned at submit
+    /// assert_eq!(ticket.wait()?.len(), 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
     /// # Errors
     ///
     /// * [`ServeError::UnknownDeployment`] for an unresolved name.
     /// * [`ServeError::Core`] for frames with the wrong reading count.
     /// * [`ServeError::Terminated`] if the server is shutting down.
     pub fn submit(&self, request: ServeRequest) -> Result<Ticket> {
+        self.enqueue(request, false)
+    }
+
+    /// The nonblocking, admission-controlled front door: like
+    /// [`Server::submit`], but refuses with [`ServeError::Saturated`]
+    /// (instead of queueing without bound) when the tenant already has
+    /// [`BatchPolicy::max_pending_per_tenant`] requests pending. Combined
+    /// with [`Ticket::try_wait`] / [`Ticket::on_ready`], a single event
+    /// loop can front many connections with zero blocked threads: submit,
+    /// register readiness, poll when woken.
+    ///
+    /// ```
+    /// use std::sync::atomic::{AtomicBool, Ordering};
+    /// use std::sync::Arc;
+    /// use eigenmaps_core::prelude::*;
+    /// use eigenmaps_serve::{DeploymentRegistry, ServeRequest, Server};
+    ///
+    /// # fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+    /// let maps: Vec<ThermalMap> = (0..30)
+    ///     .map(|t| {
+    ///         let w = (t as f64 / 4.0).sin();
+    ///         ThermalMap::from_fn(6, 6, |r, c| 40.0 + w * (r + 2 * c) as f64)
+    ///     })
+    ///     .collect();
+    /// let ensemble = MapEnsemble::from_maps(&maps)?;
+    /// let registry = Arc::new(DeploymentRegistry::new());
+    /// registry.publish(
+    ///     "chip",
+    ///     Pipeline::new(&ensemble)
+    ///         .basis(BasisSpec::EigenExact { k: 2 })
+    ///         .sensors(4)
+    ///         .design()?,
+    /// );
+    /// let server = Server::new(Arc::clone(&registry), 2);
+    ///
+    /// let frames = vec![registry.latest("chip")?.sensors().sample(&ensemble.map(1))];
+    /// let mut ticket = server.try_submit(ServeRequest::new("chip", frames))?;
+    /// // Event-loop style: a readiness hook instead of a blocked thread.
+    /// let woken = Arc::new(AtomicBool::new(false));
+    /// let flag = Arc::clone(&woken);
+    /// ticket.on_ready(move || flag.store(true, Ordering::Release));
+    /// // Poll until the callback has fired (a real loop would sleep on
+    /// // its I/O selector and re-poll when woken).
+    /// while !woken.load(Ordering::Acquire) {
+    ///     std::thread::yield_now();
+    /// }
+    /// assert_eq!(ticket.try_wait().unwrap()?.len(), 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Union of [`Server::submit`] and [`ServeError::Saturated`] when the
+    /// tenant's pending queue is full.
+    pub fn try_submit(&self, request: ServeRequest) -> Result<Ticket> {
+        self.enqueue(request, true)
+    }
+
+    fn enqueue(&self, request: ServeRequest, admission_control: bool) -> Result<Ticket> {
         let (version, deployment) = self.registry.latest_versioned(&request.deployment)?;
         let m = deployment.m();
         for readings in &request.frames {
@@ -196,20 +456,45 @@ impl Server {
                 }));
             }
         }
-        let (reply, rx) = mpsc::channel();
+        // Gauge up before handing the request to the batcher: the flush
+        // path decrements, and decrement-before-increment would wedge the
+        // gauge above zero forever. The nonblocking door reserves its
+        // gauge slot atomically, so concurrent admitters cannot overshoot
+        // the per-tenant bound.
+        if admission_control {
+            if let Err(pending) = self.metrics.try_record_tenant_enqueued(
+                &request.deployment,
+                self.policy.max_pending_per_tenant as u64,
+            ) {
+                return Err(ServeError::Saturated {
+                    name: request.deployment,
+                    pending,
+                });
+            }
+        } else {
+            self.metrics.record_tenant_enqueued(&request.deployment);
+        }
+        let slot = ResponseSlot::new();
+        let ticket = Ticket {
+            version,
+            slot: Arc::clone(&slot),
+        };
         let frames = request.frames.len();
-        self.queue
-            .send(QueuedRequest {
-                deployment,
-                frames: request.frames,
-                enqueued: Instant::now(),
-                reply,
-            })
-            .map_err(|_| ServeError::Terminated {
+        let queued = QueuedRequest {
+            key: TenantKey::new(&request.deployment, version),
+            deployment,
+            frames: request.frames,
+            enqueued: Instant::now(),
+            responder: Responder::new(slot),
+        };
+        if let Err(mpsc::SendError(dead)) = self.queue.send(queued) {
+            self.metrics.record_tenant_dequeued(&dead.key.name, 1);
+            return Err(ServeError::Terminated {
                 context: "request queue closed",
-            })?;
+            });
+        }
         self.metrics.record_request(frames);
-        Ok(Ticket { version, rx })
+        Ok(ticket)
     }
 
     /// Submits and blocks for the response — the synchronous convenience
@@ -242,7 +527,7 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        // Closing the queue lets the batcher flush what's pending and
+        // Closing the queue lets the batcher drain what's pending and
         // exit; then reap it before the executor is torn down.
         let (dead, _) = mpsc::channel();
         drop(std::mem::replace(&mut self.queue, dead));
@@ -252,109 +537,123 @@ impl Drop for Server {
     }
 }
 
-/// The micro-batcher: coalesce → flush loop. Runs until the request queue
-/// closes, then flushes the remainder.
+/// The batcher thread: feeds arrivals into the pure [`Scheduler`] and
+/// executes its flush decisions. All timing runs on a `Duration` clock
+/// anchored at the loop's start, matching what the scheduler's mock-clock
+/// tests exercise. Runs until the request queue closes, then drains.
 fn batcher_loop(
     rx: &Receiver<QueuedRequest>,
     executor: &ShardedExecutor,
     metrics: &ServeMetrics,
     policy: BatchPolicy,
+    epoch: Instant,
 ) {
-    let mut pending: Vec<QueuedRequest> = Vec::new();
-    let mut pending_frames = 0usize;
+    let mut scheduler: Scheduler<QueuedRequest> = Scheduler::new(policy);
     loop {
-        let next = if pending.is_empty() {
+        let arrival = if scheduler.is_idle() {
             match rx.recv() {
-                Ok(req) => req,
+                Ok(req) => Some(req),
                 Err(_) => break,
             }
         } else {
-            // An unrepresentable deadline (huge `max_delay` = "flush by
-            // size only") waits without a timeout.
-            let remaining = pending[0]
-                .enqueued
-                .checked_add(policy.max_delay)
-                .map(|deadline| deadline.saturating_duration_since(Instant::now()));
-            match remaining {
+            match scheduler.next_deadline() {
+                // No representable deadline ("flush by size only"): wait
+                // for traffic without a timeout.
                 None => match rx.recv() {
-                    Ok(req) => req,
+                    Ok(req) => Some(req),
                     Err(_) => break,
                 },
-                Some(remaining) if remaining.is_zero() => {
-                    flush(&mut pending, &mut pending_frames, executor, metrics);
-                    continue;
-                }
-                Some(remaining) => match rx.recv_timeout(remaining) {
-                    Ok(req) => req,
-                    Err(RecvTimeoutError::Timeout) => {
-                        flush(&mut pending, &mut pending_frames, executor, metrics);
-                        continue;
+                Some(deadline) => {
+                    let remaining = deadline.saturating_sub(epoch.elapsed());
+                    if remaining.is_zero() {
+                        None
+                    } else {
+                        match rx.recv_timeout(remaining) {
+                            Ok(req) => Some(req),
+                            Err(RecvTimeoutError::Timeout) => None,
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
                     }
-                    Err(RecvTimeoutError::Disconnected) => break,
-                },
+                }
             }
         };
-        // Coalescing is only valid within one artifact: a request pinned
-        // to a different deployment (other tenant, or a hot-swapped
-        // version) flushes what came before it.
-        if let Some(head) = pending.first() {
-            if !Arc::ptr_eq(&head.deployment, &next.deployment) {
-                flush(&mut pending, &mut pending_frames, executor, metrics);
-            }
+        let now = epoch.elapsed();
+        if let Some(request) = arrival {
+            // Anchor the latency budget at the client's submit time, not
+            // at batcher receipt: time spent waiting in the channel (e.g.
+            // behind a long executor run) counts toward `max_delay`, so an
+            // already-overdue request flushes on the very next tick.
+            let enqueued_at = request.enqueued.saturating_duration_since(epoch);
+            scheduler.submit(
+                enqueued_at,
+                request.key.clone(),
+                request.frames.len(),
+                request,
+            );
         }
-        pending_frames += next.frames.len();
-        pending.push(next);
-        if pending_frames >= policy.max_batch_frames || pending.len() >= policy.max_batch_requests {
-            flush(&mut pending, &mut pending_frames, executor, metrics);
+        for decision in scheduler.tick(now) {
+            flush(decision, executor, metrics);
         }
     }
-    flush(&mut pending, &mut pending_frames, executor, metrics);
+    for decision in scheduler.drain() {
+        flush(decision, executor, metrics);
+    }
 }
 
-/// Runs one coalesced batch and distributes results (or the shared error)
-/// back to each request's reply channel.
+/// Executes one flush decision and distributes results (or the shared
+/// error) back through each request's responder.
 fn flush(
-    pending: &mut Vec<QueuedRequest>,
-    pending_frames: &mut usize,
+    decision: FlushDecision<QueuedRequest>,
     executor: &ShardedExecutor,
     metrics: &ServeMetrics,
 ) {
-    if pending.is_empty() {
+    let FlushDecision {
+        tenant,
+        frames: total_frames,
+        jobs,
+        ..
+    } = decision;
+    if jobs.is_empty() {
         return;
     }
     metrics.record_batch();
-    let deployment = Arc::clone(&pending[0].deployment);
-    let mut combined: Vec<Vec<f64>> = Vec::with_capacity(*pending_frames);
-    let mut counts = Vec::with_capacity(pending.len());
-    for req in pending.iter_mut() {
+    metrics.record_tenant_batch(&tenant.name, jobs.len() as u64, total_frames as u64);
+    // Every job in a decision pinned the same registry artifact (same
+    // (name, version) ⇒ same Arc handed out by the registry).
+    let deployment = Arc::clone(&jobs[0].deployment);
+    let mut combined: Vec<Vec<f64>> = Vec::with_capacity(total_frames);
+    let mut counts = Vec::with_capacity(jobs.len());
+    let mut jobs: Vec<QueuedRequest> = jobs;
+    for req in jobs.iter_mut() {
         counts.push(req.frames.len());
         combined.append(&mut req.frames); // moves the inner Vecs, no copy
     }
     let outcome = executor.execute(&deployment, &Arc::new(combined));
     match outcome {
         Ok(mut maps) => {
-            for (req, count) in pending.drain(..).zip(counts) {
+            for (req, count) in jobs.into_iter().zip(counts) {
                 let rest = maps.split_off(count);
                 let chunk = std::mem::replace(&mut maps, rest);
                 metrics.record_latency(req.enqueued.elapsed());
-                let _ = req.reply.send(Ok(chunk));
+                req.responder.send(Ok(chunk));
             }
         }
         Err(e) => {
-            for req in pending.drain(..) {
+            for req in jobs {
                 metrics.record_latency(req.enqueued.elapsed());
                 metrics.record_error();
-                let _ = req.reply.send(Err(e.clone()));
+                req.responder.send(Err(e.clone()));
             }
         }
     }
-    *pending_frames = 0;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use eigenmaps_core::prelude::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
 
     fn fixture(frames: usize) -> (Arc<DeploymentRegistry>, MapEnsemble, Vec<Vec<f64>>) {
         let (d, ens) = crate::testutil::two_mode_deployment(8, 8, 2, 5);
@@ -386,6 +685,7 @@ mod tests {
             max_batch_frames: 64,
             max_batch_requests: 64,
             max_delay: Duration::from_millis(50),
+            ..BatchPolicy::default()
         };
         let server = Server::with_policy(registry, 2, policy);
         let tickets: Vec<Ticket> = frames
@@ -410,6 +710,12 @@ mod tests {
             snap.batches
         );
         assert!(snap.latency_p50 > Duration::ZERO);
+        // The per-tenant gauges saw the same traffic and drained fully.
+        let tenant = &snap.tenants["chip"];
+        assert_eq!(tenant.batch_requests, 20);
+        assert_eq!(tenant.batch_frames, 40);
+        assert_eq!(tenant.queue_depth, 0);
+        assert!(tenant.max_queue_depth >= 1);
     }
 
     #[test]
@@ -449,6 +755,7 @@ mod tests {
             max_batch_frames: 1 << 20,
             max_batch_requests: 1 << 10,
             max_delay: Duration::from_millis(40),
+            ..BatchPolicy::default()
         };
         let server = Server::with_policy(Arc::clone(&registry), 2, policy);
         let before = server
@@ -477,7 +784,8 @@ mod tests {
         assert_eq!(after.version(), 2);
         assert_eq!(before.wait().unwrap().len(), 6);
         assert_eq!(after.wait().unwrap().len(), 4);
-        // Mixed-artifact queue cannot coalesce: at least two batches ran.
+        // The two versions are distinct tenants: they can never share a
+        // batch, so at least two ran.
         assert!(server.metrics().batches >= 2);
     }
 
@@ -491,6 +799,7 @@ mod tests {
             max_batch_frames: 4,
             max_batch_requests: 1 << 10,
             max_delay: Duration::MAX,
+            ..BatchPolicy::default()
         };
         let server = Server::with_policy(registry, 2, policy);
         let tickets: Vec<Ticket> = frames
@@ -514,10 +823,96 @@ mod tests {
             max_batch_frames: 1 << 20,
             max_batch_requests: 1 << 10,
             max_delay: Duration::from_secs(30), // would wait half a minute
+            ..BatchPolicy::default()
         };
         let server = Server::with_policy(registry, 2, policy);
         let ticket = server.submit(ServeRequest::new("chip", frames)).unwrap();
         drop(server); // shutdown must flush, not abandon
         assert_eq!(ticket.wait().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn try_wait_polls_without_blocking() {
+        let (registry, _, frames) = fixture(3);
+        let server = Server::new(registry, 1);
+        let mut ticket = server.submit(ServeRequest::new("chip", frames)).unwrap();
+        // Poll until ready — never blocks, bounded by the 2 ms deadline.
+        let maps = loop {
+            if let Some(result) = ticket.try_wait() {
+                break result.unwrap();
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(maps.len(), 3);
+        // The response was consumed: further polls yield nothing, and a
+        // late `wait` reports it instead of hanging.
+        assert!(ticket.try_wait().is_none());
+        assert!(matches!(ticket.wait(), Err(ServeError::Terminated { .. })));
+    }
+
+    #[test]
+    fn on_ready_fires_before_wait_returns() {
+        let (registry, _, frames) = fixture(2);
+        let server = Server::new(registry, 1);
+        let ticket = server.submit(ServeRequest::new("chip", frames)).unwrap();
+        let fired = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&fired);
+        ticket.on_ready(move || flag.store(true, Ordering::Release));
+        assert_eq!(ticket.wait().unwrap().len(), 2);
+        assert!(fired.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn on_ready_after_completion_fires_immediately() {
+        let (registry, _, frames) = fixture(1);
+        let server = Server::new(registry, 1);
+        let mut ticket = server.submit(ServeRequest::new("chip", frames)).unwrap();
+        while !ticket.is_ready() {
+            std::thread::yield_now();
+        }
+        let fired = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&fired);
+        ticket.on_ready(move || flag.store(true, Ordering::Release));
+        assert!(
+            fired.load(Ordering::Acquire),
+            "late registration runs inline"
+        );
+        assert!(ticket.try_wait().unwrap().is_ok());
+    }
+
+    #[test]
+    fn try_submit_saturates_instead_of_queueing() {
+        let (registry, _, frames) = fixture(4);
+        // Nothing ever flushes (huge budgets, long delay): the pending
+        // queue fills deterministically.
+        let policy = BatchPolicy {
+            max_batch_frames: 1 << 20,
+            max_batch_requests: 1 << 10,
+            max_delay: Duration::from_secs(60),
+            max_pending_per_tenant: 3,
+        };
+        let server = Server::with_policy(registry, 1, policy);
+        let mut tickets = Vec::new();
+        for chunk in frames.chunks(1).take(3) {
+            tickets.push(
+                server
+                    .try_submit(ServeRequest::new("chip", chunk.to_vec()))
+                    .unwrap(),
+            );
+        }
+        let err = server
+            .try_submit(ServeRequest::new("chip", vec![frames[3].clone()]))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Saturated { pending: 3, .. }));
+        // The blocking path stays unbounded for back-compat.
+        tickets.push(
+            server
+                .submit(ServeRequest::new("chip", vec![frames[3].clone()]))
+                .unwrap(),
+        );
+        drop(server); // drain
+        for ticket in tickets {
+            assert_eq!(ticket.wait().unwrap().len(), 1);
+        }
     }
 }

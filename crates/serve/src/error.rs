@@ -29,6 +29,16 @@ pub enum ServeError {
         /// Which channel or component went away.
         context: &'static str,
     },
+    /// The nonblocking front door refused the request: the tenant's
+    /// pending queue is at its admission-control bound
+    /// (`BatchPolicy::max_pending_per_tenant`). Retry after draining, or
+    /// use the unbounded blocking path.
+    Saturated {
+        /// The tenant whose queue is full.
+        name: String,
+        /// Requests pending for that tenant at refusal time.
+        pending: u64,
+    },
     /// Reconstruction itself failed.
     Core(CoreError),
 }
@@ -44,6 +54,12 @@ impl fmt::Display for ServeError {
             }
             ServeError::Terminated { context } => {
                 write!(f, "serving runtime terminated: {context}")
+            }
+            ServeError::Saturated { name, pending } => {
+                write!(
+                    f,
+                    "tenant {name:?} is saturated: {pending} requests already pending"
+                )
             }
             ServeError::Core(e) => write!(f, "reconstruction failed: {e}"),
         }
@@ -83,6 +99,11 @@ mod tests {
             version: 3,
         };
         assert!(e.to_string().contains('3'));
+        let e = ServeError::Saturated {
+            name: "us-east".into(),
+            pending: 1024,
+        };
+        assert!(e.to_string().contains("1024"));
     }
 
     #[test]

@@ -12,13 +12,19 @@
 //!   batch into contiguous frame shards, runs the batched reconstruction
 //!   path per shard with per-worker reused scratch, and reassembles
 //!   results **bitwise-identical** to the sequential path;
-//! * [`Server`] / [`ServeRequest`] — the request front end: a queue and a
-//!   micro-batcher that coalesces small requests up to a size/latency
-//!   budget ([`BatchPolicy`]) before handing them to the executor;
+//! * [`Server`] / [`ServeRequest`] — the request front end: one pending
+//!   queue per pinned `(name, version)` tenant, coalesced by the pure
+//!   [`Scheduler`] state machine under per-tenant size/latency budgets
+//!   ([`BatchPolicy`]) with a fairness rotation across tenants, plus a
+//!   nonblocking door ([`Server::try_submit`], pollable [`Ticket`] with a
+//!   readiness callback) for event-loop transports;
+//! * [`Scheduler`] — the clock-injected coalesce/flush state machine
+//!   itself, usable (and deterministically testable) without threads;
 //! * [`TrackerSession`] — streaming per-tenant telemetry sessions with
 //!   temporal filtering, pinned to the deployment version they opened;
 //! * [`ServeMetrics`] / [`MetricsSnapshot`] — request/frame counters,
-//!   fixed-bucket latency histogram (p50/p99) and shard utilization.
+//!   fixed-bucket latency histogram (p50/p99), shard utilization and
+//!   per-tenant batch-size/queue-depth gauges ([`TenantSnapshot`]).
 //!
 //! # Quickstart: design time → artifact → serving fleet
 //!
@@ -94,13 +100,15 @@ pub mod batch;
 pub mod error;
 pub mod metrics;
 pub mod registry;
+pub mod scheduler;
 pub mod session;
 pub mod shard;
 
 pub use batch::{BatchPolicy, ServeRequest, Server, Ticket};
 pub use error::{Result, ServeError};
-pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics};
+pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics, TenantSnapshot};
 pub use registry::DeploymentRegistry;
+pub use scheduler::{FlushDecision, FlushReason, Scheduler, TenantKey};
 pub use session::TrackerSession;
 pub use shard::ShardedExecutor;
 
@@ -140,8 +148,9 @@ pub(crate) mod testutil {
 pub mod prelude {
     pub use crate::batch::{BatchPolicy, ServeRequest, Server, Ticket};
     pub use crate::error::{Result, ServeError};
-    pub use crate::metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics};
+    pub use crate::metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics, TenantSnapshot};
     pub use crate::registry::DeploymentRegistry;
+    pub use crate::scheduler::{FlushDecision, FlushReason, Scheduler, TenantKey};
     pub use crate::session::TrackerSession;
     pub use crate::shard::ShardedExecutor;
 }

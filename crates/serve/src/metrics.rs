@@ -1,10 +1,22 @@
 //! Lightweight serving metrics: request/frame counters, a fixed-bucket
-//! latency histogram and per-shard utilization counters.
+//! latency histogram, per-shard utilization counters and per-tenant
+//! batching gauges.
 //!
 //! Everything is a relaxed atomic — recording from worker threads and the
-//! batcher costs a handful of uncontended atomic increments per request,
-//! never a lock. [`ServeMetrics::snapshot`] folds the counters into a
-//! plain [`MetricsSnapshot`] for reporting.
+//! batcher costs a handful of uncontended atomic increments per request.
+//! The only lock is the read-mostly registry of per-tenant counter blocks,
+//! write-locked once per tenant lifetime (first sight of the name).
+//! [`ServeMetrics::snapshot`] folds the counters into a plain
+//! [`MetricsSnapshot`] for reporting.
+//!
+//! The per-tenant block ([`TenantSnapshot`]) carries flushed batch/request/
+//! frame counters plus a live queue-depth gauge with a high-water mark:
+//! mean coalesced batch size per tenant is derivable directly from a
+//! snapshot ([`TenantSnapshot::mean_batch_requests`]), which is what the
+//! interleaved-tenant bench asserts batch-size recovery on, and what
+//! [`Server::try_submit`] admission control reads.
+//!
+//! [`Server::try_submit`]: crate::Server::try_submit
 //!
 //! # Histogram semantics
 //!
@@ -20,7 +32,9 @@
 //! quantile. See [`LatencyHistogram::quantile`] for the exact rule,
 //! including the overflow clamp.
 
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 /// Upper bounds (nanoseconds) of the latency histogram buckets — a 1-2-5
@@ -135,6 +149,24 @@ impl LatencyHistogram {
     }
 }
 
+/// Per-tenant batching counters and queue-depth gauge, keyed by
+/// deployment name. Recorded by the front end (enqueue) and the batcher
+/// (flush); the scheduler's fairness and batch-size behavior is observable
+/// here without scraping logs.
+#[derive(Debug, Default)]
+struct TenantCounters {
+    /// Micro-batches flushed for this tenant.
+    batches: AtomicU64,
+    /// Requests across all flushed batches.
+    batch_requests: AtomicU64,
+    /// Frames across all flushed batches.
+    batch_frames: AtomicU64,
+    /// Requests currently pending in the tenant's queue (gauge).
+    queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth`.
+    max_queue_depth: AtomicU64,
+}
+
 /// Counter hub shared by the front end, the execution engine and any
 /// sessions. Cheap to record into from any thread.
 #[derive(Debug)]
@@ -147,6 +179,10 @@ pub struct ServeMetrics {
     latency: LatencyHistogram,
     shard_frames: Vec<AtomicU64>,
     shard_batches: Vec<AtomicU64>,
+    /// Lazily created per-tenant counters. The hot path takes the read
+    /// lock and bumps relaxed atomics; the write lock is held only the
+    /// first time a tenant name is seen.
+    tenants: RwLock<HashMap<String, Arc<TenantCounters>>>,
 }
 
 impl ServeMetrics {
@@ -161,7 +197,106 @@ impl ServeMetrics {
             latency: LatencyHistogram::new(),
             shard_frames: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             shard_batches: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            tenants: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// The counter block for `name`, created on first use.
+    fn tenant(&self, name: &str) -> Arc<TenantCounters> {
+        if let Some(counters) = self
+            .tenants
+            .read()
+            .expect("tenant metrics lock poisoned")
+            .get(name)
+        {
+            return Arc::clone(counters);
+        }
+        let mut tenants = self.tenants.write().expect("tenant metrics lock poisoned");
+        Arc::clone(tenants.entry(name.to_string()).or_default())
+    }
+
+    /// Records one request entering tenant `name`'s pending queue
+    /// (queue-depth gauge up, high-water mark maintained).
+    pub fn record_tenant_enqueued(&self, name: &str) {
+        let tenant = self.tenant(name);
+        let depth = tenant.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        tenant.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Atomically admits one request for tenant `name` iff its queue
+    /// depth is below `bound`: on success the gauge is incremented and
+    /// `Ok(())` returned; at or above the bound nothing changes and the
+    /// observed depth comes back as `Err`. The reserve-or-refuse step is
+    /// a single compare-exchange loop, so concurrent admitters can never
+    /// overshoot `bound` — the hard guarantee behind
+    /// [`Server::try_submit`].
+    ///
+    /// [`Server::try_submit`]: crate::Server::try_submit
+    pub fn try_record_tenant_enqueued(
+        &self,
+        name: &str,
+        bound: u64,
+    ) -> std::result::Result<(), u64> {
+        let tenant = self.tenant(name);
+        let mut depth = tenant.queue_depth.load(Ordering::Relaxed);
+        loop {
+            if depth >= bound {
+                return Err(depth);
+            }
+            match tenant.queue_depth.compare_exchange_weak(
+                depth,
+                depth + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    tenant
+                        .max_queue_depth
+                        .fetch_max(depth + 1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(observed) => depth = observed,
+            }
+        }
+    }
+
+    /// Removes `requests` requests from tenant `name`'s queue-depth gauge
+    /// without recording a batch (an admitted request that could not be
+    /// handed to the batcher). Saturates at zero.
+    pub fn record_tenant_dequeued(&self, name: &str, requests: u64) {
+        let tenant = self.tenant(name);
+        let _ = tenant
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |depth| {
+                Some(depth.saturating_sub(requests))
+            });
+    }
+
+    /// Records one flushed micro-batch of `requests` requests / `frames`
+    /// frames for tenant `name`, draining the same count from its
+    /// queue-depth gauge.
+    pub fn record_tenant_batch(&self, name: &str, requests: u64, frames: u64) {
+        let tenant = self.tenant(name);
+        tenant.batches.fetch_add(1, Ordering::Relaxed);
+        tenant.batch_requests.fetch_add(requests, Ordering::Relaxed);
+        tenant.batch_frames.fetch_add(frames, Ordering::Relaxed);
+        let _ = tenant
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |depth| {
+                Some(depth.saturating_sub(requests))
+            });
+    }
+
+    /// Tenant `name`'s current pending-queue depth (0 for an unseen
+    /// tenant) — what [`Server::try_submit`] admission control reads.
+    ///
+    /// [`Server::try_submit`]: crate::Server::try_submit
+    pub fn tenant_queue_depth(&self, name: &str) -> u64 {
+        self.tenants
+            .read()
+            .expect("tenant metrics lock poisoned")
+            .get(name)
+            .map_or(0, |t| t.queue_depth.load(Ordering::Relaxed))
     }
 
     /// Records a request entering the front end with `frames` frames.
@@ -227,7 +362,60 @@ impl ServeMetrics {
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
+            tenants: self
+                .tenants
+                .read()
+                .expect("tenant metrics lock poisoned")
+                .iter()
+                .map(|(name, t)| {
+                    (
+                        name.clone(),
+                        TenantSnapshot {
+                            batches: t.batches.load(Ordering::Relaxed),
+                            batch_requests: t.batch_requests.load(Ordering::Relaxed),
+                            batch_frames: t.batch_frames.load(Ordering::Relaxed),
+                            queue_depth: t.queue_depth.load(Ordering::Relaxed),
+                            max_queue_depth: t.max_queue_depth.load(Ordering::Relaxed),
+                        },
+                    )
+                })
+                .collect(),
         }
+    }
+}
+
+/// A point-in-time copy of one tenant's batching counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// Micro-batches flushed for this tenant.
+    pub batches: u64,
+    /// Requests across all flushed batches.
+    pub batch_requests: u64,
+    /// Frames across all flushed batches.
+    pub batch_frames: u64,
+    /// Requests pending in the tenant's queue when the snapshot was taken.
+    pub queue_depth: u64,
+    /// High-water mark of the pending-queue depth.
+    pub max_queue_depth: u64,
+}
+
+impl TenantSnapshot {
+    /// Mean requests coalesced per flushed batch (0 when no batch ran) —
+    /// the batch-size-recovery figure the interleaved-tenant bench
+    /// asserts on.
+    pub fn mean_batch_requests(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.batch_requests as f64 / self.batches as f64
+    }
+
+    /// Mean frames per flushed batch (0 when no batch ran).
+    pub fn mean_batch_frames(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.batch_frames as f64 / self.batches as f64
     }
 }
 
@@ -254,6 +442,9 @@ pub struct MetricsSnapshot {
     pub shard_frames: Vec<u64>,
     /// Shard batches executed per shard.
     pub shard_batches: Vec<u64>,
+    /// Per-tenant batching counters and queue-depth gauges, keyed by
+    /// deployment name (sorted).
+    pub tenants: BTreeMap<String, TenantSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -329,5 +520,40 @@ mod tests {
     fn zero_utilization_is_well_defined() {
         let s = ServeMetrics::new(3).snapshot();
         assert_eq!(s.shard_utilization(), vec![0.0; 3]);
+        assert!(s.tenants.is_empty());
+    }
+
+    #[test]
+    fn tenant_gauges_track_enqueue_and_flush() {
+        let m = ServeMetrics::new(1);
+        for _ in 0..3 {
+            m.record_tenant_enqueued("alpha");
+        }
+        m.record_tenant_enqueued("beta");
+        assert_eq!(m.tenant_queue_depth("alpha"), 3);
+        assert_eq!(m.tenant_queue_depth("beta"), 1);
+        assert_eq!(m.tenant_queue_depth("unseen"), 0);
+
+        m.record_tenant_batch("alpha", 2, 16);
+        m.record_tenant_batch("alpha", 1, 4);
+        m.record_tenant_dequeued("beta", 1);
+        let s = m.snapshot();
+        let alpha = &s.tenants["alpha"];
+        assert_eq!(alpha.batches, 2);
+        assert_eq!(alpha.batch_requests, 3);
+        assert_eq!(alpha.batch_frames, 20);
+        assert_eq!(alpha.queue_depth, 0);
+        assert_eq!(alpha.max_queue_depth, 3);
+        assert!((alpha.mean_batch_requests() - 1.5).abs() < 1e-12);
+        assert!((alpha.mean_batch_frames() - 10.0).abs() < 1e-12);
+        let beta = &s.tenants["beta"];
+        assert_eq!(beta.queue_depth, 0);
+        assert_eq!(beta.batches, 0);
+        assert_eq!(beta.mean_batch_requests(), 0.0);
+
+        // Draining more than pending saturates at zero instead of
+        // wrapping the gauge.
+        m.record_tenant_batch("beta", 5, 5);
+        assert_eq!(m.tenant_queue_depth("beta"), 0);
     }
 }

@@ -176,6 +176,21 @@ impl DeploymentRegistry {
         Ok(())
     }
 
+    /// Every live `(name, versions)` pair, sorted by name with versions
+    /// ascending — the fleet-state view a serving dashboard (or the
+    /// per-tenant scheduler's operator) enumerates. Names with no live
+    /// versions are omitted, like [`DeploymentRegistry::names`].
+    pub fn catalog(&self) -> Vec<(String, Vec<u32>)> {
+        let tenants = self.tenants.read().expect("registry lock poisoned");
+        let mut catalog: Vec<(String, Vec<u32>)> = tenants
+            .iter()
+            .filter(|(_, t)| !t.versions.is_empty())
+            .map(|(name, t)| (name.clone(), t.versions.iter().map(|(v, _)| *v).collect()))
+            .collect();
+        catalog.sort();
+        catalog
+    }
+
     /// All names with at least one live version, sorted.
     pub fn names(&self) -> Vec<String> {
         let tenants = self.tenants.read().expect("registry lock poisoned");
@@ -311,5 +326,13 @@ mod tests {
         reg.publish("alpha", small_deployment(2, 4));
         assert_eq!(reg.names(), vec!["alpha".to_string(), "zeta".to_string()]);
         assert_eq!(reg.len(), 2);
+        reg.publish("alpha", small_deployment(2, 5));
+        assert_eq!(
+            reg.catalog(),
+            vec![
+                ("alpha".to_string(), vec![1, 2]),
+                ("zeta".to_string(), vec![1])
+            ]
+        );
     }
 }

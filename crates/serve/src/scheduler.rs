@@ -1,0 +1,516 @@
+//! The pure micro-batching scheduler: per-tenant pending queues, a
+//! fairness rotation and size/latency budgets as a clock-injected state
+//! machine.
+//!
+//! [`Scheduler`] makes every coalesce/flush decision for the [`Server`]
+//! front end, but holds no threads, no channels and no real clock: time is
+//! a plain [`Duration`] since an epoch the caller picks, injected into
+//! [`Scheduler::submit`] and [`Scheduler::tick`]. The thread that drives
+//! it (the batcher inside [`Server`]) merely feeds arrivals in and
+//! executes the returned [`FlushDecision`]s — which means every scheduling
+//! property (fairness under interleaved tenants, latency-budget expiry,
+//! version pinning across hot swap) is testable deterministically with a
+//! mock clock and zero sleeps. See `crates/serve/tests/scheduler.rs`.
+//!
+//! # Why per-tenant queues
+//!
+//! Coalescing is only valid within one pinned artifact, so a FIFO batcher
+//! must flush whenever consecutive requests pin different deployments —
+//! interleaved multi-tenant traffic degrades to one-request batches. The
+//! scheduler instead keeps **one pending queue per [`TenantKey`]** (a
+//! deployment name at a pinned version): a tenant's requests coalesce
+//! across the gaps other tenants' traffic punches into the arrival order,
+//! and each queue enforces its own size and latency budgets.
+//!
+//! # Fairness rotation
+//!
+//! Ready tenants are flushed round-robin: [`Scheduler::tick`] scans the
+//! tenant rotation in order, and **every flushed tenant moves to the
+//! rotation's back**, so a tenant with a deep backlog cannot starve the
+//! others — its second batch is decided only after every other ready
+//! tenant got one — and a tenant that is never ready costs one
+//! inspection per tick.
+//! Latency is bounded tenant-locally: each queue's oldest request expires
+//! the queue's own [`BatchPolicy::max_delay`] deadline regardless of what
+//! other tenants do.
+//!
+//! # Example (mock clock)
+//!
+//! ```
+//! use std::time::Duration;
+//! use eigenmaps_serve::{BatchPolicy, FlushReason, Scheduler, TenantKey};
+//!
+//! let policy = BatchPolicy {
+//!     max_batch_frames: 256,
+//!     max_batch_requests: 3,
+//!     max_delay: Duration::from_millis(1),
+//!     ..BatchPolicy::default()
+//! };
+//! let mut sched: Scheduler<&'static str> = Scheduler::new(policy);
+//! let (a, b) = (TenantKey::new("alpha", 1), TenantKey::new("beta", 1));
+//!
+//! // Interleaved sub-budget traffic: nothing flushes yet.
+//! sched.submit(Duration::ZERO, a.clone(), 4, "a0");
+//! sched.submit(Duration::ZERO, b.clone(), 4, "b0");
+//! sched.submit(Duration::from_micros(10), a.clone(), 4, "a1");
+//! assert!(sched.tick(Duration::from_micros(10)).is_empty());
+//!
+//! // A third request fills alpha's request budget: alpha flushes as one
+//! // three-request batch; beta keeps waiting on its own deadline.
+//! sched.submit(Duration::from_micros(20), a.clone(), 4, "a2");
+//! let decisions = sched.tick(Duration::from_micros(20));
+//! assert_eq!(decisions.len(), 1);
+//! assert_eq!(decisions[0].tenant, a);
+//! assert_eq!(decisions[0].reason, FlushReason::RequestBudget);
+//! assert_eq!(decisions[0].jobs, vec!["a0", "a1", "a2"]);
+//!
+//! // Beta's latency budget expires exactly at its deadline.
+//! assert_eq!(sched.next_deadline(), Some(Duration::from_millis(1)));
+//! assert!(sched.tick(Duration::from_micros(999)).is_empty());
+//! let expired = sched.tick(Duration::from_millis(1));
+//! assert_eq!(expired[0].reason, FlushReason::DeadlineExpired);
+//! assert_eq!(expired[0].jobs, vec!["b0"]);
+//! assert!(sched.is_idle());
+//! ```
+//!
+//! [`Server`]: crate::Server
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::time::Duration;
+
+/// When the micro-batcher flushes a coalesced batch, enforced **per
+/// tenant** (per pinned `(name, version)` queue).
+///
+/// Each tenant's pending queue flushes as soon as it alone holds
+/// [`max_batch_frames`](BatchPolicy::max_batch_frames) frames or
+/// [`max_batch_requests`](BatchPolicy::max_batch_requests) requests, or
+/// when its own oldest request has waited
+/// [`max_delay`](BatchPolicy::max_delay) — other tenants' traffic never
+/// advances or postpones these budgets. A batch may exceed
+/// `max_batch_frames` by at most one request's frames (requests are
+/// atomic, never split across batches).
+///
+/// ```
+/// use std::time::Duration;
+/// use eigenmaps_serve::{BatchPolicy, Scheduler, TenantKey};
+///
+/// // Per-tenant budgets: two tenants fill independently.
+/// let policy = BatchPolicy {
+///     max_batch_frames: 8,
+///     ..BatchPolicy::default()
+/// };
+/// let mut sched: Scheduler<u32> = Scheduler::new(policy);
+/// sched.submit(Duration::ZERO, TenantKey::new("a", 1), 5, 0);
+/// sched.submit(Duration::ZERO, TenantKey::new("b", 1), 5, 1);
+/// // Ten frames are pending overall, but neither tenant reached its own
+/// // 8-frame budget, so nothing flushes.
+/// assert!(sched.tick(Duration::ZERO).is_empty());
+/// sched.submit(Duration::ZERO, TenantKey::new("a", 1), 3, 2);
+/// assert_eq!(sched.tick(Duration::ZERO).len(), 1); // only tenant a
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Flush a tenant once its pending queue holds at least this many
+    /// frames.
+    pub max_batch_frames: usize,
+    /// Flush a tenant once this many of its requests are pending.
+    pub max_batch_requests: usize,
+    /// Flush a tenant once its oldest pending request has waited this
+    /// long — the latency budget a small lone request pays at worst. An
+    /// unrepresentable deadline (`enqueue + max_delay` overflows
+    /// `Duration`, e.g. [`Duration::MAX`]) disables the latency budget:
+    /// that tenant flushes by size only.
+    pub max_delay: Duration,
+    /// Admission-control bound used by [`Server::try_submit`]: the
+    /// nonblocking front door reports saturation instead of queueing once
+    /// a tenant already has this many requests pending. The blocking
+    /// [`Server::submit`] path ignores it (back-compat, unbounded).
+    ///
+    /// [`Server::try_submit`]: crate::Server::try_submit
+    /// [`Server::submit`]: crate::Server::submit
+    pub max_pending_per_tenant: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch_frames: 256,
+            max_batch_requests: 64,
+            max_delay: Duration::from_millis(2),
+            max_pending_per_tenant: 1024,
+        }
+    }
+}
+
+/// Identity of one pending queue: a deployment name at the version pinned
+/// when the request was admitted.
+///
+/// Hot-swapping a tenant's deployment changes the version and therefore
+/// the key, so requests pinned to the old artifact keep coalescing among
+/// themselves (and are never mixed with new-version requests) while both
+/// drain — version pinning falls out of the queue identity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantKey {
+    /// Registry name of the deployment.
+    pub name: String,
+    /// Pinned registry version.
+    pub version: u32,
+}
+
+impl TenantKey {
+    /// A key for `name` pinned at `version`.
+    pub fn new(name: impl Into<String>, version: u32) -> Self {
+        TenantKey {
+            name: name.into(),
+            version,
+        }
+    }
+}
+
+impl fmt::Display for TenantKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@v{}", self.name, self.version)
+    }
+}
+
+/// Why a [`FlushDecision`] was made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The tenant's pending frames reached
+    /// [`BatchPolicy::max_batch_frames`].
+    FrameBudget,
+    /// The tenant's pending requests reached
+    /// [`BatchPolicy::max_batch_requests`].
+    RequestBudget,
+    /// The tenant's oldest pending request waited
+    /// [`BatchPolicy::max_delay`].
+    DeadlineExpired,
+    /// The scheduler was drained (shutdown).
+    Drain,
+}
+
+/// One coalesced batch the driver must now execute: a tenant's oldest
+/// pending jobs, in submission order, with the frame total precomputed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlushDecision<T> {
+    /// Which pending queue flushed.
+    pub tenant: TenantKey,
+    /// Which budget triggered the flush.
+    pub reason: FlushReason,
+    /// Total frames across `jobs`.
+    pub frames: usize,
+    /// The job payloads, oldest first — for the serving driver these are
+    /// the queued requests; tests use plain markers.
+    pub jobs: Vec<T>,
+}
+
+/// One queued job: its frame count, arrival time and opaque payload.
+#[derive(Debug)]
+struct Job<T> {
+    frames: usize,
+    enqueued_at: Duration,
+    payload: T,
+}
+
+/// One tenant's pending queue with its frame total maintained inline.
+#[derive(Debug)]
+struct TenantQueue<T> {
+    jobs: VecDeque<Job<T>>,
+    frames: usize,
+}
+
+impl<T> Default for TenantQueue<T> {
+    fn default() -> Self {
+        TenantQueue {
+            jobs: VecDeque::new(),
+            frames: 0,
+        }
+    }
+}
+
+/// The pure coalesce/flush state machine. See the [module docs](self) for
+/// the design and a worked example.
+///
+/// Invariant: a tenant appears in the rotation iff it has a non-empty
+/// queue, and the rotation order is the fairness order (front = served
+/// next among ready tenants).
+#[derive(Debug)]
+pub struct Scheduler<T> {
+    policy: BatchPolicy,
+    tenants: HashMap<TenantKey, TenantQueue<T>>,
+    rotation: VecDeque<TenantKey>,
+}
+
+impl<T> Scheduler<T> {
+    /// A scheduler enforcing `policy` per tenant.
+    pub fn new(policy: BatchPolicy) -> Self {
+        Scheduler {
+            policy,
+            tenants: HashMap::new(),
+            rotation: VecDeque::new(),
+        }
+    }
+
+    /// The policy this scheduler enforces.
+    pub fn policy(&self) -> &BatchPolicy {
+        &self.policy
+    }
+
+    /// Enqueues a job of `frames` frames for `tenant`, stamped `now` for
+    /// its latency budget. Decisions are made only by [`Scheduler::tick`]
+    /// — call it after submitting. The stamp may lag the tick clock (the
+    /// serving driver passes the client's submit time, so waiting to be
+    /// fed into the scheduler already counts against the budget); a stamp
+    /// whose deadline is already past simply flushes on the next tick.
+    pub fn submit(&mut self, now: Duration, tenant: TenantKey, frames: usize, payload: T) {
+        if !self.tenants.contains_key(&tenant) {
+            self.rotation.push_back(tenant.clone());
+        }
+        let queue = self.tenants.entry(tenant).or_default();
+        queue.frames += frames;
+        queue.jobs.push_back(Job {
+            frames,
+            enqueued_at: now,
+            payload,
+        });
+    }
+
+    /// Decides every batch that must flush at time `now`, in fairness
+    /// order: the rotation is scanned in place, every flushed tenant
+    /// moves to the rotation's back, and the scan ends once a full
+    /// rotation's worth of consecutive tenants was inspected without a
+    /// flush — so a backlogged tenant's next batch is decided only after
+    /// every other ready tenant got one. Returns an empty vec when
+    /// nothing is due.
+    ///
+    /// The common no-op tick (nothing ready) inspects each tenant once
+    /// and allocates nothing; a key is cloned only when it actually
+    /// flushes. Readiness is monotone within a tick (fixed `now`, no
+    /// submits, queues only shrink), so one inspection per non-ready
+    /// tenant is sufficient.
+    pub fn tick(&mut self, now: Duration) -> Vec<FlushDecision<T>> {
+        let mut decisions = Vec::new();
+        let mut idx = 0usize;
+        let mut since_flush = 0usize;
+        while since_flush < self.rotation.len() {
+            if idx >= self.rotation.len() {
+                idx = 0;
+            }
+            match self.readiness(&self.rotation[idx], now) {
+                Some(reason) => {
+                    let key = self.rotation[idx].clone();
+                    // `take_batch` removes the key at `idx` (re-appending
+                    // it at the back while backlogged), shifting the next
+                    // candidate into `idx` — don't advance.
+                    decisions.push(self.take_batch(&key, reason));
+                    since_flush = 0;
+                }
+                None => {
+                    idx += 1;
+                    since_flush += 1;
+                }
+            }
+        }
+        decisions
+    }
+
+    /// Flushes everything still pending (shutdown), round-robin across
+    /// tenants, still respecting the size budgets per batch.
+    pub fn drain(&mut self) -> Vec<FlushDecision<T>> {
+        let mut decisions = Vec::new();
+        while let Some(key) = self.rotation.front().cloned() {
+            decisions.push(self.take_batch(&key, FlushReason::Drain));
+        }
+        decisions
+    }
+
+    /// The earliest latency-budget deadline across all tenants — when the
+    /// next [`Scheduler::tick`] is due absent new submissions. `None` when
+    /// idle or when every pending tenant's deadline is unrepresentable
+    /// (flush-by-size-only).
+    pub fn next_deadline(&self) -> Option<Duration> {
+        self.tenants
+            .values()
+            .filter_map(|q| q.jobs.front())
+            .filter_map(|job| job.enqueued_at.checked_add(self.policy.max_delay))
+            .min()
+    }
+
+    /// Whether no job is pending anywhere.
+    pub fn is_idle(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Total pending requests across all tenants.
+    pub fn pending_requests(&self) -> usize {
+        self.tenants.values().map(|q| q.jobs.len()).sum()
+    }
+
+    /// Total pending frames across all tenants.
+    pub fn pending_frames(&self) -> usize {
+        self.tenants.values().map(|q| q.frames).sum()
+    }
+
+    /// Number of tenants with a non-empty queue.
+    pub fn pending_tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Pending requests queued for one tenant (0 if none).
+    pub fn tenant_depth(&self, tenant: &TenantKey) -> usize {
+        self.tenants.get(tenant).map_or(0, |q| q.jobs.len())
+    }
+
+    /// Which budget (if any) makes `key` flushable at `now`.
+    fn readiness(&self, key: &TenantKey, now: Duration) -> Option<FlushReason> {
+        let queue = self.tenants.get(key)?;
+        if queue.frames >= self.policy.max_batch_frames {
+            return Some(FlushReason::FrameBudget);
+        }
+        if queue.jobs.len() >= self.policy.max_batch_requests {
+            return Some(FlushReason::RequestBudget);
+        }
+        let oldest = queue.jobs.front()?;
+        match oldest.enqueued_at.checked_add(self.policy.max_delay) {
+            Some(deadline) if deadline <= now => Some(FlushReason::DeadlineExpired),
+            _ => None,
+        }
+    }
+
+    /// Pops one batch off `key`'s queue (oldest first, until a size budget
+    /// fills or the queue empties) and rotates the tenant to the back.
+    fn take_batch(&mut self, key: &TenantKey, reason: FlushReason) -> FlushDecision<T> {
+        let queue = self.tenants.get_mut(key).expect("flushed tenant exists");
+        let mut jobs = Vec::new();
+        let mut frames = 0usize;
+        while let Some(job) = queue.jobs.pop_front() {
+            frames += job.frames;
+            queue.frames -= job.frames;
+            jobs.push(job.payload);
+            if frames >= self.policy.max_batch_frames
+                || jobs.len() >= self.policy.max_batch_requests
+            {
+                break;
+            }
+        }
+        let emptied = queue.jobs.is_empty();
+        if emptied {
+            self.tenants.remove(key);
+        }
+        if let Some(pos) = self.rotation.iter().position(|k| k == key) {
+            self.rotation.remove(pos);
+        }
+        if !emptied {
+            self.rotation.push_back(key.clone());
+        }
+        FlushDecision {
+            tenant: key.clone(),
+            reason,
+            frames,
+            jobs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(frames: usize, requests: usize, delay_us: u64) -> BatchPolicy {
+        BatchPolicy {
+            max_batch_frames: frames,
+            max_batch_requests: requests,
+            max_delay: Duration::from_micros(delay_us),
+            ..BatchPolicy::default()
+        }
+    }
+
+    #[test]
+    fn empty_scheduler_is_idle() {
+        let sched: Scheduler<u8> = Scheduler::new(BatchPolicy::default());
+        assert!(sched.is_idle());
+        assert_eq!(sched.next_deadline(), None);
+        assert_eq!(sched.pending_requests(), 0);
+        assert_eq!(sched.pending_frames(), 0);
+    }
+
+    #[test]
+    fn frame_budget_beats_request_budget_in_reason() {
+        let mut sched: Scheduler<u8> = Scheduler::new(policy(4, 1, 1000));
+        sched.submit(Duration::ZERO, TenantKey::new("t", 1), 8, 0);
+        let d = sched.tick(Duration::ZERO);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].reason, FlushReason::FrameBudget);
+        assert_eq!(d[0].frames, 8);
+        assert!(sched.is_idle());
+    }
+
+    #[test]
+    fn batch_exceeds_frame_budget_by_at_most_one_request() {
+        let mut sched: Scheduler<u8> = Scheduler::new(policy(8, 100, 1000));
+        let key = TenantKey::new("t", 1);
+        for i in 0..4 {
+            sched.submit(Duration::ZERO, key.clone(), 3, i);
+        }
+        let d = sched.tick(Duration::ZERO);
+        // 3+3+3 = 9 >= 8 flushes as one batch; the 4th job (3 frames,
+        // below every budget) stays queued for its deadline.
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].frames, 9);
+        assert_eq!(d[0].jobs, vec![0, 1, 2]);
+        assert_eq!(sched.tenant_depth(&key), 1);
+    }
+
+    #[test]
+    fn drain_respects_size_budgets_and_round_robins() {
+        let mut sched: Scheduler<(char, u8)> = Scheduler::new(policy(100, 2, 1_000_000));
+        for i in 0..3 {
+            sched.submit(Duration::ZERO, TenantKey::new("a", 1), 1, ('a', i));
+            sched.submit(Duration::ZERO, TenantKey::new("b", 1), 1, ('b', i));
+        }
+        // Below the 2-request readiness threshold? No: 3 >= 2, but drain
+        // is exercised directly without tick here.
+        let d = sched.drain();
+        assert!(sched.is_idle());
+        let order: Vec<(String, usize)> = d
+            .iter()
+            .map(|f| (f.tenant.name.clone(), f.jobs.len()))
+            .collect();
+        // a:2, b:2, a:1, b:1 — budget-capped batches, round-robin.
+        assert_eq!(
+            order,
+            vec![
+                ("a".to_string(), 2),
+                ("b".to_string(), 2),
+                ("a".to_string(), 1),
+                ("b".to_string(), 1)
+            ]
+        );
+        assert!(d.iter().all(|f| f.reason == FlushReason::Drain));
+    }
+
+    #[test]
+    fn unrepresentable_deadline_disables_latency_budget() {
+        let mut sched: Scheduler<u8> = Scheduler::new(BatchPolicy {
+            max_delay: Duration::MAX,
+            ..policy(100, 100, 0)
+        });
+        sched.submit(Duration::from_secs(1), TenantKey::new("t", 1), 1, 0);
+        assert_eq!(sched.next_deadline(), None);
+        assert!(sched.tick(Duration::from_secs(1 << 30)).is_empty());
+        assert_eq!(sched.drain().len(), 1);
+    }
+
+    #[test]
+    fn tenant_depth_tracks_queue() {
+        let mut sched: Scheduler<u8> = Scheduler::new(policy(100, 100, 1000));
+        let key = TenantKey::new("t", 3);
+        assert_eq!(sched.tenant_depth(&key), 0);
+        sched.submit(Duration::ZERO, key.clone(), 2, 0);
+        sched.submit(Duration::ZERO, key.clone(), 2, 1);
+        assert_eq!(sched.tenant_depth(&key), 2);
+        assert_eq!(sched.pending_frames(), 4);
+        assert_eq!(format!("{key}"), "t@v3");
+    }
+}

@@ -5,6 +5,7 @@
 //! reconstruction) bit for bit.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use eigenmaps_core::prelude::*;
 use eigenmaps_serve::prelude::*;
@@ -126,6 +127,113 @@ fn full_stack_registry_server_roundtrip() {
     assert!(snapshot.batches >= 1);
     assert_eq!(snapshot.errors, 0);
     assert_eq!(snapshot.shard_frames.iter().sum::<u64>(), 200);
+}
+
+/// Fault injection: a tenant hot-swapped mid-queue keeps serving already
+/// submitted tickets from the artifact they pinned, bitwise — the swap
+/// creates a *new* per-tenant queue rather than contaminating the old one.
+#[test]
+fn hot_swap_mid_queue_serves_pinned_artifact_bitwise() {
+    let (v1_deployment, frames) = fixture(24);
+    let registry = Arc::new(DeploymentRegistry::new());
+    registry.publish("chip", (*v1_deployment).clone());
+    // A long latency budget keeps the v1 request queued across the swap.
+    let policy = BatchPolicy {
+        max_batch_frames: 1 << 20,
+        max_batch_requests: 1 << 10,
+        max_delay: Duration::from_millis(60),
+        ..BatchPolicy::default()
+    };
+    let server = Server::with_policy(Arc::clone(&registry), 2, policy);
+    let pinned = server
+        .submit(ServeRequest::new("chip", frames.to_vec()))
+        .unwrap();
+    assert_eq!(pinned.version(), 1);
+
+    // Hot swap to a retrained artifact with the SAME sensor count but a
+    // different basis (k=4 vs k=3), so the same readings decode to
+    // different maps — any queue contamination would be visible bitwise.
+    let maps: Vec<ThermalMap> = (0..80)
+        .map(|t| {
+            let a = (t as f64 / 4.1).sin();
+            let b = (t as f64 / 2.7).cos();
+            ThermalMap::from_fn(9, 7, |r, c| 50.0 + a * (r * r) as f64 - b * c as f64)
+        })
+        .collect();
+    let ens = MapEnsemble::from_maps(&maps).unwrap();
+    let v2_deployment = Pipeline::new(&ens)
+        .basis(BasisSpec::EigenExact { k: 4 })
+        .allocator(AllocatorSpec::Fixed(v1_deployment.sensors().clone()))
+        .design()
+        .unwrap();
+    assert_eq!(v2_deployment.m(), v1_deployment.m());
+    registry.publish("chip", v2_deployment.clone());
+    registry.retire("chip", 1).unwrap();
+
+    // New traffic resolves v2; the queued ticket still serves v1.
+    let fresh = server
+        .submit(ServeRequest::new("chip", frames.to_vec()))
+        .unwrap();
+    assert_eq!(fresh.version(), 2);
+
+    let v1_truth = v1_deployment.reconstruct_batch(&frames).unwrap();
+    let v2_truth = v2_deployment.reconstruct_batch(&frames).unwrap();
+    for (map, truth) in pinned.wait().unwrap().iter().zip(&v1_truth) {
+        assert_eq!(map.as_slice(), truth.as_slice());
+    }
+    for (map, truth) in fresh.wait().unwrap().iter().zip(&v2_truth) {
+        assert_eq!(map.as_slice(), truth.as_slice());
+    }
+    // The two artifacts genuinely disagree (the check above was not vacuous).
+    assert!(v1_truth
+        .iter()
+        .zip(&v2_truth)
+        .any(|(a, b)| a.as_slice() != b.as_slice()));
+}
+
+/// Fault injection: dropping a ticket without ever polling it must not
+/// leak its tenant's pending slot or wedge the batcher — later traffic
+/// keeps flowing and the queue-depth gauge drains to zero.
+#[test]
+fn dropped_ticket_neither_leaks_slots_nor_wedges_the_batcher() {
+    let (deployment, frames) = fixture(12);
+    let registry = Arc::new(DeploymentRegistry::new());
+    registry.publish("t1", (*deployment).clone());
+    let policy = BatchPolicy {
+        max_batch_frames: 1 << 20,
+        max_batch_requests: 4,
+        max_delay: Duration::from_millis(2),
+        max_pending_per_tenant: 8,
+    };
+    let server = Server::with_policy(Arc::clone(&registry), 2, policy);
+
+    // Abandon a batch worth of tickets outright.
+    for chunk in frames.chunks(3) {
+        let ticket = server
+            .submit(ServeRequest::new("t1", chunk.to_vec()))
+            .unwrap();
+        drop(ticket); // never polled, never waited
+    }
+    // The batcher still serves subsequent traffic promptly and correctly.
+    let truth = deployment.reconstruct_batch(&frames).unwrap();
+    for round in 0..4 {
+        let maps = server.serve("t1", frames.to_vec()).unwrap();
+        for (map, expected) in maps.iter().zip(&truth) {
+            assert_eq!(map.as_slice(), expected.as_slice(), "round {round}");
+        }
+    }
+    // Every request — abandoned or served — was flushed: no pending slot
+    // leaked, so the nonblocking door is not spuriously saturated.
+    let snap = server.metrics();
+    assert_eq!(snap.errors, 0);
+    let tenant = &snap.tenants["t1"];
+    assert_eq!(tenant.queue_depth, 0, "abandoned tickets leaked slots");
+    assert_eq!(tenant.batch_requests, 4 + 4);
+    assert_eq!(tenant.batch_frames, 12 + 4 * 12);
+    let ticket = server
+        .try_submit(ServeRequest::new("t1", frames.to_vec()))
+        .unwrap();
+    assert_eq!(ticket.wait().unwrap().len(), 12);
 }
 
 #[test]

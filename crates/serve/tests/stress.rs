@@ -1,0 +1,218 @@
+//! Loom-style stress lane for the threaded scheduler driver: the same
+//! serving workload replayed under many *seeded shim-RNG schedules*, each
+//! seed deterministically deciding every thread's tenant choices, chunk
+//! sizes, submit paths (blocking vs nonblocking), abandonment points and
+//! yield interleavings. Hot swaps run concurrently throughout.
+//!
+//! CI runs this file single-threaded (`cargo test -p eigenmaps-serve --
+//! --test-threads=1`) with `EIGENMAPS_STRESS=1`, which widens the seed
+//! sweep; the default sweep keeps the tier-1 run fast.
+//!
+//! What each schedule asserts:
+//! * every awaited response is bitwise-identical to the pinned artifact's
+//!   sequential `reconstruct_batch` over the same frames;
+//! * abandoned tickets never wedge the batcher or leak queue slots;
+//! * the metrics ledger balances: zero errors, every admitted request
+//!   flushed, per-tenant queue-depth gauges drained to zero.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use eigenmaps_core::prelude::*;
+use eigenmaps_serve::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small two-tenant fleet fixture: each tenant has its own basis so a
+/// cross-tenant mixup would change answers, plus per-tenant truth maps.
+struct Fleet {
+    registry: Arc<DeploymentRegistry>,
+    names: [&'static str; 2],
+    deployments: [Arc<Deployment>; 2],
+    frames: [Vec<Vec<f64>>; 2],
+}
+
+fn fleet() -> Fleet {
+    let names = ["sku-a", "sku-b"];
+    let registry = Arc::new(DeploymentRegistry::new());
+    let mut deployments = Vec::new();
+    let mut frames = Vec::new();
+    for (idx, name) in names.iter().enumerate() {
+        let maps: Vec<ThermalMap> = (0..60)
+            .map(|t| {
+                let a = (t as f64 / (4.0 + idx as f64)).sin();
+                let b = (t as f64 / 3.3).cos();
+                ThermalMap::from_fn(8, 7, |r, c| 48.0 + a * (r + idx * c) as f64 - b * c as f64)
+            })
+            .collect();
+        let ens = MapEnsemble::from_maps(&maps).unwrap();
+        let deployment = Pipeline::new(&ens)
+            .basis(BasisSpec::EigenExact { k: 2 + idx })
+            .sensors(5 + idx)
+            .design()
+            .unwrap();
+        registry.publish(name, deployment.clone());
+        let tenant_frames: Vec<Vec<f64>> = (0..24)
+            .map(|t| {
+                let mut readings = deployment.sensors().sample(&ens.map(t));
+                for (i, x) in readings.iter_mut().enumerate() {
+                    *x += ((t * 17 + i * 5) as f64 * 0.41).sin() * 0.05;
+                }
+                readings
+            })
+            .collect();
+        deployments.push(Arc::new(deployment));
+        frames.push(tenant_frames);
+    }
+    Fleet {
+        registry,
+        names,
+        deployments: [Arc::clone(&deployments[0]), Arc::clone(&deployments[1])],
+        frames: [frames.remove(0), frames.remove(0)],
+    }
+}
+
+/// One full schedule: 4 client threads + 1 hot-swapper racing the batcher,
+/// every nondeterministic choice drawn from `seed`.
+fn stress_schedule(seed: u64) {
+    let fleet = fleet();
+    let policy = BatchPolicy {
+        max_batch_frames: 24,
+        max_batch_requests: 6,
+        max_delay: Duration::from_micros(300),
+        max_pending_per_tenant: 64,
+    };
+    let server = Arc::new(Server::with_policy(Arc::clone(&fleet.registry), 2, policy));
+    let truth: [Arc<Vec<ThermalMap>>; 2] = [
+        Arc::new(
+            fleet.deployments[0]
+                .reconstruct_batch(&fleet.frames[0])
+                .unwrap(),
+        ),
+        Arc::new(
+            fleet.deployments[1]
+                .reconstruct_batch(&fleet.frames[1])
+                .unwrap(),
+        ),
+    ];
+
+    let mut clients = Vec::new();
+    for worker in 0..4u64 {
+        let server = Arc::clone(&server);
+        let names = fleet.names;
+        let frames = [fleet.frames[0].clone(), fleet.frames[1].clone()];
+        let truth = [Arc::clone(&truth[0]), Arc::clone(&truth[1])];
+        clients.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(worker));
+            let mut kept: Vec<(usize, usize, usize, Ticket)> = Vec::new();
+            let mut submitted = 0usize;
+            for _ in 0..40 {
+                let tenant = rng.gen_range(0usize..2);
+                let start = rng.gen_range(0usize..frames[tenant].len() - 1);
+                let len = rng.gen_range(1usize..=3).min(frames[tenant].len() - start);
+                let request =
+                    ServeRequest::new(names[tenant], frames[tenant][start..start + len].to_vec());
+                // Schedule point: blocking vs admission-controlled door.
+                let outcome = if rng.gen_bool(0.5) {
+                    match server.try_submit(request) {
+                        Err(ServeError::Saturated { .. }) => continue, // backpressure: drop
+                        other => other,
+                    }
+                } else {
+                    server.submit(request)
+                };
+                let ticket = outcome.expect("submit");
+                submitted += 1;
+                // Schedule point: ~15% of tickets are abandoned unpolled.
+                if rng.gen_bool(0.15) {
+                    drop(ticket);
+                } else {
+                    kept.push((tenant, start, len, ticket));
+                }
+                if rng.gen_bool(0.3) {
+                    std::thread::yield_now();
+                }
+            }
+            for (tenant, start, len, ticket) in kept {
+                // Schedule point: half wait, half poll.
+                let maps = if ticket.version() == 1 && start % 2 == 0 {
+                    ticket.wait().expect("serve")
+                } else {
+                    let mut ticket = ticket;
+                    loop {
+                        if let Some(result) = ticket.try_wait() {
+                            break result.expect("serve");
+                        }
+                        std::thread::yield_now();
+                    }
+                };
+                assert_eq!(maps.len(), len);
+                // v1-pinned responses must equal the v1 sequential batch
+                // bitwise (hot swaps republish clones of the same
+                // artifact, so every version serves the same answers).
+                for (map, expected) in maps.iter().zip(&truth[tenant][start..start + len]) {
+                    assert_eq!(map.as_slice(), expected.as_slice());
+                }
+            }
+            submitted
+        }));
+    }
+
+    // Concurrent hot-swapper: republish and retire under live traffic.
+    let swapper = {
+        let registry = Arc::clone(&fleet.registry);
+        let deployment = Arc::clone(&fleet.deployments[0]);
+        let name = fleet.names[0];
+        std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5AFE);
+            for _ in 0..6 {
+                let v = registry.publish(name, (*deployment).clone());
+                if v > 2 && rng.gen_bool(0.7) {
+                    registry.retire(name, v - 2).unwrap();
+                }
+                for _ in 0..rng.gen_range(1usize..4) {
+                    std::thread::yield_now();
+                }
+            }
+        })
+    };
+
+    let total_submitted: usize = clients.into_iter().map(|c| c.join().unwrap()).sum();
+    swapper.join().unwrap();
+
+    // Abandoned tickets' batches flush on their own deadlines; wait for
+    // the ledger to balance without sleeping in the assertion itself.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let snap = loop {
+        let snap = server.metrics();
+        let flushed: u64 = snap.tenants.values().map(|t| t.batch_requests).sum();
+        let drained = snap.tenants.values().all(|t| t.queue_depth == 0);
+        if (flushed == total_submitted as u64 && drained) || std::time::Instant::now() > deadline {
+            break snap;
+        }
+        std::thread::yield_now();
+    };
+    assert_eq!(snap.errors, 0, "seed {seed}");
+    assert_eq!(snap.requests, total_submitted as u64, "seed {seed}");
+    let flushed: u64 = snap.tenants.values().map(|t| t.batch_requests).sum();
+    assert_eq!(
+        flushed, total_submitted as u64,
+        "seed {seed}: requests leaked"
+    );
+    for (name, tenant) in &snap.tenants {
+        assert_eq!(tenant.queue_depth, 0, "seed {seed}: {name} leaked slots");
+    }
+}
+
+#[test]
+fn seeded_schedules_keep_the_server_sound() {
+    // EIGENMAPS_STRESS=1 (the CI stress lane) widens the sweep.
+    let seeds: u64 = if std::env::var_os("EIGENMAPS_STRESS").is_some() {
+        24
+    } else {
+        4
+    };
+    for seed in 0..seeds {
+        stress_schedule(seed);
+    }
+}

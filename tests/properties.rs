@@ -3,7 +3,10 @@
 //! randomized synthetic ensembles (no thermal sim in the loop — these
 //! probe the algorithm stack, not the physics).
 
+use std::sync::Arc;
+
 use eigenmaps::core::prelude::*;
+use eigenmaps::serve::{BatchPolicy, DeploymentRegistry, ServeRequest, Server, Ticket};
 use proptest::prelude::*;
 
 /// A synthetic ensemble with `modes` planted spatial modes + noise floor.
@@ -273,6 +276,103 @@ proptest! {
                         }
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_multi_tenant_serving_is_bitwise_per_tenant(
+        tenant_count in 2usize..=4,
+        seed in 0u64..10_000,
+    ) {
+        // Per-tenant micro-batching invariant: no matter how requests from
+        // several tenants interleave at the front door, each tenant's
+        // responses are bitwise-identical to running that tenant's frames
+        // alone through `reconstruct_batch` — coalescing never mixes
+        // tenants and never reorders frames within a tenant.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Distinct artifacts per tenant (different bases and sensor
+        // counts), each with its own frame stream.
+        let registry = Arc::new(DeploymentRegistry::new());
+        let mut deployments = Vec::new();
+        let mut streams: Vec<Vec<Vec<f64>>> = Vec::new();
+        for tenant in 0..tenant_count {
+            let shapes: Vec<Vec<f64>> = (0..3)
+                .map(|_| (0..36).map(|_| rng.gen::<f64>() - 0.5).collect())
+                .collect();
+            let maps: Vec<ThermalMap> = (0..50)
+                .map(|t| {
+                    ThermalMap::from_fn(6, 6, |r, c| {
+                        let i = r + c * 6;
+                        55.0 + shapes
+                            .iter()
+                            .enumerate()
+                            .map(|(q, s)| s[i] * ((t + tenant) as f64 / (3.0 + q as f64)).sin())
+                            .sum::<f64>()
+                    })
+                })
+                .collect();
+            let ens = MapEnsemble::from_maps(&maps).expect("consistent shapes");
+            let deployment = Pipeline::new(&ens)
+                .basis(BasisSpec::EigenExact { k: 2 })
+                .sensors(4 + tenant)
+                .design()
+                .unwrap();
+            let frames: Vec<Vec<f64>> = (0..9)
+                .map(|t| deployment.sensors().sample(&ens.map(t)))
+                .collect();
+            registry.publish(format!("tenant-{tenant}").as_str(), deployment.clone());
+            deployments.push(deployment);
+            streams.push(frames);
+        }
+
+        // Arbitrary interleaving: random tenant order, random chunk sizes,
+        // all submitted before any response is awaited so the per-tenant
+        // queues genuinely coalesce across foreign traffic.
+        let policy = BatchPolicy {
+            max_batch_frames: 64,
+            max_batch_requests: 32,
+            max_delay: std::time::Duration::from_millis(2),
+            ..BatchPolicy::default()
+        };
+        let server = Server::with_policy(Arc::clone(&registry), 2, policy);
+        let mut cursors = vec![0usize; tenant_count];
+        let mut tickets: Vec<(usize, usize, usize, Ticket)> = Vec::new();
+        while cursors.iter().zip(&streams).any(|(&c, s)| c < s.len()) {
+            let tenant = rng.gen_range(0usize..tenant_count);
+            let start = cursors[tenant];
+            if start >= streams[tenant].len() {
+                continue;
+            }
+            let len = rng.gen_range(1usize..=3).min(streams[tenant].len() - start);
+            cursors[tenant] = start + len;
+            let ticket = server
+                .submit(ServeRequest::new(
+                    format!("tenant-{tenant}"),
+                    streams[tenant][start..start + len].to_vec(),
+                ))
+                .unwrap();
+            tickets.push((tenant, start, len, ticket));
+        }
+
+        for (tenant, start, len, ticket) in tickets {
+            prop_assert_eq!(ticket.version(), 1);
+            let maps = ticket.wait().unwrap();
+            prop_assert_eq!(maps.len(), len);
+            // The solo baseline: this tenant's whole stream, alone.
+            let solo = deployments[tenant]
+                .reconstruct_batch(&streams[tenant])
+                .unwrap();
+            for (offset, map) in maps.iter().enumerate() {
+                prop_assert!(
+                    map.as_slice() == solo[start + offset].as_slice(),
+                    "tenant {} frame {} diverged from solo batch",
+                    tenant,
+                    start + offset
+                );
             }
         }
     }
