@@ -281,9 +281,136 @@ fn bench_interleaved_tenants(c: &mut Criterion) {
     group.finish();
 }
 
+/// Mixed-workload axis: the same two-tenant alternating batch trace run
+/// once alone and once with two streaming sessions continuously stepping
+/// through the same scheduler and worker pool. Batch p99 comes from the
+/// batch-request histogram (session steps record into their own), so the
+/// regression streams inflict on batch traffic is read directly off the
+/// metrics — asserted < 20%, i.e. the fairness rotation keeps streams
+/// from degrading batch latency by even one 1-2-5 histogram bucket.
+fn bench_mixed_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mixed_batch_and_stream_workload");
+    group.sample_size(10);
+
+    const REQUESTS: usize = 256;
+    const FRAMES_PER_REQUEST: usize = 2;
+    const STREAM_STEPS: usize = 200;
+    let tenants = [setup(12, 12), setup(10, 10)];
+    let names = ["tenant-a", "tenant-b"];
+    let registry = Arc::new(DeploymentRegistry::new());
+    for (name, w) in names.iter().zip(&tenants) {
+        registry.publish(name, (*w.deployment).clone());
+    }
+    let policy = BatchPolicy {
+        max_batch_frames: 256,
+        max_batch_requests: 32,
+        max_delay: Duration::from_millis(5),
+        ..BatchPolicy::default()
+    };
+    let run_batch_trace = |server: &Server| {
+        let tickets: Vec<Ticket> = (0..REQUESTS)
+            .map(|i| {
+                let tenant = i % 2;
+                let frames = &tenants[tenant].frames;
+                let start = (i / 2 * FRAMES_PER_REQUEST) % (frames.len() - FRAMES_PER_REQUEST);
+                server
+                    .submit(ServeRequest::new(
+                        names[tenant],
+                        frames[start..start + FRAMES_PER_REQUEST].to_vec(),
+                    ))
+                    .expect("submit")
+            })
+            .collect();
+        for ticket in tickets {
+            black_box(ticket.wait().expect("serve"));
+        }
+    };
+
+    // Baseline: batch traffic alone (fresh server = fresh histograms).
+    let batch_only = Server::with_policy(Arc::clone(&registry), 4, policy);
+    run_batch_trace(&batch_only);
+    let baseline = batch_only.metrics();
+    assert_eq!(baseline.session_steps, 0);
+
+    // Mixed: the same trace with two streams stepping continuously. The
+    // barrier makes both sessions provably open at once (so the
+    // max_sessions_open gate below is race-free) before either steps.
+    let mixed_server = Arc::new(Server::with_policy(Arc::clone(&registry), 4, policy));
+    let both_open = Arc::new(std::sync::Barrier::new(2));
+    let streams: Vec<_> = (0..2)
+        .map(|s| {
+            let server = Arc::clone(&mixed_server);
+            let frames = Arc::clone(&tenants[s].frames);
+            let name = names[s];
+            let both_open = Arc::clone(&both_open);
+            std::thread::spawn(move || {
+                let mut session = server.open_session(name, 0.5).expect("open session");
+                both_open.wait();
+                for t in 0..STREAM_STEPS {
+                    black_box(session.step(&frames[t % frames.len()]).expect("step"));
+                }
+                session.frames()
+            })
+        })
+        .collect();
+    run_batch_trace(&mixed_server);
+    let stream_frames: u64 = streams.into_iter().map(|s| s.join().expect("stream")).sum();
+    let mixed = mixed_server.metrics();
+
+    assert_eq!(stream_frames as usize, 2 * STREAM_STEPS);
+    assert_eq!(mixed.session_steps as usize, 2 * STREAM_STEPS);
+    assert_eq!(mixed.max_sessions_open, 2);
+    assert!(mixed.session_latency_p99 > Duration::ZERO);
+    println!(
+        "mixed_batch_and_stream_workload/summary: batch p99 {:?} alone vs {:?} mixed; \
+         {} session steps at p50 {:?} / p99 {:?}",
+        baseline.latency_p99,
+        mixed.latency_p99,
+        mixed.session_steps,
+        mixed.session_latency_p50,
+        mixed.session_latency_p99
+    );
+    for (name, tenant) in &mixed.tenants {
+        println!(
+            "mixed_batch_and_stream_workload/summary[{name}]: \
+             mean batch {:.2} requests, {} session steps",
+            tenant.mean_batch_requests(),
+            tenant.session_steps
+        );
+    }
+    // The histogram's 1-2-5 buckets make < 20% mean "same bucket", which
+    // an oversubscribed host can miss from scheduler noise alone — so,
+    // like the ≥ 2x @ 4 shards gate above, the hard assertion runs only
+    // where there are cores to absorb the two stream threads; elsewhere
+    // the regression is reported but not enforced.
+    let baseline_p99 = baseline.latency_p99.as_secs_f64();
+    let mixed_p99 = mixed.latency_p99.as_secs_f64();
+    let parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if parallelism >= 4 {
+        assert!(
+            mixed_p99 <= baseline_p99 * 1.2,
+            "streams regressed batch p99 by more than 20%: {:?} -> {:?}",
+            baseline.latency_p99,
+            mixed.latency_p99
+        );
+    } else if mixed_p99 > baseline_p99 * 1.2 {
+        println!(
+            "mixed_batch_and_stream_workload/summary: only {parallelism} hardware thread(s) — \
+             p99 regression {:?} -> {:?} reported, not asserted",
+            baseline.latency_p99, mixed.latency_p99
+        );
+    }
+
+    group.bench_function("batch_trace_with_2_streams", |bch| {
+        bch.iter(|| run_batch_trace(&mixed_server))
+    });
+    group.finish();
+}
+
 criterion_group!(
     sharded_serving,
     bench_sharded_serving,
-    bench_interleaved_tenants
+    bench_interleaved_tenants,
+    bench_mixed_workload
 );
 criterion_main!(sharded_serving);

@@ -1,13 +1,15 @@
 //! Shared little-endian byte codec for the hand-rolled binary artifact
 //! formats, and the specification of those formats.
 //!
-//! Two on-disk formats live in this workspace — the `EMDEPLOY` deployment
-//! artifact ([`crate::pipeline`]) and the `EIGMAPS1` ensemble cache
-//! (`eigenmaps-floorplan`). Both are deliberately tiny little-endian
-//! layouts (magic, dims, raw scalars) rather than an extra serialization
-//! dependency, and both need the same defensive plumbing: bounds-checked
-//! reads, magic/version validation, overflow-safe lengths and a
-//! trailing-bytes check. This module is that plumbing, written once.
+//! Three on-disk formats live in this workspace — the `EMDEPLOY`
+//! deployment artifact ([`crate::pipeline`]), the `EIGMAPS1` ensemble
+//! cache (`eigenmaps-floorplan`) and the `EMSESS1` streaming-session
+//! snapshot ([`SessionSnapshot`], consumed by `eigenmaps-serve` for warm
+//! restarts). All are deliberately tiny little-endian layouts (magic,
+//! dims, raw scalars) rather than an extra serialization dependency, and
+//! all need the same defensive plumbing: bounds-checked reads,
+//! magic/version validation, overflow-safe lengths and a trailing-bytes
+//! check. This module is that plumbing, written once.
 //!
 //! [`Encoder`] builds a byte buffer; [`Decoder`] walks one. Decoder
 //! methods fail with a [`CodecError`] carrying a static description, which
@@ -74,6 +76,50 @@
 //! corrupt header can never trigger an absurd allocation; the payload is
 //! streamed through a fixed buffer; and the file must end exactly at the
 //! payload's last byte.
+//!
+//! # `EMSESS1` — streaming-session snapshot, version 1
+//!
+//! Written by [`SessionSnapshot::to_bytes`], read by
+//! [`SessionSnapshot::from_bytes`] — the durable record behind
+//! `TrackerSession::snapshot()`/`resume()` in `eigenmaps-serve`. It
+//! captures the *mutable* streaming state (temporal-filter coefficients,
+//! frame count) plus the identity of the immutable artifact it was
+//! trained against; it deliberately does **not** embed the deployment —
+//! resume re-resolves `(deployment, version)` from the registry and
+//! refuses a shape mismatch.
+//!
+//! | #  | field        | type / size   | meaning                                                 |
+//! |----|--------------|---------------|---------------------------------------------------------|
+//! | 0  | magic        | 7 bytes       | ASCII `EMSESS1`                                         |
+//! | 1  | version      | `u32`         | format version; this spec is `1`                        |
+//! | 2  | name length  | `u64`         | byte length of field 3                                  |
+//! | 3  | name         | UTF-8 bytes   | registry name of the deployment                         |
+//! | 4  | pinned ver.  | `u32`         | registry version the session was pinned to              |
+//! | 5  | gain         | `f64`         | temporal blending gain, in `(0, 1]`                     |
+//! | 6  | frames       | `u64`         | frames served before the snapshot                       |
+//! | 7  | k            | `u64`         | basis columns of the pinned deployment (nonzero)        |
+//! | 8  | m            | `u64`         | sensor count of the pinned deployment (`m ≥ k`)         |
+//! | 9  | artifact     | `u64`         | [`fnv1a64`] of the pinned deployment's `EMDEPLOY` bytes |
+//! | 10 | state tag    | `u8`          | `0` no temporal state yet, `1` state present            |
+//! | 11 | state        | `f64 × k`     | coefficient state `α̂` (present iff tag is `1`)          |
+//! | 12 | checksum     | `u64`         | [`fnv1a64`] over **all preceding bytes** (fields 0–11)  |
+//!
+//! Validation on read, in order: magic and version must match; the name
+//! length is bounds-checked against the remaining bytes **before** any
+//! allocation (so a corrupt length cannot allocate) and the name must be
+//! UTF-8; gain must be finite and in `(0, 1]`; `k` and `m` must be nonzero
+//! with `k ≤ m`; the state tag must be `0` or `1`; every state coefficient
+//! must be finite; the trailing checksum must equal the FNV-1a 64 digest
+//! of every byte before it — a **single flipped bit anywhere in the
+//! record is detected**, unlike `EMDEPLOY` where payload corruption can
+//! decode to a different valid artifact; and the buffer must then be
+//! exactly exhausted. Agreement with the *resolved* deployment (`k`, `m`,
+//! artifact digest, pinned version still live) is the resume-time
+//! caller's job — the codec only guarantees internal consistency. The
+//! artifact digest is what makes resume refuse a **same-shape retrain**:
+//! version numbers prove identity only within one registry lifetime, and
+//! `k`/`m` alone cannot tell two same-shape bases apart, but the digest
+//! of the immutable `EMDEPLOY` bytes can.
 
 use crate::error::CoreError;
 
@@ -143,6 +189,12 @@ impl Encoder {
     /// Appends a `usize` widened to `u64` (dimensions, indices).
     pub fn put_len(&mut self, v: usize) -> &mut Self {
         self.buf.extend_from_slice(&(v as u64).to_le_bytes());
+        self
+    }
+
+    /// Appends a `u64` (counters, checksums).
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
         self
     }
 
@@ -253,6 +305,17 @@ impl<'a> Decoder<'a> {
         ))
     }
 
+    /// Reads a `u64` (counters, checksums).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation.
+    pub fn u64(&mut self) -> CodecResult<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
     /// Reads a `u64` written by [`Encoder::put_len`] back as a `usize`.
     ///
     /// # Errors
@@ -310,6 +373,190 @@ impl<'a> Decoder<'a> {
             });
         }
         Ok(())
+    }
+}
+
+/// FNV-1a 64-bit digest — the integrity checksum trailing every `EMSESS1`
+/// record. Not cryptographic; it detects the accidental corruption
+/// (truncated writes, bit rot, torn copies) a warm-restart file is exposed
+/// to, with a single-pass, dependency-free implementation.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Magic + version of the streaming-session snapshot format.
+const SESSION_MAGIC: &[u8; 7] = b"EMSESS1";
+const SESSION_VERSION: u32 = 1;
+
+/// The `EMSESS1` streaming-session snapshot record: everything a warm
+/// restart needs to continue a [`TrackingReconstructor`] stream
+/// bitwise-identically, minus the immutable deployment artifact itself
+/// (which resume re-resolves by `(deployment, version)`).
+///
+/// See the [module docs](self) for the field-by-field wire format and
+/// validation rules. `eigenmaps-serve`'s `TrackerSession::snapshot()` /
+/// `TrackerSession::resume()` produce and consume these records.
+///
+/// [`TrackingReconstructor`]: crate::TrackingReconstructor
+///
+/// # Examples
+///
+/// ```
+/// use eigenmaps_core::codec::SessionSnapshot;
+///
+/// let snap = SessionSnapshot {
+///     deployment: "chip-a".into(),
+///     version: 3,
+///     gain: 0.25,
+///     frames: 1024,
+///     k: 2,
+///     m: 4,
+///     artifact_digest: 0xFEED_BEEF,
+///     state: Some(vec![41.5, -0.25]),
+/// };
+/// let bytes = snap.to_bytes();
+/// assert_eq!(SessionSnapshot::from_bytes(&bytes).unwrap(), snap);
+/// // Any single corrupted byte is caught by the trailing checksum.
+/// let mut bad = bytes.clone();
+/// bad[20] ^= 0x40;
+/// assert!(SessionSnapshot::from_bytes(&bad).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// Registry name of the deployment the session was opened under.
+    pub deployment: String,
+    /// Registry version the session pinned at open time.
+    pub version: u32,
+    /// Temporal blending gain `g ∈ (0, 1]`.
+    pub gain: f64,
+    /// Frames the session had served when the snapshot was taken.
+    pub frames: u64,
+    /// Basis dimension `K` of the pinned deployment (shape guard).
+    pub k: usize,
+    /// Sensor count `M` of the pinned deployment (shape guard).
+    pub m: usize,
+    /// [`fnv1a64`] digest of the pinned deployment's `EMDEPLOY` bytes —
+    /// the identity guard that catches a same-shape retrain published
+    /// under the old name/version in a new registry lifetime.
+    pub artifact_digest: u64,
+    /// Temporal-filter coefficient state (`None` before the first step).
+    pub state: Option<Vec<f64>>,
+}
+
+impl SessionSnapshot {
+    /// Serializes the record to `EMSESS1` bytes (checksum appended).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let state_len = self.state.as_ref().map_or(0, Vec::len);
+        let mut enc = Encoder::with_capacity(64 + self.deployment.len() + 8 * state_len);
+        enc.bytes(SESSION_MAGIC)
+            .u32(SESSION_VERSION)
+            .put_len(self.deployment.len())
+            .bytes(self.deployment.as_bytes())
+            .u32(self.version)
+            .f64(self.gain)
+            .u64(self.frames)
+            .put_len(self.k)
+            .put_len(self.m)
+            .u64(self.artifact_digest);
+        match &self.state {
+            None => {
+                enc.u8(0);
+            }
+            Some(state) => {
+                enc.u8(1).f64_slice(state);
+            }
+        }
+        let mut bytes = enc.finish();
+        let digest = fnv1a64(&bytes);
+        bytes.extend_from_slice(&digest.to_le_bytes());
+        bytes
+    }
+
+    /// Deserializes and fully validates an `EMSESS1` record (see the
+    /// [module docs](self) for the rule list).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on any malformation: bad magic/version, oversized or
+    /// non-UTF-8 name, out-of-range gain or dimensions, unknown state tag,
+    /// non-finite state, checksum mismatch, truncation or trailing bytes.
+    pub fn from_bytes(bytes: &[u8]) -> CodecResult<SessionSnapshot> {
+        // The checksum covers everything before it, so verify it first:
+        // after this, any parse failure is a *structural* bug in the
+        // producer, not transport corruption.
+        let Some(payload_len) = bytes.len().checked_sub(8) else {
+            return Err(CodecError {
+                context: "truncated input",
+            });
+        };
+        let stored = u64::from_le_bytes(bytes[payload_len..].try_into().expect("8 bytes"));
+        if fnv1a64(&bytes[..payload_len]) != stored {
+            return Err(CodecError {
+                context: "session snapshot checksum mismatch",
+            });
+        }
+        let mut dec = Decoder::new(&bytes[..payload_len]);
+        dec.magic(SESSION_MAGIC)?;
+        dec.version(SESSION_VERSION)?;
+        // No explicit cap on the name length: `take` bounds-checks it
+        // against the remaining bytes before anything is allocated, so a
+        // corrupt length cannot trigger an absurd allocation — and every
+        // name `to_bytes` accepted round-trips (no write/read asymmetry).
+        let name_len = dec.take_len()?;
+        let deployment = std::str::from_utf8(dec.take(name_len)?)
+            .map_err(|_| CodecError {
+                context: "session snapshot deployment name is not UTF-8",
+            })?
+            .to_string();
+        let version = dec.u32()?;
+        let gain = dec.f64()?;
+        if !(gain.is_finite() && gain > 0.0 && gain <= 1.0) {
+            return Err(CodecError {
+                context: "session snapshot gain outside (0, 1]",
+            });
+        }
+        let frames = dec.u64()?;
+        let k = dec.take_len()?;
+        let m = dec.take_len()?;
+        if k == 0 || m == 0 || k > m {
+            return Err(CodecError {
+                context: "session snapshot dimensions out of range",
+            });
+        }
+        let artifact_digest = dec.u64()?;
+        let state = match dec.u8()? {
+            0 => None,
+            1 => {
+                let state = dec.f64_vec(k)?;
+                if state.iter().any(|v| !v.is_finite()) {
+                    return Err(CodecError {
+                        context: "session snapshot state is non-finite",
+                    });
+                }
+                Some(state)
+            }
+            _ => {
+                return Err(CodecError {
+                    context: "session snapshot unknown state tag",
+                })
+            }
+        };
+        dec.finish()?;
+        Ok(SessionSnapshot {
+            deployment,
+            version,
+            gain,
+            frames,
+            k,
+            m,
+            artifact_digest,
+            state,
+        })
     }
 }
 
@@ -382,5 +629,83 @@ mod tests {
     fn maps_into_core_error() {
         let e: CoreError = CodecError { context: "x" }.into();
         assert!(matches!(e, CoreError::Persist { context: "x" }));
+    }
+
+    fn sample_snapshot(state: Option<Vec<f64>>) -> SessionSnapshot {
+        SessionSnapshot {
+            deployment: "sku-α".into(), // non-ASCII UTF-8 round-trips
+            version: 7,
+            gain: 0.375,
+            frames: 12_345,
+            k: 3,
+            m: 5,
+            artifact_digest: 0x1234_5678_9ABC_DEF0,
+            state,
+        }
+    }
+
+    #[test]
+    fn session_snapshot_roundtrips_with_and_without_state() {
+        for state in [None, Some(vec![40.0, -1.5, 0.25])] {
+            let snap = sample_snapshot(state);
+            let back = SessionSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+            assert_eq!(back, snap);
+        }
+    }
+
+    #[test]
+    fn session_snapshot_detects_any_single_byte_corruption() {
+        let bytes = sample_snapshot(Some(vec![40.0, -1.5, 0.25])).to_bytes();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                SessionSnapshot::from_bytes(&bad).is_err(),
+                "flip at byte {i} decoded"
+            );
+        }
+        // Truncation at every length, and trailing garbage.
+        for cut in 0..bytes.len() {
+            assert!(SessionSnapshot::from_bytes(&bytes[..cut]).is_err());
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(SessionSnapshot::from_bytes(&long).is_err());
+    }
+
+    #[test]
+    fn session_snapshot_rejects_semantic_garbage() {
+        // A record can be checksum-consistent yet semantically invalid
+        // (a buggy producer): the field validators still refuse it.
+        let reject = |mutate: fn(&mut SessionSnapshot)| {
+            let mut snap = sample_snapshot(Some(vec![1.0, 2.0, 3.0]));
+            mutate(&mut snap);
+            assert!(SessionSnapshot::from_bytes(&snap.to_bytes()).is_err());
+        };
+        reject(|s| s.gain = 0.0);
+        reject(|s| s.gain = 1.5);
+        reject(|s| s.gain = f64::NAN);
+        reject(|s| s.k = 0);
+        reject(|s| {
+            s.k = 6; // k > m
+        });
+        reject(|s| s.state = Some(vec![1.0, f64::INFINITY, 2.0]));
+    }
+
+    #[test]
+    fn session_snapshot_roundtrips_any_name_length() {
+        // No write/read asymmetry: every name `to_bytes` accepts resumes.
+        let mut snap = sample_snapshot(None);
+        snap.deployment = "x".repeat(5000);
+        let back = SessionSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
     }
 }

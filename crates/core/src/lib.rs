@@ -94,7 +94,7 @@ pub use allocate::{
     RandomAllocator, SensorAllocator, UniformGridAllocator,
 };
 pub use basis::{Basis, BasisKind, DctBasis, EigenBasis};
-pub use codec::{CodecError, CodecResult, Decoder, Encoder};
+pub use codec::{CodecError, CodecResult, Decoder, Encoder, SessionSnapshot};
 pub use error::{CoreError, Result};
 pub use kernel::{KernelKind, SynthesisKernel};
 pub use map::{MapEnsemble, ThermalMap};

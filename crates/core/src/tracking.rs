@@ -87,6 +87,45 @@ impl TrackingReconstructor {
         self.state = None;
     }
 
+    /// A copy of the coefficient state for persistence (`None` before the
+    /// first step / after a reset). Feeding the copy back through
+    /// [`TrackingReconstructor::import_state`] on a tracker built over the
+    /// same deployment continues the stream bitwise-identically — the blend
+    /// recurrence depends only on the state vector, the gain and the
+    /// incoming readings.
+    pub fn export_state(&self) -> Option<Vec<f64>> {
+        self.state.clone()
+    }
+
+    /// Replaces the coefficient state with one previously captured by
+    /// [`TrackingReconstructor::export_state`] (warm restart). `None`
+    /// clears the state, like [`TrackingReconstructor::reset`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] if the state length disagrees
+    /// with the basis dimension `K`, or [`CoreError::InvalidArgument`] if
+    /// any coefficient is non-finite (a corrupt snapshot must not poison
+    /// every subsequent map).
+    pub fn import_state(&mut self, state: Option<Vec<f64>>) -> Result<()> {
+        if let Some(s) = &state {
+            if s.len() != self.inner.k() {
+                return Err(CoreError::ShapeMismatch {
+                    context: "tracking import_state coefficients",
+                    expected: self.inner.k(),
+                    found: s.len(),
+                });
+            }
+            if s.iter().any(|v| !v.is_finite()) {
+                return Err(CoreError::InvalidArgument {
+                    context: "tracking import_state: non-finite coefficient",
+                });
+            }
+        }
+        self.state = state;
+        Ok(())
+    }
+
     /// Ingests one interval's sensor readings and returns the tracked
     /// full-map estimate. The first step initializes the state with the
     /// memoryless estimate.
@@ -197,6 +236,47 @@ mod tests {
         // in-subspace noiseless readings).
         let est = tracker.step(&sensors.sample(&map)).unwrap();
         assert!(map.mse(&est) < 1e-18);
+    }
+
+    #[test]
+    fn exported_state_resumes_bitwise() {
+        let (basis, sensors, rec) = setup();
+        let mut live = TrackingReconstructor::new(rec.clone(), 0.3).unwrap();
+        for t in 0..7 {
+            live.step(&sensors.sample(&truth_at(&basis, t))).unwrap();
+        }
+        let exported = live.export_state();
+        assert!(exported.is_some());
+        // A fresh tracker warm-started from the exported state must
+        // continue the stream bitwise-identically.
+        let mut resumed = TrackingReconstructor::new(rec, 0.3).unwrap();
+        resumed.import_state(exported).unwrap();
+        for t in 7..20 {
+            let readings = sensors.sample(&truth_at(&basis, t));
+            let a = live.step(&readings).unwrap();
+            let b = resumed.step(&readings).unwrap();
+            assert_eq!(a.as_slice(), b.as_slice(), "t = {t}");
+        }
+        // Importing `None` behaves like a reset.
+        resumed.import_state(None).unwrap();
+        assert!(resumed.state().is_none());
+    }
+
+    #[test]
+    fn import_state_validates_shape_and_finiteness() {
+        let (_, _, rec) = setup();
+        let mut tracker = TrackingReconstructor::new(rec, 0.5).unwrap();
+        assert!(matches!(
+            tracker.import_state(Some(vec![1.0; 3])),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            tracker.import_state(Some(vec![1.0, f64::NAN, 0.0, 2.0])),
+            Err(CoreError::InvalidArgument { .. })
+        ));
+        assert!(tracker.state().is_none(), "failed import must not poison");
+        tracker.import_state(Some(vec![0.5; 4])).unwrap();
+        assert_eq!(tracker.state(), Some(&[0.5; 4][..]));
     }
 
     #[test]

@@ -27,19 +27,31 @@
 //! ([`Ticket::on_ready`]) to bridge an event loop without a thread per
 //! request. Dropping a ticket abandons the response but never the request:
 //! the batch still executes and the batcher never wedges.
+//!
+//! Streaming sessions go through the **same** front door: a session opened
+//! with [`Server::open_session`] (or pinned with
+//! [`Server::open_session_at`], or warm-started with
+//! [`Server::resume_session`]) owns a stream lane in the scheduler's
+//! fairness rotation, its `submit_step` is admission-controlled like
+//! `try_submit`, and each step executes on the sharded worker pool
+//! interleaved fairly with batch flushes — there is no unscheduled
+//! serving path left. Per-tenant [`BatchPolicy`] overrides
+//! ([`Server::set_tenant_policy`]) tier both workload classes by SKU.
 
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use eigenmaps_core::{CoreError, Deployment, ThermalMap};
+use eigenmaps_core::{CoreError, Deployment, ThermalMap, TrackingReconstructor};
 
 use crate::error::{Result, ServeError};
 use crate::metrics::ServeMetrics;
 use crate::registry::DeploymentRegistry;
-use crate::scheduler::{FlushDecision, Scheduler, TenantKey};
-use crate::session::TrackerSession;
+use crate::scheduler::{Decision, FlushDecision, Scheduler, StepDecision, StreamId, TenantKey};
+use crate::session::{SessionDoor, TrackerSession};
 use crate::shard::ShardedExecutor;
 
 pub use crate::scheduler::BatchPolicy;
@@ -64,25 +76,27 @@ impl ServeRequest {
     }
 }
 
-/// Where a response lands: shared between the [`Ticket`] and the batcher.
-struct ResponseSlot {
-    state: Mutex<SlotState>,
+/// Where a response of type `R` lands: shared between a ticket handle and
+/// the batcher. One machinery for both response shapes — batch requests
+/// (`R = Vec<ThermalMap>`) and session steps (`R = ThermalMap`).
+pub(crate) struct ResponseSlot<R> {
+    state: Mutex<SlotState<R>>,
     ready: Condvar,
 }
 
-enum SlotState {
+enum SlotState<R> {
     /// Response not produced yet; an optional readiness callback waits.
     Pending {
         callback: Option<Box<dyn FnOnce() + Send>>,
     },
     /// Response produced, not yet consumed.
-    Ready(Result<Vec<ThermalMap>>),
+    Ready(Result<R>),
     /// Response consumed (by `wait` or `try_wait`).
     Taken,
 }
 
-impl ResponseSlot {
-    fn new() -> Arc<Self> {
+impl<R> ResponseSlot<R> {
+    pub(crate) fn new() -> Arc<Self> {
         Arc::new(ResponseSlot {
             state: Mutex::new(SlotState::Pending { callback: None }),
             ready: Condvar::new(),
@@ -92,7 +106,7 @@ impl ResponseSlot {
     /// Stores the response, fires the readiness callback (outside the
     /// lock), then wakes blocked waiters. Idempotent: only the first
     /// completion wins.
-    fn complete(&self, result: Result<Vec<ThermalMap>>) {
+    pub(crate) fn complete(&self, result: Result<R>) {
         let callback = {
             let mut state = self.state.lock().expect("ticket lock poisoned");
             match &mut *state {
@@ -109,33 +123,115 @@ impl ResponseSlot {
         }
         self.ready.notify_all();
     }
+
+    /// Whether a response is ready (a `try_take` would return it).
+    pub(crate) fn is_ready(&self) -> bool {
+        matches!(
+            *self.state.lock().expect("ticket lock poisoned"),
+            SlotState::Ready(_)
+        )
+    }
+
+    /// Nonblocking poll: the response if ready (returned exactly once),
+    /// `None` while pending or after it was already consumed.
+    pub(crate) fn try_take(&self) -> Option<Result<R>> {
+        let mut state = self.state.lock().expect("ticket lock poisoned");
+        match &*state {
+            SlotState::Ready(_) => match std::mem::replace(&mut *state, SlotState::Taken) {
+                SlotState::Ready(result) => Some(result),
+                _ => unreachable!("state was Ready under the lock"),
+            },
+            _ => None,
+        }
+    }
+
+    /// Registers `callback` to run as soon as the response is ready; runs
+    /// it immediately (on the calling thread) if it already is. A second
+    /// registration replaces the first.
+    pub(crate) fn on_ready(&self, callback: impl FnOnce() + Send + 'static) {
+        {
+            let mut state = self.state.lock().expect("ticket lock poisoned");
+            if let SlotState::Pending { callback: slot } = &mut *state {
+                *slot = Some(Box::new(callback));
+                return;
+            }
+        }
+        callback();
+    }
+
+    /// Blocks until completed; [`ServeError::Terminated`] if the response
+    /// was already consumed.
+    pub(crate) fn wait(&self) -> Result<R> {
+        let mut state = self.state.lock().expect("ticket lock poisoned");
+        loop {
+            match &*state {
+                SlotState::Pending { .. } => {
+                    state = self.ready.wait(state).expect("ticket lock poisoned");
+                }
+                SlotState::Ready(_) => match std::mem::replace(&mut *state, SlotState::Taken) {
+                    SlotState::Ready(result) => return result,
+                    _ => unreachable!("state was Ready under the lock"),
+                },
+                SlotState::Taken => {
+                    return Err(ServeError::Terminated {
+                        context: "response already consumed by try_wait",
+                    })
+                }
+            }
+        }
+    }
 }
 
 /// Completes its [`ResponseSlot`] exactly once — on the happy path with
-/// the batch result, or with [`ServeError::Terminated`] if dropped
-/// unfulfilled (batcher teardown), so [`Ticket::wait`] can never hang.
-struct Responder {
-    slot: Arc<ResponseSlot>,
+/// the result, or with [`ServeError::Terminated`] if dropped unfulfilled
+/// (batcher teardown), so a ticket `wait` can never hang. Optionally
+/// drains one slot from a pending gauge on completion (the per-session
+/// admission counter), so abandoned or terminated steps never leak
+/// admission slots.
+pub(crate) struct Responder<R> {
+    slot: Arc<ResponseSlot<R>>,
+    gauge: Option<Arc<AtomicU64>>,
     fulfilled: bool,
 }
 
-impl Responder {
-    fn new(slot: Arc<ResponseSlot>) -> Self {
+impl<R> Responder<R> {
+    pub(crate) fn new(slot: Arc<ResponseSlot<R>>) -> Self {
         Responder {
             slot,
+            gauge: None,
             fulfilled: false,
         }
     }
 
-    fn send(mut self, result: Result<Vec<ThermalMap>>) {
+    /// A responder that also decrements `gauge` (saturating) exactly once
+    /// when it completes — fulfilled or dropped.
+    pub(crate) fn with_gauge(slot: Arc<ResponseSlot<R>>, gauge: Arc<AtomicU64>) -> Self {
+        Responder {
+            slot,
+            gauge: Some(gauge),
+            fulfilled: false,
+        }
+    }
+
+    fn release_gauge(&mut self) {
+        if let Some(gauge) = self.gauge.take() {
+            let _ = gauge.fetch_update(Ordering::AcqRel, Ordering::Acquire, |pending| {
+                Some(pending.saturating_sub(1))
+            });
+        }
+    }
+
+    pub(crate) fn send(mut self, result: Result<R>) {
         self.fulfilled = true;
+        self.release_gauge();
         self.slot.complete(result);
     }
 }
 
-impl Drop for Responder {
+impl<R> Drop for Responder<R> {
     fn drop(&mut self) {
         if !self.fulfilled {
+            self.release_gauge();
             self.slot.complete(Err(ServeError::Terminated {
                 context: "server dropped before responding",
             }));
@@ -143,7 +239,7 @@ impl Drop for Responder {
     }
 }
 
-impl std::fmt::Debug for Responder {
+impl<R> std::fmt::Debug for Responder<R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Responder")
             .field("fulfilled", &self.fulfilled)
@@ -165,7 +261,7 @@ impl std::fmt::Debug for Responder {
 /// exactly as if it had been awaited), and the response is discarded.
 pub struct Ticket {
     version: u32,
-    slot: Arc<ResponseSlot>,
+    slot: Arc<ResponseSlot<Vec<ThermalMap>>>,
 }
 
 impl Ticket {
@@ -176,24 +272,14 @@ impl Ticket {
 
     /// Whether a response is ready — [`Ticket::try_wait`] would return it.
     pub fn is_ready(&self) -> bool {
-        matches!(
-            *self.slot.state.lock().expect("ticket lock poisoned"),
-            SlotState::Ready(_)
-        )
+        self.slot.is_ready()
     }
 
     /// Nonblocking poll: the response if it is ready (returned exactly
     /// once), `None` while it is still pending or after it was already
     /// consumed.
     pub fn try_wait(&mut self) -> Option<Result<Vec<ThermalMap>>> {
-        let mut state = self.slot.state.lock().expect("ticket lock poisoned");
-        match &*state {
-            SlotState::Ready(_) => match std::mem::replace(&mut *state, SlotState::Taken) {
-                SlotState::Ready(result) => Some(result),
-                _ => unreachable!("state was Ready under the lock"),
-            },
-            _ => None,
-        }
+        self.slot.try_take()
     }
 
     /// Registers `callback` to run as soon as the response is ready
@@ -203,14 +289,7 @@ impl Ticket {
     /// must not block — it is the readiness hook an event loop uses to
     /// schedule a [`Ticket::try_wait`].
     pub fn on_ready(&self, callback: impl FnOnce() + Send + 'static) {
-        {
-            let mut state = self.slot.state.lock().expect("ticket lock poisoned");
-            if let SlotState::Pending { callback: slot } = &mut *state {
-                *slot = Some(Box::new(callback));
-                return;
-            }
-        }
-        callback();
+        self.slot.on_ready(callback);
     }
 
     /// Blocks until the batcher serves the request.
@@ -222,23 +301,7 @@ impl Ticket {
     ///   responding, or if the response was already consumed by
     ///   [`Ticket::try_wait`].
     pub fn wait(self) -> Result<Vec<ThermalMap>> {
-        let mut state = self.slot.state.lock().expect("ticket lock poisoned");
-        loop {
-            match &*state {
-                SlotState::Pending { .. } => {
-                    state = self.slot.ready.wait(state).expect("ticket lock poisoned");
-                }
-                SlotState::Ready(_) => match std::mem::replace(&mut *state, SlotState::Taken) {
-                    SlotState::Ready(result) => return result,
-                    _ => unreachable!("state was Ready under the lock"),
-                },
-                SlotState::Taken => {
-                    return Err(ServeError::Terminated {
-                        context: "response already consumed by try_wait",
-                    })
-                }
-            }
-        }
+        self.slot.wait()
     }
 }
 
@@ -253,26 +316,79 @@ impl std::fmt::Debug for Ticket {
 
 /// A queued request with its artifact pinned and its response slot.
 #[derive(Debug)]
-struct QueuedRequest {
+pub(crate) struct QueuedRequest {
     key: TenantKey,
     deployment: Arc<Deployment>,
     frames: Vec<Vec<f64>>,
     enqueued: Instant,
-    responder: Responder,
+    responder: Responder<Vec<ThermalMap>>,
+}
+
+/// A queued session step: one interval's readings for one stream lane,
+/// sharing the session's tracker (and bookkeeping counters) with the
+/// [`TrackerSession`] handle that submitted it.
+#[derive(Debug)]
+pub(crate) struct QueuedStep {
+    pub(crate) stream: StreamId,
+    pub(crate) name: String,
+    pub(crate) tracker: Arc<Mutex<TrackingReconstructor>>,
+    pub(crate) readings: Vec<f64>,
+    pub(crate) enqueued: Instant,
+    pub(crate) frames: Arc<AtomicU64>,
+    pub(crate) responder: Responder<ThermalMap>,
+}
+
+/// Everything the front door can feed the batcher thread. Requests and
+/// steps land in the scheduler's lanes; policy updates reconfigure it;
+/// `Shutdown` (sent by [`Server::drop`]) makes it drain and exit even
+/// though open sessions still hold `Sender` clones.
+#[derive(Debug)]
+pub(crate) enum BatcherMsg {
+    Request(QueuedRequest),
+    Step(QueuedStep),
+    /// Sent back to the batcher by the worker that finished a dispatched
+    /// step: the stream's in-flight gate opens and its next deferred step
+    /// (if any) enters the scheduler — per-session ordering without
+    /// blocking the batcher on step execution.
+    StepDone(StreamId),
+    Policy {
+        name: String,
+        policy: Option<BatchPolicy>,
+    },
+    Shutdown,
+}
+
+/// The scheduler's job payload: batch lanes carry requests, stream lanes
+/// carry steps. The invariant (upheld by `batcher_loop`'s submit calls)
+/// is that a batch decision only ever contains `Request`s and a step
+/// decision only ever a `Step`.
+#[derive(Debug)]
+enum Work {
+    Request(QueuedRequest),
+    Step(QueuedStep),
 }
 
 /// The serving front end: registry + per-tenant micro-batching scheduler +
 /// sharded execution engine + metrics, one per fleet process.
 ///
 /// `Server` is `Send + Sync`; submit from any thread. Dropping it flushes
-/// queued requests and joins the batcher and worker threads.
+/// queued requests and joins the batcher and worker threads (outstanding
+/// [`TrackerSession`] handles survive, but their scheduled steps complete
+/// with [`ServeError::Terminated`] from then on).
 #[derive(Debug)]
 pub struct Server {
     registry: Arc<DeploymentRegistry>,
     executor: Arc<ShardedExecutor>,
     metrics: Arc<ServeMetrics>,
     policy: BatchPolicy,
-    queue: Sender<QueuedRequest>,
+    /// Front-door mirror of the scheduler's per-tenant overrides (the
+    /// admission-control bound is enforced here, before the batcher).
+    /// Shared with every open session's door, so a policy change reaches
+    /// live streams too.
+    overrides: Arc<RwLock<HashMap<String, BatchPolicy>>>,
+    queue: Sender<BatcherMsg>,
+    /// Stream-lane id allocator for sessions opened through this server.
+    next_stream: AtomicU64,
     batcher: Option<JoinHandle<()>>,
 }
 
@@ -299,9 +415,12 @@ impl Server {
         let batcher = {
             let executor = Arc::clone(&executor);
             let metrics = Arc::clone(&metrics);
+            // The batcher holds a sender to its own queue: workers clone
+            // it into dispatched steps to report `StepDone`.
+            let done = queue.clone();
             std::thread::Builder::new()
                 .name("eigenmaps-batcher".into())
-                .spawn(move || batcher_loop(&rx, &executor, &metrics, policy, epoch))
+                .spawn(move || batcher_loop(&rx, &executor, &metrics, &done, policy, epoch))
                 .expect("spawn batcher")
         };
         Server {
@@ -309,7 +428,9 @@ impl Server {
             executor,
             metrics,
             policy,
+            overrides: Arc::new(RwLock::new(HashMap::new())),
             queue,
+            next_stream: AtomicU64::new(1),
             batcher: Some(batcher),
         }
     }
@@ -324,9 +445,59 @@ impl Server {
         &self.executor
     }
 
-    /// The batching policy this server's scheduler enforces.
+    /// The global (fallback) batching policy this server's scheduler
+    /// enforces.
     pub fn policy(&self) -> &BatchPolicy {
         &self.policy
+    }
+
+    /// The policy in force for deployment `name`: its per-tenant override
+    /// if one is installed, else the global policy.
+    pub fn tenant_policy(&self, name: &str) -> BatchPolicy {
+        self.overrides
+            .read()
+            .expect("policy overrides lock poisoned")
+            .get(name)
+            .copied()
+            .unwrap_or(self.policy)
+    }
+
+    /// Installs (`Some`) or clears (`None`) a per-tenant [`BatchPolicy`]
+    /// override for every version of deployment `name` — latency-tiered
+    /// SKUs: a premium tenant gets a tight `max_delay` and small batches,
+    /// a bulk tenant big coalescing budgets. The override governs both
+    /// the scheduler's readiness/sizing budgets and the nonblocking
+    /// door's `max_pending_per_tenant` admission bound; it applies to
+    /// requests admitted from now on (already-queued requests are
+    /// re-judged under the new budgets on the scheduler's next tick) and
+    /// survives hot swaps (keyed by name, not version).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Terminated`] if the server is shutting down.
+    pub fn set_tenant_policy(&self, name: &str, policy: Option<BatchPolicy>) -> Result<()> {
+        {
+            let mut overrides = self
+                .overrides
+                .write()
+                .expect("policy overrides lock poisoned");
+            match policy {
+                Some(policy) => {
+                    overrides.insert(name.to_string(), policy);
+                }
+                None => {
+                    overrides.remove(name);
+                }
+            }
+        }
+        self.queue
+            .send(BatcherMsg::Policy {
+                name: name.to_string(),
+                policy,
+            })
+            .map_err(|_| ServeError::Terminated {
+                context: "request queue closed",
+            })
     }
 
     /// A point-in-time copy of the serving metrics.
@@ -464,7 +635,8 @@ impl Server {
         if admission_control {
             if let Err(pending) = self.metrics.try_record_tenant_enqueued(
                 &request.deployment,
-                self.policy.max_pending_per_tenant as u64,
+                self.tenant_policy(&request.deployment)
+                    .max_pending_per_tenant as u64,
             ) {
                 return Err(ServeError::Saturated {
                     name: request.deployment,
@@ -487,8 +659,10 @@ impl Server {
             enqueued: Instant::now(),
             responder: Responder::new(slot),
         };
-        if let Err(mpsc::SendError(dead)) = self.queue.send(queued) {
-            self.metrics.record_tenant_dequeued(&dead.key.name, 1);
+        if let Err(mpsc::SendError(dead)) = self.queue.send(BatcherMsg::Request(queued)) {
+            if let BatcherMsg::Request(dead) = dead {
+                self.metrics.record_tenant_dequeued(&dead.key.name, 1);
+            }
             return Err(ServeError::Terminated {
                 context: "request queue closed",
             });
@@ -507,8 +681,27 @@ impl Server {
         self.submit(ServeRequest::new(deployment, frames))?.wait()
     }
 
+    /// The stream-lane door handed to sessions opened through this
+    /// server: a fresh lane id, a clone of the batcher queue and a live
+    /// view of the policy overrides, so a later
+    /// [`Server::set_tenant_policy`] re-tiers the session's admission
+    /// bound too.
+    fn session_door(&self) -> SessionDoor {
+        SessionDoor {
+            stream: StreamId(self.next_stream.fetch_add(1, Ordering::Relaxed)),
+            queue: self.queue.clone(),
+            overrides: Arc::clone(&self.overrides),
+            fallback: self.policy,
+        }
+    }
+
     /// Opens a streaming tracker session against the named deployment's
-    /// current version (pinned for the session's lifetime). See
+    /// current version (pinned for the session's lifetime). The session
+    /// is a **scheduled workload**: each [`TrackerSession::submit_step`]
+    /// (and the blocking [`TrackerSession::step`] convenience) goes
+    /// through admission control into the session's own stream lane in
+    /// the batcher's fairness rotation, and the tracker arithmetic runs
+    /// on the sharded worker pool — never on the caller's thread. See
     /// [`TrackerSession`].
     ///
     /// # Errors
@@ -516,21 +709,74 @@ impl Server {
     /// * [`ServeError::UnknownDeployment`] for an unresolved name.
     /// * [`ServeError::Core`] for a gain outside `(0, 1]`.
     pub fn open_session(&self, deployment: &str, gain: f64) -> Result<TrackerSession> {
-        TrackerSession::open_with_metrics(
+        TrackerSession::open_scheduled(
             &self.registry,
             deployment,
+            None,
             gain,
-            Some(Arc::clone(&self.metrics)),
+            Arc::clone(&self.metrics),
+            self.session_door(),
+        )
+    }
+
+    /// [`Server::open_session`] pinned to an explicit registry `version`
+    /// instead of the latest — how a resumed snapshot (or an A/B
+    /// experiment) reattaches to the exact artifact a stream was trained
+    /// against even after newer versions were published.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::UnknownDeployment`] / [`ServeError::UnknownVersion`]
+    ///   for an unresolved name or a retired/never-published version.
+    /// * [`ServeError::Core`] for a gain outside `(0, 1]`.
+    pub fn open_session_at(
+        &self,
+        deployment: &str,
+        version: u32,
+        gain: f64,
+    ) -> Result<TrackerSession> {
+        TrackerSession::open_scheduled(
+            &self.registry,
+            deployment,
+            Some(version),
+            gain,
+            Arc::clone(&self.metrics),
+            self.session_door(),
+        )
+    }
+
+    /// Warm-starts a stream from an `EMSESS1` snapshot (see
+    /// [`TrackerSession::snapshot`]): re-resolves the exact pinned
+    /// `(deployment, version)` from this server's registry, refuses a
+    /// shape or identity mismatch, imports the temporal-filter state and
+    /// returns a scheduled session that continues the stream
+    /// bitwise-identically to the uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Core`] for malformed snapshot bytes.
+    /// * [`ServeError::UnknownDeployment`] / [`ServeError::UnknownVersion`]
+    ///   if the pinned artifact is no longer published.
+    /// * [`ServeError::SnapshotMismatch`] if the resolved deployment's
+    ///   shape disagrees with the snapshot.
+    pub fn resume_session(&self, bytes: &[u8]) -> Result<TrackerSession> {
+        TrackerSession::resume_scheduled(
+            &self.registry,
+            bytes,
+            Arc::clone(&self.metrics),
+            self.session_door(),
         )
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        // Closing the queue lets the batcher drain what's pending and
-        // exit; then reap it before the executor is torn down.
-        let (dead, _) = mpsc::channel();
-        drop(std::mem::replace(&mut self.queue, dead));
+        // Sessions hold `Sender` clones, so closing our end cannot hang
+        // up the channel; an explicit shutdown message (FIFO-ordered
+        // after everything already submitted) tells the batcher to drain
+        // what's pending and exit, then we reap it before the executor is
+        // torn down.
+        let _ = self.queue.send(BatcherMsg::Shutdown);
         if let Some(batcher) = self.batcher.take() {
             let _ = batcher.join();
         }
@@ -538,21 +784,71 @@ impl Drop for Server {
 }
 
 /// The batcher thread: feeds arrivals into the pure [`Scheduler`] and
-/// executes its flush decisions. All timing runs on a `Duration` clock
-/// anchored at the loop's start, matching what the scheduler's mock-clock
-/// tests exercise. Runs until the request queue closes, then drains.
+/// executes its decisions in the scheduler's fairness order. Batch
+/// flushes run synchronously on the pool; session steps are dispatched
+/// **fire-and-forget** ([`ShardedExecutor::spawn`]) so steps of different
+/// sessions run in parallel across the workers while the batcher keeps
+/// scheduling. Per-session ordering is preserved by an in-flight gate: a
+/// stream has at most one step granted-and-running at a time — later
+/// steps wait in `deferred` until the worker's `StepDone` message opens
+/// the gate and promotes the next one into the scheduler lane. All
+/// timing runs on a `Duration` clock anchored at the loop's start,
+/// matching what the scheduler's mock-clock tests exercise. Runs until a
+/// `Shutdown` message arrives (or every sender hangs up), then drains.
 fn batcher_loop(
-    rx: &Receiver<QueuedRequest>,
-    executor: &ShardedExecutor,
-    metrics: &ServeMetrics,
+    rx: &Receiver<BatcherMsg>,
+    executor: &Arc<ShardedExecutor>,
+    metrics: &Arc<ServeMetrics>,
+    done: &Sender<BatcherMsg>,
     policy: BatchPolicy,
     epoch: Instant,
 ) {
-    let mut scheduler: Scheduler<QueuedRequest> = Scheduler::new(policy);
-    loop {
+    let mut scheduler: Scheduler<Work> = Scheduler::new(policy);
+    // Streams with a step currently executing on a worker.
+    let mut inflight: HashSet<StreamId> = HashSet::new();
+    // Steps admitted while their stream was gated (in flight, or already
+    // holding its one scheduler slot), FIFO per stream.
+    let mut deferred: HashMap<StreamId, VecDeque<QueuedStep>> = HashMap::new();
+    // Admits a step while keeping the invariant "at most one step per
+    // stream in the scheduler": excess steps queue in `deferred`.
+    fn admit_step(
+        scheduler: &mut Scheduler<Work>,
+        inflight: &HashSet<StreamId>,
+        deferred: &mut HashMap<StreamId, VecDeque<QueuedStep>>,
+        step: QueuedStep,
+    ) {
+        let stream = step.stream;
+        if inflight.contains(&stream)
+            || deferred.contains_key(&stream)
+            || scheduler.stream_depth(stream) > 0
+        {
+            deferred.entry(stream).or_default().push_back(step);
+        } else {
+            scheduler.submit_stream(stream, Work::Step(step));
+        }
+    }
+    // Opens a stream's gate after its worker finished and promotes the
+    // next deferred step, if any.
+    fn step_done(
+        scheduler: &mut Scheduler<Work>,
+        inflight: &mut HashSet<StreamId>,
+        deferred: &mut HashMap<StreamId, VecDeque<QueuedStep>>,
+        stream: StreamId,
+    ) {
+        inflight.remove(&stream);
+        if let Some(queue) = deferred.get_mut(&stream) {
+            if let Some(next) = queue.pop_front() {
+                scheduler.submit_stream(stream, Work::Step(next));
+            }
+            if queue.is_empty() {
+                deferred.remove(&stream);
+            }
+        }
+    }
+    'serve: loop {
         let arrival = if scheduler.is_idle() {
             match rx.recv() {
-                Ok(req) => Some(req),
+                Ok(msg) => Some(msg),
                 Err(_) => break,
             }
         } else {
@@ -560,7 +856,7 @@ fn batcher_loop(
                 // No representable deadline ("flush by size only"): wait
                 // for traffic without a timeout.
                 None => match rx.recv() {
-                    Ok(req) => Some(req),
+                    Ok(msg) => Some(msg),
                     Err(_) => break,
                 },
                 Some(deadline) => {
@@ -569,7 +865,7 @@ fn batcher_loop(
                         None
                     } else {
                         match rx.recv_timeout(remaining) {
-                            Ok(req) => Some(req),
+                            Ok(msg) => Some(msg),
                             Err(RecvTimeoutError::Timeout) => None,
                             Err(RecvTimeoutError::Disconnected) => break,
                         }
@@ -578,32 +874,173 @@ fn batcher_loop(
             }
         };
         let now = epoch.elapsed();
-        if let Some(request) = arrival {
-            // Anchor the latency budget at the client's submit time, not
-            // at batcher receipt: time spent waiting in the channel (e.g.
-            // behind a long executor run) counts toward `max_delay`, so an
-            // already-overdue request flushes on the very next tick.
-            let enqueued_at = request.enqueued.saturating_duration_since(epoch);
-            scheduler.submit(
-                enqueued_at,
-                request.key.clone(),
-                request.frames.len(),
-                request,
-            );
+        match arrival {
+            Some(BatcherMsg::Request(request)) => {
+                // Anchor the latency budget at the client's submit time,
+                // not at batcher receipt: time spent waiting in the
+                // channel (e.g. behind a long executor run) counts toward
+                // `max_delay`, so an already-overdue request flushes on
+                // the very next tick.
+                let enqueued_at = request.enqueued.saturating_duration_since(epoch);
+                scheduler.submit(
+                    enqueued_at,
+                    request.key.clone(),
+                    request.frames.len(),
+                    Work::Request(request),
+                );
+            }
+            Some(BatcherMsg::Step(step)) => {
+                admit_step(&mut scheduler, &inflight, &mut deferred, step);
+            }
+            Some(BatcherMsg::StepDone(stream)) => {
+                step_done(&mut scheduler, &mut inflight, &mut deferred, stream);
+            }
+            Some(BatcherMsg::Policy { name, policy }) => {
+                scheduler.set_tenant_policy(name, policy);
+            }
+            Some(BatcherMsg::Shutdown) => break 'serve,
+            None => {}
         }
         for decision in scheduler.tick(now) {
-            flush(decision, executor, metrics);
+            match decision {
+                Decision::Batch(flush) => execute_flush(flush, executor, metrics),
+                Decision::Step(step) => dispatch_step(step, executor, metrics, done, &mut inflight),
+            }
         }
     }
+    // Shutdown drain, in three phases. 1: wait out the steps already on
+    // workers (absorbing late traffic) so nothing below can race a
+    // worker for a session's tracker; the timeout is a backstop against
+    // a dead pool that will never report StepDone.
+    let drain_deadline = Instant::now() + std::time::Duration::from_secs(10);
+    while !inflight.is_empty() {
+        let remaining = drain_deadline.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(remaining) {
+            Ok(BatcherMsg::StepDone(stream)) => {
+                step_done(&mut scheduler, &mut inflight, &mut deferred, stream);
+            }
+            Ok(BatcherMsg::Request(request)) => {
+                let enqueued_at = request.enqueued.saturating_duration_since(epoch);
+                scheduler.submit(
+                    enqueued_at,
+                    request.key.clone(),
+                    request.frames.len(),
+                    Work::Request(request),
+                );
+            }
+            Ok(BatcherMsg::Step(step)) => {
+                admit_step(&mut scheduler, &inflight, &mut deferred, step);
+            }
+            Ok(_) => {}
+            Err(_) => break, // timed out or disconnected: stop waiting
+        }
+    }
+    // 2: flush everything still scheduled; steps run synchronously now
+    // (their streams have nothing in flight).
     for decision in scheduler.drain() {
-        flush(decision, executor, metrics);
+        match decision {
+            Decision::Batch(flush) => execute_flush(flush, executor, metrics),
+            Decision::Step(step) => match step.job {
+                Work::Step(step) => execute_step_blocking(step, executor, metrics),
+                Work::Request(_) => unreachable!("stream lanes carry only steps"),
+            },
+        }
+    }
+    // 3: deferred steps. With nothing in flight they execute in FIFO
+    // order; on the timed-out path running them could race the wedged
+    // worker, so they are dropped instead (responders fire `Terminated`
+    // and release their admission slots).
+    if inflight.is_empty() {
+        for (_, steps) in deferred {
+            for step in steps {
+                execute_step_blocking(step, executor, metrics);
+            }
+        }
+    }
+}
+
+/// Dispatches one granted session step to the worker pool without
+/// blocking the batcher: the worker locks the session's tracker, runs the
+/// step, completes the ticket and reports `StepDone` so the stream's next
+/// step can be granted. On a dead pool the step's responder (dropped with
+/// the rejected job) completes `Terminated` and no in-flight gate is set.
+fn dispatch_step(
+    decision: StepDecision<Work>,
+    executor: &Arc<ShardedExecutor>,
+    metrics: &Arc<ServeMetrics>,
+    done: &Sender<BatcherMsg>,
+    inflight: &mut HashSet<StreamId>,
+) {
+    let step = match decision.job {
+        Work::Step(step) => step,
+        Work::Request(_) => unreachable!("stream lanes carry only steps"),
+    };
+    let stream = step.stream;
+    let metrics = Arc::clone(metrics);
+    // The guard reports `StepDone` even if the step panics mid-worker:
+    // without it, a panicking step would leave the stream gated forever
+    // (later steps deferred with hanging tickets, shutdown stalled on the
+    // drain backstop). The ticket itself is covered by `Responder::drop`.
+    let guard = StepDoneGuard {
+        stream,
+        done: done.clone(),
+    };
+    let spawned = executor.spawn(move |worker| {
+        let _guard = guard;
+        let outcome = crate::shard::step_tracker(&step.tracker, &step.readings);
+        metrics.record_shard(worker, 1);
+        complete_step(step, outcome.map_err(ServeError::Core), &metrics);
+    });
+    if spawned.is_ok() {
+        inflight.insert(stream);
+    }
+    // On a dead pool the rejected job (with the guard inside) is dropped:
+    // the responder fires `Terminated`, a spurious `StepDone` goes to a
+    // closed queue harmlessly, and no in-flight gate was set.
+}
+
+/// Sends `StepDone` for its stream when dropped — on the worker's normal
+/// exit from a step, or during unwind if the step panicked.
+struct StepDoneGuard {
+    stream: StreamId,
+    done: Sender<BatcherMsg>,
+}
+
+impl Drop for StepDoneGuard {
+    fn drop(&mut self) {
+        let _ = self.done.send(BatcherMsg::StepDone(self.stream));
+    }
+}
+
+/// Completes one executed session step: per-class latency, frame and
+/// step accounting, then the ticket — shared by the worker-side dispatch
+/// path and the synchronous shutdown drain.
+fn complete_step(step: QueuedStep, outcome: Result<ThermalMap>, metrics: &ServeMetrics) {
+    let QueuedStep {
+        name,
+        enqueued,
+        frames,
+        responder,
+        ..
+    } = step;
+    metrics.record_session_latency(enqueued.elapsed());
+    match outcome {
+        Ok(map) => {
+            frames.fetch_add(1, Ordering::Release);
+            metrics.record_session_step(&name);
+            responder.send(Ok(map));
+        }
+        Err(e) => {
+            metrics.record_error();
+            responder.send(Err(e));
+        }
     }
 }
 
 /// Executes one flush decision and distributes results (or the shared
 /// error) back through each request's responder.
-fn flush(
-    decision: FlushDecision<QueuedRequest>,
+fn execute_flush(
+    decision: FlushDecision<Work>,
     executor: &ShardedExecutor,
     metrics: &ServeMetrics,
 ) {
@@ -616,6 +1053,13 @@ fn flush(
     if jobs.is_empty() {
         return;
     }
+    let mut jobs: Vec<QueuedRequest> = jobs
+        .into_iter()
+        .map(|work| match work {
+            Work::Request(req) => req,
+            Work::Step(_) => unreachable!("batch lanes carry only requests"),
+        })
+        .collect();
     metrics.record_batch();
     metrics.record_tenant_batch(&tenant.name, jobs.len() as u64, total_frames as u64);
     // Every job in a decision pinned the same registry artifact (same
@@ -623,7 +1067,6 @@ fn flush(
     let deployment = Arc::clone(&jobs[0].deployment);
     let mut combined: Vec<Vec<f64>> = Vec::with_capacity(total_frames);
     let mut counts = Vec::with_capacity(jobs.len());
-    let mut jobs: Vec<QueuedRequest> = jobs;
     for req in jobs.iter_mut() {
         counts.push(req.frames.len());
         combined.append(&mut req.frames); // moves the inner Vecs, no copy
@@ -646,6 +1089,14 @@ fn flush(
             }
         }
     }
+}
+
+/// Executes one session step synchronously (the shutdown-drain path,
+/// where nothing else is in flight for the stream) and completes its
+/// ticket.
+fn execute_step_blocking(step: QueuedStep, executor: &ShardedExecutor, metrics: &ServeMetrics) {
+    let outcome = executor.execute_step(&step.tracker, step.readings.clone());
+    complete_step(step, outcome, metrics);
 }
 
 #[cfg(test)]

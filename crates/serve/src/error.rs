@@ -39,6 +39,14 @@ pub enum ServeError {
         /// Requests pending for that tenant at refusal time.
         pending: u64,
     },
+    /// A session snapshot (`EMSESS1`) refers to a deployment whose shape
+    /// or identity disagrees with what the registry resolved — resuming
+    /// would warm-start the temporal filter against the wrong artifact, so
+    /// the resume is refused instead.
+    SnapshotMismatch {
+        /// Which field disagreed.
+        context: &'static str,
+    },
     /// Reconstruction itself failed.
     Core(CoreError),
 }
@@ -59,6 +67,12 @@ impl fmt::Display for ServeError {
                 write!(
                     f,
                     "tenant {name:?} is saturated: {pending} requests already pending"
+                )
+            }
+            ServeError::SnapshotMismatch { context } => {
+                write!(
+                    f,
+                    "session snapshot does not match the deployment: {context}"
                 )
             }
             ServeError::Core(e) => write!(f, "reconstruction failed: {e}"),

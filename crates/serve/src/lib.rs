@@ -20,11 +20,20 @@
 //!   readiness callback) for event-loop transports;
 //! * [`Scheduler`] — the clock-injected coalesce/flush state machine
 //!   itself, usable (and deterministically testable) without threads;
+//!   per-tenant batch queues and per-session stream lanes share one
+//!   fairness rotation, and per-tenant [`BatchPolicy`] overrides tier
+//!   the budgets by SKU ([`Server::set_tenant_policy`]);
 //! * [`TrackerSession`] — streaming per-tenant telemetry sessions with
 //!   temporal filtering, pinned to the deployment version they opened;
+//!   server-opened sessions are **scheduled workloads** (admission
+//!   control, stream lane, worker-pool execution, pollable
+//!   [`StepTicket`]s) and are durable: `EMSESS1` snapshots warm-restart
+//!   a stream bitwise-identically across process restarts
+//!   ([`Server::resume_session`]);
 //! * [`ServeMetrics`] / [`MetricsSnapshot`] — request/frame counters,
-//!   fixed-bucket latency histogram (p50/p99), shard utilization and
-//!   per-tenant batch-size/queue-depth gauges ([`TenantSnapshot`]).
+//!   fixed-bucket latency histograms per workload class (p50/p99),
+//!   shard utilization, per-tenant batch-size/queue-depth gauges
+//!   ([`TenantSnapshot`]) and session gauges.
 //!
 //! # Quickstart: design time → artifact → serving fleet
 //!
@@ -95,6 +104,12 @@
 //! [`Deployment::set_kernel`](eigenmaps_core::Deployment::set_kernel))
 //! may change outputs within documented rounding tolerance (`1e-10`
 //! relative); sharding and batching under any one backend never do.
+//!
+//! The same contract covers streams: a session step scheduled through
+//! the fair front door and executed on the worker pool produces maps
+//! bitwise-identical to stepping the tracker inline on the caller's
+//! thread, and a stream resumed from an `EMSESS1` snapshot continues
+//! bitwise-identically to one that was never interrupted.
 
 pub mod batch;
 pub mod error;
@@ -108,8 +123,10 @@ pub use batch::{BatchPolicy, ServeRequest, Server, Ticket};
 pub use error::{Result, ServeError};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics, TenantSnapshot};
 pub use registry::DeploymentRegistry;
-pub use scheduler::{FlushDecision, FlushReason, Scheduler, TenantKey};
-pub use session::TrackerSession;
+pub use scheduler::{
+    Decision, FlushDecision, FlushReason, Scheduler, StepDecision, StreamId, TenantKey,
+};
+pub use session::{StepTicket, TrackerSession};
 pub use shard::ShardedExecutor;
 
 #[cfg(test)]
@@ -150,7 +167,9 @@ pub mod prelude {
     pub use crate::error::{Result, ServeError};
     pub use crate::metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics, TenantSnapshot};
     pub use crate::registry::DeploymentRegistry;
-    pub use crate::scheduler::{FlushDecision, FlushReason, Scheduler, TenantKey};
-    pub use crate::session::TrackerSession;
+    pub use crate::scheduler::{
+        Decision, FlushDecision, FlushReason, Scheduler, StepDecision, StreamId, TenantKey,
+    };
+    pub use crate::session::{StepTicket, TrackerSession};
     pub use crate::shard::ShardedExecutor;
 }

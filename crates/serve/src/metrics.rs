@@ -165,6 +165,8 @@ struct TenantCounters {
     queue_depth: AtomicU64,
     /// High-water mark of `queue_depth`.
     max_queue_depth: AtomicU64,
+    /// Streaming session steps served against this tenant's deployments.
+    session_steps: AtomicU64,
 }
 
 /// Counter hub shared by the front end, the execution engine and any
@@ -176,7 +178,15 @@ pub struct ServeMetrics {
     batches: AtomicU64,
     errors: AtomicU64,
     session_steps: AtomicU64,
+    /// Streaming sessions currently open (gauge).
+    sessions_open: AtomicU64,
+    /// High-water mark of `sessions_open`.
+    max_sessions_open: AtomicU64,
     latency: LatencyHistogram,
+    /// Queue-to-response latency of scheduled session steps — kept
+    /// separate from the batch-request histogram so mixed workloads can
+    /// be attributed per class (the mixed-workload bench reads both).
+    session_latency: LatencyHistogram,
     shard_frames: Vec<AtomicU64>,
     shard_batches: Vec<AtomicU64>,
     /// Lazily created per-tenant counters. The hot path takes the read
@@ -194,7 +204,10 @@ impl ServeMetrics {
             batches: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             session_steps: AtomicU64::new(0),
+            sessions_open: AtomicU64::new(0),
+            max_sessions_open: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
+            session_latency: LatencyHistogram::new(),
             shard_frames: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             shard_batches: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             tenants: RwLock::new(HashMap::new()),
@@ -315,9 +328,38 @@ impl ServeMetrics {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records one streaming tracker-session step.
-    pub fn record_session_step(&self) {
+    /// Records one streaming tracker-session step against tenant `name`.
+    pub fn record_session_step(&self, name: &str) {
         self.session_steps.fetch_add(1, Ordering::Relaxed);
+        self.tenant(name)
+            .session_steps
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one streaming session opening (gauge up, high-water mark
+    /// maintained).
+    pub fn record_session_opened(&self) {
+        let open = self.sessions_open.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_sessions_open.fetch_max(open, Ordering::Relaxed);
+    }
+
+    /// Records one streaming session closing. Saturates at zero.
+    pub fn record_session_closed(&self) {
+        let _ = self
+            .sessions_open
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |open| {
+                Some(open.saturating_sub(1))
+            });
+    }
+
+    /// Records one scheduled session step's submit-to-response latency.
+    pub fn record_session_latency(&self, latency: Duration) {
+        self.session_latency.record(latency);
+    }
+
+    /// The session-step latency histogram (e.g. for custom quantiles).
+    pub fn session_latency(&self) -> &LatencyHistogram {
+        &self.session_latency
     }
 
     /// Records one request's queue-to-response latency.
@@ -349,9 +391,13 @@ impl ServeMetrics {
             batches: self.batches.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             session_steps: self.session_steps.load(Ordering::Relaxed),
+            sessions_open: self.sessions_open.load(Ordering::Relaxed),
+            max_sessions_open: self.max_sessions_open.load(Ordering::Relaxed),
             latency_mean: self.latency.mean(),
             latency_p50: self.latency.quantile(0.50),
             latency_p99: self.latency.quantile(0.99),
+            session_latency_p50: self.session_latency.quantile(0.50),
+            session_latency_p99: self.session_latency.quantile(0.99),
             shard_frames: self
                 .shard_frames
                 .iter()
@@ -376,6 +422,7 @@ impl ServeMetrics {
                             batch_frames: t.batch_frames.load(Ordering::Relaxed),
                             queue_depth: t.queue_depth.load(Ordering::Relaxed),
                             max_queue_depth: t.max_queue_depth.load(Ordering::Relaxed),
+                            session_steps: t.session_steps.load(Ordering::Relaxed),
                         },
                     )
                 })
@@ -397,6 +444,8 @@ pub struct TenantSnapshot {
     pub queue_depth: u64,
     /// High-water mark of the pending-queue depth.
     pub max_queue_depth: u64,
+    /// Streaming session steps served against this tenant's deployments.
+    pub session_steps: u64,
 }
 
 impl TenantSnapshot {
@@ -432,12 +481,24 @@ pub struct MetricsSnapshot {
     pub errors: u64,
     /// Streaming tracker-session steps served.
     pub session_steps: u64,
-    /// Mean queue-to-response latency.
+    /// Streaming sessions open when the snapshot was taken.
+    pub sessions_open: u64,
+    /// High-water mark of concurrently open sessions.
+    pub max_sessions_open: u64,
+    /// Mean queue-to-response latency of batch requests.
     pub latency_mean: Duration,
-    /// Median queue-to-response latency (bucket upper bound).
+    /// Median queue-to-response latency of batch requests (bucket upper
+    /// bound).
     pub latency_p50: Duration,
-    /// 99th-percentile queue-to-response latency (bucket upper bound).
+    /// 99th-percentile queue-to-response latency of batch requests
+    /// (bucket upper bound).
     pub latency_p99: Duration,
+    /// Median submit-to-response latency of scheduled session steps
+    /// (bucket upper bound; zero when no step was scheduled).
+    pub session_latency_p50: Duration,
+    /// 99th-percentile submit-to-response latency of scheduled session
+    /// steps (bucket upper bound).
+    pub session_latency_p99: Duration,
     /// Frames executed per shard.
     pub shard_frames: Vec<u64>,
     /// Shard batches executed per shard.
@@ -501,13 +562,14 @@ mod tests {
         m.record_shard(9, 1); // out of range: ignored
         m.record_latency(Duration::from_micros(40));
         m.record_error();
-        m.record_session_step();
+        m.record_session_step("alpha");
         let s = m.snapshot();
         assert_eq!(s.requests, 2);
         assert_eq!(s.frames, 16);
         assert_eq!(s.batches, 1);
         assert_eq!(s.errors, 1);
         assert_eq!(s.session_steps, 1);
+        assert_eq!(s.tenants["alpha"].session_steps, 1);
         assert_eq!(s.shard_frames, vec![12, 4]);
         assert_eq!(s.shard_batches, vec![1, 1]);
         let util = s.shard_utilization();
@@ -555,5 +617,26 @@ mod tests {
         // wrapping the gauge.
         m.record_tenant_batch("beta", 5, 5);
         assert_eq!(m.tenant_queue_depth("beta"), 0);
+    }
+
+    #[test]
+    fn session_gauges_track_open_close_and_latency() {
+        let m = ServeMetrics::new(1);
+        m.record_session_opened();
+        m.record_session_opened();
+        m.record_session_closed();
+        m.record_session_opened();
+        m.record_session_latency(Duration::from_micros(40));
+        let s = m.snapshot();
+        assert_eq!(s.sessions_open, 2);
+        assert_eq!(s.max_sessions_open, 2);
+        assert_eq!(s.session_latency_p50, Duration::from_micros(50));
+        // The batch-request histogram is untouched by session traffic.
+        assert_eq!(s.latency_p99, Duration::ZERO);
+        // Closing saturates at zero instead of wrapping.
+        for _ in 0..5 {
+            m.record_session_closed();
+        }
+        assert_eq!(m.snapshot().sessions_open, 0);
     }
 }

@@ -1,16 +1,17 @@
-//! The pure micro-batching scheduler: per-tenant pending queues, a
-//! fairness rotation and size/latency budgets as a clock-injected state
-//! machine.
+//! The pure micro-batching scheduler: per-tenant pending queues, per-session
+//! stream lanes, a fairness rotation and size/latency budgets as a
+//! clock-injected state machine.
 //!
 //! [`Scheduler`] makes every coalesce/flush decision for the [`Server`]
 //! front end, but holds no threads, no channels and no real clock: time is
 //! a plain [`Duration`] since an epoch the caller picks, injected into
 //! [`Scheduler::submit`] and [`Scheduler::tick`]. The thread that drives
 //! it (the batcher inside [`Server`]) merely feeds arrivals in and
-//! executes the returned [`FlushDecision`]s — which means every scheduling
-//! property (fairness under interleaved tenants, latency-budget expiry,
-//! version pinning across hot swap) is testable deterministically with a
-//! mock clock and zero sleeps. See `crates/serve/tests/scheduler.rs`.
+//! executes the returned [`Decision`]s — which means every scheduling
+//! property (fairness under interleaved tenants, fairness between streams
+//! and batches, latency-budget expiry, version pinning across hot swap) is
+//! testable deterministically with a mock clock and zero sleeps. See
+//! `crates/serve/tests/scheduler.rs`.
 //!
 //! # Why per-tenant queues
 //!
@@ -22,23 +23,45 @@
 //! across the gaps other tenants' traffic punches into the arrival order,
 //! and each queue enforces its own size and latency budgets.
 //!
+//! # Stream lanes
+//!
+//! A streaming session ([`TrackerSession`]) is *stateful*: its steps must
+//! execute one at a time, in order, against its private temporal-filter
+//! state, so steps can never coalesce the way batch requests do. Rather
+//! than a side channel that bypasses scheduling (the pre-PR design), each
+//! session gets a **stream lane** — keyed by [`StreamId`] — in the *same*
+//! fairness rotation as the batch queues. A queued step is always ready
+//! (a monitor control loop is latency-critical; there is nothing to
+//! coalesce it with), so [`Scheduler::tick`] interleaves one step per
+//! lane per rotation pass with the batch flushes: a backlogged stream
+//! cannot starve batch tenants, and heavy batch traffic cannot starve a
+//! stream. After a tick returns, every stream lane is drained.
+//!
 //! # Fairness rotation
 //!
-//! Ready tenants are flushed round-robin: [`Scheduler::tick`] scans the
-//! tenant rotation in order, and **every flushed tenant moves to the
-//! rotation's back**, so a tenant with a deep backlog cannot starve the
-//! others — its second batch is decided only after every other ready
-//! tenant got one — and a tenant that is never ready costs one
-//! inspection per tick.
+//! Ready lanes are granted round-robin: [`Scheduler::tick`] scans the
+//! rotation in order, and **every granted lane moves to the rotation's
+//! back**, so a lane with a deep backlog cannot starve the others — its
+//! second grant is decided only after every other ready lane got one —
+//! and a lane that is never ready costs one inspection per tick.
 //! Latency is bounded tenant-locally: each queue's oldest request expires
 //! the queue's own [`BatchPolicy::max_delay`] deadline regardless of what
 //! other tenants do.
+//!
+//! # Per-tenant policy overrides
+//!
+//! The global [`BatchPolicy`] can be overridden per deployment name with
+//! [`Scheduler::set_tenant_policy`] (latency-tiered SKUs: a premium
+//! tenant gets a tight `max_delay`, a bulk tenant big batches). Readiness,
+//! batch sizing and deadline computation all consult the override, falling
+//! back to the global policy; overrides are keyed by name, so they follow
+//! the tenant across hot-swap version bumps.
 //!
 //! # Example (mock clock)
 //!
 //! ```
 //! use std::time::Duration;
-//! use eigenmaps_serve::{BatchPolicy, FlushReason, Scheduler, TenantKey};
+//! use eigenmaps_serve::{BatchPolicy, FlushReason, Scheduler, StreamId, TenantKey};
 //!
 //! let policy = BatchPolicy {
 //!     max_batch_frames: 256,
@@ -56,24 +79,31 @@
 //! assert!(sched.tick(Duration::from_micros(10)).is_empty());
 //!
 //! // A third request fills alpha's request budget: alpha flushes as one
-//! // three-request batch; beta keeps waiting on its own deadline.
+//! // three-request batch; beta keeps waiting on its own deadline. A
+//! // queued stream step is always ready and is granted in the same tick.
 //! sched.submit(Duration::from_micros(20), a.clone(), 4, "a2");
+//! sched.submit_stream(StreamId(9), "step0");
 //! let decisions = sched.tick(Duration::from_micros(20));
-//! assert_eq!(decisions.len(), 1);
-//! assert_eq!(decisions[0].tenant, a);
-//! assert_eq!(decisions[0].reason, FlushReason::RequestBudget);
-//! assert_eq!(decisions[0].jobs, vec!["a0", "a1", "a2"]);
+//! assert_eq!(decisions.len(), 2);
+//! let batch = decisions[0].as_batch().unwrap();
+//! assert_eq!(batch.tenant, a);
+//! assert_eq!(batch.reason, FlushReason::RequestBudget);
+//! assert_eq!(batch.jobs, vec!["a0", "a1", "a2"]);
+//! let step = decisions[1].as_step().unwrap();
+//! assert_eq!((step.stream, step.job), (StreamId(9), "step0"));
 //!
 //! // Beta's latency budget expires exactly at its deadline.
 //! assert_eq!(sched.next_deadline(), Some(Duration::from_millis(1)));
 //! assert!(sched.tick(Duration::from_micros(999)).is_empty());
 //! let expired = sched.tick(Duration::from_millis(1));
-//! assert_eq!(expired[0].reason, FlushReason::DeadlineExpired);
-//! assert_eq!(expired[0].jobs, vec!["b0"]);
+//! let batch = expired[0].as_batch().unwrap();
+//! assert_eq!(batch.reason, FlushReason::DeadlineExpired);
+//! assert_eq!(batch.jobs, vec!["b0"]);
 //! assert!(sched.is_idle());
 //! ```
 //!
 //! [`Server`]: crate::Server
+//! [`TrackerSession`]: crate::TrackerSession
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -174,6 +204,29 @@ impl fmt::Display for TenantKey {
     }
 }
 
+/// Identity of one stream lane: a streaming session whose steps are
+/// scheduled one at a time through the fairness rotation.
+///
+/// Allocated by the [`Server`](crate::Server) front end (one per open
+/// [`TrackerSession`](crate::TrackerSession)); the scheduler treats it as
+/// an opaque lane id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u64);
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stream#{}", self.0)
+    }
+}
+
+/// One lane in the fairness rotation: a batch tenant queue or a session
+/// stream lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum LaneKey {
+    Tenant(TenantKey),
+    Stream(StreamId),
+}
+
 /// Why a [`FlushDecision`] was made.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FlushReason {
@@ -205,6 +258,62 @@ pub struct FlushDecision<T> {
     pub jobs: Vec<T>,
 }
 
+/// One granted stream step: the session lane it belongs to and its job
+/// payload. Steps are granted strictly one per rotation pass, in FIFO
+/// order within a lane — the driver executes them sequentially, which is
+/// what keeps a stateful session's temporal filter well-ordered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepDecision<T> {
+    /// Which stream lane the step came from.
+    pub stream: StreamId,
+    /// The step payload (for the serving driver, the queued readings).
+    pub job: T,
+}
+
+/// One unit of work the driver must now execute, in fairness order: a
+/// coalesced tenant batch or a single session stream step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision<T> {
+    /// Flush a tenant's coalesced batch.
+    Batch(FlushDecision<T>),
+    /// Execute one stream step.
+    Step(StepDecision<T>),
+}
+
+impl<T> Decision<T> {
+    /// The batch decision, if this is one.
+    pub fn as_batch(&self) -> Option<&FlushDecision<T>> {
+        match self {
+            Decision::Batch(d) => Some(d),
+            Decision::Step(_) => None,
+        }
+    }
+
+    /// The step decision, if this is one.
+    pub fn as_step(&self) -> Option<&StepDecision<T>> {
+        match self {
+            Decision::Step(d) => Some(d),
+            Decision::Batch(_) => None,
+        }
+    }
+
+    /// Consumes into the batch decision, if this is one.
+    pub fn into_batch(self) -> Option<FlushDecision<T>> {
+        match self {
+            Decision::Batch(d) => Some(d),
+            Decision::Step(_) => None,
+        }
+    }
+
+    /// Consumes into the step decision, if this is one.
+    pub fn into_step(self) -> Option<StepDecision<T>> {
+        match self {
+            Decision::Step(d) => Some(d),
+            Decision::Batch(_) => None,
+        }
+    }
+}
+
 /// One queued job: its frame count, arrival time and opaque payload.
 #[derive(Debug)]
 struct Job<T> {
@@ -232,14 +341,19 @@ impl<T> Default for TenantQueue<T> {
 /// The pure coalesce/flush state machine. See the [module docs](self) for
 /// the design and a worked example.
 ///
-/// Invariant: a tenant appears in the rotation iff it has a non-empty
-/// queue, and the rotation order is the fairness order (front = served
-/// next among ready tenants).
+/// Invariant: a lane (tenant queue or stream lane) appears in the rotation
+/// iff it has a non-empty queue, and the rotation order is the fairness
+/// order (front = served next among ready lanes).
 #[derive(Debug)]
 pub struct Scheduler<T> {
     policy: BatchPolicy,
+    /// Per-deployment-name policy overrides (latency-tiered SKUs), keyed
+    /// by name so they survive hot-swap version bumps.
+    overrides: HashMap<String, BatchPolicy>,
     tenants: HashMap<TenantKey, TenantQueue<T>>,
-    rotation: VecDeque<TenantKey>,
+    /// Pending steps per stream lane, FIFO.
+    streams: HashMap<StreamId, VecDeque<T>>,
+    rotation: VecDeque<LaneKey>,
 }
 
 impl<T> Scheduler<T> {
@@ -247,14 +361,42 @@ impl<T> Scheduler<T> {
     pub fn new(policy: BatchPolicy) -> Self {
         Scheduler {
             policy,
+            overrides: HashMap::new(),
             tenants: HashMap::new(),
+            streams: HashMap::new(),
             rotation: VecDeque::new(),
         }
     }
 
-    /// The policy this scheduler enforces.
+    /// The global (fallback) policy this scheduler enforces.
     pub fn policy(&self) -> &BatchPolicy {
         &self.policy
+    }
+
+    /// Installs (`Some`) or clears (`None`) a per-tenant policy override
+    /// for every version of deployment `name`. Takes effect from the next
+    /// readiness inspection: already-queued requests are re-judged under
+    /// the new budgets on the following [`Scheduler::tick`].
+    pub fn set_tenant_policy(&mut self, name: impl Into<String>, policy: Option<BatchPolicy>) {
+        match policy {
+            Some(policy) => {
+                self.overrides.insert(name.into(), policy);
+            }
+            None => {
+                self.overrides.remove(&name.into());
+            }
+        }
+    }
+
+    /// The policy in force for deployment `name` — its override if one is
+    /// installed, else the global policy.
+    pub fn tenant_policy(&self, name: &str) -> BatchPolicy {
+        *self.overrides.get(name).unwrap_or(&self.policy)
+    }
+
+    /// The policy in force for one pinned tenant queue.
+    fn policy_for(&self, key: &TenantKey) -> &BatchPolicy {
+        self.overrides.get(&key.name).unwrap_or(&self.policy)
     }
 
     /// Enqueues a job of `frames` frames for `tenant`, stamped `now` for
@@ -265,7 +407,7 @@ impl<T> Scheduler<T> {
     /// whose deadline is already past simply flushes on the next tick.
     pub fn submit(&mut self, now: Duration, tenant: TenantKey, frames: usize, payload: T) {
         if !self.tenants.contains_key(&tenant) {
-            self.rotation.push_back(tenant.clone());
+            self.rotation.push_back(LaneKey::Tenant(tenant.clone()));
         }
         let queue = self.tenants.entry(tenant).or_default();
         queue.frames += frames;
@@ -276,39 +418,61 @@ impl<T> Scheduler<T> {
         });
     }
 
-    /// Decides every batch that must flush at time `now`, in fairness
-    /// order: the rotation is scanned in place, every flushed tenant
-    /// moves to the rotation's back, and the scan ends once a full
-    /// rotation's worth of consecutive tenants was inspected without a
-    /// flush — so a backlogged tenant's next batch is decided only after
-    /// every other ready tenant got one. Returns an empty vec when
-    /// nothing is due.
+    /// Enqueues one session step for `stream`'s lane. Steps carry no
+    /// coalescing budgets or latency stamp: a queued step is always ready,
+    /// and [`Scheduler::tick`] grants one per lane per rotation pass —
+    /// interleaved fairly with batch flushes — until every stream lane is
+    /// drained.
+    pub fn submit_stream(&mut self, stream: StreamId, payload: T) {
+        if !self.streams.contains_key(&stream) {
+            self.rotation.push_back(LaneKey::Stream(stream));
+        }
+        self.streams.entry(stream).or_default().push_back(payload);
+    }
+
+    /// Decides every unit of work due at time `now`, in fairness order:
+    /// the rotation is scanned in place, every granted lane (a flushed
+    /// tenant or a stepped stream) moves to the rotation's back, and the
+    /// scan ends once a full rotation's worth of consecutive lanes was
+    /// inspected without a grant — so a backlogged lane's next grant is
+    /// decided only after every other ready lane got one. Batch and step
+    /// decisions interleave in the returned vec exactly as granted; the
+    /// driver executes them in order. Returns an empty vec when nothing is
+    /// due. Since stream steps are always ready, every stream lane is
+    /// empty once `tick` returns.
     ///
-    /// The common no-op tick (nothing ready) inspects each tenant once
-    /// and allocates nothing; a key is cloned only when it actually
+    /// The common no-op tick (nothing ready) inspects each lane once and
+    /// allocates nothing; a tenant key is cloned only when it actually
     /// flushes. Readiness is monotone within a tick (fixed `now`, no
-    /// submits, queues only shrink), so one inspection per non-ready
-    /// tenant is sufficient.
-    pub fn tick(&mut self, now: Duration) -> Vec<FlushDecision<T>> {
+    /// submits, queues only shrink), so one inspection per non-ready lane
+    /// is sufficient.
+    pub fn tick(&mut self, now: Duration) -> Vec<Decision<T>> {
         let mut decisions = Vec::new();
         let mut idx = 0usize;
-        let mut since_flush = 0usize;
-        while since_flush < self.rotation.len() {
+        let mut since_grant = 0usize;
+        while since_grant < self.rotation.len() {
             if idx >= self.rotation.len() {
                 idx = 0;
             }
-            match self.readiness(&self.rotation[idx], now) {
-                Some(reason) => {
-                    let key = self.rotation[idx].clone();
-                    // `take_batch` removes the key at `idx` (re-appending
-                    // it at the back while backlogged), shifting the next
-                    // candidate into `idx` — don't advance.
-                    decisions.push(self.take_batch(&key, reason));
-                    since_flush = 0;
-                }
-                None => {
-                    idx += 1;
-                    since_flush += 1;
+            // Granting removes the lane at `idx` (re-appending it at the
+            // back while backlogged), shifting the next candidate into
+            // `idx` — don't advance after a grant.
+            match &self.rotation[idx] {
+                LaneKey::Tenant(key) => match self.readiness(key, now) {
+                    Some(reason) => {
+                        let key = key.clone();
+                        decisions.push(Decision::Batch(self.take_batch(&key, reason)));
+                        since_grant = 0;
+                    }
+                    None => {
+                        idx += 1;
+                        since_grant += 1;
+                    }
+                },
+                LaneKey::Stream(id) => {
+                    let id = *id;
+                    decisions.push(Decision::Step(self.take_step(id)));
+                    since_grant = 0;
                 }
             }
         }
@@ -316,30 +480,38 @@ impl<T> Scheduler<T> {
     }
 
     /// Flushes everything still pending (shutdown), round-robin across
-    /// tenants, still respecting the size budgets per batch.
-    pub fn drain(&mut self) -> Vec<FlushDecision<T>> {
+    /// lanes, still respecting the size budgets per batch.
+    pub fn drain(&mut self) -> Vec<Decision<T>> {
         let mut decisions = Vec::new();
-        while let Some(key) = self.rotation.front().cloned() {
-            decisions.push(self.take_batch(&key, FlushReason::Drain));
+        while let Some(lane) = self.rotation.front().cloned() {
+            decisions.push(match lane {
+                LaneKey::Tenant(key) => Decision::Batch(self.take_batch(&key, FlushReason::Drain)),
+                LaneKey::Stream(id) => Decision::Step(self.take_step(id)),
+            });
         }
         decisions
     }
 
-    /// The earliest latency-budget deadline across all tenants — when the
-    /// next [`Scheduler::tick`] is due absent new submissions. `None` when
-    /// idle or when every pending tenant's deadline is unrepresentable
-    /// (flush-by-size-only).
+    /// The earliest latency-budget deadline across all tenants (each under
+    /// the policy in force for it) — when the next [`Scheduler::tick`] is
+    /// due absent new submissions. `None` when idle or when every pending
+    /// tenant's deadline is unrepresentable (flush-by-size-only). Stream
+    /// steps never appear here: they are always ready, so the driver ticks
+    /// immediately after submitting one.
     pub fn next_deadline(&self) -> Option<Duration> {
         self.tenants
-            .values()
-            .filter_map(|q| q.jobs.front())
-            .filter_map(|job| job.enqueued_at.checked_add(self.policy.max_delay))
+            .iter()
+            .filter_map(|(key, q)| {
+                let job = q.jobs.front()?;
+                job.enqueued_at.checked_add(self.policy_for(key).max_delay)
+            })
             .min()
     }
 
-    /// Whether no job is pending anywhere.
+    /// Whether no job is pending anywhere — no batch request and no
+    /// stream step.
     pub fn is_idle(&self) -> bool {
-        self.tenants.is_empty()
+        self.tenants.is_empty() && self.streams.is_empty()
     }
 
     /// Total pending requests across all tenants.
@@ -362,25 +534,40 @@ impl<T> Scheduler<T> {
         self.tenants.get(tenant).map_or(0, |q| q.jobs.len())
     }
 
-    /// Which budget (if any) makes `key` flushable at `now`.
+    /// Total pending stream steps across all lanes. Nonzero only between
+    /// a [`Scheduler::submit_stream`] and the next tick.
+    pub fn pending_steps(&self) -> usize {
+        self.streams.values().map(VecDeque::len).sum()
+    }
+
+    /// Pending steps queued for one stream lane (0 if none).
+    pub fn stream_depth(&self, stream: StreamId) -> usize {
+        self.streams.get(&stream).map_or(0, VecDeque::len)
+    }
+
+    /// Which budget (if any) makes `key` flushable at `now`, under the
+    /// policy in force for that tenant.
     fn readiness(&self, key: &TenantKey, now: Duration) -> Option<FlushReason> {
+        let policy = self.policy_for(key);
         let queue = self.tenants.get(key)?;
-        if queue.frames >= self.policy.max_batch_frames {
+        if queue.frames >= policy.max_batch_frames {
             return Some(FlushReason::FrameBudget);
         }
-        if queue.jobs.len() >= self.policy.max_batch_requests {
+        if queue.jobs.len() >= policy.max_batch_requests {
             return Some(FlushReason::RequestBudget);
         }
         let oldest = queue.jobs.front()?;
-        match oldest.enqueued_at.checked_add(self.policy.max_delay) {
+        match oldest.enqueued_at.checked_add(policy.max_delay) {
             Some(deadline) if deadline <= now => Some(FlushReason::DeadlineExpired),
             _ => None,
         }
     }
 
     /// Pops one batch off `key`'s queue (oldest first, until a size budget
-    /// fills or the queue empties) and rotates the tenant to the back.
+    /// of the tenant's policy fills or the queue empties) and rotates the
+    /// tenant to the back.
     fn take_batch(&mut self, key: &TenantKey, reason: FlushReason) -> FlushDecision<T> {
+        let policy = *self.policy_for(key);
         let queue = self.tenants.get_mut(key).expect("flushed tenant exists");
         let mut jobs = Vec::new();
         let mut frames = 0usize;
@@ -388,9 +575,7 @@ impl<T> Scheduler<T> {
             frames += job.frames;
             queue.frames -= job.frames;
             jobs.push(job.payload);
-            if frames >= self.policy.max_batch_frames
-                || jobs.len() >= self.policy.max_batch_requests
-            {
+            if frames >= policy.max_batch_frames || jobs.len() >= policy.max_batch_requests {
                 break;
             }
         }
@@ -398,11 +583,12 @@ impl<T> Scheduler<T> {
         if emptied {
             self.tenants.remove(key);
         }
-        if let Some(pos) = self.rotation.iter().position(|k| k == key) {
+        let lane = LaneKey::Tenant(key.clone());
+        if let Some(pos) = self.rotation.iter().position(|k| k == &lane) {
             self.rotation.remove(pos);
         }
         if !emptied {
-            self.rotation.push_back(key.clone());
+            self.rotation.push_back(lane);
         }
         FlushDecision {
             tenant: key.clone(),
@@ -410,6 +596,25 @@ impl<T> Scheduler<T> {
             frames,
             jobs,
         }
+    }
+
+    /// Pops one step off `id`'s lane (FIFO) and rotates the lane to the
+    /// back (or retires it when emptied).
+    fn take_step(&mut self, id: StreamId) -> StepDecision<T> {
+        let lane = self.streams.get_mut(&id).expect("granted stream exists");
+        let job = lane.pop_front().expect("granted stream is non-empty");
+        let emptied = lane.is_empty();
+        if emptied {
+            self.streams.remove(&id);
+        }
+        let lane = LaneKey::Stream(id);
+        if let Some(pos) = self.rotation.iter().position(|k| k == &lane) {
+            self.rotation.remove(pos);
+        }
+        if !emptied {
+            self.rotation.push_back(lane);
+        }
+        StepDecision { stream: id, job }
     }
 }
 
@@ -424,6 +629,10 @@ mod tests {
             max_delay: Duration::from_micros(delay_us),
             ..BatchPolicy::default()
         }
+    }
+
+    fn us(micros: u64) -> Duration {
+        Duration::from_micros(micros)
     }
 
     #[test]
@@ -441,8 +650,9 @@ mod tests {
         sched.submit(Duration::ZERO, TenantKey::new("t", 1), 8, 0);
         let d = sched.tick(Duration::ZERO);
         assert_eq!(d.len(), 1);
-        assert_eq!(d[0].reason, FlushReason::FrameBudget);
-        assert_eq!(d[0].frames, 8);
+        let batch = d[0].as_batch().unwrap();
+        assert_eq!(batch.reason, FlushReason::FrameBudget);
+        assert_eq!(batch.frames, 8);
         assert!(sched.is_idle());
     }
 
@@ -457,8 +667,9 @@ mod tests {
         // 3+3+3 = 9 >= 8 flushes as one batch; the 4th job (3 frames,
         // below every budget) stays queued for its deadline.
         assert_eq!(d.len(), 1);
-        assert_eq!(d[0].frames, 9);
-        assert_eq!(d[0].jobs, vec![0, 1, 2]);
+        let batch = d[0].as_batch().unwrap();
+        assert_eq!(batch.frames, 9);
+        assert_eq!(batch.jobs, vec![0, 1, 2]);
         assert_eq!(sched.tenant_depth(&key), 1);
     }
 
@@ -475,7 +686,10 @@ mod tests {
         assert!(sched.is_idle());
         let order: Vec<(String, usize)> = d
             .iter()
-            .map(|f| (f.tenant.name.clone(), f.jobs.len()))
+            .map(|f| {
+                let f = f.as_batch().unwrap();
+                (f.tenant.name.clone(), f.jobs.len())
+            })
             .collect();
         // a:2, b:2, a:1, b:1 — budget-capped batches, round-robin.
         assert_eq!(
@@ -487,7 +701,83 @@ mod tests {
                 ("b".to_string(), 1)
             ]
         );
-        assert!(d.iter().all(|f| f.reason == FlushReason::Drain));
+        assert!(d
+            .iter()
+            .all(|f| f.as_batch().unwrap().reason == FlushReason::Drain));
+    }
+
+    #[test]
+    fn stream_steps_are_granted_fifo_and_drain_each_tick() {
+        let mut sched: Scheduler<u8> = Scheduler::new(policy(100, 100, 1000));
+        let s = StreamId(3);
+        assert_eq!(sched.stream_depth(s), 0);
+        for i in 0..3 {
+            sched.submit_stream(s, i);
+        }
+        assert_eq!(sched.pending_steps(), 3);
+        assert!(!sched.is_idle());
+        assert_eq!(sched.next_deadline(), None, "steps carry no deadline");
+        let d = sched.tick(Duration::ZERO);
+        let steps: Vec<u8> = d.iter().map(|d| d.as_step().unwrap().job).collect();
+        assert_eq!(steps, vec![0, 1, 2], "steps grant in FIFO order");
+        assert!(sched.is_idle(), "tick drains every stream lane");
+        assert_eq!(format!("{s}"), "stream#3");
+    }
+
+    #[test]
+    fn streams_and_batches_interleave_round_robin() {
+        // One ready tenant with two request-budget batches + two streams
+        // with two steps each: grants must alternate lanes, never letting
+        // one lane take two grants in a row while others are ready.
+        let mut sched: Scheduler<(char, u8)> = Scheduler::new(policy(1 << 20, 2, 1000));
+        let t = TenantKey::new("bulk", 1);
+        for i in 0..4 {
+            sched.submit(Duration::ZERO, t.clone(), 1, ('t', i));
+        }
+        for i in 0..2 {
+            sched.submit_stream(StreamId(1), ('x', i));
+            sched.submit_stream(StreamId(2), ('y', i));
+        }
+        let lanes: Vec<String> = sched
+            .tick(Duration::ZERO)
+            .iter()
+            .map(|d| match d {
+                Decision::Batch(b) => b.tenant.name.clone(),
+                Decision::Step(s) => format!("{}", s.stream),
+            })
+            .collect();
+        assert_eq!(
+            lanes,
+            vec!["bulk", "stream#1", "stream#2", "bulk", "stream#1", "stream#2"]
+        );
+        assert!(sched.is_idle());
+    }
+
+    #[test]
+    fn tenant_policy_override_changes_readiness_and_deadline() {
+        // Global: flush at 4 requests. Premium tenant: flush every
+        // request (request budget 1) with a 10x tighter deadline.
+        let mut sched: Scheduler<u8> = Scheduler::new(policy(1 << 20, 4, 1000));
+        sched.set_tenant_policy("premium", Some(policy(1 << 20, 1, 100)));
+        assert_eq!(sched.tenant_policy("premium").max_batch_requests, 1);
+        assert_eq!(sched.tenant_policy("bulk").max_batch_requests, 4);
+
+        let p = TenantKey::new("premium", 1);
+        let b = TenantKey::new("bulk", 1);
+        sched.submit(Duration::ZERO, p.clone(), 1, 0);
+        sched.submit(Duration::ZERO, b.clone(), 1, 1);
+        // The premium tenant's deadline (100 µs) wins the global 1 ms.
+        assert_eq!(sched.next_deadline(), Some(us(100)));
+        let d = sched.tick(Duration::ZERO);
+        assert_eq!(d.len(), 1, "only premium is ready at one request");
+        assert_eq!(d[0].as_batch().unwrap().tenant, p);
+        assert_eq!(sched.tenant_depth(&b), 1);
+
+        // Clearing the override restores the global budgets.
+        sched.set_tenant_policy("premium", None);
+        sched.submit(us(10), p.clone(), 1, 2);
+        assert!(sched.tick(us(10)).is_empty());
+        assert_eq!(sched.next_deadline(), Some(us(1000)), "global max_delay");
     }
 
     #[test]

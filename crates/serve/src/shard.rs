@@ -6,6 +6,10 @@
 //! itself even when shards run at different speeds). Each worker owns a
 //! [`BatchScratch`] reused across every shard it ever processes, so
 //! steady-state serving does no per-batch coefficient-buffer allocation.
+//! The same pool also executes streaming-session tracker steps
+//! ([`ShardedExecutor::execute_step`]): a step is one more unit of work an
+//! idle worker pulls, so sessions and batches share the exact same
+//! compute capacity instead of stealing caller threads.
 //!
 //! Inside each shard, the worker runs the deployment's dispatched SIMD
 //! synthesis kernel ([`eigenmaps_core::kernel`]) on its own scratch: the
@@ -27,7 +31,9 @@ use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-use eigenmaps_core::{shard_spans, BatchScratch, CoreError, Deployment, ThermalMap};
+use eigenmaps_core::{
+    shard_spans, BatchScratch, CoreError, Deployment, ThermalMap, TrackingReconstructor,
+};
 
 use crate::error::{Result, ServeError};
 use crate::metrics::ServeMetrics;
@@ -41,6 +47,14 @@ struct ShardTask {
     reply: Sender<(usize, std::result::Result<Vec<ThermalMap>, CoreError>)>,
 }
 
+/// What the injector queue carries: a batch shard, or an opaque job (a
+/// streaming-session step dispatched by the batcher) that receives the
+/// executing worker's index.
+enum Task {
+    Shard(ShardTask),
+    Job(Box<dyn FnOnce(usize) + Send>),
+}
+
 /// A fixed pool of reconstruction workers executing batches as frame
 /// shards. See the [module docs](self) for the design.
 ///
@@ -49,7 +63,7 @@ struct ShardTask {
 /// and exit).
 #[derive(Debug)]
 pub struct ShardedExecutor {
-    injector: Sender<ShardTask>,
+    injector: Sender<Task>,
     workers: Vec<JoinHandle<()>>,
     metrics: Arc<ServeMetrics>,
     shards: usize,
@@ -67,7 +81,7 @@ impl ShardedExecutor {
     /// (size its shard counters with `ServeMetrics::new(shards)`).
     pub fn with_metrics(shards: usize, metrics: Arc<ServeMetrics>) -> Self {
         let shards = shards.max(1);
-        let (injector, queue) = mpsc::channel::<ShardTask>();
+        let (injector, queue) = mpsc::channel::<Task>();
         let queue = Arc::new(Mutex::new(queue));
         let workers = (0..shards)
             .map(|worker| {
@@ -133,13 +147,13 @@ impl ShardedExecutor {
         let spans = shard_spans(frames.len(), self.shards);
         let (reply, results) = mpsc::channel();
         for (slot, span) in spans.iter().cloned().enumerate() {
-            let task = ShardTask {
+            let task = Task::Shard(ShardTask {
                 deployment: Arc::clone(deployment),
                 frames: Arc::clone(frames),
                 span,
                 slot,
                 reply: reply.clone(),
-            };
+            });
             self.injector
                 .send(task)
                 .map_err(|_| ServeError::Terminated {
@@ -180,6 +194,78 @@ impl ShardedExecutor {
     ) -> Result<Vec<ThermalMap>> {
         self.execute(deployment, &Arc::new(frames))
     }
+
+    /// Hands an opaque job to whichever worker is idle — the
+    /// fire-and-forget lane the batcher uses to dispatch session steps
+    /// without blocking its scheduling loop (so steps of *different*
+    /// sessions run in parallel across the pool; per-session ordering is
+    /// the dispatcher's job). The job receives the executing worker's
+    /// index for shard-utilization accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Terminated`] if the worker pool has died — the job
+    /// is dropped (not run), so any completion side effects it owns (e.g.
+    /// a responder) fire through its `Drop`.
+    pub(crate) fn spawn(&self, job: impl FnOnce(usize) + Send + 'static) -> Result<()> {
+        self.injector
+            .send(Task::Job(Box::new(job)))
+            .map_err(|_| ServeError::Terminated {
+                context: "shard queue closed",
+            })
+    }
+
+    /// Executes one streaming-session tracker step on the worker pool and
+    /// blocks for the result: whichever worker is idle locks the shared
+    /// tracker and runs [`TrackingReconstructor::step`] (the deployment's
+    /// dispatched SIMD kernel, same arithmetic as the caller-thread path —
+    /// so the result is bitwise-identical to stepping the tracker
+    /// inline). The batcher's live path uses the nonblocking
+    /// crate-internal `spawn` job lane instead; this blocking form serves the
+    /// shutdown drain and direct callers.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Core`] for wrong-length readings or solver failure.
+    /// * [`ServeError::Terminated`] if the worker pool has died.
+    pub fn execute_step(
+        &self,
+        tracker: &Arc<Mutex<TrackingReconstructor>>,
+        readings: Vec<f64>,
+    ) -> Result<ThermalMap> {
+        let (reply, result) = mpsc::channel();
+        let tracker = Arc::clone(tracker);
+        let metrics = Arc::clone(&self.metrics);
+        self.spawn(move |worker| {
+            let outcome = step_tracker(&tracker, &readings);
+            metrics.record_shard(worker, 1);
+            let _ = reply.send(outcome);
+        })?;
+        result
+            .recv()
+            .map_err(|_| ServeError::Terminated {
+                context: "shard worker died mid-step",
+            })?
+            .map_err(ServeError::Core)
+    }
+}
+
+/// Locks a session's shared tracker and runs one step — the single place
+/// the lock-and-step (and poisoned-lock fallback) policy lives, used by
+/// both the blocking [`ShardedExecutor::execute_step`] and the batcher's
+/// fire-and-forget dispatch.
+pub(crate) fn step_tracker(
+    tracker: &Mutex<TrackingReconstructor>,
+    readings: &[f64],
+) -> std::result::Result<ThermalMap, CoreError> {
+    match tracker.lock() {
+        Ok(mut tracker) => tracker.step(readings),
+        // A panicked session poisoned its tracker; fail the step, not
+        // the worker.
+        Err(_) => Err(CoreError::InvalidArgument {
+            context: "session tracker poisoned",
+        }),
+    }
 }
 
 impl Drop for ShardedExecutor {
@@ -194,7 +280,7 @@ impl Drop for ShardedExecutor {
     }
 }
 
-fn worker_loop(worker: usize, queue: &Mutex<Receiver<ShardTask>>, metrics: &ServeMetrics) {
+fn worker_loop(worker: usize, queue: &Mutex<Receiver<Task>>, metrics: &ServeMetrics) {
     // One scratch per worker, reused across every shard this thread ever
     // runs — the steady-state serving path allocates only output maps.
     let mut scratch = BatchScratch::new();
@@ -210,13 +296,18 @@ fn worker_loop(worker: usize, queue: &Mutex<Receiver<ShardTask>>, metrics: &Serv
             },
             Err(_) => return, // poisoned: another worker panicked
         };
-        let outcome = task
-            .deployment
-            .reconstruct_batch_with(&task.frames[task.span.clone()], &mut scratch);
-        metrics.record_shard(worker, task.span.len());
         // The submitter may have given up (executor error path); a closed
         // reply channel is not the worker's problem.
-        let _ = task.reply.send((task.slot, outcome));
+        match task {
+            Task::Shard(task) => {
+                let outcome = task
+                    .deployment
+                    .reconstruct_batch_with(&task.frames[task.span.clone()], &mut scratch);
+                metrics.record_shard(worker, task.span.len());
+                let _ = task.reply.send((task.slot, outcome));
+            }
+            Task::Job(job) => job(worker),
+        }
     }
 }
 
@@ -271,6 +362,28 @@ mod tests {
         // per-worker guarantee exists — but all frames are accounted for
         // and the batch counter ticks once per executed shard.
         assert_eq!(snap.shard_batches.iter().sum::<u64>(), 8 * 4);
+    }
+
+    #[test]
+    fn step_on_pool_is_bitwise_identical_to_inline_stepping() {
+        let (d, frames) = deployment_and_frames(6);
+        let ex = ShardedExecutor::new(2);
+        let pooled = Arc::new(Mutex::new(d.tracker(0.4).unwrap()));
+        let mut inline = d.tracker(0.4).unwrap();
+        for (t, readings) in frames.iter().enumerate() {
+            let a = ex.execute_step(&pooled, readings.clone()).unwrap();
+            let b = inline.step(readings).unwrap();
+            assert_eq!(a.as_slice(), b.as_slice(), "step {t}");
+        }
+        // Steps tick the shard counters like any other unit of work.
+        let snap = ex.metrics().snapshot();
+        assert_eq!(snap.shard_frames.iter().sum::<u64>(), 6);
+        // Malformed readings fail the step, not the pool.
+        assert!(matches!(
+            ex.execute_step(&pooled, vec![0.0; 2]),
+            Err(ServeError::Core(CoreError::ShapeMismatch { .. }))
+        ));
+        assert!(ex.execute_step(&pooled, frames[0].clone()).is_ok());
     }
 
     #[test]

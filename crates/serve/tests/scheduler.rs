@@ -11,7 +11,7 @@
 
 use std::time::Duration;
 
-use eigenmaps_serve::{BatchPolicy, FlushReason, Scheduler, TenantKey};
+use eigenmaps_serve::{BatchPolicy, Decision, FlushReason, Scheduler, StreamId, TenantKey};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -42,10 +42,11 @@ fn latency_budget_expiry_flushes_sub_size_batch_exactly_at_deadline() {
     // Exactly at the deadline: the sub-size batch flushes.
     let decisions = sched.tick(us(1040));
     assert_eq!(decisions.len(), 1);
-    assert_eq!(decisions[0].tenant, key);
-    assert_eq!(decisions[0].reason, FlushReason::DeadlineExpired);
-    assert_eq!(decisions[0].frames, 2);
-    assert_eq!(decisions[0].jobs, vec![7]);
+    let flush = decisions[0].as_batch().unwrap();
+    assert_eq!(flush.tenant, key);
+    assert_eq!(flush.reason, FlushReason::DeadlineExpired);
+    assert_eq!(flush.frames, 2);
+    assert_eq!(flush.jobs, vec![7]);
     assert!(sched.is_idle());
     assert_eq!(sched.next_deadline(), None);
 }
@@ -79,7 +80,7 @@ fn fairness_no_tenant_starved_across_10k_interleaved_submits() {
         enqueue_time[tenant].push(now);
         sched.submit(now, keys[tenant].clone(), 1, (tenant, seq));
         for d in sched.tick(now) {
-            decisions.push((now, d));
+            decisions.push((now, d.into_batch().unwrap()));
         }
     }
     // Keep ticking the same 10 µs grid (no further traffic) until every
@@ -87,7 +88,7 @@ fn fairness_no_tenant_starved_across_10k_interleaved_submits() {
     let mut now = us(SUBMITS as u64 * STEP_US);
     while !sched.is_idle() {
         for d in sched.tick(now) {
-            decisions.push((now, d));
+            decisions.push((now, d.into_batch().unwrap()));
         }
         now += us(STEP_US);
     }
@@ -128,7 +129,10 @@ fn stale_enqueue_stamp_flushes_on_the_next_tick() {
     sched.submit(us(0), TenantKey::new("late", 1), 1, 0);
     let decisions = sched.tick(us(5_000)); // read 5 ms late
     assert_eq!(decisions.len(), 1);
-    assert_eq!(decisions[0].reason, FlushReason::DeadlineExpired);
+    assert_eq!(
+        decisions[0].as_batch().unwrap().reason,
+        FlushReason::DeadlineExpired
+    );
     assert!(sched.is_idle());
 }
 
@@ -155,7 +159,7 @@ fn rotation_round_robins_ready_tenants_within_one_tick() {
     let order: Vec<String> = sched
         .tick(Duration::ZERO)
         .iter()
-        .map(|d| d.tenant.name.clone())
+        .map(|d| d.as_batch().unwrap().tenant.name.clone())
         .collect();
     assert_eq!(order, vec!["alpha", "beta", "gamma", "alpha"]);
     assert!(sched.is_idle());
@@ -216,14 +220,14 @@ fn batch_size_recovers_at_least_2x_over_fifo_on_interleaved_trace() {
         sched.submit(*at, tenant.clone(), *frames, i);
         for d in sched.tick(*at) {
             batches += 1;
-            jobs_flushed += d.jobs.len();
+            jobs_flushed += d.as_batch().unwrap().jobs.len();
         }
     }
     let mut now = us(SUBMITS as u64 * STEP_US);
     while !sched.is_idle() {
         for d in sched.tick(now) {
             batches += 1;
-            jobs_flushed += d.jobs.len();
+            jobs_flushed += d.as_batch().unwrap().jobs.len();
         }
         now += us(STEP_US);
     }
@@ -268,17 +272,101 @@ fn hot_swap_mid_queue_keeps_version_pinned_queues_separate() {
     // v1's deadline (oldest at t=0) expires first.
     let first = sched.tick(us(1000));
     assert_eq!(first.len(), 1);
-    assert_eq!(first[0].tenant, v1);
-    assert_eq!(first[0].jobs, vec![(1, 0), (1, 1), (1, 2)]);
+    let flush = first[0].as_batch().unwrap();
+    assert_eq!(flush.tenant, v1);
+    assert_eq!(flush.jobs, vec![(1, 0), (1, 1), (1, 2)]);
     assert_eq!(sched.tenant_depth(&v1), 0);
     assert_eq!(sched.tenant_depth(&v2), 3);
 
     // v2 flushes at its own deadline, never mixed with v1.
     let second = sched.tick(us(1030));
     assert_eq!(second.len(), 1);
-    assert_eq!(second[0].tenant, v2);
-    assert_eq!(second[0].jobs, vec![(2, 0), (2, 1), (2, 2)]);
+    let flush = second[0].as_batch().unwrap();
+    assert_eq!(flush.tenant, v2);
+    assert_eq!(flush.jobs, vec![(2, 0), (2, 1), (2, 2)]);
     assert!(sched.is_idle());
+}
+
+#[test]
+fn stream_backlog_never_delays_batch_deadlines() {
+    // A session submits one step per 10 µs grid point — a continuous
+    // stream backlog — while a lone batch request waits on its 1 ms
+    // latency budget. The batch must still flush exactly at its deadline,
+    // and every step must be granted in the same tick it was submitted.
+    const STEP_US: u64 = 10;
+    let delay = Duration::from_millis(1);
+    let mut sched: Scheduler<(char, u32)> = Scheduler::new(policy(1 << 20, 1 << 10, delay));
+    let tenant = TenantKey::new("batch", 1);
+    let stream = StreamId(1);
+    sched.submit(Duration::ZERO, tenant.clone(), 3, ('b', 0));
+
+    let mut batch_flush_time = None;
+    let mut steps_granted = 0u32;
+    for i in 0..200u32 {
+        let now = us(u64::from(i) * STEP_US);
+        sched.submit_stream(stream, ('s', i));
+        for d in sched.tick(now) {
+            match d {
+                Decision::Batch(b) => {
+                    assert_eq!(b.tenant, tenant);
+                    assert_eq!(b.reason, FlushReason::DeadlineExpired);
+                    batch_flush_time = Some(now);
+                }
+                Decision::Step(s) => {
+                    assert_eq!(s.job, ('s', steps_granted), "steps in order");
+                    steps_granted += 1;
+                }
+            }
+        }
+        assert_eq!(
+            sched.pending_steps(),
+            0,
+            "every tick drains the stream lane"
+        );
+    }
+    // The batch flushed exactly on its own deadline (the 1 ms grid point),
+    // not an interval later: the stream backlog cost it nothing.
+    assert_eq!(batch_flush_time, Some(delay));
+    assert_eq!(steps_granted, 200);
+    assert!(sched.is_idle());
+}
+
+#[test]
+fn batch_backlog_never_starves_stream_steps() {
+    // A tenant with an always-ready backlog (request budget 1, deep
+    // queue) and a stream submitting one step per tick: each tick must
+    // grant the step — the rotation guarantees the stream its turn even
+    // though the batch tenant could consume every slot.
+    let mut sched: Scheduler<(char, u32)> =
+        Scheduler::new(policy(1 << 20, 1, Duration::from_secs(1)));
+    let tenant = TenantKey::new("hog", 1);
+    for i in 0..64u32 {
+        sched.submit(Duration::ZERO, tenant.clone(), 1, ('b', i));
+    }
+    let stream = StreamId(7);
+    for i in 0..8u32 {
+        let now = us(u64::from(i) * 10);
+        sched.submit_stream(stream, ('s', i));
+        let decisions = sched.tick(now);
+        let step_positions: Vec<usize> = decisions
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, d)| d.as_step().map(|_| pos))
+            .collect();
+        assert_eq!(
+            step_positions.len(),
+            1,
+            "tick {i}: the step was granted exactly once"
+        );
+        // The step is granted within one rotation of the ready batch
+        // lane — second in the 2-lane rotation, never pushed behind the
+        // hog's whole backlog.
+        assert!(
+            step_positions[0] <= 1,
+            "tick {i}: step granted at position {} behind the backlog",
+            step_positions[0]
+        );
+    }
 }
 
 #[test]
@@ -288,6 +376,8 @@ fn drain_flushes_all_tenants_without_a_clock() {
     sched.submit(Duration::ZERO, TenantKey::new("b", 4), 1, 1);
     let decisions = sched.drain();
     assert_eq!(decisions.len(), 2);
-    assert!(decisions.iter().all(|d| d.reason == FlushReason::Drain));
+    assert!(decisions
+        .iter()
+        .all(|d| d.as_batch().unwrap().reason == FlushReason::Drain));
     assert!(sched.is_idle());
 }

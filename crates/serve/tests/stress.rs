@@ -12,8 +12,12 @@
 //! * every awaited response is bitwise-identical to the pinned artifact's
 //!   sequential `reconstruct_batch` over the same frames;
 //! * abandoned tickets never wedge the batcher or leak queue slots;
+//! * the session-churn lane (scheduled sessions opened, stepped,
+//!   snapshotted/resumed and dropped concurrently with the batch traffic)
+//!   stays bitwise-lockstep with an inline reference tracker throughout;
 //! * the metrics ledger balances: zero errors, every admitted request
-//!   flushed, per-tenant queue-depth gauges drained to zero.
+//!   flushed, every submitted step executed, per-tenant queue-depth
+//!   gauges drained to zero and the session gauge back to zero.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -158,6 +162,84 @@ fn stress_schedule(seed: u64) {
         }));
     }
 
+    // Session-churn lane: a scheduled streaming session against sku-b
+    // (whose v1 is never retired) is opened, stepped, snapshotted/resumed
+    // ("monitor restart") and dropped/reopened under the same seeded
+    // schedule, racing the batch clients and the hot-swapper through the
+    // one shared scheduler. A lockstep inline reference tracker proves
+    // every synchronously awaited map bitwise.
+    let churner = {
+        let server = Arc::clone(&server);
+        let deployment = Arc::clone(&fleet.deployments[1]);
+        let frames = fleet.frames[1].clone();
+        let name = fleet.names[1];
+        std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xC0DE);
+            let mut session = server.open_session(name, 0.5).expect("open session");
+            let mut reference = deployment.tracker(0.5).unwrap();
+            let mut t = 0usize;
+            let mut steps_submitted = 0usize;
+            for _ in 0..50 {
+                match rng.gen_range(0u8..10) {
+                    0..=5 => {
+                        // Blocking scheduled step, proven bitwise against
+                        // the inline reference.
+                        let readings = &frames[t % frames.len()];
+                        let map = session.step(readings).expect("session step");
+                        let expected = reference.step(readings).unwrap();
+                        assert_eq!(
+                            map.as_slice(),
+                            expected.as_slice(),
+                            "seed {seed}: scheduled session diverged at churn step {t}"
+                        );
+                        t += 1;
+                        steps_submitted += 1;
+                    }
+                    6 | 7 => {
+                        // Fire-and-forget pipelined step: the ticket is
+                        // abandoned, the state still advances in order.
+                        let readings = &frames[t % frames.len()];
+                        match session.submit_step(readings) {
+                            Ok(ticket) => {
+                                drop(ticket);
+                                reference.step(readings).unwrap();
+                                t += 1;
+                                steps_submitted += 1;
+                            }
+                            Err(ServeError::Saturated { .. }) => {} // shed
+                            Err(e) => panic!("seed {seed}: submit_step: {e}"),
+                        }
+                    }
+                    8 => {
+                        // Snapshot → restart → resume, mid-traffic. Steps
+                        // in flight are awaited first so the snapshot is a
+                        // well-defined point in the stream.
+                        while session.pending_steps() > 0 {
+                            std::thread::yield_now();
+                        }
+                        let bytes = session.snapshot();
+                        drop(session);
+                        session = server.resume_session(&bytes).expect("resume session");
+                        assert_eq!(session.frames() as usize, t, "seed {seed}");
+                    }
+                    _ => {
+                        // Drop and open a fresh stream (new lane id, fresh
+                        // temporal state on both sides, step index rewound).
+                        drop(session);
+                        session = server.open_session(name, 0.5).expect("reopen session");
+                        reference = deployment.tracker(0.5).unwrap();
+                        t = 0;
+                    }
+                }
+                if rng.gen_bool(0.3) {
+                    std::thread::yield_now();
+                }
+            }
+            drop(session);
+            steps_submitted
+        })
+    };
+
     // Concurrent hot-swapper: republish and retire under live traffic.
     let swapper = {
         let registry = Arc::clone(&fleet.registry);
@@ -178,16 +260,22 @@ fn stress_schedule(seed: u64) {
     };
 
     let total_submitted: usize = clients.into_iter().map(|c| c.join().unwrap()).sum();
+    let total_steps = churner.join().unwrap();
     swapper.join().unwrap();
 
-    // Abandoned tickets' batches flush on their own deadlines; wait for
-    // the ledger to balance without sleeping in the assertion itself.
+    // Abandoned tickets' batches flush on their own deadlines and
+    // abandoned steps execute on the lane's next grants; wait for the
+    // ledger to balance without sleeping in the assertion itself.
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     let snap = loop {
         let snap = server.metrics();
         let flushed: u64 = snap.tenants.values().map(|t| t.batch_requests).sum();
         let drained = snap.tenants.values().all(|t| t.queue_depth == 0);
-        if (flushed == total_submitted as u64 && drained) || std::time::Instant::now() > deadline {
+        if (flushed == total_submitted as u64
+            && drained
+            && snap.session_steps == total_steps as u64)
+            || std::time::Instant::now() > deadline
+        {
             break snap;
         }
         std::thread::yield_now();
@@ -202,6 +290,14 @@ fn stress_schedule(seed: u64) {
     for (name, tenant) in &snap.tenants {
         assert_eq!(tenant.queue_depth, 0, "seed {seed}: {name} leaked slots");
     }
+    // Every submitted step — awaited or abandoned — executed, and every
+    // churned session closed its gauge slot.
+    assert_eq!(
+        snap.session_steps, total_steps as u64,
+        "seed {seed}: steps leaked"
+    );
+    assert_eq!(snap.sessions_open, 0, "seed {seed}: session gauge leaked");
+    assert!(snap.max_sessions_open >= 1, "seed {seed}");
 }
 
 #[test]

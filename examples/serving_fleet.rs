@@ -186,9 +186,13 @@ fn main() -> AnyResult<()> {
     );
 
     // ---- streaming telemetry session --------------------------------------
+    // Sessions are scheduled workloads: each step joins the session's
+    // stream lane in the batcher's fairness rotation and executes on the
+    // shard pool — a monitor feed can't be starved by batch traffic, and
+    // can't starve it either.
     let mut session = server.open_session("sku-alpha", 0.85)?;
     let live = registry.latest("sku-alpha")?;
-    for t in 0..40 {
+    for t in 0..20 {
         let readings = noise.apply_sigma(&live.sensors().sample(&alpha_maps.map(t)), 0.2);
         let estimate = session.step(&readings)?;
         if t % 10 == 0 {
@@ -196,11 +200,37 @@ fn main() -> AnyResult<()> {
             println!("[session] t={t:>2} hotspot {peak:6.2} °C at ({r}, {c})");
         }
     }
+    // The nonblocking shape: pipeline a window of steps, then collect —
+    // steps execute in order against the session's temporal state.
+    let mut step_tickets = Vec::new();
+    for t in 20..30 {
+        let readings = noise.apply_sigma(&live.sensors().sample(&alpha_maps.map(t)), 0.2);
+        step_tickets.push(session.submit_step(&readings)?);
+    }
+    for ticket in step_tickets {
+        ticket.wait()?;
+    }
+    // Warm restart: snapshot the stream, "restart the monitor", resume —
+    // the EMSESS1 record reattaches to the exact pinned version with the
+    // temporal-filter state intact.
+    let snapshot = session.snapshot();
+    drop(session);
+    let mut session = server.resume_session(&snapshot)?;
     println!(
-        "[session] {} frames served on {}@v{}",
+        "[session] resumed from a {}-byte EMSESS1 snapshot at frame {}",
+        snapshot.len(),
+        session.frames()
+    );
+    for t in 30..40 {
+        let readings = noise.apply_sigma(&live.sensors().sample(&alpha_maps.map(t)), 0.2);
+        session.step(&readings)?;
+    }
+    println!(
+        "[session] {} frames served on {}@v{} (stream lane {:?})",
         session.frames(),
         session.name(),
-        session.version()
+        session.version(),
+        session.stream_id()
     );
 
     // ---- metrics ----------------------------------------------------------
@@ -208,6 +238,10 @@ fn main() -> AnyResult<()> {
     println!(
         "[metrics] {} requests / {} frames in {} micro-batches; p50 {:?}, p99 {:?}",
         snap.requests, snap.frames, snap.batches, snap.latency_p50, snap.latency_p99
+    );
+    println!(
+        "[metrics] {} session steps (p99 {:?}), {} stream(s) open, high-water {}",
+        snap.session_steps, snap.session_latency_p99, snap.sessions_open, snap.max_sessions_open
     );
     println!(
         "[metrics] shard utilization: {:?}",

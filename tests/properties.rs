@@ -378,6 +378,120 @@ proptest! {
     }
 
     #[test]
+    fn session_snapshot_resume_continues_stream_bitwise(
+        ens in ensemble_strategy(),
+        gain_steps in 1u32..=10,
+        cut in 1usize..=12,
+        scheduled_path in 0u8..2,
+    ) {
+        // Warm-restart invariant: for any ensemble, gain and interruption
+        // point, snapshot → restart → resume → step produces a map stream
+        // bitwise-identical to the uninterrupted session — on both the
+        // standalone (inline) and server-scheduled paths.
+        use eigenmaps::serve::TrackerSession;
+        let gain = f64::from(gain_steps) / 10.0;
+        let k = 2.min(ens.cells());
+        let deployment = Pipeline::new(&ens)
+            .basis(BasisSpec::EigenExact { k })
+            .sensors((k + 2).min(ens.cells()))
+            .design()
+            .unwrap();
+        let frames: Vec<Vec<f64>> = (0..24)
+            .map(|t| {
+                let mut r = deployment.sensors().sample(&ens.map(t % ens.len()));
+                for (i, x) in r.iter_mut().enumerate() {
+                    *x += ((t * 13 + i * 7) as f64 * 0.37).sin() * 0.1;
+                }
+                r
+            })
+            .collect();
+        let registry = Arc::new(DeploymentRegistry::new());
+        registry.publish("chip", deployment.clone());
+        let server = if scheduled_path == 1 {
+            Some(Server::new(Arc::clone(&registry), 2))
+        } else {
+            None
+        };
+        let open = |name: &str| -> TrackerSession {
+            match &server {
+                Some(server) => server.open_session(name, gain).unwrap(),
+                None => TrackerSession::open(&registry, name, gain).unwrap(),
+            }
+        };
+        let mut uninterrupted = open("chip");
+        let mut live = open("chip");
+        for readings in &frames[..cut] {
+            uninterrupted.step(readings).unwrap();
+            live.step(readings).unwrap();
+        }
+        let bytes = live.snapshot();
+        drop(live); // monitor restart
+        let mut resumed = match &server {
+            Some(server) => server.resume_session(&bytes).unwrap(),
+            None => TrackerSession::resume(&registry, &bytes).unwrap(),
+        };
+        prop_assert_eq!(resumed.frames() as usize, cut);
+        for (t, readings) in frames[cut..].iter().enumerate() {
+            let a = uninterrupted.step(readings).unwrap();
+            let b = resumed.step(readings).unwrap();
+            prop_assert!(
+                a.as_slice() == b.as_slice(),
+                "resumed stream diverged at post-resume step {}", t
+            );
+        }
+        // And the snapshot itself round-trips deterministically.
+        prop_assert_eq!(resumed.snapshot(), uninterrupted.snapshot());
+    }
+
+    #[test]
+    fn emsess1_corruption_and_truncation_always_rejected(
+        ens in ensemble_strategy(),
+        steps in 0usize..5,
+        byte_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        // The EMSESS1 trailing checksum makes *any* single-byte corruption
+        // detectable (stronger than EMDEPLOY, where payload flips can
+        // decode to a different valid artifact), and any strict prefix or
+        // extension is rejected.
+        use eigenmaps::core::codec::SessionSnapshot;
+        use eigenmaps::serve::TrackerSession;
+        let k = 2.min(ens.cells());
+        let deployment = Pipeline::new(&ens)
+            .basis(BasisSpec::EigenExact { k })
+            .sensors((k + 1).min(ens.cells()))
+            .design()
+            .unwrap();
+        let registry = Arc::new(DeploymentRegistry::new());
+        registry.publish("chip", deployment.clone());
+        let mut session = TrackerSession::open(&registry, "chip", 0.5).unwrap();
+        for t in 0..steps {
+            session.step(&deployment.sensors().sample(&ens.map(t))).unwrap();
+        }
+        let bytes = session.snapshot();
+        // Sanity: the clean record parses and resumes.
+        prop_assert!(SessionSnapshot::from_bytes(&bytes).is_ok());
+        prop_assert!(TrackerSession::resume(&registry, &bytes).is_ok());
+        // Single-byte corruption anywhere is rejected.
+        let idx = ((bytes.len() - 1) as f64 * byte_frac) as usize;
+        let mut corrupt = bytes.clone();
+        corrupt[idx] ^= flip;
+        prop_assert!(SessionSnapshot::from_bytes(&corrupt).is_err());
+        prop_assert!(matches!(
+            TrackerSession::resume(&registry, &corrupt),
+            Err(eigenmaps::serve::ServeError::Core(_))
+        ));
+        // Truncation at any strict prefix is rejected.
+        let cut = (((bytes.len() as f64) * cut_frac) as usize).min(bytes.len() - 1);
+        prop_assert!(SessionSnapshot::from_bytes(&bytes[..cut]).is_err());
+        // Trailing garbage is rejected.
+        let mut long = bytes.clone();
+        long.push(0xEE);
+        prop_assert!(SessionSnapshot::from_bytes(&long).is_err());
+    }
+
+    #[test]
     fn snr_noise_has_exact_energy_budget(
         snr_db in 5.0f64..45.0,
         seed in 0u64..500,
