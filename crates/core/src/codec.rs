@@ -16,6 +16,14 @@
 //! each consumer maps onto its own error type (`CoreError::Persist` here,
 //! `FloorplanError::CorruptCache` in the floorplan crate).
 //!
+//! A fourth format rides on the same codec but frames *conversations*
+//! rather than files: `EMWIRE1`, the length-prefixed, checksummed network
+//! wire protocol of the `eigenmaps-net` crate. Its field tables and
+//! validation rules live in that crate's `protocol` module docs, next to
+//! the code that enforces them; the conventions below (little-endian,
+//! `u64` lengths, bounds-checked reads before allocation) apply there
+//! unchanged.
+//!
 //! # Wire conventions
 //!
 //! Every multi-byte scalar is **little-endian**. Sizes and indices are

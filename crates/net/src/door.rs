@@ -1,0 +1,628 @@
+//! The TCP front door: a single-threaded, nonblocking accept/poll event
+//! loop that speaks [`EMWIRE1`](crate::protocol) and bridges onto the
+//! in-process [`Server`] front door.
+//!
+//! No async runtime: the loop multiplexes plain [`std::net`] sockets in
+//! nonblocking mode. Batch and step submissions go through
+//! [`Server::try_submit`] / [`TrackerSession::submit_step`]; their
+//! tickets park in per-connection tables and complete on a later loop
+//! pass. A ticket's `on_ready` callback pokes a wakeup channel — the
+//! loop's stand-in for a self-pipe — so responses flush promptly instead
+//! of waiting out the poll interval.
+//!
+//! Robustness contract (exercised by the crate's tests):
+//!
+//! * corrupt, malformed, truncated or oversized frames produce an
+//!   `Error` reply and a metrics tick — never a panic, never a torn-down
+//!   connection (oversized payloads are skipped unbuffered);
+//! * a client disconnecting with responses in flight just drops its
+//!   tickets and sessions — the serving runtime completes the abandoned
+//!   responders through its `Terminated` path and the batcher never
+//!   wedges;
+//! * backpressure: a connection whose write backlog exceeds the
+//!   configured bound stops being read until the backlog drains, letting
+//!   TCP flow control push back on the client;
+//! * idle and slow-client timeouts reap connections that make no
+//!   progress; a graceful shutdown drains pending responses first.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use eigenmaps_serve::{
+    ServeMetrics, ServeRequest, Server, StepTicket, Ticket, TrackerSession, WireErrorKind,
+};
+
+use crate::protocol::{
+    status_of, FrameBuffer, Request, Response, WireError, WireMap, WireMetrics, WireStatus,
+    MAX_FRAME_BYTES,
+};
+
+/// Tunables for the event loop. [`NetConfig::default`] is sized for
+/// tests and small fleets; production deployments mostly raise
+/// `idle_timeout`.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Largest record (length prefix excluded) the door will buffer;
+    /// larger frames are skipped and answered with `BadFrame`.
+    pub max_frame_bytes: usize,
+    /// How long the loop sleeps on the wakeup channel when idle.
+    pub poll_interval: Duration,
+    /// Connections with no read/write progress for this long are
+    /// dropped — covers both idle clients and slow readers sitting on a
+    /// full write backlog.
+    pub idle_timeout: Duration,
+    /// Soft bound on a connection's unflushed response bytes; past it
+    /// the door stops reading from that connection until the backlog
+    /// drains.
+    pub write_backlog_limit: usize,
+    /// On shutdown, how long to keep flushing in-flight responses
+    /// before dropping the remaining connections.
+    pub drain_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_frame_bytes: MAX_FRAME_BYTES,
+            poll_interval: Duration::from_millis(1),
+            idle_timeout: Duration::from_secs(60),
+            write_backlog_limit: 4 * 1024 * 1024,
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+enum Wake {
+    /// A parked ticket became ready — sweep and flush.
+    Notify,
+    /// Shutdown was requested — enter the drain phase.
+    Shutdown,
+}
+
+/// A cheap handle for stopping a running [`NetServer`] from another
+/// thread.
+#[derive(Clone)]
+pub struct DoorHandle {
+    stop: Arc<AtomicBool>,
+    wake: Sender<Wake>,
+}
+
+impl DoorHandle {
+    /// Requests a graceful shutdown: the door stops accepting, drains
+    /// pending responses (bounded by [`NetConfig::drain_timeout`]) and
+    /// returns from [`NetServer::run`].
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        // The loop may be asleep in `recv_timeout`; losing the race to a
+        // dropped receiver just means it already exited.
+        let _ = self.wake.send(Wake::Shutdown);
+    }
+}
+
+/// One accepted connection and everything in flight on it.
+struct Conn {
+    stream: TcpStream,
+    frames: FrameBuffer,
+    /// Encoded, unflushed response bytes; `written` is the flush cursor.
+    outbox: Vec<u8>,
+    written: usize,
+    /// Batch tickets keyed by request correlation id.
+    batches: HashMap<u64, Ticket>,
+    /// Step tickets keyed by request correlation id, with the session id
+    /// they belong to (for error reporting only).
+    steps: HashMap<u64, StepTicket>,
+    /// Open sessions keyed by the door-assigned session id.
+    sessions: HashMap<u64, TrackerSession>,
+    next_session: u64,
+    /// Last moment this connection made read or write progress.
+    last_progress: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, max_frame: usize, now: Instant) -> Self {
+        Conn {
+            stream,
+            frames: FrameBuffer::new(max_frame),
+            outbox: Vec::new(),
+            written: 0,
+            batches: HashMap::new(),
+            steps: HashMap::new(),
+            sessions: HashMap::new(),
+            next_session: 1,
+            last_progress: now,
+        }
+    }
+
+    fn backlog(&self) -> usize {
+        self.outbox.len() - self.written
+    }
+
+    fn pending(&self) -> usize {
+        self.batches.len() + self.steps.len()
+    }
+
+    fn enqueue(&mut self, frame: Vec<u8>, metrics: &ServeMetrics) {
+        metrics.record_wire_frame_out();
+        metrics.record_wire_bytes_out(frame.len() as u64);
+        if self.written > 0 && self.written == self.outbox.len() {
+            self.outbox.clear();
+            self.written = 0;
+        }
+        self.outbox.extend_from_slice(&frame);
+    }
+}
+
+/// The `EMWIRE1` TCP front door. Bind with [`NetServer::bind`], grab a
+/// [`DoorHandle`] for shutdown, then [`NetServer::run`] the loop (it
+/// blocks the calling thread until shutdown).
+pub struct NetServer {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    server: Arc<Server>,
+    config: NetConfig,
+    stop: Arc<AtomicBool>,
+    wake_tx: Sender<Wake>,
+    wake_rx: Receiver<Wake>,
+}
+
+impl NetServer {
+    /// Binds a door for `server` on `addr` (use port 0 for an ephemeral
+    /// port; read it back from [`NetServer::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    pub fn bind(addr: impl ToSocketAddrs, server: Arc<Server>) -> std::io::Result<Self> {
+        Self::bind_with(addr, server, NetConfig::default())
+    }
+
+    /// [`NetServer::bind`] with explicit tunables.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        server: Arc<Server>,
+        config: NetConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let (wake_tx, wake_rx) = mpsc::channel();
+        Ok(NetServer {
+            listener,
+            local_addr,
+            server,
+            config,
+            stop: Arc::new(AtomicBool::new(false)),
+            wake_tx,
+            wake_rx,
+        })
+    }
+
+    /// The bound address — the port clients should dial.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A clonable shutdown handle, valid for the lifetime of the loop.
+    pub fn handle(&self) -> DoorHandle {
+        DoorHandle {
+            stop: Arc::clone(&self.stop),
+            wake: self.wake_tx.clone(),
+        }
+    }
+
+    /// Runs the event loop on the calling thread until a [`DoorHandle`]
+    /// requests shutdown. Returns after the graceful drain completes.
+    pub fn run(self) {
+        let NetServer {
+            listener,
+            local_addr: _,
+            server,
+            config,
+            stop,
+            wake_tx,
+            wake_rx,
+        } = self;
+        let metrics = Arc::clone(server.metrics_hub());
+        let mut conns: HashMap<u64, Conn> = HashMap::new();
+        let mut next_conn: u64 = 1;
+        let mut drain_deadline: Option<Instant> = None;
+
+        loop {
+            // Sleep on the wakeup channel: a ready ticket (or shutdown)
+            // pokes it, otherwise the poll interval bounds the nap.
+            match wake_rx.recv_timeout(config.poll_interval) {
+                Ok(_) | Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => unreachable!("loop holds a sender"),
+            }
+            while wake_rx.try_recv().is_ok() {}
+
+            let draining = stop.load(Ordering::Acquire);
+            let now = Instant::now();
+            if draining && drain_deadline.is_none() {
+                drain_deadline = Some(now + config.drain_timeout);
+            }
+
+            // Accept phase — skipped once draining.
+            if !draining {
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            if stream.set_nonblocking(true).is_err() {
+                                continue;
+                            }
+                            let _ = stream.set_nodelay(true);
+                            metrics.record_connection_opened();
+                            conns.insert(next_conn, Conn::new(stream, config.max_frame_bytes, now));
+                            next_conn += 1;
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        // Transient accept errors (aborted handshakes);
+                        // keep serving.
+                        Err(_) => break,
+                    }
+                }
+            }
+
+            let mut dead: Vec<u64> = Vec::new();
+            for (&id, conn) in conns.iter_mut() {
+                let alive = service_conn(conn, &server, &metrics, &wake_tx, &config, draining, now);
+                if !alive {
+                    dead.push(id);
+                }
+            }
+            for id in dead {
+                conns.remove(&id);
+                metrics.record_connection_closed();
+            }
+
+            if draining {
+                let drained = conns.values().all(|c| c.backlog() == 0 && c.pending() == 0);
+                let expired = drain_deadline.is_some_and(|d| Instant::now() >= d);
+                if drained || expired {
+                    break;
+                }
+            }
+        }
+
+        // Teardown: dropping each connection drops its parked tickets
+        // and sessions — the runtime's `Terminated` path completes any
+        // abandoned responders.
+        for _ in conns.drain() {
+            metrics.record_connection_closed();
+        }
+    }
+}
+
+/// One service pass over a connection: read, decode, dispatch, complete
+/// ready tickets, flush, and judge liveness. Returns `false` when the
+/// connection should be reaped.
+fn service_conn(
+    conn: &mut Conn,
+    server: &Arc<Server>,
+    metrics: &Arc<ServeMetrics>,
+    wake: &Sender<Wake>,
+    config: &NetConfig,
+    draining: bool,
+    now: Instant,
+) -> bool {
+    // Read phase — skipped while the write backlog is over the bound
+    // (backpressure) or the door is draining.
+    let mut peer_closed = false;
+    if !draining && conn.backlog() <= config.write_backlog_limit {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    peer_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    metrics.record_wire_bytes_in(n as u64);
+                    conn.frames.extend(&chunk[..n]);
+                    conn.last_progress = now;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    peer_closed = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Frame phase: pop complete records, dispatch each. Never panics on
+    // hostile bytes — every failure becomes an `Error` reply.
+    while let Some(outcome) = conn.frames.next_record() {
+        match outcome {
+            Ok(record) => {
+                metrics.record_wire_frame_in();
+                match Request::decode(&record) {
+                    Ok((id, request)) => dispatch(conn, server, metrics, wake, id, request),
+                    Err(failure) => {
+                        record_wire_error(metrics, &failure.error);
+                        // A corrupt envelope has no trustworthy id; 0
+                        // marks the reply uncorrelatable.
+                        let reply = Response::Error {
+                            status: WireStatus::BadFrame,
+                            message: failure.error.to_string(),
+                        }
+                        .encode(failure.id.unwrap_or(0));
+                        conn.enqueue(reply, metrics);
+                    }
+                }
+            }
+            Err(err) => {
+                record_wire_error(metrics, &err);
+                let reply = Response::Error {
+                    status: WireStatus::BadFrame,
+                    message: err.to_string(),
+                }
+                .encode(0);
+                conn.enqueue(reply, metrics);
+            }
+        }
+    }
+
+    // Completion phase: sweep parked tickets for ready responses.
+    let ready: Vec<u64> = conn
+        .batches
+        .iter()
+        .filter(|(_, t)| t.is_ready())
+        .map(|(&id, _)| id)
+        .collect();
+    for id in ready {
+        let mut ticket = conn
+            .batches
+            .remove(&id)
+            .expect("ready id came from the map");
+        let version = ticket.version();
+        match ticket.try_wait() {
+            Some(Ok(maps)) => {
+                let maps = maps.iter().map(WireMap::from).collect();
+                conn.enqueue(Response::Batch { version, maps }.encode(id), metrics);
+            }
+            Some(Err(e)) => {
+                conn.enqueue(error_reply(&e, id, metrics), metrics);
+            }
+            // A spurious readiness race: repark and retry next pass.
+            None => {
+                conn.batches.insert(id, ticket);
+            }
+        }
+    }
+    let ready: Vec<u64> = conn
+        .steps
+        .iter()
+        .filter(|(_, t)| t.is_ready())
+        .map(|(&id, _)| id)
+        .collect();
+    for id in ready {
+        let mut ticket = conn.steps.remove(&id).expect("ready id came from the map");
+        match ticket.try_wait() {
+            Some(Ok(map)) => {
+                let map = WireMap::from(&map);
+                conn.enqueue(Response::Step { map }.encode(id), metrics);
+            }
+            Some(Err(e)) => {
+                conn.enqueue(error_reply(&e, id, metrics), metrics);
+            }
+            None => {
+                conn.steps.insert(id, ticket);
+            }
+        }
+    }
+
+    // Write phase: flush as much of the outbox as the socket takes.
+    while conn.written < conn.outbox.len() {
+        match conn.stream.write(&conn.outbox[conn.written..]) {
+            Ok(0) => {
+                peer_closed = true;
+                break;
+            }
+            Ok(n) => {
+                conn.written += n;
+                conn.last_progress = now;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                peer_closed = true;
+                break;
+            }
+        }
+    }
+    if conn.written == conn.outbox.len() && !conn.outbox.is_empty() {
+        conn.outbox.clear();
+        conn.written = 0;
+    }
+
+    if peer_closed {
+        // Keep the connection only while unflushed responses might still
+        // be deliverable; a read-side EOF with nothing to say is final.
+        return false;
+    }
+    // Idle / slow-client reaping: no progress in either direction for
+    // the whole timeout window.
+    if now.duration_since(conn.last_progress) > config.idle_timeout {
+        return false;
+    }
+    true
+}
+
+/// Handles one decoded request, either replying immediately or parking a
+/// ticket whose readiness callback will wake the loop.
+fn dispatch(
+    conn: &mut Conn,
+    server: &Arc<Server>,
+    metrics: &Arc<ServeMetrics>,
+    wake: &Sender<Wake>,
+    id: u64,
+    request: Request,
+) {
+    match request {
+        Request::SubmitBatch { deployment, frames } => {
+            match server.try_submit(ServeRequest::new(deployment, frames)) {
+                Ok(ticket) => {
+                    let tx = wake.clone();
+                    ticket.on_ready(move || {
+                        let _ = tx.send(Wake::Notify);
+                    });
+                    conn.batches.insert(id, ticket);
+                }
+                Err(e) => {
+                    let reply = error_reply(&e, id, metrics);
+                    conn.enqueue(reply, metrics);
+                }
+            }
+        }
+        Request::OpenSession { deployment, gain } => match server.open_session(&deployment, gain) {
+            Ok(session) => {
+                let reply = register_session(conn, session);
+                conn.enqueue(reply.encode(id), metrics);
+            }
+            Err(e) => {
+                let reply = error_reply(&e, id, metrics);
+                conn.enqueue(reply, metrics);
+            }
+        },
+        Request::StepSession { session, readings } => match conn.sessions.get(&session) {
+            Some(open) => match open.submit_step(&readings) {
+                Ok(ticket) => {
+                    let tx = wake.clone();
+                    ticket.on_ready(move || {
+                        let _ = tx.send(Wake::Notify);
+                    });
+                    conn.steps.insert(id, ticket);
+                }
+                Err(e) => {
+                    let reply = error_reply(&e, id, metrics);
+                    conn.enqueue(reply, metrics);
+                }
+            },
+            None => {
+                let reply = unknown_session(session, id, metrics);
+                conn.enqueue(reply, metrics);
+            }
+        },
+        Request::CloseSession { session } => {
+            if conn.sessions.remove(&session).is_some() {
+                conn.enqueue(Response::Closed.encode(id), metrics);
+            } else {
+                let reply = unknown_session(session, id, metrics);
+                conn.enqueue(reply, metrics);
+            }
+        }
+        Request::Snapshot { session } => match conn.sessions.get(&session) {
+            Some(open) => {
+                if open.pending_steps() > 0 {
+                    metrics.record_wire_error(WireErrorKind::Rejected);
+                    let reply = Response::Error {
+                        status: WireStatus::SessionBusy,
+                        message: format!(
+                            "session {session} has {} step(s) in flight; retry once they land",
+                            open.pending_steps()
+                        ),
+                    };
+                    conn.enqueue(reply.encode(id), metrics);
+                } else {
+                    let snapshot = open.snapshot();
+                    conn.enqueue(Response::Snapshot { snapshot }.encode(id), metrics);
+                }
+            }
+            None => {
+                let reply = unknown_session(session, id, metrics);
+                conn.enqueue(reply, metrics);
+            }
+        },
+        Request::Resume { snapshot } => match server.resume_session(&snapshot) {
+            Ok(session) => {
+                let reply = register_session(conn, session);
+                conn.enqueue(reply.encode(id), metrics);
+            }
+            Err(e) => {
+                let reply = error_reply(&e, id, metrics);
+                conn.enqueue(reply, metrics);
+            }
+        },
+        Request::Catalog => {
+            let entries = server.registry().catalog();
+            conn.enqueue(Response::Catalog { entries }.encode(id), metrics);
+        }
+        Request::Publish { name, artifact } => {
+            match server.registry().publish_bytes(&name, &artifact) {
+                Ok(version) => {
+                    conn.enqueue(Response::Published { version }.encode(id), metrics);
+                }
+                Err(e) => {
+                    let reply = error_reply(&e, id, metrics);
+                    conn.enqueue(reply, metrics);
+                }
+            }
+        }
+        Request::Metrics => {
+            let snap = server.metrics();
+            let reply = Response::Metrics(WireMetrics {
+                requests: snap.requests,
+                frames: snap.frames,
+                batches: snap.batches,
+                errors: snap.errors,
+                session_steps: snap.session_steps,
+                sessions_open: snap.sessions_open,
+                max_sessions_open: snap.max_sessions_open,
+                latency_p50_ns: snap.latency_p50.as_nanos() as u64,
+                latency_p99_ns: snap.latency_p99.as_nanos() as u64,
+                wire: snap.wire,
+            });
+            conn.enqueue(reply.encode(id), metrics);
+        }
+    }
+}
+
+/// Registers a freshly opened/resumed session under a door-assigned id
+/// and builds its `SessionOpened` reply.
+fn register_session(conn: &mut Conn, session: TrackerSession) -> Response {
+    let id = conn.next_session;
+    conn.next_session += 1;
+    let reply = Response::SessionOpened {
+        session: id,
+        version: session.version(),
+        frames: session.frames(),
+    };
+    conn.sessions.insert(id, session);
+    reply
+}
+
+fn unknown_session(session: u64, id: u64, metrics: &ServeMetrics) -> Vec<u8> {
+    metrics.record_wire_error(WireErrorKind::Rejected);
+    Response::Error {
+        status: WireStatus::UnknownSession,
+        message: format!("session {session} is not open on this connection"),
+    }
+    .encode(id)
+}
+
+fn error_reply(error: &eigenmaps_serve::ServeError, id: u64, metrics: &ServeMetrics) -> Vec<u8> {
+    metrics.record_wire_error(WireErrorKind::Rejected);
+    let (status, message) = status_of(error);
+    Response::Error { status, message }.encode(id)
+}
+
+fn record_wire_error(metrics: &ServeMetrics, error: &WireError) {
+    let kind = match error {
+        WireError::Oversized { .. } => WireErrorKind::Oversized,
+        WireError::Corrupt { .. } => WireErrorKind::Corrupt,
+        WireError::Malformed { .. } => WireErrorKind::Malformed,
+        WireError::UnknownKind { .. } => WireErrorKind::UnknownKind,
+    };
+    metrics.record_wire_error(kind);
+}

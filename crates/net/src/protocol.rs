@@ -1,0 +1,1091 @@
+//! The `EMWIRE1` binary wire protocol: versioned, length-prefixed,
+//! checksummed frames over the shared little-endian codec
+//! ([`eigenmaps_core::codec`]), covering the full serving surface.
+//!
+//! `EMWIRE1` is the fourth binary format in the workspace, next to
+//! `EMDEPLOY` (deployment artifacts), `EIGMAPS1` (ensemble caches) and
+//! `EMSESS1` (session snapshots) — those three are specified in
+//! [`eigenmaps_core::codec`]'s module docs; this one lives here because it
+//! frames *conversations*, not files.
+//!
+//! # Frame layout
+//!
+//! Every message — request or response — travels as one frame:
+//!
+//! | offset | field      | type        | value |
+//! |--------|------------|-------------|-------|
+//! | 0      | `length`   | `u32`       | byte length of the record that follows (everything below) |
+//! | 4      | `magic`    | 7 bytes     | `"EMWIRE1"` |
+//! | 11     | `version`  | `u32`       | 1 |
+//! | 15     | `id`       | `u64`       | request correlation id, echoed verbatim in the response |
+//! | 23     | `kind`     | `u8`        | message kind tag (see below) |
+//! | 24     | `body`     | kind-specific | see the per-kind tables |
+//! | 24+n   | `checksum` | `u64`       | FNV-1a 64 over `magic..body` ([`fnv1a64`]) |
+//!
+//! All integers are little-endian; lengths/counts are `u64` on the wire
+//! ([`Encoder::put_len`]). The minimal record is 28 bytes (empty body).
+//!
+//! ## Kind tags
+//!
+//! | tag | message | direction | body |
+//! |-----|---------|-----------|------|
+//! | `0x01` | `SubmitBatch`  | → | `name: str`, `frames: u64`, then per frame `m: u64`, `f64 × m` |
+//! | `0x02` | `OpenSession`  | → | `name: str`, `gain: f64` |
+//! | `0x03` | `StepSession`  | → | `session: u64`, `m: u64`, `f64 × m` |
+//! | `0x04` | `CloseSession` | → | `session: u64` |
+//! | `0x05` | `Snapshot`     | → | `session: u64` |
+//! | `0x06` | `Resume`       | → | `len: u64`, `EMSESS1 bytes × len` |
+//! | `0x07` | `Catalog`      | → | empty |
+//! | `0x08` | `Publish`      | → | `name: str`, `len: u64`, `EMDEPLOY bytes × len` |
+//! | `0x09` | `Metrics`      | → | empty |
+//! | `0x81` | `Batch`         | ← | `version: u32`, `count: u64`, then per map `rows: u64`, `cols: u64`, `f64 × rows·cols` |
+//! | `0x82` | `SessionOpened` | ← | `session: u64`, `version: u32`, `frames: u64` |
+//! | `0x83` | `Step`          | ← | `rows: u64`, `cols: u64`, `f64 × rows·cols` |
+//! | `0x84` | `Closed`        | ← | empty |
+//! | `0x85` | `Snapshot`      | ← | `len: u64`, `EMSESS1 bytes × len` |
+//! | `0x86` | `Catalog`       | ← | `count: u64`, then per entry `name: str`, `versions: u64`, `u32 × versions` |
+//! | `0x87` | `Published`     | ← | `version: u32` |
+//! | `0x88` | `Metrics`       | ← | [`WireMetrics`] scalars in declaration order (`u64` each, durations in ns) |
+//! | `0xFF` | `Error`         | ← | `status: u8` ([`WireStatus`]), `message: str` |
+//!
+//! `str` means `len: u64` then UTF-8 bytes. Request tags occupy
+//! `0x01..=0x7F`, response tags `0x80..=0xFF`, so a frame can never be
+//! mistaken for the opposite direction.
+//!
+//! # Validation rules
+//!
+//! * A `length` prefix larger than the transport's max-frame-size bound
+//!   ([`MAX_FRAME_BYTES`] by default) is **oversized**: the receiver must
+//!   not buffer (or allocate) the payload; [`FrameBuffer`] skips exactly
+//!   `length` bytes as they arrive, so framing survives and the
+//!   connection does not tear down.
+//! * A complete record shorter than 28 bytes, with the wrong magic, an
+//!   unsupported version or a trailing checksum that does not match
+//!   `fnv1a64(magic..body)` is **corrupt**: the record is consumed (its
+//!   advertised length is trusted — the checksum says the *content* is
+//!   bad, not the framing), the error is reported and the connection
+//!   lives on. The correlation id of a corrupt record is untrusted and
+//!   never echoed.
+//! * A record whose envelope validates but whose body fails to decode —
+//!   truncated body, trailing bytes, impossible counts, invalid UTF-8 —
+//!   is **malformed**; an unassigned or wrong-direction `kind` is
+//!   **unknown-kind**. Both keep the connection; the id *is* trustworthy
+//!   (the checksum covered it) and is echoed in the error reply.
+//! * A frame that has not fully arrived is simply incomplete — the
+//!   receiver waits. A connection that closes mid-frame is a disconnect,
+//!   not a protocol error.
+//!
+//! Every decode is bounds-checked by [`Decoder`] before anything is
+//! allocated, so a hostile length field inside a body cannot cause an
+//! absurd allocation: the body's own take()s fail first (the whole record
+//! is at most the frame bound).
+
+use std::fmt;
+
+use eigenmaps_core::codec::{fnv1a64, CodecError, Decoder, Encoder};
+use eigenmaps_core::ThermalMap;
+use eigenmaps_serve::{ServeError, WireSnapshot};
+
+/// Magic bytes opening every `EMWIRE1` record.
+pub const MAGIC: &[u8; 7] = b"EMWIRE1";
+/// Wire protocol version encoded (and required) by this implementation.
+pub const VERSION: u32 = 1;
+/// Default max-frame-size bound: the largest record (length prefix
+/// excluded) an endpoint will buffer. 16 MiB fits ~2M `f64` cells per
+/// message — far beyond any realistic thermal-map batch.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+/// Fixed bytes in every record besides the body: magic (7) + version (4)
+/// + id (8) + kind (1) + checksum (8).
+pub const RECORD_OVERHEAD: usize = 28;
+
+const KIND_SUBMIT_BATCH: u8 = 0x01;
+const KIND_OPEN_SESSION: u8 = 0x02;
+const KIND_STEP_SESSION: u8 = 0x03;
+const KIND_CLOSE_SESSION: u8 = 0x04;
+const KIND_SNAPSHOT: u8 = 0x05;
+const KIND_RESUME: u8 = 0x06;
+const KIND_CATALOG: u8 = 0x07;
+const KIND_PUBLISH: u8 = 0x08;
+const KIND_METRICS: u8 = 0x09;
+const KIND_BATCH_REPLY: u8 = 0x81;
+const KIND_SESSION_OPENED: u8 = 0x82;
+const KIND_STEP_REPLY: u8 = 0x83;
+const KIND_CLOSED: u8 = 0x84;
+const KIND_SNAPSHOT_REPLY: u8 = 0x85;
+const KIND_CATALOG_REPLY: u8 = 0x86;
+const KIND_PUBLISHED: u8 = 0x87;
+const KIND_METRICS_REPLY: u8 = 0x88;
+const KIND_ERROR: u8 = 0xFF;
+
+/// How a received byte sequence failed `EMWIRE1` validation. Mirrors
+/// [`eigenmaps_serve::WireErrorKind`] for the metrics gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The length prefix exceeded the max-frame-size bound; the payload
+    /// is skipped unread.
+    Oversized {
+        /// The advertised record length.
+        len: usize,
+        /// The bound it exceeded.
+        max: usize,
+    },
+    /// The record failed integrity validation (too short, bad magic,
+    /// unsupported version, checksum mismatch).
+    Corrupt {
+        /// Which check failed.
+        context: &'static str,
+    },
+    /// The envelope was sound but the body did not decode.
+    Malformed {
+        /// Which field failed.
+        context: &'static str,
+    },
+    /// The record carried a kind tag this endpoint does not handle.
+    UnknownKind {
+        /// The offending tag.
+        kind: u8,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Oversized { len, max } => {
+                write!(
+                    f,
+                    "oversized frame: {len} bytes exceeds the {max}-byte bound"
+                )
+            }
+            WireError::Corrupt { context } => write!(f, "corrupt frame: {context}"),
+            WireError::Malformed { context } => write!(f, "malformed frame body: {context}"),
+            WireError::UnknownKind { kind } => write!(f, "unknown frame kind 0x{kind:02X}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> Self {
+        WireError::Malformed { context: e.context }
+    }
+}
+
+/// A decode failure plus the correlation id, when it can be trusted: the
+/// checksum covers the id, so ids survive malformed-body and unknown-kind
+/// failures but never corrupt ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeFailure {
+    /// The frame's correlation id, if the envelope validated.
+    pub id: Option<u64>,
+    /// What went wrong.
+    pub error: WireError,
+}
+
+/// Typed error statuses carried by `Error` replies — [`ServeError`]
+/// mirrored onto the wire, plus the statuses only a transport can raise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireStatus {
+    /// No deployment is published under the requested name.
+    UnknownDeployment,
+    /// The deployment exists but not at the requested version.
+    UnknownVersion,
+    /// The server is shutting down (or its runtime died).
+    Terminated,
+    /// Admission control refused the request — **retryable**: the queue
+    /// drains on its own schedule.
+    Saturated,
+    /// A session snapshot disagrees with the published artifact.
+    SnapshotMismatch,
+    /// The request was well-framed but semantically invalid (bad shapes,
+    /// unparseable artifact bytes, …).
+    BadRequest,
+    /// The frame itself failed validation (corrupt/malformed/oversized/
+    /// unknown kind).
+    BadFrame,
+    /// The referenced session id is not open on this connection.
+    UnknownSession,
+    /// The session has steps in flight; a snapshot would not be a
+    /// well-defined point in the stream — **retryable** once the steps
+    /// complete.
+    SessionBusy,
+}
+
+impl WireStatus {
+    /// Whether the client may retry the identical request and expect it
+    /// to eventually succeed (transient backpressure, not a semantic
+    /// refusal).
+    pub fn is_retryable(self) -> bool {
+        matches!(self, WireStatus::Saturated | WireStatus::SessionBusy)
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            WireStatus::UnknownDeployment => 1,
+            WireStatus::UnknownVersion => 2,
+            WireStatus::Terminated => 3,
+            WireStatus::Saturated => 4,
+            WireStatus::SnapshotMismatch => 5,
+            WireStatus::BadRequest => 6,
+            WireStatus::BadFrame => 7,
+            WireStatus::UnknownSession => 8,
+            WireStatus::SessionBusy => 9,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        Ok(match v {
+            1 => WireStatus::UnknownDeployment,
+            2 => WireStatus::UnknownVersion,
+            3 => WireStatus::Terminated,
+            4 => WireStatus::Saturated,
+            5 => WireStatus::SnapshotMismatch,
+            6 => WireStatus::BadRequest,
+            7 => WireStatus::BadFrame,
+            8 => WireStatus::UnknownSession,
+            9 => WireStatus::SessionBusy,
+            _ => {
+                return Err(WireError::Malformed {
+                    context: "unknown error status",
+                })
+            }
+        })
+    }
+}
+
+impl fmt::Display for WireStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            WireStatus::UnknownDeployment => "unknown-deployment",
+            WireStatus::UnknownVersion => "unknown-version",
+            WireStatus::Terminated => "terminated",
+            WireStatus::Saturated => "saturated",
+            WireStatus::SnapshotMismatch => "snapshot-mismatch",
+            WireStatus::BadRequest => "bad-request",
+            WireStatus::BadFrame => "bad-frame",
+            WireStatus::UnknownSession => "unknown-session",
+            WireStatus::SessionBusy => "session-busy",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Maps a [`ServeError`] onto its wire status and human-readable message.
+pub fn status_of(error: &ServeError) -> (WireStatus, String) {
+    let status = match error {
+        ServeError::UnknownDeployment { .. } => WireStatus::UnknownDeployment,
+        ServeError::UnknownVersion { .. } => WireStatus::UnknownVersion,
+        ServeError::Terminated { .. } => WireStatus::Terminated,
+        ServeError::Saturated { .. } => WireStatus::Saturated,
+        ServeError::SnapshotMismatch { .. } => WireStatus::SnapshotMismatch,
+        _ => WireStatus::BadRequest,
+    };
+    (status, error.to_string())
+}
+
+/// One client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Reconstruct a batch of sensor-reading frames against the latest
+    /// version of a named deployment.
+    SubmitBatch {
+        /// Registry name to resolve.
+        deployment: String,
+        /// Sensor readings, one inner vec per frame.
+        frames: Vec<Vec<f64>>,
+    },
+    /// Open a streaming tracker session against a named deployment.
+    OpenSession {
+        /// Registry name to resolve.
+        deployment: String,
+        /// Temporal-filter gain in `[0, 1]`.
+        gain: f64,
+    },
+    /// Step an open session with one frame of readings.
+    StepSession {
+        /// Session id from `SessionOpened`.
+        session: u64,
+        /// One frame of sensor readings.
+        readings: Vec<f64>,
+    },
+    /// Close an open session.
+    CloseSession {
+        /// Session id from `SessionOpened`.
+        session: u64,
+    },
+    /// Snapshot an open session to durable `EMSESS1` bytes.
+    Snapshot {
+        /// Session id from `SessionOpened`.
+        session: u64,
+    },
+    /// Resume a session from `EMSESS1` bytes (possibly on a different
+    /// server process than the one that snapshotted it).
+    Resume {
+        /// The `EMSESS1` record.
+        snapshot: Vec<u8>,
+    },
+    /// List the registry's deployments and live versions.
+    Catalog,
+    /// Publish `EMDEPLOY` artifact bytes under a name.
+    Publish {
+        /// Registry name to publish under.
+        name: String,
+        /// The `EMDEPLOY` record.
+        artifact: Vec<u8>,
+    },
+    /// Fetch a metrics snapshot (including the wire gauges).
+    Metrics,
+}
+
+/// One server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reconstructed maps for a `SubmitBatch`, with the pinned version.
+    Batch {
+        /// Registry version the batch was served against.
+        version: u32,
+        /// One reconstructed map per submitted frame, in order.
+        maps: Vec<WireMap>,
+    },
+    /// A session was opened (or resumed).
+    SessionOpened {
+        /// Server-assigned session id, scoped to this connection.
+        session: u64,
+        /// Registry version the session is pinned to.
+        version: u32,
+        /// Frames already served (nonzero after a resume).
+        frames: u64,
+    },
+    /// The filtered estimate for one `StepSession`.
+    Step {
+        /// The reconstructed, temporally filtered map.
+        map: WireMap,
+    },
+    /// A `CloseSession` completed.
+    Closed,
+    /// The session's durable `EMSESS1` snapshot.
+    Snapshot {
+        /// The `EMSESS1` record.
+        snapshot: Vec<u8>,
+    },
+    /// The registry catalog.
+    Catalog {
+        /// `(name, live versions)` pairs, sorted by name.
+        entries: Vec<(String, Vec<u32>)>,
+    },
+    /// A `Publish` completed.
+    Published {
+        /// The version the artifact was published at.
+        version: u32,
+    },
+    /// A metrics snapshot.
+    Metrics(WireMetrics),
+    /// The request failed (or a frame was rejected).
+    Error {
+        /// Typed status; check [`WireStatus::is_retryable`].
+        status: WireStatus,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// A thermal map in wire form: dimensions plus row-major cells. Converts
+/// losslessly to/from [`ThermalMap`] — `f64` bits pass through untouched,
+/// which is what keeps reconstruction over TCP bitwise-identical to the
+/// in-process path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireMap {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Row-major cell temperatures, `rows * cols` long.
+    pub cells: Vec<f64>,
+}
+
+impl From<&ThermalMap> for WireMap {
+    fn from(map: &ThermalMap) -> Self {
+        WireMap {
+            rows: map.rows(),
+            cols: map.cols(),
+            cells: map.as_slice().to_vec(),
+        }
+    }
+}
+
+impl WireMap {
+    /// Rebuilds the [`ThermalMap`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] if `rows * cols != cells.len()` or a
+    /// dimension is zero.
+    pub fn into_map(self) -> Result<ThermalMap, WireError> {
+        ThermalMap::new(self.rows, self.cols, self.cells).map_err(|_| WireError::Malformed {
+            context: "map dimensions disagree with cell count",
+        })
+    }
+
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_len(self.rows).put_len(self.cols);
+        enc.f64_slice(&self.cells);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let rows = dec.take_len()?;
+        let cols = dec.take_len()?;
+        let cells = rows
+            .checked_mul(cols)
+            .ok_or(WireError::Malformed {
+                context: "map dimensions overflow",
+            })
+            .and_then(|n| dec.f64_vec(n).map_err(WireError::from))?;
+        Ok(WireMap { rows, cols, cells })
+    }
+}
+
+/// The metrics scalars served over the wire: the headline serving
+/// counters plus the connection/wire gauges ([`WireSnapshot`]).
+/// Durations travel as nanoseconds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireMetrics {
+    /// Requests accepted by the serving front end.
+    pub requests: u64,
+    /// Frames across all accepted requests.
+    pub frames: u64,
+    /// Micro-batches flushed.
+    pub batches: u64,
+    /// Requests that completed with an error.
+    pub errors: u64,
+    /// Streaming session steps served.
+    pub session_steps: u64,
+    /// Streaming sessions open at snapshot time.
+    pub sessions_open: u64,
+    /// High-water mark of concurrently open sessions.
+    pub max_sessions_open: u64,
+    /// Median batch-request latency, in nanoseconds.
+    pub latency_p50_ns: u64,
+    /// 99th-percentile batch-request latency, in nanoseconds.
+    pub latency_p99_ns: u64,
+    /// The connection/wire gauges.
+    pub wire: WireSnapshot,
+}
+
+impl WireMetrics {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u64(self.requests)
+            .u64(self.frames)
+            .u64(self.batches)
+            .u64(self.errors)
+            .u64(self.session_steps)
+            .u64(self.sessions_open)
+            .u64(self.max_sessions_open)
+            .u64(self.latency_p50_ns)
+            .u64(self.latency_p99_ns)
+            .u64(self.wire.connections_open)
+            .u64(self.wire.max_connections_open)
+            .u64(self.wire.frames_in)
+            .u64(self.wire.frames_out)
+            .u64(self.wire.bytes_in)
+            .u64(self.wire.bytes_out)
+            .u64(self.wire.errors_oversized)
+            .u64(self.wire.errors_corrupt)
+            .u64(self.wire.errors_malformed)
+            .u64(self.wire.errors_unknown_kind)
+            .u64(self.wire.errors_rejected);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(WireMetrics {
+            requests: dec.u64()?,
+            frames: dec.u64()?,
+            batches: dec.u64()?,
+            errors: dec.u64()?,
+            session_steps: dec.u64()?,
+            sessions_open: dec.u64()?,
+            max_sessions_open: dec.u64()?,
+            latency_p50_ns: dec.u64()?,
+            latency_p99_ns: dec.u64()?,
+            wire: WireSnapshot {
+                connections_open: dec.u64()?,
+                max_connections_open: dec.u64()?,
+                frames_in: dec.u64()?,
+                frames_out: dec.u64()?,
+                bytes_in: dec.u64()?,
+                bytes_out: dec.u64()?,
+                errors_oversized: dec.u64()?,
+                errors_corrupt: dec.u64()?,
+                errors_malformed: dec.u64()?,
+                errors_unknown_kind: dec.u64()?,
+                errors_rejected: dec.u64()?,
+            },
+        })
+    }
+}
+
+fn encode_str(enc: &mut Encoder, s: &str) {
+    enc.put_len(s.len());
+    enc.bytes(s.as_bytes());
+}
+
+fn decode_str(dec: &mut Decoder<'_>) -> Result<String, WireError> {
+    let len = dec.take_len()?;
+    let raw = dec.take(len)?;
+    String::from_utf8(raw.to_vec()).map_err(|_| WireError::Malformed {
+        context: "invalid UTF-8 string",
+    })
+}
+
+fn encode_blob(enc: &mut Encoder, bytes: &[u8]) {
+    enc.put_len(bytes.len());
+    enc.bytes(bytes);
+}
+
+fn decode_blob(dec: &mut Decoder<'_>) -> Result<Vec<u8>, WireError> {
+    let len = dec.take_len()?;
+    Ok(dec.take(len)?.to_vec())
+}
+
+fn encode_readings(enc: &mut Encoder, readings: &[f64]) {
+    enc.put_len(readings.len());
+    enc.f64_slice(readings);
+}
+
+fn decode_readings(dec: &mut Decoder<'_>) -> Result<Vec<f64>, WireError> {
+    let m = dec.take_len()?;
+    Ok(dec.f64_vec(m)?)
+}
+
+/// Seals `kind` + `body` into a complete wire frame (length prefix
+/// included) under correlation id `id`.
+fn seal_frame(id: u64, kind: u8, body: impl FnOnce(&mut Encoder)) -> Vec<u8> {
+    let mut enc = Encoder::with_capacity(64);
+    enc.bytes(MAGIC).u32(VERSION).u64(id).u8(kind);
+    body(&mut enc);
+    let mut record = enc.finish();
+    let checksum = fnv1a64(&record);
+    record.extend_from_slice(&checksum.to_le_bytes());
+    let mut frame = Vec::with_capacity(4 + record.len());
+    frame.extend_from_slice(&(record.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&record);
+    frame
+}
+
+/// Validates a complete record's envelope (magic, version, checksum) and
+/// hands back a decoder positioned at `id`.
+fn open_record<'a>(record: &'a [u8]) -> Result<Decoder<'a>, WireError> {
+    if record.len() < RECORD_OVERHEAD {
+        return Err(WireError::Corrupt {
+            context: "record shorter than the fixed envelope",
+        });
+    }
+    let (payload, trailer) = record.split_at(record.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+    if fnv1a64(payload) != stored {
+        return Err(WireError::Corrupt {
+            context: "checksum mismatch",
+        });
+    }
+    let mut dec = Decoder::new(payload);
+    dec.magic(MAGIC).map_err(|_| WireError::Corrupt {
+        context: "bad magic",
+    })?;
+    dec.version(VERSION).map_err(|_| WireError::Corrupt {
+        context: "unsupported wire version",
+    })?;
+    Ok(dec)
+}
+
+impl Request {
+    /// Encodes this request as a complete wire frame under `id`.
+    pub fn encode(&self, id: u64) -> Vec<u8> {
+        match self {
+            Request::SubmitBatch { deployment, frames } => {
+                seal_frame(id, KIND_SUBMIT_BATCH, |enc| {
+                    encode_str(enc, deployment);
+                    enc.put_len(frames.len());
+                    for frame in frames {
+                        encode_readings(enc, frame);
+                    }
+                })
+            }
+            Request::OpenSession { deployment, gain } => seal_frame(id, KIND_OPEN_SESSION, |enc| {
+                encode_str(enc, deployment);
+                enc.f64(*gain);
+            }),
+            Request::StepSession { session, readings } => {
+                seal_frame(id, KIND_STEP_SESSION, |enc| {
+                    enc.u64(*session);
+                    encode_readings(enc, readings);
+                })
+            }
+            Request::CloseSession { session } => seal_frame(id, KIND_CLOSE_SESSION, |enc| {
+                enc.u64(*session);
+            }),
+            Request::Snapshot { session } => seal_frame(id, KIND_SNAPSHOT, |enc| {
+                enc.u64(*session);
+            }),
+            Request::Resume { snapshot } => seal_frame(id, KIND_RESUME, |enc| {
+                encode_blob(enc, snapshot);
+            }),
+            Request::Catalog => seal_frame(id, KIND_CATALOG, |_| {}),
+            Request::Publish { name, artifact } => seal_frame(id, KIND_PUBLISH, |enc| {
+                encode_str(enc, name);
+                encode_blob(enc, artifact);
+            }),
+            Request::Metrics => seal_frame(id, KIND_METRICS, |_| {}),
+        }
+    }
+
+    /// Decodes a complete record (length prefix stripped) as a request.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeFailure`] carrying the [`WireError`] kind, plus the
+    /// correlation id whenever the envelope validated.
+    pub fn decode(record: &[u8]) -> Result<(u64, Request), DecodeFailure> {
+        let mut dec = open_record(record).map_err(|error| DecodeFailure { id: None, error })?;
+        let id = dec.u64().map_err(|e| DecodeFailure {
+            id: None,
+            error: e.into(),
+        })?;
+        let fail = |error: WireError| DecodeFailure {
+            id: Some(id),
+            error,
+        };
+        let kind = dec.u8().map_err(|e| fail(e.into()))?;
+        let request = match kind {
+            KIND_SUBMIT_BATCH => {
+                let deployment = decode_str(&mut dec).map_err(fail)?;
+                let count = dec.take_len().map_err(|e| fail(e.into()))?;
+                let mut frames = Vec::new();
+                for _ in 0..count {
+                    frames.push(decode_readings(&mut dec).map_err(fail)?);
+                }
+                Request::SubmitBatch { deployment, frames }
+            }
+            KIND_OPEN_SESSION => Request::OpenSession {
+                deployment: decode_str(&mut dec).map_err(fail)?,
+                gain: dec.f64().map_err(|e| fail(e.into()))?,
+            },
+            KIND_STEP_SESSION => Request::StepSession {
+                session: dec.u64().map_err(|e| fail(e.into()))?,
+                readings: decode_readings(&mut dec).map_err(fail)?,
+            },
+            KIND_CLOSE_SESSION => Request::CloseSession {
+                session: dec.u64().map_err(|e| fail(e.into()))?,
+            },
+            KIND_SNAPSHOT => Request::Snapshot {
+                session: dec.u64().map_err(|e| fail(e.into()))?,
+            },
+            KIND_RESUME => Request::Resume {
+                snapshot: decode_blob(&mut dec).map_err(fail)?,
+            },
+            KIND_CATALOG => Request::Catalog,
+            KIND_PUBLISH => Request::Publish {
+                name: decode_str(&mut dec).map_err(fail)?,
+                artifact: decode_blob(&mut dec).map_err(fail)?,
+            },
+            KIND_METRICS => Request::Metrics,
+            kind => return Err(fail(WireError::UnknownKind { kind })),
+        };
+        dec.finish().map_err(|_| {
+            fail(WireError::Malformed {
+                context: "trailing bytes after body",
+            })
+        })?;
+        Ok((id, request))
+    }
+}
+
+impl Response {
+    /// Encodes this response as a complete wire frame under `id`.
+    pub fn encode(&self, id: u64) -> Vec<u8> {
+        match self {
+            Response::Batch { version, maps } => seal_frame(id, KIND_BATCH_REPLY, |enc| {
+                enc.u32(*version);
+                enc.put_len(maps.len());
+                for map in maps {
+                    map.encode(enc);
+                }
+            }),
+            Response::SessionOpened {
+                session,
+                version,
+                frames,
+            } => seal_frame(id, KIND_SESSION_OPENED, |enc| {
+                enc.u64(*session).u32(*version).u64(*frames);
+            }),
+            Response::Step { map } => seal_frame(id, KIND_STEP_REPLY, |enc| {
+                map.encode(enc);
+            }),
+            Response::Closed => seal_frame(id, KIND_CLOSED, |_| {}),
+            Response::Snapshot { snapshot } => seal_frame(id, KIND_SNAPSHOT_REPLY, |enc| {
+                encode_blob(enc, snapshot);
+            }),
+            Response::Catalog { entries } => seal_frame(id, KIND_CATALOG_REPLY, |enc| {
+                enc.put_len(entries.len());
+                for (name, versions) in entries {
+                    encode_str(enc, name);
+                    enc.put_len(versions.len());
+                    for &v in versions {
+                        enc.u32(v);
+                    }
+                }
+            }),
+            Response::Published { version } => seal_frame(id, KIND_PUBLISHED, |enc| {
+                enc.u32(*version);
+            }),
+            Response::Metrics(metrics) => seal_frame(id, KIND_METRICS_REPLY, |enc| {
+                metrics.encode(enc);
+            }),
+            Response::Error { status, message } => seal_frame(id, KIND_ERROR, |enc| {
+                enc.u8(status.to_u8());
+                encode_str(enc, message);
+            }),
+        }
+    }
+
+    /// Decodes a complete record (length prefix stripped) as a response.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeFailure`] carrying the [`WireError`] kind, plus the
+    /// correlation id whenever the envelope validated.
+    pub fn decode(record: &[u8]) -> Result<(u64, Response), DecodeFailure> {
+        let mut dec = open_record(record).map_err(|error| DecodeFailure { id: None, error })?;
+        let id = dec.u64().map_err(|e| DecodeFailure {
+            id: None,
+            error: e.into(),
+        })?;
+        let fail = |error: WireError| DecodeFailure {
+            id: Some(id),
+            error,
+        };
+        let kind = dec.u8().map_err(|e| fail(e.into()))?;
+        let response = match kind {
+            KIND_BATCH_REPLY => {
+                let version = dec.u32().map_err(|e| fail(e.into()))?;
+                let count = dec.take_len().map_err(|e| fail(e.into()))?;
+                let mut maps = Vec::new();
+                for _ in 0..count {
+                    maps.push(WireMap::decode(&mut dec).map_err(fail)?);
+                }
+                Response::Batch { version, maps }
+            }
+            KIND_SESSION_OPENED => Response::SessionOpened {
+                session: dec.u64().map_err(|e| fail(e.into()))?,
+                version: dec.u32().map_err(|e| fail(e.into()))?,
+                frames: dec.u64().map_err(|e| fail(e.into()))?,
+            },
+            KIND_STEP_REPLY => Response::Step {
+                map: WireMap::decode(&mut dec).map_err(fail)?,
+            },
+            KIND_CLOSED => Response::Closed,
+            KIND_SNAPSHOT_REPLY => Response::Snapshot {
+                snapshot: decode_blob(&mut dec).map_err(fail)?,
+            },
+            KIND_CATALOG_REPLY => {
+                let count = dec.take_len().map_err(|e| fail(e.into()))?;
+                let mut entries = Vec::new();
+                for _ in 0..count {
+                    let name = decode_str(&mut dec).map_err(fail)?;
+                    let versions = dec.take_len().map_err(|e| fail(e.into()))?;
+                    let mut vs = Vec::new();
+                    for _ in 0..versions {
+                        vs.push(dec.u32().map_err(|e| fail(e.into()))?);
+                    }
+                    entries.push((name, vs));
+                }
+                Response::Catalog { entries }
+            }
+            KIND_PUBLISHED => Response::Published {
+                version: dec.u32().map_err(|e| fail(e.into()))?,
+            },
+            KIND_METRICS_REPLY => Response::Metrics(WireMetrics::decode(&mut dec).map_err(fail)?),
+            KIND_ERROR => Response::Error {
+                status: WireStatus::from_u8(dec.u8().map_err(|e| fail(e.into()))?).map_err(fail)?,
+                message: decode_str(&mut dec).map_err(fail)?,
+            },
+            kind => return Err(fail(WireError::UnknownKind { kind })),
+        };
+        dec.finish().map_err(|_| {
+            fail(WireError::Malformed {
+                context: "trailing bytes after body",
+            })
+        })?;
+        Ok((id, response))
+    }
+}
+
+/// Incremental frame reassembly over a byte stream: feed raw reads in
+/// with [`FrameBuffer::extend`], pop complete records (or validation
+/// events) with [`FrameBuffer::next_record`].
+///
+/// Oversized frames are never buffered: the moment a length prefix
+/// exceeds the bound, the buffer reports [`WireError::Oversized`] once
+/// and silently discards exactly that many payload bytes as they arrive,
+/// so the stream stays framed and the connection survives.
+#[derive(Debug)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Bytes of an oversized frame still to discard.
+    discard: u64,
+    max_frame: usize,
+}
+
+impl FrameBuffer {
+    /// A buffer enforcing `max_frame` as the record-size bound.
+    pub fn new(max_frame: usize) -> Self {
+        FrameBuffer {
+            buf: Vec::new(),
+            discard: 0,
+            max_frame,
+        }
+    }
+
+    /// Appends freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.discard > 0 {
+            let skip = (self.discard).min(bytes.len() as u64) as usize;
+            self.discard -= skip as u64;
+            self.buf.extend_from_slice(&bytes[skip..]);
+        } else {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Bytes currently buffered (excluding discarded oversized payload).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete record, `Some(Err(_))` for an oversized
+    /// length prefix (reported once; the payload is discarded as it
+    /// arrives), or `None` while the next frame is incomplete.
+    pub fn next_record(&mut self) -> Option<Result<Vec<u8>, WireError>> {
+        if self.buf.len() < 4 {
+            return None;
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+        if len > self.max_frame {
+            // Consume the prefix, arm discard mode for the payload; any
+            // already-buffered payload bytes are dropped right here.
+            let have = self.buf.len() - 4;
+            let eat = have.min(len);
+            self.buf.drain(..4 + eat);
+            self.discard = (len - eat) as u64;
+            return Some(Err(WireError::Oversized {
+                len,
+                max: self.max_frame,
+            }));
+        }
+        if self.buf.len() - 4 < len {
+            return None;
+        }
+        let record = self.buf[4..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Some(Ok(record))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let frame = req.encode(42);
+        let mut fb = FrameBuffer::new(MAX_FRAME_BYTES);
+        fb.extend(&frame);
+        let record = fb.next_record().expect("complete").expect("valid");
+        let (id, back) = Request::decode(&record).expect("decodes");
+        assert_eq!(id, 42);
+        assert_eq!(back, req);
+        assert_eq!(fb.buffered(), 0);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let frame = resp.encode(7);
+        let (id, back) = Response::decode(&frame[4..]).expect("decodes");
+        assert_eq!(id, 7);
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn every_request_kind_roundtrips() {
+        roundtrip_request(Request::SubmitBatch {
+            deployment: "sku-a".into(),
+            frames: vec![vec![1.0, -2.5, f64::MIN_POSITIVE], vec![0.0]],
+        });
+        roundtrip_request(Request::OpenSession {
+            deployment: "sku-b".into(),
+            gain: 0.85,
+        });
+        roundtrip_request(Request::StepSession {
+            session: 3,
+            readings: vec![21.0, 22.5],
+        });
+        roundtrip_request(Request::CloseSession { session: 3 });
+        roundtrip_request(Request::Snapshot { session: 9 });
+        roundtrip_request(Request::Resume {
+            snapshot: vec![1, 2, 3, 255],
+        });
+        roundtrip_request(Request::Catalog);
+        roundtrip_request(Request::Publish {
+            name: "sku-c".into(),
+            artifact: vec![0; 64],
+        });
+        roundtrip_request(Request::Metrics);
+    }
+
+    #[test]
+    fn every_response_kind_roundtrips() {
+        roundtrip_response(Response::Batch {
+            version: 2,
+            maps: vec![WireMap {
+                rows: 2,
+                cols: 3,
+                cells: vec![1.0; 6],
+            }],
+        });
+        roundtrip_response(Response::SessionOpened {
+            session: 11,
+            version: 1,
+            frames: 40,
+        });
+        roundtrip_response(Response::Step {
+            map: WireMap {
+                rows: 1,
+                cols: 2,
+                cells: vec![50.0, 51.0],
+            },
+        });
+        roundtrip_response(Response::Closed);
+        roundtrip_response(Response::Snapshot {
+            snapshot: vec![9; 33],
+        });
+        roundtrip_response(Response::Catalog {
+            entries: vec![("a".into(), vec![1, 3]), ("b".into(), vec![])],
+        });
+        roundtrip_response(Response::Published { version: 5 });
+        roundtrip_response(Response::Metrics(WireMetrics {
+            requests: 10,
+            wire: WireSnapshot {
+                frames_in: 12,
+                ..WireSnapshot::default()
+            },
+            ..WireMetrics::default()
+        }));
+        roundtrip_response(Response::Error {
+            status: WireStatus::Saturated,
+            message: "tenant full".into(),
+        });
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected_without_an_id() {
+        let mut frame = Request::Catalog.encode(1);
+        // Flip one payload bit: checksum mismatch, id untrusted.
+        frame[10] ^= 0x40;
+        let failure = Request::decode(&frame[4..]).unwrap_err();
+        assert_eq!(failure.id, None);
+        assert!(matches!(failure.error, WireError::Corrupt { .. }));
+
+        // Too-short record.
+        let failure = Request::decode(&[0u8; 8]).unwrap_err();
+        assert!(matches!(failure.error, WireError::Corrupt { .. }));
+    }
+
+    #[test]
+    fn wrong_direction_kind_is_unknown_with_a_trusted_id() {
+        let frame = Response::Closed.encode(77);
+        let failure = Request::decode(&frame[4..]).unwrap_err();
+        assert_eq!(failure.id, Some(77));
+        assert!(matches!(
+            failure.error,
+            WireError::UnknownKind { kind: KIND_CLOSED }
+        ));
+    }
+
+    #[test]
+    fn oversized_frames_are_skipped_and_framing_survives() {
+        let mut fb = FrameBuffer::new(64);
+        // An oversized frame (length 1000) delivered in two chunks, then a
+        // valid frame on the same stream.
+        let mut stream = 1000u32.to_le_bytes().to_vec();
+        stream.extend_from_slice(&[0xAB; 1000]);
+        let valid = Request::Metrics.encode(5);
+        stream.extend_from_slice(&valid);
+
+        fb.extend(&stream[..300]);
+        match fb.next_record() {
+            Some(Err(WireError::Oversized { len: 1000, max: 64 })) => {}
+            other => panic!("expected oversized, got {other:?}"),
+        }
+        assert_eq!(fb.next_record(), None, "payload still draining");
+        fb.extend(&stream[300..]);
+        let record = fb.next_record().expect("framed").expect("valid");
+        let (id, req) = Request::decode(&record).expect("decodes");
+        assert_eq!((id, req), (5, Request::Metrics));
+    }
+
+    #[test]
+    fn truncated_frames_wait_for_more_bytes() {
+        let frame = Request::Snapshot { session: 1 }.encode(9);
+        let mut fb = FrameBuffer::new(MAX_FRAME_BYTES);
+        for &b in &frame[..frame.len() - 1] {
+            fb.extend(&[b]);
+            assert_eq!(fb.next_record(), None);
+        }
+        fb.extend(&frame[frame.len() - 1..]);
+        assert!(fb.next_record().unwrap().is_ok());
+    }
+
+    #[test]
+    fn statuses_mirror_serve_errors_and_flag_retryability() {
+        let (status, msg) = status_of(&ServeError::Saturated {
+            name: "sku".into(),
+            pending: 12,
+        });
+        assert_eq!(status, WireStatus::Saturated);
+        assert!(status.is_retryable());
+        assert!(msg.contains("12"));
+        let (status, _) = status_of(&ServeError::UnknownDeployment { name: "x".into() });
+        assert_eq!(status, WireStatus::UnknownDeployment);
+        assert!(!status.is_retryable());
+        assert!(WireStatus::SessionBusy.is_retryable());
+        assert!(!WireStatus::BadFrame.is_retryable());
+        // Status bytes roundtrip.
+        for s in [
+            WireStatus::UnknownDeployment,
+            WireStatus::UnknownVersion,
+            WireStatus::Terminated,
+            WireStatus::Saturated,
+            WireStatus::SnapshotMismatch,
+            WireStatus::BadRequest,
+            WireStatus::BadFrame,
+            WireStatus::UnknownSession,
+            WireStatus::SessionBusy,
+        ] {
+            assert_eq!(WireStatus::from_u8(s.to_u8()).unwrap(), s);
+        }
+        assert!(WireStatus::from_u8(0).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_inside_a_record_is_malformed() {
+        // Rebuild a Catalog frame with an extra byte before the checksum.
+        let mut enc = Encoder::with_capacity(64);
+        enc.bytes(MAGIC)
+            .u32(VERSION)
+            .u64(3)
+            .u8(KIND_CATALOG)
+            .u8(0xEE);
+        let mut record = enc.finish();
+        let checksum = fnv1a64(&record);
+        record.extend_from_slice(&checksum.to_le_bytes());
+        let failure = Request::decode(&record).unwrap_err();
+        assert_eq!(failure.id, Some(3));
+        assert!(matches!(failure.error, WireError::Malformed { .. }));
+    }
+}

@@ -1,0 +1,525 @@
+//! End-to-end loopback tests for the `EMWIRE1` TCP edge: bitwise parity
+//! with the in-process path, durable sessions across a server restart,
+//! hostile-bytes robustness, mid-flight disconnects, and the wire
+//! metrics surface.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use eigenmaps_core::prelude::*;
+use eigenmaps_net::prelude::*;
+use eigenmaps_serve::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Two tenants with distinct bases (a cross-tenant mixup would change
+/// answers), plus per-tenant request frames and raw artifact bytes.
+struct Fleet {
+    registry: Arc<DeploymentRegistry>,
+    names: [&'static str; 2],
+    deployments: [Arc<Deployment>; 2],
+    frames: [Vec<Vec<f64>>; 2],
+    artifacts: [Vec<u8>; 2],
+}
+
+fn fleet() -> Fleet {
+    let names = ["sku-a", "sku-b"];
+    let registry = Arc::new(DeploymentRegistry::new());
+    let mut deployments = Vec::new();
+    let mut frames = Vec::new();
+    let mut artifacts = Vec::new();
+    for (idx, name) in names.iter().enumerate() {
+        let maps: Vec<ThermalMap> = (0..48)
+            .map(|t| {
+                let a = (t as f64 / (4.0 + idx as f64)).sin();
+                let b = (t as f64 / 3.3).cos();
+                ThermalMap::from_fn(8, 7, |r, c| 48.0 + a * (r + idx * c) as f64 - b * c as f64)
+            })
+            .collect();
+        let ens = MapEnsemble::from_maps(&maps).unwrap();
+        let deployment = Pipeline::new(&ens)
+            .basis(BasisSpec::EigenExact { k: 2 + idx })
+            .sensors(5 + idx)
+            .design()
+            .unwrap();
+        registry.publish(name, deployment.clone());
+        let tenant_frames: Vec<Vec<f64>> = (0..16)
+            .map(|t| {
+                let mut readings = deployment.sensors().sample(&ens.map(t));
+                for (i, x) in readings.iter_mut().enumerate() {
+                    *x += ((t * 17 + i * 5) as f64 * 0.41).sin() * 0.05;
+                }
+                readings
+            })
+            .collect();
+        artifacts.push(deployment.to_bytes());
+        deployments.push(Arc::new(deployment));
+        frames.push(tenant_frames);
+    }
+    Fleet {
+        registry,
+        names,
+        deployments: [Arc::clone(&deployments[0]), Arc::clone(&deployments[1])],
+        frames: [frames.remove(0), frames.remove(0)],
+        artifacts: [artifacts.remove(0), artifacts.remove(0)],
+    }
+}
+
+/// Binds a door for `server` and runs its loop on a helper thread.
+fn spawn_door(server: Arc<Server>) -> (SocketAddr, DoorHandle, JoinHandle<()>) {
+    spawn_door_with(server, NetConfig::default())
+}
+
+fn spawn_door_with(
+    server: Arc<Server>,
+    config: NetConfig,
+) -> (SocketAddr, DoorHandle, JoinHandle<()>) {
+    let door = NetServer::bind_with("127.0.0.1:0", server, config).expect("bind loopback");
+    let addr = door.local_addr();
+    let handle = door.handle();
+    let join = std::thread::spawn(move || door.run());
+    (addr, handle, join)
+}
+
+fn assert_bitwise(got: &ThermalMap, want: &ThermalMap, context: &str) {
+    assert_eq!(got.rows(), want.rows(), "{context}: rows");
+    assert_eq!(got.cols(), want.cols(), "{context}: cols");
+    for (i, (g, w)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{context}: cell {i} differs ({g} vs {w})"
+        );
+    }
+}
+
+#[test]
+fn batch_over_tcp_is_bitwise_identical_to_in_process() {
+    let fleet = fleet();
+    let server = Arc::new(Server::new(Arc::clone(&fleet.registry), 2));
+    let (addr, handle, join) = spawn_door(Arc::clone(&server));
+
+    let mut client = Client::connect(addr).expect("connect");
+    for tenant in 0..2 {
+        let truth = fleet.deployments[tenant]
+            .reconstruct_batch(&fleet.frames[tenant])
+            .unwrap();
+        let in_process = {
+            let mut ticket = None;
+            let t = server
+                .try_submit(ServeRequest::new(
+                    fleet.names[tenant],
+                    fleet.frames[tenant].clone(),
+                ))
+                .unwrap();
+            ticket.replace(t);
+            ticket.take().unwrap().wait().unwrap()
+        };
+        let (version, over_wire) = client
+            .submit_batch(fleet.names[tenant], fleet.frames[tenant].clone())
+            .expect("batch over TCP");
+        assert_eq!(version, 1);
+        assert_eq!(over_wire.len(), truth.len());
+        for (i, map) in over_wire.iter().enumerate() {
+            assert_bitwise(map, &truth[i], "wire vs sequential truth");
+            assert_bitwise(map, &in_process[i], "wire vs in-process server");
+        }
+    }
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn publish_and_catalog_travel_the_wire() {
+    let fleet = fleet();
+    // Fresh empty registry: everything arrives over the socket.
+    let registry = Arc::new(DeploymentRegistry::new());
+    let server = Arc::new(Server::new(Arc::clone(&registry), 1));
+    let (addr, handle, join) = spawn_door(server);
+
+    let mut client = Client::connect(addr).expect("connect");
+    assert!(client.catalog().unwrap().is_empty());
+    let v = client
+        .publish(fleet.names[0], fleet.artifacts[0].clone())
+        .expect("publish over TCP");
+    assert_eq!(v, 1);
+    let v2 = client
+        .publish(fleet.names[0], fleet.artifacts[0].clone())
+        .unwrap();
+    assert_eq!(v2, 2);
+    let catalog = client.catalog().unwrap();
+    assert_eq!(catalog, vec![(fleet.names[0].to_string(), vec![1, 2])]);
+
+    // Garbage artifact bytes are a typed, non-retryable refusal.
+    let err = client.publish("junk", vec![0xAB; 40]).unwrap_err();
+    match &err {
+        NetError::Server { status, .. } => assert_eq!(*status, WireStatus::BadRequest),
+        other => panic!("expected a server error, got {other:?}"),
+    }
+    assert!(!err.is_retryable());
+
+    // And the batch served against the published artifact matches the
+    // local reconstruction bit for bit.
+    let truth = fleet.deployments[0]
+        .reconstruct_batch(&fleet.frames[0])
+        .unwrap();
+    let (_, maps) = client
+        .submit_batch(fleet.names[0], fleet.frames[0].clone())
+        .unwrap();
+    for (i, map) in maps.iter().enumerate() {
+        assert_bitwise(map, &truth[i], "post-publish batch");
+    }
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn session_survives_snapshot_server_restart_and_resume_over_the_wire() {
+    let fleet = fleet();
+    let gain = 0.8;
+    // Inline reference tracker: the bitwise ground truth for every step.
+    let mut reference = TrackerSession::open(&fleet.registry, fleet.names[0], gain).unwrap();
+
+    let server = Arc::new(Server::new(Arc::clone(&fleet.registry), 2));
+    let (addr, handle, join) = spawn_door(server);
+    let mut client = Client::connect(addr).expect("connect");
+
+    let info = client.open_session(fleet.names[0], gain).expect("open");
+    assert_eq!(info.version, 1);
+    assert_eq!(info.frames, 0);
+    for readings in &fleet.frames[0][..8] {
+        let want = reference.step(readings).unwrap();
+        let got = client.step(info.session, readings.clone()).expect("step");
+        assert_bitwise(&got, &want, "pre-restart step");
+    }
+    let snapshot = client.snapshot(info.session).expect("snapshot");
+    client.close_session(info.session).expect("close");
+    handle.shutdown();
+    join.join().unwrap();
+
+    // "Restart": a brand-new registry and server process, republished
+    // from the same artifact bytes, behind a brand-new door.
+    let registry = Arc::new(DeploymentRegistry::new());
+    registry
+        .publish_bytes(fleet.names[0], &fleet.artifacts[0])
+        .unwrap();
+    let server = Arc::new(Server::new(Arc::clone(&registry), 2));
+    let (addr, handle, join) = spawn_door(server);
+    let mut client = Client::connect(addr).expect("reconnect");
+
+    let resumed = client.resume(snapshot).expect("resume over TCP");
+    assert_eq!(resumed.frames, 8, "resumed session remembers its frames");
+    for readings in &fleet.frames[0][8..] {
+        let want = reference.step(readings).unwrap();
+        let got = client
+            .step(resumed.session, readings.clone())
+            .expect("step");
+        assert_bitwise(&got, &want, "post-restart step");
+    }
+    client.close_session(resumed.session).unwrap();
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn corrupt_and_oversized_frames_reject_without_tearing_down_the_connection() {
+    let fleet = fleet();
+    let server = Arc::new(Server::new(Arc::clone(&fleet.registry), 1));
+    let config = NetConfig {
+        max_frame_bytes: 64 * 1024,
+        ..NetConfig::default()
+    };
+    let (addr, handle, join) = spawn_door_with(Arc::clone(&server), config);
+
+    // Raw socket: speak the protocol by hand so we can lie on purpose.
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut frames = FrameBuffer::new(eigenmaps_net::MAX_FRAME_BYTES);
+    let read_reply = |raw: &mut TcpStream, frames: &mut FrameBuffer| -> (u64, Response) {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(outcome) = frames.next_record() {
+                let record = outcome.expect("reply frames are well-formed");
+                return Response::decode(&record).expect("reply decodes");
+            }
+            let n = raw.read(&mut chunk).expect("read reply");
+            assert_ne!(n, 0, "door must not close the connection");
+            frames.extend(&chunk[..n]);
+        }
+    };
+
+    // 1. A corrupt frame: valid length, flipped payload bit.
+    let mut frame = Request::Catalog.encode(11);
+    frame[9] ^= 0x10;
+    raw.write_all(&frame).unwrap();
+    let (id, reply) = read_reply(&mut raw, &mut frames);
+    assert_eq!(id, 0, "corrupt ids are untrusted");
+    match reply {
+        Response::Error { status, .. } => assert_eq!(status, WireStatus::BadFrame),
+        other => panic!("expected an error reply, got {other:?}"),
+    }
+
+    // 2. An oversized frame: length prefix over the 64 KiB bound, body
+    //    streamed in chunks.
+    let len: u32 = 256 * 1024;
+    raw.write_all(&len.to_le_bytes()).unwrap();
+    for _ in 0..64 {
+        raw.write_all(&[0x5A; 4096]).unwrap();
+    }
+    let (id, reply) = read_reply(&mut raw, &mut frames);
+    assert_eq!(id, 0);
+    match reply {
+        Response::Error { status, message } => {
+            assert_eq!(status, WireStatus::BadFrame);
+            assert!(message.contains("oversized"), "got: {message}");
+        }
+        other => panic!("expected an error reply, got {other:?}"),
+    }
+
+    // 3. A malformed body with a valid envelope: the id survives.
+    let bogus = Response::Closed.encode(23); // wrong-direction kind
+    raw.write_all(&bogus).unwrap();
+    let (id, reply) = read_reply(&mut raw, &mut frames);
+    assert_eq!(id, 23, "checksummed ids are echoed");
+    assert!(matches!(reply, Response::Error { .. }));
+
+    // 4. The same connection still serves real traffic afterwards.
+    raw.write_all(&Request::Catalog.encode(99)).unwrap();
+    let (id, reply) = read_reply(&mut raw, &mut frames);
+    assert_eq!(id, 99);
+    match reply {
+        Response::Catalog { entries } => assert_eq!(entries.len(), 2),
+        other => panic!("expected the catalog, got {other:?}"),
+    }
+
+    // The wire gauges saw each rejection class.
+    let snap = server.metrics();
+    assert!(snap.wire.errors_corrupt >= 1);
+    assert!(snap.wire.errors_oversized >= 1);
+    assert!(snap.wire.errors_unknown_kind >= 1);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn disconnect_with_inflight_responses_never_wedges_the_batcher() {
+    let fleet = fleet();
+    // A long flush delay so the abandoning client can vanish while its
+    // responses are still in flight.
+    let policy = BatchPolicy {
+        max_batch_frames: 64,
+        max_batch_requests: 8,
+        max_delay: Duration::from_millis(20),
+        ..BatchPolicy::default()
+    };
+    let server = Arc::new(Server::with_policy(Arc::clone(&fleet.registry), 2, policy));
+    let (addr, handle, join) = spawn_door(Arc::clone(&server));
+
+    for round in 0..6 {
+        let mut doomed = TcpStream::connect(addr).expect("connect");
+        // Several submissions, replies never read; kill the socket while
+        // the batcher still owes the responses.
+        for i in 0..4u64 {
+            let request = Request::SubmitBatch {
+                deployment: fleet.names[round % 2].to_string(),
+                frames: fleet.frames[round % 2].clone(),
+            };
+            doomed.write_all(&request.encode(i + 1)).unwrap();
+        }
+        doomed.flush().unwrap();
+        drop(doomed);
+    }
+
+    // A well-behaved client still gets bitwise-correct answers — the
+    // batcher survived every abandoned responder.
+    let mut client = Client::connect(addr).expect("connect");
+    for tenant in 0..2 {
+        let truth = fleet.deployments[tenant]
+            .reconstruct_batch(&fleet.frames[tenant])
+            .unwrap();
+        let (_, maps) = client
+            .submit_batch(fleet.names[tenant], fleet.frames[tenant].clone())
+            .expect("post-churn batch");
+        for (i, map) in maps.iter().enumerate() {
+            assert_bitwise(map, &truth[i], "post-churn");
+        }
+    }
+
+    // Abandoned connections are reaped: only the live client remains
+    // (poll briefly — teardown happens on the loop's next pass).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let open = server.metrics().wire.connections_open;
+        if open == 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "expected 1 open connection, still {open}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn metrics_snapshot_travels_the_wire() {
+    let fleet = fleet();
+    let server = Arc::new(Server::new(Arc::clone(&fleet.registry), 1));
+    let (addr, handle, join) = spawn_door(server);
+
+    let mut client = Client::connect(addr).expect("connect");
+    let (_, _maps) = client
+        .submit_batch(fleet.names[0], fleet.frames[0].clone())
+        .unwrap();
+    let metrics = client.metrics().expect("metrics over TCP");
+    assert_eq!(metrics.requests, 1);
+    assert_eq!(metrics.frames, fleet.frames[0].len() as u64);
+    assert_eq!(metrics.wire.connections_open, 1);
+    assert!(metrics.wire.max_connections_open >= 1);
+    // The metrics request itself was frame 2 in; its reply is not yet
+    // counted in what it reports, so only lower-bound the counters.
+    assert!(metrics.wire.frames_in >= 2);
+    assert!(metrics.wire.frames_out >= 1);
+    assert!(metrics.wire.bytes_in > 0);
+    assert!(metrics.wire.bytes_out > 0);
+    assert_eq!(metrics.wire.errors_total(), 0);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn unknown_names_and_sessions_map_to_typed_statuses() {
+    let fleet = fleet();
+    let server = Arc::new(Server::new(Arc::clone(&fleet.registry), 1));
+    let (addr, handle, join) = spawn_door(server);
+    let mut client = Client::connect(addr).expect("connect");
+
+    let err = client.submit_batch("nope", vec![vec![0.0; 5]]).unwrap_err();
+    match &err {
+        NetError::Server { status, .. } => assert_eq!(*status, WireStatus::UnknownDeployment),
+        other => panic!("unexpected error: {other:?}"),
+    }
+    assert!(!err.is_retryable());
+
+    let err = client.step(42, vec![0.0; 5]).unwrap_err();
+    match &err {
+        NetError::Server { status, .. } => assert_eq!(*status, WireStatus::UnknownSession),
+        other => panic!("unexpected error: {other:?}"),
+    }
+    let err = client.snapshot(42).unwrap_err();
+    assert!(matches!(
+        err,
+        NetError::Server {
+            status: WireStatus::UnknownSession,
+            ..
+        }
+    ));
+
+    // Wrong-shaped readings on a real session: a typed request error,
+    // and the session stays usable.
+    let info = client.open_session(fleet.names[0], 0.5).unwrap();
+    let err = client.step(info.session, vec![1.0]).unwrap_err();
+    assert!(matches!(err, NetError::Server { .. }));
+    let got = client
+        .step(info.session, fleet.frames[0][0].clone())
+        .expect("session survives a bad step");
+    assert_eq!(got.rows(), 8);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// Satellite: seeded malformed-bytes fuzzing against the live event
+/// loop. Random garbage, random mutations of valid frames, random
+/// split points — the door must answer real traffic afterwards and
+/// never panic. `EIGENMAPS_STRESS=1` widens the sweep.
+#[test]
+fn malformed_byte_fuzzing_never_kills_the_event_loop() {
+    let fleet = fleet();
+    let server = Arc::new(Server::new(Arc::clone(&fleet.registry), 1));
+    let config = NetConfig {
+        max_frame_bytes: 256 * 1024,
+        ..NetConfig::default()
+    };
+    let (addr, handle, join) = spawn_door_with(Arc::clone(&server), config);
+
+    let seeds: u64 = if std::env::var("EIGENMAPS_STRESS").is_ok_and(|v| v == "1") {
+        48
+    } else {
+        8
+    };
+    for seed in 0..seeds {
+        let mut rng = StdRng::seed_from_u64(0x57EED ^ seed);
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        raw.set_read_timeout(Some(Duration::from_millis(5)))
+            .unwrap();
+        for _ in 0..24 {
+            let payload: Vec<u8> = match rng.gen_range(0..3u32) {
+                // Pure garbage with a small bounded length prefix.
+                0 => {
+                    let len = rng.gen_range(0..512u64) as u32;
+                    let mut bytes = len.to_le_bytes().to_vec();
+                    bytes.extend((0..len).map(|_| rng.next_u64() as u8));
+                    bytes
+                }
+                // A valid frame with random mutations.
+                1 => {
+                    let mut bytes = Request::SubmitBatch {
+                        deployment: fleet.names[0].to_string(),
+                        frames: fleet.frames[0][..2].to_vec(),
+                    }
+                    .encode(rng.next_u64());
+                    for _ in 0..rng.gen_range(1..6u32) {
+                        let at = rng.gen_range(0..bytes.len() as u64) as usize;
+                        bytes[at] ^= rng.next_u64() as u8;
+                    }
+                    bytes
+                }
+                // Raw noise, no framing discipline at all.
+                _ => (0..rng.gen_range(1..256u64))
+                    .map(|_| rng.next_u64() as u8)
+                    .collect(),
+            };
+            // Random split points exercise partial-frame reassembly.
+            let split = rng.gen_range(0..(payload.len() as u64 + 1)) as usize;
+            if raw.write_all(&payload[..split]).is_err() {
+                break;
+            }
+            if raw.write_all(&payload[split..]).is_err() {
+                break;
+            }
+            // Drain whatever error replies came back so the door's write
+            // buffer never becomes the bottleneck.
+            let mut sink = [0u8; 8192];
+            let _ = raw.read(&mut sink);
+        }
+        drop(raw);
+    }
+
+    // The loop is alive and correct: a fresh client round-trips a batch
+    // bitwise.
+    let truth = fleet.deployments[0]
+        .reconstruct_batch(&fleet.frames[0])
+        .unwrap();
+    let mut client = Client::connect(addr).expect("connect after fuzzing");
+    let (_, maps) = client
+        .submit_batch(fleet.names[0], fleet.frames[0].clone())
+        .expect("door survived the fuzz");
+    for (i, map) in maps.iter().enumerate() {
+        assert_bitwise(map, &truth[i], "post-fuzz batch");
+    }
+
+    handle.shutdown();
+    join.join().unwrap();
+}

@@ -1,0 +1,239 @@
+//! Multi-client TCP churn against one door: concurrent clients
+//! connecting, submitting, streaming and vanishing mid-flight, all
+//! seeded for reproducibility. `EIGENMAPS_STRESS=1` widens the sweep —
+//! that is the CI network lane.
+//!
+//! Invariants per schedule:
+//! * every awaited response is bitwise-identical to the pinned
+//!   artifact's sequential reconstruction;
+//! * abandoned connections (dropped with responses in flight) leak
+//!   nothing — the connection gauge returns to zero after the churn and
+//!   a fresh client still gets correct answers;
+//! * the door thread never panics.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use eigenmaps_core::prelude::*;
+use eigenmaps_net::prelude::*;
+use eigenmaps_serve::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn stress() -> bool {
+    std::env::var("EIGENMAPS_STRESS").is_ok_and(|v| v == "1")
+}
+
+struct Fleet {
+    registry: Arc<DeploymentRegistry>,
+    names: [&'static str; 2],
+    deployments: [Arc<Deployment>; 2],
+    frames: [Vec<Vec<f64>>; 2],
+}
+
+fn fleet() -> Fleet {
+    let names = ["sku-a", "sku-b"];
+    let registry = Arc::new(DeploymentRegistry::new());
+    let mut deployments = Vec::new();
+    let mut frames = Vec::new();
+    for (idx, name) in names.iter().enumerate() {
+        let maps: Vec<ThermalMap> = (0..40)
+            .map(|t| {
+                let a = (t as f64 / (4.0 + idx as f64)).sin();
+                ThermalMap::from_fn(7, 6, |r, c| {
+                    47.0 + a * (r + idx * c) as f64 + c as f64 * 0.1
+                })
+            })
+            .collect();
+        let ens = MapEnsemble::from_maps(&maps).unwrap();
+        let deployment = Pipeline::new(&ens)
+            .basis(BasisSpec::EigenExact { k: 2 + idx })
+            .sensors(4 + idx)
+            .design()
+            .unwrap();
+        registry.publish(name, deployment.clone());
+        let tenant_frames: Vec<Vec<f64>> = (0..12)
+            .map(|t| {
+                let mut readings = deployment.sensors().sample(&ens.map(t));
+                for (i, x) in readings.iter_mut().enumerate() {
+                    *x += ((t * 13 + i * 7) as f64 * 0.37).sin() * 0.04;
+                }
+                readings
+            })
+            .collect();
+        deployments.push(Arc::new(deployment));
+        frames.push(tenant_frames);
+    }
+    Fleet {
+        registry,
+        names,
+        deployments: [Arc::clone(&deployments[0]), Arc::clone(&deployments[1])],
+        frames: [frames.remove(0), frames.remove(0)],
+    }
+}
+
+/// One churn schedule: `clients` worker threads hammer the same door,
+/// each making seeded choices — tenant, batch vs session traffic, how
+/// much of the exchange to finish before abandoning the socket.
+fn churn_schedule(seed: u64, clients: usize, rounds: usize) {
+    let fleet = fleet();
+    let policy = BatchPolicy {
+        max_batch_frames: 48,
+        max_batch_requests: 8,
+        max_delay: Duration::from_micros(500),
+        ..BatchPolicy::default()
+    };
+    let server = Arc::new(Server::with_policy(Arc::clone(&fleet.registry), 2, policy));
+    let door = NetServer::bind("127.0.0.1:0", Arc::clone(&server)).expect("bind");
+    let addr = door.local_addr();
+    let handle = door.handle();
+    let door_thread = std::thread::spawn(move || door.run());
+
+    let truth: [Arc<Vec<ThermalMap>>; 2] = [
+        Arc::new(
+            fleet.deployments[0]
+                .reconstruct_batch(&fleet.frames[0])
+                .unwrap(),
+        ),
+        Arc::new(
+            fleet.deployments[1]
+                .reconstruct_batch(&fleet.frames[1])
+                .unwrap(),
+        ),
+    ];
+
+    let mut workers = Vec::new();
+    for worker in 0..clients as u64 {
+        let names = fleet.names;
+        let frames = [fleet.frames[0].clone(), fleet.frames[1].clone()];
+        let truth = [Arc::clone(&truth[0]), Arc::clone(&truth[1])];
+        let registry = Arc::clone(&fleet.registry);
+        workers.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37).wrapping_add(worker));
+            for _ in 0..rounds {
+                let tenant = rng.gen_range(0..2u64) as usize;
+                match rng.gen_range(0..4u32) {
+                    // Full, polite batch exchange — verified bitwise.
+                    0 | 1 => {
+                        let mut client = Client::connect(addr).expect("connect");
+                        let (_, maps) = client
+                            .submit_batch(names[tenant], frames[tenant].clone())
+                            .expect("batch");
+                        for (i, map) in maps.iter().enumerate() {
+                            assert_eq!(
+                                map.as_slice()
+                                    .iter()
+                                    .map(|x| x.to_bits())
+                                    .collect::<Vec<_>>(),
+                                truth[tenant][i]
+                                    .as_slice()
+                                    .iter()
+                                    .map(|x| x.to_bits())
+                                    .collect::<Vec<_>>(),
+                                "tenant {tenant} frame {i} diverged over TCP"
+                            );
+                        }
+                    }
+                    // Session traffic verified against an inline
+                    // reference; sometimes abandoned mid-stream.
+                    2 => {
+                        let mut client = Client::connect(addr).expect("connect");
+                        let gain = 0.5 + 0.4 * (worker as f64 / clients.max(1) as f64);
+                        let mut reference =
+                            TrackerSession::open(&registry, names[tenant], gain).unwrap();
+                        let info = client.open_session(names[tenant], gain).expect("open");
+                        let steps = rng.gen_range(1..(frames[tenant].len() as u64 + 1)) as usize;
+                        for readings in &frames[tenant][..steps] {
+                            let want = reference.step(readings).unwrap();
+                            let got = client.step(info.session, readings.clone()).expect("step");
+                            assert_eq!(
+                                got.as_slice()
+                                    .iter()
+                                    .map(|x| x.to_bits())
+                                    .collect::<Vec<_>>(),
+                                want.as_slice()
+                                    .iter()
+                                    .map(|x| x.to_bits())
+                                    .collect::<Vec<_>>(),
+                                "session step diverged over TCP"
+                            );
+                        }
+                        if rng.gen_bool(0.5) {
+                            // Vanish with the session open.
+                            drop(client);
+                        } else {
+                            client.close_session(info.session).expect("close");
+                        }
+                    }
+                    // Fire-and-vanish: submissions abandoned with the
+                    // responses in flight.
+                    _ => {
+                        let mut raw = TcpStream::connect(addr).expect("connect");
+                        let burst = rng.gen_range(1..4u64);
+                        for i in 0..burst {
+                            let request = Request::SubmitBatch {
+                                deployment: names[tenant].to_string(),
+                                frames: frames[tenant].clone(),
+                            };
+                            if raw.write_all(&request.encode(i + 1)).is_err() {
+                                break;
+                            }
+                        }
+                        drop(raw);
+                    }
+                }
+            }
+        }));
+    }
+    for worker in workers {
+        worker.join().expect("worker thread panicked");
+    }
+
+    // Nothing leaks: once the abandoned sockets are reaped the
+    // connection gauge returns to zero and one fresh exchange still
+    // round-trips bitwise.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if server.metrics().wire.connections_open == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "leaked connections: {}",
+            server.metrics().wire.connections_open
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut client = Client::connect(addr).expect("post-churn connect");
+    let (_, maps) = client
+        .submit_batch(fleet.names[0], fleet.frames[0].clone())
+        .expect("post-churn batch");
+    for (i, map) in maps.iter().enumerate() {
+        assert_eq!(
+            map.as_slice()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>(),
+            truth[0][i]
+                .as_slice()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>(),
+            "post-churn frame {i} diverged"
+        );
+    }
+    drop(client);
+
+    handle.shutdown();
+    door_thread.join().expect("door thread panicked");
+}
+
+#[test]
+fn tcp_churn_under_seeded_schedules() {
+    let (seeds, clients, rounds) = if stress() { (6, 6, 8) } else { (2, 3, 4) };
+    for seed in 0..seeds {
+        churn_schedule(seed, clients, rounds);
+    }
+}

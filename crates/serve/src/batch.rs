@@ -505,6 +505,13 @@ impl Server {
         self.metrics.snapshot()
     }
 
+    /// The live metrics hub this server (and its executor) records into —
+    /// for transports such as a network front door that add their own
+    /// connection/wire gauges to the same snapshot.
+    pub fn metrics_hub(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
+    }
+
     /// Enqueues a request, returning a [`Ticket`] for the response. The
     /// deployment name is resolved (and its current version pinned) now;
     /// frame lengths are validated now so malformed requests fail fast
@@ -1341,6 +1348,7 @@ mod tests {
             max_batch_requests: 1 << 10,
             max_delay: Duration::from_secs(60),
             max_pending_per_tenant: 3,
+            ..BatchPolicy::default()
         };
         let server = Server::with_policy(registry, 1, policy);
         let mut tickets = Vec::new();

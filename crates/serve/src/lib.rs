@@ -121,7 +121,9 @@ pub mod shard;
 
 pub use batch::{BatchPolicy, ServeRequest, Server, Ticket};
 pub use error::{Result, ServeError};
-pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics, TenantSnapshot};
+pub use metrics::{
+    LatencyHistogram, MetricsSnapshot, ServeMetrics, TenantSnapshot, WireErrorKind, WireSnapshot,
+};
 pub use registry::DeploymentRegistry;
 pub use scheduler::{
     Decision, FlushDecision, FlushReason, Scheduler, StepDecision, StreamId, TenantKey,
@@ -165,7 +167,10 @@ pub(crate) mod testutil {
 pub mod prelude {
     pub use crate::batch::{BatchPolicy, ServeRequest, Server, Ticket};
     pub use crate::error::{Result, ServeError};
-    pub use crate::metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics, TenantSnapshot};
+    pub use crate::metrics::{
+        LatencyHistogram, MetricsSnapshot, ServeMetrics, TenantSnapshot, WireErrorKind,
+        WireSnapshot,
+    };
     pub use crate::registry::DeploymentRegistry;
     pub use crate::scheduler::{
         Decision, FlushDecision, FlushReason, Scheduler, StepDecision, StreamId, TenantKey,

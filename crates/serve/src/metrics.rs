@@ -1,6 +1,6 @@
 //! Lightweight serving metrics: request/frame counters, a fixed-bucket
-//! latency histogram, per-shard utilization counters and per-tenant
-//! batching gauges.
+//! latency histogram, per-shard utilization counters, per-tenant batching
+//! gauges and connection/wire gauges for a network front door.
 //!
 //! Everything is a relaxed atomic — recording from worker threads and the
 //! batcher costs a handful of uncontended atomic increments per request.
@@ -169,6 +169,47 @@ struct TenantCounters {
     session_steps: AtomicU64,
 }
 
+/// Kind tag for one recorded wire-level error — how a network front door
+/// classified a frame or request it had to reject. Indexes the fixed
+/// per-kind counters behind [`WireSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireErrorKind {
+    /// A frame's length prefix exceeded the transport's max-frame-size
+    /// bound; its payload was skipped unread.
+    Oversized,
+    /// A complete frame failed integrity validation (bad magic, wrong
+    /// protocol version, checksum mismatch, impossible length).
+    Corrupt,
+    /// The frame envelope was sound but its body failed to decode.
+    Malformed,
+    /// The frame carried a message kind this endpoint does not handle.
+    UnknownKind,
+    /// A well-formed request was refused with a typed error status
+    /// (unknown deployment, saturation, bad shapes, …).
+    Rejected,
+}
+
+/// Connection/wire gauges recorded by a network front door (see the
+/// `eigenmaps-net` crate): connection gauge with high-water mark, frames
+/// decoded/encoded, raw bytes in/out and per-kind error counters.
+#[derive(Debug, Default)]
+struct WireCounters {
+    /// Connections currently open (gauge).
+    connections_open: AtomicU64,
+    /// High-water mark of `connections_open`.
+    max_connections_open: AtomicU64,
+    /// Wire frames successfully decoded from clients.
+    frames_in: AtomicU64,
+    /// Wire frames encoded and queued toward clients.
+    frames_out: AtomicU64,
+    /// Raw bytes read off sockets.
+    bytes_in: AtomicU64,
+    /// Raw bytes written to sockets.
+    bytes_out: AtomicU64,
+    /// Error counters indexed by [`WireErrorKind`] discriminant order.
+    errors: [AtomicU64; 5],
+}
+
 /// Counter hub shared by the front end, the execution engine and any
 /// sessions. Cheap to record into from any thread.
 #[derive(Debug)]
@@ -193,6 +234,8 @@ pub struct ServeMetrics {
     /// lock and bumps relaxed atomics; the write lock is held only the
     /// first time a tenant name is seen.
     tenants: RwLock<HashMap<String, Arc<TenantCounters>>>,
+    /// Connection/wire gauges recorded by a network front door.
+    wire: WireCounters,
 }
 
 impl ServeMetrics {
@@ -211,7 +254,59 @@ impl ServeMetrics {
             shard_frames: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             shard_batches: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             tenants: RwLock::new(HashMap::new()),
+            wire: WireCounters::default(),
         }
+    }
+
+    /// Records one network connection opening (gauge up, high-water mark
+    /// maintained).
+    pub fn record_connection_opened(&self) {
+        let open = self.wire.connections_open.fetch_add(1, Ordering::Relaxed) + 1;
+        self.wire
+            .max_connections_open
+            .fetch_max(open, Ordering::Relaxed);
+    }
+
+    /// Records one network connection closing. Saturates at zero.
+    pub fn record_connection_closed(&self) {
+        let _ =
+            self.wire
+                .connections_open
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |open| {
+                    Some(open.saturating_sub(1))
+                });
+    }
+
+    /// Records one wire frame decoded from a client.
+    pub fn record_wire_frame_in(&self) {
+        self.wire.frames_in.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one wire frame encoded toward a client.
+    pub fn record_wire_frame_out(&self) {
+        self.wire.frames_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `bytes` raw bytes read off a socket.
+    pub fn record_wire_bytes_in(&self, bytes: u64) {
+        self.wire.bytes_in.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records `bytes` raw bytes written to a socket.
+    pub fn record_wire_bytes_out(&self, bytes: u64) {
+        self.wire.bytes_out.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one wire-level error of `kind`.
+    pub fn record_wire_error(&self, kind: WireErrorKind) {
+        let idx = match kind {
+            WireErrorKind::Oversized => 0,
+            WireErrorKind::Corrupt => 1,
+            WireErrorKind::Malformed => 2,
+            WireErrorKind::UnknownKind => 3,
+            WireErrorKind::Rejected => 4,
+        };
+        self.wire.errors[idx].fetch_add(1, Ordering::Relaxed);
     }
 
     /// The counter block for `name`, created on first use.
@@ -427,7 +522,64 @@ impl ServeMetrics {
                     )
                 })
                 .collect(),
+            wire: WireSnapshot {
+                connections_open: self.wire.connections_open.load(Ordering::Relaxed),
+                max_connections_open: self.wire.max_connections_open.load(Ordering::Relaxed),
+                frames_in: self.wire.frames_in.load(Ordering::Relaxed),
+                frames_out: self.wire.frames_out.load(Ordering::Relaxed),
+                bytes_in: self.wire.bytes_in.load(Ordering::Relaxed),
+                bytes_out: self.wire.bytes_out.load(Ordering::Relaxed),
+                errors_oversized: self.wire.errors[0].load(Ordering::Relaxed),
+                errors_corrupt: self.wire.errors[1].load(Ordering::Relaxed),
+                errors_malformed: self.wire.errors[2].load(Ordering::Relaxed),
+                errors_unknown_kind: self.wire.errors[3].load(Ordering::Relaxed),
+                errors_rejected: self.wire.errors[4].load(Ordering::Relaxed),
+            },
         }
+    }
+}
+
+/// A point-in-time copy of the connection/wire gauges a network front
+/// door records into [`ServeMetrics`]. All zero for a server that has no
+/// network edge attached.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireSnapshot {
+    /// Connections open when the snapshot was taken.
+    pub connections_open: u64,
+    /// High-water mark of concurrently open connections.
+    pub max_connections_open: u64,
+    /// Wire frames successfully decoded from clients.
+    pub frames_in: u64,
+    /// Wire frames encoded toward clients.
+    pub frames_out: u64,
+    /// Raw bytes read off sockets.
+    pub bytes_in: u64,
+    /// Raw bytes written to sockets.
+    pub bytes_out: u64,
+    /// Frames skipped because their length prefix exceeded the max-frame
+    /// bound ([`WireErrorKind::Oversized`]).
+    pub errors_oversized: u64,
+    /// Frames that failed integrity validation
+    /// ([`WireErrorKind::Corrupt`]).
+    pub errors_corrupt: u64,
+    /// Frames whose body failed to decode ([`WireErrorKind::Malformed`]).
+    pub errors_malformed: u64,
+    /// Frames carrying an unhandled message kind
+    /// ([`WireErrorKind::UnknownKind`]).
+    pub errors_unknown_kind: u64,
+    /// Well-formed requests refused with a typed error status
+    /// ([`WireErrorKind::Rejected`]).
+    pub errors_rejected: u64,
+}
+
+impl WireSnapshot {
+    /// Total wire-level errors across every kind.
+    pub fn errors_total(&self) -> u64 {
+        self.errors_oversized
+            + self.errors_corrupt
+            + self.errors_malformed
+            + self.errors_unknown_kind
+            + self.errors_rejected
     }
 }
 
@@ -506,6 +658,9 @@ pub struct MetricsSnapshot {
     /// Per-tenant batching counters and queue-depth gauges, keyed by
     /// deployment name (sorted).
     pub tenants: BTreeMap<String, TenantSnapshot>,
+    /// Connection/wire gauges recorded by a network front door (all zero
+    /// without one).
+    pub wire: WireSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -617,6 +772,44 @@ mod tests {
         // wrapping the gauge.
         m.record_tenant_batch("beta", 5, 5);
         assert_eq!(m.tenant_queue_depth("beta"), 0);
+    }
+
+    #[test]
+    fn wire_gauges_track_connections_frames_and_errors() {
+        let m = ServeMetrics::new(1);
+        assert_eq!(m.snapshot().wire, WireSnapshot::default());
+        m.record_connection_opened();
+        m.record_connection_opened();
+        m.record_connection_closed();
+        m.record_wire_frame_in();
+        m.record_wire_frame_out();
+        m.record_wire_frame_out();
+        m.record_wire_bytes_in(128);
+        m.record_wire_bytes_out(64);
+        m.record_wire_error(WireErrorKind::Oversized);
+        m.record_wire_error(WireErrorKind::Corrupt);
+        m.record_wire_error(WireErrorKind::Corrupt);
+        m.record_wire_error(WireErrorKind::Malformed);
+        m.record_wire_error(WireErrorKind::UnknownKind);
+        m.record_wire_error(WireErrorKind::Rejected);
+        let w = m.snapshot().wire;
+        assert_eq!(w.connections_open, 1);
+        assert_eq!(w.max_connections_open, 2);
+        assert_eq!(w.frames_in, 1);
+        assert_eq!(w.frames_out, 2);
+        assert_eq!(w.bytes_in, 128);
+        assert_eq!(w.bytes_out, 64);
+        assert_eq!(w.errors_oversized, 1);
+        assert_eq!(w.errors_corrupt, 2);
+        assert_eq!(w.errors_malformed, 1);
+        assert_eq!(w.errors_unknown_kind, 1);
+        assert_eq!(w.errors_rejected, 1);
+        assert_eq!(w.errors_total(), 6);
+        // Closing saturates at zero instead of wrapping.
+        for _ in 0..5 {
+            m.record_connection_closed();
+        }
+        assert_eq!(m.snapshot().wire.connections_open, 0);
     }
 
     #[test]

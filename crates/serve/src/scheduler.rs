@@ -46,7 +46,10 @@
 //! and a lane that is never ready costs one inspection per tick.
 //! Latency is bounded tenant-locally: each queue's oldest request expires
 //! the queue's own [`BatchPolicy::max_delay`] deadline regardless of what
-//! other tenants do.
+//! other tenants do. Per-tenant [`BatchPolicy::weight`] scales the grant:
+//! a weight-`w` tenant takes up to `w` budget-capped batches each time the
+//! rotation reaches it, so contended throughput is proportional to weight
+//! while every other ready lane still gets its turn every pass.
 //!
 //! # Per-tenant policy overrides
 //!
@@ -160,6 +163,18 @@ pub struct BatchPolicy {
     /// [`Server::try_submit`]: crate::Server::try_submit
     /// [`Server::submit`]: crate::Server::submit
     pub max_pending_per_tenant: usize,
+    /// Fairness weight: how many batch grants this tenant may take per
+    /// rotation pass of [`Scheduler::tick`]. A weight-3 tenant flushes up
+    /// to three budget-capped batches each time the rotation reaches it,
+    /// where a weight-1 tenant flushes one — proportional throughput under
+    /// contention with no starvation (every other ready lane is still
+    /// granted once per pass). `0` is treated as `1`; the weight has no
+    /// effect while the tenant is alone or under budget (nothing ready to
+    /// flush is never flushed early). Set per tenant via
+    /// [`Server::set_tenant_policy`].
+    ///
+    /// [`Server::set_tenant_policy`]: crate::Server::set_tenant_policy
+    pub weight: u32,
 }
 
 impl Default for BatchPolicy {
@@ -169,6 +184,7 @@ impl Default for BatchPolicy {
             max_batch_requests: 64,
             max_delay: Duration::from_millis(2),
             max_pending_per_tenant: 1024,
+            weight: 1,
         }
     }
 }
@@ -461,7 +477,20 @@ impl<T> Scheduler<T> {
                 LaneKey::Tenant(key) => match self.readiness(key, now) {
                     Some(reason) => {
                         let key = key.clone();
+                        // Weighted grant: the tenant's policy buys it up to
+                        // `weight` budget-capped batches in this pass — each
+                        // re-judged for readiness, so the extra grants stop
+                        // the moment the queue drops under budget.
+                        let weight = self.policy_for(&key).weight.max(1);
                         decisions.push(Decision::Batch(self.take_batch(&key, reason)));
+                        for _ in 1..weight {
+                            match self.readiness(&key, now) {
+                                Some(reason) => {
+                                    decisions.push(Decision::Batch(self.take_batch(&key, reason)));
+                                }
+                                None => break,
+                            }
+                        }
                         since_grant = 0;
                     }
                     None => {
@@ -790,6 +819,68 @@ mod tests {
         assert_eq!(sched.next_deadline(), None);
         assert!(sched.tick(Duration::from_secs(1 << 30)).is_empty());
         assert_eq!(sched.drain().len(), 1);
+    }
+
+    #[test]
+    fn weighted_tenant_takes_multiple_grants_per_pass() {
+        // Both tenants ready with deep backlogs; "heavy" carries weight 3.
+        let mut sched: Scheduler<u8> = Scheduler::new(policy(1 << 20, 1, 1000));
+        sched.set_tenant_policy(
+            "heavy",
+            Some(BatchPolicy {
+                weight: 3,
+                ..policy(1 << 20, 1, 1000)
+            }),
+        );
+        let h = TenantKey::new("heavy", 1);
+        let l = TenantKey::new("light", 1);
+        for i in 0..6 {
+            sched.submit(Duration::ZERO, h.clone(), 1, i);
+        }
+        for i in 0..2 {
+            sched.submit(Duration::ZERO, l.clone(), 1, 10 + i);
+        }
+        let order: Vec<String> = sched
+            .tick(Duration::ZERO)
+            .iter()
+            .map(|d| d.as_batch().unwrap().tenant.name.clone())
+            .collect();
+        // Per pass: heavy ×3, then light ×1 — never light starved out.
+        assert_eq!(
+            order,
+            vec!["heavy", "heavy", "heavy", "light", "heavy", "heavy", "heavy", "light"]
+        );
+        assert!(sched.is_idle());
+    }
+
+    #[test]
+    fn zero_weight_is_treated_as_one() {
+        let mut sched: Scheduler<u8> = Scheduler::new(BatchPolicy {
+            weight: 0,
+            ..policy(1 << 20, 1, 1000)
+        });
+        let t = TenantKey::new("t", 1);
+        sched.submit(Duration::ZERO, t.clone(), 1, 0);
+        sched.submit(Duration::ZERO, t.clone(), 1, 1);
+        assert_eq!(sched.tick(Duration::ZERO).len(), 2);
+        assert!(sched.is_idle());
+    }
+
+    #[test]
+    fn weighted_grants_stop_when_budget_runs_out() {
+        // Weight 5, but only two request-budget batches are ready: the
+        // extra grants must not flush an under-budget remainder early.
+        let mut sched: Scheduler<u8> = Scheduler::new(BatchPolicy {
+            weight: 5,
+            ..policy(1 << 20, 2, 1_000_000)
+        });
+        let t = TenantKey::new("t", 1);
+        for i in 0..5 {
+            sched.submit(Duration::ZERO, t.clone(), 1, i);
+        }
+        let d = sched.tick(Duration::ZERO);
+        assert_eq!(d.len(), 2, "two full batches, fifth job under budget");
+        assert_eq!(sched.tenant_depth(&t), 1);
     }
 
     #[test]

@@ -370,6 +370,62 @@ fn batch_backlog_never_starves_stream_steps() {
 }
 
 #[test]
+fn weighted_tenant_gets_proportional_grants_without_starvation() {
+    // Two-tenant contention under a mock clock: "heavy" carries weight 3,
+    // "light" weight 1 (the default). Both start deeply backlogged; while
+    // both remain backlogged, the grant sequence must give heavy ~3x the
+    // bandwidth — and light must still be granted on every rotation pass
+    // (no starvation: never more than `weight` consecutive heavy grants).
+    let base = policy(1 << 20, 1, Duration::from_millis(1));
+    let mut sched: Scheduler<u32> = Scheduler::new(base);
+    sched.set_tenant_policy("heavy", Some(BatchPolicy { weight: 3, ..base }));
+
+    let heavy = TenantKey::new("heavy", 1);
+    let light = TenantKey::new("light", 1);
+    for i in 0..600u32 {
+        sched.submit(Duration::ZERO, heavy.clone(), 1, i);
+    }
+    for i in 0..200u32 {
+        sched.submit(Duration::ZERO, light.clone(), 1, i);
+    }
+
+    // One tick drains all ready work; the weight governs the interleaving.
+    let grants: Vec<bool> = sched
+        .tick(Duration::ZERO)
+        .iter()
+        .map(|d| d.as_batch().expect("batch traffic only").tenant == heavy)
+        .collect();
+    assert_eq!(grants.len(), 800);
+    assert!(sched.is_idle());
+
+    let mut heavy_total = 0usize;
+    let mut light_total = 0usize;
+    let mut heavy_run = 0usize;
+    for &is_heavy in &grants {
+        if is_heavy {
+            heavy_total += 1;
+            heavy_run += 1;
+            assert!(
+                heavy_run <= 3,
+                "light starved: {heavy_run} consecutive heavy grants"
+            );
+        } else {
+            light_total += 1;
+            heavy_run = 0;
+            // While both lanes are backlogged, every light grant closes a
+            // rotation pass in which heavy took ~3 grants.
+            let ratio = heavy_total as f64 / light_total as f64;
+            assert!(
+                (2.5..=3.5).contains(&ratio),
+                "expected ~3x bandwidth at every pass boundary, got \
+                 {heavy_total}:{light_total} (ratio {ratio:.2})"
+            );
+        }
+    }
+    assert_eq!((heavy_total, light_total), (600, 200));
+}
+
+#[test]
 fn drain_flushes_all_tenants_without_a_clock() {
     let mut sched: Scheduler<u8> = Scheduler::new(policy(1 << 20, 64, Duration::MAX));
     sched.submit(Duration::ZERO, TenantKey::new("a", 1), 1, 0);

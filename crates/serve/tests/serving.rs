@@ -204,6 +204,7 @@ fn dropped_ticket_neither_leaks_slots_nor_wedges_the_batcher() {
         max_batch_requests: 4,
         max_delay: Duration::from_millis(2),
         max_pending_per_tenant: 8,
+        ..BatchPolicy::default()
     };
     let server = Server::with_policy(Arc::clone(&registry), 2, policy);
 
@@ -477,6 +478,7 @@ fn tenant_policy_override_tiers_admission_control() {
         max_batch_requests: 1 << 10,
         max_delay: Duration::from_secs(60),
         max_pending_per_tenant: 4,
+        ..BatchPolicy::default()
     };
     let server = Server::with_policy(Arc::clone(&registry), 1, policy);
     server

@@ -85,6 +85,7 @@ fn stress_schedule(seed: u64) {
         max_batch_requests: 6,
         max_delay: Duration::from_micros(300),
         max_pending_per_tenant: 64,
+        ..BatchPolicy::default()
     };
     let server = Arc::new(Server::with_policy(Arc::clone(&fleet.registry), 2, policy));
     let truth: [Arc<Vec<ThermalMap>>; 2] = [

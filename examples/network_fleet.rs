@@ -1,0 +1,178 @@
+//! The serving fleet behind a real socket: two chip SKUs published over
+//! the wire, batch traffic and a streaming telemetry session over
+//! loopback TCP — then a full server restart that the session rides out
+//! through a durable `EMSESS1` snapshot, resumed over the wire against
+//! the new process.
+//!
+//! Everything the in-process `serving_fleet` example demonstrates holds
+//! at the socket edge too, and the example checks it: every map served
+//! over TCP is **bitwise-identical** to the same computation run
+//! in-process, before and after the restart.
+//!
+//! ```text
+//! cargo run --release --example network_fleet
+//! ```
+
+use std::sync::Arc;
+
+use eigenmaps::core::prelude::*;
+use eigenmaps::floorplan::prelude::*;
+use eigenmaps::net::{Client, NetServer};
+use eigenmaps::serve::{DeploymentRegistry, Server, TrackerSession};
+
+const ROWS: usize = 14;
+const COLS: usize = 15;
+
+type AnyResult<T> = std::result::Result<T, Box<dyn std::error::Error>>;
+
+fn design(sensors: usize, seed: u64) -> AnyResult<(Deployment, MapEnsemble)> {
+    let dataset = DatasetBuilder::ultrasparc_t1()
+        .grid(ROWS, COLS)
+        .snapshots(120)
+        .settle_steps(30)
+        .seed(seed)
+        .build()?;
+    let deployment = Pipeline::new(dataset.ensemble())
+        .basis(BasisSpec::Eigen { k: sensors })
+        .sensors(sensors)
+        .noise(NoiseSpec::sigma(0.2))
+        .design()?;
+    Ok((deployment, dataset.ensemble().clone()))
+}
+
+/// A booted server process stand-in: registry, server, door address,
+/// shutdown handle and the loop thread.
+type Booted = (
+    Arc<DeploymentRegistry>,
+    Arc<Server>,
+    std::net::SocketAddr,
+    eigenmaps::net::DoorHandle,
+    std::thread::JoinHandle<()>,
+);
+
+/// Boots a server process stand-in: fresh registry, sharded server, TCP
+/// door on an ephemeral loopback port, loop on its own thread.
+fn boot(shards: usize) -> AnyResult<Booted> {
+    let registry = Arc::new(DeploymentRegistry::new());
+    let server = Arc::new(Server::new(Arc::clone(&registry), shards));
+    let door = NetServer::bind("127.0.0.1:0", Arc::clone(&server))?;
+    let addr = door.local_addr();
+    let handle = door.handle();
+    let join = std::thread::spawn(move || door.run());
+    Ok((registry, server, addr, handle, join))
+}
+
+fn assert_bitwise(got: &ThermalMap, want: &ThermalMap, what: &str) {
+    assert_eq!(
+        got.as_slice()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect::<Vec<_>>(),
+        want.as_slice()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect::<Vec<_>>(),
+        "{what}: TCP result diverged from the in-process path"
+    );
+}
+
+fn main() -> AnyResult<()> {
+    // ---- design time: two SKUs, artifacts as bytes -----------------------
+    println!("[design] fitting deployments for two chip SKUs…");
+    let (alpha, alpha_maps) = design(8, 21)?;
+    let (beta, _beta_maps) = design(10, 77)?;
+    let alpha_bytes = alpha.to_bytes();
+    let beta_bytes = beta.to_bytes();
+
+    // ---- server process #1 ----------------------------------------------
+    let shards = std::thread::available_parallelism().map_or(2, |p| p.get());
+    let (_registry, _server, addr, handle, join) = boot(shards)?;
+    println!("[serve] door #1 up on {addr} ({shards} shards)");
+
+    // Ship both artifacts over the wire and read the catalog back.
+    let mut client = Client::connect(addr)?;
+    client.publish("sku-alpha", alpha_bytes.clone())?;
+    client.publish("sku-beta", beta_bytes.clone())?;
+    let catalog = client.catalog()?;
+    println!("[wire]  published over TCP; catalog = {catalog:?}");
+
+    // ---- batch traffic: bitwise parity with the in-process path ----------
+    let mut noise = NoiseModel::new(0xF1EE7);
+    let frames: Vec<Vec<f64>> = (0..48)
+        .map(|t| noise.apply_sigma(&alpha.sensors().sample(&alpha_maps.map(t)), 0.2))
+        .collect();
+    let truth = alpha.reconstruct_batch(&frames)?;
+    let (version, maps) = client.submit_batch("sku-alpha", frames.clone())?;
+    for (i, map) in maps.iter().enumerate() {
+        assert_bitwise(map, &truth[i], "batch");
+    }
+    println!(
+        "[wire]  {} frames served over TCP against sku-alpha v{version} — bitwise-identical",
+        maps.len()
+    );
+
+    // ---- a streaming session, snapshotted mid-stream ---------------------
+    // The inline reference tracker mirrors every step the wire session
+    // takes; the example keeps them in bitwise lockstep throughout.
+    let reference_registry = DeploymentRegistry::new();
+    reference_registry.publish_bytes("sku-alpha", &alpha_bytes)?;
+    let mut reference = TrackerSession::open(&reference_registry, "sku-alpha", 0.9)?;
+
+    let session = client.open_session("sku-alpha", 0.9)?;
+    let telemetry: Vec<Vec<f64>> = (48..80)
+        .map(|t| noise.apply_sigma(&alpha.sensors().sample(&alpha_maps.map(t)), 0.2))
+        .collect();
+    for readings in &telemetry[..16] {
+        let got = client.step(session.session, readings.clone())?;
+        let want = reference.step(readings)?;
+        assert_bitwise(&got, &want, "pre-restart step");
+    }
+    let snapshot = client.snapshot(session.session)?;
+    println!(
+        "[wire]  16 session steps streamed; EMSESS1 snapshot captured ({} bytes)",
+        snapshot.len()
+    );
+    let wire_metrics = client.metrics()?;
+    println!(
+        "[wire]  door #1 gauges: {} conn open (max {}), {} frames in / {} out, {} wire errors",
+        wire_metrics.wire.connections_open,
+        wire_metrics.wire.max_connections_open,
+        wire_metrics.wire.frames_in,
+        wire_metrics.wire.frames_out,
+        wire_metrics.wire.errors_total()
+    );
+
+    // ---- restart: the whole server process goes away ---------------------
+    drop(client);
+    handle.shutdown();
+    join.join().expect("door #1 loop");
+    println!("[serve] door #1 drained and gone — restarting…");
+
+    let (registry2, _server2, addr2, handle2, join2) = boot(shards)?;
+    registry2.publish_bytes("sku-alpha", &alpha_bytes)?;
+    println!("[serve] door #2 up on {addr2}");
+
+    // ---- resume over the wire against the new process --------------------
+    let mut client = Client::connect(addr2)?;
+    let resumed = client.resume(snapshot)?;
+    println!(
+        "[wire]  session resumed over TCP at frame {} (sku-alpha v{})",
+        resumed.frames, resumed.version
+    );
+    for readings in &telemetry[16..] {
+        let got = client.step(resumed.session, readings.clone())?;
+        let want = reference.step(readings)?;
+        assert_bitwise(&got, &want, "post-restart step");
+    }
+    client.close_session(resumed.session)?;
+    println!(
+        "[wire]  {} post-restart steps — still bitwise-identical to the in-process tracker",
+        telemetry.len() - 16
+    );
+
+    drop(client);
+    handle2.shutdown();
+    join2.join().expect("door #2 loop");
+    println!("[done]  the socket edge preserved every bit across batch, stream and restart");
+    Ok(())
+}

@@ -24,6 +24,13 @@
 //!   multi-threaded [`serve::ShardedExecutor`], the micro-batching
 //!   [`serve::Server`] front end, streaming [`serve::TrackerSession`]s and
 //!   serving metrics.
+//! * [`net`] — the network edge: the versioned `EMWIRE1` binary wire
+//!   protocol, the nonblocking TCP front door [`net::NetServer`] (plain
+//!   `std::net`, no async runtime) bridging sockets onto
+//!   [`serve::Server`], and the blocking [`net::Client`]. Batches and
+//!   streaming sessions served over TCP stay bitwise-identical to the
+//!   in-process path, and a session snapshot resumes across a server
+//!   restart over the wire.
 //!
 //! ## The lifecycle: design time → artifact → serving fleet
 //!
@@ -98,5 +105,6 @@
 pub use eigenmaps_core as core;
 pub use eigenmaps_floorplan as floorplan;
 pub use eigenmaps_linalg as linalg;
+pub use eigenmaps_net as net;
 pub use eigenmaps_serve as serve;
 pub use eigenmaps_thermal as thermal;

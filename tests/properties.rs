@@ -514,3 +514,194 @@ proptest! {
         prop_assert!((measured_db - snr_db).abs() < 1e-6);
     }
 }
+
+// ---------------------------------------------------------------------------
+// EMWIRE1: the network wire format must uphold the same codec discipline as
+// the file formats — bitwise roundtrips, and rejection (never a panic, never
+// a desynchronized stream) for truncated, corrupted or oversized frames.
+// ---------------------------------------------------------------------------
+
+/// An arbitrary request: every kind reachable, strings/floats/blob lengths
+/// drawn from a per-case seed (the shim strategy idiom used above).
+fn wire_request_strategy() -> impl Strategy<Value = eigenmaps::net::Request> {
+    use eigenmaps::net::Request;
+    (0u32..9, 0u64..1_000_000).prop_map(|(kind, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let word = |rng: &mut rand::rngs::StdRng| -> String {
+            let len = rng.gen_range(0..12u64) as usize;
+            (0..len)
+                .map(|_| char::from(b'a' + (rng.gen_range(0..26u64) as u8)))
+                .collect()
+        };
+        let floats = |rng: &mut rand::rngs::StdRng, n: usize| -> Vec<f64> {
+            (0..n)
+                .map(|_| {
+                    // Arbitrary bit patterns, NaN mapped out so the decoded
+                    // value still compares equal to the original.
+                    let x = f64::from_bits(rng.next_u64());
+                    if x.is_nan() {
+                        0.0
+                    } else {
+                        x
+                    }
+                })
+                .collect()
+        };
+        match kind {
+            0 => {
+                let count = rng.gen_range(0..4u64);
+                let frames = (0..count)
+                    .map(|_| {
+                        let m = rng.gen_range(0..6u64) as usize;
+                        floats(&mut rng, m)
+                    })
+                    .collect();
+                Request::SubmitBatch {
+                    deployment: word(&mut rng),
+                    frames,
+                }
+            }
+            1 => Request::OpenSession {
+                deployment: word(&mut rng),
+                gain: rng.gen_range(0.0..1.0),
+            },
+            2 => {
+                let m = rng.gen_range(0..8u64) as usize;
+                Request::StepSession {
+                    session: rng.next_u64(),
+                    readings: floats(&mut rng, m),
+                }
+            }
+            3 => Request::CloseSession {
+                session: rng.next_u64(),
+            },
+            4 => Request::Snapshot {
+                session: rng.next_u64(),
+            },
+            5 => {
+                let n = rng.gen_range(0..64u64) as usize;
+                Request::Resume {
+                    snapshot: (0..n).map(|_| rng.next_u64() as u8).collect(),
+                }
+            }
+            6 => Request::Catalog,
+            7 => {
+                let n = rng.gen_range(0..64u64) as usize;
+                Request::Publish {
+                    name: word(&mut rng),
+                    artifact: (0..n).map(|_| rng.next_u64() as u8).collect(),
+                }
+            }
+            _ => Request::Metrics,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn emwire1_requests_roundtrip_bitwise_through_chunked_streams(
+        request in wire_request_strategy(),
+        id in 0u64..u64::MAX,
+        chunk in 1usize..40,
+    ) {
+        use eigenmaps::net::{FrameBuffer, Request, MAX_FRAME_BYTES};
+        let frame = request.encode(id);
+        // Delivered in arbitrary chunk sizes, the stream reassembles to
+        // exactly one record that decodes to an equal request whose
+        // re-encoding is byte-identical.
+        let mut fb = FrameBuffer::new(MAX_FRAME_BYTES);
+        let mut records = Vec::new();
+        for piece in frame.chunks(chunk) {
+            fb.extend(piece);
+            while let Some(outcome) = fb.next_record() {
+                records.push(outcome.expect("valid frame"));
+            }
+        }
+        prop_assert_eq!(records.len(), 1);
+        let (got_id, got) = Request::decode(&records[0]).expect("roundtrip decodes");
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(got.encode(id), frame);
+        prop_assert_eq!(got, request);
+    }
+
+    #[test]
+    fn emwire1_strict_prefixes_never_yield_a_record(
+        request in wire_request_strategy(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        use eigenmaps::net::{FrameBuffer, MAX_FRAME_BYTES};
+        let frame = request.encode(7);
+        let cut = ((frame.len() as f64 * cut_frac) as usize).min(frame.len() - 1);
+        let mut fb = FrameBuffer::new(MAX_FRAME_BYTES);
+        fb.extend(&frame[..cut]);
+        // A truncated frame is indistinguishable from one still arriving:
+        // the buffer waits rather than inventing a record.
+        prop_assert!(fb.next_record().is_none());
+        // And the truncated record itself (length prefix stripped, were a
+        // transport to hand it over anyway) is rejected, not misparsed.
+        if cut > 4 {
+            prop_assert!(eigenmaps::net::Request::decode(&frame[4..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn emwire1_any_single_byte_corruption_is_rejected(
+        request in wire_request_strategy(),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        use eigenmaps::net::Request;
+        let frame = request.encode(99);
+        // Flip any byte of the record (past the length prefix): the
+        // FNV-1a trailer covers every payload byte and the trailer itself
+        // only matches its own payload, so no single-byte change decodes.
+        let record = &frame[4..];
+        let pos = ((record.len() as f64 * pos_frac) as usize).min(record.len() - 1);
+        let mut bad = record.to_vec();
+        bad[pos] ^= flip;
+        prop_assert!(Request::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn emwire1_oversized_frames_skip_without_desynchronizing(
+        request in wire_request_strategy(),
+        oversize in 1usize..100_000,
+        chunk in 1usize..4096,
+    ) {
+        use eigenmaps::net::{FrameBuffer, Request, WireError};
+        let bound = 512;
+        let badlen = bound + oversize;
+        // An oversized frame followed by a valid one on the same stream:
+        // exactly one Oversized report, then the valid record — bitwise.
+        let mut stream = (badlen as u32).to_le_bytes().to_vec();
+        stream.resize(stream.len() + badlen, 0x5A);
+        let valid = request.encode(3);
+        prop_assume!(valid.len() - 4 <= bound);
+        stream.extend_from_slice(&valid);
+
+        let mut fb = FrameBuffer::new(bound);
+        let mut oversized_reports = 0;
+        let mut records = Vec::new();
+        for piece in stream.chunks(chunk) {
+            fb.extend(piece);
+            while let Some(outcome) = fb.next_record() {
+                match outcome {
+                    Err(WireError::Oversized { len, max }) => {
+                        prop_assert_eq!((len, max), (badlen, bound));
+                        oversized_reports += 1;
+                    }
+                    Err(other) => prop_assert!(false, "unexpected error: {other:?}"),
+                    Ok(record) => records.push(record),
+                }
+            }
+        }
+        prop_assert_eq!(oversized_reports, 1);
+        prop_assert_eq!(records.len(), 1);
+        let (id, got) = Request::decode(&records[0]).expect("survivor decodes");
+        prop_assert_eq!(id, 3);
+        prop_assert_eq!(got, request);
+    }
+}
