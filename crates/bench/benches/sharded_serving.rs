@@ -275,8 +275,49 @@ fn bench_interleaved_tenants(c: &mut Criterion) {
          vs the {fifo_mean:.2} FIFO baseline (>= 2x required)"
     );
 
+    // Flight-recorder overhead gate: the same trace against an identical
+    // server with tracing switched off. Paired best-of-N wall clocks keep
+    // scheduler noise out of the comparison; the recorder must cost no
+    // more than 5% of interleaved throughput.
+    let untraced = Server::with_policy(Arc::clone(&registry), 4, policy);
+    untraced.recorder().set_enabled(false);
+    run_trace(&untraced); // warm-up to parity with the traced server
+    let rounds = 7;
+    let mut best_traced = f64::INFINITY;
+    let mut best_untraced = f64::INFINITY;
+    for _ in 0..rounds {
+        best_traced = best_traced.min(wall_clock(1, || run_trace(&server)));
+        best_untraced = best_untraced.min(wall_clock(1, || run_trace(&untraced)));
+    }
+    let overhead = best_traced / best_untraced.max(1e-12) - 1.0;
+    println!(
+        "interleaved_two_tenant_microbatching/summary[tracing]: \
+         traced {:.2} ms vs untraced {:.2} ms per 512-request trace \
+         ({:+.1}% overhead, best of {rounds})",
+        best_traced * 1e3,
+        best_untraced * 1e3,
+        overhead * 100.0
+    );
+    let parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if parallelism >= 4 {
+        assert!(
+            best_traced <= best_untraced * 1.05,
+            "flight recorder costs {:.1}% of interleaved throughput (> 5% budget)",
+            overhead * 100.0
+        );
+    } else if best_traced > best_untraced * 1.05 {
+        println!(
+            "interleaved_two_tenant_microbatching/summary[tracing]: only {parallelism} \
+             hardware thread(s) — {:.1}% overhead reported, not asserted",
+            overhead * 100.0
+        );
+    }
+
     group.bench_function("per_tenant_queues/alternating_512x2", |bch| {
         bch.iter(|| run_trace(&server))
+    });
+    group.bench_function("per_tenant_queues/alternating_512x2_untraced", |bch| {
+        bch.iter(|| run_trace(&untraced))
     });
     group.finish();
 }

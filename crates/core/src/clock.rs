@@ -1,0 +1,105 @@
+//! The monotonic serving clock: one `Instant` epoch, all timestamps as
+//! [`Duration`]s since it.
+//!
+//! Every timed component of the serving stack — the batcher's deadline
+//! arithmetic, the scheduler's latency budgets, the flight recorder's
+//! stage events — speaks `Duration`-since-epoch rather than raw
+//! [`Instant`]s. That one convention is what makes the stack
+//! deterministically testable: a mock clock is just an explicit
+//! `Duration` handed to the same APIs, so a scheduler test can assert
+//! the *exact* event sequence a given arrival timeline produces, while
+//! production reads the hardware clock through [`MonotonicClock::now`].
+//!
+//! The epoch predates every possible submit (it is captured when the
+//! owning component boots), so `saturating_duration_since` conversions
+//! from foreign `Instant`s are always valid and never go backwards.
+
+use std::time::{Duration, Instant};
+
+/// A monotonic clock anchored at a fixed epoch, yielding `Duration`
+/// timestamps that are totally ordered, cheap to copy and trivially
+/// serializable (nanoseconds on the wire).
+///
+/// ```
+/// use eigenmaps_core::clock::MonotonicClock;
+///
+/// let clock = MonotonicClock::new();
+/// let a = clock.now();
+/// let b = clock.now();
+/// assert!(b >= a, "monotone by construction");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose epoch is the moment of this call.
+    pub fn new() -> Self {
+        MonotonicClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A clock anchored at an explicit epoch — for components that
+    /// captured their `Instant` before constructing the clock.
+    pub fn from_epoch(epoch: Instant) -> Self {
+        MonotonicClock { epoch }
+    }
+
+    /// The epoch `Instant` — for converting foreign `Instant` stamps
+    /// (e.g. a request's submit time) onto this clock's timeline with
+    /// `stamp.saturating_duration_since(clock.epoch())`.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// The current timestamp: time elapsed since the epoch.
+    pub fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let clock = MonotonicClock::new();
+        let mut last = clock.now();
+        for _ in 0..100 {
+            let t = clock.now();
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn foreign_instants_convert_onto_the_timeline() {
+        let clock = MonotonicClock::new();
+        let stamp = Instant::now();
+        let at = stamp.saturating_duration_since(clock.epoch());
+        assert!(at <= clock.now());
+        // An instant predating the epoch saturates to zero instead of
+        // panicking.
+        let early = clock.epoch() - Duration::from_secs(1);
+        assert_eq!(
+            early.saturating_duration_since(clock.epoch()),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn from_epoch_round_trips() {
+        let epoch = Instant::now();
+        let clock = MonotonicClock::from_epoch(epoch);
+        assert_eq!(clock.epoch(), epoch);
+    }
+}

@@ -77,6 +77,7 @@
 
 pub mod allocate;
 pub mod basis;
+pub mod clock;
 pub mod codec;
 pub mod error;
 pub mod kernel;
@@ -94,6 +95,7 @@ pub use allocate::{
     RandomAllocator, SensorAllocator, UniformGridAllocator,
 };
 pub use basis::{Basis, BasisKind, DctBasis, EigenBasis};
+pub use clock::MonotonicClock;
 pub use codec::{CodecError, CodecResult, Decoder, Encoder, SessionSnapshot};
 pub use error::{CoreError, Result};
 pub use kernel::{KernelKind, SynthesisKernel};
@@ -116,6 +118,7 @@ pub mod prelude {
         RandomAllocator, SensorAllocator, UniformGridAllocator,
     };
     pub use crate::basis::{Basis, BasisKind, DctBasis, EigenBasis};
+    pub use crate::clock::MonotonicClock;
     pub use crate::error::{CoreError, Result};
     pub use crate::kernel::{KernelKind, SynthesisKernel};
     pub use crate::map::{MapEnsemble, ThermalMap};

@@ -11,7 +11,7 @@ use std::time::Duration;
 use eigenmaps_core::ThermalMap;
 
 use crate::protocol::{
-    FrameBuffer, Request, Response, WireError, WireMetrics, WireStatus, MAX_FRAME_BYTES,
+    FrameBuffer, Request, Response, WireError, WireMetrics, WireStatus, WireTrace, MAX_FRAME_BYTES,
 };
 
 /// What a [`Client`] call can fail with.
@@ -318,6 +318,19 @@ impl Client {
             _ => Err(NetError::UnexpectedReply {
                 expected: "Metrics",
             }),
+        }
+    }
+
+    /// Fetches the server's flight-recorder snapshot: the stage-event
+    /// ring plus per-tenant stage quantiles and slow-request exemplars.
+    ///
+    /// # Errors
+    ///
+    /// Any [`NetError`].
+    pub fn trace(&mut self) -> Result<WireTrace, NetError> {
+        match self.call(&Request::Trace)? {
+            Response::Trace(trace) => Ok(trace),
+            _ => Err(NetError::UnexpectedReply { expected: "Trace" }),
         }
     }
 

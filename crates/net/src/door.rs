@@ -34,12 +34,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use eigenmaps_serve::{
-    ServeMetrics, ServeRequest, Server, StepTicket, Ticket, TrackerSession, WireErrorKind,
+    ReapReason, ServeMetrics, ServeRequest, Server, StepTicket, Ticket, TraceExemplar,
+    TrackerSession, WireErrorKind,
 };
 
 use crate::protocol::{
-    status_of, FrameBuffer, Request, Response, WireError, WireMap, WireMetrics, WireStatus,
-    MAX_FRAME_BYTES,
+    status_of, FrameBuffer, Request, Response, WireError, WireExemplar, WireMap, WireMetrics,
+    WireStage, WireStatus, WireTenantTrace, WireTrace, WireTraceEvent, MAX_FRAME_BYTES,
 };
 
 /// Tunables for the event loop. [`NetConfig::default`] is sized for
@@ -295,8 +296,15 @@ impl NetServer {
 
         // Teardown: dropping each connection drops its parked tickets
         // and sessions — the runtime's `Terminated` path completes any
-        // abandoned responders.
-        for _ in conns.drain() {
+        // abandoned responders. Anything still open here is a drain reap.
+        for (_, conn) in conns.drain() {
+            metrics.record_reap(ReapReason::Drain);
+            eprintln!(
+                "eigenmaps-net: reaped {} at shutdown (drain; {} unflushed byte(s), {} ticket(s) in flight)",
+                peer_label(&conn),
+                conn.backlog(),
+                conn.pending(),
+            );
             metrics.record_connection_closed();
         }
     }
@@ -452,11 +460,34 @@ fn service_conn(
         return false;
     }
     // Idle / slow-client reaping: no progress in either direction for
-    // the whole timeout window.
+    // the whole timeout window. An unflushed backlog says the peer is
+    // alive but not reading (slow client); an empty one says it simply
+    // went quiet (idle).
     if now.duration_since(conn.last_progress) > config.idle_timeout {
+        let reason = if conn.backlog() > 0 {
+            metrics.record_reap(ReapReason::SlowClient);
+            "slow client"
+        } else {
+            metrics.record_reap(ReapReason::Idle);
+            "idle"
+        };
+        eprintln!(
+            "eigenmaps-net: reaped {} after {:?} without progress ({reason}; {} unflushed byte(s))",
+            peer_label(conn),
+            config.idle_timeout,
+            conn.backlog(),
+        );
         return false;
     }
     true
+}
+
+/// Best-effort peer address for reap log lines; a socket that already
+/// failed reports as `<unknown>`.
+fn peer_label(conn: &Conn) -> String {
+    conn.stream
+        .peer_addr()
+        .map_or_else(|_| String::from("<unknown>"), |addr| addr.to_string())
 }
 
 /// Handles one decoded request, either replying immediately or parking a
@@ -582,9 +613,87 @@ fn dispatch(
                 latency_p50_ns: snap.latency_p50.as_nanos() as u64,
                 latency_p99_ns: snap.latency_p99.as_nanos() as u64,
                 wire: snap.wire,
+                latency_buckets: snap.latency_buckets,
+                session_latency_buckets: snap.session_latency_buckets,
             });
             conn.enqueue(reply.encode(id), metrics);
         }
+        Request::Trace => {
+            let reply = Response::Trace(flight_snapshot(server));
+            conn.enqueue(reply.encode(id), metrics);
+        }
+    }
+}
+
+/// Assembles the wire form of the flight recorder: the event ring plus
+/// per-tenant stage quantiles (from [`ServeMetrics`]) and slow-request
+/// exemplars (from the recorder's exemplar store).
+fn flight_snapshot(server: &Arc<Server>) -> WireTrace {
+    let recorder = server.recorder();
+    let ring = recorder.snapshot();
+    let events = ring
+        .events
+        .iter()
+        .map(|event| WireTraceEvent {
+            trace: event.trace.0,
+            tenant: event.tenant.clone(),
+            stage: event.stage.code(),
+            arg: event.stage.arg(),
+            at_ns: event.at.as_nanos() as u64,
+        })
+        .collect();
+    let mut exemplars = recorder.exemplars();
+    let snap = server.metrics();
+    let mut tenants: Vec<WireTenantTrace> = snap
+        .tenants
+        .iter()
+        .map(|(name, tenant)| WireTenantTrace {
+            tenant: name.clone(),
+            queue_wait_p50_ns: tenant.queue_wait.quantile(0.5).as_nanos() as u64,
+            queue_wait_p99_ns: tenant.queue_wait.quantile(0.99).as_nanos() as u64,
+            execute_p50_ns: tenant.execute.quantile(0.5).as_nanos() as u64,
+            execute_p99_ns: tenant.execute.quantile(0.99).as_nanos() as u64,
+            respond_p50_ns: tenant.respond.quantile(0.5).as_nanos() as u64,
+            respond_p99_ns: tenant.respond.quantile(0.99).as_nanos() as u64,
+            exemplars: exemplars
+                .remove(name)
+                .unwrap_or_default()
+                .into_iter()
+                .map(wire_exemplar)
+                .collect(),
+        })
+        .collect();
+    // Tenants whose only footprint is an exemplar (no finished stage
+    // histograms yet) still travel.
+    for (name, rest) in exemplars {
+        tenants.push(WireTenantTrace {
+            tenant: name,
+            exemplars: rest.into_iter().map(wire_exemplar).collect(),
+            ..WireTenantTrace::default()
+        });
+    }
+    tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    WireTrace {
+        written: ring.written,
+        dropped: ring.dropped,
+        events,
+        tenants,
+    }
+}
+
+fn wire_exemplar(exemplar: TraceExemplar) -> WireExemplar {
+    WireExemplar {
+        trace: exemplar.trace.0,
+        total_ns: exemplar.total.as_nanos() as u64,
+        stages: exemplar
+            .stages
+            .iter()
+            .map(|&(stage, at)| WireStage {
+                stage: stage.code(),
+                arg: stage.arg(),
+                at_ns: at.as_nanos() as u64,
+            })
+            .collect(),
     }
 }
 

@@ -54,8 +54,9 @@ pub mod protocol;
 pub use client::{Client, NetError, SessionInfo};
 pub use door::{DoorHandle, NetConfig, NetServer};
 pub use protocol::{
-    status_of, DecodeFailure, FrameBuffer, Request, Response, WireError, WireMap, WireMetrics,
-    WireStatus, MAX_FRAME_BYTES,
+    status_of, DecodeFailure, FrameBuffer, Request, Response, WireError, WireExemplar, WireMap,
+    WireMetrics, WireStage, WireStatus, WireTenantTrace, WireTrace, WireTraceEvent,
+    MAX_FRAME_BYTES,
 };
 
 /// Convenience glob import for the network edge.
@@ -63,6 +64,7 @@ pub mod prelude {
     pub use crate::client::{Client, NetError, SessionInfo};
     pub use crate::door::{DoorHandle, NetConfig, NetServer};
     pub use crate::protocol::{
-        FrameBuffer, Request, Response, WireError, WireMap, WireMetrics, WireStatus,
+        FrameBuffer, Request, Response, WireError, WireExemplar, WireMap, WireMetrics, WireStage,
+        WireStatus, WireTenantTrace, WireTrace, WireTraceEvent,
     };
 }

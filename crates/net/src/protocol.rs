@@ -38,6 +38,7 @@
 //! | `0x07` | `Catalog`      | → | empty |
 //! | `0x08` | `Publish`      | → | `name: str`, `len: u64`, `EMDEPLOY bytes × len` |
 //! | `0x09` | `Metrics`      | → | empty |
+//! | `0x0A` | `Trace`        | → | empty |
 //! | `0x81` | `Batch`         | ← | `version: u32`, `count: u64`, then per map `rows: u64`, `cols: u64`, `f64 × rows·cols` |
 //! | `0x82` | `SessionOpened` | ← | `session: u64`, `version: u32`, `frames: u64` |
 //! | `0x83` | `Step`          | ← | `rows: u64`, `cols: u64`, `f64 × rows·cols` |
@@ -45,12 +46,19 @@
 //! | `0x85` | `Snapshot`      | ← | `len: u64`, `EMSESS1 bytes × len` |
 //! | `0x86` | `Catalog`       | ← | `count: u64`, then per entry `name: str`, `versions: u64`, `u32 × versions` |
 //! | `0x87` | `Published`     | ← | `version: u32` |
-//! | `0x88` | `Metrics`       | ← | [`WireMetrics`] scalars in declaration order (`u64` each, durations in ns) |
+//! | `0x88` | `Metrics`       | ← | [`WireMetrics`]: the headline scalars and wire gauges in declaration order (`u64` each, durations in ns), the per-reason reap counters, then the raw request- and session-latency histograms (each `count: u64`, `u64 × count` bucket counts, `samples: u64`, `total_ns: u64`) |
+//! | `0x89` | `Trace`         | ← | [`WireTrace`]: `written: u64`, `dropped: u64`, ring events (`count`, then per event `trace: u64`, `tenant: str`, `stage: u8`, `arg: u64`, `at_ns: u64`), per-tenant stage quantiles and slow-request exemplars ([`WireTenantTrace`]) |
 //! | `0xFF` | `Error`         | ← | `status: u8` ([`WireStatus`]), `message: str` |
 //!
 //! `str` means `len: u64` then UTF-8 bytes. Request tags occupy
 //! `0x01..=0x7F`, response tags `0x80..=0xFF`, so a frame can never be
 //! mistaken for the opposite direction.
+//!
+//! The `Trace` pair serves the flight recorder
+//! ([`eigenmaps_serve::trace`]); the event taxonomy, the stage byte
+//! values carried in `stage`/`arg`, and the ring-buffer semantics behind
+//! `written`/`dropped` are specified in the repository's
+//! `ARCHITECTURE.md`, section *Observability: the flight recorder*.
 //!
 //! # Validation rules
 //!
@@ -84,7 +92,7 @@ use std::fmt;
 
 use eigenmaps_core::codec::{fnv1a64, CodecError, Decoder, Encoder};
 use eigenmaps_core::ThermalMap;
-use eigenmaps_serve::{ServeError, WireSnapshot};
+use eigenmaps_serve::{HistogramSnapshot, ServeError, WireSnapshot};
 
 /// Magic bytes opening every `EMWIRE1` record.
 pub const MAGIC: &[u8; 7] = b"EMWIRE1";
@@ -107,6 +115,7 @@ const KIND_RESUME: u8 = 0x06;
 const KIND_CATALOG: u8 = 0x07;
 const KIND_PUBLISH: u8 = 0x08;
 const KIND_METRICS: u8 = 0x09;
+const KIND_TRACE: u8 = 0x0A;
 const KIND_BATCH_REPLY: u8 = 0x81;
 const KIND_SESSION_OPENED: u8 = 0x82;
 const KIND_STEP_REPLY: u8 = 0x83;
@@ -115,6 +124,7 @@ const KIND_SNAPSHOT_REPLY: u8 = 0x85;
 const KIND_CATALOG_REPLY: u8 = 0x86;
 const KIND_PUBLISHED: u8 = 0x87;
 const KIND_METRICS_REPLY: u8 = 0x88;
+const KIND_TRACE_REPLY: u8 = 0x89;
 const KIND_ERROR: u8 = 0xFF;
 
 /// How a received byte sequence failed `EMWIRE1` validation. Mirrors
@@ -335,6 +345,9 @@ pub enum Request {
     },
     /// Fetch a metrics snapshot (including the wire gauges).
     Metrics,
+    /// Fetch a flight-recorder snapshot: the event ring, per-tenant stage
+    /// quantiles and slow-request exemplars.
+    Trace,
 }
 
 /// One server → client message.
@@ -380,6 +393,8 @@ pub enum Response {
     },
     /// A metrics snapshot.
     Metrics(WireMetrics),
+    /// A flight-recorder snapshot.
+    Trace(WireTrace),
     /// The request failed (or a frame was rejected).
     Error {
         /// Typed status; check [`WireStatus::is_retryable`].
@@ -467,8 +482,36 @@ pub struct WireMetrics {
     pub latency_p50_ns: u64,
     /// 99th-percentile batch-request latency, in nanoseconds.
     pub latency_p99_ns: u64,
-    /// The connection/wire gauges.
+    /// The connection/wire gauges (including the per-reason reap
+    /// counters).
     pub wire: WireSnapshot,
+    /// Raw batch-request latency histogram — the mergeable form of
+    /// `latency_p50_ns`/`latency_p99_ns`, bucketed over
+    /// [`eigenmaps_serve::bucket_bounds_ns`].
+    pub latency_buckets: HistogramSnapshot,
+    /// Raw session-step latency histogram, same buckets.
+    pub session_latency_buckets: HistogramSnapshot,
+}
+
+fn encode_histogram(enc: &mut Encoder, h: &HistogramSnapshot) {
+    enc.put_len(h.buckets.len());
+    for &count in &h.buckets {
+        enc.u64(count);
+    }
+    enc.u64(h.count).u64(h.total_ns);
+}
+
+fn decode_histogram(dec: &mut Decoder<'_>) -> Result<HistogramSnapshot, WireError> {
+    let n = dec.take_len()?;
+    let mut buckets = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        buckets.push(dec.u64()?);
+    }
+    Ok(HistogramSnapshot {
+        buckets,
+        count: dec.u64()?,
+        total_ns: dec.u64()?,
+    })
 }
 
 impl WireMetrics {
@@ -492,7 +535,12 @@ impl WireMetrics {
             .u64(self.wire.errors_corrupt)
             .u64(self.wire.errors_malformed)
             .u64(self.wire.errors_unknown_kind)
-            .u64(self.wire.errors_rejected);
+            .u64(self.wire.errors_rejected)
+            .u64(self.wire.reaped_idle)
+            .u64(self.wire.reaped_slow_client)
+            .u64(self.wire.reaped_drain);
+        encode_histogram(enc, &self.latency_buckets);
+        encode_histogram(enc, &self.session_latency_buckets);
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
@@ -518,7 +566,180 @@ impl WireMetrics {
                 errors_malformed: dec.u64()?,
                 errors_unknown_kind: dec.u64()?,
                 errors_rejected: dec.u64()?,
+                reaped_idle: dec.u64()?,
+                reaped_slow_client: dec.u64()?,
+                reaped_drain: dec.u64()?,
             },
+            latency_buckets: decode_histogram(dec)?,
+            session_latency_buckets: decode_histogram(dec)?,
+        })
+    }
+}
+
+/// A flight-recorder snapshot in wire form: the event ring's recent
+/// history plus per-tenant stage-latency quantiles and slow-request
+/// exemplars. Stage codes/args follow [`eigenmaps_serve::Stage`]
+/// (`code()`/`arg()`/`from_wire`); see `ARCHITECTURE.md`, section
+/// *Observability: the flight recorder*, for the taxonomy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireTrace {
+    /// Events ever written to the ring.
+    pub written: u64,
+    /// Events lost to overwrite or writer contention.
+    pub dropped: u64,
+    /// The surviving ring events, oldest first.
+    pub events: Vec<WireTraceEvent>,
+    /// Per-tenant stage quantiles and exemplars, sorted by tenant name.
+    pub tenants: Vec<WireTenantTrace>,
+}
+
+/// One ring event on the wire.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireTraceEvent {
+    /// The trace id the event belongs to.
+    pub trace: u64,
+    /// Tenant (deployment name) the trace was opened for.
+    pub tenant: String,
+    /// Stage code ([`eigenmaps_serve::Stage::code`]).
+    pub stage: u8,
+    /// Stage argument (coalesced request count or rejection reason).
+    pub arg: u64,
+    /// Timestamp on the recorder's clock, in nanoseconds since its epoch.
+    pub at_ns: u64,
+}
+
+/// One tenant's stage-latency quantiles and worst full traces.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireTenantTrace {
+    /// Tenant (deployment name).
+    pub tenant: String,
+    /// Median queue wait (admitted → shard-dispatched), ns.
+    pub queue_wait_p50_ns: u64,
+    /// p99 queue wait, ns.
+    pub queue_wait_p99_ns: u64,
+    /// Median execute (shard-dispatched → kernel-done), ns.
+    pub execute_p50_ns: u64,
+    /// p99 execute, ns.
+    pub execute_p99_ns: u64,
+    /// Median respond (kernel-done → responded/rejected), ns.
+    pub respond_p50_ns: u64,
+    /// p99 respond, ns.
+    pub respond_p99_ns: u64,
+    /// The K worst (slowest admitted → terminal) full traces.
+    pub exemplars: Vec<WireExemplar>,
+}
+
+/// One slow-request exemplar: a full stage timeline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireExemplar {
+    /// The trace id.
+    pub trace: u64,
+    /// Admitted → terminal-stage wall time, ns.
+    pub total_ns: u64,
+    /// The recorded stages in timeline order.
+    pub stages: Vec<WireStage>,
+}
+
+/// One stage stamp inside an exemplar.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireStage {
+    /// Stage code ([`eigenmaps_serve::Stage::code`]).
+    pub stage: u8,
+    /// Stage argument (coalesced request count or rejection reason).
+    pub arg: u64,
+    /// Timestamp in nanoseconds since the recorder's epoch.
+    pub at_ns: u64,
+}
+
+impl WireTrace {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u64(self.written).u64(self.dropped);
+        enc.put_len(self.events.len());
+        for event in &self.events {
+            enc.u64(event.trace);
+            encode_str(enc, &event.tenant);
+            enc.u8(event.stage).u64(event.arg).u64(event.at_ns);
+        }
+        enc.put_len(self.tenants.len());
+        for tenant in &self.tenants {
+            encode_str(enc, &tenant.tenant);
+            enc.u64(tenant.queue_wait_p50_ns)
+                .u64(tenant.queue_wait_p99_ns)
+                .u64(tenant.execute_p50_ns)
+                .u64(tenant.execute_p99_ns)
+                .u64(tenant.respond_p50_ns)
+                .u64(tenant.respond_p99_ns);
+            enc.put_len(tenant.exemplars.len());
+            for exemplar in &tenant.exemplars {
+                enc.u64(exemplar.trace).u64(exemplar.total_ns);
+                enc.put_len(exemplar.stages.len());
+                for stage in &exemplar.stages {
+                    enc.u8(stage.stage).u64(stage.arg).u64(stage.at_ns);
+                }
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let written = dec.u64()?;
+        let dropped = dec.u64()?;
+        let count = dec.take_len()?;
+        let mut events = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            events.push(WireTraceEvent {
+                trace: dec.u64()?,
+                tenant: decode_str(dec)?,
+                stage: dec.u8()?,
+                arg: dec.u64()?,
+                at_ns: dec.u64()?,
+            });
+        }
+        let count = dec.take_len()?;
+        let mut tenants = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            let tenant = decode_str(dec)?;
+            let queue_wait_p50_ns = dec.u64()?;
+            let queue_wait_p99_ns = dec.u64()?;
+            let execute_p50_ns = dec.u64()?;
+            let execute_p99_ns = dec.u64()?;
+            let respond_p50_ns = dec.u64()?;
+            let respond_p99_ns = dec.u64()?;
+            let exemplar_count = dec.take_len()?;
+            let mut exemplars = Vec::with_capacity(exemplar_count.min(1024));
+            for _ in 0..exemplar_count {
+                let trace = dec.u64()?;
+                let total_ns = dec.u64()?;
+                let stage_count = dec.take_len()?;
+                let mut stages = Vec::with_capacity(stage_count.min(1024));
+                for _ in 0..stage_count {
+                    stages.push(WireStage {
+                        stage: dec.u8()?,
+                        arg: dec.u64()?,
+                        at_ns: dec.u64()?,
+                    });
+                }
+                exemplars.push(WireExemplar {
+                    trace,
+                    total_ns,
+                    stages,
+                });
+            }
+            tenants.push(WireTenantTrace {
+                tenant,
+                queue_wait_p50_ns,
+                queue_wait_p99_ns,
+                execute_p50_ns,
+                execute_p99_ns,
+                respond_p50_ns,
+                respond_p99_ns,
+                exemplars,
+            });
+        }
+        Ok(WireTrace {
+            written,
+            dropped,
+            events,
+            tenants,
         })
     }
 }
@@ -634,6 +855,7 @@ impl Request {
                 encode_blob(enc, artifact);
             }),
             Request::Metrics => seal_frame(id, KIND_METRICS, |_| {}),
+            Request::Trace => seal_frame(id, KIND_TRACE, |_| {}),
         }
     }
 
@@ -687,6 +909,7 @@ impl Request {
                 artifact: decode_blob(&mut dec).map_err(fail)?,
             },
             KIND_METRICS => Request::Metrics,
+            KIND_TRACE => Request::Trace,
             kind => return Err(fail(WireError::UnknownKind { kind })),
         };
         dec.finish().map_err(|_| {
@@ -738,6 +961,9 @@ impl Response {
             }),
             Response::Metrics(metrics) => seal_frame(id, KIND_METRICS_REPLY, |enc| {
                 metrics.encode(enc);
+            }),
+            Response::Trace(trace) => seal_frame(id, KIND_TRACE_REPLY, |enc| {
+                trace.encode(enc);
             }),
             Response::Error { status, message } => seal_frame(id, KIND_ERROR, |enc| {
                 enc.u8(status.to_u8());
@@ -803,6 +1029,7 @@ impl Response {
                 version: dec.u32().map_err(|e| fail(e.into()))?,
             },
             KIND_METRICS_REPLY => Response::Metrics(WireMetrics::decode(&mut dec).map_err(fail)?),
+            KIND_TRACE_REPLY => Response::Trace(WireTrace::decode(&mut dec).map_err(fail)?),
             KIND_ERROR => Response::Error {
                 status: WireStatus::from_u8(dec.u8().map_err(|e| fail(e.into()))?).map_err(fail)?,
                 message: decode_str(&mut dec).map_err(fail)?,
@@ -936,6 +1163,7 @@ mod tests {
             artifact: vec![0; 64],
         });
         roundtrip_request(Request::Metrics);
+        roundtrip_request(Request::Trace);
     }
 
     #[test]
@@ -972,10 +1200,69 @@ mod tests {
             requests: 10,
             wire: WireSnapshot {
                 frames_in: 12,
+                reaped_idle: 2,
+                reaped_slow_client: 1,
+                reaped_drain: 3,
                 ..WireSnapshot::default()
+            },
+            latency_buckets: HistogramSnapshot {
+                buckets: vec![0, 4, 9, 0, 1],
+                count: 14,
+                total_ns: 123_456,
+            },
+            session_latency_buckets: HistogramSnapshot {
+                buckets: vec![2; 23],
+                count: 46,
+                total_ns: 9_000,
             },
             ..WireMetrics::default()
         }));
+        roundtrip_response(Response::Trace(WireTrace {
+            written: 100,
+            dropped: 3,
+            events: vec![
+                WireTraceEvent {
+                    trace: 7,
+                    tenant: "sku-a".into(),
+                    stage: 2,
+                    arg: 16,
+                    at_ns: 1_000,
+                },
+                WireTraceEvent {
+                    trace: 8,
+                    tenant: "sku-b".into(),
+                    stage: 6,
+                    arg: 1,
+                    at_ns: 2_000,
+                },
+            ],
+            tenants: vec![WireTenantTrace {
+                tenant: "sku-a".into(),
+                queue_wait_p50_ns: 10,
+                queue_wait_p99_ns: 20,
+                execute_p50_ns: 30,
+                execute_p99_ns: 40,
+                respond_p50_ns: 50,
+                respond_p99_ns: 60,
+                exemplars: vec![WireExemplar {
+                    trace: 7,
+                    total_ns: 5_500,
+                    stages: vec![
+                        WireStage {
+                            stage: 0,
+                            arg: 0,
+                            at_ns: 100,
+                        },
+                        WireStage {
+                            stage: 5,
+                            arg: 0,
+                            at_ns: 5_600,
+                        },
+                    ],
+                }],
+            }],
+        }));
+        roundtrip_response(Response::Trace(WireTrace::default()));
         roundtrip_response(Response::Error {
             status: WireStatus::Saturated,
             message: "tenant full".into(),

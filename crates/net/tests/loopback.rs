@@ -398,6 +398,101 @@ fn metrics_snapshot_travels_the_wire() {
     join.join().unwrap();
 }
 
+/// Tentpole acceptance: a trace fetched over TCP shows every lifecycle
+/// stage of a batch request — admitted, enqueued, coalesced, shard
+/// dispatch, kernel completion, response — with monotone timestamps,
+/// plus the session-step lifecycle and the slow-request exemplars.
+#[test]
+fn flight_recorder_trace_travels_the_wire_with_full_lifecycle() {
+    let fleet = fleet();
+    let server = Arc::new(Server::new(Arc::clone(&fleet.registry), 2));
+    let (addr, handle, join) = spawn_door(Arc::clone(&server));
+
+    let mut client = Client::connect(addr).expect("connect");
+    let (_, maps) = client
+        .submit_batch(fleet.names[0], fleet.frames[0].clone())
+        .expect("batch");
+    assert_eq!(maps.len(), fleet.frames[0].len());
+    let info = client.open_session(fleet.names[1], 0.7).expect("open");
+    client
+        .step(info.session, fleet.frames[1][0].clone())
+        .expect("step");
+
+    let trace = client.trace().expect("trace over TCP");
+    assert!(trace.written >= 1, "the ring saw events");
+    assert_eq!(trace.dropped, 0, "a near-empty ring drops nothing");
+
+    // Ring events arrive oldest-first; per trace id that is emission
+    // order, i.e. lifecycle order.
+    let mut per_trace: std::collections::HashMap<u64, Vec<&WireTraceEvent>> =
+        std::collections::HashMap::new();
+    for event in &trace.events {
+        per_trace.entry(event.trace).or_default().push(event);
+    }
+
+    // The batch request (the only trace with a Coalesced stage, code 2):
+    // every stage present, in order, timestamps monotone.
+    let batch = per_trace
+        .values()
+        .find(|events| events.iter().any(|e| e.stage == 2))
+        .expect("the batch trace is in the ring");
+    assert_eq!(batch[0].tenant, fleet.names[0]);
+    let stages: Vec<u8> = batch.iter().map(|e| e.stage).collect();
+    assert_eq!(
+        stages,
+        vec![0, 1, 2, 3, 4, 5],
+        "admitted → enqueued → coalesced → dispatched → kernel-done → responded"
+    );
+    let coalesced = batch.iter().find(|e| e.stage == 2).unwrap();
+    assert_eq!(coalesced.arg, 1, "one request in the coalesced batch");
+    assert!(
+        batch.windows(2).all(|w| w[0].at_ns <= w[1].at_ns),
+        "timestamps are monotone within the trace"
+    );
+
+    // The session step: same lifecycle minus coalescing.
+    let step = per_trace
+        .values()
+        .find(|events| events[0].tenant == fleet.names[1])
+        .expect("the step trace is in the ring");
+    let stages: Vec<u8> = step.iter().map(|e| e.stage).collect();
+    assert_eq!(stages, vec![0, 1, 3, 4, 5]);
+    assert!(step.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+
+    // Per-tenant exemplars: the completed batch request is the worst
+    // (only) trace for its tenant, with the full six-stage timeline.
+    let tenant = trace
+        .tenants
+        .iter()
+        .find(|t| t.tenant == fleet.names[0])
+        .expect("tenant entry for the batch tenant");
+    let exemplar = tenant.exemplars.first().expect("slow-request exemplar");
+    assert!(exemplar.total_ns > 0);
+    assert_eq!(exemplar.stages.len(), 6);
+    assert!(exemplar.stages.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+
+    // The extended metrics reply carries the raw histograms and the
+    // (still-zero) per-reason reap counters.
+    let metrics = client.metrics().expect("metrics over TCP");
+    assert!(metrics.latency_buckets.count >= 1);
+    assert_eq!(
+        metrics.latency_buckets.buckets.iter().sum::<u64>(),
+        metrics.latency_buckets.count,
+        "bucket counts add up"
+    );
+    assert!(metrics.session_latency_buckets.count >= 1);
+    assert_eq!(metrics.wire.reaped_idle, 0);
+    assert_eq!(metrics.wire.reaped_slow_client, 0);
+    assert_eq!(metrics.wire.reaped_drain, 0);
+
+    // Shutting down with this client still connected is a drain reap,
+    // metered under its own reason.
+    handle.shutdown();
+    join.join().unwrap();
+    assert_eq!(server.metrics().wire.reaped_drain, 1);
+    assert_eq!(server.metrics().wire.reaped_idle, 0);
+}
+
 #[test]
 fn unknown_names_and_sessions_map_to_typed_statuses() {
     let fleet = fleet();

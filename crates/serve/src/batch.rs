@@ -53,6 +53,7 @@ use crate::registry::DeploymentRegistry;
 use crate::scheduler::{Decision, FlushDecision, Scheduler, StepDecision, StreamId, TenantKey};
 use crate::session::{SessionDoor, TrackerSession};
 use crate::shard::ShardedExecutor;
+use crate::trace::{FlightRecorder, RejectReason, Stage, TraceCard, DEFAULT_RING_CAPACITY};
 
 pub use crate::scheduler::BatchPolicy;
 
@@ -321,6 +322,7 @@ pub(crate) struct QueuedRequest {
     deployment: Arc<Deployment>,
     frames: Vec<Vec<f64>>,
     enqueued: Instant,
+    trace: TraceCard,
     responder: Responder<Vec<ThermalMap>>,
 }
 
@@ -335,6 +337,7 @@ pub(crate) struct QueuedStep {
     pub(crate) readings: Vec<f64>,
     pub(crate) enqueued: Instant,
     pub(crate) frames: Arc<AtomicU64>,
+    pub(crate) trace: TraceCard,
     pub(crate) responder: Responder<ThermalMap>,
 }
 
@@ -387,6 +390,9 @@ pub struct Server {
     /// live streams too.
     overrides: Arc<RwLock<HashMap<String, BatchPolicy>>>,
     queue: Sender<BatcherMsg>,
+    /// The flight recorder every request, step and rejection reports its
+    /// lifecycle stages to (see [`crate::trace`]).
+    recorder: FlightRecorder,
     /// Stream-lane id allocator for sessions opened through this server.
     next_stream: AtomicU64,
     batcher: Option<JoinHandle<()>>,
@@ -409,18 +415,20 @@ impl Server {
         let metrics = Arc::new(ServeMetrics::new(shards));
         let executor = Arc::new(ShardedExecutor::with_metrics(shards, Arc::clone(&metrics)));
         let (queue, rx) = mpsc::channel();
-        // The scheduler-clock epoch predates every possible submit, so
-        // request timestamps always convert to a valid `Duration`.
-        let epoch = Instant::now();
+        // The recorder's clock epoch predates every possible submit, so
+        // request timestamps always convert to a valid `Duration`; the
+        // batcher, the scheduler and the trace ring all share it.
+        let recorder = FlightRecorder::with_metrics(DEFAULT_RING_CAPACITY, Arc::clone(&metrics));
         let batcher = {
             let executor = Arc::clone(&executor);
             let metrics = Arc::clone(&metrics);
+            let recorder = recorder.clone();
             // The batcher holds a sender to its own queue: workers clone
             // it into dispatched steps to report `StepDone`.
             let done = queue.clone();
             std::thread::Builder::new()
                 .name("eigenmaps-batcher".into())
-                .spawn(move || batcher_loop(&rx, &executor, &metrics, &done, policy, epoch))
+                .spawn(move || batcher_loop(&rx, &executor, &metrics, &done, policy, recorder))
                 .expect("spawn batcher")
         };
         Server {
@@ -430,6 +438,7 @@ impl Server {
             policy,
             overrides: Arc::new(RwLock::new(HashMap::new())),
             queue,
+            recorder,
             next_stream: AtomicU64::new(1),
             batcher: Some(batcher),
         }
@@ -510,6 +519,16 @@ impl Server {
     /// connection/wire gauges to the same snapshot.
     pub fn metrics_hub(&self) -> &Arc<ServeMetrics> {
         &self.metrics
+    }
+
+    /// The flight recorder tracing every request's lifecycle through this
+    /// server: read its ring with [`FlightRecorder::snapshot`], its
+    /// slowest full traces with [`FlightRecorder::exemplars`], or switch
+    /// tracing off with [`FlightRecorder::set_enabled`]. Transports (e.g.
+    /// the network door) clone it to stamp their own wire stages onto the
+    /// same timeline.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
     }
 
     /// Enqueues a request, returning a [`Ticket`] for the response. The
@@ -645,6 +664,13 @@ impl Server {
                 self.tenant_policy(&request.deployment)
                     .max_pending_per_tenant as u64,
             ) {
+                // A request turned away at the door still leaves a ring
+                // event: a terminal-only trace with the rejection reason.
+                self.recorder.event(
+                    self.recorder.allocate(&request.deployment),
+                    Stage::Rejected(RejectReason::Saturated),
+                    self.recorder.now(),
+                );
                 return Err(ServeError::Saturated {
                     name: request.deployment,
                     pending,
@@ -653,6 +679,7 @@ impl Server {
         } else {
             self.metrics.record_tenant_enqueued(&request.deployment);
         }
+        let trace = self.recorder.begin(&request.deployment);
         let slot = ResponseSlot::new();
         let ticket = Ticket {
             version,
@@ -664,11 +691,13 @@ impl Server {
             deployment,
             frames: request.frames,
             enqueued: Instant::now(),
+            trace,
             responder: Responder::new(slot),
         };
         if let Err(mpsc::SendError(dead)) = self.queue.send(BatcherMsg::Request(queued)) {
             if let BatcherMsg::Request(dead) = dead {
                 self.metrics.record_tenant_dequeued(&dead.key.name, 1);
+                dead.trace.record(Stage::Rejected(RejectReason::Terminated));
             }
             return Err(ServeError::Terminated {
                 context: "request queue closed",
@@ -699,6 +728,7 @@ impl Server {
             queue: self.queue.clone(),
             overrides: Arc::clone(&self.overrides),
             fallback: self.policy,
+            recorder: self.recorder.clone(),
         }
     }
 
@@ -808,9 +838,11 @@ fn batcher_loop(
     metrics: &Arc<ServeMetrics>,
     done: &Sender<BatcherMsg>,
     policy: BatchPolicy,
-    epoch: Instant,
+    recorder: FlightRecorder,
 ) {
+    let epoch = recorder.epoch();
     let mut scheduler: Scheduler<Work> = Scheduler::new(policy);
+    scheduler.set_recorder(recorder.clone());
     // Streams with a step currently executing on a worker.
     let mut inflight: HashSet<StreamId> = HashSet::new();
     // Steps admitted while their stream was gated (in flight, or already
@@ -831,6 +863,10 @@ fn batcher_loop(
         {
             deferred.entry(stream).or_default().push_back(step);
         } else {
+            // Steps enter their scheduler lane here (not at submit):
+            // stream lanes are card-traced by the batcher, not the
+            // scheduler.
+            step.trace.record(Stage::Enqueued);
             scheduler.submit_stream(stream, Work::Step(step));
         }
     }
@@ -845,6 +881,7 @@ fn batcher_loop(
         inflight.remove(&stream);
         if let Some(queue) = deferred.get_mut(&stream) {
             if let Some(next) = queue.pop_front() {
+                next.trace.record(Stage::Enqueued);
                 scheduler.submit_stream(stream, Work::Step(next));
             }
             if queue.is_empty() {
@@ -889,10 +926,14 @@ fn batcher_loop(
                 // `max_delay`, so an already-overdue request flushes on
                 // the very next tick.
                 let enqueued_at = request.enqueued.saturating_duration_since(epoch);
-                scheduler.submit(
+                // The scheduler emits the ring event; the card only
+                // mirrors the stamp so the exemplar stays complete.
+                request.trace.note_at(Stage::Enqueued, enqueued_at);
+                scheduler.submit_traced(
                     enqueued_at,
                     request.key.clone(),
                     request.frames.len(),
+                    request.trace.trace_ref(),
                     Work::Request(request),
                 );
             }
@@ -910,7 +951,7 @@ fn batcher_loop(
         }
         for decision in scheduler.tick(now) {
             match decision {
-                Decision::Batch(flush) => execute_flush(flush, executor, metrics),
+                Decision::Batch(flush) => execute_flush(flush, executor, metrics, now),
                 Decision::Step(step) => dispatch_step(step, executor, metrics, done, &mut inflight),
             }
         }
@@ -928,10 +969,12 @@ fn batcher_loop(
             }
             Ok(BatcherMsg::Request(request)) => {
                 let enqueued_at = request.enqueued.saturating_duration_since(epoch);
-                scheduler.submit(
+                request.trace.note_at(Stage::Enqueued, enqueued_at);
+                scheduler.submit_traced(
                     enqueued_at,
                     request.key.clone(),
                     request.frames.len(),
+                    request.trace.trace_ref(),
                     Work::Request(request),
                 );
             }
@@ -944,9 +987,10 @@ fn batcher_loop(
     }
     // 2: flush everything still scheduled; steps run synchronously now
     // (their streams have nothing in flight).
+    let drain_now = epoch.elapsed();
     for decision in scheduler.drain() {
         match decision {
-            Decision::Batch(flush) => execute_flush(flush, executor, metrics),
+            Decision::Batch(flush) => execute_flush(flush, executor, metrics, drain_now),
             Decision::Step(step) => match step.job {
                 Work::Step(step) => execute_step_blocking(step, executor, metrics),
                 Work::Request(_) => unreachable!("stream lanes carry only steps"),
@@ -984,6 +1028,7 @@ fn dispatch_step(
     };
     let stream = step.stream;
     let metrics = Arc::clone(metrics);
+    step.trace.record(Stage::ShardDispatched);
     // The guard reports `StepDone` even if the step panics mid-worker:
     // without it, a panicking step would leave the stream gated forever
     // (later steps deferred with hanging tickets, shutdown stalled on the
@@ -995,6 +1040,7 @@ fn dispatch_step(
     let spawned = executor.spawn(move |worker| {
         let _guard = guard;
         let outcome = crate::shard::step_tracker(&step.tracker, &step.readings);
+        step.trace.record(Stage::KernelDone);
         metrics.record_shard(worker, 1);
         complete_step(step, outcome.map_err(ServeError::Core), &metrics);
     });
@@ -1027,6 +1073,7 @@ fn complete_step(step: QueuedStep, outcome: Result<ThermalMap>, metrics: &ServeM
         name,
         enqueued,
         frames,
+        trace,
         responder,
         ..
     } = step;
@@ -1035,10 +1082,12 @@ fn complete_step(step: QueuedStep, outcome: Result<ThermalMap>, metrics: &ServeM
         Ok(map) => {
             frames.fetch_add(1, Ordering::Release);
             metrics.record_session_step(&name);
+            trace.record(Stage::Responded);
             responder.send(Ok(map));
         }
         Err(e) => {
             metrics.record_error();
+            trace.record(Stage::Rejected(RejectReason::Failed));
             responder.send(Err(e));
         }
     }
@@ -1050,6 +1099,7 @@ fn execute_flush(
     decision: FlushDecision<Work>,
     executor: &ShardedExecutor,
     metrics: &ServeMetrics,
+    now: std::time::Duration,
 ) {
     let FlushDecision {
         tenant,
@@ -1069,6 +1119,15 @@ fn execute_flush(
         .collect();
     metrics.record_batch();
     metrics.record_tenant_batch(&tenant.name, jobs.len() as u64, total_frames as u64);
+    // Mirror the scheduler's coalesce ring events onto the cards (slot
+    // only — the ring already has them), then mark the shard hand-off.
+    let coalesced = Stage::Coalesced {
+        requests: jobs.len() as u32,
+    };
+    for req in &jobs {
+        req.trace.note_at(coalesced, now);
+        req.trace.record(Stage::ShardDispatched);
+    }
     // Every job in a decision pinned the same registry artifact (same
     // (name, version) ⇒ same Arc handed out by the registry).
     let deployment = Arc::clone(&jobs[0].deployment);
@@ -1079,12 +1138,16 @@ fn execute_flush(
         combined.append(&mut req.frames); // moves the inner Vecs, no copy
     }
     let outcome = executor.execute(&deployment, &Arc::new(combined));
+    for req in &jobs {
+        req.trace.record(Stage::KernelDone);
+    }
     match outcome {
         Ok(mut maps) => {
             for (req, count) in jobs.into_iter().zip(counts) {
                 let rest = maps.split_off(count);
                 let chunk = std::mem::replace(&mut maps, rest);
                 metrics.record_latency(req.enqueued.elapsed());
+                req.trace.record(Stage::Responded);
                 req.responder.send(Ok(chunk));
             }
         }
@@ -1092,6 +1155,7 @@ fn execute_flush(
             for req in jobs {
                 metrics.record_latency(req.enqueued.elapsed());
                 metrics.record_error();
+                req.trace.record(Stage::Rejected(RejectReason::Failed));
                 req.responder.send(Err(e.clone()));
             }
         }
@@ -1102,7 +1166,9 @@ fn execute_flush(
 /// where nothing else is in flight for the stream) and completes its
 /// ticket.
 fn execute_step_blocking(step: QueuedStep, executor: &ShardedExecutor, metrics: &ServeMetrics) {
+    step.trace.record(Stage::ShardDispatched);
     let outcome = executor.execute_step(&step.tracker, step.readings.clone());
+    step.trace.record(Stage::KernelDone);
     complete_step(step, outcome, metrics);
 }
 

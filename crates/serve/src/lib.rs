@@ -118,11 +118,13 @@ pub mod registry;
 pub mod scheduler;
 pub mod session;
 pub mod shard;
+pub mod trace;
 
 pub use batch::{BatchPolicy, ServeRequest, Server, Ticket};
 pub use error::{Result, ServeError};
 pub use metrics::{
-    LatencyHistogram, MetricsSnapshot, ServeMetrics, TenantSnapshot, WireErrorKind, WireSnapshot,
+    bucket_bounds_ns, HistogramSnapshot, LatencyHistogram, MetricsSnapshot, ReapReason,
+    ServeMetrics, StageLatency, TenantSnapshot, WireErrorKind, WireSnapshot,
 };
 pub use registry::DeploymentRegistry;
 pub use scheduler::{
@@ -130,6 +132,10 @@ pub use scheduler::{
 };
 pub use session::{StepTicket, TrackerSession};
 pub use shard::ShardedExecutor;
+pub use trace::{
+    FlightRecorder, RejectReason, RingSnapshot, Stage, TraceCard, TraceEvent, TraceExemplar,
+    TraceId, TraceRef,
+};
 
 #[cfg(test)]
 pub(crate) mod testutil {
@@ -168,8 +174,8 @@ pub mod prelude {
     pub use crate::batch::{BatchPolicy, ServeRequest, Server, Ticket};
     pub use crate::error::{Result, ServeError};
     pub use crate::metrics::{
-        LatencyHistogram, MetricsSnapshot, ServeMetrics, TenantSnapshot, WireErrorKind,
-        WireSnapshot,
+        bucket_bounds_ns, HistogramSnapshot, LatencyHistogram, MetricsSnapshot, ReapReason,
+        ServeMetrics, StageLatency, TenantSnapshot, WireErrorKind, WireSnapshot,
     };
     pub use crate::registry::DeploymentRegistry;
     pub use crate::scheduler::{
@@ -177,4 +183,8 @@ pub mod prelude {
     };
     pub use crate::session::{StepTicket, TrackerSession};
     pub use crate::shard::ShardedExecutor;
+    pub use crate::trace::{
+        FlightRecorder, RejectReason, RingSnapshot, Stage, TraceCard, TraceEvent, TraceExemplar,
+        TraceId, TraceRef,
+    };
 }

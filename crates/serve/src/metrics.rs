@@ -65,6 +65,67 @@ const BUCKET_BOUNDS_NS: [u64; 22] = [
     10_000_000_000,
 ];
 
+/// The fixed bucket upper bounds (nanoseconds) every
+/// [`LatencyHistogram`] in this crate uses — 22 bounds of a 1-2-5 log
+/// ladder from 1 µs to 10 s; the final bucket of a
+/// [`HistogramSnapshot`] (index 22) counts overflow samples beyond the
+/// last bound. Identical in every process, so external scrapers can
+/// merge raw bucket counts from different replicas bucket-by-bucket.
+pub fn bucket_bounds_ns() -> &'static [u64] {
+    &BUCKET_BOUNDS_NS
+}
+
+/// A point-in-time copy of one [`LatencyHistogram`]'s raw state: the
+/// per-bucket counts (aligned with [`bucket_bounds_ns`], plus one final
+/// overflow bucket), the sample count and the summed nanoseconds.
+///
+/// This is what external scrapers should aggregate — derived quantiles
+/// (`latency_p50` / `latency_p99` in [`MetricsSnapshot`]) resolve to
+/// bucket upper bounds and cannot be merged across processes, while raw
+/// bucket counts can.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts: `buckets[i]` counts samples at or below
+    /// `bucket_bounds_ns()[i]`; the final element counts overflow.
+    pub buckets: Vec<u64>,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all recorded samples, in nanoseconds.
+    pub total_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded latency ([`Duration::ZERO`] when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.total_ns / self.count)
+    }
+
+    /// The `q`-quantile under the same bucket-upper-bound rule as
+    /// [`LatencyHistogram::quantile`]; [`Duration::ZERO`] when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket;
+            if cumulative >= target {
+                let bound = BUCKET_BOUNDS_NS
+                    .get(i)
+                    .copied()
+                    .unwrap_or(BUCKET_BOUNDS_NS[BUCKET_BOUNDS_NS.len() - 1]);
+                return Duration::from_nanos(bound);
+            }
+        }
+        Duration::from_nanos(BUCKET_BOUNDS_NS[BUCKET_BOUNDS_NS.len() - 1])
+    }
+}
+
 /// Fixed-bucket latency histogram with lock-free recording.
 ///
 /// Quantile estimates are upper bounds of the containing bucket: for
@@ -147,6 +208,34 @@ impl LatencyHistogram {
         }
         Duration::from_nanos(BUCKET_BOUNDS_NS[BUCKET_BOUNDS_NS.len() - 1])
     }
+
+    /// A point-in-time copy of the raw bucket counts, sample count and
+    /// summed nanoseconds — the mergeable form external scrapers want.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One phase of a traced request's lifecycle, as attributed by the
+/// flight recorder ([`crate::trace::FlightRecorder`]) into per-tenant
+/// stage histograms: where did the time go — waiting for a grant,
+/// executing on a shard, or delivering the response?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageLatency {
+    /// Admission to shard dispatch: time spent queued and coalescing.
+    QueueWait,
+    /// Shard dispatch to kernel completion: time spent computing.
+    Execute,
+    /// Kernel completion to response delivery.
+    Respond,
 }
 
 /// Per-tenant batching counters and queue-depth gauge, keyed by
@@ -167,6 +256,12 @@ struct TenantCounters {
     max_queue_depth: AtomicU64,
     /// Streaming session steps served against this tenant's deployments.
     session_steps: AtomicU64,
+    /// Stage attribution from the flight recorder: admission → dispatch.
+    queue_wait: LatencyHistogram,
+    /// Stage attribution: dispatch → kernel done.
+    execute: LatencyHistogram,
+    /// Stage attribution: kernel done → response delivered.
+    respond: LatencyHistogram,
 }
 
 /// Kind tag for one recorded wire-level error — how a network front door
@@ -189,6 +284,22 @@ pub enum WireErrorKind {
     Rejected,
 }
 
+/// Why a network front door reaped (force-closed) a connection — kept as
+/// separate counters so an operator can tell dead peers from overwhelmed
+/// ones from ordinary shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReapReason {
+    /// No readable traffic and nothing pending to write for longer than
+    /// the idle timeout: the peer went away.
+    Idle,
+    /// The connection made no progress while responses were backed up
+    /// toward it: the peer stopped reading (slow client).
+    SlowClient,
+    /// The door was asked to shut down and closed the connection during
+    /// drain.
+    Drain,
+}
+
 /// Connection/wire gauges recorded by a network front door (see the
 /// `eigenmaps-net` crate): connection gauge with high-water mark, frames
 /// decoded/encoded, raw bytes in/out and per-kind error counters.
@@ -208,6 +319,8 @@ struct WireCounters {
     bytes_out: AtomicU64,
     /// Error counters indexed by [`WireErrorKind`] discriminant order.
     errors: [AtomicU64; 5],
+    /// Reap counters indexed by [`ReapReason`] discriminant order.
+    reaps: [AtomicU64; 3],
 }
 
 /// Counter hub shared by the front end, the execution engine and any
@@ -307,6 +420,29 @@ impl ServeMetrics {
             WireErrorKind::Rejected => 4,
         };
         self.wire.errors[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one connection reaped by a network front door for
+    /// `reason`.
+    pub fn record_reap(&self, reason: ReapReason) {
+        let idx = match reason {
+            ReapReason::Idle => 0,
+            ReapReason::SlowClient => 1,
+            ReapReason::Drain => 2,
+        };
+        self.wire.reaps[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one stage latency for tenant `name` — the flight
+    /// recorder's per-tenant attribution of where a finished request's
+    /// time went.
+    pub fn record_stage_latency(&self, name: &str, stage: StageLatency, latency: Duration) {
+        let tenant = self.tenant(name);
+        match stage {
+            StageLatency::QueueWait => tenant.queue_wait.record(latency),
+            StageLatency::Execute => tenant.execute.record(latency),
+            StageLatency::Respond => tenant.respond.record(latency),
+        }
     }
 
     /// The counter block for `name`, created on first use.
@@ -493,6 +629,8 @@ impl ServeMetrics {
             latency_p99: self.latency.quantile(0.99),
             session_latency_p50: self.session_latency.quantile(0.50),
             session_latency_p99: self.session_latency.quantile(0.99),
+            latency_buckets: self.latency.snapshot(),
+            session_latency_buckets: self.session_latency.snapshot(),
             shard_frames: self
                 .shard_frames
                 .iter()
@@ -518,6 +656,9 @@ impl ServeMetrics {
                             queue_depth: t.queue_depth.load(Ordering::Relaxed),
                             max_queue_depth: t.max_queue_depth.load(Ordering::Relaxed),
                             session_steps: t.session_steps.load(Ordering::Relaxed),
+                            queue_wait: t.queue_wait.snapshot(),
+                            execute: t.execute.snapshot(),
+                            respond: t.respond.snapshot(),
                         },
                     )
                 })
@@ -534,6 +675,9 @@ impl ServeMetrics {
                 errors_malformed: self.wire.errors[2].load(Ordering::Relaxed),
                 errors_unknown_kind: self.wire.errors[3].load(Ordering::Relaxed),
                 errors_rejected: self.wire.errors[4].load(Ordering::Relaxed),
+                reaped_idle: self.wire.reaps[0].load(Ordering::Relaxed),
+                reaped_slow_client: self.wire.reaps[1].load(Ordering::Relaxed),
+                reaped_drain: self.wire.reaps[2].load(Ordering::Relaxed),
             },
         }
     }
@@ -570,6 +714,13 @@ pub struct WireSnapshot {
     /// Well-formed requests refused with a typed error status
     /// ([`WireErrorKind::Rejected`]).
     pub errors_rejected: u64,
+    /// Connections reaped for inactivity ([`ReapReason::Idle`]).
+    pub reaped_idle: u64,
+    /// Connections reaped because they stopped reading while responses
+    /// backed up ([`ReapReason::SlowClient`]).
+    pub reaped_slow_client: u64,
+    /// Connections closed during shutdown drain ([`ReapReason::Drain`]).
+    pub reaped_drain: u64,
 }
 
 impl WireSnapshot {
@@ -580,6 +731,11 @@ impl WireSnapshot {
             + self.errors_malformed
             + self.errors_unknown_kind
             + self.errors_rejected
+    }
+
+    /// Total connections reaped across every reason.
+    pub fn reaped_total(&self) -> u64 {
+        self.reaped_idle + self.reaped_slow_client + self.reaped_drain
     }
 }
 
@@ -598,6 +754,13 @@ pub struct TenantSnapshot {
     pub max_queue_depth: u64,
     /// Streaming session steps served against this tenant's deployments.
     pub session_steps: u64,
+    /// Raw bucket counts of the admission→dispatch stage latency (from
+    /// the flight recorder; empty histogram without one).
+    pub queue_wait: HistogramSnapshot,
+    /// Raw bucket counts of the dispatch→kernel-done stage latency.
+    pub execute: HistogramSnapshot,
+    /// Raw bucket counts of the kernel-done→responded stage latency.
+    pub respond: HistogramSnapshot,
 }
 
 impl TenantSnapshot {
@@ -651,6 +814,12 @@ pub struct MetricsSnapshot {
     /// 99th-percentile submit-to-response latency of scheduled session
     /// steps (bucket upper bound).
     pub session_latency_p99: Duration,
+    /// Raw bucket counts behind `latency_p50`/`latency_p99` — the
+    /// mergeable form external scrapers aggregate (see
+    /// [`bucket_bounds_ns`]).
+    pub latency_buckets: HistogramSnapshot,
+    /// Raw bucket counts behind the session-step latency quantiles.
+    pub session_latency_buckets: HistogramSnapshot,
     /// Frames executed per shard.
     pub shard_frames: Vec<u64>,
     /// Shard batches executed per shard.
@@ -810,6 +979,74 @@ mod tests {
             m.record_connection_closed();
         }
         assert_eq!(m.snapshot().wire.connections_open, 0);
+    }
+
+    #[test]
+    fn histogram_snapshot_exposes_raw_buckets() {
+        let h = LatencyHistogram::new();
+        for us in [3u64, 30, 300, 3_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets.len(), bucket_bounds_ns().len() + 1);
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 4);
+        // Raw counts land exactly where the bounds say they should.
+        for (i, &bound) in bucket_bounds_ns().iter().enumerate() {
+            let expected = [3_000u64, 30_000, 300_000, 3_000_000]
+                .iter()
+                .filter(|&&ns| {
+                    let lower = if i == 0 { 0 } else { bucket_bounds_ns()[i - 1] };
+                    ns > lower && ns <= bound
+                })
+                .count() as u64;
+            assert_eq!(snap.buckets[i], expected, "bucket {i}");
+        }
+        // Derived figures agree between the live histogram and the copy.
+        assert_eq!(snap.quantile(0.5), h.quantile(0.5));
+        assert_eq!(snap.quantile(0.99), h.quantile(0.99));
+        assert_eq!(snap.mean(), h.mean());
+        // An overflow sample lands in the final bucket of the copy too.
+        h.record(Duration::from_secs(100));
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[bucket_bounds_ns().len()], 1);
+        assert_eq!(snap.quantile(1.0), Duration::from_secs(10));
+    }
+
+    #[test]
+    fn stage_latencies_attribute_per_tenant() {
+        let m = ServeMetrics::new(1);
+        m.record_stage_latency("alpha", StageLatency::QueueWait, Duration::from_micros(40));
+        m.record_stage_latency("alpha", StageLatency::QueueWait, Duration::from_micros(45));
+        m.record_stage_latency("alpha", StageLatency::Execute, Duration::from_micros(400));
+        m.record_stage_latency("alpha", StageLatency::Respond, Duration::from_micros(4));
+        let s = m.snapshot();
+        let alpha = &s.tenants["alpha"];
+        assert_eq!(alpha.queue_wait.count, 2);
+        assert_eq!(alpha.execute.count, 1);
+        assert_eq!(alpha.respond.count, 1);
+        assert_eq!(alpha.queue_wait.quantile(0.5), Duration::from_micros(50));
+        assert_eq!(alpha.execute.quantile(0.5), Duration::from_micros(500));
+        assert_eq!(alpha.respond.quantile(0.5), Duration::from_micros(5));
+        // Stage histograms never leak into the endpoint histograms.
+        assert_eq!(s.latency_buckets.count, 0);
+        assert_eq!(s.session_latency_buckets.count, 0);
+    }
+
+    #[test]
+    fn reap_reasons_count_separately() {
+        let m = ServeMetrics::new(1);
+        m.record_reap(ReapReason::Idle);
+        m.record_reap(ReapReason::SlowClient);
+        m.record_reap(ReapReason::SlowClient);
+        m.record_reap(ReapReason::Drain);
+        let w = m.snapshot().wire;
+        assert_eq!(w.reaped_idle, 1);
+        assert_eq!(w.reaped_slow_client, 2);
+        assert_eq!(w.reaped_drain, 1);
+        assert_eq!(w.reaped_total(), 4);
+        // Reaps are not wire errors.
+        assert_eq!(w.errors_total(), 0);
     }
 
     #[test]

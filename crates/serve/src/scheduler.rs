@@ -112,6 +112,8 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::time::Duration;
 
+use crate::trace::{FlightRecorder, Stage, TraceRef};
+
 /// When the micro-batcher flushes a coalesced batch, enforced **per
 /// tenant** (per pinned `(name, version)` queue).
 ///
@@ -330,11 +332,13 @@ impl<T> Decision<T> {
     }
 }
 
-/// One queued job: its frame count, arrival time and opaque payload.
+/// One queued job: its frame count, arrival time, trace handle and
+/// opaque payload.
 #[derive(Debug)]
 struct Job<T> {
     frames: usize,
     enqueued_at: Duration,
+    trace: TraceRef,
     payload: T,
 }
 
@@ -370,6 +374,13 @@ pub struct Scheduler<T> {
     /// Pending steps per stream lane, FIFO.
     streams: HashMap<StreamId, VecDeque<T>>,
     rotation: VecDeque<LaneKey>,
+    /// The flight recorder lane events are emitted to, if one is
+    /// attached ([`Scheduler::set_recorder`]).
+    recorder: Option<FlightRecorder>,
+    /// The most recent clock value seen by `submit`/`tick` — the
+    /// timestamp [`Scheduler::drain`] (which takes no clock) stamps its
+    /// coalesce events with.
+    last_now: Duration,
 }
 
 impl<T> Scheduler<T> {
@@ -381,7 +392,18 @@ impl<T> Scheduler<T> {
             tenants: HashMap::new(),
             streams: HashMap::new(),
             rotation: VecDeque::new(),
+            recorder: None,
+            last_now: Duration::ZERO,
         }
+    }
+
+    /// Attaches a [`FlightRecorder`]: from now on the scheduler emits
+    /// [`Stage::Enqueued`] for every traced submission and
+    /// [`Stage::Coalesced`] for every job it folds into a batch. Jobs
+    /// submitted through the untraced [`Scheduler::submit`] (or with
+    /// [`TraceRef::NONE`]) emit nothing.
+    pub fn set_recorder(&mut self, recorder: FlightRecorder) {
+        self.recorder = Some(recorder);
     }
 
     /// The global (fallback) policy this scheduler enforces.
@@ -422,6 +444,27 @@ impl<T> Scheduler<T> {
     /// fed into the scheduler already counts against the budget); a stamp
     /// whose deadline is already past simply flushes on the next tick.
     pub fn submit(&mut self, now: Duration, tenant: TenantKey, frames: usize, payload: T) {
+        self.submit_traced(now, tenant, frames, TraceRef::NONE, payload);
+    }
+
+    /// [`Scheduler::submit`] with a flight-recorder handle: when a
+    /// recorder is attached ([`Scheduler::set_recorder`]) and `trace` is
+    /// live, the scheduler emits [`Stage::Enqueued`] now and
+    /// [`Stage::Coalesced`] when the job is folded into a batch.
+    pub fn submit_traced(
+        &mut self,
+        now: Duration,
+        tenant: TenantKey,
+        frames: usize,
+        trace: TraceRef,
+        payload: T,
+    ) {
+        self.last_now = self.last_now.max(now);
+        if trace.is_traced() {
+            if let Some(recorder) = &self.recorder {
+                recorder.event(trace, Stage::Enqueued, now);
+            }
+        }
         if !self.tenants.contains_key(&tenant) {
             self.rotation.push_back(LaneKey::Tenant(tenant.clone()));
         }
@@ -430,6 +473,7 @@ impl<T> Scheduler<T> {
         queue.jobs.push_back(Job {
             frames,
             enqueued_at: now,
+            trace,
             payload,
         });
     }
@@ -463,6 +507,7 @@ impl<T> Scheduler<T> {
     /// submits, queues only shrink), so one inspection per non-ready lane
     /// is sufficient.
     pub fn tick(&mut self, now: Duration) -> Vec<Decision<T>> {
+        self.last_now = self.last_now.max(now);
         let mut decisions = Vec::new();
         let mut idx = 0usize;
         let mut since_grant = 0usize;
@@ -482,11 +527,12 @@ impl<T> Scheduler<T> {
                         // re-judged for readiness, so the extra grants stop
                         // the moment the queue drops under budget.
                         let weight = self.policy_for(&key).weight.max(1);
-                        decisions.push(Decision::Batch(self.take_batch(&key, reason)));
+                        decisions.push(Decision::Batch(self.take_batch(&key, reason, now)));
                         for _ in 1..weight {
                             match self.readiness(&key, now) {
                                 Some(reason) => {
-                                    decisions.push(Decision::Batch(self.take_batch(&key, reason)));
+                                    decisions
+                                        .push(Decision::Batch(self.take_batch(&key, reason, now)));
                                 }
                                 None => break,
                             }
@@ -511,10 +557,13 @@ impl<T> Scheduler<T> {
     /// Flushes everything still pending (shutdown), round-robin across
     /// lanes, still respecting the size budgets per batch.
     pub fn drain(&mut self) -> Vec<Decision<T>> {
+        let now = self.last_now;
         let mut decisions = Vec::new();
         while let Some(lane) = self.rotation.front().cloned() {
             decisions.push(match lane {
-                LaneKey::Tenant(key) => Decision::Batch(self.take_batch(&key, FlushReason::Drain)),
+                LaneKey::Tenant(key) => {
+                    Decision::Batch(self.take_batch(&key, FlushReason::Drain, now))
+                }
                 LaneKey::Stream(id) => Decision::Step(self.take_step(id)),
             });
         }
@@ -594,18 +643,36 @@ impl<T> Scheduler<T> {
 
     /// Pops one batch off `key`'s queue (oldest first, until a size budget
     /// of the tenant's policy fills or the queue empties) and rotates the
-    /// tenant to the back.
-    fn take_batch(&mut self, key: &TenantKey, reason: FlushReason) -> FlushDecision<T> {
+    /// tenant to the back. Stamps every traced job with
+    /// [`Stage::Coalesced`] at `now`, carrying the batch's request count.
+    fn take_batch(
+        &mut self,
+        key: &TenantKey,
+        reason: FlushReason,
+        now: Duration,
+    ) -> FlushDecision<T> {
         let policy = *self.policy_for(key);
         let queue = self.tenants.get_mut(key).expect("flushed tenant exists");
         let mut jobs = Vec::new();
+        let mut traces = Vec::new();
         let mut frames = 0usize;
         while let Some(job) = queue.jobs.pop_front() {
             frames += job.frames;
             queue.frames -= job.frames;
+            if job.trace.is_traced() {
+                traces.push(job.trace);
+            }
             jobs.push(job.payload);
             if frames >= policy.max_batch_frames || jobs.len() >= policy.max_batch_requests {
                 break;
+            }
+        }
+        if let Some(recorder) = &self.recorder {
+            let stage = Stage::Coalesced {
+                requests: jobs.len() as u32,
+            };
+            for trace in traces {
+                recorder.event(trace, stage, now);
             }
         }
         let emptied = queue.jobs.is_empty();

@@ -56,6 +56,7 @@ use crate::error::{Result, ServeError};
 use crate::metrics::ServeMetrics;
 use crate::registry::DeploymentRegistry;
 use crate::scheduler::StreamId;
+use crate::trace::{FlightRecorder, RejectReason, Stage};
 
 /// A pending session-step response handle returned by
 /// [`TrackerSession::submit_step`] — the single-map analogue of
@@ -132,6 +133,7 @@ pub(crate) struct SessionDoor {
     pub(crate) queue: Sender<BatcherMsg>,
     pub(crate) overrides: Arc<RwLock<HashMap<String, BatchPolicy>>>,
     pub(crate) fallback: BatchPolicy,
+    pub(crate) recorder: FlightRecorder,
 }
 
 impl SessionDoor {
@@ -402,6 +404,12 @@ impl TrackerSession {
         let mut pending = self.pending.load(Ordering::Acquire);
         loop {
             if pending >= max_pending {
+                // A refused step still leaves a terminal-only ring event.
+                door.recorder.event(
+                    door.recorder.allocate(&self.name),
+                    Stage::Rejected(RejectReason::Saturated),
+                    door.recorder.now(),
+                );
                 return Err(ServeError::Saturated {
                     name: self.name.clone(),
                     pending,
@@ -429,6 +437,7 @@ impl TrackerSession {
             readings: readings.to_vec(),
             enqueued: Instant::now(),
             frames: Arc::clone(&self.frames),
+            trace: door.recorder.begin(&self.name),
             // The responder owns the reserved pending slot: completing —
             // or being dropped on a dead channel / teardown — releases it.
             responder: Responder::with_gauge(slot, Arc::clone(&self.pending)),

@@ -437,3 +437,53 @@ fn drain_flushes_all_tenants_without_a_clock() {
         .all(|d| d.as_batch().unwrap().reason == FlushReason::Drain));
     assert!(sched.is_idle());
 }
+
+#[test]
+fn recorder_sees_the_exact_event_sequence_for_one_coalesced_batch() {
+    use eigenmaps_serve::{FlightRecorder, Stage};
+
+    // Mock clock throughout: every timestamp below is the `Duration`
+    // handed to the scheduler, so the sequence is exactly reproducible.
+    let recorder = FlightRecorder::new(64);
+    let mut sched: Scheduler<u32> = Scheduler::new(policy(256, 2, Duration::from_millis(1)));
+    sched.set_recorder(recorder.clone());
+    let key = TenantKey::new("sku", 1);
+
+    let first = recorder.allocate("sku");
+    let second = recorder.allocate("sku");
+    sched.submit_traced(us(10), key.clone(), 3, first, 1);
+    sched.submit_traced(us(20), key.clone(), 2, second, 2);
+
+    // Two requests fill the batch; the tick coalesces them into one.
+    let decisions = sched.tick(us(30));
+    assert_eq!(decisions.len(), 1);
+    let flush = decisions[0].as_batch().unwrap();
+    assert_eq!(flush.jobs, vec![1, 2]);
+
+    assert_eq!(recorder.written(), 4);
+    assert_eq!(recorder.dropped(), 0);
+    let ring = recorder.snapshot();
+    let got: Vec<(u64, Stage, Duration)> = ring
+        .events
+        .iter()
+        .map(|e| (e.trace.0, e.stage, e.at))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            (first.id().0, Stage::Enqueued, us(10)),
+            (second.id().0, Stage::Enqueued, us(20)),
+            (first.id().0, Stage::Coalesced { requests: 2 }, us(30)),
+            (second.id().0, Stage::Coalesced { requests: 2 }, us(30)),
+        ],
+        "enqueue order, then coalescing in pop order, all on the mock clock"
+    );
+    assert!(ring.events.iter().all(|e| e.tenant == "sku"));
+
+    // An untraced submit alongside traced ones emits nothing at all —
+    // not on enqueue, not when drain coalesces it.
+    sched.submit(us(40), key.clone(), 1, 3);
+    assert_eq!(sched.drain().len(), 1);
+    assert_eq!(recorder.written(), 4);
+    assert_eq!(recorder.dropped(), 0);
+}

@@ -299,6 +299,32 @@ fn stress_schedule(seed: u64) {
     );
     assert_eq!(snap.sessions_open, 0, "seed {seed}: session gauge leaked");
     assert!(snap.max_sessions_open >= 1, "seed {seed}");
+
+    // The same churn ran fully traced: the ring parsed torn-free
+    // (snapshot skips in-flight slots, never tears them), accounting
+    // stayed exact, and every kept slow-request exemplar is a monotone
+    // stage timeline spanning admission to its terminal stage.
+    let recorder = server.recorder();
+    assert!(recorder.written() > 0, "seed {seed}: traffic was traced");
+    let ring = recorder.snapshot();
+    assert!(ring.events.len() <= recorder.capacity(), "seed {seed}");
+    assert_eq!(ring.written, recorder.written(), "seed {seed}");
+    for (tenant, kept) in recorder.exemplars() {
+        for exemplar in &kept {
+            assert!(
+                exemplar.stages.windows(2).all(|w| w[0].1 <= w[1].1),
+                "seed {seed}: {tenant} exemplar {} timeline not monotone",
+                exemplar.trace
+            );
+            let first = exemplar.stages.first().expect("nonempty timeline").1;
+            let last = exemplar.stages.last().expect("nonempty timeline").1;
+            assert_eq!(
+                exemplar.total,
+                last - first,
+                "seed {seed}: {tenant} exemplar total disagrees with its timeline"
+            );
+        }
+    }
 }
 
 #[test]
@@ -311,5 +337,67 @@ fn seeded_schedules_keep_the_server_sound() {
     };
     for seed in 0..seeds {
         stress_schedule(seed);
+    }
+}
+
+/// Satellite: the flight-recorder ring under raw multi-writer fire.
+/// Every event encodes its writer and sequence in *three* fields
+/// (trace id, coalesce arg, timestamp); a torn slot — fields from two
+/// different writes — cannot stay self-consistent. Quiescent
+/// accounting is exact: every claimed ticket beyond the ring's
+/// capacity is a drop, whether overwritten or abandoned to a lapping
+/// writer.
+#[test]
+fn concurrent_ring_writers_never_tear_events_and_drops_account_exactly() {
+    let stress = std::env::var_os("EIGENMAPS_STRESS").is_some();
+    let writers: usize = if stress { 8 } else { 4 };
+    let per_writer: usize = if stress { 20_000 } else { 2_000 };
+    for capacity in [64usize, 8] {
+        let recorder = FlightRecorder::new(capacity);
+        let names: Vec<String> = (0..writers).map(|k| format!("w{k}")).collect();
+        let refs: Vec<_> = names.iter().map(|n| recorder.allocate(n)).collect();
+        let ids: Vec<u64> = refs.iter().map(|r| r.id().0).collect();
+
+        std::thread::scope(|scope| {
+            for (k, &trace) in refs.iter().enumerate() {
+                let recorder = recorder.clone();
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        let p = (k * per_writer + i) as u32;
+                        recorder.event(
+                            trace,
+                            Stage::Coalesced { requests: p },
+                            Duration::from_nanos(u64::from(p) + 1),
+                        );
+                    }
+                });
+            }
+        });
+
+        let total = (writers * per_writer) as u64;
+        assert_eq!(
+            recorder.dropped(),
+            total - capacity as u64,
+            "cap {capacity}: exactly everything beyond the ring is dropped"
+        );
+        let ring = recorder.snapshot();
+        assert_eq!(ring.written, recorder.written());
+        assert!(ring.written <= total);
+        assert!(ring.events.len() <= capacity);
+        let mut seen = std::collections::HashSet::new();
+        for event in &ring.events {
+            let Stage::Coalesced { requests: p } = event.stage else {
+                panic!("cap {capacity}: torn stage byte: {:?}", event.stage);
+            };
+            let k = p as usize / per_writer;
+            assert_eq!(event.trace.0, ids[k], "cap {capacity}: torn trace id");
+            assert_eq!(event.tenant, names[k], "cap {capacity}: torn tenant");
+            assert_eq!(
+                event.at,
+                Duration::from_nanos(u64::from(p) + 1),
+                "cap {capacity}: torn timestamp"
+            );
+            assert!(seen.insert(p), "cap {capacity}: duplicate event {p}");
+        }
     }
 }

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use eigenmaps::core::prelude::*;
 use eigenmaps::floorplan::prelude::*;
 use eigenmaps::net::{Client, NetServer};
-use eigenmaps::serve::{DeploymentRegistry, Server, TrackerSession};
+use eigenmaps::serve::{DeploymentRegistry, Server, Stage, TrackerSession};
 
 const ROWS: usize = 14;
 const COLS: usize = 15;
@@ -141,6 +141,47 @@ fn main() -> AnyResult<()> {
         wire_metrics.wire.frames_out,
         wire_metrics.wire.errors_total()
     );
+
+    // ---- the flight recorder, read over the same socket ------------------
+    // Per-tenant stage breakdowns (queue-wait vs execute vs respond) and
+    // the slowest full trace, straight from the server's event ring.
+    let trace = client.trace()?;
+    println!(
+        "[trace] ring: {} events written, {} dropped, {} resident",
+        trace.written,
+        trace.dropped,
+        trace.events.len()
+    );
+    for tenant in &trace.tenants {
+        println!(
+            "[trace] {}: queue-wait p50 {}µs / p99 {}µs, execute p50 {}µs / p99 {}µs, \
+             respond p50 {}µs / p99 {}µs",
+            tenant.tenant,
+            tenant.queue_wait_p50_ns / 1_000,
+            tenant.queue_wait_p99_ns / 1_000,
+            tenant.execute_p50_ns / 1_000,
+            tenant.execute_p99_ns / 1_000,
+            tenant.respond_p50_ns / 1_000,
+            tenant.respond_p99_ns / 1_000,
+        );
+        if let Some(worst) = tenant.exemplars.first() {
+            let timeline: Vec<String> = worst
+                .stages
+                .iter()
+                .map(|s| match Stage::from_wire(s.stage, s.arg) {
+                    Some(stage) => format!("{stage}@{}µs", s.at_ns / 1_000),
+                    None => format!("stage#{}@{}µs", s.stage, s.at_ns / 1_000),
+                })
+                .collect();
+            println!(
+                "[trace] {} worst request t{}: {}µs total [{}]",
+                tenant.tenant,
+                worst.trace,
+                worst.total_ns / 1_000,
+                timeline.join(" → ")
+            );
+        }
+    }
 
     // ---- restart: the whole server process goes away ---------------------
     drop(client);
