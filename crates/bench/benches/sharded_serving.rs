@@ -29,7 +29,8 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use eigenmaps_core::prelude::*;
 use eigenmaps_floorplan::prelude::*;
 use eigenmaps_serve::{
-    BatchPolicy, DeploymentRegistry, ServeRequest, Server, ShardedExecutor, Ticket,
+    BatchPolicy, DeploymentRegistry, MemIo, ServeRequest, Server, ShardedExecutor, SnapshotStore,
+    Ticket,
 };
 
 const FRAMES: usize = 1024;
@@ -448,10 +449,139 @@ fn bench_mixed_workload(c: &mut Criterion) {
     group.finish();
 }
 
+/// Checkpoint-overhead axis: the mixed batch + stream trace run once on a
+/// server with no durability store and once on an identical server whose
+/// background checkpointer fires every 2 ms — aggressive enough that many
+/// whole-fleet checkpoints land *during* the trace. Batch p99 comes from
+/// the same histogram as the mixed-workload gate; on a host with ≥ 4
+/// hardware threads the checkpointed run must stay within 10% of the
+/// baseline (the fire-and-forget job lane means snapshot serialization
+/// never blocks a batch), elsewhere the regression is only reported.
+fn bench_checkpoint_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint_overhead");
+    group.sample_size(10);
+
+    const REQUESTS: usize = 256;
+    const FRAMES_PER_REQUEST: usize = 2;
+    const STREAM_STEPS: usize = 200;
+    let tenants = [setup(12, 12), setup(10, 10)];
+    let names = ["tenant-a", "tenant-b"];
+    let registry = Arc::new(DeploymentRegistry::new());
+    for (name, w) in names.iter().zip(&tenants) {
+        registry.publish(name, (*w.deployment).clone());
+    }
+    let policy = BatchPolicy {
+        max_batch_frames: 256,
+        max_batch_requests: 32,
+        max_delay: Duration::from_millis(5),
+        ..BatchPolicy::default()
+    };
+    let run_batch_trace = |server: &Server| {
+        let tickets: Vec<Ticket> = (0..REQUESTS)
+            .map(|i| {
+                let tenant = i % 2;
+                let frames = &tenants[tenant].frames;
+                let start = (i / 2 * FRAMES_PER_REQUEST) % (frames.len() - FRAMES_PER_REQUEST);
+                server
+                    .submit(ServeRequest::new(
+                        names[tenant],
+                        frames[start..start + FRAMES_PER_REQUEST].to_vec(),
+                    ))
+                    .expect("submit")
+            })
+            .collect();
+        for ticket in tickets {
+            black_box(ticket.wait().expect("serve"));
+        }
+    };
+    // Batch trace plus two continuously stepping streams — the streams
+    // are what give every checkpoint real session state to serialize.
+    let run_mixed = |server: &Arc<Server>| {
+        let streams: Vec<_> = (0..2)
+            .map(|s| {
+                let server = Arc::clone(server);
+                let frames = Arc::clone(&tenants[s].frames);
+                let name = names[s];
+                std::thread::spawn(move || {
+                    let mut session = server.open_session(name, 0.5).expect("open session");
+                    for t in 0..STREAM_STEPS {
+                        black_box(session.step(&frames[t % frames.len()]).expect("step"));
+                    }
+                })
+            })
+            .collect();
+        run_batch_trace(server);
+        for stream in streams {
+            stream.join().expect("stream");
+        }
+    };
+
+    let baseline_server = Arc::new(Server::with_policy(Arc::clone(&registry), 4, policy));
+    run_mixed(&baseline_server);
+    let baseline = baseline_server.metrics();
+    assert_eq!(baseline.wire.checkpoints, 0);
+
+    let checkpointed = Arc::new(Server::with_policy(Arc::clone(&registry), 4, policy));
+    checkpointed
+        .hydrate_with(
+            SnapshotStore::with_io(MemIo::new(), 2),
+            Duration::from_millis(2),
+        )
+        .expect("attach in-memory store");
+    run_mixed(&checkpointed);
+    let durable = checkpointed.metrics();
+
+    // The axis is meaningless if no checkpoint actually overlapped the
+    // trace, and a checkpoint that saw no session proves nothing either.
+    assert!(
+        durable.wire.checkpoints > 0,
+        "no background checkpoint fired during the trace"
+    );
+    assert!(
+        durable.wire.checkpoint_sessions > 0,
+        "checkpoints never captured a live session"
+    );
+
+    let baseline_p99 = baseline.latency_p99.as_secs_f64();
+    let durable_p99 = durable.latency_p99.as_secs_f64();
+    println!(
+        "checkpoint_overhead/summary: batch p99 {:?} without a store vs {:?} with \
+         {} checkpoints ({} session snapshots) at a 2 ms cadence",
+        baseline.latency_p99,
+        durable.latency_p99,
+        durable.wire.checkpoints,
+        durable.wire.checkpoint_sessions
+    );
+    let parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if parallelism >= 4 {
+        assert!(
+            durable_p99 <= baseline_p99 * 1.1,
+            "background checkpointing regressed batch p99 by more than 10%: {:?} -> {:?}",
+            baseline.latency_p99,
+            durable.latency_p99
+        );
+    } else if durable_p99 > baseline_p99 * 1.1 {
+        println!(
+            "checkpoint_overhead/summary: only {parallelism} hardware thread(s) — \
+             p99 regression {:?} -> {:?} reported, not asserted",
+            baseline.latency_p99, durable.latency_p99
+        );
+    }
+
+    group.bench_function("mixed_trace_with_2ms_checkpoints", |bch| {
+        bch.iter(|| run_mixed(&checkpointed))
+    });
+    group.bench_function("mixed_trace_without_store", |bch| {
+        bch.iter(|| run_mixed(&baseline_server))
+    });
+    group.finish();
+}
+
 criterion_group!(
     sharded_serving,
     bench_sharded_serving,
     bench_interleaved_tenants,
-    bench_mixed_workload
+    bench_mixed_workload,
+    bench_checkpoint_overhead
 );
 criterion_main!(sharded_serving);

@@ -1,11 +1,13 @@
 //! Shared little-endian byte codec for the hand-rolled binary artifact
 //! formats, and the specification of those formats.
 //!
-//! Three on-disk formats live in this workspace — the `EMDEPLOY`
+//! Four on-disk formats live in this workspace — the `EMDEPLOY`
 //! deployment artifact ([`crate::pipeline`]), the `EIGMAPS1` ensemble
-//! cache (`eigenmaps-floorplan`) and the `EMSESS1` streaming-session
+//! cache (`eigenmaps-floorplan`), the `EMSESS1` streaming-session
 //! snapshot ([`SessionSnapshot`], consumed by `eigenmaps-serve` for warm
-//! restarts). All are deliberately tiny little-endian layouts (magic,
+//! restarts) and the `EMSTORE1` durability manifest ([`StoreManifest`],
+//! the root record of `eigenmaps-serve`'s snapshot store). All are
+//! deliberately tiny little-endian layouts (magic,
 //! dims, raw scalars) rather than an extra serialization dependency, and
 //! all need the same defensive plumbing: bounds-checked reads,
 //! magic/version validation, overflow-safe lengths and a trailing-bytes
@@ -128,6 +130,40 @@
 //! version numbers prove identity only within one registry lifetime, and
 //! `k`/`m` alone cannot tell two same-shape bases apart, but the digest
 //! of the immutable `EMDEPLOY` bytes can.
+//!
+//! # `EMSTORE1` — durability-store manifest, version 1
+//!
+//! Written by [`StoreManifest::to_bytes`], read by
+//! [`StoreManifest::from_bytes`] — the root record of the crash-safe
+//! snapshot store in `eigenmaps-serve::store`. One manifest names the
+//! current generation of every durable artifact: the deployment catalog
+//! (name/version → `EMDEPLOY` file) and the session roster (durable id →
+//! latest `EMSESS1` file). The manifest is the *commit point* of a
+//! checkpoint: data files are written and fsynced first, then the
+//! manifest replaces its predecessor by atomic rename, so a reader that
+//! finds a valid manifest finds every file it references already durable.
+//!
+//! | #  | field           | type / size   | meaning                                              |
+//! |----|-----------------|---------------|------------------------------------------------------|
+//! | 0  | magic           | 8 bytes       | ASCII `EMSTORE1`                                     |
+//! | 1  | version         | `u32`         | format version; this spec is `1`                     |
+//! | 2  | catalog count   | `u64`         | number of catalog entries (field group 3)            |
+//! | 3  | catalog entries | repeated      | per entry: name length `u64`, name UTF-8 bytes, registry version `u32`, file-name length `u64`, file name UTF-8 bytes, artifact digest `u64` ([`fnv1a64`] of the `EMDEPLOY` bytes) |
+//! | 4  | session count   | `u64`         | number of session entries (field group 5)            |
+//! | 5  | session entries | repeated      | per entry: durable id `u64`, file-name length `u64`, file name UTF-8 bytes, generation `u64`, frames `u64`, artifact digest `u64` |
+//! | 6  | checksum        | `u64`         | [`fnv1a64`] over **all preceding bytes** (fields 0–5)|
+//!
+//! Validation on read, in order: the trailing checksum must equal the
+//! FNV-1a 64 digest of every byte before it (verified **first**, like
+//! `EMSESS1` — a single flipped bit anywhere is detected); magic and
+//! version must match; every length is bounds-checked against the
+//! remaining bytes before allocation; names and file names must be
+//! UTF-8; and the buffer must be exactly exhausted. A manifest whose
+//! *version field* is newer than this spec is a distinct condition from
+//! corruption — [`StoreManifest::peek_version`] reads the version
+//! without validating the body, so a hydrating server can refuse (not
+//! clobber) a store written by a newer binary while still treating torn
+//! bytes as skippable corruption.
 
 use crate::error::CoreError;
 
@@ -568,6 +604,199 @@ impl SessionSnapshot {
     }
 }
 
+/// Magic + version of the durability-store manifest format.
+const STORE_MAGIC: &[u8; 8] = b"EMSTORE1";
+/// The `EMSTORE1` format version this build writes and understands.
+pub const STORE_VERSION: u32 = 1;
+
+/// One deployment catalog entry in an `EMSTORE1` manifest: a published
+/// `(name, version)` and the on-disk `EMDEPLOY` file that holds its
+/// artifact bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreCatalogEntry {
+    /// Registry name the artifact is published under.
+    pub name: String,
+    /// Registry version of this artifact.
+    pub version: u32,
+    /// File name (relative to the store directory) of the `EMDEPLOY`
+    /// bytes.
+    pub file: String,
+    /// [`fnv1a64`] of the `EMDEPLOY` bytes — verified on hydration so a
+    /// torn or swapped data file is skipped, never published.
+    pub artifact_digest: u64,
+}
+
+/// One session roster entry in an `EMSTORE1` manifest: a durable session
+/// id and the latest checkpointed `EMSESS1` file for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreSessionEntry {
+    /// Durable session id, stable across restarts.
+    pub id: u64,
+    /// File name (relative to the store directory) of the latest
+    /// `EMSESS1` snapshot.
+    pub file: String,
+    /// Checkpoint generation of that file (monotonic per session).
+    pub generation: u64,
+    /// Frames the session had served at checkpoint time (mirrors the
+    /// snapshot's own counter; lets hydration report progress without
+    /// opening the file).
+    pub frames: u64,
+    /// [`fnv1a64`] of the pinned deployment's `EMDEPLOY` bytes (mirrors
+    /// the snapshot's artifact digest).
+    pub artifact_digest: u64,
+}
+
+/// The `EMSTORE1` durability-store manifest: the deployment catalog and
+/// session roster a crash-safe checkpoint commits atomically.
+///
+/// See the [module docs](self) for the field-by-field wire format and
+/// validation rules. `eigenmaps-serve::store` produces and consumes
+/// these records; the manifest rename is the checkpoint's commit point.
+///
+/// # Examples
+///
+/// ```
+/// use eigenmaps_core::codec::{StoreCatalogEntry, StoreManifest, StoreSessionEntry};
+///
+/// let manifest = StoreManifest {
+///     catalog: vec![StoreCatalogEntry {
+///         name: "chip-a".into(),
+///         version: 2,
+///         file: "d-00c0ffee.emdeploy".into(),
+///         artifact_digest: 0xC0FFEE,
+///     }],
+///     sessions: vec![StoreSessionEntry {
+///         id: 7,
+///         file: "s7-g3.emsess".into(),
+///         generation: 3,
+///         frames: 1024,
+///         artifact_digest: 0xC0FFEE,
+///     }],
+/// };
+/// let bytes = manifest.to_bytes();
+/// assert_eq!(StoreManifest::from_bytes(&bytes).unwrap(), manifest);
+/// // Any single corrupted byte is caught by the trailing checksum.
+/// let mut bad = bytes.clone();
+/// bad[13] ^= 0x10;
+/// assert!(StoreManifest::from_bytes(&bad).is_err());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreManifest {
+    /// The persisted deployment catalog, one entry per live
+    /// `(name, version)`.
+    pub catalog: Vec<StoreCatalogEntry>,
+    /// The persisted session roster, one entry per durable session.
+    pub sessions: Vec<StoreSessionEntry>,
+}
+
+impl StoreManifest {
+    /// Serializes the record to `EMSTORE1` bytes (checksum appended).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::with_capacity(64 + 64 * (self.catalog.len() + self.sessions.len()));
+        enc.bytes(STORE_MAGIC).u32(STORE_VERSION);
+        enc.put_len(self.catalog.len());
+        for entry in &self.catalog {
+            enc.put_len(entry.name.len())
+                .bytes(entry.name.as_bytes())
+                .u32(entry.version)
+                .put_len(entry.file.len())
+                .bytes(entry.file.as_bytes())
+                .u64(entry.artifact_digest);
+        }
+        enc.put_len(self.sessions.len());
+        for entry in &self.sessions {
+            enc.u64(entry.id)
+                .put_len(entry.file.len())
+                .bytes(entry.file.as_bytes())
+                .u64(entry.generation)
+                .u64(entry.frames)
+                .u64(entry.artifact_digest);
+        }
+        let mut bytes = enc.finish();
+        let digest = fnv1a64(&bytes);
+        bytes.extend_from_slice(&digest.to_le_bytes());
+        bytes
+    }
+
+    /// Reads the format version of a purported `EMSTORE1` record without
+    /// validating anything past the header — `None` if the bytes do not
+    /// even carry the magic. This is how hydration distinguishes "written
+    /// by a newer binary" (refuse, a typed error) from "torn or corrupt"
+    /// (skip and meter): a newer format cannot be checksummed by this
+    /// build's rules, so the version must be readable pre-validation.
+    pub fn peek_version(bytes: &[u8]) -> Option<u32> {
+        if bytes.len() < STORE_MAGIC.len() + 4 || &bytes[..STORE_MAGIC.len()] != STORE_MAGIC {
+            return None;
+        }
+        let raw = &bytes[STORE_MAGIC.len()..STORE_MAGIC.len() + 4];
+        Some(u32::from_le_bytes(raw.try_into().expect("4 bytes")))
+    }
+
+    /// Deserializes and fully validates an `EMSTORE1` record (see the
+    /// [module docs](self) for the rule list).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on any malformation: checksum mismatch, bad
+    /// magic/version, non-UTF-8 names, truncation or trailing bytes.
+    pub fn from_bytes(bytes: &[u8]) -> CodecResult<StoreManifest> {
+        // Checksum first, like EMSESS1: after this, any parse failure is
+        // a structural bug in the producer, not transport corruption.
+        let Some(payload_len) = bytes.len().checked_sub(8) else {
+            return Err(CodecError {
+                context: "truncated input",
+            });
+        };
+        let stored = u64::from_le_bytes(bytes[payload_len..].try_into().expect("8 bytes"));
+        if fnv1a64(&bytes[..payload_len]) != stored {
+            return Err(CodecError {
+                context: "store manifest checksum mismatch",
+            });
+        }
+        let mut dec = Decoder::new(&bytes[..payload_len]);
+        dec.magic(STORE_MAGIC)?;
+        dec.version(STORE_VERSION)?;
+        let take_str = |dec: &mut Decoder<'_>, context: &'static str| -> CodecResult<String> {
+            let len = dec.take_len()?;
+            Ok(std::str::from_utf8(dec.take(len)?)
+                .map_err(|_| CodecError { context })?
+                .to_string())
+        };
+        let catalog_count = dec.take_len()?;
+        let mut catalog = Vec::with_capacity(catalog_count.min(1024));
+        for _ in 0..catalog_count {
+            let name = take_str(&mut dec, "store manifest catalog name is not UTF-8")?;
+            let version = dec.u32()?;
+            let file = take_str(&mut dec, "store manifest catalog file name is not UTF-8")?;
+            let artifact_digest = dec.u64()?;
+            catalog.push(StoreCatalogEntry {
+                name,
+                version,
+                file,
+                artifact_digest,
+            });
+        }
+        let session_count = dec.take_len()?;
+        let mut sessions = Vec::with_capacity(session_count.min(1024));
+        for _ in 0..session_count {
+            let id = dec.u64()?;
+            let file = take_str(&mut dec, "store manifest session file name is not UTF-8")?;
+            let generation = dec.u64()?;
+            let frames = dec.u64()?;
+            let artifact_digest = dec.u64()?;
+            sessions.push(StoreSessionEntry {
+                id,
+                file,
+                generation,
+                frames,
+                artifact_digest,
+            });
+        }
+        dec.finish()?;
+        Ok(StoreManifest { catalog, sessions })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -707,6 +936,83 @@ mod tests {
         snap.deployment = "x".repeat(5000);
         let back = SessionSnapshot::from_bytes(&snap.to_bytes()).unwrap();
         assert_eq!(back, snap);
+    }
+
+    fn sample_manifest() -> StoreManifest {
+        StoreManifest {
+            catalog: vec![
+                StoreCatalogEntry {
+                    name: "sku-α".into(), // non-ASCII UTF-8 round-trips
+                    version: 1,
+                    file: "d-0000000000c0ffee.emdeploy".into(),
+                    artifact_digest: 0xC0FFEE,
+                },
+                StoreCatalogEntry {
+                    name: "sku-b".into(),
+                    version: 4,
+                    file: "d-00000000deadbeef.emdeploy".into(),
+                    artifact_digest: 0xDEAD_BEEF,
+                },
+            ],
+            sessions: vec![StoreSessionEntry {
+                id: 42,
+                file: "s42-g9.emsess".into(),
+                generation: 9,
+                frames: 777,
+                artifact_digest: 0xC0FFEE,
+            }],
+        }
+    }
+
+    #[test]
+    fn store_manifest_roundtrips_including_empty() {
+        for manifest in [StoreManifest::default(), sample_manifest()] {
+            let bytes = manifest.to_bytes();
+            assert_eq!(StoreManifest::from_bytes(&bytes).unwrap(), manifest);
+            // Serialization is deterministic.
+            assert_eq!(manifest.to_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn store_manifest_detects_any_single_byte_corruption() {
+        let bytes = sample_manifest().to_bytes();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                StoreManifest::from_bytes(&bad).is_err(),
+                "flip at byte {i} decoded"
+            );
+        }
+        for cut in 0..bytes.len() {
+            assert!(StoreManifest::from_bytes(&bytes[..cut]).is_err());
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(StoreManifest::from_bytes(&long).is_err());
+    }
+
+    #[test]
+    fn store_manifest_version_peeks_without_validation() {
+        let bytes = sample_manifest().to_bytes();
+        assert_eq!(StoreManifest::peek_version(&bytes), Some(STORE_VERSION));
+        // The peek works even on a record whose body is torn…
+        assert_eq!(
+            StoreManifest::peek_version(&bytes[..13]),
+            Some(STORE_VERSION)
+        );
+        // …and on a future version this build cannot parse.
+        let mut future = bytes.clone();
+        future[8..12].copy_from_slice(&(STORE_VERSION + 1).to_le_bytes());
+        assert_eq!(
+            StoreManifest::peek_version(&future),
+            Some(STORE_VERSION + 1)
+        );
+        assert!(StoreManifest::from_bytes(&future).is_err());
+        // No magic, no version.
+        assert_eq!(StoreManifest::peek_version(b"EMSESS1xxxx"), None);
+        assert_eq!(StoreManifest::peek_version(&bytes[..7]), None);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub struct TrackingReconstructor {
     inner: Reconstructor,
     gain: f64,
     state: Option<Vec<f64>>,
+    frames: u64,
 }
 
 impl TrackingReconstructor {
@@ -63,6 +64,7 @@ impl TrackingReconstructor {
             inner,
             gain,
             state: None,
+            frames: 0,
         })
     }
 
@@ -82,9 +84,25 @@ impl TrackingReconstructor {
     }
 
     /// Forgets the temporal state (e.g. after a power-gating event that
-    /// breaks temporal continuity).
+    /// breaks temporal continuity). The frame counter keeps running — it
+    /// counts steps served, not state continuity.
     pub fn reset(&mut self) {
         self.state = None;
+    }
+
+    /// Frames stepped so far (or restored via
+    /// [`TrackingReconstructor::set_frames`]). Because the counter lives
+    /// inside the tracker, a caller holding the tracker's lock observes
+    /// `(state, frames)` as one atomic pair — exactly what a checkpoint
+    /// needs to describe a well-defined point in the stream.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Restores the frame counter (warm restart, alongside
+    /// [`TrackingReconstructor::import_state`]).
+    pub fn set_frames(&mut self, frames: u64) {
+        self.frames = frames;
     }
 
     /// A copy of the coefficient state for persistence (`None` before the
@@ -146,6 +164,7 @@ impl TrackingReconstructor {
         };
         let map = self.inner.map_from_coefficients(&state)?;
         self.state = Some(state);
+        self.frames += 1;
         Ok(map)
     }
 }
@@ -221,6 +240,29 @@ mod tests {
             err_tracked < err_memoryless * 0.6,
             "tracking {err_tracked} not clearly better than memoryless {err_memoryless}"
         );
+    }
+
+    #[test]
+    fn frame_counter_ticks_with_steps_and_restores() {
+        let (basis, sensors, rec) = setup();
+        let mut tracker = TrackingReconstructor::new(rec.clone(), 0.5).unwrap();
+        assert_eq!(tracker.frames(), 0);
+        for t in 0..5 {
+            tracker.step(&sensors.sample(&truth_at(&basis, t))).unwrap();
+        }
+        assert_eq!(tracker.frames(), 5);
+        // A failed step (wrong reading length) does not tick the counter.
+        assert!(tracker.step(&[1.0]).is_err());
+        assert_eq!(tracker.frames(), 5);
+        // Reset clears state but not the served-frames count.
+        tracker.reset();
+        assert_eq!(tracker.frames(), 5);
+        // Warm restart: a fresh tracker restores the counter alongside the
+        // state and continues counting from there.
+        let mut resumed = TrackingReconstructor::new(rec, 0.5).unwrap();
+        resumed.set_frames(5);
+        resumed.step(&sensors.sample(&truth_at(&basis, 5))).unwrap();
+        assert_eq!(resumed.frames(), 6);
     }
 
     #[test]

@@ -88,6 +88,11 @@ pub struct SessionInfo {
     pub version: u32,
     /// Frames already served (nonzero after a resume).
     pub frames: u64,
+    /// Durable id the server's checkpoint store tracks the session
+    /// under (`0` when the server has no durability store). Present it
+    /// to [`Client::attach`] to reclaim the session after a server
+    /// restart.
+    pub durable: u64,
 }
 
 /// A blocking `EMWIRE1` client. Not thread-safe by design — one
@@ -216,16 +221,30 @@ impl Client {
         self.expect_session(&Request::Resume { snapshot })
     }
 
+    /// Attaches to a checkpoint-recovered session by the durable id a
+    /// previous connection reported in [`SessionInfo::durable`]. Succeeds
+    /// at most once per id per server restart; an id the server does not
+    /// hold hydrated maps to an `UnknownSession` error.
+    ///
+    /// # Errors
+    ///
+    /// Any [`NetError`].
+    pub fn attach(&mut self, durable: u64) -> Result<SessionInfo, NetError> {
+        self.expect_session(&Request::Attach { durable })
+    }
+
     fn expect_session(&mut self, request: &Request) -> Result<SessionInfo, NetError> {
         match self.call(request)? {
             Response::SessionOpened {
                 session,
                 version,
                 frames,
+                durable,
             } => Ok(SessionInfo {
                 session,
                 version,
                 frames,
+                durable,
             }),
             _ => Err(NetError::UnexpectedReply {
                 expected: "SessionOpened",
@@ -314,7 +333,7 @@ impl Client {
     /// Any [`NetError`].
     pub fn metrics(&mut self) -> Result<WireMetrics, NetError> {
         match self.call(&Request::Metrics)? {
-            Response::Metrics(metrics) => Ok(metrics),
+            Response::Metrics(metrics) => Ok(*metrics),
             _ => Err(NetError::UnexpectedReply {
                 expected: "Metrics",
             }),

@@ -30,7 +30,7 @@ use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use eigenmaps_serve::{
@@ -169,6 +169,8 @@ pub struct NetServer {
     stop: Arc<AtomicBool>,
     wake_tx: Sender<Wake>,
     wake_rx: Receiver<Wake>,
+    /// Hydrated sessions waiting for a client to `Attach` by durable id.
+    orphans: Arc<Mutex<HashMap<u64, TrackerSession>>>,
 }
 
 impl NetServer {
@@ -204,7 +206,20 @@ impl NetServer {
             stop: Arc::new(AtomicBool::new(false)),
             wake_tx,
             wake_rx,
+            orphans: Arc::new(Mutex::new(HashMap::new())),
         })
+    }
+
+    /// Parks checkpoint-recovered sessions (from [`Server::hydrate`])
+    /// until clients reclaim them with `Attach { durable }`. Each entry
+    /// is keyed by its durable id and can be claimed exactly once; ids
+    /// never attached stay parked (and keep being checkpointed) for the
+    /// life of the door.
+    pub fn adopt(&self, sessions: Vec<(u64, TrackerSession)>) {
+        let mut orphans = self.orphans.lock().expect("orphan pool poisoned");
+        for (durable, session) in sessions {
+            orphans.insert(durable, session);
+        }
     }
 
     /// The bound address — the port clients should dial.
@@ -231,6 +246,7 @@ impl NetServer {
             stop,
             wake_tx,
             wake_rx,
+            orphans,
         } = self;
         let metrics = Arc::clone(server.metrics_hub());
         let mut conns: HashMap<u64, Conn> = HashMap::new();
@@ -275,7 +291,9 @@ impl NetServer {
 
             let mut dead: Vec<u64> = Vec::new();
             for (&id, conn) in conns.iter_mut() {
-                let alive = service_conn(conn, &server, &metrics, &wake_tx, &config, draining, now);
+                let alive = service_conn(
+                    conn, &server, &metrics, &wake_tx, &orphans, &config, draining, now,
+                );
                 if !alive {
                     dead.push(id);
                 }
@@ -313,11 +331,13 @@ impl NetServer {
 /// One service pass over a connection: read, decode, dispatch, complete
 /// ready tickets, flush, and judge liveness. Returns `false` when the
 /// connection should be reaped.
+#[allow(clippy::too_many_arguments)]
 fn service_conn(
     conn: &mut Conn,
     server: &Arc<Server>,
     metrics: &Arc<ServeMetrics>,
     wake: &Sender<Wake>,
+    orphans: &Mutex<HashMap<u64, TrackerSession>>,
     config: &NetConfig,
     draining: bool,
     now: Instant,
@@ -355,7 +375,9 @@ fn service_conn(
             Ok(record) => {
                 metrics.record_wire_frame_in();
                 match Request::decode(&record) {
-                    Ok((id, request)) => dispatch(conn, server, metrics, wake, id, request),
+                    Ok((id, request)) => {
+                        dispatch(conn, server, metrics, wake, orphans, id, request)
+                    }
                     Err(failure) => {
                         record_wire_error(metrics, &failure.error);
                         // A corrupt envelope has no trustworthy id; 0
@@ -497,6 +519,7 @@ fn dispatch(
     server: &Arc<Server>,
     metrics: &Arc<ServeMetrics>,
     wake: &Sender<Wake>,
+    orphans: &Mutex<HashMap<u64, TrackerSession>>,
     id: u64,
     request: Request,
 ) {
@@ -602,7 +625,7 @@ fn dispatch(
         }
         Request::Metrics => {
             let snap = server.metrics();
-            let reply = Response::Metrics(WireMetrics {
+            let reply = Response::Metrics(Box::new(WireMetrics {
                 requests: snap.requests,
                 frames: snap.frames,
                 batches: snap.batches,
@@ -615,12 +638,28 @@ fn dispatch(
                 wire: snap.wire,
                 latency_buckets: snap.latency_buckets,
                 session_latency_buckets: snap.session_latency_buckets,
-            });
+            }));
             conn.enqueue(reply.encode(id), metrics);
         }
         Request::Trace => {
             let reply = Response::Trace(flight_snapshot(server));
             conn.enqueue(reply.encode(id), metrics);
+        }
+        Request::Attach { durable } => {
+            let claimed = orphans
+                .lock()
+                .expect("orphan pool poisoned")
+                .remove(&durable);
+            match claimed {
+                Some(session) => {
+                    let reply = register_session(conn, session);
+                    conn.enqueue(reply.encode(id), metrics);
+                }
+                None => {
+                    let reply = unknown_session(durable, id, metrics);
+                    conn.enqueue(reply, metrics);
+                }
+            }
         }
     }
 }
@@ -706,6 +745,7 @@ fn register_session(conn: &mut Conn, session: TrackerSession) -> Response {
         session: id,
         version: session.version(),
         frames: session.frames(),
+        durable: session.durable_id(),
     };
     conn.sessions.insert(id, session);
     reply

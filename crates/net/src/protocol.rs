@@ -39,8 +39,9 @@
 //! | `0x08` | `Publish`      | → | `name: str`, `len: u64`, `EMDEPLOY bytes × len` |
 //! | `0x09` | `Metrics`      | → | empty |
 //! | `0x0A` | `Trace`        | → | empty |
+//! | `0x0B` | `Attach`       | → | `durable: u64` |
 //! | `0x81` | `Batch`         | ← | `version: u32`, `count: u64`, then per map `rows: u64`, `cols: u64`, `f64 × rows·cols` |
-//! | `0x82` | `SessionOpened` | ← | `session: u64`, `version: u32`, `frames: u64` |
+//! | `0x82` | `SessionOpened` | ← | `session: u64`, `version: u32`, `frames: u64`, `durable: u64` |
 //! | `0x83` | `Step`          | ← | `rows: u64`, `cols: u64`, `f64 × rows·cols` |
 //! | `0x84` | `Closed`        | ← | empty |
 //! | `0x85` | `Snapshot`      | ← | `len: u64`, `EMSESS1 bytes × len` |
@@ -116,6 +117,7 @@ const KIND_CATALOG: u8 = 0x07;
 const KIND_PUBLISH: u8 = 0x08;
 const KIND_METRICS: u8 = 0x09;
 const KIND_TRACE: u8 = 0x0A;
+const KIND_ATTACH: u8 = 0x0B;
 const KIND_BATCH_REPLY: u8 = 0x81;
 const KIND_SESSION_OPENED: u8 = 0x82;
 const KIND_STEP_REPLY: u8 = 0x83;
@@ -348,6 +350,14 @@ pub enum Request {
     /// Fetch a flight-recorder snapshot: the event ring, per-tenant stage
     /// quantiles and slow-request exemplars.
     Trace,
+    /// Attach to a hydrated (checkpoint-recovered) session by its durable
+    /// id, claiming it for this connection. The durable ids of recovered
+    /// sessions come from the `EMSTORE1` manifest the server booted from;
+    /// each can be claimed exactly once per restart.
+    Attach {
+        /// Durable session id assigned by the server's checkpoint store.
+        durable: u64,
+    },
 }
 
 /// One server → client message.
@@ -368,6 +378,10 @@ pub enum Response {
         version: u32,
         /// Frames already served (nonzero after a resume).
         frames: u64,
+        /// Durable id under which the server's checkpoint store tracks
+        /// this session, or `0` when no durability store is attached.
+        /// Clients present this id to `Attach` after a server restart.
+        durable: u64,
     },
     /// The filtered estimate for one `StepSession`.
     Step {
@@ -391,8 +405,8 @@ pub enum Response {
         /// The version the artifact was published at.
         version: u32,
     },
-    /// A metrics snapshot.
-    Metrics(WireMetrics),
+    /// A metrics snapshot (boxed: it dwarfs every other reply variant).
+    Metrics(Box<WireMetrics>),
     /// A flight-recorder snapshot.
     Trace(WireTrace),
     /// The request failed (or a frame was rejected).
@@ -538,7 +552,12 @@ impl WireMetrics {
             .u64(self.wire.errors_rejected)
             .u64(self.wire.reaped_idle)
             .u64(self.wire.reaped_slow_client)
-            .u64(self.wire.reaped_drain);
+            .u64(self.wire.reaped_drain)
+            .u64(self.wire.checkpoints)
+            .u64(self.wire.checkpoint_sessions)
+            .u64(self.wire.hydrated_deployments)
+            .u64(self.wire.hydrated_sessions)
+            .u64(self.wire.hydration_skipped);
         encode_histogram(enc, &self.latency_buckets);
         encode_histogram(enc, &self.session_latency_buckets);
     }
@@ -569,6 +588,11 @@ impl WireMetrics {
                 reaped_idle: dec.u64()?,
                 reaped_slow_client: dec.u64()?,
                 reaped_drain: dec.u64()?,
+                checkpoints: dec.u64()?,
+                checkpoint_sessions: dec.u64()?,
+                hydrated_deployments: dec.u64()?,
+                hydrated_sessions: dec.u64()?,
+                hydration_skipped: dec.u64()?,
             },
             latency_buckets: decode_histogram(dec)?,
             session_latency_buckets: decode_histogram(dec)?,
@@ -856,6 +880,9 @@ impl Request {
             }),
             Request::Metrics => seal_frame(id, KIND_METRICS, |_| {}),
             Request::Trace => seal_frame(id, KIND_TRACE, |_| {}),
+            Request::Attach { durable } => seal_frame(id, KIND_ATTACH, |enc| {
+                enc.u64(*durable);
+            }),
         }
     }
 
@@ -910,6 +937,9 @@ impl Request {
             },
             KIND_METRICS => Request::Metrics,
             KIND_TRACE => Request::Trace,
+            KIND_ATTACH => Request::Attach {
+                durable: dec.u64().map_err(|e| fail(e.into()))?,
+            },
             kind => return Err(fail(WireError::UnknownKind { kind })),
         };
         dec.finish().map_err(|_| {
@@ -936,8 +966,9 @@ impl Response {
                 session,
                 version,
                 frames,
+                durable,
             } => seal_frame(id, KIND_SESSION_OPENED, |enc| {
-                enc.u64(*session).u32(*version).u64(*frames);
+                enc.u64(*session).u32(*version).u64(*frames).u64(*durable);
             }),
             Response::Step { map } => seal_frame(id, KIND_STEP_REPLY, |enc| {
                 map.encode(enc);
@@ -1003,6 +1034,7 @@ impl Response {
                 session: dec.u64().map_err(|e| fail(e.into()))?,
                 version: dec.u32().map_err(|e| fail(e.into()))?,
                 frames: dec.u64().map_err(|e| fail(e.into()))?,
+                durable: dec.u64().map_err(|e| fail(e.into()))?,
             },
             KIND_STEP_REPLY => Response::Step {
                 map: WireMap::decode(&mut dec).map_err(fail)?,
@@ -1028,7 +1060,9 @@ impl Response {
             KIND_PUBLISHED => Response::Published {
                 version: dec.u32().map_err(|e| fail(e.into()))?,
             },
-            KIND_METRICS_REPLY => Response::Metrics(WireMetrics::decode(&mut dec).map_err(fail)?),
+            KIND_METRICS_REPLY => {
+                Response::Metrics(Box::new(WireMetrics::decode(&mut dec).map_err(fail)?))
+            }
             KIND_TRACE_REPLY => Response::Trace(WireTrace::decode(&mut dec).map_err(fail)?),
             KIND_ERROR => Response::Error {
                 status: WireStatus::from_u8(dec.u8().map_err(|e| fail(e.into()))?).map_err(fail)?,
@@ -1164,6 +1198,7 @@ mod tests {
         });
         roundtrip_request(Request::Metrics);
         roundtrip_request(Request::Trace);
+        roundtrip_request(Request::Attach { durable: u64::MAX });
     }
 
     #[test]
@@ -1180,6 +1215,7 @@ mod tests {
             session: 11,
             version: 1,
             frames: 40,
+            durable: 6,
         });
         roundtrip_response(Response::Step {
             map: WireMap {
@@ -1196,13 +1232,18 @@ mod tests {
             entries: vec![("a".into(), vec![1, 3]), ("b".into(), vec![])],
         });
         roundtrip_response(Response::Published { version: 5 });
-        roundtrip_response(Response::Metrics(WireMetrics {
+        roundtrip_response(Response::Metrics(Box::new(WireMetrics {
             requests: 10,
             wire: WireSnapshot {
                 frames_in: 12,
                 reaped_idle: 2,
                 reaped_slow_client: 1,
                 reaped_drain: 3,
+                checkpoints: 4,
+                checkpoint_sessions: 8,
+                hydrated_deployments: 2,
+                hydrated_sessions: 5,
+                hydration_skipped: 1,
                 ..WireSnapshot::default()
             },
             latency_buckets: HistogramSnapshot {
@@ -1216,7 +1257,7 @@ mod tests {
                 total_ns: 9_000,
             },
             ..WireMetrics::default()
-        }));
+        })));
         roundtrip_response(Response::Trace(WireTrace {
             written: 100,
             dropped: 3,

@@ -237,3 +237,200 @@ fn tcp_churn_under_seeded_schedules() {
         churn_schedule(seed, clients, rounds);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Hard-kill durability: a real server process SIGKILLed with live traffic
+// and background checkpoints in flight, restarted on the same store
+// directory, must hydrate and continue every stream bitwise.
+// ---------------------------------------------------------------------------
+
+/// Kills the child on drop so a failed assertion never leaks a server
+/// process past the test run.
+struct ChildGuard(std::process::Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Re-invokes this test binary as a server process: `killable_server`
+/// below boots on `dir`, prints its port, and serves until killed.
+fn spawn_server(dir: &std::path::Path) -> (ChildGuard, std::net::SocketAddr) {
+    use std::io::BufRead;
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut child = std::process::Command::new(exe)
+        .args(["killable_server", "--exact", "--nocapture"])
+        .env("EIGENMAPS_KILLABLE_DIR", dir)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn server process");
+    let stdout = child.stdout.take().expect("child stdout piped");
+    let mut guard = ChildGuard(child);
+    let mut port = None;
+    for line in std::io::BufReader::new(stdout).lines() {
+        let line = line.expect("read child stdout");
+        // The harness prints "test killable_server ... " with no newline
+        // before the test body runs, so the marker lands mid-line.
+        if let Some(pos) = line.find("PORT=") {
+            port = Some(line[pos + 5..].trim().parse::<u16>().expect("port number"));
+            break;
+        }
+    }
+    let port = port.unwrap_or_else(|| {
+        let status = guard.0.wait();
+        panic!("server process exited without announcing a port: {status:?}")
+    });
+    // The reader thread owning the pipe ends here; the child keeps
+    // serving (EPIPE on its captured stdout is harmless).
+    (guard, std::net::SocketAddr::from(([127, 0, 0, 1], port)))
+}
+
+/// The server side of the kill test, driven only via the env var: boots
+/// a `Server`, hydrates the store directory (cold boot publishes the
+/// fleet; a restart republishes from disk), parks recovered sessions in
+/// the door's orphan pool, announces its port, and serves until killed.
+#[test]
+fn killable_server() {
+    let Some(dir) = std::env::var_os("EIGENMAPS_KILLABLE_DIR") else {
+        return;
+    };
+    let fleet = fleet();
+    let registry = Arc::new(DeploymentRegistry::new());
+    let server = Arc::new(Server::new(Arc::clone(&registry), 2));
+    let hydration = server
+        .hydrate(&dir, Duration::from_millis(25))
+        .expect("hydrate store directory");
+    if hydration.report.deployments == 0 {
+        for (idx, name) in fleet.names.iter().enumerate() {
+            registry.publish(name, (*fleet.deployments[idx]).clone());
+        }
+    }
+    let door = NetServer::bind("127.0.0.1:0", Arc::clone(&server)).expect("bind");
+    door.adopt(hydration.sessions);
+    println!("PORT={}", door.local_addr().port());
+    std::io::stdout().flush().ok();
+    door.run();
+}
+
+/// One kill cycle: open a session over TCP, step it with live bitwise
+/// verification, wait for an on-disk checkpoint to reference it, keep
+/// stepping so the SIGKILL races the 25 ms checkpoint cadence, kill,
+/// restart on the same directory, attach by durable id, and continue the
+/// stream — every post-restart step bitwise-identical to an unbroken
+/// reference replayed to the checkpointed frame count.
+fn kill_restart_cycle(cycle: u64, head: usize, mid: usize) {
+    use eigenmaps_core::codec::StoreManifest;
+
+    let fleet = fleet();
+    let dir = std::env::temp_dir().join(format!("eigenmaps-kill-{}-{cycle}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (first, addr) = spawn_server(&dir);
+
+    let gain = 0.7;
+    let tenant = (cycle % 2) as usize;
+    let name = fleet.names[tenant];
+    let frames = &fleet.frames[tenant];
+    assert!(head <= mid && mid < frames.len());
+
+    let mut client = Client::connect(addr).expect("connect");
+    let mut reference = TrackerSession::open(&fleet.registry, name, gain).expect("reference");
+    let info = client.open_session(name, gain).expect("open");
+    assert!(info.durable > 0, "hydrated server assigns durable ids");
+
+    let verify_step =
+        |client: &mut Client, reference: &mut TrackerSession, session: u64, readings: &Vec<f64>| {
+            let want = reference.step(readings).unwrap();
+            let got = client.step(session, readings.clone()).expect("step");
+            assert_eq!(
+                got.as_slice()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                want.as_slice()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                "live step diverged over TCP"
+            );
+        };
+    for readings in &frames[..head] {
+        verify_step(&mut client, &mut reference, info.session, readings);
+    }
+
+    // Wait until some background checkpoint has committed a manifest
+    // referencing this session, so the restart has something to hydrate.
+    let manifest_path = dir.join("manifest.emstore");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let referenced = std::fs::read(&manifest_path)
+            .ok()
+            .and_then(|bytes| StoreManifest::from_bytes(&bytes).ok())
+            .is_some_and(|m| m.sessions.iter().any(|e| e.id == info.durable));
+        if referenced {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no checkpoint referenced the session within 10s"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // More live steps so the kill lands with checkpoints in flight.
+    for readings in &frames[head..mid] {
+        verify_step(&mut client, &mut reference, info.session, readings);
+    }
+    drop(client);
+    drop(first); // SIGKILL — no shutdown handshake, no final checkpoint.
+
+    let (second, addr) = spawn_server(&dir);
+    let mut client = Client::connect(addr).expect("reconnect");
+
+    // The catalog came back from disk, not from a republish.
+    let catalog = client.catalog().expect("catalog");
+    for name in fleet.names {
+        assert!(
+            catalog
+                .iter()
+                .any(|(n, versions)| n == name && versions == &[1]),
+            "deployment {name} missing after hydration: {catalog:?}"
+        );
+    }
+
+    // Attach by durable id: the stream continues from whatever frame the
+    // last committed checkpoint captured — old-or-new, never torn.
+    let resumed = client.attach(info.durable).expect("attach");
+    assert_eq!(resumed.version, info.version);
+    let at = resumed.frames as usize;
+    assert!(at <= mid, "resumed past the frames ever served");
+    let mut reference = TrackerSession::open(&fleet.registry, name, gain).expect("reference");
+    for readings in &frames[..at] {
+        reference.step(readings).expect("replay");
+    }
+    for readings in &frames[at..] {
+        verify_step(&mut client, &mut reference, resumed.session, readings);
+    }
+
+    // A durable id claims at most once per restart.
+    assert!(
+        client.attach(info.durable).is_err(),
+        "second attach of the same durable id must be refused"
+    );
+
+    drop(client);
+    drop(second);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tcp_kill_nine_then_bitwise_continuation() {
+    let cycles: u64 = if stress() { 3 } else { 1 };
+    for cycle in 0..cycles {
+        let head = 3 + (cycle as usize % 3);
+        let mid = 9;
+        kill_restart_cycle(cycle, head, mid);
+    }
+}

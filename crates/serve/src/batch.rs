@@ -39,11 +39,12 @@
 //! ([`Server::set_tenant_policy`]) tier both workload classes by SKU.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use eigenmaps_core::{CoreError, Deployment, ThermalMap, TrackingReconstructor};
 
@@ -53,6 +54,7 @@ use crate::registry::DeploymentRegistry;
 use crate::scheduler::{Decision, FlushDecision, Scheduler, StepDecision, StreamId, TenantKey};
 use crate::session::{SessionDoor, TrackerSession};
 use crate::shard::ShardedExecutor;
+use crate::store::{DurabilityHub, Hydration, HydrationReport, SnapshotStore, DEFAULT_KEEP};
 use crate::trace::{FlightRecorder, RejectReason, Stage, TraceCard, DEFAULT_RING_CAPACITY};
 
 pub use crate::scheduler::BatchPolicy;
@@ -358,6 +360,11 @@ pub(crate) enum BatcherMsg {
         name: String,
         policy: Option<BatchPolicy>,
     },
+    /// Installs the durability hub in the batcher: from here on the loop
+    /// folds the hub's checkpoint deadline into its wait and throws
+    /// `checkpoint_now` jobs onto the executor's fire-and-forget lane
+    /// when the cadence elapses.
+    Durability(Arc<DurabilityHub>),
     Shutdown,
 }
 
@@ -395,6 +402,10 @@ pub struct Server {
     recorder: FlightRecorder,
     /// Stream-lane id allocator for sessions opened through this server.
     next_stream: AtomicU64,
+    /// The crash-safe snapshot service, once attached via
+    /// [`Server::hydrate`] / [`Server::hydrate_with`]. Sessions opened
+    /// while it is installed enroll for background checkpointing.
+    durability: Mutex<Option<Arc<DurabilityHub>>>,
     batcher: Option<JoinHandle<()>>,
 }
 
@@ -440,6 +451,7 @@ impl Server {
             queue,
             recorder,
             next_stream: AtomicU64::new(1),
+            durability: Mutex::new(None),
             batcher: Some(batcher),
         }
     }
@@ -746,14 +758,16 @@ impl Server {
     /// * [`ServeError::UnknownDeployment`] for an unresolved name.
     /// * [`ServeError::Core`] for a gain outside `(0, 1]`.
     pub fn open_session(&self, deployment: &str, gain: f64) -> Result<TrackerSession> {
-        TrackerSession::open_scheduled(
+        let mut session = TrackerSession::open_scheduled(
             &self.registry,
             deployment,
             None,
             gain,
             Arc::clone(&self.metrics),
             self.session_door(),
-        )
+        )?;
+        self.enroll(&mut session);
+        Ok(session)
     }
 
     /// [`Server::open_session`] pinned to an explicit registry `version`
@@ -772,14 +786,16 @@ impl Server {
         version: u32,
         gain: f64,
     ) -> Result<TrackerSession> {
-        TrackerSession::open_scheduled(
+        let mut session = TrackerSession::open_scheduled(
             &self.registry,
             deployment,
             Some(version),
             gain,
             Arc::clone(&self.metrics),
             self.session_door(),
-        )
+        )?;
+        self.enroll(&mut session);
+        Ok(session)
     }
 
     /// Warm-starts a stream from an `EMSESS1` snapshot (see
@@ -797,12 +813,130 @@ impl Server {
     /// * [`ServeError::SnapshotMismatch`] if the resolved deployment's
     ///   shape disagrees with the snapshot.
     pub fn resume_session(&self, bytes: &[u8]) -> Result<TrackerSession> {
-        TrackerSession::resume_scheduled(
+        let mut session = TrackerSession::resume_scheduled(
             &self.registry,
             bytes,
             Arc::clone(&self.metrics),
             self.session_door(),
-        )
+        )?;
+        self.enroll(&mut session);
+        Ok(session)
+    }
+
+    /// Enrolls a freshly opened session for background checkpointing, if
+    /// a durability hub is installed.
+    fn enroll(&self, session: &mut TrackerSession) {
+        let hub = self.durability.lock().expect("durability slot poisoned");
+        if let Some(hub) = hub.as_ref() {
+            let id = hub.register(session);
+            session.set_durable(id);
+        }
+    }
+
+    /// The installed durability hub, if [`Server::hydrate`] /
+    /// [`Server::hydrate_with`] attached one — tests and operators use
+    /// it to force a checkpoint ([`DurabilityHub::checkpoint_now`]).
+    pub fn durability(&self) -> Option<Arc<DurabilityHub>> {
+        self.durability
+            .lock()
+            .expect("durability slot poisoned")
+            .clone()
+    }
+
+    /// Attaches a crash-safe snapshot store rooted at `dir` (created if
+    /// missing) and hydrates whatever a previous process checkpointed
+    /// there: persisted deployments are republished under their exact
+    /// `(name, version)` pairs, every recoverable session is resumed
+    /// (bitwise-continuing its stream) and re-enrolled under its
+    /// preserved durable id, and corrupt or torn entries are skipped and
+    /// metered — never a failed boot. From then on the batcher commits a
+    /// whole-fleet checkpoint every `cadence` through the executor's
+    /// fire-and-forget job lane, and every session opened through this
+    /// server is checkpointed too.
+    ///
+    /// The returned [`Hydration`] carries the recovered sessions; keep
+    /// them alive (e.g. hand them to a network front door for `Attach`)
+    /// or drop them to discard the recovered streams.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::StoreVersionAhead`] if the directory's manifest
+    ///   was written by a newer format version — refused, not clobbered.
+    /// * [`ServeError::Terminated`] for an unusable store directory, or
+    ///   if a durability store is already attached.
+    pub fn hydrate(&self, dir: impl AsRef<Path>, cadence: Duration) -> Result<Hydration> {
+        let store = SnapshotStore::open(dir, DEFAULT_KEEP).map_err(|_| ServeError::Terminated {
+            context: "durability store directory is unusable",
+        })?;
+        self.hydrate_with(store, cadence)
+    }
+
+    /// [`Server::hydrate`] over an explicit [`SnapshotStore`] — the
+    /// fault-injection door ([`crate::store::MemIo`]) and the way to
+    /// choose a non-default rotation depth.
+    ///
+    /// # Errors
+    ///
+    /// See [`Server::hydrate`].
+    pub fn hydrate_with(&self, store: SnapshotStore, cadence: Duration) -> Result<Hydration> {
+        {
+            let installed = self.durability.lock().expect("durability slot poisoned");
+            if installed.is_some() {
+                return Err(ServeError::Terminated {
+                    context: "a durability store is already attached",
+                });
+            }
+        }
+        let contents = store.load()?;
+        let mut report = HydrationReport {
+            skipped: contents.skipped,
+            ..HydrationReport::default()
+        };
+        for artifact in &contents.catalog {
+            match Deployment::from_bytes(&artifact.bytes)
+                .map_err(ServeError::from)
+                .and_then(|d| {
+                    self.registry
+                        .publish_at(&artifact.name, artifact.version, d)
+                }) {
+                Ok(()) => {
+                    report.deployments += 1;
+                    self.metrics.record_hydrated_deployment();
+                }
+                Err(_) => report.skipped += 1,
+            }
+        }
+        let hub = Arc::new(DurabilityHub::new(
+            store,
+            Arc::clone(&self.registry),
+            Arc::clone(&self.metrics),
+            cadence,
+        ));
+        let mut sessions = Vec::with_capacity(contents.sessions.len());
+        for (id, bytes) in &contents.sessions {
+            // resume_session would double-enroll once the hub is
+            // installed, so sessions are resumed first and adopted under
+            // their preserved ids by hand.
+            match TrackerSession::resume_scheduled(
+                &self.registry,
+                bytes,
+                Arc::clone(&self.metrics),
+                self.session_door(),
+            ) {
+                Ok(mut session) => {
+                    hub.adopt(*id, &session);
+                    session.set_durable(*id);
+                    report.sessions += 1;
+                    self.metrics.record_hydrated_session();
+                    sessions.push((*id, session));
+                }
+                Err(_) => report.skipped += 1,
+            }
+        }
+        self.metrics.record_hydration_skipped(report.skipped);
+        *self.durability.lock().expect("durability slot poisoned") = Some(Arc::clone(&hub));
+        let _ = self.queue.send(BatcherMsg::Durability(hub));
+        Ok(Hydration { report, sessions })
     }
 }
 
@@ -816,6 +950,18 @@ impl Drop for Server {
         let _ = self.queue.send(BatcherMsg::Shutdown);
         if let Some(batcher) = self.batcher.take() {
             let _ = batcher.join();
+        }
+        // A final checkpoint after the drain, so a graceful shutdown
+        // persists every session's last-served frame. Runs inline — the
+        // pool may already be gone — and best-effort: a failed write
+        // leaves the previous checkpoint recoverable.
+        let hub = self
+            .durability
+            .lock()
+            .expect("durability slot poisoned")
+            .take();
+        if let Some(hub) = hub {
+            let _ = hub.checkpoint_now();
         }
     }
 }
@@ -889,30 +1035,41 @@ fn batcher_loop(
             }
         }
     }
+    // The durability hub, once the server installs it. Its checkpoint
+    // deadline is folded into the wait below, so the cadence needs no
+    // extra thread and runs entirely on this loop's injected clock.
+    let mut durability: Option<Arc<DurabilityHub>> = None;
     'serve: loop {
-        let arrival = if scheduler.is_idle() {
-            match rx.recv() {
+        let sched_deadline = if scheduler.is_idle() {
+            None
+        } else {
+            // `None` here means "flush by size only" — no representable
+            // scheduler deadline.
+            scheduler.next_deadline()
+        };
+        let hub_deadline = durability.as_ref().map(|hub| hub.deadline());
+        let deadline = match (sched_deadline, hub_deadline) {
+            (Some(s), Some(h)) => Some(s.min(h)),
+            (Some(s), None) => Some(s),
+            (None, Some(h)) => Some(h),
+            (None, None) => None,
+        };
+        // With no hub installed this reproduces the original wait
+        // exactly: idle or deadline-less → block on recv.
+        let arrival = match deadline {
+            None => match rx.recv() {
                 Ok(msg) => Some(msg),
                 Err(_) => break,
-            }
-        } else {
-            match scheduler.next_deadline() {
-                // No representable deadline ("flush by size only"): wait
-                // for traffic without a timeout.
-                None => match rx.recv() {
-                    Ok(msg) => Some(msg),
-                    Err(_) => break,
-                },
-                Some(deadline) => {
-                    let remaining = deadline.saturating_sub(epoch.elapsed());
-                    if remaining.is_zero() {
-                        None
-                    } else {
-                        match rx.recv_timeout(remaining) {
-                            Ok(msg) => Some(msg),
-                            Err(RecvTimeoutError::Timeout) => None,
-                            Err(RecvTimeoutError::Disconnected) => break,
-                        }
+            },
+            Some(deadline) => {
+                let remaining = deadline.saturating_sub(epoch.elapsed());
+                if remaining.is_zero() {
+                    None
+                } else {
+                    match rx.recv_timeout(remaining) {
+                        Ok(msg) => Some(msg),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => break,
                     }
                 }
             }
@@ -946,8 +1103,30 @@ fn batcher_loop(
             Some(BatcherMsg::Policy { name, policy }) => {
                 scheduler.set_tenant_policy(name, policy);
             }
+            Some(BatcherMsg::Durability(hub)) => {
+                // Arm at install so the first background checkpoint
+                // waits a full cadence — hydration just read the store,
+                // so there is nothing new to persist yet, and tests
+                // driving checkpoints explicitly stay deterministic.
+                hub.arm(now);
+                durability = Some(hub);
+            }
             Some(BatcherMsg::Shutdown) => break 'serve,
             None => {}
+        }
+        if let Some(hub) = &durability {
+            if hub.due(now) {
+                // Re-arm first so a slow checkpoint cannot pile up wakes,
+                // then run it on the fire-and-forget job lane — serving
+                // never waits on fsync. Overlap collapses inside the hub.
+                hub.arm(now);
+                let job = Arc::clone(hub);
+                // A dead pool (shutdown race) just drops the job; the
+                // final checkpoint in `Server::drop` still runs inline.
+                let _ = executor.spawn(move |_| {
+                    let _ = job.checkpoint_now();
+                });
+            }
         }
         for decision in scheduler.tick(now) {
             match decision {

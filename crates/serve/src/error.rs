@@ -47,6 +47,17 @@ pub enum ServeError {
         /// Which field disagreed.
         context: &'static str,
     },
+    /// A durability store directory carries an `EMSTORE1` manifest
+    /// written by a *newer* format version than this build understands.
+    /// Hydrating would silently drop fields (and the next checkpoint
+    /// would clobber them), so the boot is refused instead — point the
+    /// server at a fresh directory or upgrade the binary.
+    StoreVersionAhead {
+        /// The manifest's format version.
+        found: u32,
+        /// The newest version this build supports.
+        supported: u32,
+    },
     /// Reconstruction itself failed.
     Core(CoreError),
 }
@@ -73,6 +84,13 @@ impl fmt::Display for ServeError {
                 write!(
                     f,
                     "session snapshot does not match the deployment: {context}"
+                )
+            }
+            ServeError::StoreVersionAhead { found, supported } => {
+                write!(
+                    f,
+                    "store manifest version {found} is newer than supported {supported}; \
+                     refusing to hydrate"
                 )
             }
             ServeError::Core(e) => write!(f, "reconstruction failed: {e}"),
@@ -118,6 +136,12 @@ mod tests {
             pending: 1024,
         };
         assert!(e.to_string().contains("1024"));
+        let e = ServeError::StoreVersionAhead {
+            found: 7,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("newer than supported"));
+        assert!(e.to_string().contains('7'));
     }
 
     #[test]

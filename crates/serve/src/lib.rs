@@ -33,7 +33,15 @@
 //! * [`ServeMetrics`] / [`MetricsSnapshot`] — request/frame counters,
 //!   fixed-bucket latency histograms per workload class (p50/p99),
 //!   shard utilization, per-tenant batch-size/queue-depth gauges
-//!   ([`TenantSnapshot`]) and session gauges.
+//!   ([`TenantSnapshot`]) and session gauges;
+//! * [`SnapshotStore`] / [`DurabilityHub`] — the crash-safe on-disk
+//!   durability layer ([`store`]): background whole-fleet checkpoints
+//!   (write-new → fsync → atomic-rename, generation rotation, a
+//!   checksummed `EMSTORE1` manifest) scheduled through the executor's
+//!   fire-and-forget job lane, and cold-start hydration
+//!   ([`Server::hydrate`]) that republishes the persisted catalog and
+//!   resumes every recoverable session, skipping-and-metering torn
+//!   entries instead of failing the boot.
 //!
 //! # Quickstart: design time → artifact → serving fleet
 //!
@@ -118,6 +126,7 @@ pub mod registry;
 pub mod scheduler;
 pub mod session;
 pub mod shard;
+pub mod store;
 pub mod trace;
 
 pub use batch::{BatchPolicy, ServeRequest, Server, Ticket};
@@ -132,6 +141,10 @@ pub use scheduler::{
 };
 pub use session::{StepTicket, TrackerSession};
 pub use shard::ShardedExecutor;
+pub use store::{
+    CatalogArtifact, CheckpointReport, CrashStyle, DiskIo, DurabilityHub, Hydration,
+    HydrationReport, MemIo, SessionCheckpoint, SnapshotStore, StoreContents, StoreIo,
+};
 pub use trace::{
     FlightRecorder, RejectReason, RingSnapshot, Stage, TraceCard, TraceEvent, TraceExemplar,
     TraceId, TraceRef,
@@ -183,6 +196,10 @@ pub mod prelude {
     };
     pub use crate::session::{StepTicket, TrackerSession};
     pub use crate::shard::ShardedExecutor;
+    pub use crate::store::{
+        CatalogArtifact, CheckpointReport, CrashStyle, DiskIo, DurabilityHub, Hydration,
+        HydrationReport, MemIo, SessionCheckpoint, SnapshotStore, StoreContents, StoreIo,
+    };
     pub use crate::trace::{
         FlightRecorder, RejectReason, RingSnapshot, Stage, TraceCard, TraceEvent, TraceExemplar,
         TraceId, TraceRef,

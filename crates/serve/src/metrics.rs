@@ -321,6 +321,16 @@ struct WireCounters {
     errors: [AtomicU64; 5],
     /// Reap counters indexed by [`ReapReason`] discriminant order.
     reaps: [AtomicU64; 3],
+    /// Durability checkpoints committed to the snapshot store.
+    checkpoints: AtomicU64,
+    /// Session snapshots referenced across committed checkpoints.
+    checkpoint_sessions: AtomicU64,
+    /// Deployments republished from the persisted catalog at hydration.
+    hydrated_deployments: AtomicU64,
+    /// Sessions rehydrated from the snapshot store at hydration.
+    hydrated_sessions: AtomicU64,
+    /// Corrupt/torn/mismatched store entries skipped during hydration.
+    hydration_skipped: AtomicU64,
 }
 
 /// Counter hub shared by the front end, the execution engine and any
@@ -431,6 +441,36 @@ impl ServeMetrics {
             ReapReason::Drain => 2,
         };
         self.wire.reaps[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one committed durability checkpoint covering `sessions`
+    /// session snapshots.
+    pub fn record_checkpoint(&self, sessions: u64) {
+        self.wire.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.wire
+            .checkpoint_sessions
+            .fetch_add(sessions, Ordering::Relaxed);
+    }
+
+    /// Records one deployment republished from the persisted catalog
+    /// during hydration.
+    pub fn record_hydrated_deployment(&self) {
+        self.wire
+            .hydrated_deployments
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one session rehydrated from the snapshot store.
+    pub fn record_hydrated_session(&self) {
+        self.wire.hydrated_sessions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `skipped` corrupt/torn/mismatched store entries skipped
+    /// (rather than failing the boot) during hydration.
+    pub fn record_hydration_skipped(&self, skipped: u64) {
+        self.wire
+            .hydration_skipped
+            .fetch_add(skipped, Ordering::Relaxed);
     }
 
     /// Records one stage latency for tenant `name` — the flight
@@ -678,6 +718,11 @@ impl ServeMetrics {
                 reaped_idle: self.wire.reaps[0].load(Ordering::Relaxed),
                 reaped_slow_client: self.wire.reaps[1].load(Ordering::Relaxed),
                 reaped_drain: self.wire.reaps[2].load(Ordering::Relaxed),
+                checkpoints: self.wire.checkpoints.load(Ordering::Relaxed),
+                checkpoint_sessions: self.wire.checkpoint_sessions.load(Ordering::Relaxed),
+                hydrated_deployments: self.wire.hydrated_deployments.load(Ordering::Relaxed),
+                hydrated_sessions: self.wire.hydrated_sessions.load(Ordering::Relaxed),
+                hydration_skipped: self.wire.hydration_skipped.load(Ordering::Relaxed),
             },
         }
     }
@@ -721,6 +766,17 @@ pub struct WireSnapshot {
     pub reaped_slow_client: u64,
     /// Connections closed during shutdown drain ([`ReapReason::Drain`]).
     pub reaped_drain: u64,
+    /// Durability checkpoints committed to the snapshot store.
+    pub checkpoints: u64,
+    /// Session snapshots referenced across committed checkpoints.
+    pub checkpoint_sessions: u64,
+    /// Deployments republished from the persisted catalog at hydration.
+    pub hydrated_deployments: u64,
+    /// Sessions rehydrated from the snapshot store at hydration.
+    pub hydrated_sessions: u64,
+    /// Corrupt/torn/mismatched store entries skipped (and survived)
+    /// during hydration.
+    pub hydration_skipped: u64,
 }
 
 impl WireSnapshot {
@@ -1047,6 +1103,26 @@ mod tests {
         assert_eq!(w.reaped_total(), 4);
         // Reaps are not wire errors.
         assert_eq!(w.errors_total(), 0);
+    }
+
+    #[test]
+    fn durability_counters_flow_into_wire_snapshot() {
+        let m = ServeMetrics::new(1);
+        m.record_checkpoint(3);
+        m.record_checkpoint(2);
+        m.record_hydrated_deployment();
+        m.record_hydrated_session();
+        m.record_hydrated_session();
+        m.record_hydration_skipped(4);
+        let w = m.snapshot().wire;
+        assert_eq!(w.checkpoints, 2);
+        assert_eq!(w.checkpoint_sessions, 5);
+        assert_eq!(w.hydrated_deployments, 1);
+        assert_eq!(w.hydrated_sessions, 2);
+        assert_eq!(w.hydration_skipped, 4);
+        // Durability traffic is not a wire error or a reap.
+        assert_eq!(w.errors_total(), 0);
+        assert_eq!(w.reaped_total(), 0);
     }
 
     #[test]

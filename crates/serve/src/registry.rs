@@ -32,6 +32,7 @@
 //!   names are independent.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use eigenmaps_core::Deployment;
@@ -55,6 +56,9 @@ struct Tenant {
 #[derive(Debug, Default)]
 pub struct DeploymentRegistry {
     tenants: RwLock<HashMap<String, Tenant>>,
+    /// Bumped on every publish/retire — a cheap "has the catalog
+    /// changed" probe for observers like the durability checkpointer.
+    revision: AtomicU64,
 }
 
 impl DeploymentRegistry {
@@ -72,7 +76,39 @@ impl DeploymentRegistry {
         tenant.next_version += 1;
         let version = tenant.next_version;
         tenant.versions.push((version, Arc::new(deployment)));
+        self.revision.fetch_add(1, Ordering::Relaxed);
         version
+    }
+
+    /// Publishes `deployment` under an explicit, previously assigned
+    /// version number — how cold-start hydration reinstates a persisted
+    /// catalog with the exact `(name, version)` pairs durable sessions
+    /// are pinned to. The per-name counter is advanced past `version`,
+    /// so later [`DeploymentRegistry::publish`] calls continue the
+    /// never-reused sequence.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SnapshotMismatch`] if that `(name, version)` is
+    /// already live — hydration treats it as a corrupt (duplicated)
+    /// manifest entry and skips it.
+    pub fn publish_at(&self, name: &str, version: u32, deployment: Deployment) -> Result<()> {
+        let mut tenants = self.tenants.write().expect("registry lock poisoned");
+        let tenant = tenants.entry(name.to_string()).or_default();
+        if tenant.versions.iter().any(|(v, _)| *v == version) {
+            return Err(ServeError::SnapshotMismatch {
+                context: "deployment version already live",
+            });
+        }
+        let at = tenant
+            .versions
+            .iter()
+            .position(|(v, _)| *v > version)
+            .unwrap_or(tenant.versions.len());
+        tenant.versions.insert(at, (version, Arc::new(deployment)));
+        tenant.next_version = tenant.next_version.max(version);
+        self.revision.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Publishes a deployment from its serialized `EMDEPLOY` bytes (the
@@ -173,7 +209,34 @@ impl DeploymentRegistry {
         tenant.versions.remove(idx);
         // The (now possibly version-less) tenant is kept: it holds the
         // monotonic version counter.
+        self.revision.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// A counter bumped by every publish and retire. Equal revisions
+    /// guarantee an identical catalog, so a periodic observer (the
+    /// durability checkpointer, a config watcher) can skip work without
+    /// enumerating.
+    pub fn revision(&self) -> u64 {
+        self.revision.load(Ordering::Relaxed)
+    }
+
+    /// Every live `(name, version, artifact)` triple, sorted by name
+    /// then version — the full-fidelity enumeration a durability
+    /// checkpoint serializes. Unlike [`DeploymentRegistry::catalog`]
+    /// this hands out the artifact `Arc`s themselves.
+    pub fn artifacts(&self) -> Vec<(String, u32, Arc<Deployment>)> {
+        let tenants = self.tenants.read().expect("registry lock poisoned");
+        let mut artifacts: Vec<(String, u32, Arc<Deployment>)> = tenants
+            .iter()
+            .flat_map(|(name, t)| {
+                t.versions
+                    .iter()
+                    .map(|(v, d)| (name.clone(), *v, Arc::clone(d)))
+            })
+            .collect();
+        artifacts.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+        artifacts
     }
 
     /// Every live `(name, versions)` pair, sorted by name with versions
@@ -317,6 +380,32 @@ mod tests {
             reg.latest("bad"),
             Err(ServeError::UnknownDeployment { .. })
         ));
+    }
+
+    #[test]
+    fn publish_at_reinstates_versions_and_advances_the_counter() {
+        let reg = DeploymentRegistry::new();
+        let base = reg.revision();
+        reg.publish_at("chip", 3, small_deployment(2, 4)).unwrap();
+        reg.publish_at("chip", 1, small_deployment(2, 5)).unwrap();
+        assert_eq!(reg.versions("chip").unwrap(), vec![1, 3]);
+        assert_eq!(reg.latest_versioned("chip").unwrap().0, 3);
+        // A duplicate (name, version) is refused, not clobbered.
+        assert!(matches!(
+            reg.publish_at("chip", 3, small_deployment(2, 6)),
+            Err(ServeError::SnapshotMismatch { .. })
+        ));
+        // The monotonic counter continues past the reinstated versions.
+        assert_eq!(reg.publish("chip", small_deployment(2, 4)), 4);
+        assert_eq!(reg.revision(), base + 3);
+        let artifacts = reg.artifacts();
+        assert_eq!(
+            artifacts
+                .iter()
+                .map(|(n, v, _)| (n.as_str(), *v))
+                .collect::<Vec<_>>(),
+            vec![("chip", 1), ("chip", 3), ("chip", 4)]
+        );
     }
 
     #[test]

@@ -171,6 +171,10 @@ pub struct TrackerSession {
     /// Steps admitted but not yet completed (admission-control gauge,
     /// drained by each step's responder).
     pending: Arc<AtomicU64>,
+    /// Durable id assigned by the server's snapshot store (0 = not
+    /// enrolled for background checkpointing). Stable across restarts —
+    /// the handle a client re-attaches by after a crash.
+    durable: u64,
     metrics: Option<Arc<ServeMetrics>>,
     door: Option<SessionDoor>,
 }
@@ -286,6 +290,7 @@ impl TrackerSession {
             artifact_digest,
             frames: Arc::new(AtomicU64::new(0)),
             pending: Arc::new(AtomicU64::new(0)),
+            durable: 0,
             metrics,
             door,
         })
@@ -326,11 +331,14 @@ impl TrackerSession {
                 context: "deployment artifact bytes changed",
             });
         }
-        session
-            .tracker
-            .lock()
-            .expect("fresh tracker lock")
-            .import_state(record.state)?;
+        {
+            let mut tracker = session.tracker.lock().expect("fresh tracker lock");
+            tracker.import_state(record.state)?;
+            // Mirror the frame count into the tracker so a checkpoint
+            // capturing (state, frames) under its lock sees a consistent
+            // pair from the first post-resume step on.
+            tracker.set_frames(record.frames);
+        }
         session.frames.store(record.frames, Ordering::Release);
         Ok(session)
     }
@@ -342,16 +350,17 @@ impl TrackerSession {
     /// [`StepTicket`]s first) so the captured state is a well-defined
     /// point in the stream.
     pub fn snapshot(&self) -> Vec<u8> {
-        let state = self
-            .tracker
-            .lock()
-            .expect("session tracker lock poisoned")
-            .export_state();
+        // Capture (state, frames) under one tracker lock so the pair is
+        // consistent even if another thread steps concurrently.
+        let (state, frames) = {
+            let tracker = self.tracker.lock().expect("session tracker lock poisoned");
+            (tracker.export_state(), tracker.frames())
+        };
         SessionSnapshot {
             deployment: self.name.clone(),
             version: self.version,
             gain: self.gain,
-            frames: self.frames.load(Ordering::Acquire),
+            frames,
             k: self.deployment.k(),
             m: self.deployment.m(),
             artifact_digest: self.artifact_digest,
@@ -532,6 +541,29 @@ impl TrackerSession {
     /// The session's stream-lane id, if it is scheduled through a server.
     pub fn stream_id(&self) -> Option<StreamId> {
         self.door.as_ref().map(|door| door.stream)
+    }
+
+    /// The durable id the server's snapshot store checkpoints this
+    /// session under, or 0 if the session is not enrolled for background
+    /// checkpointing. Stable across restarts: after a crash, a client
+    /// re-attaches to the hydrated session by this id.
+    pub fn durable_id(&self) -> u64 {
+        self.durable
+    }
+
+    pub(crate) fn set_durable(&mut self, id: u64) {
+        self.durable = id;
+    }
+
+    /// The shared tracker cell (the durability hub holds a weak handle
+    /// to checkpoint live sessions without owning them).
+    pub(crate) fn tracker(&self) -> &Arc<Mutex<TrackingReconstructor>> {
+        &self.tracker
+    }
+
+    /// [`fnv1a64`] digest of the pinned artifact's `EMDEPLOY` bytes.
+    pub(crate) fn artifact_digest(&self) -> u64 {
+        self.artifact_digest
     }
 }
 

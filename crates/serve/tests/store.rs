@@ -1,0 +1,328 @@
+//! Crash-point fault injection for the durability store.
+//!
+//! The headline harness kills the store's I/O at **every** mutating
+//! syscall boundary (before the op, and mid-write with a torn prefix),
+//! restarts on the surviving bytes, and asserts the old-or-new
+//! invariant: hydration always recovers a complete previous checkpoint
+//! or a complete new one — never a torn hybrid, never a boot failure —
+//! and the recovered stream continues bitwise-identically to one that
+//! was never interrupted.
+//!
+//! Every test is deterministic and sleeps zero times: checkpoints are
+//! driven explicitly through [`DurabilityHub::checkpoint_now`] and the
+//! crash schedule is an exact syscall index, not a timer race.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use eigenmaps_core::codec::STORE_VERSION;
+use eigenmaps_core::prelude::*;
+use eigenmaps_serve::{
+    CrashStyle, DeploymentRegistry, MemIo, ServeError, Server, SnapshotStore, StoreIo,
+};
+
+/// Long enough that the batcher never fires a background checkpoint on
+/// its own — the tests below own every checkpoint explicitly.
+const CADENCE: Duration = Duration::from_secs(3600);
+const GAIN: f64 = 0.8;
+/// Frames served before the first / second checkpoint of a scenario.
+const FIRST: usize = 8;
+const SECOND: usize = 12;
+
+/// Designs one deployment over a synthetic two-mode ensemble and
+/// pre-samples enough reading frames for every scenario.
+fn fixture() -> (Vec<u8>, Vec<Vec<f64>>) {
+    let maps: Vec<ThermalMap> = (0..60)
+        .map(|t| {
+            let a = (t as f64 / 5.0).sin();
+            let b = (t as f64 / 3.0).cos();
+            ThermalMap::from_fn(8, 8, |r, c| 50.0 + a * r as f64 - b * c as f64)
+        })
+        .collect();
+    let ens = MapEnsemble::from_maps(&maps).expect("ensemble");
+    let deployment = Pipeline::new(&ens)
+        .basis(BasisSpec::EigenExact { k: 2 })
+        .sensors(4)
+        .design()
+        .expect("design");
+    let readings: Vec<Vec<f64>> = (0..=SECOND)
+        .map(|t| deployment.sensors().sample(&ens.map(t)))
+        .collect();
+    (deployment.to_bytes(), readings)
+}
+
+fn boot(io: &Arc<MemIo>, artifact: &[u8]) -> Server {
+    let registry = Arc::new(DeploymentRegistry::new());
+    registry
+        .publish_bytes("chip-a", artifact)
+        .expect("publish artifact");
+    let server = Server::new(registry, 2);
+    let store = SnapshotStore::with_io(Arc::<MemIo>::clone(io), 3);
+    let hydration = server
+        .hydrate_with(store, CADENCE)
+        .expect("hydrating an empty (or intact) store succeeds");
+    assert_eq!(hydration.report.skipped, 0, "fresh boot skipped nothing");
+    server
+}
+
+/// One fleet lifetime: boot on `io`, stream a session, checkpoint at
+/// [`FIRST`] and [`SECOND`] frames. Checkpoint (and final-drop
+/// checkpoint) errors are swallowed — a scheduled crash turns them into
+/// plain I/O failures, which is exactly the scenario under test.
+fn run_fleet(io: &Arc<MemIo>, artifact: &[u8], readings: &[Vec<f64>]) {
+    let server = boot(io, artifact);
+    let hub = server.durability().expect("hub installed by hydrate");
+    let mut session = server.open_session("chip-a", GAIN).expect("open session");
+    for reading in &readings[..FIRST] {
+        session.step(reading).expect("steps never touch store io");
+    }
+    let _ = hub.checkpoint_now();
+    for reading in &readings[FIRST..SECOND] {
+        session.step(reading).expect("steps never touch store io");
+    }
+    let _ = hub.checkpoint_now();
+    // Server first: its final-drop checkpoint must still see the live
+    // session (dropping the session first would deregister it, and the
+    // shutdown checkpoint would commit a roster without it).
+    drop(server);
+    drop(session);
+}
+
+fn bits(map: &ThermalMap) -> Vec<u64> {
+    map.as_slice().iter().map(|x| x.to_bits()).collect()
+}
+
+/// The headline old-or-new sweep: crash at every mutating syscall index
+/// the dry run observes, in both styles, then restart and hydrate.
+#[test]
+fn crash_at_every_syscall_boundary_recovers_old_or_new() {
+    let (artifact, readings) = fixture();
+
+    // Dry run fixes the syscall coordinate space.
+    let dry = MemIo::new();
+    run_fleet(&dry, &artifact, &readings);
+    let total = dry.mutating_ops();
+    assert!(
+        total >= 10,
+        "the two checkpoints should cross at least 10 syscall boundaries, saw {total}"
+    );
+
+    for op in 0..total {
+        for style in [CrashStyle::Before, CrashStyle::Torn] {
+            let io = MemIo::new();
+            io.schedule_crash(op, style);
+            run_fleet(&io, &artifact, &readings);
+            assert!(io.crashed(), "op {op} {style:?}: schedule never fired");
+            io.revive();
+
+            // Cold start on the surviving bytes.
+            let registry = Arc::new(DeploymentRegistry::new());
+            let server = Server::new(Arc::clone(&registry), 2);
+            let store = SnapshotStore::with_io(Arc::<MemIo>::clone(&io), 3);
+            let mut hydration = server
+                .hydrate_with(store, CADENCE)
+                .expect("hydration never fails on a crash-consistent store");
+            assert_eq!(
+                hydration.report.skipped, 0,
+                "op {op} {style:?}: a crash left a torn entry behind"
+            );
+
+            match hydration.sessions.len() {
+                // Crashed before the first manifest commit: the store is
+                // (still) empty and the catalog came back empty too.
+                0 => assert_eq!(
+                    hydration.report.deployments, 0,
+                    "op {op} {style:?}: catalog without its session roster"
+                ),
+                1 => {
+                    let (durable, mut resumed) = hydration.sessions.pop().expect("one session");
+                    assert_eq!(durable, 1, "op {op} {style:?}: durable id drifted");
+                    assert_eq!(hydration.report.deployments, 1);
+                    let frames = resumed.frames() as usize;
+                    assert!(
+                        frames == FIRST || frames == SECOND,
+                        "op {op} {style:?}: recovered a checkpoint that was never \
+                         committed (frames = {frames})"
+                    );
+                    // Bitwise continuation: the recovered stream must step
+                    // exactly like an uninterrupted one replayed to the
+                    // same frame.
+                    let mut reference =
+                        server.open_session("chip-a", GAIN).expect("reference open");
+                    for reading in &readings[..frames] {
+                        reference.step(reading).expect("reference step");
+                    }
+                    let want = reference.step(&readings[frames]).expect("reference next");
+                    let got = resumed.step(&readings[frames]).expect("resumed next");
+                    assert_eq!(
+                        bits(&got),
+                        bits(&want),
+                        "op {op} {style:?}: resumed stream diverged from the \
+                         uninterrupted reference"
+                    );
+                }
+                n => panic!("op {op} {style:?}: {n} sessions from a single-session store"),
+            }
+        }
+    }
+}
+
+/// Crashing mid-rotation must never lose the *referenced* generation:
+/// after many checkpoint rounds (enough to prune) a crash at any
+/// boundary of one more round still hydrates to a committed frame count.
+#[test]
+fn crash_during_rotation_keeps_the_referenced_generation() {
+    let (artifact, readings) = fixture();
+
+    // Dry run: many rounds so pruning is active, then measure the ops
+    // one extra round costs.
+    let dry = MemIo::new();
+    let before;
+    {
+        let server = boot(&dry, &artifact);
+        let hub = server.durability().expect("hub");
+        let mut session = server.open_session("chip-a", GAIN).expect("open");
+        for reading in readings.iter().take(6) {
+            session.step(reading).expect("step");
+            hub.checkpoint_now().expect("checkpoint");
+        }
+        before = dry.mutating_ops();
+        session.step(&readings[6]).expect("step");
+        hub.checkpoint_now().expect("checkpoint");
+        drop(server);
+        drop(session);
+    }
+    let total = dry.mutating_ops();
+    assert!(total > before, "the extra round must touch the store");
+
+    for op in before..total {
+        for style in [CrashStyle::Before, CrashStyle::Torn] {
+            let io = MemIo::new();
+            io.schedule_crash(op, style);
+            {
+                let server = boot(&io, &artifact);
+                let hub = server.durability().expect("hub");
+                let mut session = server.open_session("chip-a", GAIN).expect("open");
+                for reading in readings.iter().take(6) {
+                    session.step(reading).expect("step");
+                    hub.checkpoint_now().expect("pre-crash checkpoints succeed");
+                }
+                session.step(&readings[6]).expect("step");
+                let _ = hub.checkpoint_now();
+                drop(server);
+                drop(session);
+            }
+            io.revive();
+
+            let registry = Arc::new(DeploymentRegistry::new());
+            let server = Server::new(registry, 2);
+            let store = SnapshotStore::with_io(Arc::<MemIo>::clone(&io), 3);
+            let mut hydration = server
+                .hydrate_with(store, CADENCE)
+                .expect("hydration survives a mid-rotation crash");
+            assert_eq!(hydration.report.skipped, 0, "op {op} {style:?}");
+            let (_, resumed) = hydration.sessions.pop().expect("session survived");
+            let frames = resumed.frames();
+            assert!(
+                frames == 6 || frames == 7,
+                "op {op} {style:?}: frames = {frames}, expected the old (6) or new (7) checkpoint"
+            );
+        }
+    }
+}
+
+/// A store written by a newer build is refused with a typed error, not
+/// silently overwritten (regression for the silent-overwrite hazard).
+#[test]
+fn hydration_refuses_a_store_written_by_a_newer_build() {
+    let io = MemIo::new();
+    let mut bytes = b"EMSTORE1".to_vec();
+    bytes.extend_from_slice(&(STORE_VERSION + 1).to_le_bytes());
+    bytes.extend_from_slice(b"opaque future payload");
+    io.write_all("manifest.emstore", &bytes).expect("write");
+    io.sync("manifest.emstore").expect("sync");
+
+    let registry = Arc::new(DeploymentRegistry::new());
+    let server = Server::new(registry, 1);
+    let store = SnapshotStore::with_io(Arc::<MemIo>::clone(&io), 3);
+    match server.hydrate_with(store, CADENCE) {
+        Err(ServeError::StoreVersionAhead { found, supported }) => {
+            assert_eq!(found, STORE_VERSION + 1);
+            assert_eq!(supported, STORE_VERSION);
+        }
+        other => panic!("expected StoreVersionAhead, got {other:?}"),
+    }
+    // Refusal means refusal: nothing was checkpointed over the store.
+    assert!(
+        server.durability().is_none(),
+        "no hub may be installed after a refused hydration"
+    );
+}
+
+/// Hydrating twice is a configuration bug and is refused — two stores
+/// checkpointing one fleet would race each other's rosters.
+#[test]
+fn a_second_hydration_is_refused() {
+    let (artifact, _) = fixture();
+    let io = MemIo::new();
+    let server = boot(&io, &artifact);
+    let second = SnapshotStore::with_io(MemIo::new(), 3);
+    match server.hydrate_with(second, CADENCE) {
+        Err(ServeError::Terminated { .. }) => {}
+        other => panic!("expected Terminated, got {other:?}"),
+    }
+}
+
+/// End-to-end on the real filesystem: graceful shutdown's final
+/// checkpoint (the `Drop` path) persists frames streamed after the last
+/// explicit checkpoint, and `Server::hydrate` on the directory resumes
+/// them bitwise.
+#[test]
+fn disk_store_roundtrips_across_a_graceful_restart() {
+    let (artifact, readings) = fixture();
+    let dir = std::env::temp_dir().join(format!(
+        "eigenmaps-store-test-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    {
+        let registry = Arc::new(DeploymentRegistry::new());
+        registry
+            .publish_bytes("chip-a", &artifact)
+            .expect("publish");
+        let server = Server::new(registry, 2);
+        server.hydrate(&dir, CADENCE).expect("first hydrate");
+        let mut session = server.open_session("chip-a", GAIN).expect("open");
+        for reading in &readings[..5] {
+            session.step(reading).expect("step");
+        }
+        // No explicit checkpoint: the server drop below must write one,
+        // while the session is still live (a dropped session is a
+        // closed session and leaves the roster).
+        drop(server);
+        drop(session);
+    }
+
+    let registry = Arc::new(DeploymentRegistry::new());
+    let server = Server::new(Arc::clone(&registry), 2);
+    let mut hydration = server.hydrate(&dir, CADENCE).expect("second hydrate");
+    assert_eq!(hydration.report.deployments, 1);
+    assert_eq!(hydration.report.skipped, 0);
+    let (_, mut resumed) = hydration.sessions.pop().expect("session persisted on drop");
+    assert_eq!(resumed.frames(), 5);
+
+    let mut reference = server.open_session("chip-a", GAIN).expect("reference");
+    for reading in &readings[..5] {
+        reference.step(reading).expect("reference step");
+    }
+    let want = reference.step(&readings[5]).expect("reference next");
+    let got = resumed.step(&readings[5]).expect("resumed next");
+    assert_eq!(bits(&got), bits(&want), "disk roundtrip diverged");
+
+    drop(resumed);
+    drop(reference);
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -62,6 +62,29 @@ fn boot(shards: usize) -> AnyResult<Booted> {
     Ok((registry, server, addr, handle, join))
 }
 
+/// Boots a server process stand-in with a crash-safe snapshot store
+/// rooted at `dir`: whatever a previous process checkpointed there is
+/// hydrated (deployments republished, sessions parked in the door's
+/// orphan pool for `Client::attach`), and from then on the server
+/// checkpoints every open session in the background.
+fn boot_durable(
+    shards: usize,
+    dir: &std::path::Path,
+) -> AnyResult<(Booted, eigenmaps::serve::HydrationReport)> {
+    let registry = Arc::new(DeploymentRegistry::new());
+    let server = Arc::new(Server::new(Arc::clone(&registry), shards));
+    // A one-hour cadence keeps the example deterministic: the only
+    // checkpoint is the one it takes explicitly.
+    let hydration = server.hydrate(dir, std::time::Duration::from_secs(3600))?;
+    let report = hydration.report;
+    let door = NetServer::bind("127.0.0.1:0", Arc::clone(&server))?;
+    door.adopt(hydration.sessions);
+    let addr = door.local_addr();
+    let handle = door.handle();
+    let join = std::thread::spawn(move || door.run());
+    Ok(((registry, server, addr, handle, join), report))
+}
+
 fn assert_bitwise(got: &ThermalMap, want: &ThermalMap, what: &str) {
     assert_eq!(
         got.as_slice()
@@ -214,6 +237,87 @@ fn main() -> AnyResult<()> {
     drop(client);
     handle2.shutdown();
     join2.join().expect("door #2 loop");
-    println!("[done]  the socket edge preserved every bit across batch, stream and restart");
+
+    // ---- act 3: no snapshot in hand — the server keeps its own ----------
+    // Doors #1/#2 survived a restart because the *client* carried the
+    // EMSESS1 bytes. A crash-safe server carries them itself: attach a
+    // snapshot store, checkpoint mid-stream, die without a goodbye, and
+    // let the next process hydrate everything from disk.
+    let store_dir =
+        std::env::temp_dir().join(format!("eigenmaps-network-fleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let ((_, server3, addr3, handle3, join3), report) = boot_durable(shards, &store_dir)?;
+    println!("[store] door #3 up on {addr3} with a snapshot store at {store_dir:?}");
+
+    let mut client = Client::connect(addr3)?;
+    client.publish("sku-alpha", alpha_bytes.clone())?;
+    client.publish("sku-beta", beta_bytes.clone())?;
+    assert_eq!(report.deployments, 0, "cold store had nothing to hydrate");
+
+    let mut reference = TrackerSession::open(&reference_registry, "sku-alpha", 0.9)?;
+    let session = client.open_session("sku-alpha", 0.9)?;
+    assert!(session.durable > 0, "a durable server assigns durable ids");
+    let telemetry: Vec<Vec<f64>> = (80..112)
+        .map(|t| noise.apply_sigma(&alpha.sensors().sample(&alpha_maps.map(t)), 0.2))
+        .collect();
+    for readings in &telemetry[..16] {
+        let got = client.step(session.session, readings.clone())?;
+        let want = reference.step(readings)?;
+        assert_bitwise(&got, &want, "pre-kill step");
+    }
+    // One whole-fleet checkpoint: both artifacts and the live session go
+    // through write-new → fsync → atomic-rename onto disk.
+    let hub = server3.durability().expect("hydrated server has a hub");
+    let checkpoint = hub.checkpoint_now()?;
+    println!(
+        "[store] checkpoint committed mid-stream: {} session(s) durable at frame 16",
+        checkpoint.sessions
+    );
+
+    // The "kill": no session close, no final checkpoint — the server is
+    // leaked, not shut down, so the store holds exactly what the
+    // mid-stream checkpoint committed (the in-process analog of kill -9;
+    // `crates/net/tests/stress.rs` does it to a real process).
+    drop(client);
+    handle3.shutdown();
+    join3.join().expect("door #3 loop");
+    std::mem::forget(server3);
+    println!("[store] server killed with the session open — nothing said goodbye");
+
+    // ---- cold start: hydrate the fleet from disk -------------------------
+    let ((_, _server4, addr4, handle4, join4), report) = boot_durable(shards, &store_dir)?;
+    println!(
+        "[store] door #4 hydrated {} deployment(s) and {} session(s) from disk ({} skipped)",
+        report.deployments, report.sessions, report.skipped
+    );
+    assert_eq!(
+        (report.deployments, report.sessions, report.skipped),
+        (2, 1, 0)
+    );
+
+    let mut client = Client::connect(addr4)?;
+    let catalog = client.catalog()?;
+    println!("[store] catalog republished from disk: {catalog:?}");
+
+    // Attach claims the recovered stream by its durable id — exactly once
+    // per restart — and continues it bitwise from the checkpointed frame.
+    let resumed = client.attach(session.durable)?;
+    assert_eq!(resumed.frames, 16, "resumed at the checkpointed frame");
+    for readings in &telemetry[16..] {
+        let got = client.step(resumed.session, readings.clone())?;
+        let want = reference.step(readings)?;
+        assert_bitwise(&got, &want, "post-hydration step");
+    }
+    client.close_session(resumed.session)?;
+    println!(
+        "[store] {} post-hydration steps — bitwise-identical, no client-side snapshot involved",
+        telemetry.len() - 16
+    );
+
+    drop(client);
+    handle4.shutdown();
+    join4.join().expect("door #4 loop");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    println!("[done]  the socket edge preserved every bit across batch, stream, restart and crash");
     Ok(())
 }

@@ -705,3 +705,156 @@ proptest! {
         prop_assert_eq!(got, request);
     }
 }
+
+// ---------------------------------------------------------------------------
+// EMSTORE1: the durability-store manifest must uphold the same codec
+// discipline as the other file formats — bitwise roundtrips, rejection of
+// corruption and truncation — and `SnapshotStore::load` must account for
+// every entry it cannot recover: `skipped` is exact, never an estimate.
+// ---------------------------------------------------------------------------
+
+/// An arbitrary manifest: catalog and session rosters with seeded names,
+/// file names, digests and counters (the shim strategy idiom used above).
+/// Session ids are unique and each references a single canonical
+/// generation file, so removal tests have no fallback to recover through.
+fn store_manifest_strategy() -> impl Strategy<Value = eigenmaps::core::codec::StoreManifest> {
+    use eigenmaps::core::codec::{StoreCatalogEntry, StoreManifest, StoreSessionEntry};
+    (0usize..4, 0usize..6, 0u64..1_000_000).prop_map(|(catalog, sessions, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let word = |rng: &mut rand::rngs::StdRng| -> String {
+            let len = 1 + rng.gen_range(0..11u64) as usize;
+            (0..len)
+                .map(|_| char::from(b'a' + (rng.gen_range(0..26u64) as u8)))
+                .collect()
+        };
+        StoreManifest {
+            catalog: (0..catalog)
+                .map(|i| StoreCatalogEntry {
+                    name: format!("{}-{i}", word(&mut rng)),
+                    version: rng.gen_range(0..100u64) as u32,
+                    file: format!("d-{:016x}.emdeploy", rng.next_u64()),
+                    artifact_digest: rng.next_u64(),
+                })
+                .collect(),
+            sessions: (0..sessions)
+                .map(|i| {
+                    let id = i as u64 + 1;
+                    let generation = 1 + rng.gen_range(0..9u64);
+                    StoreSessionEntry {
+                        id,
+                        file: format!("s{id:016x}-g{generation:08x}.emsess"),
+                        generation,
+                        frames: rng.next_u64(),
+                        artifact_digest: rng.next_u64(),
+                    }
+                })
+                .collect(),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn emstore1_manifests_roundtrip_bitwise(manifest in store_manifest_strategy()) {
+        use eigenmaps::core::codec::{StoreManifest, STORE_VERSION};
+        let bytes = manifest.to_bytes();
+        prop_assert_eq!(StoreManifest::peek_version(&bytes), Some(STORE_VERSION));
+        let got = StoreManifest::from_bytes(&bytes).expect("roundtrip decodes");
+        prop_assert_eq!(got.to_bytes(), bytes.clone());
+        prop_assert_eq!(got, manifest);
+    }
+
+    #[test]
+    fn emstore1_any_single_byte_corruption_is_rejected(
+        manifest in store_manifest_strategy(),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        use eigenmaps::core::codec::StoreManifest;
+        // The FNV-1a trailer covers every payload byte and the trailer
+        // itself only matches its own payload, so no single-byte change
+        // decodes — whether it lands in the magic, an entry, or the
+        // checksum itself.
+        let bytes = manifest.to_bytes();
+        let pos = ((bytes.len() as f64 * pos_frac) as usize).min(bytes.len() - 1);
+        let mut bad = bytes;
+        bad[pos] ^= flip;
+        prop_assert!(StoreManifest::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn emstore1_strict_prefixes_are_rejected(
+        manifest in store_manifest_strategy(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        use eigenmaps::core::codec::StoreManifest;
+        // A torn write is a strict prefix of the intended record: the
+        // bytes that land in the checksum slot are really payload bytes,
+        // so validation fails before any field is trusted.
+        let bytes = manifest.to_bytes();
+        let cut = ((bytes.len() as f64 * cut_frac) as usize).min(bytes.len() - 1);
+        prop_assert!(StoreManifest::from_bytes(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn emstore1_missing_session_files_are_skipped_with_exact_accounting(
+        manifest in store_manifest_strategy(),
+        removal_seed in 0u64..1_000_000,
+    ) {
+        use eigenmaps::core::codec::{fnv1a64, SessionSnapshot};
+        use eigenmaps::serve::{MemIo, SnapshotStore, StoreIo};
+        use rand::{Rng, SeedableRng};
+
+        // Materialize the manifest as a real store: every catalog file
+        // written with a matching digest, every session file written as
+        // a valid EMSESS1 snapshot (one generation each, so a removed
+        // file has no older fallback to recover through).
+        let mut manifest = manifest;
+        let io = MemIo::new();
+        for entry in &mut manifest.catalog {
+            let bytes = entry.file.clone().into_bytes();
+            entry.artifact_digest = fnv1a64(&bytes);
+            io.write_all(&entry.file, &bytes).expect("write artifact");
+        }
+        for entry in &manifest.sessions {
+            let snapshot = SessionSnapshot {
+                deployment: "chip".into(),
+                version: 1,
+                gain: 0.5,
+                frames: entry.frames,
+                k: 2,
+                m: 3,
+                artifact_digest: entry.artifact_digest,
+                state: None,
+            };
+            io.write_all(&entry.file, &snapshot.to_bytes())
+                .expect("write session");
+        }
+        io.write_all("manifest.emstore", &manifest.to_bytes())
+            .expect("write manifest");
+
+        // Remove a seeded subset of the referenced session files.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(removal_seed);
+        let mut removed = 0u64;
+        let mut survivors = Vec::new();
+        for entry in &manifest.sessions {
+            if rng.gen_range(0..2u64) == 0 {
+                io.remove(&entry.file).expect("remove");
+                removed += 1;
+            } else {
+                survivors.push(entry.id);
+            }
+        }
+
+        // Every missing file is one skip; every survivor comes back, in
+        // manifest order; the catalog is untouched by session loss.
+        let contents = SnapshotStore::with_io(io, 2).load().expect("load");
+        prop_assert_eq!(contents.skipped, removed);
+        prop_assert_eq!(contents.catalog.len(), manifest.catalog.len());
+        let recovered: Vec<u64> = contents.sessions.iter().map(|(id, _)| *id).collect();
+        prop_assert_eq!(recovered, survivors);
+    }
+}
