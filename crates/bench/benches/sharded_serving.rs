@@ -12,6 +12,12 @@
 //! the per-tenant scheduler recovers a mean coalesced batch size of at
 //! least 2× the FIFO baseline simulated on the same trace.
 //!
+//! An overload-QoS axis floods a bulk `Degrade` tenant at ~10× a premium
+//! `Shed` tenant's rate and asserts (on ≥ 4-thread hosts) that the
+//! premium tier keeps a ≥ 99% deadline-hit rate with a client-observed
+//! p99 within 2× of its uncontended baseline — the deadline tier's
+//! guarantee, measured rather than claimed.
+//!
 //! Every configuration first proves the per-backend bitwise-identity
 //! contract (the sharded output must equal that backend's sequential
 //! batch bit for bit), then measures throughput. A plain wall-clock
@@ -22,6 +28,8 @@
 //! speedups are only reported — thread parallelism cannot beat the
 //! sequential path without cores to run on).
 
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -29,8 +37,8 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use eigenmaps_core::prelude::*;
 use eigenmaps_floorplan::prelude::*;
 use eigenmaps_serve::{
-    BatchPolicy, DeploymentRegistry, MemIo, ServeRequest, Server, ShardedExecutor, SnapshotStore,
-    Ticket,
+    BatchPolicy, BrownoutPolicy, DeploymentRegistry, MemIo, OverrunAction, ServeRequest, Server,
+    ShardedExecutor, SnapshotStore, Ticket,
 };
 
 const FRAMES: usize = 1024;
@@ -577,11 +585,219 @@ fn bench_checkpoint_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Overload-QoS axis: a premium `Shed` tenant (20 ms deadline) served
+/// while two flooder threads keep a bulk `Degrade` tenant saturated at
+/// roughly 10× the premium request rate, with brownout armed. The axis
+/// measures what the deadline tier actually buys: on a host with ≥ 4
+/// hardware threads the premium tenant must keep a ≥ 99% deadline-hit
+/// rate and a client-observed p99 within 2× of its own uncontended
+/// baseline; elsewhere the figures are reported, not asserted. Every
+/// premium refusal must be the typed retryable shed — any other error
+/// fails the harness.
+fn bench_overload_qos(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overload_qos");
+    group.sample_size(10);
+
+    const PREMIUM_REQUESTS: usize = 128;
+    const FRAMES_PER_REQUEST: usize = 2;
+    const FLOODERS: usize = 2;
+    const FLOOD_WINDOW: usize = 64;
+    let tenants = [setup(12, 12), setup(10, 10)];
+    let names = ["premium", "bulk"];
+    let registry = Arc::new(DeploymentRegistry::new());
+    for (name, w) in names.iter().zip(&tenants) {
+        registry.publish(name, (*w.deployment).clone());
+    }
+    let policy = BatchPolicy {
+        max_batch_frames: 256,
+        max_batch_requests: 32,
+        max_delay: Duration::from_millis(1),
+        ..BatchPolicy::default()
+    };
+    let premium_deadline = Duration::from_millis(20);
+    let make_server = || {
+        let server = Server::with_policy(Arc::clone(&registry), 4, policy);
+        server
+            .set_tenant_policy(
+                names[0],
+                Some(BatchPolicy {
+                    deadline: Some(premium_deadline),
+                    overrun: OverrunAction::Shed,
+                    ..policy
+                }),
+            )
+            .expect("premium policy");
+        server
+            .set_tenant_policy(
+                names[1],
+                Some(BatchPolicy {
+                    deadline: Some(Duration::from_millis(5)),
+                    overrun: OverrunAction::Degrade { keep_k: 4 },
+                    ..policy
+                }),
+            )
+            .expect("bulk policy");
+        server
+            .set_brownout(Some(BrownoutPolicy {
+                enter_above: 64,
+                exit_below: 8,
+            }))
+            .expect("brownout band");
+        server
+    };
+
+    // One premium trace: pipelined submits, client-observed latency per
+    // completed request, typed sheds counted (anything else panics).
+    let premium_frames = Arc::clone(&tenants[0].frames);
+    let run_premium = |server: &Server| -> (Vec<Duration>, usize) {
+        let tickets: Vec<(Instant, Ticket)> = (0..PREMIUM_REQUESTS)
+            .map(|i| {
+                let start = (i * FRAMES_PER_REQUEST) % (premium_frames.len() - FRAMES_PER_REQUEST);
+                let ticket = server
+                    .submit(ServeRequest::new(
+                        names[0],
+                        premium_frames[start..start + FRAMES_PER_REQUEST].to_vec(),
+                    ))
+                    .expect("premium submit");
+                (Instant::now(), ticket)
+            })
+            .collect();
+        let mut latencies = Vec::with_capacity(PREMIUM_REQUESTS);
+        let mut shed = 0usize;
+        for (t0, ticket) in tickets {
+            match ticket.wait() {
+                Ok(maps) => {
+                    black_box(maps);
+                    latencies.push(t0.elapsed());
+                }
+                Err(e) => {
+                    assert!(
+                        e.is_retryable(),
+                        "premium refusal must be the typed shed: {e}"
+                    );
+                    shed += 1;
+                }
+            }
+        }
+        (latencies, shed)
+    };
+    fn p99(latencies: &mut [Duration]) -> Duration {
+        latencies.sort_unstable();
+        latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)]
+    }
+
+    // Uncontended baseline: the premium trace alone on a fresh server.
+    let baseline_server = make_server();
+    run_premium(&baseline_server); // warm-up
+    let (mut baseline_lat, baseline_shed) = run_premium(&baseline_server);
+    assert!(
+        !baseline_lat.is_empty(),
+        "uncontended premium trace served nothing"
+    );
+    let baseline_p99 = p99(&mut baseline_lat);
+
+    // Overload: flooder threads keep the bulk tenant saturated (a
+    // bounded in-flight window per flooder sustains pressure without
+    // unbounded memory) while the premium trace runs through the same
+    // batcher.
+    let overload = Arc::new(make_server());
+    let stop = Arc::new(AtomicBool::new(false));
+    let flooders: Vec<_> = (0..FLOODERS)
+        .map(|f| {
+            let server = Arc::clone(&overload);
+            let frames = Arc::clone(&tenants[1].frames);
+            let stop = Arc::clone(&stop);
+            let name = names[1];
+            std::thread::spawn(move || {
+                let mut submitted = 0usize;
+                let mut inflight: VecDeque<Ticket> = VecDeque::new();
+                let mut i = f;
+                while !stop.load(Ordering::Relaxed) {
+                    let start = (i * FRAMES_PER_REQUEST) % (frames.len() - FRAMES_PER_REQUEST);
+                    match server.try_submit(ServeRequest::new(
+                        name,
+                        frames[start..start + FRAMES_PER_REQUEST].to_vec(),
+                    )) {
+                        Ok(ticket) => {
+                            inflight.push_back(ticket);
+                            submitted += 1;
+                        }
+                        Err(_) => std::thread::yield_now(), // saturated: keep pressure
+                    }
+                    if inflight.len() >= FLOOD_WINDOW {
+                        inflight
+                            .pop_front()
+                            .expect("window nonempty")
+                            .wait()
+                            .expect("bulk serve");
+                    }
+                    i += 1;
+                }
+                for ticket in inflight {
+                    ticket.wait().expect("bulk serve");
+                }
+                submitted
+            })
+        })
+        .collect();
+
+    run_premium(&overload); // warm-up under fire
+    let (mut overload_lat, overload_shed) = run_premium(&overload);
+    let overload_p99 = if overload_lat.is_empty() {
+        Duration::MAX
+    } else {
+        p99(&mut overload_lat)
+    };
+    let hit_rate = overload_lat.len() as f64 / PREMIUM_REQUESTS as f64;
+
+    group.bench_function("premium_trace_under_bulk_flood", |bch| {
+        bch.iter(|| black_box(run_premium(&overload)))
+    });
+
+    stop.store(true, Ordering::Relaxed);
+    let bulk_submitted: usize = flooders
+        .into_iter()
+        .map(|f| f.join().expect("flooder"))
+        .sum();
+
+    let snap = overload.metrics();
+    let bulk_tenant = &snap.tenants[names[1]];
+    println!(
+        "overload_qos/summary: premium p99 {:?} uncontended ({baseline_shed} shed) vs {:?} \
+         under flood ({overload_shed} shed, {:.1}% deadline hit); bulk pushed {bulk_submitted} \
+         requests, {} served degraded, {} brownout entries",
+        baseline_p99,
+        overload_p99,
+        hit_rate * 100.0,
+        bulk_tenant.degraded_requests,
+        snap.brownout_entries
+    );
+    let parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if parallelism >= 4 {
+        assert!(
+            hit_rate >= 0.99,
+            "premium deadline-hit rate {:.1}% under bulk flood (>= 99% required)",
+            hit_rate * 100.0
+        );
+        assert!(
+            overload_p99 <= baseline_p99 * 2,
+            "bulk flood regressed premium p99 beyond 2x: {baseline_p99:?} -> {overload_p99:?}"
+        );
+    } else {
+        println!(
+            "overload_qos/summary: only {parallelism} hardware thread(s) — \
+             QoS gates reported, not asserted"
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     sharded_serving,
     bench_sharded_serving,
     bench_interleaved_tenants,
     bench_mixed_workload,
-    bench_checkpoint_overhead
+    bench_checkpoint_overhead,
+    bench_overload_qos
 );
 criterion_main!(sharded_serving);

@@ -1,7 +1,12 @@
 //! A blocking `EMWIRE1` client over [`std::net::TcpStream`]: one
 //! request/response exchange at a time, typed helpers for every request
 //! kind, and retryability surfaced on errors so callers can spin on
-//! `Saturated`/`SessionBusy` backpressure.
+//! `Saturated`/`SessionBusy`/`DeadlineShed` backpressure.
+//!
+//! QoS travels both ways: a shed request surfaces as a retryable
+//! [`NetError::Server`] with [`WireStatus::DeadlineShed`], and a batch
+//! answered under brownout arrives with [`BatchReply::degraded`] set so
+//! callers know the maps came from a truncated basis.
 
 use std::fmt;
 use std::io::{ErrorKind, Read, Write};
@@ -11,7 +16,8 @@ use std::time::Duration;
 use eigenmaps_core::ThermalMap;
 
 use crate::protocol::{
-    FrameBuffer, Request, Response, WireError, WireMetrics, WireStatus, WireTrace, MAX_FRAME_BYTES,
+    EncodeError, FrameBuffer, Request, Response, WireError, WireMetrics, WireStatus, WireTrace,
+    MAX_FRAME_BYTES,
 };
 
 /// What a [`Client`] call can fail with.
@@ -19,6 +25,9 @@ use crate::protocol::{
 pub enum NetError {
     /// The socket failed (including read timeouts).
     Io(std::io::Error),
+    /// The request was too large to seal into one frame; nothing was
+    /// sent. Split the batch (or artifact) and retry smaller.
+    Encode(EncodeError),
     /// The server's reply failed `EMWIRE1` validation.
     Wire(WireError),
     /// The server answered with a typed `Error` reply.
@@ -51,6 +60,7 @@ impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Encode(e) => write!(f, "request too large: {e}"),
             NetError::Wire(e) => write!(f, "protocol error: {e}"),
             NetError::Server { status, message } => write!(f, "server error ({status}): {message}"),
             NetError::Disconnected => f.write_str("connection closed before a reply arrived"),
@@ -78,6 +88,12 @@ impl From<WireError> for NetError {
     }
 }
 
+impl From<EncodeError> for NetError {
+    fn from(e: EncodeError) -> Self {
+        NetError::Encode(e)
+    }
+}
+
 /// A streaming session as seen from the client: the ids and counters the
 /// server reported on open/resume.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +109,19 @@ pub struct SessionInfo {
     /// to [`Client::attach`] to reclaim the session after a server
     /// restart.
     pub durable: u64,
+}
+
+/// The outcome of a successful batch submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReply {
+    /// Registry version the batch was served against.
+    pub version: u32,
+    /// One reconstructed map per submitted frame, in order.
+    pub maps: Vec<ThermalMap>,
+    /// Whether the maps were synthesized at reduced (truncated-basis)
+    /// fidelity under brownout; resubmit after the overload passes for
+    /// exact answers.
+    pub degraded: bool,
 }
 
 /// A blocking `EMWIRE1` client. Not thread-safe by design — one
@@ -145,7 +174,7 @@ impl Client {
     pub fn call(&mut self, request: &Request) -> Result<Response, NetError> {
         let id = self.next_id;
         self.next_id += 1;
-        self.stream.write_all(&request.encode(id))?;
+        self.stream.write_all(&request.encode(id)?)?;
         let mut chunk = [0u8; 16 * 1024];
         loop {
             while let Some(outcome) = self.frames.next_record() {
@@ -170,8 +199,12 @@ impl Client {
     }
 
     /// Reconstructs a batch of frames against `deployment`'s latest
-    /// version; returns the pinned version and the maps, frame order
-    /// preserved.
+    /// version; returns the pinned version, the maps (frame order
+    /// preserved) and whether brownout degraded their fidelity.
+    ///
+    /// A shed request surfaces as a retryable [`NetError::Server`] with
+    /// [`WireStatus::DeadlineShed`] — resubmit with fresh readings once
+    /// the overload passes.
     ///
     /// # Errors
     ///
@@ -180,18 +213,26 @@ impl Client {
         &mut self,
         deployment: &str,
         frames: Vec<Vec<f64>>,
-    ) -> Result<(u32, Vec<ThermalMap>), NetError> {
+    ) -> Result<BatchReply, NetError> {
         let request = Request::SubmitBatch {
             deployment: deployment.to_string(),
             frames,
         };
         match self.call(&request)? {
-            Response::Batch { version, maps } => {
+            Response::Batch {
+                version,
+                maps,
+                degraded,
+            } => {
                 let maps = maps
                     .into_iter()
                     .map(|m| m.into_map())
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok((version, maps))
+                Ok(BatchReply {
+                    version,
+                    maps,
+                    degraded,
+                })
             }
             _ => Err(NetError::UnexpectedReply { expected: "Batch" }),
         }
@@ -261,7 +302,9 @@ impl Client {
     pub fn step(&mut self, session: u64, readings: Vec<f64>) -> Result<ThermalMap, NetError> {
         let request = Request::StepSession { session, readings };
         match self.call(&request)? {
-            Response::Step { map } => Ok(map.into_map()?),
+            // Steps are never degraded (the flag travels for protocol
+            // uniformity only), so the estimate passes through as-is.
+            Response::Step { map, .. } => Ok(map.into_map()?),
             _ => Err(NetError::UnexpectedReply { expected: "Step" }),
         }
     }

@@ -385,8 +385,8 @@ fn service_conn(
                         let reply = Response::Error {
                             status: WireStatus::BadFrame,
                             message: failure.error.to_string(),
-                        }
-                        .encode(failure.id.unwrap_or(0));
+                        };
+                        let reply = seal_reply(reply, failure.id.unwrap_or(0), metrics);
                         conn.enqueue(reply, metrics);
                     }
                 }
@@ -396,8 +396,8 @@ fn service_conn(
                 let reply = Response::Error {
                     status: WireStatus::BadFrame,
                     message: err.to_string(),
-                }
-                .encode(0);
+                };
+                let reply = seal_reply(reply, 0, metrics);
                 conn.enqueue(reply, metrics);
             }
         }
@@ -419,7 +419,12 @@ fn service_conn(
         match ticket.try_wait() {
             Some(Ok(maps)) => {
                 let maps = maps.iter().map(WireMap::from).collect();
-                conn.enqueue(Response::Batch { version, maps }.encode(id), metrics);
+                let reply = Response::Batch {
+                    version,
+                    maps,
+                    degraded: ticket.is_degraded(),
+                };
+                conn.enqueue(seal_reply(reply, id, metrics), metrics);
             }
             Some(Err(e)) => {
                 conn.enqueue(error_reply(&e, id, metrics), metrics);
@@ -441,7 +446,11 @@ fn service_conn(
         match ticket.try_wait() {
             Some(Ok(map)) => {
                 let map = WireMap::from(&map);
-                conn.enqueue(Response::Step { map }.encode(id), metrics);
+                let reply = Response::Step {
+                    map,
+                    degraded: ticket.is_degraded(),
+                };
+                conn.enqueue(seal_reply(reply, id, metrics), metrics);
             }
             Some(Err(e)) => {
                 conn.enqueue(error_reply(&e, id, metrics), metrics);
@@ -542,7 +551,7 @@ fn dispatch(
         Request::OpenSession { deployment, gain } => match server.open_session(&deployment, gain) {
             Ok(session) => {
                 let reply = register_session(conn, session);
-                conn.enqueue(reply.encode(id), metrics);
+                conn.enqueue(seal_reply(reply, id, metrics), metrics);
             }
             Err(e) => {
                 let reply = error_reply(&e, id, metrics);
@@ -570,7 +579,7 @@ fn dispatch(
         },
         Request::CloseSession { session } => {
             if conn.sessions.remove(&session).is_some() {
-                conn.enqueue(Response::Closed.encode(id), metrics);
+                conn.enqueue(seal_reply(Response::Closed, id, metrics), metrics);
             } else {
                 let reply = unknown_session(session, id, metrics);
                 conn.enqueue(reply, metrics);
@@ -587,10 +596,13 @@ fn dispatch(
                             open.pending_steps()
                         ),
                     };
-                    conn.enqueue(reply.encode(id), metrics);
+                    conn.enqueue(seal_reply(reply, id, metrics), metrics);
                 } else {
                     let snapshot = open.snapshot();
-                    conn.enqueue(Response::Snapshot { snapshot }.encode(id), metrics);
+                    conn.enqueue(
+                        seal_reply(Response::Snapshot { snapshot }, id, metrics),
+                        metrics,
+                    );
                 }
             }
             None => {
@@ -601,7 +613,7 @@ fn dispatch(
         Request::Resume { snapshot } => match server.resume_session(&snapshot) {
             Ok(session) => {
                 let reply = register_session(conn, session);
-                conn.enqueue(reply.encode(id), metrics);
+                conn.enqueue(seal_reply(reply, id, metrics), metrics);
             }
             Err(e) => {
                 let reply = error_reply(&e, id, metrics);
@@ -610,12 +622,18 @@ fn dispatch(
         },
         Request::Catalog => {
             let entries = server.registry().catalog();
-            conn.enqueue(Response::Catalog { entries }.encode(id), metrics);
+            conn.enqueue(
+                seal_reply(Response::Catalog { entries }, id, metrics),
+                metrics,
+            );
         }
         Request::Publish { name, artifact } => {
             match server.registry().publish_bytes(&name, &artifact) {
                 Ok(version) => {
-                    conn.enqueue(Response::Published { version }.encode(id), metrics);
+                    conn.enqueue(
+                        seal_reply(Response::Published { version }, id, metrics),
+                        metrics,
+                    );
                 }
                 Err(e) => {
                     let reply = error_reply(&e, id, metrics);
@@ -635,15 +653,19 @@ fn dispatch(
                 max_sessions_open: snap.max_sessions_open,
                 latency_p50_ns: snap.latency_p50.as_nanos() as u64,
                 latency_p99_ns: snap.latency_p99.as_nanos() as u64,
+                shed: snap.shed,
+                degraded: snap.degraded,
+                brownout: u64::from(snap.brownout),
+                brownout_entries: snap.brownout_entries,
                 wire: snap.wire,
                 latency_buckets: snap.latency_buckets,
                 session_latency_buckets: snap.session_latency_buckets,
             }));
-            conn.enqueue(reply.encode(id), metrics);
+            conn.enqueue(seal_reply(reply, id, metrics), metrics);
         }
         Request::Trace => {
             let reply = Response::Trace(flight_snapshot(server));
-            conn.enqueue(reply.encode(id), metrics);
+            conn.enqueue(seal_reply(reply, id, metrics), metrics);
         }
         Request::Attach { durable } => {
             let claimed = orphans
@@ -653,7 +675,7 @@ fn dispatch(
             match claimed {
                 Some(session) => {
                     let reply = register_session(conn, session);
-                    conn.enqueue(reply.encode(id), metrics);
+                    conn.enqueue(seal_reply(reply, id, metrics), metrics);
                 }
                 None => {
                     let reply = unknown_session(durable, id, metrics);
@@ -751,19 +773,39 @@ fn register_session(conn: &mut Conn, session: TrackerSession) -> Response {
     reply
 }
 
+/// Seals a reply frame. A record over the frame bound is downgraded to
+/// an `Error` reply on the same correlation id — the peer would discard
+/// the oversized frame unread anyway, so it gets a diagnosable refusal
+/// instead. Error replies themselves are a status byte plus a short
+/// message, far below the bound, so the fallback encode cannot fail.
+fn seal_reply(reply: Response, id: u64, metrics: &ServeMetrics) -> Vec<u8> {
+    match reply.encode(id) {
+        Ok(frame) => frame,
+        Err(e) => {
+            metrics.record_wire_error(WireErrorKind::Rejected);
+            Response::Error {
+                status: WireStatus::BadRequest,
+                message: e.to_string(),
+            }
+            .encode(id)
+            .expect("error replies fit the frame bound")
+        }
+    }
+}
+
 fn unknown_session(session: u64, id: u64, metrics: &ServeMetrics) -> Vec<u8> {
     metrics.record_wire_error(WireErrorKind::Rejected);
-    Response::Error {
+    let reply = Response::Error {
         status: WireStatus::UnknownSession,
         message: format!("session {session} is not open on this connection"),
-    }
-    .encode(id)
+    };
+    seal_reply(reply, id, metrics)
 }
 
 fn error_reply(error: &eigenmaps_serve::ServeError, id: u64, metrics: &ServeMetrics) -> Vec<u8> {
     metrics.record_wire_error(WireErrorKind::Rejected);
     let (status, message) = status_of(error);
-    Response::Error { status, message }.encode(id)
+    seal_reply(Response::Error { status, message }, id, metrics)
 }
 
 fn record_wire_error(metrics: &ServeMetrics, error: &WireError) {

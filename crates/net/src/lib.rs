@@ -51,20 +51,20 @@ pub mod client;
 pub mod door;
 pub mod protocol;
 
-pub use client::{Client, NetError, SessionInfo};
+pub use client::{BatchReply, Client, NetError, SessionInfo};
 pub use door::{DoorHandle, NetConfig, NetServer};
 pub use protocol::{
-    status_of, DecodeFailure, FrameBuffer, Request, Response, WireError, WireExemplar, WireMap,
-    WireMetrics, WireStage, WireStatus, WireTenantTrace, WireTrace, WireTraceEvent,
+    status_of, DecodeFailure, EncodeError, FrameBuffer, Request, Response, WireError, WireExemplar,
+    WireMap, WireMetrics, WireStage, WireStatus, WireTenantTrace, WireTrace, WireTraceEvent,
     MAX_FRAME_BYTES,
 };
 
 /// Convenience glob import for the network edge.
 pub mod prelude {
-    pub use crate::client::{Client, NetError, SessionInfo};
+    pub use crate::client::{BatchReply, Client, NetError, SessionInfo};
     pub use crate::door::{DoorHandle, NetConfig, NetServer};
     pub use crate::protocol::{
-        FrameBuffer, Request, Response, WireError, WireExemplar, WireMap, WireMetrics, WireStage,
-        WireStatus, WireTenantTrace, WireTrace, WireTraceEvent,
+        EncodeError, FrameBuffer, Request, Response, WireError, WireExemplar, WireMap, WireMetrics,
+        WireStage, WireStatus, WireTenantTrace, WireTrace, WireTraceEvent,
     };
 }

@@ -40,14 +40,14 @@
 //! | `0x09` | `Metrics`      | → | empty |
 //! | `0x0A` | `Trace`        | → | empty |
 //! | `0x0B` | `Attach`       | → | `durable: u64` |
-//! | `0x81` | `Batch`         | ← | `version: u32`, `count: u64`, then per map `rows: u64`, `cols: u64`, `f64 × rows·cols` |
+//! | `0x81` | `Batch`         | ← | `version: u32`, `count: u64`, then per map `rows: u64`, `cols: u64`, `f64 × rows·cols`, then `degraded: u8` (0 or 1) |
 //! | `0x82` | `SessionOpened` | ← | `session: u64`, `version: u32`, `frames: u64`, `durable: u64` |
-//! | `0x83` | `Step`          | ← | `rows: u64`, `cols: u64`, `f64 × rows·cols` |
+//! | `0x83` | `Step`          | ← | `rows: u64`, `cols: u64`, `f64 × rows·cols`, `degraded: u8` (0 or 1) |
 //! | `0x84` | `Closed`        | ← | empty |
 //! | `0x85` | `Snapshot`      | ← | `len: u64`, `EMSESS1 bytes × len` |
 //! | `0x86` | `Catalog`       | ← | `count: u64`, then per entry `name: str`, `versions: u64`, `u32 × versions` |
 //! | `0x87` | `Published`     | ← | `version: u32` |
-//! | `0x88` | `Metrics`       | ← | [`WireMetrics`]: the headline scalars and wire gauges in declaration order (`u64` each, durations in ns), the per-reason reap counters, then the raw request- and session-latency histograms (each `count: u64`, `u64 × count` bucket counts, `samples: u64`, `total_ns: u64`) |
+//! | `0x88` | `Metrics`       | ← | [`WireMetrics`]: the headline scalars — including the QoS counters `shed`, `degraded`, `brownout` (0/1 gauge) and `brownout_entries` — and wire gauges in declaration order (`u64` each, durations in ns), the per-reason reap counters, then the raw request- and session-latency histograms (each `count: u64`, `u64 × count` bucket counts, `samples: u64`, `total_ns: u64`) |
 //! | `0x89` | `Trace`         | ← | [`WireTrace`]: `written: u64`, `dropped: u64`, ring events (`count`, then per event `trace: u64`, `tenant: str`, `stage: u8`, `arg: u64`, `at_ns: u64`), per-tenant stage quantiles and slow-request exemplars ([`WireTenantTrace`]) |
 //! | `0xFF` | `Error`         | ← | `status: u8` ([`WireStatus`]), `message: str` |
 //!
@@ -83,6 +83,11 @@
 //! * A frame that has not fully arrived is simply incomplete — the
 //!   receiver waits. A connection that closes mid-frame is a disconnect,
 //!   not a protocol error.
+//! * The bound is enforced on the **encode side too**: sealing a record
+//!   longer than [`MAX_FRAME_BYTES`] fails with [`EncodeError`] instead
+//!   of emitting a frame the peer is guaranteed to discard. This also
+//!   keeps the `u32` length prefix exact — a record over `u32::MAX`
+//!   bytes would otherwise wrap silently and desync the stream.
 //!
 //! Every decode is bounds-checked by [`Decoder`] before anything is
 //! allocated, so a hostile length field inside a body cannot cause an
@@ -183,6 +188,33 @@ impl From<CodecError> for WireError {
     }
 }
 
+/// An encoder refused to seal a record that would exceed the
+/// max-frame-size bound — the encode-side mirror of
+/// [`WireError::Oversized`]. Refusing here (rather than emitting the
+/// frame) matters twice over: the peer would discard the payload unread
+/// anyway, and a record longer than `u32::MAX` bytes would silently wrap
+/// the length prefix and desync the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeError {
+    /// The record length (length prefix excluded) that was refused.
+    pub len: usize,
+    /// The bound it exceeded.
+    pub max: usize,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "refusing to encode a {len}-byte record: exceeds the {max}-byte frame bound",
+            len = self.len,
+            max = self.max
+        )
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
 /// A decode failure plus the correlation id, when it can be trusted: the
 /// checksum covers the id, so ids survive malformed-body and unknown-kind
 /// failures but never corrupt ones.
@@ -221,6 +253,10 @@ pub enum WireStatus {
     /// well-defined point in the stream — **retryable** once the steps
     /// complete.
     SessionBusy,
+    /// The request blew its per-tenant deadline while queued and was shed
+    /// by QoS admission control — **retryable** with fresh sensor
+    /// readings once the overload passes.
+    DeadlineShed,
 }
 
 impl WireStatus {
@@ -228,7 +264,10 @@ impl WireStatus {
     /// to eventually succeed (transient backpressure, not a semantic
     /// refusal).
     pub fn is_retryable(self) -> bool {
-        matches!(self, WireStatus::Saturated | WireStatus::SessionBusy)
+        matches!(
+            self,
+            WireStatus::Saturated | WireStatus::SessionBusy | WireStatus::DeadlineShed
+        )
     }
 
     fn to_u8(self) -> u8 {
@@ -242,6 +281,7 @@ impl WireStatus {
             WireStatus::BadFrame => 7,
             WireStatus::UnknownSession => 8,
             WireStatus::SessionBusy => 9,
+            WireStatus::DeadlineShed => 10,
         }
     }
 
@@ -256,6 +296,7 @@ impl WireStatus {
             7 => WireStatus::BadFrame,
             8 => WireStatus::UnknownSession,
             9 => WireStatus::SessionBusy,
+            10 => WireStatus::DeadlineShed,
             _ => {
                 return Err(WireError::Malformed {
                     context: "unknown error status",
@@ -277,6 +318,7 @@ impl fmt::Display for WireStatus {
             WireStatus::BadFrame => "bad-frame",
             WireStatus::UnknownSession => "unknown-session",
             WireStatus::SessionBusy => "session-busy",
+            WireStatus::DeadlineShed => "deadline-shed",
         };
         f.write_str(name)
     }
@@ -290,6 +332,7 @@ pub fn status_of(error: &ServeError) -> (WireStatus, String) {
         ServeError::Terminated { .. } => WireStatus::Terminated,
         ServeError::Saturated { .. } => WireStatus::Saturated,
         ServeError::SnapshotMismatch { .. } => WireStatus::SnapshotMismatch,
+        ServeError::DeadlineShed { .. } => WireStatus::DeadlineShed,
         _ => WireStatus::BadRequest,
     };
     (status, error.to_string())
@@ -369,6 +412,10 @@ pub enum Response {
         version: u32,
         /// One reconstructed map per submitted frame, in order.
         maps: Vec<WireMap>,
+        /// Whether the maps were synthesized at reduced (truncated-basis)
+        /// fidelity under brownout; exact answers require a resubmit
+        /// after the overload passes.
+        degraded: bool,
     },
     /// A session was opened (or resumed).
     SessionOpened {
@@ -387,6 +434,11 @@ pub enum Response {
     Step {
         /// The reconstructed, temporally filtered map.
         map: WireMap,
+        /// Always `false` today — session steps are never degraded (the
+        /// stream's temporal filter must stay bitwise-continuous) — but
+        /// carried positionally so batch and step replies report fidelity
+        /// uniformly.
+        degraded: bool,
     },
     /// A `CloseSession` completed.
     Closed,
@@ -496,6 +548,14 @@ pub struct WireMetrics {
     pub latency_p50_ns: u64,
     /// 99th-percentile batch-request latency, in nanoseconds.
     pub latency_p99_ns: u64,
+    /// Requests shed at their deadline by QoS admission control.
+    pub shed: u64,
+    /// Requests answered at degraded (truncated-basis) fidelity.
+    pub degraded: u64,
+    /// Whether the server was in brownout at snapshot time (0 or 1).
+    pub brownout: u64,
+    /// Times the server has entered brownout (false → true edges).
+    pub brownout_entries: u64,
     /// The connection/wire gauges (including the per-reason reap
     /// counters).
     pub wire: WireSnapshot,
@@ -539,6 +599,10 @@ impl WireMetrics {
             .u64(self.max_sessions_open)
             .u64(self.latency_p50_ns)
             .u64(self.latency_p99_ns)
+            .u64(self.shed)
+            .u64(self.degraded)
+            .u64(self.brownout)
+            .u64(self.brownout_entries)
             .u64(self.wire.connections_open)
             .u64(self.wire.max_connections_open)
             .u64(self.wire.frames_in)
@@ -573,6 +637,10 @@ impl WireMetrics {
             max_sessions_open: dec.u64()?,
             latency_p50_ns: dec.u64()?,
             latency_p99_ns: dec.u64()?,
+            shed: dec.u64()?,
+            degraded: dec.u64()?,
+            brownout: dec.u64()?,
+            brownout_entries: dec.u64()?,
             wire: WireSnapshot {
                 connections_open: dec.u64()?,
                 max_connections_open: dec.u64()?,
@@ -791,6 +859,16 @@ fn decode_blob(dec: &mut Decoder<'_>) -> Result<Vec<u8>, WireError> {
     Ok(dec.take(len)?.to_vec())
 }
 
+fn decode_bool(dec: &mut Decoder<'_>) -> Result<bool, WireError> {
+    match dec.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(WireError::Malformed {
+            context: "boolean flag out of range",
+        }),
+    }
+}
+
 fn encode_readings(enc: &mut Encoder, readings: &[f64]) {
     enc.put_len(readings.len());
     enc.f64_slice(readings);
@@ -803,17 +881,31 @@ fn decode_readings(dec: &mut Decoder<'_>) -> Result<Vec<f64>, WireError> {
 
 /// Seals `kind` + `body` into a complete wire frame (length prefix
 /// included) under correlation id `id`.
-fn seal_frame(id: u64, kind: u8, body: impl FnOnce(&mut Encoder)) -> Vec<u8> {
+///
+/// # Errors
+///
+/// [`EncodeError`] when the record exceeds [`MAX_FRAME_BYTES`] — the
+/// encode-side mirror of the receiver's oversized check. The bound also
+/// keeps the `u32` length prefix exact: without it, `record.len() as u32`
+/// would silently truncate any record over `u32::MAX` bytes.
+fn seal_frame(id: u64, kind: u8, body: impl FnOnce(&mut Encoder)) -> Result<Vec<u8>, EncodeError> {
     let mut enc = Encoder::with_capacity(64);
     enc.bytes(MAGIC).u32(VERSION).u64(id).u8(kind);
     body(&mut enc);
     let mut record = enc.finish();
     let checksum = fnv1a64(&record);
     record.extend_from_slice(&checksum.to_le_bytes());
+    if record.len() > MAX_FRAME_BYTES {
+        return Err(EncodeError {
+            len: record.len(),
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    let prefix = u32::try_from(record.len()).expect("bound fits in u32");
     let mut frame = Vec::with_capacity(4 + record.len());
-    frame.extend_from_slice(&(record.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&prefix.to_le_bytes());
     frame.extend_from_slice(&record);
-    frame
+    Ok(frame)
 }
 
 /// Validates a complete record's envelope (magic, version, checksum) and
@@ -843,7 +935,12 @@ fn open_record<'a>(record: &'a [u8]) -> Result<Decoder<'a>, WireError> {
 
 impl Request {
     /// Encodes this request as a complete wire frame under `id`.
-    pub fn encode(&self, id: u64) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeError`] when the record would exceed [`MAX_FRAME_BYTES`]
+    /// (e.g. a `Publish` artifact or batch too large for one frame).
+    pub fn encode(&self, id: u64) -> Result<Vec<u8>, EncodeError> {
         match self {
             Request::SubmitBatch { deployment, frames } => {
                 seal_frame(id, KIND_SUBMIT_BATCH, |enc| {
@@ -953,14 +1050,25 @@ impl Request {
 
 impl Response {
     /// Encodes this response as a complete wire frame under `id`.
-    pub fn encode(&self, id: u64) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeError`] when the record would exceed [`MAX_FRAME_BYTES`]
+    /// (e.g. a `Batch` reply whose reconstructed maps dwarf the frames
+    /// that requested them).
+    pub fn encode(&self, id: u64) -> Result<Vec<u8>, EncodeError> {
         match self {
-            Response::Batch { version, maps } => seal_frame(id, KIND_BATCH_REPLY, |enc| {
+            Response::Batch {
+                version,
+                maps,
+                degraded,
+            } => seal_frame(id, KIND_BATCH_REPLY, |enc| {
                 enc.u32(*version);
                 enc.put_len(maps.len());
                 for map in maps {
                     map.encode(enc);
                 }
+                enc.u8(*degraded as u8);
             }),
             Response::SessionOpened {
                 session,
@@ -970,8 +1078,9 @@ impl Response {
             } => seal_frame(id, KIND_SESSION_OPENED, |enc| {
                 enc.u64(*session).u32(*version).u64(*frames).u64(*durable);
             }),
-            Response::Step { map } => seal_frame(id, KIND_STEP_REPLY, |enc| {
+            Response::Step { map, degraded } => seal_frame(id, KIND_STEP_REPLY, |enc| {
                 map.encode(enc);
+                enc.u8(*degraded as u8);
             }),
             Response::Closed => seal_frame(id, KIND_CLOSED, |_| {}),
             Response::Snapshot { snapshot } => seal_frame(id, KIND_SNAPSHOT_REPLY, |enc| {
@@ -1028,7 +1137,11 @@ impl Response {
                 for _ in 0..count {
                     maps.push(WireMap::decode(&mut dec).map_err(fail)?);
                 }
-                Response::Batch { version, maps }
+                Response::Batch {
+                    version,
+                    maps,
+                    degraded: decode_bool(&mut dec).map_err(fail)?,
+                }
             }
             KIND_SESSION_OPENED => Response::SessionOpened {
                 session: dec.u64().map_err(|e| fail(e.into()))?,
@@ -1038,6 +1151,7 @@ impl Response {
             },
             KIND_STEP_REPLY => Response::Step {
                 map: WireMap::decode(&mut dec).map_err(fail)?,
+                degraded: decode_bool(&mut dec).map_err(fail)?,
             },
             KIND_CLOSED => Response::Closed,
             KIND_SNAPSHOT_REPLY => Response::Snapshot {
@@ -1155,7 +1269,7 @@ mod tests {
     use super::*;
 
     fn roundtrip_request(req: Request) {
-        let frame = req.encode(42);
+        let frame = req.encode(42).expect("encodes");
         let mut fb = FrameBuffer::new(MAX_FRAME_BYTES);
         fb.extend(&frame);
         let record = fb.next_record().expect("complete").expect("valid");
@@ -1166,7 +1280,7 @@ mod tests {
     }
 
     fn roundtrip_response(resp: Response) {
-        let frame = resp.encode(7);
+        let frame = resp.encode(7).expect("encodes");
         let (id, back) = Response::decode(&frame[4..]).expect("decodes");
         assert_eq!(id, 7);
         assert_eq!(back, resp);
@@ -1210,6 +1324,16 @@ mod tests {
                 cols: 3,
                 cells: vec![1.0; 6],
             }],
+            degraded: false,
+        });
+        roundtrip_response(Response::Batch {
+            version: 2,
+            maps: vec![WireMap {
+                rows: 1,
+                cols: 1,
+                cells: vec![0.5],
+            }],
+            degraded: true,
         });
         roundtrip_response(Response::SessionOpened {
             session: 11,
@@ -1223,6 +1347,7 @@ mod tests {
                 cols: 2,
                 cells: vec![50.0, 51.0],
             },
+            degraded: false,
         });
         roundtrip_response(Response::Closed);
         roundtrip_response(Response::Snapshot {
@@ -1234,6 +1359,10 @@ mod tests {
         roundtrip_response(Response::Published { version: 5 });
         roundtrip_response(Response::Metrics(Box::new(WireMetrics {
             requests: 10,
+            shed: 3,
+            degraded: 2,
+            brownout: 1,
+            brownout_entries: 4,
             wire: WireSnapshot {
                 frames_in: 12,
                 reaped_idle: 2,
@@ -1312,7 +1441,7 @@ mod tests {
 
     #[test]
     fn corrupt_frames_are_rejected_without_an_id() {
-        let mut frame = Request::Catalog.encode(1);
+        let mut frame = Request::Catalog.encode(1).expect("encodes");
         // Flip one payload bit: checksum mismatch, id untrusted.
         frame[10] ^= 0x40;
         let failure = Request::decode(&frame[4..]).unwrap_err();
@@ -1326,7 +1455,7 @@ mod tests {
 
     #[test]
     fn wrong_direction_kind_is_unknown_with_a_trusted_id() {
-        let frame = Response::Closed.encode(77);
+        let frame = Response::Closed.encode(77).expect("encodes");
         let failure = Request::decode(&frame[4..]).unwrap_err();
         assert_eq!(failure.id, Some(77));
         assert!(matches!(
@@ -1342,7 +1471,7 @@ mod tests {
         // valid frame on the same stream.
         let mut stream = 1000u32.to_le_bytes().to_vec();
         stream.extend_from_slice(&[0xAB; 1000]);
-        let valid = Request::Metrics.encode(5);
+        let valid = Request::Metrics.encode(5).expect("encodes");
         stream.extend_from_slice(&valid);
 
         fb.extend(&stream[..300]);
@@ -1359,7 +1488,7 @@ mod tests {
 
     #[test]
     fn truncated_frames_wait_for_more_bytes() {
-        let frame = Request::Snapshot { session: 1 }.encode(9);
+        let frame = Request::Snapshot { session: 1 }.encode(9).expect("encodes");
         let mut fb = FrameBuffer::new(MAX_FRAME_BYTES);
         for &b in &frame[..frame.len() - 1] {
             fb.extend(&[b]);
@@ -1383,6 +1512,16 @@ mod tests {
         assert!(!status.is_retryable());
         assert!(WireStatus::SessionBusy.is_retryable());
         assert!(!WireStatus::BadFrame.is_retryable());
+        // A shed request is transient backpressure: retry with fresh
+        // readings, exactly like Saturated.
+        let (status, msg) = status_of(&ServeError::DeadlineShed {
+            name: "sku".into(),
+            deadline: std::time::Duration::from_millis(5),
+            waited: std::time::Duration::from_millis(9),
+        });
+        assert_eq!(status, WireStatus::DeadlineShed);
+        assert!(status.is_retryable());
+        assert!(msg.contains("shed"));
         // Status bytes roundtrip.
         for s in [
             WireStatus::UnknownDeployment,
@@ -1394,10 +1533,64 @@ mod tests {
             WireStatus::BadFrame,
             WireStatus::UnknownSession,
             WireStatus::SessionBusy,
+            WireStatus::DeadlineShed,
         ] {
             assert_eq!(WireStatus::from_u8(s.to_u8()).unwrap(), s);
         }
         assert!(WireStatus::from_u8(0).is_err());
+        assert!(WireStatus::from_u8(11).is_err());
+    }
+
+    #[test]
+    fn oversized_records_are_refused_at_encode_time() {
+        // A record one byte over the frame bound must fail to seal rather
+        // than ship a frame the peer is guaranteed to discard (and, past
+        // u32::MAX, silently wrap the length prefix).
+        let artifact = vec![0u8; MAX_FRAME_BYTES + 1];
+        let err = Request::Publish {
+            name: "huge".into(),
+            artifact,
+        }
+        .encode(1)
+        .unwrap_err();
+        assert!(err.len > MAX_FRAME_BYTES);
+        assert_eq!(err.max, MAX_FRAME_BYTES);
+        assert!(err.to_string().contains("refusing to encode"));
+
+        // Responses hit the same wall: a batch reply whose maps exceed
+        // the bound is refused, not wrapped.
+        let cells_per_map = 1 << 18;
+        let maps = (0..(MAX_FRAME_BYTES / (8 * cells_per_map)) + 1)
+            .map(|_| WireMap {
+                rows: cells_per_map,
+                cols: 1,
+                cells: vec![0.0; cells_per_map],
+            })
+            .collect();
+        let err = Response::Batch {
+            version: 1,
+            maps,
+            degraded: false,
+        }
+        .encode(2)
+        .unwrap_err();
+        assert_eq!(err.max, MAX_FRAME_BYTES);
+    }
+
+    #[test]
+    fn out_of_range_degraded_flag_is_malformed() {
+        // Rebuild a Step reply whose trailing degraded byte is 2.
+        let mut enc = Encoder::with_capacity(64);
+        enc.bytes(MAGIC).u32(VERSION).u64(4).u8(KIND_STEP_REPLY);
+        enc.put_len(1).put_len(1);
+        enc.f64_slice(&[42.0]);
+        enc.u8(2);
+        let mut record = enc.finish();
+        let checksum = fnv1a64(&record);
+        record.extend_from_slice(&checksum.to_le_bytes());
+        let failure = Response::decode(&record).unwrap_err();
+        assert_eq!(failure.id, Some(4));
+        assert!(matches!(failure.error, WireError::Malformed { .. }));
     }
 
     #[test]

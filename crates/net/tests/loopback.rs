@@ -118,10 +118,12 @@ fn batch_over_tcp_is_bitwise_identical_to_in_process() {
             ticket.replace(t);
             ticket.take().unwrap().wait().unwrap()
         };
-        let (version, over_wire) = client
+        let reply = client
             .submit_batch(fleet.names[tenant], fleet.frames[tenant].clone())
             .expect("batch over TCP");
-        assert_eq!(version, 1);
+        assert_eq!(reply.version, 1);
+        assert!(!reply.degraded, "no brownout: full fidelity");
+        let over_wire = reply.maps;
         assert_eq!(over_wire.len(), truth.len());
         for (i, map) in over_wire.iter().enumerate() {
             assert_bitwise(map, &truth[i], "wire vs sequential truth");
@@ -167,9 +169,10 @@ fn publish_and_catalog_travel_the_wire() {
     let truth = fleet.deployments[0]
         .reconstruct_batch(&fleet.frames[0])
         .unwrap();
-    let (_, maps) = client
+    let maps = client
         .submit_batch(fleet.names[0], fleet.frames[0].clone())
-        .unwrap();
+        .unwrap()
+        .maps;
     for (i, map) in maps.iter().enumerate() {
         assert_bitwise(map, &truth[i], "post-publish batch");
     }
@@ -255,7 +258,7 @@ fn corrupt_and_oversized_frames_reject_without_tearing_down_the_connection() {
     };
 
     // 1. A corrupt frame: valid length, flipped payload bit.
-    let mut frame = Request::Catalog.encode(11);
+    let mut frame = Request::Catalog.encode(11).expect("encodes");
     frame[9] ^= 0x10;
     raw.write_all(&frame).unwrap();
     let (id, reply) = read_reply(&mut raw, &mut frames);
@@ -283,14 +286,15 @@ fn corrupt_and_oversized_frames_reject_without_tearing_down_the_connection() {
     }
 
     // 3. A malformed body with a valid envelope: the id survives.
-    let bogus = Response::Closed.encode(23); // wrong-direction kind
+    let bogus = Response::Closed.encode(23).expect("encodes"); // wrong-direction kind
     raw.write_all(&bogus).unwrap();
     let (id, reply) = read_reply(&mut raw, &mut frames);
     assert_eq!(id, 23, "checksummed ids are echoed");
     assert!(matches!(reply, Response::Error { .. }));
 
     // 4. The same connection still serves real traffic afterwards.
-    raw.write_all(&Request::Catalog.encode(99)).unwrap();
+    raw.write_all(&Request::Catalog.encode(99).expect("encodes"))
+        .unwrap();
     let (id, reply) = read_reply(&mut raw, &mut frames);
     assert_eq!(id, 99);
     match reply {
@@ -331,7 +335,9 @@ fn disconnect_with_inflight_responses_never_wedges_the_batcher() {
                 deployment: fleet.names[round % 2].to_string(),
                 frames: fleet.frames[round % 2].clone(),
             };
-            doomed.write_all(&request.encode(i + 1)).unwrap();
+            doomed
+                .write_all(&request.encode(i + 1).expect("encodes"))
+                .unwrap();
         }
         doomed.flush().unwrap();
         drop(doomed);
@@ -344,9 +350,10 @@ fn disconnect_with_inflight_responses_never_wedges_the_batcher() {
         let truth = fleet.deployments[tenant]
             .reconstruct_batch(&fleet.frames[tenant])
             .unwrap();
-        let (_, maps) = client
+        let maps = client
             .submit_batch(fleet.names[tenant], fleet.frames[tenant].clone())
-            .expect("post-churn batch");
+            .expect("post-churn batch")
+            .maps;
         for (i, map) in maps.iter().enumerate() {
             assert_bitwise(map, &truth[i], "post-churn");
         }
@@ -378,7 +385,7 @@ fn metrics_snapshot_travels_the_wire() {
     let (addr, handle, join) = spawn_door(server);
 
     let mut client = Client::connect(addr).expect("connect");
-    let (_, _maps) = client
+    client
         .submit_batch(fleet.names[0], fleet.frames[0].clone())
         .unwrap();
     let metrics = client.metrics().expect("metrics over TCP");
@@ -409,9 +416,10 @@ fn flight_recorder_trace_travels_the_wire_with_full_lifecycle() {
     let (addr, handle, join) = spawn_door(Arc::clone(&server));
 
     let mut client = Client::connect(addr).expect("connect");
-    let (_, maps) = client
+    let maps = client
         .submit_batch(fleet.names[0], fleet.frames[0].clone())
-        .expect("batch");
+        .expect("batch")
+        .maps;
     assert_eq!(maps.len(), fleet.frames[0].len());
     let info = client.open_session(fleet.names[1], 0.7).expect("open");
     client
@@ -574,7 +582,8 @@ fn malformed_byte_fuzzing_never_kills_the_event_loop() {
                         deployment: fleet.names[0].to_string(),
                         frames: fleet.frames[0][..2].to_vec(),
                     }
-                    .encode(rng.next_u64());
+                    .encode(rng.next_u64())
+                    .expect("encodes");
                     for _ in 0..rng.gen_range(1..6u32) {
                         let at = rng.gen_range(0..bytes.len() as u64) as usize;
                         bytes[at] ^= rng.next_u64() as u8;
@@ -608,11 +617,112 @@ fn malformed_byte_fuzzing_never_kills_the_event_loop() {
         .reconstruct_batch(&fleet.frames[0])
         .unwrap();
     let mut client = Client::connect(addr).expect("connect after fuzzing");
-    let (_, maps) = client
+    let maps = client
         .submit_batch(fleet.names[0], fleet.frames[0].clone())
-        .expect("door survived the fuzz");
+        .expect("door survived the fuzz")
+        .maps;
     for (i, map) in maps.iter().enumerate() {
         assert_bitwise(map, &truth[i], "post-fuzz batch");
+    }
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// Tentpole acceptance at the network edge: a shed request surfaces as a
+/// retryable `DeadlineShed` status, a brownout batch arrives flagged
+/// degraded and bitwise-equal to the truncated-basis reconstruction, and
+/// the QoS counters travel in the metrics reply.
+#[test]
+fn shed_and_degraded_serving_surface_over_the_wire() {
+    let fleet = fleet();
+    let server = Arc::new(Server::new(Arc::clone(&fleet.registry), 2));
+    let (addr, handle, join) = spawn_door(Arc::clone(&server));
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Phase 1 — shedding. A zero deadline with budgets that never flush:
+    // the scheduler's next tick sheds the queued request before any
+    // batch forms.
+    server
+        .set_tenant_policy(
+            fleet.names[0],
+            Some(BatchPolicy {
+                max_batch_frames: 4096,
+                max_batch_requests: 1024,
+                max_delay: Duration::from_secs(60),
+                deadline: Some(Duration::ZERO),
+                overrun: OverrunAction::Shed,
+                ..BatchPolicy::default()
+            }),
+        )
+        .unwrap();
+    let err = client
+        .submit_batch(fleet.names[0], fleet.frames[0].clone())
+        .unwrap_err();
+    match &err {
+        NetError::Server { status, message } => {
+            assert_eq!(*status, WireStatus::DeadlineShed);
+            assert!(message.contains("shed"), "got: {message}");
+        }
+        other => panic!("expected a shed server error, got {other:?}"),
+    }
+    assert!(err.is_retryable(), "shed requests invite a retry");
+
+    // Phase 2 — brownout degraded serving. A Degrade tier plus a
+    // watermark any pending frame crosses: the next batch is served from
+    // the keep-1 truncated deployment and flagged.
+    server
+        .set_tenant_policy(
+            fleet.names[0],
+            Some(BatchPolicy {
+                deadline: Some(Duration::from_secs(60)),
+                overrun: OverrunAction::Degrade { keep_k: 1 },
+                ..BatchPolicy::default()
+            }),
+        )
+        .unwrap();
+    server
+        .set_brownout(Some(BrownoutPolicy {
+            enter_above: 1,
+            exit_below: 0,
+        }))
+        .unwrap();
+    let reply = client
+        .submit_batch(fleet.names[0], fleet.frames[0].clone())
+        .expect("brownout serves, not sheds");
+    assert!(reply.degraded, "brownout batches are flagged");
+    let truncated = fleet.deployments[0]
+        .truncated(1)
+        .expect("keep-1 truncation")
+        .reconstruct_batch(&fleet.frames[0])
+        .unwrap();
+    for (i, map) in reply.maps.iter().enumerate() {
+        assert_bitwise(map, &truncated[i], "wire vs truncated reconstruction");
+    }
+
+    // Phase 3 — the QoS ledger travels the wire.
+    let metrics = client.metrics().expect("metrics over TCP");
+    assert_eq!(metrics.shed, 1, "one request shed");
+    assert_eq!(metrics.degraded, 1, "one request served degraded");
+    assert_eq!(metrics.brownout, 1, "still in brownout at snapshot time");
+    assert!(metrics.brownout_entries >= 1);
+    assert_eq!(
+        metrics.requests,
+        metrics.errors + 1,
+        "the shed ticket completed as a typed error; the degraded one served"
+    );
+
+    // Clearing the policy exits brownout: the next batch is exact again.
+    server.set_brownout(None).unwrap();
+    let reply = client
+        .submit_batch(fleet.names[0], fleet.frames[0].clone())
+        .expect("post-brownout batch");
+    assert!(!reply.degraded, "brownout cleared: full fidelity");
+    let truth = fleet.deployments[0]
+        .reconstruct_batch(&fleet.frames[0])
+        .unwrap();
+    for (i, map) in reply.maps.iter().enumerate() {
+        assert_bitwise(map, &truth[i], "post-brownout exact batch");
     }
 
     handle.shutdown();

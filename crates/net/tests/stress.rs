@@ -118,9 +118,10 @@ fn churn_schedule(seed: u64, clients: usize, rounds: usize) {
                     // Full, polite batch exchange — verified bitwise.
                     0 | 1 => {
                         let mut client = Client::connect(addr).expect("connect");
-                        let (_, maps) = client
+                        let maps = client
                             .submit_batch(names[tenant], frames[tenant].clone())
-                            .expect("batch");
+                            .expect("batch")
+                            .maps;
                         for (i, map) in maps.iter().enumerate() {
                             assert_eq!(
                                 map.as_slice()
@@ -177,7 +178,8 @@ fn churn_schedule(seed: u64, clients: usize, rounds: usize) {
                                 deployment: names[tenant].to_string(),
                                 frames: frames[tenant].clone(),
                             };
-                            if raw.write_all(&request.encode(i + 1)).is_err() {
+                            let frame = request.encode(i + 1).expect("encodes");
+                            if raw.write_all(&frame).is_err() {
                                 break;
                             }
                         }
@@ -207,9 +209,10 @@ fn churn_schedule(seed: u64, clients: usize, rounds: usize) {
         std::thread::sleep(Duration::from_millis(5));
     }
     let mut client = Client::connect(addr).expect("post-churn connect");
-    let (_, maps) = client
+    let maps = client
         .submit_batch(fleet.names[0], fleet.frames[0].clone())
-        .expect("post-churn batch");
+        .expect("post-churn batch")
+        .maps;
     for (i, map) in maps.iter().enumerate() {
         assert_eq!(
             map.as_slice()

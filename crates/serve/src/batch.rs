@@ -40,7 +40,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -51,7 +51,10 @@ use eigenmaps_core::{CoreError, Deployment, ThermalMap, TrackingReconstructor};
 use crate::error::{Result, ServeError};
 use crate::metrics::ServeMetrics;
 use crate::registry::DeploymentRegistry;
-use crate::scheduler::{Decision, FlushDecision, Scheduler, StepDecision, StreamId, TenantKey};
+use crate::scheduler::{
+    BrownoutPolicy, Decision, FlushDecision, Scheduler, ShedDecision, StepDecision, StreamId,
+    TenantKey,
+};
 use crate::session::{SessionDoor, TrackerSession};
 use crate::shard::ShardedExecutor;
 use crate::store::{DurabilityHub, Hydration, HydrationReport, SnapshotStore, DEFAULT_KEEP};
@@ -265,12 +268,22 @@ impl<R> std::fmt::Debug for Responder<R> {
 pub struct Ticket {
     version: u32,
     slot: Arc<ResponseSlot<Vec<ThermalMap>>>,
+    degraded: Arc<AtomicBool>,
 }
 
 impl Ticket {
     /// The deployment version this request was pinned to at submit time.
     pub fn version(&self) -> u32 {
         self.version
+    }
+
+    /// Whether the response was served **degraded**: the server was in
+    /// brownout (or the request blew a `Degrade`-tier deadline) and the
+    /// maps were reconstructed against a truncated low-K deployment
+    /// instead of the full basis. Meaningful once the response is ready;
+    /// `false` while pending and for full-fidelity responses.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
     }
 
     /// Whether a response is ready — [`Ticket::try_wait`] would return it.
@@ -300,6 +313,9 @@ impl Ticket {
     /// # Errors
     ///
     /// * The request's own failure ([`ServeError::Core`]), or
+    /// * [`ServeError::DeadlineShed`] (retryable) if the request blew its
+    ///   tenant's deadline budget while queued and the tenant's overrun
+    ///   action is `Shed`, or
     /// * [`ServeError::Terminated`] if the server shut down before
     ///   responding, or if the response was already consumed by
     ///   [`Ticket::try_wait`].
@@ -313,6 +329,7 @@ impl std::fmt::Debug for Ticket {
         f.debug_struct("Ticket")
             .field("version", &self.version)
             .field("ready", &self.is_ready())
+            .field("degraded", &self.is_degraded())
             .finish()
     }
 }
@@ -325,6 +342,9 @@ pub(crate) struct QueuedRequest {
     frames: Vec<Vec<f64>>,
     enqueued: Instant,
     trace: TraceCard,
+    /// Shared with the [`Ticket`]: raised before the response completes
+    /// when the batch was reconstructed against a truncated deployment.
+    degraded: Arc<AtomicBool>,
     responder: Responder<Vec<ThermalMap>>,
 }
 
@@ -360,6 +380,9 @@ pub(crate) enum BatcherMsg {
         name: String,
         policy: Option<BatchPolicy>,
     },
+    /// Installs (`Some`) or clears (`None`) the scheduler's brownout
+    /// hysteresis watermarks — see [`Server::set_brownout`].
+    Brownout(Option<BrownoutPolicy>),
     /// Installs the durability hub in the batcher: from here on the loop
     /// folds the hub's checkpoint deadline into its wait and throws
     /// `checkpoint_now` jobs onto the executor's fire-and-forget lane
@@ -516,6 +539,27 @@ impl Server {
                 name: name.to_string(),
                 policy,
             })
+            .map_err(|_| ServeError::Terminated {
+                context: "request queue closed",
+            })
+    }
+
+    /// Installs (`Some`) or clears (`None`) the brownout policy: pending-
+    /// frame watermarks with hysteresis (see [`BrownoutPolicy`]). While
+    /// the scheduler is in brownout, every flush for a tenant whose
+    /// [`OverrunAction`] is `Degrade { keep_k }` is reconstructed against
+    /// a truncated `keep_k`-mode deployment — coarser maps, on time —
+    /// and the response's [`Ticket::is_degraded`] flag is raised.
+    /// Clearing the policy also exits any active brownout.
+    ///
+    /// [`OverrunAction`]: crate::OverrunAction
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Terminated`] if the server is shutting down.
+    pub fn set_brownout(&self, policy: Option<BrownoutPolicy>) -> Result<()> {
+        self.queue
+            .send(BatcherMsg::Brownout(policy))
             .map_err(|_| ServeError::Terminated {
                 context: "request queue closed",
             })
@@ -693,9 +737,11 @@ impl Server {
         }
         let trace = self.recorder.begin(&request.deployment);
         let slot = ResponseSlot::new();
+        let degraded = Arc::new(AtomicBool::new(false));
         let ticket = Ticket {
             version,
             slot: Arc::clone(&slot),
+            degraded: Arc::clone(&degraded),
         };
         let frames = request.frames.len();
         let queued = QueuedRequest {
@@ -704,6 +750,7 @@ impl Server {
             frames: request.frames,
             enqueued: Instant::now(),
             trace,
+            degraded,
             responder: Responder::new(slot),
         };
         if let Err(mpsc::SendError(dead)) = self.queue.send(BatcherMsg::Request(queued)) {
@@ -1039,6 +1086,12 @@ fn batcher_loop(
     // deadline is folded into the wait below, so the cadence needs no
     // extra thread and runs entirely on this loop's injected clock.
     let mut durability: Option<Arc<DurabilityHub>> = None;
+    // Truncated deployments for brownout serving, keyed by the exact
+    // pinned artifact and the degraded mode count: each `(tenant, keep)`
+    // pair pays the truncation copy once, then every degraded flush for
+    // it reuses the same Arc. A hot swap is a new TenantKey, so a stale
+    // truncation can never serve a new version's traffic.
+    let mut truncated: HashMap<(TenantKey, usize), Arc<Deployment>> = HashMap::new();
     'serve: loop {
         let sched_deadline = if scheduler.is_idle() {
             None
@@ -1103,6 +1156,10 @@ fn batcher_loop(
             Some(BatcherMsg::Policy { name, policy }) => {
                 scheduler.set_tenant_policy(name, policy);
             }
+            Some(BatcherMsg::Brownout(policy)) => {
+                scheduler.set_brownout(policy);
+                metrics.set_brownout(scheduler.in_brownout());
+            }
             Some(BatcherMsg::Durability(hub)) => {
                 // Arm at install so the first background checkpoint
                 // waits a full cadence — hydration just read the store,
@@ -1128,10 +1185,17 @@ fn batcher_loop(
                 });
             }
         }
-        for decision in scheduler.tick(now) {
+        let decisions = scheduler.tick(now);
+        // The tick is where brownout transitions happen; mirror the
+        // scheduler's state into the gauge right after it.
+        metrics.set_brownout(scheduler.in_brownout());
+        for decision in decisions {
             match decision {
-                Decision::Batch(flush) => execute_flush(flush, executor, metrics, now),
+                Decision::Batch(flush) => {
+                    execute_flush(flush, executor, metrics, now, &mut truncated)
+                }
                 Decision::Step(step) => dispatch_step(step, executor, metrics, done, &mut inflight),
+                Decision::Shed(shed) => execute_shed(shed, metrics, now),
             }
         }
     }
@@ -1169,11 +1233,17 @@ fn batcher_loop(
     let drain_now = epoch.elapsed();
     for decision in scheduler.drain() {
         match decision {
-            Decision::Batch(flush) => execute_flush(flush, executor, metrics, drain_now),
+            Decision::Batch(flush) => {
+                execute_flush(flush, executor, metrics, drain_now, &mut truncated)
+            }
             Decision::Step(step) => match step.job {
                 Work::Step(step) => execute_step_blocking(step, executor, metrics),
                 Work::Request(_) => unreachable!("stream lanes carry only steps"),
             },
+            // Drain serves everything that is still queued rather than
+            // second-guessing deadlines at shutdown, but stay total over
+            // the decision type in case that ever changes.
+            Decision::Shed(shed) => execute_shed(shed, metrics, drain_now),
         }
     }
     // 3: deferred steps. With nothing in flight they execute in FIFO
@@ -1272,18 +1342,72 @@ fn complete_step(step: QueuedStep, outcome: Result<ThermalMap>, metrics: &ServeM
     }
 }
 
+/// Completes one shed decision: every blown job's ticket finishes with
+/// the typed retryable [`ServeError::DeadlineShed`] — sheds complete
+/// tickets, they never lose them — and the work is drained from the
+/// tenant's queue gauge and counted per tenant. The scheduler already
+/// emitted the `Rejected(DeadlineShed)` ring events at shed time, so the
+/// cards only mirror the terminal stamp.
+fn execute_shed(shed: ShedDecision<Work>, metrics: &ServeMetrics, now: std::time::Duration) {
+    let ShedDecision {
+        tenant,
+        deadline,
+        frames,
+        jobs,
+    } = shed;
+    if jobs.is_empty() {
+        return;
+    }
+    metrics.record_shed(&tenant.name, jobs.len() as u64, frames as u64);
+    for work in jobs {
+        let req = match work {
+            Work::Request(req) => req,
+            Work::Step(_) => unreachable!("stream lanes are never shed"),
+        };
+        req.trace
+            .note_at(Stage::Rejected(RejectReason::DeadlineShed), now);
+        req.responder.send(Err(ServeError::DeadlineShed {
+            name: tenant.name.clone(),
+            deadline,
+            waited: req.enqueued.elapsed(),
+        }));
+    }
+}
+
+/// The truncated deployment serving `(tenant, keep)` brownout flushes,
+/// created from `exact` and cached on first use. `None` when `keep` is
+/// not a valid truncation of this artifact (e.g. larger than its K) —
+/// the caller falls back to full-fidelity serving.
+fn truncated_for(
+    cache: &mut HashMap<(TenantKey, usize), Arc<Deployment>>,
+    tenant: &TenantKey,
+    keep: usize,
+    exact: &Deployment,
+) -> Option<Arc<Deployment>> {
+    if let Some(cached) = cache.get(&(tenant.clone(), keep)) {
+        return Some(Arc::clone(cached));
+    }
+    let low = Arc::new(exact.truncated(keep).ok()?);
+    cache.insert((tenant.clone(), keep), Arc::clone(&low));
+    Some(low)
+}
+
 /// Executes one flush decision and distributes results (or the shared
-/// error) back through each request's responder.
+/// error) back through each request's responder. A flush carrying the
+/// scheduler's `degraded` marker is reconstructed against the cached
+/// truncated deployment instead of the pinned one.
 fn execute_flush(
     decision: FlushDecision<Work>,
     executor: &ShardedExecutor,
     metrics: &ServeMetrics,
     now: std::time::Duration,
+    truncated: &mut HashMap<(TenantKey, usize), Arc<Deployment>>,
 ) {
     let FlushDecision {
         tenant,
         frames: total_frames,
         jobs,
+        degraded,
         ..
     } = decision;
     if jobs.is_empty() {
@@ -1308,8 +1432,28 @@ fn execute_flush(
         req.trace.record(Stage::ShardDispatched);
     }
     // Every job in a decision pinned the same registry artifact (same
-    // (name, version) ⇒ same Arc handed out by the registry).
-    let deployment = Arc::clone(&jobs[0].deployment);
+    // (name, version) ⇒ same Arc handed out by the registry). Under a
+    // degraded flush the truncated artifact substitutes for it; an
+    // invalid keep (≥ the artifact's own K, or zero) falls back to
+    // full-fidelity serving and the response is not flagged degraded.
+    let exact = Arc::clone(&jobs[0].deployment);
+    let (deployment, degraded) = match degraded {
+        Some(keep) => match truncated_for(truncated, &tenant, keep, &exact) {
+            Some(low) => (low, Some(keep)),
+            None => (exact, None),
+        },
+        None => (exact, None),
+    };
+    if let Some(keep) = degraded {
+        metrics.record_degraded_batch(&tenant.name, jobs.len() as u64);
+        let stage = Stage::Degraded {
+            keep_k: keep as u32,
+        };
+        for req in &jobs {
+            req.degraded.store(true, Ordering::Release);
+            req.trace.record(stage);
+        }
+    }
     let mut combined: Vec<Vec<f64>> = Vec::with_capacity(total_frames);
     let mut counts = Vec::with_capacity(jobs.len());
     for req in jobs.iter_mut() {
@@ -1618,5 +1762,130 @@ mod tests {
         for ticket in tickets {
             assert_eq!(ticket.wait().unwrap().len(), 1);
         }
+    }
+
+    #[test]
+    fn shed_tickets_complete_with_the_typed_retryable_error() {
+        use crate::scheduler::OverrunAction;
+        let (registry, _, frames) = fixture(4);
+        // A zero deadline is blown the instant the batcher sees the
+        // request, and nothing else can flush it first (huge budgets,
+        // long delay): the shed path is the only exit, deterministically.
+        let policy = BatchPolicy {
+            max_batch_frames: 1 << 20,
+            max_batch_requests: 1 << 10,
+            max_delay: Duration::from_secs(60),
+            deadline: Some(Duration::ZERO),
+            overrun: OverrunAction::Shed,
+            ..BatchPolicy::default()
+        };
+        let server = Server::with_policy(registry, 1, policy);
+        let ticket = server.submit(ServeRequest::new("chip", frames)).unwrap();
+        let err = ticket.wait().unwrap_err();
+        assert!(err.is_retryable());
+        assert!(
+            matches!(&err, ServeError::DeadlineShed { name, deadline, .. }
+                if name == "chip" && *deadline == Duration::ZERO),
+            "unexpected error: {err:?}"
+        );
+        let snap = server.metrics();
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.errors, 1);
+        let chip = &snap.tenants["chip"];
+        assert_eq!(chip.shed_requests, 1);
+        assert_eq!(chip.shed_frames, 4);
+        // The shed drained the admission gauge: no leaked queue slot.
+        assert_eq!(chip.queue_depth, 0);
+        assert_eq!(chip.batches, 0);
+    }
+
+    #[test]
+    fn brownout_serves_degraded_maps_bitwise_equal_to_truncated() {
+        use crate::scheduler::{BrownoutPolicy, OverrunAction};
+        let (registry, _, frames) = fixture(6);
+        let policy = BatchPolicy {
+            max_batch_frames: 1 << 20,
+            max_batch_requests: 1, // flush each request immediately
+            max_delay: Duration::from_secs(60),
+            overrun: OverrunAction::Degrade { keep_k: 1 },
+            ..BatchPolicy::default()
+        };
+        let server = Server::with_policy(Arc::clone(&registry), 2, policy);
+        // One pending frame is enough to enter brownout: every flush
+        // below is degraded, with no timing dependence. The policy
+        // message is FIFO-ordered ahead of the requests.
+        server
+            .set_brownout(Some(BrownoutPolicy {
+                enter_above: 1,
+                exit_below: 0,
+            }))
+            .unwrap();
+        let mut ticket = server
+            .submit(ServeRequest::new("chip", frames.clone()))
+            .unwrap();
+        let maps = loop {
+            if let Some(result) = ticket.try_wait() {
+                break result.unwrap();
+            }
+            std::thread::yield_now();
+        };
+        assert!(ticket.is_degraded());
+        // Degraded responses are exactly the truncated deployment's
+        // reconstruction — coarser, but deterministic and honest.
+        let truncated = registry.latest("chip").unwrap().truncated(1).unwrap();
+        let expected = truncated.reconstruct_batch(&frames).unwrap();
+        assert_eq!(maps.len(), expected.len());
+        for (a, b) in expected.iter().zip(maps.iter()) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        let snap = server.metrics();
+        assert_eq!(snap.degraded, 1);
+        assert!(snap.brownout_entries >= 1);
+        let chip = &snap.tenants["chip"];
+        assert_eq!(chip.degraded_batches, 1);
+        assert_eq!(chip.degraded_requests, 1);
+        // Degraded work is served work, not an error.
+        assert_eq!(snap.errors, 0);
+        assert_eq!(chip.batches, 1);
+    }
+
+    #[test]
+    fn invalid_degrade_keep_falls_back_to_full_fidelity() {
+        use crate::scheduler::{BrownoutPolicy, OverrunAction};
+        let (registry, _, frames) = fixture(3);
+        // keep_k beyond the artifact's K cannot be truncated to: the
+        // flush silently serves the exact deployment and the response is
+        // not flagged degraded.
+        let policy = BatchPolicy {
+            max_batch_requests: 1,
+            overrun: OverrunAction::Degrade { keep_k: 64 },
+            ..BatchPolicy::default()
+        };
+        let server = Server::with_policy(Arc::clone(&registry), 1, policy);
+        server
+            .set_brownout(Some(BrownoutPolicy {
+                enter_above: 1,
+                exit_below: 0,
+            }))
+            .unwrap();
+        let mut ticket = server
+            .submit(ServeRequest::new("chip", frames.clone()))
+            .unwrap();
+        let maps = loop {
+            if let Some(result) = ticket.try_wait() {
+                break result.unwrap();
+            }
+            std::thread::yield_now();
+        };
+        assert!(!ticket.is_degraded());
+        let exact = registry
+            .latest("chip")
+            .unwrap()
+            .reconstruct_batch(&frames)
+            .unwrap();
+        for (a, b) in exact.iter().zip(maps.iter()) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        assert_eq!(server.metrics().degraded, 0);
     }
 }

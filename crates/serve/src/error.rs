@@ -39,6 +39,19 @@ pub enum ServeError {
         /// Requests pending for that tenant at refusal time.
         pending: u64,
     },
+    /// The request's end-to-end deadline (`BatchPolicy::deadline`) was
+    /// already blown while it sat queued, and the tenant's overrun
+    /// action is `Shed`: the scheduler refused to serve it stale.
+    /// Retryable — a control loop should resubmit with fresh readings
+    /// ([`ServeError::is_retryable`] returns `true`).
+    DeadlineShed {
+        /// The tenant whose request was shed.
+        name: String,
+        /// The deadline budget the request overran.
+        deadline: std::time::Duration,
+        /// How long the request had waited when it was shed.
+        waited: std::time::Duration,
+    },
     /// A session snapshot (`EMSESS1`) refers to a deployment whose shape
     /// or identity disagrees with what the registry resolved — resuming
     /// would warm-start the temporal filter against the wrong artifact, so
@@ -80,6 +93,17 @@ impl fmt::Display for ServeError {
                     "tenant {name:?} is saturated: {pending} requests already pending"
                 )
             }
+            ServeError::DeadlineShed {
+                name,
+                deadline,
+                waited,
+            } => {
+                write!(
+                    f,
+                    "request for tenant {name:?} shed: waited {waited:?} against a \
+                     {deadline:?} deadline; retry with fresh readings"
+                )
+            }
             ServeError::SnapshotMismatch { context } => {
                 write!(
                     f,
@@ -95,6 +119,18 @@ impl fmt::Display for ServeError {
             }
             ServeError::Core(e) => write!(f, "reconstruction failed: {e}"),
         }
+    }
+}
+
+impl ServeError {
+    /// Whether retrying the identical request may succeed: transient
+    /// backpressure (`Saturated`) and deadline sheds (`DeadlineShed`) are
+    /// retryable; semantic refusals and terminal failures are not.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Saturated { .. } | ServeError::DeadlineShed { .. }
+        )
     }
 }
 
@@ -142,6 +178,26 @@ mod tests {
         };
         assert!(e.to_string().contains("newer than supported"));
         assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn deadline_shed_is_retryable_and_names_the_tenant() {
+        use std::time::Duration;
+        let e = ServeError::DeadlineShed {
+            name: "ctl".into(),
+            deadline: Duration::from_micros(500),
+            waited: Duration::from_micros(750),
+        };
+        assert!(e.is_retryable());
+        assert!(e.to_string().contains("ctl"));
+        assert!(e.to_string().contains("retry"));
+        assert!(ServeError::Saturated {
+            name: "ctl".into(),
+            pending: 1,
+        }
+        .is_retryable());
+        assert!(!ServeError::Terminated { context: "x" }.is_retryable());
+        assert!(!ServeError::UnknownDeployment { name: "x".into() }.is_retryable());
     }
 
     #[test]

@@ -137,7 +137,8 @@ pub use metrics::{
 };
 pub use registry::DeploymentRegistry;
 pub use scheduler::{
-    Decision, FlushDecision, FlushReason, Scheduler, StepDecision, StreamId, TenantKey,
+    BrownoutPolicy, Decision, FlushDecision, FlushReason, OverrunAction, Scheduler, ShedDecision,
+    StepDecision, StreamId, TenantKey,
 };
 pub use session::{StepTicket, TrackerSession};
 pub use shard::ShardedExecutor;
@@ -192,7 +193,8 @@ pub mod prelude {
     };
     pub use crate::registry::DeploymentRegistry;
     pub use crate::scheduler::{
-        Decision, FlushDecision, FlushReason, Scheduler, StepDecision, StreamId, TenantKey,
+        BrownoutPolicy, Decision, FlushDecision, FlushReason, OverrunAction, Scheduler,
+        ShedDecision, StepDecision, StreamId, TenantKey,
     };
     pub use crate::session::{StepTicket, TrackerSession};
     pub use crate::shard::ShardedExecutor;

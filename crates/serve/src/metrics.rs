@@ -75,6 +75,17 @@ pub fn bucket_bounds_ns() -> &'static [u64] {
     &BUCKET_BOUNDS_NS
 }
 
+/// Round-to-nearest mean of `total_ns` over `count` samples
+/// ([`Duration::ZERO`] when empty). Widening to `u128` keeps the
+/// half-count rounding bias from overflowing near `u64::MAX` totals.
+fn mean_rounded(total_ns: u64, count: u64) -> Duration {
+    if count == 0 {
+        return Duration::ZERO;
+    }
+    let rounded = (u128::from(total_ns) + u128::from(count) / 2) / u128::from(count);
+    Duration::from_nanos(rounded as u64)
+}
+
 /// A point-in-time copy of one [`LatencyHistogram`]'s raw state: the
 /// per-bucket counts (aligned with [`bucket_bounds_ns`], plus one final
 /// overflow bucket), the sample count and the summed nanoseconds.
@@ -95,17 +106,19 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    /// Mean recorded latency ([`Duration::ZERO`] when empty).
+    /// Mean recorded latency, rounded to the nearest nanosecond
+    /// ([`Duration::ZERO`] when empty).
     pub fn mean(&self) -> Duration {
-        if self.count == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_nanos(self.total_ns / self.count)
+        mean_rounded(self.total_ns, self.count)
     }
 
     /// The `q`-quantile under the same bucket-upper-bound rule as
-    /// [`LatencyHistogram::quantile`]; [`Duration::ZERO`] when empty.
+    /// [`LatencyHistogram::quantile`]; [`Duration::ZERO`] when empty or
+    /// when `q` is NaN.
     pub fn quantile(&self, q: f64) -> Duration {
+        if q.is_nan() {
+            return Duration::ZERO;
+        }
         let total: u64 = self.buckets.iter().sum();
         if total == 0 {
             return Duration::ZERO;
@@ -171,13 +184,10 @@ impl LatencyHistogram {
         self.count.load(Ordering::Relaxed)
     }
 
-    /// Mean recorded latency ([`Duration::ZERO`] when empty).
+    /// Mean recorded latency, rounded to the nearest nanosecond
+    /// ([`Duration::ZERO`] when empty).
     pub fn mean(&self) -> Duration {
-        let count = self.count();
-        if count == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_nanos(self.total_ns.load(Ordering::Relaxed) / count)
+        mean_rounded(self.total_ns.load(Ordering::Relaxed), self.count())
     }
 
     /// The `q`-quantile (`0 < q ≤ 1`) as the upper bound of the bucket
@@ -189,7 +199,14 @@ impl LatencyHistogram {
     /// result is always one of the fixed bucket edges — no within-bucket
     /// interpolation; see the [module docs](self) for why. Quantiles are
     /// monotone in `q` and never below any recorded sample's bucket.
+    /// A NaN `q` is a caller bug, not a rank: it reports
+    /// [`Duration::ZERO`] explicitly (identically in
+    /// [`HistogramSnapshot::quantile`]) instead of silently resolving to
+    /// the minimum bucket as `NaN.clamp(..).ceil() as u64` used to.
     pub fn quantile(&self, q: f64) -> Duration {
+        if q.is_nan() {
+            return Duration::ZERO;
+        }
         let total: u64 = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum();
         if total == 0 {
             return Duration::ZERO;
@@ -256,6 +273,14 @@ struct TenantCounters {
     max_queue_depth: AtomicU64,
     /// Streaming session steps served against this tenant's deployments.
     session_steps: AtomicU64,
+    /// Requests shed for blowing their deadline (overrun action `Shed`).
+    shed_requests: AtomicU64,
+    /// Frames across all shed requests.
+    shed_frames: AtomicU64,
+    /// Micro-batches served degraded (truncated reconstruction).
+    degraded_batches: AtomicU64,
+    /// Requests across all degraded micro-batches.
+    degraded_requests: AtomicU64,
     /// Stage attribution from the flight recorder: admission → dispatch.
     queue_wait: LatencyHistogram,
     /// Stage attribution: dispatch → kernel done.
@@ -341,6 +366,15 @@ pub struct ServeMetrics {
     frames: AtomicU64,
     batches: AtomicU64,
     errors: AtomicU64,
+    /// Requests shed for blowing their deadline, across all tenants.
+    shed: AtomicU64,
+    /// Requests answered with a degraded (truncated) reconstruction,
+    /// across all tenants.
+    degraded: AtomicU64,
+    /// Whether the scheduler is currently in brownout (gauge, 0 or 1).
+    brownout: AtomicU64,
+    /// Inactive→active brownout transitions observed.
+    brownout_entries: AtomicU64,
     session_steps: AtomicU64,
     /// Streaming sessions currently open (gauge).
     sessions_open: AtomicU64,
@@ -369,6 +403,10 @@ impl ServeMetrics {
             frames: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            brownout: AtomicU64::new(0),
+            brownout_entries: AtomicU64::new(0),
             session_steps: AtomicU64::new(0),
             sessions_open: AtomicU64::new(0),
             max_sessions_open: AtomicU64::new(0),
@@ -571,6 +609,55 @@ impl ServeMetrics {
             });
     }
 
+    /// Records `requests` requests / `frames` frames shed for tenant
+    /// `name` because their deadline budget was blown
+    /// ([`crate::OverrunAction::Shed`]). Drains the same request count
+    /// from the tenant's queue-depth gauge and counts each shed request
+    /// as a request that completed with an error (every shed ticket
+    /// completes with the typed [`crate::ServeError::DeadlineShed`]), so
+    /// `requests == served + errors` accounting stays exact.
+    pub fn record_shed(&self, name: &str, requests: u64, frames: u64) {
+        self.shed.fetch_add(requests, Ordering::Relaxed);
+        self.errors.fetch_add(requests, Ordering::Relaxed);
+        let tenant = self.tenant(name);
+        tenant.shed_requests.fetch_add(requests, Ordering::Relaxed);
+        tenant.shed_frames.fetch_add(frames, Ordering::Relaxed);
+        let _ = tenant
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |depth| {
+                Some(depth.saturating_sub(requests))
+            });
+    }
+
+    /// Records one micro-batch of `requests` requests served degraded
+    /// (reconstructed against a truncated deployment) for tenant `name`.
+    /// Flush accounting — batch counters and the queue-depth drain — is
+    /// still [`ServeMetrics::record_tenant_batch`]'s job; this only adds
+    /// the degraded attribution on top.
+    pub fn record_degraded_batch(&self, name: &str, requests: u64) {
+        self.degraded.fetch_add(requests, Ordering::Relaxed);
+        let tenant = self.tenant(name);
+        tenant.degraded_batches.fetch_add(1, Ordering::Relaxed);
+        tenant
+            .degraded_requests
+            .fetch_add(requests, Ordering::Relaxed);
+    }
+
+    /// Sets the brownout gauge, counting inactive→active transitions in
+    /// `brownout_entries` so flap frequency is observable even between
+    /// snapshots.
+    pub fn set_brownout(&self, active: bool) {
+        let prev = self.brownout.swap(active as u64, Ordering::Relaxed);
+        if active && prev == 0 {
+            self.brownout_entries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the brownout gauge is currently raised.
+    pub fn in_brownout(&self) -> bool {
+        self.brownout.load(Ordering::Relaxed) != 0
+    }
+
     /// Tenant `name`'s current pending-queue depth (0 for an unseen
     /// tenant) — what [`Server::try_submit`] admission control reads.
     ///
@@ -661,6 +748,10 @@ impl ServeMetrics {
             frames: self.frames.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            brownout: self.brownout.load(Ordering::Relaxed) != 0,
+            brownout_entries: self.brownout_entries.load(Ordering::Relaxed),
             session_steps: self.session_steps.load(Ordering::Relaxed),
             sessions_open: self.sessions_open.load(Ordering::Relaxed),
             max_sessions_open: self.max_sessions_open.load(Ordering::Relaxed),
@@ -696,6 +787,10 @@ impl ServeMetrics {
                             queue_depth: t.queue_depth.load(Ordering::Relaxed),
                             max_queue_depth: t.max_queue_depth.load(Ordering::Relaxed),
                             session_steps: t.session_steps.load(Ordering::Relaxed),
+                            shed_requests: t.shed_requests.load(Ordering::Relaxed),
+                            shed_frames: t.shed_frames.load(Ordering::Relaxed),
+                            degraded_batches: t.degraded_batches.load(Ordering::Relaxed),
+                            degraded_requests: t.degraded_requests.load(Ordering::Relaxed),
                             queue_wait: t.queue_wait.snapshot(),
                             execute: t.execute.snapshot(),
                             respond: t.respond.snapshot(),
@@ -810,6 +905,15 @@ pub struct TenantSnapshot {
     pub max_queue_depth: u64,
     /// Streaming session steps served against this tenant's deployments.
     pub session_steps: u64,
+    /// Requests shed for blowing their deadline (each completed with the
+    /// retryable [`crate::ServeError::DeadlineShed`]).
+    pub shed_requests: u64,
+    /// Frames across all shed requests.
+    pub shed_frames: u64,
+    /// Micro-batches served degraded (truncated reconstruction).
+    pub degraded_batches: u64,
+    /// Requests across all degraded micro-batches.
+    pub degraded_requests: u64,
     /// Raw bucket counts of the admission→dispatch stage latency (from
     /// the flight recorder; empty histogram without one).
     pub queue_wait: HistogramSnapshot,
@@ -850,6 +954,16 @@ pub struct MetricsSnapshot {
     pub batches: u64,
     /// Requests that completed with an error.
     pub errors: u64,
+    /// Requests shed for blowing their deadline, across all tenants
+    /// (also counted in `errors`).
+    pub shed: u64,
+    /// Requests answered with a degraded (truncated) reconstruction,
+    /// across all tenants.
+    pub degraded: u64,
+    /// Whether the scheduler was in brownout when the snapshot was taken.
+    pub brownout: bool,
+    /// Inactive→active brownout transitions observed so far.
+    pub brownout_entries: u64,
     /// Streaming tracker-session steps served.
     pub session_steps: u64,
     /// Streaming sessions open when the snapshot was taken.
@@ -925,6 +1039,41 @@ mod tests {
     }
 
     #[test]
+    fn nan_quantile_is_zero_in_both_impls() {
+        let h = LatencyHistogram::new();
+        for us in [3u64, 30, 300] {
+            h.record(Duration::from_micros(us));
+        }
+        // A NaN rank is a caller bug: both the live histogram and its
+        // snapshot report Duration::ZERO instead of silently resolving
+        // to the minimum bucket.
+        assert_eq!(h.quantile(f64::NAN), Duration::ZERO);
+        assert_eq!(h.snapshot().quantile(f64::NAN), Duration::ZERO);
+        // Infinities still clamp to the [0, 1] rank range as before.
+        assert_eq!(h.quantile(f64::INFINITY), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NEG_INFINITY), h.quantile(0.0));
+        assert_eq!(
+            h.snapshot().quantile(f64::INFINITY),
+            h.snapshot().quantile(1.0)
+        );
+    }
+
+    #[test]
+    fn mean_rounds_to_nearest_in_both_impls() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(1));
+        h.record(Duration::from_nanos(2));
+        // 3 ns over 2 samples is 1.5 ns: round to 2 ns, not truncate to 1.
+        assert_eq!(h.mean(), Duration::from_nanos(2));
+        assert_eq!(h.snapshot().mean(), Duration::from_nanos(2));
+        // Exact halves round up; below-half fractions round down.
+        h.record(Duration::from_nanos(1));
+        // 4 ns over 3 samples = 1.33 ns → 1 ns.
+        assert_eq!(h.mean(), Duration::from_nanos(1));
+        assert_eq!(h.snapshot().mean(), Duration::from_nanos(1));
+    }
+
+    #[test]
     fn histogram_overflow_bucket_reports_last_bound() {
         let h = LatencyHistogram::new();
         h.record(Duration::from_secs(100));
@@ -997,6 +1146,42 @@ mod tests {
         // wrapping the gauge.
         m.record_tenant_batch("beta", 5, 5);
         assert_eq!(m.tenant_queue_depth("beta"), 0);
+    }
+
+    #[test]
+    fn shed_and_degraded_work_is_accounted_per_tenant() {
+        let m = ServeMetrics::new(1);
+        for _ in 0..4 {
+            m.record_tenant_enqueued("bulk");
+        }
+        // Three requests shed: drained from the gauge, attributed to the
+        // tenant, counted globally both as sheds and as errors.
+        m.record_shed("bulk", 3, 24);
+        assert_eq!(m.tenant_queue_depth("bulk"), 1);
+        // The surviving request flushes as a degraded batch.
+        m.record_tenant_batch("bulk", 1, 8);
+        m.record_degraded_batch("bulk", 1);
+        m.set_brownout(true);
+        let s = m.snapshot();
+        assert_eq!(s.shed, 3);
+        assert_eq!(s.errors, 3);
+        assert_eq!(s.degraded, 1);
+        assert!(s.brownout);
+        assert_eq!(s.brownout_entries, 1);
+        let bulk = &s.tenants["bulk"];
+        assert_eq!(bulk.shed_requests, 3);
+        assert_eq!(bulk.shed_frames, 24);
+        assert_eq!(bulk.degraded_batches, 1);
+        assert_eq!(bulk.degraded_requests, 1);
+        assert_eq!(bulk.queue_depth, 0);
+        // Re-asserting an active brownout is not a new entry; a full
+        // exit/enter cycle is.
+        m.set_brownout(true);
+        m.set_brownout(false);
+        m.set_brownout(true);
+        let s = m.snapshot();
+        assert_eq!(s.brownout_entries, 2);
+        assert!(m.in_brownout());
     }
 
     #[test]

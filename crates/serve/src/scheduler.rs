@@ -60,6 +60,29 @@
 //! back to the global policy; overrides are keyed by name, so they follow
 //! the tenant across hot-swap version bumps.
 //!
+//! # Deadline QoS and brownout
+//!
+//! Two overload mechanisms ride on the same policy, both judged at the
+//! start of every tick, before the fairness scan:
+//!
+//! - **Load shedding.** A tenant with [`BatchPolicy::deadline`]`: Some`
+//!   and [`OverrunAction::Shed`] has every queued job whose budget is
+//!   already blown popped into a [`Decision::Shed`] — at the exact
+//!   deadline instant (`enqueued + deadline <= now`), never earlier. A
+//!   blown job is never served; the driver completes it with a typed
+//!   retryable error.
+//! - **Brownout.** [`Scheduler::set_brownout`] installs pending-frame
+//!   watermarks with hysteresis: reaching [`BrownoutPolicy::enter_above`]
+//!   total pending frames enters brownout, falling back to
+//!   [`BrownoutPolicy::exit_below`] exits it, and the band between the
+//!   two holds the current state so the mode cannot flap. While in
+//!   brownout (and whenever one of its jobs overran its deadline), an
+//!   [`OverrunAction::Degrade`]` { keep_k }` tenant's flushes carry
+//!   [`FlushDecision::degraded`]` = Some(keep_k)`: the driver serves
+//!   them against a `keep_k`-mode truncated deployment — a coarse map on
+//!   time instead of an exact one late, per the EigenMaps low-rank
+//!   tradeoff.
+//!
 //! # Example (mock clock)
 //!
 //! ```
@@ -112,7 +135,7 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::time::Duration;
 
-use crate::trace::{FlightRecorder, Stage, TraceRef};
+use crate::trace::{FlightRecorder, RejectReason, Stage, TraceRef};
 
 /// When the micro-batcher flushes a coalesced batch, enforced **per
 /// tenant** (per pinned `(name, version)` queue).
@@ -177,6 +200,19 @@ pub struct BatchPolicy {
     ///
     /// [`Server::set_tenant_policy`]: crate::Server::set_tenant_policy
     pub weight: u32,
+    /// End-to-end latency budget for this tenant's requests, measured
+    /// from their enqueue stamp. `None` (the default) disables deadline
+    /// judging. A request still queued once the budget elapses is
+    /// *overrun* and handled per [`BatchPolicy::overrun`]: shed at the
+    /// next [`Scheduler::tick`], or served degraded. The budget should be
+    /// at least [`max_delay`](BatchPolicy::max_delay) — below it, a
+    /// `Shed` tenant's requests expire before the coalescing deadline
+    /// ever flushes them.
+    pub deadline: Option<Duration>,
+    /// What to do with this tenant's overrun work (and, for
+    /// [`OverrunAction::Degrade`], with its batches while the scheduler
+    /// is in brownout). See [`OverrunAction`].
+    pub overrun: OverrunAction,
 }
 
 impl Default for BatchPolicy {
@@ -187,8 +223,57 @@ impl Default for BatchPolicy {
             max_delay: Duration::from_millis(2),
             max_pending_per_tenant: 1024,
             weight: 1,
+            deadline: None,
+            overrun: OverrunAction::Shed,
         }
     }
+}
+
+/// How a tenant's work is handled once its [`BatchPolicy::deadline`] is
+/// blown — the QoS half of the policy.
+///
+/// `Shed` is the premium-tier choice: a control loop that missed its
+/// window wants the typed refusal *now* (and will retry with fresh
+/// readings) rather than a stale answer late. `Degrade` is the bulk-tier
+/// choice: serve the request anyway, but against a
+/// [`truncated`](eigenmaps_core::Deployment::truncated) `keep_k`-mode
+/// deployment — a coarse map on time instead of an exact one late.
+/// `Degrade` tenants are also the ones brownout downgrades: while the
+/// scheduler is in brownout (see [`BrownoutPolicy`]), *every* flush of a
+/// `Degrade` tenant carries the degrade marker, deadline blown or not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OverrunAction {
+    /// Drop overrun requests at tick time: the scheduler emits
+    /// [`Decision::Shed`] and the driver completes them with a typed
+    /// retryable error.
+    Shed,
+    /// Serve overrun (and in-brownout) batches against a deployment
+    /// truncated to its `keep_k` strongest modes.
+    Degrade {
+        /// How many eigenmode coefficients the degraded deployment
+        /// keeps (clamped by the driver to the deployment's own `k`).
+        keep_k: usize,
+    },
+}
+
+/// Brownout hysteresis on the scheduler's total pending frames.
+///
+/// At the start of every [`Scheduler::tick`], the scheduler compares its
+/// pending-frame total against this band: **enter** brownout when the
+/// total reaches `enter_above`, **exit** once it falls back to
+/// `exit_below` or less. The gap between the two watermarks is what
+/// keeps the mode from flapping — between them the current state holds.
+/// While in brownout, every flush of an [`OverrunAction::Degrade`]
+/// tenant carries [`FlushDecision::degraded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrownoutPolicy {
+    /// Enter brownout when pending frames reach this high watermark.
+    pub enter_above: usize,
+    /// Exit brownout once pending frames fall to this low watermark or
+    /// below. Must be below `enter_above` for the hysteresis band to
+    /// exist; an inverted band degenerates to judging `enter_above`
+    /// alone.
+    pub exit_below: usize,
 }
 
 /// Identity of one pending queue: a deployment name at the version pinned
@@ -274,6 +359,29 @@ pub struct FlushDecision<T> {
     /// The job payloads, oldest first — for the serving driver these are
     /// the queued requests; tests use plain markers.
     pub jobs: Vec<T>,
+    /// `Some(keep_k)` when this batch must be served degraded against a
+    /// deployment truncated to `keep_k` modes: the tenant's
+    /// [`OverrunAction::Degrade`] fired, either because the scheduler is
+    /// in brownout or because a job in the batch overran its
+    /// [`BatchPolicy::deadline`]. `None` serves exact.
+    pub degraded: Option<usize>,
+}
+
+/// Requests the scheduler refused at tick time because their
+/// [`BatchPolicy::deadline`] was already blown and the tenant's overrun
+/// action is [`OverrunAction::Shed`]. The driver must still complete
+/// every job — with a typed retryable error, not silence (no lost
+/// tickets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShedDecision<T> {
+    /// Which pending queue the jobs were shed from.
+    pub tenant: TenantKey,
+    /// The deadline budget the jobs overran.
+    pub deadline: Duration,
+    /// Total frames across `jobs`.
+    pub frames: usize,
+    /// The shed job payloads, oldest first.
+    pub jobs: Vec<T>,
 }
 
 /// One granted stream step: the session lane it belongs to and its job
@@ -296,6 +404,8 @@ pub enum Decision<T> {
     Batch(FlushDecision<T>),
     /// Execute one stream step.
     Step(StepDecision<T>),
+    /// Complete these deadline-blown jobs with a typed retryable error.
+    Shed(ShedDecision<T>),
 }
 
 impl<T> Decision<T> {
@@ -303,7 +413,7 @@ impl<T> Decision<T> {
     pub fn as_batch(&self) -> Option<&FlushDecision<T>> {
         match self {
             Decision::Batch(d) => Some(d),
-            Decision::Step(_) => None,
+            _ => None,
         }
     }
 
@@ -311,7 +421,15 @@ impl<T> Decision<T> {
     pub fn as_step(&self) -> Option<&StepDecision<T>> {
         match self {
             Decision::Step(d) => Some(d),
-            Decision::Batch(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The shed decision, if this is one.
+    pub fn as_shed(&self) -> Option<&ShedDecision<T>> {
+        match self {
+            Decision::Shed(d) => Some(d),
+            _ => None,
         }
     }
 
@@ -319,7 +437,7 @@ impl<T> Decision<T> {
     pub fn into_batch(self) -> Option<FlushDecision<T>> {
         match self {
             Decision::Batch(d) => Some(d),
-            Decision::Step(_) => None,
+            _ => None,
         }
     }
 
@@ -327,7 +445,15 @@ impl<T> Decision<T> {
     pub fn into_step(self) -> Option<StepDecision<T>> {
         match self {
             Decision::Step(d) => Some(d),
-            Decision::Batch(_) => None,
+            _ => None,
+        }
+    }
+
+    /// Consumes into the shed decision, if this is one.
+    pub fn into_shed(self) -> Option<ShedDecision<T>> {
+        match self {
+            Decision::Shed(d) => Some(d),
+            _ => None,
         }
     }
 }
@@ -381,6 +507,11 @@ pub struct Scheduler<T> {
     /// timestamp [`Scheduler::drain`] (which takes no clock) stamps its
     /// coalesce events with.
     last_now: Duration,
+    /// Brownout watermarks; `None` disables brownout entirely.
+    brownout: Option<BrownoutPolicy>,
+    /// Whether the scheduler is currently in brownout. Re-judged at the
+    /// start of every tick under the hysteresis band.
+    in_brownout: bool,
 }
 
 impl<T> Scheduler<T> {
@@ -394,6 +525,8 @@ impl<T> Scheduler<T> {
             rotation: VecDeque::new(),
             recorder: None,
             last_now: Duration::ZERO,
+            brownout: None,
+            in_brownout: false,
         }
     }
 
@@ -430,6 +563,27 @@ impl<T> Scheduler<T> {
     /// installed, else the global policy.
     pub fn tenant_policy(&self, name: &str) -> BatchPolicy {
         *self.overrides.get(name).unwrap_or(&self.policy)
+    }
+
+    /// Installs (`Some`) or disables (`None`) brownout watermarks. State
+    /// is re-judged at the start of the next [`Scheduler::tick`];
+    /// disabling while in brownout exits immediately.
+    pub fn set_brownout(&mut self, policy: Option<BrownoutPolicy>) {
+        self.brownout = policy;
+        if policy.is_none() {
+            self.in_brownout = false;
+        }
+    }
+
+    /// The installed brownout watermarks, if any.
+    pub fn brownout_policy(&self) -> Option<BrownoutPolicy> {
+        self.brownout
+    }
+
+    /// Whether the scheduler is currently in brownout (as of the last
+    /// tick's judgment).
+    pub fn in_brownout(&self) -> bool {
+        self.in_brownout
     }
 
     /// The policy in force for one pinned tenant queue.
@@ -506,9 +660,19 @@ impl<T> Scheduler<T> {
     /// flushes. Readiness is monotone within a tick (fixed `now`, no
     /// submits, queues only shrink), so one inspection per non-ready lane
     /// is sufficient.
+    ///
+    /// QoS runs first, before the fairness scan: brownout state is
+    /// re-judged once against the pending-frame watermarks
+    /// ([`Scheduler::set_brownout`]), then every `Shed`-tenant job whose
+    /// [`BatchPolicy::deadline`] is blown at `now` is popped into a
+    /// [`Decision::Shed`] — a blown job is never served. Shedding fires
+    /// at the exact deadline instant: a job enqueued at `t` with budget
+    /// `d` is shed by `tick(t + d)` and untouched by any earlier tick.
     pub fn tick(&mut self, now: Duration) -> Vec<Decision<T>> {
         self.last_now = self.last_now.max(now);
         let mut decisions = Vec::new();
+        self.judge_brownout();
+        self.shed_expired(now, &mut decisions);
         let mut idx = 0usize;
         let mut since_grant = 0usize;
         while since_grant < self.rotation.len() {
@@ -517,8 +681,12 @@ impl<T> Scheduler<T> {
             }
             // Granting removes the lane at `idx` (re-appending it at the
             // back while backlogged), shifting the next candidate into
-            // `idx` — don't advance after a grant.
-            match &self.rotation[idx] {
+            // `idx` — don't advance after a grant. The one exception is a
+            // granted lane that was already at the rotation's back:
+            // re-appending leaves it at `idx`, so wrap the scan to the
+            // front instead of re-inspecting it — the documented order
+            // visits every other lane before a granted lane's next turn.
+            let granted = match &self.rotation[idx] {
                 LaneKey::Tenant(key) => match self.readiness(key, now) {
                     Some(reason) => {
                         let key = key.clone();
@@ -537,21 +705,113 @@ impl<T> Scheduler<T> {
                                 None => break,
                             }
                         }
-                        since_grant = 0;
+                        Some(LaneKey::Tenant(key))
                     }
-                    None => {
-                        idx += 1;
-                        since_grant += 1;
-                    }
+                    None => None,
                 },
                 LaneKey::Stream(id) => {
                     let id = *id;
                     decisions.push(Decision::Step(self.take_step(id)));
+                    Some(LaneKey::Stream(id))
+                }
+            };
+            match granted {
+                Some(lane) => {
                     since_grant = 0;
+                    if self.rotation.get(idx) == Some(&lane) {
+                        idx = 0;
+                    }
+                }
+                None => {
+                    idx += 1;
+                    since_grant += 1;
                 }
             }
         }
         decisions
+    }
+
+    /// Re-judges brownout state against the pending-frame watermarks,
+    /// with hysteresis: enter at `enter_above`, exit at `exit_below`,
+    /// hold in between.
+    fn judge_brownout(&mut self) {
+        let Some(policy) = self.brownout else {
+            return;
+        };
+        let pending = self.pending_frames();
+        if self.in_brownout {
+            if pending <= policy.exit_below {
+                self.in_brownout = false;
+            }
+        } else if pending >= policy.enter_above {
+            self.in_brownout = true;
+        }
+    }
+
+    /// Pops every deadline-blown job belonging to a `Shed` tenant into
+    /// one [`ShedDecision`] per tenant, in rotation order. Blown jobs
+    /// are a queue prefix under a monotone submit clock, so the pop
+    /// stops at the first job still within budget. Traced sheds emit
+    /// [`Stage::Rejected`] with [`RejectReason::DeadlineShed`] at `now`;
+    /// the driver stamps the terminal reject on the card itself.
+    fn shed_expired(&mut self, now: Duration, decisions: &mut Vec<Decision<T>>) {
+        let lanes: Vec<TenantKey> = self
+            .rotation
+            .iter()
+            .filter_map(|lane| match lane {
+                LaneKey::Tenant(key) => {
+                    let policy = self.policy_for(key);
+                    (policy.deadline.is_some() && policy.overrun == OverrunAction::Shed)
+                        .then(|| key.clone())
+                }
+                LaneKey::Stream(_) => None,
+            })
+            .collect();
+        for key in lanes {
+            let budget = self
+                .policy_for(&key)
+                .deadline
+                .expect("lane filtered on deadline");
+            let Some(queue) = self.tenants.get_mut(&key) else {
+                continue;
+            };
+            let mut jobs = Vec::new();
+            let mut frames = 0usize;
+            while let Some(job) = queue.jobs.front() {
+                let blown = job
+                    .enqueued_at
+                    .checked_add(budget)
+                    .is_some_and(|deadline| deadline <= now);
+                if !blown {
+                    break;
+                }
+                let job = queue.jobs.pop_front().expect("front exists");
+                queue.frames -= job.frames;
+                frames += job.frames;
+                if job.trace.is_traced() {
+                    if let Some(recorder) = &self.recorder {
+                        recorder.event(job.trace, Stage::Rejected(RejectReason::DeadlineShed), now);
+                    }
+                }
+                jobs.push(job.payload);
+            }
+            if jobs.is_empty() {
+                continue;
+            }
+            if queue.jobs.is_empty() {
+                self.tenants.remove(&key);
+                let lane = LaneKey::Tenant(key.clone());
+                if let Some(pos) = self.rotation.iter().position(|k| k == &lane) {
+                    self.rotation.remove(pos);
+                }
+            }
+            decisions.push(Decision::Shed(ShedDecision {
+                tenant: key,
+                deadline: budget,
+                frames,
+                jobs,
+            }));
+        }
     }
 
     /// Flushes everything still pending (shutdown), round-robin across
@@ -581,7 +841,19 @@ impl<T> Scheduler<T> {
             .iter()
             .filter_map(|(key, q)| {
                 let job = q.jobs.front()?;
-                job.enqueued_at.checked_add(self.policy_for(key).max_delay)
+                let policy = self.policy_for(key);
+                let flush = job.enqueued_at.checked_add(policy.max_delay);
+                // A `Shed` tenant's request deadline is a tick instant
+                // too: the driver must wake to shed it on time even when
+                // the budget is tighter than the coalescing delay.
+                let shed = match (policy.deadline, policy.overrun) {
+                    (Some(budget), OverrunAction::Shed) => job.enqueued_at.checked_add(budget),
+                    _ => None,
+                };
+                match (flush, shed) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                }
             })
             .min()
     }
@@ -652,6 +924,15 @@ impl<T> Scheduler<T> {
         now: Duration,
     ) -> FlushDecision<T> {
         let policy = *self.policy_for(key);
+        // A `Degrade` tenant's batch is marked degraded while the
+        // scheduler is in brownout, or when any job folded into it has
+        // already overrun the tenant's deadline (serve coarse on time
+        // rather than exact late).
+        let degrade_keep = match policy.overrun {
+            OverrunAction::Degrade { keep_k } => Some(keep_k),
+            OverrunAction::Shed => None,
+        };
+        let mut degraded = degrade_keep.filter(|_| self.in_brownout);
         let queue = self.tenants.get_mut(key).expect("flushed tenant exists");
         let mut jobs = Vec::new();
         let mut traces = Vec::new();
@@ -659,6 +940,17 @@ impl<T> Scheduler<T> {
         while let Some(job) = queue.jobs.pop_front() {
             frames += job.frames;
             queue.frames -= job.frames;
+            if degraded.is_none() {
+                if let (Some(keep), Some(budget)) = (degrade_keep, policy.deadline) {
+                    let blown = job
+                        .enqueued_at
+                        .checked_add(budget)
+                        .is_some_and(|deadline| deadline <= now);
+                    if blown {
+                        degraded = Some(keep);
+                    }
+                }
+            }
             if job.trace.is_traced() {
                 traces.push(job.trace);
             }
@@ -691,6 +983,7 @@ impl<T> Scheduler<T> {
             reason,
             frames,
             jobs,
+            degraded,
         }
     }
 
@@ -840,6 +1133,7 @@ mod tests {
             .map(|d| match d {
                 Decision::Batch(b) => b.tenant.name.clone(),
                 Decision::Step(s) => format!("{}", s.stream),
+                Decision::Shed(s) => format!("shed:{}", s.tenant.name),
             })
             .collect();
         assert_eq!(
@@ -948,6 +1242,176 @@ mod tests {
         let d = sched.tick(Duration::ZERO);
         assert_eq!(d.len(), 2, "two full batches, fifth job under budget");
         assert_eq!(sched.tenant_depth(&t), 1);
+    }
+
+    #[test]
+    fn shed_fires_at_the_exact_deadline_instant() {
+        // Deadline tighter than the coalescing delay: the job expires
+        // before it would ever flush.
+        let mut sched: Scheduler<u8> = Scheduler::new(BatchPolicy {
+            deadline: Some(us(500)),
+            overrun: OverrunAction::Shed,
+            ..policy(1 << 20, 100, 1000)
+        });
+        let t = TenantKey::new("ctl", 1);
+        sched.submit(Duration::ZERO, t.clone(), 4, 7);
+        // The shed instant is a wake-up deadline.
+        assert_eq!(sched.next_deadline(), Some(us(500)));
+        // One nanosecond early: untouched.
+        assert!(sched.tick(us(500) - Duration::from_nanos(1)).is_empty());
+        assert_eq!(sched.tenant_depth(&t), 1);
+        // Exactly at the instant: shed, never served.
+        let d = sched.tick(us(500));
+        assert_eq!(d.len(), 1);
+        let shed = d[0].as_shed().unwrap();
+        assert_eq!(shed.tenant, t);
+        assert_eq!(shed.deadline, us(500));
+        assert_eq!(shed.frames, 4);
+        assert_eq!(shed.jobs, vec![7]);
+        assert!(sched.is_idle());
+    }
+
+    #[test]
+    fn shed_pops_only_the_blown_prefix() {
+        let mut sched: Scheduler<u8> = Scheduler::new(BatchPolicy {
+            deadline: Some(us(100)),
+            overrun: OverrunAction::Shed,
+            ..policy(1 << 20, 100, 1_000_000)
+        });
+        let t = TenantKey::new("ctl", 1);
+        sched.submit(Duration::ZERO, t.clone(), 1, 0);
+        sched.submit(us(50), t.clone(), 1, 1);
+        sched.submit(us(90), t.clone(), 1, 2);
+        // At 160 µs the 0 µs and 50 µs arrivals have blown their 100 µs
+        // budget; the 90 µs arrival (due at 190 µs) has not.
+        let d = sched.tick(us(160));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].as_shed().unwrap().jobs, vec![0, 1]);
+        assert_eq!(sched.tenant_depth(&t), 1, "in-budget job stays queued");
+        assert_eq!(sched.pending_frames(), 1);
+    }
+
+    #[test]
+    fn degrade_tenant_marks_overrun_batches_instead_of_shedding() {
+        let mut sched: Scheduler<u8> = Scheduler::new(BatchPolicy {
+            deadline: Some(us(100)),
+            overrun: OverrunAction::Degrade { keep_k: 3 },
+            ..policy(1 << 20, 100, 200)
+        });
+        let t = TenantKey::new("bulk", 1);
+        sched.submit(Duration::ZERO, t.clone(), 2, 0);
+        // Past both the flush delay and the request deadline: the job is
+        // served (not shed), but degraded.
+        let d = sched.tick(us(300));
+        assert_eq!(d.len(), 1);
+        let batch = d[0].as_batch().unwrap();
+        assert_eq!(batch.reason, FlushReason::DeadlineExpired);
+        assert_eq!(batch.degraded, Some(3));
+        assert!(sched.is_idle());
+    }
+
+    #[test]
+    fn brownout_enters_and_exits_by_hysteresis() {
+        let mut sched: Scheduler<u8> = Scheduler::new(BatchPolicy {
+            overrun: OverrunAction::Degrade { keep_k: 2 },
+            ..policy(1 << 20, 4, 1_000_000)
+        });
+        sched.set_brownout(Some(BrownoutPolicy {
+            enter_above: 10,
+            exit_below: 2,
+        }));
+        let t = TenantKey::new("bulk", 1);
+        // 9 pending frames: under the high watermark, exact service.
+        for i in 0..3 {
+            sched.submit(Duration::ZERO, t.clone(), 3, i);
+        }
+        assert!(sched.tick(Duration::ZERO).is_empty());
+        assert!(!sched.in_brownout());
+        // A 4th submit crosses the 10-frame watermark AND the 4-request
+        // budget: the flush this tick is degraded.
+        sched.submit(Duration::ZERO, t.clone(), 3, 3);
+        let d = sched.tick(Duration::ZERO);
+        assert!(sched.in_brownout());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].as_batch().unwrap().degraded, Some(2));
+        assert!(sched.is_idle());
+        // Pending fell to 0 <= exit_below: the next tick exits brownout,
+        // and a fresh sub-watermark burst is served exact again.
+        assert!(sched.tick(us(5)).is_empty());
+        assert!(!sched.in_brownout());
+        for i in 0..4 {
+            sched.submit(us(10), t.clone(), 1, 10 + i);
+        }
+        let d = sched.tick(us(10));
+        assert!(!sched.in_brownout());
+        assert_eq!(d[0].as_batch().unwrap().degraded, None);
+    }
+
+    #[test]
+    fn brownout_holds_state_between_the_watermarks() {
+        let mut sched: Scheduler<u8> = Scheduler::new(policy(1 << 20, 100, 1_000_000));
+        sched.set_brownout(Some(BrownoutPolicy {
+            enter_above: 10,
+            exit_below: 2,
+        }));
+        let t = TenantKey::new("bulk", 1);
+        // 5 frames sits inside the band: out stays out.
+        sched.submit(Duration::ZERO, t.clone(), 5, 0);
+        sched.tick(Duration::ZERO);
+        assert!(!sched.in_brownout());
+        // Cross the high watermark: in.
+        sched.submit(Duration::ZERO, t.clone(), 6, 1);
+        sched.tick(Duration::ZERO);
+        assert!(sched.in_brownout());
+        // Back inside the band (5 frames after a drain to below 10 but
+        // above 2): in stays in — no flapping.
+        let mut sched2: Scheduler<u8> = Scheduler::new(policy(1 << 20, 100, 1_000_000));
+        sched2.set_brownout(Some(BrownoutPolicy {
+            enter_above: 10,
+            exit_below: 2,
+        }));
+        sched2.submit(Duration::ZERO, t.clone(), 11, 0);
+        sched2.tick(Duration::ZERO);
+        assert!(sched2.in_brownout());
+        // Disabling exits immediately.
+        sched.set_brownout(None);
+        assert!(!sched.in_brownout());
+    }
+
+    #[test]
+    fn granting_the_back_lane_wraps_the_scan_to_the_front() {
+        // Regression for the rotation-index bug: lane order [idle, deep]
+        // puts the deep-backlog lane at the rotation's back. Granting it
+        // re-appends it at the same index; the scan must wrap past the
+        // front lane before re-inspecting it, per the documented "every
+        // granted lane moves to the rotation's back" order.
+        let mut sched: Scheduler<u8> = Scheduler::new(policy(1 << 20, 100, 1_000_000));
+        sched.set_tenant_policy("deep", Some(policy(1 << 20, 1, 1_000_000)));
+        let idle = TenantKey::new("idle", 1);
+        let deep = TenantKey::new("deep", 1);
+        // idle enters the rotation first (front) but is never ready; deep
+        // sits at the back with a 4-job backlog, ready every inspection.
+        sched.submit(Duration::ZERO, idle.clone(), 1, 0);
+        for i in 0..4 {
+            sched.submit(Duration::ZERO, deep.clone(), 1, 10 + i);
+        }
+        let order: Vec<String> = sched
+            .tick(Duration::ZERO)
+            .iter()
+            .map(|d| d.as_batch().unwrap().tenant.name.clone())
+            .collect();
+        assert_eq!(order, vec!["deep", "deep", "deep", "deep"]);
+        assert_eq!(sched.tenant_depth(&idle), 1, "idle lane never granted");
+        // The rotation still holds idle at the front: a now-ready idle
+        // lane is granted before deep's next turn.
+        sched.submit(Duration::ZERO, deep.clone(), 1, 20);
+        sched.set_tenant_policy("idle", Some(policy(1 << 20, 1, 1_000_000)));
+        let order: Vec<String> = sched
+            .tick(Duration::ZERO)
+            .iter()
+            .map(|d| d.as_batch().unwrap().tenant.name.clone())
+            .collect();
+        assert_eq!(order, vec!["idle", "deep"]);
     }
 
     #[test]

@@ -77,6 +77,18 @@ impl StepTicket {
         self.version
     }
 
+    /// Whether the step was served degraded. Always `false` today:
+    /// session steps track against the session's pinned full-fidelity
+    /// deployment and never substitute a truncated one (a stream's
+    /// temporal filter must stay bitwise-continuous across brownout).
+    /// Mirrors [`Ticket::is_degraded`] so transports can report the flag
+    /// uniformly for both workload classes.
+    ///
+    /// [`Ticket::is_degraded`]: crate::Ticket::is_degraded
+    pub fn is_degraded(&self) -> bool {
+        false
+    }
+
     /// Whether the map is ready — [`StepTicket::try_wait`] would return it.
     pub fn is_ready(&self) -> bool {
         self.slot.is_ready()

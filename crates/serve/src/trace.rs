@@ -9,8 +9,13 @@
 //!
 //! ```text
 //! Admitted → Enqueued → Coalesced(N) → ShardDispatched → KernelDone → Responded
+//!     │                                                └→ Degraded(k') ─┘
 //!     └────────────────────────────────────────────────→ Rejected(reason)
 //! ```
+//!
+//! `Degraded(k')` is the brownout marker: the response was served, but
+//! against a deployment truncated to `k'` modes. `Rejected` with the
+//! `DeadlineShed` reason is the load-shedding terminal.
 //!
 //! Timestamps are [`Duration`]s on the server's injected monotonic clock
 //! ([`MonotonicClock`]) — the same seam the scheduler's deadline
@@ -82,15 +87,20 @@ pub enum RejectReason {
     Terminated,
     /// Execution failed (the error went back to the client).
     Failed,
+    /// The request overran its tenant's QoS deadline while queued and
+    /// was load-shed by the scheduler (typed retryable error to the
+    /// client).
+    DeadlineShed,
 }
 
 impl RejectReason {
-    /// Stable wire code (1–3) for this reason.
+    /// Stable wire code (1–4) for this reason.
     pub fn code(&self) -> u64 {
         match self {
             RejectReason::Saturated => 1,
             RejectReason::Terminated => 2,
             RejectReason::Failed => 3,
+            RejectReason::DeadlineShed => 4,
         }
     }
 
@@ -100,6 +110,7 @@ impl RejectReason {
             1 => Some(RejectReason::Saturated),
             2 => Some(RejectReason::Terminated),
             3 => Some(RejectReason::Failed),
+            4 => Some(RejectReason::DeadlineShed),
             _ => None,
         }
     }
@@ -128,10 +139,19 @@ pub enum Stage {
     Responded,
     /// The request ended without a response.
     Rejected(RejectReason),
+    /// The response was served **degraded**: reconstructed against a
+    /// deployment truncated to `keep_k` modes because the tenant's QoS
+    /// action is `Degrade` and the server was in brownout (or the
+    /// request overran its deadline). Emitted just before
+    /// [`Stage::Responded`]; non-terminal.
+    Degraded {
+        /// How many eigenmode coefficients the serving deployment kept.
+        keep_k: u32,
+    },
 }
 
 impl Stage {
-    /// Stable wire code (0–6) for this stage.
+    /// Stable wire code (0–7) for this stage.
     pub fn code(&self) -> u8 {
         match self {
             Stage::Admitted => 0,
@@ -141,16 +161,19 @@ impl Stage {
             Stage::KernelDone => 4,
             Stage::Responded => 5,
             Stage::Rejected(_) => 6,
+            Stage::Degraded { .. } => 7,
         }
     }
 
     /// The stage's argument: coalesced request count for
     /// [`Stage::Coalesced`], the [`RejectReason::code`] for
-    /// [`Stage::Rejected`], `0` otherwise.
+    /// [`Stage::Rejected`], the kept mode count for [`Stage::Degraded`],
+    /// `0` otherwise.
     pub fn arg(&self) -> u64 {
         match self {
             Stage::Coalesced { requests } => *requests as u64,
             Stage::Rejected(reason) => reason.code(),
+            Stage::Degraded { keep_k } => *keep_k as u64,
             _ => 0,
         }
     }
@@ -168,6 +191,9 @@ impl Stage {
             4 => Some(Stage::KernelDone),
             5 => Some(Stage::Responded),
             6 => Some(Stage::Rejected(RejectReason::from_code(arg)?)),
+            7 => Some(Stage::Degraded {
+                keep_k: u32::try_from(arg).ok()?,
+            }),
             _ => None,
         }
     }
@@ -183,6 +209,7 @@ impl std::fmt::Display for Stage {
             Stage::KernelDone => write!(f, "kernel-done"),
             Stage::Responded => write!(f, "responded"),
             Stage::Rejected(reason) => write!(f, "rejected({reason:?})"),
+            Stage::Degraded { keep_k } => write!(f, "degraded({keep_k})"),
         }
     }
 }
@@ -262,13 +289,20 @@ pub struct TraceExemplar {
 }
 
 /// Stage-slot indices on a [`TraceCard`] (== [`Stage::code`]).
-const STAGE_SLOTS: usize = 7;
+const STAGE_SLOTS: usize = 8;
 const SLOT_ADMITTED: usize = 0;
 const SLOT_COALESCED: usize = 2;
 const SLOT_DISPATCHED: usize = 3;
 const SLOT_KERNEL: usize = 4;
 const SLOT_RESPONDED: usize = 5;
 const SLOT_REJECTED: usize = 6;
+const SLOT_DEGRADED: usize = 7;
+
+/// Slot indices in lifecycle order — what exemplar timelines iterate.
+/// `Degraded` (slot 7, a late wire addition) happens between the kernel
+/// finishing and the response going out, so it sorts before the
+/// terminals despite its higher wire code.
+const LIFECYCLE_ORDER: [usize; STAGE_SLOTS] = [0, 1, 2, 3, 4, 7, 5, 6];
 
 /// One seqlock-style ring slot. `seq` advances `2·turn → 2·turn+1`
 /// (writer in progress) `→ 2·turn+2` (turn's payload published); readers
@@ -430,15 +464,17 @@ impl Shared {
         {
             return;
         }
-        let stages: Vec<(Stage, Duration)> = stamps
+        let stages: Vec<(Stage, Duration)> = LIFECYCLE_ORDER
             .iter()
-            .enumerate()
-            .filter_map(|(i, ns)| {
-                let ns = (*ns)?;
+            .filter_map(|&i| {
+                let ns = stamps[i]?;
                 let stage = match i {
                     SLOT_REJECTED => Stage::Rejected(RejectReason::from_code(card.reject_arg())?),
                     SLOT_COALESCED => Stage::Coalesced {
                         requests: card.coalesce_arg() as u32,
+                    },
+                    SLOT_DEGRADED => Stage::Degraded {
+                        keep_k: card.degrade_arg() as u32,
                     },
                     _ => Stage::from_wire(i as u8, 0)?,
                 };
@@ -463,7 +499,7 @@ struct CardState {
     id: u64,
     tenant: u32,
     stages: [AtomicU64; STAGE_SLOTS],
-    args: [AtomicU64; 2],
+    args: [AtomicU64; 3],
     finished: AtomicBool,
 }
 
@@ -474,6 +510,10 @@ impl CardState {
 
     fn reject_arg(&self) -> u64 {
         self.args[1].load(Ordering::Acquire)
+    }
+
+    fn degrade_arg(&self) -> u64 {
+        self.args[2].load(Ordering::Acquire)
     }
 
     /// Stamps `stage` at `at` on the card (slot only, no ring event) and
@@ -488,6 +528,9 @@ impl CardState {
             }
             Stage::Rejected(reason) => {
                 self.args[1].store(reason.code(), Ordering::Release);
+            }
+            Stage::Degraded { keep_k } => {
+                self.args[2].store(keep_k as u64, Ordering::Release);
             }
             _ => {}
         }
@@ -769,12 +812,39 @@ mod tests {
             Stage::Rejected(RejectReason::Saturated),
             Stage::Rejected(RejectReason::Terminated),
             Stage::Rejected(RejectReason::Failed),
+            Stage::Rejected(RejectReason::DeadlineShed),
+            Stage::Degraded { keep_k: 3 },
         ];
         for stage in stages {
             assert_eq!(Stage::from_wire(stage.code(), stage.arg()), Some(stage));
         }
-        assert_eq!(Stage::from_wire(7, 0), None);
+        assert_eq!(Stage::from_wire(8, 0), None);
         assert_eq!(Stage::from_wire(6, 9), None, "unknown reject reason");
+    }
+
+    #[test]
+    fn degraded_stage_slots_before_the_terminal_in_exemplars() {
+        let recorder = FlightRecorder::new(64);
+        let card = recorder.begin_at("bulk", us(0));
+        card.record_at(Stage::ShardDispatched, us(10));
+        card.record_at(Stage::KernelDone, us(20));
+        card.record_at(Stage::Degraded { keep_k: 2 }, us(21));
+        card.record_at(Stage::Responded, us(25));
+        let kept = &recorder.exemplars()["bulk"];
+        let stages: Vec<Stage> = kept[0].stages.iter().map(|(s, _)| *s).collect();
+        assert_eq!(
+            stages,
+            vec![
+                Stage::Admitted,
+                Stage::ShardDispatched,
+                Stage::KernelDone,
+                Stage::Degraded { keep_k: 2 },
+                Stage::Responded,
+            ],
+            "degraded sits between kernel-done and the terminal"
+        );
+        // Degraded is non-terminal: the trace finalized on Responded.
+        assert_eq!(kept[0].total, us(25));
     }
 
     #[test]

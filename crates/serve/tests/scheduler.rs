@@ -6,12 +6,17 @@
 //! Covered here: fairness rotation (no tenant starved across 10k
 //! interleaved submits of skewed traffic), latency-budget expiry at the
 //! exact deadline, batch-size recovery over the pre-PR FIFO coalescing
-//! baseline on the same two-tenant interleaved trace, and version pinning
-//! across a mid-queue hot swap.
+//! baseline on the same two-tenant interleaved trace, version pinning
+//! across a mid-queue hot swap, and the QoS tiers: exact-instant
+//! deadline shedding for `Shed` tenants next to brownout-degraded
+//! serving for `Degrade` tenants, on the same clock.
 
 use std::time::Duration;
 
-use eigenmaps_serve::{BatchPolicy, Decision, FlushReason, Scheduler, StreamId, TenantKey};
+use eigenmaps_serve::{
+    BatchPolicy, BrownoutPolicy, Decision, FlushReason, OverrunAction, Scheduler, StreamId,
+    TenantKey,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -316,6 +321,7 @@ fn stream_backlog_never_delays_batch_deadlines() {
                     assert_eq!(s.job, ('s', steps_granted), "steps in order");
                     steps_granted += 1;
                 }
+                Decision::Shed(s) => panic!("no deadline policy set, yet shed {s:?}"),
             }
         }
         assert_eq!(
@@ -436,6 +442,96 @@ fn drain_flushes_all_tenants_without_a_clock() {
         .iter()
         .all(|d| d.as_batch().unwrap().reason == FlushReason::Drain));
     assert!(sched.is_idle());
+}
+
+#[test]
+fn qos_tiers_shed_and_degrade_on_one_mock_clock() {
+    // Premium (Shed at a 100 µs deadline) and bulk (Degrade to keep_k=2
+    // under the same deadline, request budget 4) share one scheduler
+    // under a brownout band: enter at 8 pending frames, exit at 2.
+    // Every instant below is a mock-clock `Duration`; zero sleeps.
+    let base = policy(1 << 20, 1 << 10, Duration::from_millis(1));
+    let mut sched: Scheduler<u32> = Scheduler::new(base);
+    sched.set_tenant_policy(
+        "premium",
+        Some(BatchPolicy {
+            deadline: Some(us(100)),
+            overrun: OverrunAction::Shed,
+            ..base
+        }),
+    );
+    sched.set_tenant_policy(
+        "bulk",
+        Some(BatchPolicy {
+            max_batch_requests: 4,
+            deadline: Some(us(100)),
+            overrun: OverrunAction::Degrade { keep_k: 2 },
+            ..base
+        }),
+    );
+    sched.set_brownout(Some(BrownoutPolicy {
+        enter_above: 8,
+        exit_below: 2,
+    }));
+    let premium = TenantKey::new("premium", 1);
+    let bulk = TenantKey::new("bulk", 1);
+
+    // Light load below the watermark: nothing sheds, nothing degrades.
+    sched.submit(us(0), premium.clone(), 1, 0);
+    sched.submit(us(0), bulk.clone(), 1, 100);
+    assert!(sched.tick(us(0)).is_empty());
+    assert!(!sched.in_brownout());
+    // The shed instant is a wakeup deadline in its own right — tighter
+    // than either tenant's 1 ms coalescing budget.
+    assert_eq!(sched.next_deadline(), Some(us(100)));
+
+    // One nanosecond shy of the premium deadline: both jobs untouched.
+    assert!(sched.tick(us(100) - Duration::from_nanos(1)).is_empty());
+    assert_eq!(sched.pending_requests(), 2);
+
+    // Exactly at the deadline instant premium sheds. Bulk never sheds:
+    // its job stays queued for its own flush budget.
+    let decisions = sched.tick(us(100));
+    assert_eq!(decisions.len(), 1);
+    let shed = decisions[0].as_shed().unwrap();
+    assert_eq!(shed.tenant, premium);
+    assert_eq!(shed.deadline, us(100));
+    assert_eq!((shed.frames, shed.jobs.as_slice()), (1, &[100 - 100][..]));
+    assert_eq!(sched.tenant_depth(&bulk), 1);
+
+    // Bulk's coalescing budget expires at 1 ms. Its deadline blew 900 µs
+    // ago, so the flush carries the degrade marker even though the
+    // scheduler never entered brownout: coarse on time, not exact late.
+    let decisions = sched.tick(us(1_000));
+    assert_eq!(decisions.len(), 1);
+    let flush = decisions[0].as_batch().unwrap();
+    assert_eq!(flush.tenant, bulk);
+    assert_eq!(flush.reason, FlushReason::DeadlineExpired);
+    assert_eq!(flush.degraded, Some(2));
+    assert!(sched.is_idle());
+    assert!(!sched.in_brownout());
+
+    // Backlog surge: 8 bulk frames reach the enter watermark. The same
+    // tick enters brownout and flushes two request-budget batches, both
+    // degraded although no job's deadline has blown yet.
+    for i in 0..8u32 {
+        sched.submit(us(2_000), bulk.clone(), 1, 200 + i);
+    }
+    let decisions = sched.tick(us(2_000));
+    assert!(sched.in_brownout());
+    assert_eq!(decisions.len(), 2);
+    for d in &decisions {
+        let flush = d.as_batch().unwrap();
+        assert_eq!(flush.reason, FlushReason::RequestBudget);
+        assert_eq!(flush.degraded, Some(2), "brownout degrades bulk");
+        assert_eq!(flush.jobs.len(), 4);
+    }
+    assert!(sched.is_idle());
+
+    // Brownout is judged once per tick: the drain above leaves pending
+    // at 0 (<= exit_below), so the *next* tick exits the mode.
+    assert!(sched.tick(us(2_001)).is_empty());
+    assert!(!sched.in_brownout());
 }
 
 #[test]

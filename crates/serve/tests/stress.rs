@@ -18,6 +18,11 @@
 //! * the metrics ledger balances: zero errors, every admitted request
 //!   flushed, every submitted step executed, per-tenant queue-depth
 //!   gauges drained to zero and the session gauge back to zero.
+//!
+//! A second lane replays a QoS overload (premium `Shed` tier next to a
+//! brownout-degraded bulk tier) and checks the same discipline: every
+//! ticket completes — exact, degraded-bitwise, or typed shed — and the
+//! ledger accounts each outcome exactly.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -337,6 +342,235 @@ fn seeded_schedules_keep_the_server_sound() {
     };
     for seed in 0..seeds {
         stress_schedule(seed);
+    }
+}
+
+/// One QoS overload schedule: 4 client threads hammer a premium `Shed`
+/// tenant (sku-a) and a bulk `Degrade` tenant (sku-b) sharing one
+/// batcher under a 1-frame brownout watermark. Every ticket must
+/// complete — exact maps, degraded-bitwise maps, or a typed retryable
+/// `DeadlineShed` — and the metrics ledger must account each outcome
+/// exactly: `submitted == served + shed`, no other errors, queues
+/// drained.
+fn qos_overload_schedule(seed: u64) {
+    let fleet = fleet();
+    let policy = BatchPolicy {
+        max_batch_frames: 24,
+        max_batch_requests: 6,
+        max_delay: Duration::from_micros(300),
+        max_pending_per_tenant: 1 << 12,
+        ..BatchPolicy::default()
+    };
+    let server = Arc::new(Server::with_policy(Arc::clone(&fleet.registry), 2, policy));
+    // Even seeds shed premium at a zero deadline — every premium request
+    // refused, deterministically. Odd seeds use 150 µs, splitting
+    // premium outcomes by real queue wait. Bulk degrades to its
+    // strongest mode; with a 1-frame enter watermark any tick with work
+    // pending is a brownout tick, so every bulk batch serves degraded.
+    let premium_deadline = if seed.is_multiple_of(2) {
+        Duration::ZERO
+    } else {
+        Duration::from_micros(150)
+    };
+    server
+        .set_tenant_policy(
+            fleet.names[0],
+            Some(BatchPolicy {
+                deadline: Some(premium_deadline),
+                overrun: OverrunAction::Shed,
+                ..policy
+            }),
+        )
+        .unwrap();
+    server
+        .set_tenant_policy(
+            fleet.names[1],
+            Some(BatchPolicy {
+                deadline: Some(Duration::from_secs(60)),
+                overrun: OverrunAction::Degrade { keep_k: 1 },
+                ..policy
+            }),
+        )
+        .unwrap();
+    server
+        .set_brownout(Some(BrownoutPolicy {
+            enter_above: 1,
+            exit_below: 0,
+        }))
+        .unwrap();
+
+    let truth: [Arc<Vec<ThermalMap>>; 2] = [
+        Arc::new(
+            fleet.deployments[0]
+                .reconstruct_batch(&fleet.frames[0])
+                .unwrap(),
+        ),
+        Arc::new(
+            fleet.deployments[1]
+                .reconstruct_batch(&fleet.frames[1])
+                .unwrap(),
+        ),
+    ];
+    let coarse: Arc<Vec<ThermalMap>> = Arc::new(
+        fleet.deployments[1]
+            .truncated(1)
+            .unwrap()
+            .reconstruct_batch(&fleet.frames[1])
+            .unwrap(),
+    );
+
+    let mut clients = Vec::new();
+    for worker in 0..4u64 {
+        let server = Arc::clone(&server);
+        let names = fleet.names;
+        let frames = [fleet.frames[0].clone(), fleet.frames[1].clone()];
+        let truth = [Arc::clone(&truth[0]), Arc::clone(&truth[1])];
+        let coarse = Arc::clone(&coarse);
+        clients.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(131).wrapping_add(worker));
+            let mut kept: Vec<(usize, usize, usize, Ticket)> = Vec::new();
+            for _ in 0..30 {
+                let tenant = rng.gen_range(0usize..2);
+                let start = rng.gen_range(0usize..frames[tenant].len() - 1);
+                let len = rng.gen_range(1usize..=3).min(frames[tenant].len() - start);
+                let ticket = server
+                    .submit(ServeRequest::new(
+                        names[tenant],
+                        frames[tenant][start..start + len].to_vec(),
+                    ))
+                    .expect("submit");
+                kept.push((tenant, start, len, ticket));
+                if rng.gen_bool(0.3) {
+                    std::thread::yield_now();
+                }
+            }
+            // Every ticket completes: exact, degraded-bitwise, or typed
+            // retryable shed. Nothing is abandoned, so the counts below
+            // are the full ledger.
+            let (mut ok, mut shed) = (0usize, 0usize);
+            let mut submitted_per = [0usize; 2];
+            for (tenant, start, len, mut ticket) in kept {
+                submitted_per[tenant] += 1;
+                let result = loop {
+                    match ticket.try_wait() {
+                        Some(result) => break result,
+                        None => std::thread::yield_now(),
+                    }
+                };
+                match result {
+                    Ok(maps) => {
+                        assert_eq!(maps.len(), len, "seed {seed}");
+                        ok += 1;
+                        let expected: &[ThermalMap] = if tenant == 1 {
+                            // Brownout never lifts while traffic flows:
+                            // bulk is always the coarse tier, bitwise.
+                            assert!(ticket.is_degraded(), "seed {seed}: bulk served exact");
+                            &coarse[start..start + len]
+                        } else {
+                            assert!(!ticket.is_degraded(), "seed {seed}: premium degraded");
+                            &truth[tenant][start..start + len]
+                        };
+                        for (map, want) in maps.iter().zip(expected) {
+                            assert_eq!(map.as_slice(), want.as_slice(), "seed {seed}");
+                        }
+                    }
+                    Err(e) => {
+                        assert!(e.is_retryable(), "seed {seed}: {e}");
+                        let ServeError::DeadlineShed {
+                            name,
+                            deadline,
+                            waited,
+                        } = e
+                        else {
+                            panic!("seed {seed}: unexpected error {e}");
+                        };
+                        assert_eq!(tenant, 0, "seed {seed}: bulk tier must never shed");
+                        assert_eq!(name, names[0], "seed {seed}");
+                        assert_eq!(deadline, premium_deadline, "seed {seed}");
+                        assert!(waited >= deadline, "seed {seed}: shed before the deadline");
+                        shed += 1;
+                    }
+                }
+            }
+            (submitted_per[0], submitted_per[1], ok, shed)
+        }));
+    }
+
+    let mut premium_submitted = 0usize;
+    let mut bulk_submitted = 0usize;
+    let mut ok_total = 0usize;
+    let mut shed_total = 0usize;
+    for client in clients {
+        let (p, b, ok, shed) = client.join().unwrap();
+        premium_submitted += p;
+        bulk_submitted += b;
+        ok_total += ok;
+        shed_total += shed;
+    }
+    let submitted = premium_submitted + bulk_submitted;
+    assert_eq!(
+        ok_total + shed_total,
+        submitted,
+        "seed {seed}: lost tickets"
+    );
+    if seed.is_multiple_of(2) {
+        // Zero deadline: every premium request shed, deterministically.
+        assert_eq!(shed_total, premium_submitted, "seed {seed}");
+    }
+
+    // The ledger balances exactly: shed is the only error source, every
+    // degraded request is bulk's, and the queues drained.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let snap = loop {
+        let snap = server.metrics();
+        let flushed: u64 = snap.tenants.values().map(|t| t.batch_requests).sum();
+        let drained = snap.tenants.values().all(|t| t.queue_depth == 0);
+        if (flushed + snap.errors == submitted as u64 && drained)
+            || std::time::Instant::now() > deadline
+        {
+            break snap;
+        }
+        std::thread::yield_now();
+    };
+    assert_eq!(snap.requests, submitted as u64, "seed {seed}");
+    assert_eq!(snap.errors, shed_total as u64, "seed {seed}");
+    assert_eq!(snap.shed, shed_total as u64, "seed {seed}");
+    let flushed: u64 = snap.tenants.values().map(|t| t.batch_requests).sum();
+    assert_eq!(flushed, ok_total as u64, "seed {seed}");
+    assert_eq!(
+        snap.requests,
+        flushed + snap.errors,
+        "seed {seed}: accounting identity broke"
+    );
+    let premium = &snap.tenants[fleet.names[0]];
+    assert_eq!(premium.shed_requests, shed_total as u64, "seed {seed}");
+    assert_eq!(premium.degraded_requests, 0, "seed {seed}");
+    let bulk = &snap.tenants[fleet.names[1]];
+    assert_eq!(bulk.shed_requests, 0, "seed {seed}");
+    assert_eq!(
+        bulk.degraded_requests, bulk_submitted as u64,
+        "seed {seed}: every bulk request serves degraded under brownout"
+    );
+    assert_eq!(snap.degraded, bulk_submitted as u64, "seed {seed}");
+    if bulk_submitted > 0 {
+        assert!(bulk.degraded_batches >= 1, "seed {seed}");
+        assert!(snap.brownout_entries >= 1, "seed {seed}");
+    }
+    for (name, tenant) in &snap.tenants {
+        assert_eq!(tenant.queue_depth, 0, "seed {seed}: {name} leaked slots");
+    }
+}
+
+#[test]
+fn qos_overload_schedules_account_every_ticket() {
+    // EIGENMAPS_STRESS=1 (the CI stress lane) widens the sweep.
+    let seeds: u64 = if std::env::var_os("EIGENMAPS_STRESS").is_some() {
+        16
+    } else {
+        4
+    };
+    for seed in 0..seeds {
+        qos_overload_schedule(seed);
     }
 }
 

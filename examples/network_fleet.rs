@@ -125,13 +125,15 @@ fn main() -> AnyResult<()> {
         .map(|t| noise.apply_sigma(&alpha.sensors().sample(&alpha_maps.map(t)), 0.2))
         .collect();
     let truth = alpha.reconstruct_batch(&frames)?;
-    let (version, maps) = client.submit_batch("sku-alpha", frames.clone())?;
-    for (i, map) in maps.iter().enumerate() {
+    let reply = client.submit_batch("sku-alpha", frames.clone())?;
+    for (i, map) in reply.maps.iter().enumerate() {
         assert_bitwise(map, &truth[i], "batch");
     }
+    assert!(!reply.degraded, "no brownout: full-fidelity maps");
     println!(
-        "[wire]  {} frames served over TCP against sku-alpha v{version} — bitwise-identical",
-        maps.len()
+        "[wire]  {} frames served over TCP against sku-alpha v{} — bitwise-identical",
+        reply.maps.len(),
+        reply.version
     );
 
     // ---- a streaming session, snapshotted mid-stream ---------------------

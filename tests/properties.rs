@@ -378,6 +378,69 @@ proptest! {
     }
 
     #[test]
+    fn degraded_serving_is_bitwise_truncated_reconstruction(
+        ens in ensemble_strategy(),
+        keep_sel in 0usize..3,
+        size_sel in 0usize..3,
+    ) {
+        // Brownout degradation is not "approximately right": a batch
+        // served degraded at `keep_k` must be bitwise-identical to
+        // `truncated(keep_k).reconstruct_batch` on the same frames — the
+        // coarse tier is the truncated deployment, exactly, for any
+        // ensemble, any keep_k in {1, k/2, k} and odd batch sizes
+        // around the shard count.
+        use eigenmaps::serve::{BrownoutPolicy, OverrunAction};
+        let k = 3.min(ens.cells());
+        let deployment = Pipeline::new(&ens)
+            .basis(BasisSpec::EigenExact { k })
+            .sensors((k + 2).min(ens.cells()))
+            .design()
+            .unwrap();
+        let keep_k = [1, (k / 2).max(1), k][keep_sel];
+        let batch = [1usize, 3, 7][size_sel];
+        let frames: Vec<Vec<f64>> = (0..batch)
+            .map(|t| deployment.sensors().sample(&ens.map(t)))
+            .collect();
+
+        let registry = Arc::new(DeploymentRegistry::new());
+        registry.publish("sku", deployment.clone());
+        let server = Server::new(Arc::clone(&registry), 2);
+        // Degrade tier + a 1-frame brownout watermark: the submit below
+        // trips brownout on the very tick that flushes it (request
+        // budget 1), so the batch is deterministically served degraded.
+        server.set_tenant_policy("sku", Some(BatchPolicy {
+            max_batch_frames: 4096,
+            max_batch_requests: 1,
+            max_delay: std::time::Duration::from_secs(60),
+            deadline: Some(std::time::Duration::from_secs(60)),
+            overrun: OverrunAction::Degrade { keep_k },
+            ..BatchPolicy::default()
+        })).unwrap();
+        server.set_brownout(Some(BrownoutPolicy { enter_above: 1, exit_below: 0 })).unwrap();
+
+        let mut ticket = server.submit(ServeRequest::new("sku", frames.clone())).unwrap();
+        let maps = loop {
+            match ticket.try_wait() {
+                Some(result) => break result.unwrap(),
+                None => std::thread::yield_now(),
+            }
+        };
+        prop_assert!(ticket.is_degraded(), "degrade tier in brownout must mark the ticket");
+
+        let truncated = deployment.truncated(keep_k).unwrap();
+        let expected = truncated.reconstruct_batch(&frames).unwrap();
+        prop_assert_eq!(maps.len(), expected.len());
+        for (i, (got, want)) in maps.iter().zip(&expected).enumerate() {
+            prop_assert!(
+                got.as_slice() == want.as_slice(),
+                "frame {} diverged from truncated({}) reconstruction",
+                i,
+                keep_k
+            );
+        }
+    }
+
+    #[test]
     fn session_snapshot_resume_continues_stream_bitwise(
         ens in ensemble_strategy(),
         gain_steps in 1u32..=10,
@@ -608,7 +671,7 @@ proptest! {
         chunk in 1usize..40,
     ) {
         use eigenmaps::net::{FrameBuffer, Request, MAX_FRAME_BYTES};
-        let frame = request.encode(id);
+        let frame = request.encode(id).expect("encodes");
         // Delivered in arbitrary chunk sizes, the stream reassembles to
         // exactly one record that decodes to an equal request whose
         // re-encoding is byte-identical.
@@ -623,7 +686,7 @@ proptest! {
         prop_assert_eq!(records.len(), 1);
         let (got_id, got) = Request::decode(&records[0]).expect("roundtrip decodes");
         prop_assert_eq!(got_id, id);
-        prop_assert_eq!(got.encode(id), frame);
+        prop_assert_eq!(got.encode(id).expect("encodes"), frame);
         prop_assert_eq!(got, request);
     }
 
@@ -633,7 +696,7 @@ proptest! {
         cut_frac in 0.0f64..1.0,
     ) {
         use eigenmaps::net::{FrameBuffer, MAX_FRAME_BYTES};
-        let frame = request.encode(7);
+        let frame = request.encode(7).expect("encodes");
         let cut = ((frame.len() as f64 * cut_frac) as usize).min(frame.len() - 1);
         let mut fb = FrameBuffer::new(MAX_FRAME_BYTES);
         fb.extend(&frame[..cut]);
@@ -654,7 +717,7 @@ proptest! {
         flip in 1u8..=255,
     ) {
         use eigenmaps::net::Request;
-        let frame = request.encode(99);
+        let frame = request.encode(99).expect("encodes");
         // Flip any byte of the record (past the length prefix): the
         // FNV-1a trailer covers every payload byte and the trailer itself
         // only matches its own payload, so no single-byte change decodes.
@@ -678,7 +741,7 @@ proptest! {
         // exactly one Oversized report, then the valid record — bitwise.
         let mut stream = (badlen as u32).to_le_bytes().to_vec();
         stream.resize(stream.len() + badlen, 0x5A);
-        let valid = request.encode(3);
+        let valid = request.encode(3).expect("encodes");
         prop_assume!(valid.len() - 4 <= bound);
         stream.extend_from_slice(&valid);
 
