@@ -13,16 +13,25 @@
 //!
 //! Before timing, every backend's output is checked against the scalar
 //! oracle (`1e-10` relative; the lanes path bitwise). On hosts where
-//! dispatch selects AVX2, the dispatched raw kernel is asserted to be
-//! ≥ 1.5× faster than the scalar backend; elsewhere the speedup is only
-//! reported.
+//! dispatch selects AVX2 or AVX-512, the dispatched raw kernel is
+//! asserted to be ≥ 1.5× faster than the scalar backend; elsewhere the
+//! speedup is only reported.
+//!
+//! A second, **big-grid** axis (96×96 grid, K = 48 — a ~3.4 MB basis
+//! that no longer fits a typical L2) measures the packed+tiled entry
+//! point (`synthesize_panels` over a `PackedBasis`, tiles outermost)
+//! against the untiled streamed path (`synthesize_block`, the PR 3
+//! layout, which re-streams the whole basis once per frame block). On
+//! ≥ AVX2 hosts the packed+tiled path must be ≥ 1.3× faster; the two
+//! are also asserted bitwise identical per backend before timing.
 
 use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use eigenmaps_core::kernel::{KernelKind, FRAME_BLOCK};
+use eigenmaps_core::kernel::{KernelKind, PackedBasis, FRAME_BLOCK};
 use eigenmaps_core::prelude::*;
 use eigenmaps_floorplan::prelude::*;
+use eigenmaps_linalg::Matrix;
 
 const FRAMES: usize = 1024;
 
@@ -173,19 +182,163 @@ fn bench_kernel(c: &mut Criterion) {
         t_dispatched * 1e3,
         t_scalar * 1e3
     );
-    if dispatched == KernelKind::Avx2 {
+    if matches!(dispatched, KernelKind::Avx2 | KernelKind::Avx512) {
         assert!(
             speedup >= 1.5,
-            "dispatched AVX2 kernel reached only {speedup:.2}x over scalar (>= 1.5x required)"
+            "dispatched {dispatched} kernel reached only {speedup:.2}x over scalar \
+             (>= 1.5x required)"
         );
     } else {
         println!(
-            "kernel_1024_frames/summary: dispatch selected {dispatched} (no AVX2) — \
+            "kernel_1024_frames/summary: dispatch selected {dispatched} (no AVX2/AVX-512) — \
              skipping the >= 1.5x assertion"
         );
     }
     group.finish();
 }
 
-criterion_group!(kernel, bench_kernel);
+// ---------------------------------------------------------------------------
+// Big-grid axis: packed+tiled vs the untiled streamed path.
+// ---------------------------------------------------------------------------
+
+/// 96×96 grid, K = 48: the basis is `9216 × 48 × 8 B ≈ 3.4 MB` — past any
+/// typical L2 — so the untiled path re-streams it from L3/memory once per
+/// frame block while the tiled path serves each 256 KiB tile from L2
+/// across the whole batch.
+const BIG_ROWS: usize = 96;
+const BIG_COLS: usize = 96;
+const BIG_K: usize = 48;
+const BIG_FRAMES: usize = 256;
+
+struct BigGrid {
+    basis: Matrix,
+    packed: PackedBasis,
+    mean: Vec<f64>,
+    /// Per-block transposed coefficient tiles `(alpha_t, bsz)`.
+    blocks: Vec<(Vec<f64>, usize)>,
+}
+
+/// Deterministic synthetic operands: the big-grid axis measures the raw
+/// kernel, so no dataset/fit is needed (and none would change what the
+/// inner loops do).
+fn setup_big_grid() -> BigGrid {
+    let n = BIG_ROWS * BIG_COLS;
+    let basis = Matrix::from_fn(n, BIG_K, |i, j| {
+        ((i as f64 + 0.7) * 0.37 + (j as f64 + 1.3) * 1.9).sin() * 0.1
+    });
+    let mean: Vec<f64> = (0..n).map(|i| 45.0 + (i as f64 * 0.013).cos()).collect();
+    let packed = PackedBasis::pack(&basis);
+    let blocks = (0..BIG_FRAMES.div_ceil(FRAME_BLOCK))
+        .map(|b| {
+            let bsz = FRAME_BLOCK.min(BIG_FRAMES - b * FRAME_BLOCK);
+            let alpha_t: Vec<f64> = (0..BIG_K * bsz)
+                .map(|x| (((b * 131 + x) as f64) * 0.17).sin() * 2.0)
+                .collect();
+            (alpha_t, bsz)
+        })
+        .collect();
+    BigGrid {
+        basis,
+        packed,
+        mean,
+        blocks,
+    }
+}
+
+/// The PR 3 untiled path: stream the whole row-major basis through the
+/// kernel once per frame block.
+fn run_big_untiled(w: &BigGrid, kind: KernelKind, cells: &mut [Vec<f64>]) {
+    let backend = kind.backend();
+    let mut start = 0;
+    for (alpha_t, bsz) in &w.blocks {
+        let mut outs: Vec<&mut [f64]> = cells[start..start + bsz]
+            .iter_mut()
+            .map(|c| c.as_mut_slice())
+            .collect();
+        backend.synthesize_block(&w.basis, &w.mean, alpha_t, *bsz, &mut outs);
+        start += bsz;
+    }
+}
+
+/// The packed+tiled path: L2-sized basis tiles loop outermost, frame
+/// blocks inside — each tile is read once and reused across the batch.
+fn run_big_tiled(w: &BigGrid, kind: KernelKind, cells: &mut [Vec<f64>]) {
+    let backend = kind.backend();
+    let mut outs: Vec<&mut [f64]> = cells.iter_mut().map(|c| c.as_mut_slice()).collect();
+    for tile in w.packed.tile_spans() {
+        let mut start = 0;
+        for (alpha_t, bsz) in &w.blocks {
+            backend.synthesize_panels(
+                &w.packed,
+                tile.clone(),
+                &w.mean,
+                alpha_t,
+                *bsz,
+                &mut outs[start..start + bsz],
+            );
+            start += bsz;
+        }
+    }
+}
+
+fn bench_big_grid(c: &mut Criterion) {
+    let w = setup_big_grid();
+    let n = BIG_ROWS * BIG_COLS;
+    let dispatched = KernelKind::detect();
+
+    // Agreement gate: the packed+tiled entry point must reproduce the
+    // untiled streamed path bit for bit under every available backend —
+    // the tentpole's layout/tiling safety property, re-proven on a grid
+    // big enough to cross many tiles.
+    let mut untiled: Vec<Vec<f64>> = (0..BIG_FRAMES).map(|_| vec![0.0; n]).collect();
+    let mut tiled: Vec<Vec<f64>> = (0..BIG_FRAMES).map(|_| vec![0.0; n]).collect();
+    for kind in KernelKind::available() {
+        run_big_untiled(&w, kind, &mut untiled);
+        run_big_tiled(&w, kind, &mut tiled);
+        assert_eq!(
+            untiled, tiled,
+            "{kind}: packed+tiled must be bitwise identical to the untiled path"
+        );
+    }
+
+    let mut group = c.benchmark_group("kernel_big_grid");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("untiled", dispatched.name()),
+        &dispatched,
+        |bch, &kind| bch.iter(|| run_big_untiled(&w, kind, black_box(&mut untiled))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("tiled", dispatched.name()),
+        &dispatched,
+        |bch, &kind| bch.iter(|| run_big_tiled(&w, kind, black_box(&mut tiled))),
+    );
+
+    // Wall-clock gate: packed+tiled must beat the untiled PR 3 path on
+    // hosts whose dispatch reaches at least AVX2.
+    let rounds = 6u32;
+    let t_untiled = wall_clock(rounds, || run_big_untiled(&w, dispatched, &mut untiled));
+    let t_tiled = wall_clock(rounds, || run_big_tiled(&w, dispatched, &mut tiled));
+    let ratio = t_untiled / t_tiled.max(1e-12);
+    println!(
+        "kernel_big_grid/summary: {dispatched} tiled {:.3} ms vs untiled {:.3} ms → {ratio:.2}x",
+        t_tiled * 1e3,
+        t_untiled * 1e3
+    );
+    if matches!(dispatched, KernelKind::Avx2 | KernelKind::Avx512) {
+        assert!(
+            ratio >= 1.3,
+            "packed+tiled {dispatched} reached only {ratio:.2}x over the untiled path \
+             (>= 1.3x required on >= AVX2 hosts)"
+        );
+    } else {
+        println!(
+            "kernel_big_grid/summary: dispatch selected {dispatched} (no AVX2/AVX-512) — \
+             skipping the >= 1.3x assertion"
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(kernel, bench_kernel, bench_big_grid);
 criterion_main!(kernel);

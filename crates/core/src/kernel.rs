@@ -6,7 +6,7 @@
 //! the mean (Sec. 4 of the paper; `O(NK)` per frame vs the `O(MK)`
 //! triangular solve). This module owns that loop. [`Reconstructor`] blocks
 //! batches into [`FRAME_BLOCK`]-frame groups, transposes the coefficients
-//! so frames are contiguous, and hands each block to one
+//! so frames are contiguous, and hands the work to one
 //! [`SynthesisKernel`] backend:
 //!
 //! * [`KernelKind::Scalar`] — one accumulator chain per frame, plain
@@ -14,46 +14,83 @@
 //!   floating-point add latency of its single chain) but the baseline
 //!   every other backend is tested against.
 //! * [`KernelKind::Lanes`] — portable 4-wide manually-unrolled path: four
-//!   frames advance per basis element, giving four independent
-//!   accumulator chains that hide the add latency. Uses the same
-//!   multiply-then-add operations per frame as the scalar path, so its
-//!   output is **bitwise identical** to [`KernelKind::Scalar`] on every
-//!   host.
-//! * [`KernelKind::Avx2`] — `x86_64` AVX2 + FMA intrinsics path
-//!   (8 frames in flight as two 4-lane fused-multiply-add chains),
-//!   selected by `is_x86_feature_detected!` at run time. Fusing the
-//!   multiply and add rounds once instead of twice, so outputs differ
-//!   from the scalar oracle by rounding only — the cross-backend property
-//!   tests bound the divergence at `1e-10` relative.
+//!   independent accumulator chains advance together, hiding the add
+//!   latency. Uses the same multiply-then-add operations per output
+//!   element as the scalar path, so its output is **bitwise identical**
+//!   to [`KernelKind::Scalar`] on every host.
+//! * [`KernelKind::Avx2`] — `x86_64` AVX2 + FMA intrinsics path (two
+//!   4-lane fused-multiply-add chains in flight), selected by
+//!   `is_x86_feature_detected!` at run time. Fusing the multiply and add
+//!   rounds once instead of twice, so outputs differ from the scalar
+//!   oracle by rounding only — the cross-backend property tests bound the
+//!   divergence at `1e-10` relative.
+//! * [`KernelKind::Avx512`] — `x86_64` AVX-512F intrinsics path: 8-wide
+//!   `f64` fused-multiply-add chains, at least two in flight. Applies the
+//!   **same** fused per-element recurrence as the AVX2 backend in its
+//!   full-lane and remainder paths, so its output is bitwise identical to
+//!   [`KernelKind::Avx2`] (and therefore within the same `1e-10` relative
+//!   envelope of the scalar oracle).
+//!
+//! # Two entry points: streamed and packed+tiled
+//!
+//! Every backend implements the synthesis twice:
+//!
+//! * [`SynthesisKernel::synthesize_block`] — the **streamed** path over
+//!   the row-major basis matrix: frames ride the SIMD lanes and each
+//!   basis element is broadcast from its row-major position. Simple, no
+//!   layout preparation, but on big grids the whole `N×K` matrix is
+//!   pulled through cache once per frame block. Kept as the baseline the
+//!   packed path is benchmarked against (`benches/kernel.rs`).
+//! * [`SynthesisKernel::synthesize_panels`] — the **packed+tiled** hot
+//!   path over a [`PackedBasis`]: output rows ride the SIMD lanes, every
+//!   basis access is a full-width **aligned** vector load from a
+//!   cache-line-aligned panel column, and the caller loops L2-sized row
+//!   tiles outermost ([`PackedBasis::tile_spans`]) so each tile's panels
+//!   stay L2-resident across the entire batch instead of being
+//!   re-streamed per block. [`Reconstructor`] and (through it) the
+//!   serving fleet run this path.
+//!
+//! Both entry points apply the identical per-element recurrence, so for
+//! any one backend they produce **bitwise identical** outputs — asserted
+//! in this module's tests across lane, panel and tile boundaries.
 //!
 //! # The position-independence contract
 //!
 //! Every backend must produce, for each frame, a rounding sequence that
 //! does not depend on the frame's position inside a block, the block
-//! size, or its lane assignment. Concretely: a backend fixes one
-//! per-frame recurrence (multiply-then-add for `Scalar`/`Lanes`, fused
-//! multiply-add for `Avx2`) and applies it in ascending-`j` order to
-//! every frame, whether the frame sits in a full SIMD group, in the
-//! scalar remainder of a block, or alone in a single-frame call.
+//! size, its lane assignment, or the row tiling. Concretely: a backend
+//! fixes one per-element recurrence (multiply-then-add for
+//! `Scalar`/`Lanes`, fused multiply-add for `Avx2`/`Avx512`) and applies
+//! it in ascending-`j` order to every `(cell, frame)` output element,
+//! whether that element sits in a full SIMD group, in a remainder, in a
+//! lane-padded panel, or alone in a single-frame call. Row tiling
+//! reorders only *which element* is computed when — never an element's
+//! own chain — so it is bitwise-invisible by construction.
 //!
 //! This is what keeps the workspace-wide bitwise guarantees *per
 //! backend*: [`Reconstructor::reconstruct`],
 //! [`Reconstructor::reconstruct_batch`] and the sharded executor of
 //! `eigenmaps-serve` all route through the same deployment-selected
-//! backend, so batching and sharding never change an answer — only
-//! *changing the backend* does, and then only within the documented
+//! backend, so batching, sharding and tiling never change an answer —
+//! only *changing the backend* does, and then only within the documented
 //! tolerance.
 //!
 //! # Dispatch
 //!
-//! [`KernelKind::detect`] picks the fastest available backend (AVX2+FMA
-//! where the CPU has it, the portable lanes path elsewhere); it honors
-//! the `EIGENMAPS_KERNEL` environment variable (`"scalar"`, `"lanes"`,
-//! `"avx2"`) as a forced override for testing, ignoring values naming a
-//! backend the host cannot run. Programmatic forcing goes through
-//! [`Reconstructor::set_kernel`] /
-//! [`crate::Deployment::set_kernel`], which *reject* unavailable
-//! backends with [`CoreError::KernelUnavailable`].
+//! [`KernelKind::detect`] picks the fastest available backend (AVX-512F
+//! where the CPU has it, then AVX2+FMA, then the portable lanes path) and
+//! **caches the answer for the process** behind a `OnceLock` — deployment
+//! construction is on serving control paths (artifact hot swap, truncated
+//! QoS cache fills) and must not re-run feature detection and an
+//! environment read every time. The `EIGENMAPS_KERNEL` environment
+//! variable (`"scalar"`, `"lanes"`, `"avx2"`, `"avx512"`) is honored by
+//! the first detection in the process as a forced override for testing,
+//! ignoring values naming a backend the host cannot run;
+//! [`KernelKind::detect_uncached`] is the test-only escape hatch that
+//! re-reads the environment on every call. Programmatic forcing goes
+//! through [`Reconstructor::set_kernel`] /
+//! [`crate::Deployment::set_kernel`], which *reject* unavailable backends
+//! with [`CoreError::KernelUnavailable`].
 //!
 //! [`Reconstructor`]: crate::Reconstructor
 //! [`Reconstructor::reconstruct`]: crate::Reconstructor::reconstruct
@@ -62,18 +99,21 @@
 //! [`CoreError::KernelUnavailable`]: crate::CoreError::KernelUnavailable
 
 use std::fmt;
+use std::ops::Range;
+use std::sync::OnceLock;
 
 use eigenmaps_linalg::Matrix;
 
 use crate::error::{CoreError, Result};
+pub use crate::packed::{PackedBasis, PANEL_ROWS};
 
 /// Frames per synthesis block: [`crate::Reconstructor`] transposes
 /// coefficients and calls the kernel in groups of at most this many
 /// frames, so the per-block coefficient tile stays cache resident.
 pub const FRAME_BLOCK: usize = 32;
 
-/// Width of the SIMD-friendly inner loops (frames advanced per basis
-/// element by the lanes and AVX2 paths).
+/// Width of the SIMD-friendly inner loops of the portable and AVX2 paths
+/// (the AVX-512 path runs 2× this width).
 pub const LANES: usize = 4;
 
 /// Identifies one synthesis backend. See the [module docs](self) for what
@@ -89,20 +129,42 @@ pub enum KernelKind {
     /// `x86_64` AVX2 + FMA intrinsics path; equals `Scalar` within
     /// rounding (`1e-10` relative in the property tests).
     Avx2,
+    /// `x86_64` AVX-512F intrinsics path (8-wide `f64` FMA chains);
+    /// bitwise identical to `Avx2`, same `1e-10` envelope vs `Scalar`.
+    Avx512,
 }
+
+static DETECTED: OnceLock<KernelKind> = OnceLock::new();
 
 impl KernelKind {
     /// Every backend kind, in oracle-first order.
-    pub const ALL: [KernelKind; 3] = [KernelKind::Scalar, KernelKind::Lanes, KernelKind::Avx2];
+    pub const ALL: [KernelKind; 4] = [
+        KernelKind::Scalar,
+        KernelKind::Lanes,
+        KernelKind::Avx2,
+        KernelKind::Avx512,
+    ];
 
-    /// The fastest backend available on this host: `Avx2` when the CPU
-    /// reports AVX2 *and* FMA, `Lanes` otherwise.
+    /// The fastest backend available on this host: `Avx512` when the CPU
+    /// reports AVX-512F, else `Avx2` when it reports AVX2 *and* FMA,
+    /// `Lanes` otherwise.
     ///
-    /// The `EIGENMAPS_KERNEL` environment variable (`"scalar"`,
-    /// `"lanes"`, `"avx2"`) overrides the choice for testing; values that
-    /// are unknown or name an unavailable backend are ignored and
-    /// auto-detection proceeds.
+    /// The answer (including the `EIGENMAPS_KERNEL` override, see
+    /// [`KernelKind::detect_uncached`]) is computed once per process and
+    /// cached — constructing a [`crate::Reconstructor`] is on serving
+    /// control paths and must not re-run CPU feature detection and an
+    /// environment read per construction.
     pub fn detect() -> KernelKind {
+        *DETECTED.get_or_init(KernelKind::detect_uncached)
+    }
+
+    /// Uncached [`KernelKind::detect`]: re-reads `EIGENMAPS_KERNEL`
+    /// (`"scalar"`, `"lanes"`, `"avx2"`, `"avx512"`; unknown or
+    /// unavailable values are ignored) and re-runs feature detection on
+    /// every call. This is the escape hatch for tests that manipulate the
+    /// environment; production code should use the cached
+    /// [`KernelKind::detect`].
+    pub fn detect_uncached() -> KernelKind {
         if let Ok(name) = std::env::var("EIGENMAPS_KERNEL") {
             if let Some(kind) = KernelKind::from_name(&name) {
                 if kind.is_available() {
@@ -110,7 +172,9 @@ impl KernelKind {
                 }
             }
         }
-        if avx2_available() {
+        if avx512_available() {
+            KernelKind::Avx512
+        } else if avx2_available() {
             KernelKind::Avx2
         } else {
             KernelKind::Lanes
@@ -118,11 +182,13 @@ impl KernelKind {
     }
 
     /// Whether this backend can run on the current host. `Scalar` and
-    /// `Lanes` always can; `Avx2` requires a runtime AVX2 + FMA check.
+    /// `Lanes` always can; `Avx2` requires a runtime AVX2 + FMA check and
+    /// `Avx512` a runtime AVX-512F check.
     pub fn is_available(self) -> bool {
         match self {
             KernelKind::Scalar | KernelKind::Lanes => true,
             KernelKind::Avx2 => avx2_available(),
+            KernelKind::Avx512 => avx512_available(),
         }
     }
 
@@ -134,12 +200,14 @@ impl KernelKind {
             .collect()
     }
 
-    /// Stable lower-case name (`"scalar"`, `"lanes"`, `"avx2"`).
+    /// Stable lower-case name (`"scalar"`, `"lanes"`, `"avx2"`,
+    /// `"avx512"`).
     pub fn name(self) -> &'static str {
         match self {
             KernelKind::Scalar => "scalar",
             KernelKind::Lanes => "lanes",
             KernelKind::Avx2 => "avx2",
+            KernelKind::Avx512 => "avx512",
         }
     }
 
@@ -150,17 +218,20 @@ impl KernelKind {
 
     /// The backend implementation for this kind.
     ///
-    /// For an unavailable kind (forced `Avx2` on a host without it —
-    /// unreachable through [`crate::Reconstructor::set_kernel`], which
-    /// validates availability) this degrades safely to the portable
-    /// lanes path rather than executing unsupported instructions.
+    /// For an unavailable kind (forced `Avx512`/`Avx2` on a host without
+    /// it — unreachable through [`crate::Reconstructor::set_kernel`],
+    /// which validates availability) this degrades safely to the next
+    /// available path down the dispatch order rather than executing
+    /// unsupported instructions.
     pub fn backend(self) -> &'static dyn SynthesisKernel {
         match self {
             KernelKind::Scalar => &ScalarKernel,
             KernelKind::Lanes => &LanesKernel,
             #[cfg(target_arch = "x86_64")]
-            KernelKind::Avx2 if avx2_available() => &Avx2Kernel,
-            KernelKind::Avx2 => &LanesKernel,
+            KernelKind::Avx512 if avx512_available() => &Avx512Kernel,
+            #[cfg(target_arch = "x86_64")]
+            KernelKind::Avx2 | KernelKind::Avx512 if avx2_available() => &Avx2Kernel,
+            KernelKind::Avx2 | KernelKind::Avx512 => &LanesKernel,
         }
     }
 
@@ -197,6 +268,16 @@ fn avx2_available() -> bool {
     false
 }
 
+#[cfg(target_arch = "x86_64")]
+fn avx512_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx512f")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx512_available() -> bool {
+    false
+}
+
 /// One interchangeable synthesis backend.
 ///
 /// [`SynthesisKernel::synthesize_block`] computes, for a block of `bsz`
@@ -207,25 +288,30 @@ fn avx2_available() -> bool {
 /// ```
 ///
 /// where `alpha_t` holds the block's coefficients transposed
-/// frame-contiguous (`j`-major with stride `bsz`), so the innermost SIMD
-/// axis runs across frames over contiguous memory.
+/// frame-contiguous (`j`-major with stride `bsz`).
+/// [`SynthesisKernel::synthesize_panels`] computes the same sum for the
+/// output rows of a panel range of a [`PackedBasis`], leaving all other
+/// rows of `outs` untouched.
 ///
 /// Implementations must uphold the position-independence contract of the
-/// [module docs](self): a frame's rounding sequence may depend only on
-/// the backend, never on `bsz` or the frame's index within the block.
+/// [module docs](self): an output element's rounding sequence may depend
+/// only on the backend — never on `bsz`, the frame's index within the
+/// block, the entry point, or the panel tiling. In particular the two
+/// entry points are mutually **bitwise identical** per backend.
 pub trait SynthesisKernel: fmt::Debug + Send + Sync {
     /// Which [`KernelKind`] this backend implements.
     fn kind(&self) -> KernelKind;
 
-    /// Synthesizes one block of `bsz` frames; see the trait docs for the
-    /// exact computation and data layout.
+    /// Synthesizes one block of `bsz` frames over the streamed row-major
+    /// basis; see the trait docs for the exact computation and data
+    /// layout.
     ///
     /// # Panics
     ///
     /// Panics if the shapes disagree: `mean.len() != basis.rows()`,
     /// `alpha_t.len() < basis.cols() * bsz`, `outs.len() < bsz`, or any
     /// `outs[f].len() != basis.rows()`. Every backend validates these up
-    /// front (the AVX2 path reads through raw pointers, so the checks are
+    /// front (the SIMD paths read through raw pointers, so the checks are
     /// what make this a safe API).
     fn synthesize_block(
         &self,
@@ -235,11 +321,31 @@ pub trait SynthesisKernel: fmt::Debug + Send + Sync {
         bsz: usize,
         outs: &mut [&mut [f64]],
     );
+
+    /// Synthesizes the output rows covered by `panels` (a panel range of
+    /// `packed`, see [`PackedBasis::tile_spans`]) for a block of `bsz`
+    /// frames — the packed+tiled hot path. Rows outside the panel range
+    /// are left untouched, so a caller sweeps tiles to cover the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes disagree: `panels.end > packed.panels()`,
+    /// `mean.len() != packed.rows()`, `alpha_t.len() < packed.cols() *
+    /// bsz`, `outs.len() < bsz`, or any `outs[f].len() != packed.rows()`.
+    fn synthesize_panels(
+        &self,
+        packed: &PackedBasis,
+        panels: Range<usize>,
+        mean: &[f64],
+        alpha_t: &[f64],
+        bsz: usize,
+        outs: &mut [&mut [f64]],
+    );
 }
 
 /// Shape validation shared by the backends, so a mis-sized call fails
 /// loudly at the kernel boundary. These are hard asserts, not debug
-/// asserts: the AVX2 backend reads `alpha_t` through raw pointers, so
+/// asserts: the SIMD backends read `alpha_t` through raw pointers, so
 /// the bounds established here are load-bearing for memory safety. Cost
 /// is one pass per [`FRAME_BLOCK`]-frame block — noise next to the
 /// `O(N·K·bsz)` synthesis it guards.
@@ -253,6 +359,31 @@ fn check_shapes(basis: &Matrix, mean: &[f64], alpha_t: &[f64], bsz: usize, outs:
     assert!(outs.len() >= bsz, "kernel: too few output frames");
     assert!(
         outs.iter().take(bsz).all(|o| o.len() == basis.rows()),
+        "kernel: output frame length"
+    );
+}
+
+/// [`check_shapes`] for the packed entry point; additionally bounds the
+/// panel range. The panel-column alignment and lane-padding invariants
+/// the SIMD loads rely on are upheld by [`PackedBasis`] itself.
+#[inline]
+fn check_panel_shapes(
+    packed: &PackedBasis,
+    panels: &Range<usize>,
+    mean: &[f64],
+    alpha_t: &[f64],
+    bsz: usize,
+    outs: &[&mut [f64]],
+) {
+    assert!(panels.end <= packed.panels(), "kernel: panel range");
+    assert_eq!(mean.len(), packed.rows(), "kernel: mean length");
+    assert!(
+        alpha_t.len() >= packed.cols() * bsz,
+        "kernel: alpha_t too short"
+    );
+    assert!(outs.len() >= bsz, "kernel: too few output frames");
+    assert!(
+        outs.iter().take(bsz).all(|o| o.len() == packed.rows()),
         "kernel: output frame length"
     );
 }
@@ -287,15 +418,43 @@ impl SynthesisKernel for ScalarKernel {
             }
         }
     }
+
+    fn synthesize_panels(
+        &self,
+        packed: &PackedBasis,
+        panels: Range<usize>,
+        mean: &[f64],
+        alpha_t: &[f64],
+        bsz: usize,
+        outs: &mut [&mut [f64]],
+    ) {
+        check_panel_shapes(packed, &panels, mean, alpha_t, bsz, outs);
+        let k = packed.cols();
+        for p in panels {
+            let panel = packed.panel(p);
+            let base = packed.panel_base(p);
+            for lane in 0..packed.panel_valid_rows(p) {
+                let mu = mean[base + lane];
+                for (f, out) in outs.iter_mut().enumerate().take(bsz) {
+                    let mut acc = 0.0;
+                    for j in 0..k {
+                        acc += panel[j * PANEL_ROWS + lane] * alpha_t[j * bsz + f];
+                    }
+                    out[base + lane] = acc + mu;
+                }
+            }
+        }
+    }
 }
 
 /// The portable 4-wide manually-unrolled backend ([`KernelKind::Lanes`]).
 ///
-/// Four frames advance together per basis element — four independent
-/// accumulator chains that hide the floating-point add latency bounding
-/// the scalar path, over memory the autovectorizer can turn into packed
-/// multiply/add. Each lane performs exactly the scalar recurrence, so
-/// the output is bitwise identical to [`ScalarKernel`].
+/// Four independent accumulator chains advance together (frames in the
+/// streamed path, panel rows in the packed path), hiding the
+/// floating-point add latency that bounds the scalar path, over memory
+/// the autovectorizer can turn into packed multiply/add. Each chain
+/// performs exactly the scalar recurrence, so the output is bitwise
+/// identical to [`ScalarKernel`] through either entry point.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LanesKernel;
 
@@ -341,15 +500,68 @@ impl SynthesisKernel for LanesKernel {
             }
         }
     }
+
+    fn synthesize_panels(
+        &self,
+        packed: &PackedBasis,
+        panels: Range<usize>,
+        mean: &[f64],
+        alpha_t: &[f64],
+        bsz: usize,
+        outs: &mut [&mut [f64]],
+    ) {
+        check_panel_shapes(packed, &panels, mean, alpha_t, bsz, outs);
+        let k = packed.cols();
+        for p in panels {
+            let panel = packed.panel(p);
+            let base = packed.panel_base(p);
+            let valid = packed.panel_valid_rows(p);
+            if valid == PANEL_ROWS {
+                // Full panel: all 8 row chains advance together over one
+                // contiguous panel column per coefficient — a fixed-width
+                // inner loop the autovectorizer unrolls into packed
+                // multiply/add. Multiply-then-add per element keeps it
+                // bitwise equal to the scalar path.
+                for (f, out) in outs.iter_mut().enumerate().take(bsz) {
+                    let mut a = [0.0f64; PANEL_ROWS];
+                    for j in 0..k {
+                        let col = &panel[j * PANEL_ROWS..(j + 1) * PANEL_ROWS];
+                        let x = alpha_t[j * bsz + f];
+                        for (acc, &c) in a.iter_mut().zip(col.iter()) {
+                            *acc += c * x;
+                        }
+                    }
+                    for (lane, &v) in a.iter().enumerate() {
+                        out[base + lane] = v + mean[base + lane];
+                    }
+                }
+            } else {
+                // Lane-padded remainder panel: same chains, but only the
+                // valid rows are stored.
+                for (f, out) in outs.iter_mut().enumerate().take(bsz) {
+                    for lane in 0..valid {
+                        let mut acc = 0.0;
+                        for j in 0..k {
+                            acc += panel[j * PANEL_ROWS + lane] * alpha_t[j * bsz + f];
+                        }
+                        out[base + lane] = acc + mean[base + lane];
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// The `x86_64` AVX2 + FMA backend ([`KernelKind::Avx2`]).
 ///
-/// Eight frames stay in flight as two 4-lane `vfmadd` accumulator
-/// chains; remainders drop to one 4-lane chain, then to scalar
-/// [`f64::mul_add`] — the *same* fused recurrence per frame in every
-/// case, preserving the position-independence contract. Only selectable
-/// when `is_x86_feature_detected!` reports both `avx2` and `fma`.
+/// Streamed path: eight frames stay in flight as two 4-lane `vfmadd`
+/// accumulator chains; remainders drop to one 4-lane chain, then to
+/// scalar [`f64::mul_add`]. Packed path: one 8-row panel rides two 4-lane
+/// chains per frame, two frames in flight (four chains), with **aligned**
+/// panel-column loads. Every path applies the *same* fused recurrence per
+/// output element, preserving the position-independence contract. Only
+/// selectable when `is_x86_feature_detected!` reports both `avx2` and
+/// `fma`.
 #[cfg(target_arch = "x86_64")]
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Avx2Kernel;
@@ -373,6 +585,21 @@ impl SynthesisKernel for Avx2Kernel {
         // `avx2_available()` confirmed the `avx2` and `fma` CPU features
         // at run time.
         unsafe { synthesize_avx2(basis, mean, alpha_t, bsz, outs) }
+    }
+
+    fn synthesize_panels(
+        &self,
+        packed: &PackedBasis,
+        panels: Range<usize>,
+        mean: &[f64],
+        alpha_t: &[f64],
+        bsz: usize,
+        outs: &mut [&mut [f64]],
+    ) {
+        check_panel_shapes(packed, &panels, mean, alpha_t, bsz, outs);
+        // SAFETY: feature availability as above; the aligned panel loads
+        // are justified by the PackedBasis alignment invariant.
+        unsafe { synthesize_panels_avx2(packed, panels, mean, alpha_t, bsz, outs) }
     }
 }
 
@@ -445,6 +672,295 @@ unsafe fn synthesize_avx2(
     }
 }
 
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn synthesize_panels_avx2(
+    packed: &PackedBasis,
+    panels: Range<usize>,
+    mean: &[f64],
+    alpha_t: &[f64],
+    bsz: usize,
+    outs: &mut [&mut [f64]],
+) {
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_fmadd_pd, _mm256_load_pd, _mm256_loadu_pd, _mm256_set1_pd,
+        _mm256_setzero_pd, _mm256_storeu_pd,
+    };
+
+    let k = packed.cols();
+    let alpha = alpha_t.as_ptr();
+    for p in panels {
+        // SAFETY of the `_mm256_load_pd` calls below: `PackedBasis::panel`
+        // guarantees 64-byte alignment of the panel base and a contiguous
+        // `8K`-element panel, so both 32-byte halves of every panel column
+        // are aligned in-bounds loads.
+        let panel = packed.panel(p).as_ptr();
+        let base = packed.panel_base(p);
+        let valid = packed.panel_valid_rows(p);
+        if valid == PANEL_ROWS {
+            let mlo = _mm256_loadu_pd(mean.as_ptr().add(base));
+            let mhi = _mm256_loadu_pd(mean.as_ptr().add(base + LANES));
+            let mut f = 0;
+            // Two frames in flight share every panel-column load: per
+            // coefficient that is 2 aligned loads + 2 broadcasts feeding
+            // 4 independent FMA chains — load ports and FMA ports stay
+            // balanced instead of the streamed path's 3-loads-per-2-FMAs.
+            while f + 2 <= bsz {
+                let mut a00 = _mm256_setzero_pd();
+                let mut a01 = _mm256_setzero_pd();
+                let mut a10 = _mm256_setzero_pd();
+                let mut a11 = _mm256_setzero_pd();
+                for j in 0..k {
+                    let c0 = _mm256_load_pd(panel.add(j * PANEL_ROWS));
+                    let c1 = _mm256_load_pd(panel.add(j * PANEL_ROWS + LANES));
+                    let x0 = _mm256_set1_pd(*alpha_t.get_unchecked(j * bsz + f));
+                    let x1 = _mm256_set1_pd(*alpha_t.get_unchecked(j * bsz + f + 1));
+                    a00 = _mm256_fmadd_pd(c0, x0, a00);
+                    a01 = _mm256_fmadd_pd(c1, x0, a01);
+                    a10 = _mm256_fmadd_pd(c0, x1, a10);
+                    a11 = _mm256_fmadd_pd(c1, x1, a11);
+                }
+                let o0 = outs[f].as_mut_ptr().add(base);
+                _mm256_storeu_pd(o0, _mm256_add_pd(a00, mlo));
+                _mm256_storeu_pd(o0.add(LANES), _mm256_add_pd(a01, mhi));
+                let o1 = outs[f + 1].as_mut_ptr().add(base);
+                _mm256_storeu_pd(o1, _mm256_add_pd(a10, mlo));
+                _mm256_storeu_pd(o1.add(LANES), _mm256_add_pd(a11, mhi));
+                f += 2;
+            }
+            while f < bsz {
+                let mut a0 = _mm256_setzero_pd();
+                let mut a1 = _mm256_setzero_pd();
+                for j in 0..k {
+                    let x = _mm256_set1_pd(*alpha_t.get_unchecked(j * bsz + f));
+                    a0 = _mm256_fmadd_pd(_mm256_load_pd(panel.add(j * PANEL_ROWS)), x, a0);
+                    a1 = _mm256_fmadd_pd(_mm256_load_pd(panel.add(j * PANEL_ROWS + LANES)), x, a1);
+                }
+                let o = outs[f].as_mut_ptr().add(base);
+                _mm256_storeu_pd(o, _mm256_add_pd(a0, mlo));
+                _mm256_storeu_pd(o.add(LANES), _mm256_add_pd(a1, mhi));
+                f += 1;
+            }
+        } else {
+            // Lane-padded remainder panel: run the full-width chains (the
+            // padding lanes are zero, so they are inert) and spill, then
+            // store only the valid rows. Same per-element recurrence and
+            // the same final add as the vector path.
+            for (f, out) in outs.iter_mut().enumerate().take(bsz) {
+                let mut a0 = _mm256_setzero_pd();
+                let mut a1 = _mm256_setzero_pd();
+                for j in 0..k {
+                    let x = _mm256_set1_pd(*alpha.add(j * bsz + f));
+                    a0 = _mm256_fmadd_pd(_mm256_load_pd(panel.add(j * PANEL_ROWS)), x, a0);
+                    a1 = _mm256_fmadd_pd(_mm256_load_pd(panel.add(j * PANEL_ROWS + LANES)), x, a1);
+                }
+                let mut tmp = [0.0f64; PANEL_ROWS];
+                _mm256_storeu_pd(tmp.as_mut_ptr(), a0);
+                _mm256_storeu_pd(tmp.as_mut_ptr().add(LANES), a1);
+                for (lane, &v) in tmp.iter().enumerate().take(valid) {
+                    out[base + lane] = v + mean[base + lane];
+                }
+            }
+        }
+    }
+}
+
+/// The `x86_64` AVX-512F backend ([`KernelKind::Avx512`]).
+///
+/// Streamed path: sixteen frames stay in flight as two 8-lane `vfmadd`
+/// accumulator chains; remainders drop to one 8-lane chain, then to
+/// scalar [`f64::mul_add`]. Packed path: one 8-row panel column is
+/// exactly one **aligned** 512-bit load, with four frames in flight
+/// sharing it (four chains). Every path applies the same fused recurrence
+/// per output element as the AVX2 backend, so the two are bitwise
+/// identical. Only selectable when `is_x86_feature_detected!` reports
+/// `avx512f`.
+#[cfg(target_arch = "x86_64")]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Avx512Kernel;
+
+#[cfg(target_arch = "x86_64")]
+impl SynthesisKernel for Avx512Kernel {
+    fn kind(&self) -> KernelKind {
+        KernelKind::Avx512
+    }
+
+    fn synthesize_block(
+        &self,
+        basis: &Matrix,
+        mean: &[f64],
+        alpha_t: &[f64],
+        bsz: usize,
+        outs: &mut [&mut [f64]],
+    ) {
+        check_shapes(basis, mean, alpha_t, bsz, outs);
+        // SAFETY: `KernelKind::backend` only hands out this backend after
+        // `avx512_available()` confirmed `avx512f` at run time.
+        unsafe { synthesize_avx512(basis, mean, alpha_t, bsz, outs) }
+    }
+
+    fn synthesize_panels(
+        &self,
+        packed: &PackedBasis,
+        panels: Range<usize>,
+        mean: &[f64],
+        alpha_t: &[f64],
+        bsz: usize,
+        outs: &mut [&mut [f64]],
+    ) {
+        check_panel_shapes(packed, &panels, mean, alpha_t, bsz, outs);
+        // SAFETY: feature availability as above; the aligned panel loads
+        // are justified by the PackedBasis alignment invariant.
+        unsafe { synthesize_panels_avx512(packed, panels, mean, alpha_t, bsz, outs) }
+    }
+}
+
+/// AVX-512 `f64` lane width.
+#[cfg(target_arch = "x86_64")]
+const W512: usize = 8;
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn synthesize_avx512(
+    basis: &Matrix,
+    mean: &[f64],
+    alpha_t: &[f64],
+    bsz: usize,
+    outs: &mut [&mut [f64]],
+) {
+    use std::arch::x86_64::{
+        _mm512_add_pd, _mm512_fmadd_pd, _mm512_loadu_pd, _mm512_set1_pd, _mm512_setzero_pd,
+        _mm512_storeu_pd,
+    };
+
+    let alpha = alpha_t.as_ptr();
+    for i in 0..basis.rows() {
+        let row = basis.row(i);
+        let mu = _mm512_set1_pd(mean[i]);
+        let mut f = 0;
+        // Two 8-lane chains in flight, mirroring the AVX2 structure at
+        // twice the width.
+        while f + 2 * W512 <= bsz {
+            let mut acc0 = _mm512_setzero_pd();
+            let mut acc1 = _mm512_setzero_pd();
+            for (j, &rij) in row.iter().enumerate() {
+                let r = _mm512_set1_pd(rij);
+                let x0 = _mm512_loadu_pd(alpha.add(j * bsz + f));
+                let x1 = _mm512_loadu_pd(alpha.add(j * bsz + f + W512));
+                acc0 = _mm512_fmadd_pd(r, x0, acc0);
+                acc1 = _mm512_fmadd_pd(r, x1, acc1);
+            }
+            let mut tmp = [0.0f64; 2 * W512];
+            _mm512_storeu_pd(tmp.as_mut_ptr(), _mm512_add_pd(acc0, mu));
+            _mm512_storeu_pd(tmp.as_mut_ptr().add(W512), _mm512_add_pd(acc1, mu));
+            for (lane, &v) in tmp.iter().enumerate() {
+                outs[f + lane][i] = v;
+            }
+            f += 2 * W512;
+        }
+        while f + W512 <= bsz {
+            let mut acc = _mm512_setzero_pd();
+            for (j, &rij) in row.iter().enumerate() {
+                let r = _mm512_set1_pd(rij);
+                let x = _mm512_loadu_pd(alpha.add(j * bsz + f));
+                acc = _mm512_fmadd_pd(r, x, acc);
+            }
+            let mut tmp = [0.0f64; W512];
+            _mm512_storeu_pd(tmp.as_mut_ptr(), _mm512_add_pd(acc, mu));
+            for (lane, &v) in tmp.iter().enumerate() {
+                outs[f + lane][i] = v;
+            }
+            f += W512;
+        }
+        let mu_scalar = mean[i];
+        while f < bsz {
+            let mut acc = 0.0f64;
+            for (j, &rij) in row.iter().enumerate() {
+                // Scalar fused multiply-add: the same rounding per element
+                // as `_mm512_fmadd_pd` above.
+                acc = rij.mul_add(alpha_t[j * bsz + f], acc);
+            }
+            outs[f][i] = acc + mu_scalar;
+            f += 1;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn synthesize_panels_avx512(
+    packed: &PackedBasis,
+    panels: Range<usize>,
+    mean: &[f64],
+    alpha_t: &[f64],
+    bsz: usize,
+    outs: &mut [&mut [f64]],
+) {
+    use std::arch::x86_64::{
+        __m512d, _mm512_add_pd, _mm512_fmadd_pd, _mm512_load_pd, _mm512_loadu_pd, _mm512_set1_pd,
+        _mm512_setzero_pd, _mm512_storeu_pd,
+    };
+
+    let k = packed.cols();
+    for p in panels {
+        // SAFETY of the `_mm512_load_pd` calls below: `PackedBasis::panel`
+        // guarantees every panel column is one 64-byte-aligned cache line,
+        // i.e. exactly one aligned in-bounds 512-bit load.
+        let panel = packed.panel(p).as_ptr();
+        let base = packed.panel_base(p);
+        let valid = packed.panel_valid_rows(p);
+        if valid == PANEL_ROWS {
+            let mv = _mm512_loadu_pd(mean.as_ptr().add(base));
+            let mut f = 0;
+            // Four frames in flight share every aligned panel-column load
+            // (1 load + 4 broadcasts feeding 4 independent FMA chains per
+            // coefficient), keeping the FMA ports saturated.
+            while f + 4 <= bsz {
+                let mut a: [__m512d; 4] = [_mm512_setzero_pd(); 4];
+                for j in 0..k {
+                    let c = _mm512_load_pd(panel.add(j * PANEL_ROWS));
+                    for (q, acc) in a.iter_mut().enumerate() {
+                        let x = _mm512_set1_pd(*alpha_t.get_unchecked(j * bsz + f + q));
+                        *acc = _mm512_fmadd_pd(c, x, *acc);
+                    }
+                }
+                for (q, acc) in a.iter().enumerate() {
+                    let o = outs[f + q].as_mut_ptr().add(base);
+                    _mm512_storeu_pd(o, _mm512_add_pd(*acc, mv));
+                }
+                f += 4;
+            }
+            while f < bsz {
+                let mut acc = _mm512_setzero_pd();
+                for j in 0..k {
+                    let c = _mm512_load_pd(panel.add(j * PANEL_ROWS));
+                    let x = _mm512_set1_pd(*alpha_t.get_unchecked(j * bsz + f));
+                    acc = _mm512_fmadd_pd(c, x, acc);
+                }
+                let o = outs[f].as_mut_ptr().add(base);
+                _mm512_storeu_pd(o, _mm512_add_pd(acc, mv));
+                f += 1;
+            }
+        } else {
+            // Lane-padded remainder panel: full-width chains over the
+            // zero-padded column, spill, store the valid rows only.
+            for (f, out) in outs.iter_mut().enumerate().take(bsz) {
+                let mut acc = _mm512_setzero_pd();
+                for j in 0..k {
+                    let c = _mm512_load_pd(panel.add(j * PANEL_ROWS));
+                    let x = _mm512_set1_pd(*alpha_t.get_unchecked(j * bsz + f));
+                    acc = _mm512_fmadd_pd(c, x, acc);
+                }
+                let mut tmp = [0.0f64; PANEL_ROWS];
+                _mm512_storeu_pd(tmp.as_mut_ptr(), acc);
+                for (lane, &v) in tmp.iter().enumerate().take(valid) {
+                    out[base + lane] = v + mean[base + lane];
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -471,8 +987,40 @@ mod tests {
         cells
     }
 
-    /// Odd shapes crossing every lane/remainder boundary.
-    const SHAPES: [(usize, usize, usize); 10] = [
+    /// The packed+tiled entry point over the same operands, at a forced
+    /// tile size so tiny shapes still cross tile boundaries.
+    fn run_packed(
+        kind: KernelKind,
+        n: usize,
+        k: usize,
+        bsz: usize,
+        tile_panels: usize,
+    ) -> Vec<Vec<f64>> {
+        let (basis, mean, alpha_t) = operands(n, k, bsz);
+        let packed = PackedBasis::pack_with_tile_panels(&basis, tile_panels);
+        let mut cells: Vec<Vec<f64>> = (0..bsz).map(|_| vec![0.0; n]).collect();
+        let mut outs: Vec<&mut [f64]> = cells.iter_mut().map(|c| c.as_mut_slice()).collect();
+        let backend = kind.backend();
+        for tile in packed.tile_spans() {
+            backend.synthesize_panels(&packed, tile, &mean, &alpha_t, bsz, &mut outs);
+        }
+        cells
+    }
+
+    /// The FMA-fused backends (everything that is not bitwise-equal to
+    /// the scalar oracle), host-filtered.
+    fn fma_kinds() -> Vec<KernelKind> {
+        [KernelKind::Avx2, KernelKind::Avx512]
+            .into_iter()
+            .filter(|k| k.is_available())
+            .collect()
+    }
+
+    /// Odd shapes crossing every lane/remainder boundary: the original
+    /// 4-lane sweep, the 8-lane frame boundaries of the AVX-512 paths
+    /// (`bsz ∈ {7, 8, 9, 15, 16, 17}`), and `n` at panel and test-tile
+    /// (2 panels = 16 rows) boundaries ±1.
+    const SHAPES: [(usize, usize, usize); 19] = [
         (1, 1, 1),
         (5, 1, 7),
         (9, 3, 1),
@@ -483,6 +1031,15 @@ mod tests {
         (12, 7, 8),
         (12, 7, 31),
         (12, 7, 33),
+        (11, 4, 7),
+        (11, 4, 8),
+        (11, 4, 9),
+        (11, 4, 15),
+        (11, 4, 16),
+        (11, 4, 17),
+        (15, 3, 9),
+        (16, 3, 9),
+        (17, 3, 9),
     ];
 
     #[test]
@@ -495,18 +1052,59 @@ mod tests {
     }
 
     #[test]
-    fn avx2_matches_scalar_to_tolerance() {
-        if !KernelKind::Avx2.is_available() {
-            eprintln!("skipping: avx2 unavailable on this host");
+    fn fma_backends_match_scalar_to_tolerance() {
+        for kind in fma_kinds() {
+            for (n, k, bsz) in SHAPES {
+                let scalar = run(KernelKind::Scalar, n, k, bsz);
+                let fused = run(kind, n, k, bsz);
+                for (fs, fa) in scalar.iter().zip(fused.iter()) {
+                    for (&a, &b) in fs.iter().zip(fa.iter()) {
+                        let rel = (a - b).abs() / a.abs().max(b.abs()).max(1.0);
+                        assert!(rel <= 1e-10, "{kind} n={n} k={k} bsz={bsz}: {a} vs {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn avx512_is_bitwise_identical_to_avx2() {
+        // Both FMA backends apply the identical fused per-element
+        // recurrence, so where a host can run both they must agree bit
+        // for bit — through both entry points.
+        if !(KernelKind::Avx2.is_available() && KernelKind::Avx512.is_available()) {
+            eprintln!("skipping: host lacks avx2 or avx512");
             return;
         }
         for (n, k, bsz) in SHAPES {
-            let scalar = run(KernelKind::Scalar, n, k, bsz);
-            let avx2 = run(KernelKind::Avx2, n, k, bsz);
-            for (fs, fa) in scalar.iter().zip(avx2.iter()) {
-                for (&a, &b) in fs.iter().zip(fa.iter()) {
-                    let rel = (a - b).abs() / a.abs().max(b.abs()).max(1.0);
-                    assert!(rel <= 1e-10, "n={n} k={k} bsz={bsz}: {a} vs {b}");
+            assert_eq!(
+                run(KernelKind::Avx2, n, k, bsz),
+                run(KernelKind::Avx512, n, k, bsz),
+                "streamed n={n} k={k} bsz={bsz}"
+            );
+            assert_eq!(
+                run_packed(KernelKind::Avx2, n, k, bsz, 2),
+                run_packed(KernelKind::Avx512, n, k, bsz, 2),
+                "packed n={n} k={k} bsz={bsz}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_entry_is_bitwise_identical_to_streamed_per_backend() {
+        // The layout/tiling tentpole's core safety property: repacking
+        // and tiling change *where* data lives and *when* elements are
+        // computed, never an element's rounding chain — so packed ==
+        // streamed exactly, for every backend, at every tile size.
+        for kind in KernelKind::available() {
+            for (n, k, bsz) in SHAPES {
+                let streamed = run(kind, n, k, bsz);
+                for tile_panels in [1, 2, 100] {
+                    let packed = run_packed(kind, n, k, bsz, tile_panels);
+                    assert_eq!(
+                        streamed, packed,
+                        "kind={kind} n={n} k={k} bsz={bsz} tile_panels={tile_panels}"
+                    );
                 }
             }
         }
@@ -516,10 +1114,11 @@ mod tests {
     fn frames_are_position_independent_in_every_backend() {
         // The contract that makes batch == single == sharded bitwise per
         // backend: frame `f` of a block must equal the same coefficients
-        // synthesized alone (bsz = 1).
+        // synthesized alone (bsz = 1) — through both entry points.
         let (n, k, bsz) = (11, 5, 13);
         for kind in KernelKind::available() {
             let blocked = run(kind, n, k, bsz);
+            let tiled = run_packed(kind, n, k, bsz, 1);
             let (basis, mean, alpha_t) = operands(n, k, bsz);
             for f in 0..bsz {
                 let alpha_f: Vec<f64> = (0..k).map(|j| alpha_t[j * bsz + f]).collect();
@@ -530,6 +1129,7 @@ mod tests {
                         .synthesize_block(&basis, &mean, &alpha_f, 1, &mut outs);
                 }
                 assert_eq!(blocked[f], single, "kind={kind} frame={f}");
+                assert_eq!(tiled[f], single, "packed kind={kind} frame={f}");
             }
         }
     }
@@ -538,15 +1138,25 @@ mod tests {
     fn blocks_smaller_than_lane_width_are_exact() {
         // Regression guard for the kernel-blocking boundary: every batch
         // smaller than LANES (and FRAME_BLOCK) must still produce each
-        // frame's reference values.
+        // frame's reference values. The contract is *bitwise* for the
+        // scalar-recurrence backends; only the FMA-fused backends are
+        // allowed their documented rounding envelope.
         for bsz in 1..LANES + 2 {
             for kind in KernelKind::available() {
                 let got = run(kind, 6, 3, bsz);
                 assert_eq!(got.len(), bsz);
                 let scalar = run(KernelKind::Scalar, 6, 3, bsz);
-                for (g, s) in got.iter().zip(scalar.iter()) {
-                    for (&a, &b) in g.iter().zip(s.iter()) {
-                        assert!((a - b).abs() / a.abs().max(1.0) <= 1e-10);
+                match kind {
+                    KernelKind::Scalar | KernelKind::Lanes => {
+                        assert_eq!(got, scalar, "kind={kind} bsz={bsz}");
+                    }
+                    _ => {
+                        for (g, s) in got.iter().zip(scalar.iter()) {
+                            for (&a, &b) in g.iter().zip(s.iter()) {
+                                let rel = (a - b).abs() / a.abs().max(b.abs()).max(1.0);
+                                assert!(rel <= 1e-10, "kind={kind} bsz={bsz}: {a} vs {b}");
+                            }
+                        }
                     }
                 }
             }
@@ -560,9 +1170,13 @@ mod tests {
             assert_eq!(kind.to_string(), kind.name());
         }
         assert_eq!(KernelKind::from_name("neon"), None);
-        // The detected backend is always available, and scalar/lanes are
-        // available everywhere.
+        // The detected backend is always available, scalar/lanes are
+        // available everywhere, and the cached answer is stable and
+        // agrees with a fresh detection (the process environment does not
+        // change under the tests).
         assert!(KernelKind::detect().is_available());
+        assert_eq!(KernelKind::detect(), KernelKind::detect());
+        assert_eq!(KernelKind::detect(), KernelKind::detect_uncached());
         assert!(KernelKind::Scalar.is_available());
         assert!(KernelKind::Lanes.is_available());
         assert!(KernelKind::available().contains(&KernelKind::Scalar));
@@ -579,10 +1193,18 @@ mod tests {
 
     #[test]
     fn unavailable_backend_degrades_to_a_safe_path() {
-        // backend() must never hand out unexecutable code; on hosts
-        // without AVX2 the Avx2 kind maps to the portable lanes path.
+        // backend() must never hand out unexecutable code; unavailable
+        // kinds degrade down the dispatch order (avx512 → avx2 → lanes).
         let b = KernelKind::Avx2.backend();
         if KernelKind::Avx2.is_available() {
+            assert_eq!(b.kind(), KernelKind::Avx2);
+        } else {
+            assert_eq!(b.kind(), KernelKind::Lanes);
+        }
+        let b = KernelKind::Avx512.backend();
+        if KernelKind::Avx512.is_available() {
+            assert_eq!(b.kind(), KernelKind::Avx512);
+        } else if KernelKind::Avx2.is_available() {
             assert_eq!(b.kind(), KernelKind::Avx2);
         } else {
             assert_eq!(b.kind(), KernelKind::Lanes);

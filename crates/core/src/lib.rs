@@ -16,8 +16,9 @@
 //!   noisy sensors (Sec. 3.2, Theorem 1), with the sensing-matrix condition
 //!   number exposed as the placement figure of merit;
 //! * [`kernel`] — the frame-blocked synthesis kernel behind every serving
-//!   path, with scalar / portable-4-wide / AVX2+FMA backends selected by
-//!   runtime dispatch ([`KernelKind`]);
+//!   path, with scalar / portable-4-wide / AVX2+FMA / AVX-512 backends
+//!   selected by runtime dispatch ([`KernelKind`]), running over the
+//!   cache-line-aligned, L2-tiled panel layout of [`packed`];
 //! * [`GreedyAllocator`] — the polynomial near-optimal sensor allocation of
 //!   Algorithm 1 (correlation-driven row elimination with a rank guard),
 //!   with [`Mask`] support for forbidden regions (Fig. 6);
@@ -84,6 +85,7 @@ pub mod kernel;
 pub mod map;
 pub mod metrics;
 pub mod noise;
+pub mod packed;
 pub mod pipeline;
 pub mod reconstruct;
 pub mod sensors;
@@ -105,6 +107,7 @@ pub use metrics::{
     HotspotReport, NoiseSpec,
 };
 pub use noise::{db_to_snr, snr_to_db, NoiseModel};
+pub use packed::PackedBasis;
 pub use pipeline::{AllocatorSpec, BasisSpec, Deployment, Pipeline};
 pub use reconstruct::{shard_spans, BatchScratch, Reconstructor};
 pub use sensors::{Mask, SensorSet};
@@ -127,6 +130,7 @@ pub mod prelude {
         HotspotReport, NoiseSpec,
     };
     pub use crate::noise::{db_to_snr, snr_to_db, NoiseModel};
+    pub use crate::packed::PackedBasis;
     pub use crate::pipeline::{AllocatorSpec, BasisSpec, Deployment, Pipeline};
     pub use crate::reconstruct::{shard_spans, BatchScratch, Reconstructor};
     pub use crate::sensors::{Mask, SensorSet};

@@ -2,12 +2,13 @@
 //! Theorem 1 of the paper.
 
 use std::ops::Range;
+use std::sync::Arc;
 
 use eigenmaps_linalg::{Matrix, Qr, Svd};
 
 use crate::basis::Basis;
 use crate::error::{CoreError, Result};
-use crate::kernel::{KernelKind, FRAME_BLOCK};
+use crate::kernel::{KernelKind, PackedBasis, FRAME_BLOCK};
 use crate::map::ThermalMap;
 use crate::sensors::SensorSet;
 
@@ -49,8 +50,10 @@ pub struct BatchScratch {
     alphas: Vec<f64>,
     /// Mean-centered readings for the solve (`M`).
     centered: Vec<f64>,
-    /// Per-block frame-transposed coefficients
-    /// ([`FRAME_BLOCK`] `× K`).
+    /// Frame-transposed coefficients for *all* blocks of the batch
+    /// (`frames × K`, every block transposed up front) — the L2-tiled
+    /// synthesis sweeps each basis tile across the whole batch, so all
+    /// blocks' coefficients must be live at once.
     alpha_t: Vec<f64>,
 }
 
@@ -97,6 +100,12 @@ impl BatchScratch {
 #[derive(Debug, Clone)]
 pub struct Reconstructor {
     basis_matrix: Matrix,
+    /// The basis repacked into cache-line-aligned row panels for the
+    /// synthesis hot path — **derived state**, rebuilt from
+    /// `basis_matrix` at construction (never serialized; the `EMDEPLOY`
+    /// wire format is unchanged). `Arc` so the per-worker `Reconstructor`
+    /// clones of a serving fleet share one multi-megabyte panel buffer.
+    packed: Arc<PackedBasis>,
     mean: Vec<f64>,
     mean_at_sensors: Vec<f64>,
     qr: Qr,
@@ -153,6 +162,7 @@ impl Reconstructor {
         let mean_at_sensors = sensors.locations().iter().map(|&i| mean[i]).collect();
         Ok(Reconstructor {
             basis_matrix: basis.matrix().clone(),
+            packed: Arc::new(PackedBasis::pack(basis.matrix())),
             mean,
             mean_at_sensors,
             qr,
@@ -167,6 +177,13 @@ impl Reconstructor {
     /// The sensor layout this reconstructor was built for.
     pub fn sensors(&self) -> &SensorSet {
         &self.sensors
+    }
+
+    /// The packed, L2-tiled panel layout of the synthesis basis that the
+    /// serving paths run over (see [`PackedBasis`]). Derived from the
+    /// basis at construction; shared (`Arc`) across clones.
+    pub fn packed_basis(&self) -> &Arc<PackedBasis> {
+        &self.packed
     }
 
     /// Which synthesis backend this reconstructor runs (the
@@ -241,11 +258,11 @@ impl Reconstructor {
     /// coefficients (used by temporal trackers that maintain their own
     /// coefficient state).
     ///
-    /// Runs the same dispatched [`crate::kernel`] backend as the batch
-    /// paths (as a one-frame block), which is what keeps
-    /// [`Reconstructor::reconstruct_batch`] bitwise identical to
-    /// per-frame reconstruction under *every* backend — including the
-    /// FMA-fused AVX2 one.
+    /// Runs the same dispatched [`crate::kernel`] backend over the same
+    /// packed+tiled panels as the batch paths (as a one-frame block),
+    /// which is what keeps [`Reconstructor::reconstruct_batch`] bitwise
+    /// identical to per-frame reconstruction under *every* backend —
+    /// including the FMA-fused AVX2/AVX-512 ones.
     ///
     /// # Errors
     ///
@@ -261,14 +278,11 @@ impl Reconstructor {
         let mut cells = vec![0.0; self.rows * self.cols];
         {
             // A one-frame block: `alpha` transposed at bsz = 1 is itself.
+            let backend = self.kernel.backend();
             let mut outs = [cells.as_mut_slice()];
-            self.kernel.backend().synthesize_block(
-                &self.basis_matrix,
-                &self.mean,
-                alpha,
-                1,
-                &mut outs,
-            );
+            for tile in self.packed.tile_spans() {
+                backend.synthesize_panels(&self.packed, tile, &self.mean, alpha, 1, &mut outs);
+            }
         }
         ThermalMap::new(self.rows, self.cols, cells)
     }
@@ -289,15 +303,16 @@ impl Reconstructor {
     /// Compared with calling [`Reconstructor::reconstruct`] per frame this
     /// reuses the factored QR's scratch buffers across frames (no per-frame
     /// solver allocations) and synthesizes maps in
-    /// [`FRAME_BLOCK`]-frame blocks through the
-    /// dispatched [`crate::kernel`] backend: each basis row is loaded once
-    /// per block and multiplied into several frames' coefficient vectors
-    /// at a time (SIMD lanes across frames), whose independent accumulator
+    /// [`FRAME_BLOCK`]-frame blocks over the packed, L2-tiled basis panels
+    /// ([`PackedBasis`]) through the dispatched [`crate::kernel`] backend:
+    /// each aligned panel column is loaded once and multiplied into
+    /// several frames' coefficients at a time, independent accumulator
     /// chains hide the floating-point latency that bounds the
-    /// one-dot-per-row single-frame path. Every backend applies one fixed
-    /// per-frame recurrence in ascending-`k` order regardless of block
-    /// position, so the returned maps are **bitwise identical** to
-    /// per-frame reconstruction under the same
+    /// one-dot-per-row single-frame path, and basis tiles loop outermost
+    /// so a tile stays L2-resident across the whole batch. Every backend
+    /// applies one fixed per-frame recurrence in ascending-`k` order
+    /// regardless of block position or tiling, so the returned maps are
+    /// **bitwise identical** to per-frame reconstruction under the same
     /// [`Reconstructor::kernel_kind`].
     ///
     /// # Errors
@@ -357,37 +372,47 @@ impl Reconstructor {
                 .solve_lstsq_into(centered, &mut alphas[f * k..(f + 1) * k])?;
         }
 
-        // Phase 2: blocked synthesis Ψ_K α + mean through the dispatched
-        // kernel backend. Coefficients are transposed per frame block so
-        // the kernel's innermost loop runs *across frames* over contiguous
-        // memory (one frame per SIMD lane); the backend's
-        // position-independence contract keeps every frame's rounding
-        // identical to a single-frame synthesis.
+        // Phase 2: packed, L2-tiled synthesis Ψ_K α + mean through the
+        // dispatched kernel backend. Every block's coefficients are
+        // transposed frame-contiguous up front (block b's slice is
+        // `j`-major with stride bsz at offset b·FRAME_BLOCK·K), then the
+        // basis tiles loop OUTERMOST with the frame blocks inside: one
+        // tile's panels are read from memory once and served from L2
+        // across every block of the batch, instead of the whole N×K basis
+        // being streamed through cache once per block. Tiling reorders
+        // only the output-row loop — each frame's ascending-`j` recurrence
+        // is untouched — so the backend's position-independence contract
+        // keeps every frame's rounding identical to a single-frame
+        // synthesis.
         let backend = self.kernel.backend();
         let mut cells: Vec<Vec<f64>> = frames.iter().map(|_| vec![0.0; n]).collect();
-        scratch.alpha_t.resize(FRAME_BLOCK * k, 0.0);
+        scratch.alpha_t.resize(frames.len() * k, 0.0);
         let alpha_t = &mut scratch.alpha_t;
         for block_start in (0..frames.len()).step_by(FRAME_BLOCK) {
             let bsz = (frames.len() - block_start).min(FRAME_BLOCK);
+            let block = &mut alpha_t[block_start * k..(block_start + bsz) * k];
             for f in 0..bsz {
                 for (j, &a) in alphas[(block_start + f) * k..(block_start + f + 1) * k]
                     .iter()
                     .enumerate()
                 {
-                    alpha_t[j * bsz + f] = a;
+                    block[j * bsz + f] = a;
                 }
             }
-            let mut outs: Vec<&mut [f64]> = cells[block_start..block_start + bsz]
-                .iter_mut()
-                .map(|c| c.as_mut_slice())
-                .collect();
-            backend.synthesize_block(
-                &self.basis_matrix,
-                &self.mean,
-                &alpha_t[..k * bsz],
-                bsz,
-                &mut outs,
-            );
+        }
+        let mut outs: Vec<&mut [f64]> = cells.iter_mut().map(|c| c.as_mut_slice()).collect();
+        for tile in self.packed.tile_spans() {
+            for block_start in (0..frames.len()).step_by(FRAME_BLOCK) {
+                let bsz = (frames.len() - block_start).min(FRAME_BLOCK);
+                backend.synthesize_panels(
+                    &self.packed,
+                    tile.clone(),
+                    &self.mean,
+                    &alpha_t[block_start * k..(block_start + bsz) * k],
+                    bsz,
+                    &mut outs[block_start..block_start + bsz],
+                );
+            }
         }
         cells
             .into_iter()

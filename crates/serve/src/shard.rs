@@ -12,11 +12,16 @@
 //! compute capacity instead of stealing caller threads.
 //!
 //! Inside each shard, the worker runs the deployment's dispatched SIMD
-//! synthesis kernel ([`eigenmaps_core::kernel`]) on its own scratch: the
-//! two levels of parallelism compose — threads across frame shards,
-//! SIMD lanes across the frames within each shard's blocks — and a
-//! forced backend ([`Deployment::set_kernel`]) set before publishing is
-//! what every worker executes.
+//! synthesis kernel ([`eigenmaps_core::kernel`]) on its own scratch, over
+//! the deployment's packed, L2-tiled basis panels
+//! ([`eigenmaps_core::PackedBasis`] — built once at design/load time and
+//! shared by every worker's `Reconstructor` clone through an `Arc`, so a
+//! multi-megabyte panel buffer exists once per artifact, not once per
+//! worker). The levels of parallelism compose — threads across frame
+//! shards, SIMD lanes across each panel's rows, basis tiles serving from
+//! L2 across each shard's blocks — and a forced backend
+//! ([`Deployment::set_kernel`]) set before publishing is what every
+//! worker executes.
 //!
 //! Shard boundaries come from [`eigenmaps_core::shard_spans`]; because the
 //! batch path is bitwise-identical to per-frame reconstruction *under the

@@ -104,6 +104,20 @@ fn all_backends_agree_on_the_serving_fleet_workload() {
             }
         }
     }
+
+    // The two FMA backends apply the identical fused recurrence, so on a
+    // host that runs both their served outputs must agree bit for bit.
+    let avx2 = per_backend.iter().find(|(k, _)| *k == KernelKind::Avx2);
+    let avx512 = per_backend.iter().find(|(k, _)| *k == KernelKind::Avx512);
+    if let (Some((_, a)), Some((_, b))) = (avx2, avx512) {
+        for (ma, mb) in a.iter().zip(b.iter()) {
+            assert_eq!(
+                ma.as_slice(),
+                mb.as_slice(),
+                "avx512 must equal avx2 bitwise"
+            );
+        }
+    }
 }
 
 #[test]

@@ -228,8 +228,11 @@ proptest! {
         // The synthesis kernel contract: every runnable backend agrees
         // with the scalar oracle within 1e-10 relative, on shapes chosen
         // to cross every lane/remainder/block boundary — K ∈ {1, 3, K*}
-        // and batch sizes {1, 7, 1031} (below the 4-lane width, below the
-        // 32-frame block, and spanning 33 blocks with a remainder).
+        // and batch sizes sweeping below/at/above the 4-lane width, the
+        // 8-lane AVX-512 groups ({7, 8, 9, 15, 16, 17}), and 1031 frames
+        // spanning 33 blocks with a remainder. (`available()` includes
+        // `Avx512` wherever the host supports it, so the same sweep
+        // exercises the AVX-512 full-group/remainder seams.)
         let kstar = 5.min(ens.cells());
         for k in [1usize, 3.min(kstar), kstar] {
             let m = (k + 2).min(ens.cells());
@@ -240,7 +243,11 @@ proptest! {
                 .design()
                 .unwrap();
             let scalar = d.clone().with_kernel(KernelKind::Scalar).unwrap();
-            let frame_counts: &[usize] = if k == kstar { &[1, 7, 1031] } else { &[1, 7] };
+            let frame_counts: &[usize] = if k == kstar {
+                &[1, 7, 8, 9, 15, 16, 17, 1031]
+            } else {
+                &[1, 7, 9]
+            };
             for &fc in frame_counts {
                 let frames: Vec<Vec<f64>> = (0..fc)
                     .map(|t| {
